@@ -1,0 +1,146 @@
+//===-- bench/bench_aborts.cpp - Experiment E5 ----------------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// **E5 — progressiveness and strong progressiveness in numbers.**
+///
+/// Three workloads per TM:
+///  * disjoint partitions — progressiveness predicts **zero** aborts;
+///  * single-item hotspot — abort rates by cause; strong progressiveness
+///    predicts every round of conflicting single-shot transactions commits
+///    at least one member (reported as "empty rounds", expected 0);
+///  * zipf-skewed mix — a realistic middle ground.
+///
+//===----------------------------------------------------------------------===//
+
+#include "stm/Stm.h"
+#include "support/Format.h"
+#include "support/RawOStream.h"
+#include "support/Table.h"
+#include "workload/Workload.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace ptm;
+
+namespace {
+
+constexpr unsigned kThreads = 4;
+
+/// Counts rounds of simultaneous single-shot hotspot transactions in which
+/// nobody committed (strong progressiveness says: none).
+uint64_t emptyRounds(Tm &M, unsigned Rounds) {
+  std::atomic<unsigned> Arrived{0};
+  std::atomic<unsigned> Generation{0};
+  std::atomic<unsigned> CommitsThisRound{0};
+  std::atomic<uint64_t> Empty{0};
+
+  auto Barrier = [&] {
+    unsigned Gen = Generation.load();
+    if (Arrived.fetch_add(1) + 1 == kThreads) {
+      Arrived.store(0);
+      Generation.fetch_add(1);
+      return;
+    }
+    while (Generation.load() == Gen)
+      std::this_thread::yield();
+  };
+
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < kThreads; ++T) {
+    Workers.emplace_back([&, T] {
+      for (unsigned R = 0; R < Rounds; ++R) {
+        Barrier();
+        if (T == 0)
+          CommitsThisRound.store(0);
+        Barrier();
+        bool Ok = atomically(
+            M, T,
+            [](TxRef &Tx) {
+              uint64_t V = Tx.readOr(0, 0);
+              Tx.write(0, V + 1);
+            },
+            /*MaxAttempts=*/1);
+        if (Ok)
+          CommitsThisRound.fetch_add(1);
+        Barrier();
+        if (T == 0 && CommitsThisRound.load() == 0)
+          Empty.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+  return Empty.load();
+}
+
+std::string causeBreakdown(const TmStats &S) {
+  std::string Out;
+  Out += "rv=" + formatInt(S.Aborts[1]);
+  Out += " lk=" + formatInt(S.Aborts[2]);
+  Out += " cv=" + formatInt(S.Aborts[3]);
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  RawOStream &OS = outs();
+  OS << "==============================================================\n";
+  OS << "E5  Progressiveness (Def. progressive / strongly progressive)\n";
+  OS << "    " << kThreads << " threads; abort causes: rv=read-validation,"
+     << " lk=lock-held, cv=commit-validation\n";
+  OS << "==============================================================\n\n";
+
+  TablePrinter Disjoint(
+      {"tm", "commits", "aborts", "throughput/s", "verdict"});
+  for (TmKind Kind : allTmKinds()) {
+    auto M = createTm(Kind, 64, kThreads);
+    RunResult R = runDisjoint(*M, kThreads, 3000, 16, 4, /*Seed=*/3);
+    const char *Verdict = R.Aborts == 0 ? "progressive" : "VIOLATION";
+    if (!isProgressive(Kind))
+      Verdict = "not progressive (by design)";
+    Disjoint.addRow({tmKindName(Kind), formatInt(R.Commits),
+                     formatInt(R.Aborts),
+                     formatDouble(R.throughputPerSec(), 0), Verdict});
+  }
+  OS << "Disjoint partitions (conflict-free => zero aborts required):\n";
+  Disjoint.print(OS);
+
+  TablePrinter Hotspot({"tm", "commits", "aborts", "abort%", "causes",
+                        "empty-rounds"});
+  for (TmKind Kind : allTmKinds()) {
+    auto M = createTm(Kind, 1, kThreads);
+    RunResult R = runHotspot(*M, kThreads, 5000);
+    TmStats S = M->stats();
+    auto M2 = createTm(Kind, 1, kThreads);
+    uint64_t Empty = emptyRounds(*M2, 200);
+    Hotspot.addRow({tmKindName(Kind), formatInt(R.Commits),
+                    formatInt(R.Aborts),
+                    formatDouble(100.0 * S.abortRatio(), 1),
+                    causeBreakdown(S), formatInt(Empty)});
+  }
+  OS << "Single-item hotspot (strong progressiveness => empty-rounds = 0):\n";
+  Hotspot.print(OS);
+
+  TablePrinter Zipf({"tm", "commits", "aborts", "abort%", "throughput/s"});
+  for (TmKind Kind : allTmKinds()) {
+    auto M = createTm(Kind, 256, kThreads);
+    RunResult R = runZipfMix(*M, kThreads, 4000, 4, /*ReadProb=*/0.5,
+                             /*Theta=*/0.8, /*Seed=*/17);
+    TmStats S = M->stats();
+    Zipf.addRow({tmKindName(Kind), formatInt(R.Commits), formatInt(R.Aborts),
+                 formatDouble(100.0 * S.abortRatio(), 1),
+                 formatDouble(R.throughputPerSec(), 0)});
+  }
+  OS << "Zipf(0.8) mixed read/write, 4 ops/txn:\n";
+  Zipf.print(OS);
+
+  OS.flush();
+  return 0;
+}

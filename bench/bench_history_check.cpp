@@ -1,0 +1,107 @@
+//===-- bench/bench_history_check.cpp - Experiment E8 ---------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// **E8 — the Section 3 definitions as a live oracle.**
+///
+/// Records contended executions of every TM through RecordingTm and runs
+/// the opacity checker on them, reporting history size, verdict and
+/// checking time. Demonstrates (a) all five TMs produce opaque histories
+/// under contention, (b) the exhaustive checker's practical envelope.
+///
+//===----------------------------------------------------------------------===//
+
+#include "history/Checker.h"
+#include "history/RecordingTm.h"
+#include "stm/Stm.h"
+#include "support/Format.h"
+#include "support/Random.h"
+#include "support/RawOStream.h"
+#include "support/Table.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace ptm;
+
+namespace {
+
+History recordRun(TmKind Kind, unsigned Threads, unsigned TxnsPerThread,
+                  uint64_t Seed) {
+  RecordingTm M(createTm(Kind, 2, Threads));
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T) {
+    Workers.emplace_back([&, T] {
+      Xoshiro256 Rng(Seed * 977 + T);
+      for (unsigned I = 0; I < TxnsPerThread; ++I) {
+        M.txBegin(T);
+        uint64_t V;
+        ObjectId A = static_cast<ObjectId>(Rng.nextBounded(2));
+        if (!M.txRead(T, A, V))
+          continue;
+        if (Rng.nextBool(0.6) && !M.txWrite(T, A, V + 1))
+          continue;
+        uint64_t W;
+        if (!M.txRead(T, 1 - A, W))
+          continue;
+        (void)M.txCommit(T);
+      }
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+  return M.takeHistory();
+}
+
+const char *verdictName(CheckResult R) {
+  switch (R) {
+  case CheckResult::CR_Ok:
+    return "opaque";
+  case CheckResult::CR_Violation:
+    return "VIOLATION";
+  case CheckResult::CR_ResourceLimit:
+    return "budget-hit";
+  }
+  return "?";
+}
+
+} // namespace
+
+int main() {
+  RawOStream &OS = outs();
+  OS << "==============================================================\n";
+  OS << "E8  Opacity checking of recorded concurrent histories\n";
+  OS << "==============================================================\n\n";
+
+  TablePrinter Table(
+      {"tm", "threads", "txns", "committed", "aborted", "verdict", "ms"});
+
+  for (TmKind Kind : allTmKinds()) {
+    for (unsigned Threads : {2u, 3u}) {
+      for (unsigned PerThread : {3u, 5u}) {
+        History H = recordRun(Kind, Threads, PerThread, 7 + Threads);
+        auto Start = std::chrono::steady_clock::now();
+        CheckResult R = checkOpacity(H);
+        auto End = std::chrono::steady_clock::now();
+        double Ms = std::chrono::duration<double>(End - Start).count() * 1e3;
+        Table.addRow({tmKindName(Kind), formatInt(uint64_t{Threads}),
+                      formatInt(uint64_t{H.Txns.size()}),
+                      formatInt(uint64_t{H.numCommitted()}),
+                      formatInt(uint64_t{H.Txns.size() - H.numCommitted()}),
+                      verdictName(R), formatDouble(Ms, 2)});
+      }
+    }
+  }
+  Table.print(OS);
+
+  OS << "All verdicts must read 'opaque'. Checking time grows with the\n"
+     << "number of concurrent (real-time-incomparable) transactions; the\n"
+     << "search is exhaustive, so budget-hit would appear first on large\n"
+     << "fully-concurrent histories.\n";
+  OS.flush();
+  return 0;
+}

@@ -1,0 +1,91 @@
+//===-- bench/bench_mutex_throughput.cpp - Experiment E4 ------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// **E4 — wall-clock passage throughput of the locks.**
+///
+/// Complements E3's simulated RMR counts with real time: passages/second
+/// for each lock at 1..4 threads (google-benchmark). Each benchmark
+/// iteration runs a full parallel phase of fixed passages so the thread
+/// count is controlled by us, not by the framework.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mutex/Mutex.h"
+#include "stm/Tm.h"
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+using namespace ptm;
+
+namespace {
+
+constexpr uint64_t kPassagesPerThread = 2000;
+
+void runPassages(Mutex &Lock, unsigned Threads) {
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T) {
+    Workers.emplace_back([&Lock, T] {
+      for (uint64_t P = 0; P < kPassagesPerThread; ++P) {
+        Lock.enter(T);
+        benchmark::ClobberMemory(); // The (empty) critical section.
+        Lock.exit(T);
+      }
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void benchBaseline(benchmark::State &State, MutexKind Kind) {
+  unsigned Threads = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    auto Lock = createMutex(Kind, Threads);
+    runPassages(*Lock, Threads);
+  }
+  State.SetItemsProcessed(State.iterations() * Threads * kPassagesPerThread);
+}
+
+void benchTmMutex(benchmark::State &State, TmKind Inner) {
+  unsigned Threads = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    auto Lock = createTmMutex(Inner, Threads);
+    runPassages(*Lock, Threads);
+  }
+  State.SetItemsProcessed(State.iterations() * Threads * kPassagesPerThread);
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(benchBaseline, tas, MutexKind::MK_Tas)
+    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(benchBaseline, ttas, MutexKind::MK_Ttas)
+    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(benchBaseline, ticket, MutexKind::MK_Ticket)
+    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(benchBaseline, mcs, MutexKind::MK_Mcs)
+    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(benchBaseline, clh, MutexKind::MK_Clh)
+    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(benchTmMutex, tm_glock, TmKind::TK_GlobalLock)
+    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(benchTmMutex, tm_tl2, TmKind::TK_Tl2)
+    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(benchTmMutex, tm_norec, TmKind::TK_Norec)
+    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(benchTmMutex, tm_orec_incr, TmKind::TK_OrecIncremental)
+    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(benchTmMutex, tm_orec_eager, TmKind::TK_OrecEager)
+    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(benchTmMutex, tm_tlrw, TmKind::TK_Tlrw)
+    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(benchTmMutex, tm_tml, TmKind::TK_Tml)
+    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+//===-- bench/bench_rmr_mutex.cpp - Experiment E3 -------------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// **E3 — Theorem 7/9: RMR cost of mutual exclusion from a TM.**
+///
+/// n threads perform passages through each lock while every base-object
+/// access is charged by the RMR simulator, for each of the paper's three
+/// memory models (CC write-through, CC write-back, DSM). The schedule is
+/// controlled: a round-robin interleaver serializes execution one
+/// shared-memory event at a time across all n threads, so contention is
+/// dense and deterministic-ish regardless of host core count (the paper's
+/// bounds quantify over schedules; the OS's bursty schedule on a small
+/// host would hide all contention). Reported: RMRs per passage.
+///
+/// What the theory predicts:
+///  * MCS (fetch-and-store — an *unconditional* primitive, outside
+///    Theorem 9's hypotheses) stays O(1) per passage in CC and DSM.
+///  * CLH is O(1) in CC but spins remotely in DSM.
+///  * TAS/TTAS/ticket grow with n in CC (global invalidations) and TAS
+///    burns RMRs continuously in DSM.
+///  * TmMutex = Algorithm 1: the Done/Succ/Lock handshake adds only O(1)
+///    RMRs per passage on top of the inner TM (Theorem 7); the growth
+///    with n comes from the inner CAS-based TM's retries on the single
+///    object X — the contention cost Theorem 9 proves unavoidable for
+///    TMs built from conditional primitives.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mutex/Mutex.h"
+#include "runtime/BaseObject.h"
+#include "runtime/Instrumentation.h"
+#include "runtime/Interleaver.h"
+#include "runtime/RmrSimulator.h"
+#include "stm/Tm.h"
+#include "support/Format.h"
+#include "support/RawOStream.h"
+#include "support/Table.h"
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ptm;
+
+namespace {
+
+struct LockCfg {
+  std::string Label;
+  std::function<std::unique_ptr<Mutex>(unsigned)> Make;
+};
+
+double rmrsPerPassage(const LockCfg &Cfg, MemoryModelKind Model, unsigned N,
+                      uint64_t PassagesPerThread) {
+  auto Lock = Cfg.Make(N);
+  RmrSimulator Sim(Model, N);
+  RoundRobinInterleaver Sched(N);
+  BaseObject CsCell(0); // One shared write inside the critical section.
+  std::atomic<uint64_t> TotalRmrs{0};
+
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < N; ++T) {
+    Workers.emplace_back([&, T] {
+      Instrumentation Instr(T, &Sim, &Sched);
+      {
+        ScopedInstrumentation Scope(Instr);
+        for (uint64_t P = 0; P < PassagesPerThread; ++P) {
+          Lock->enter(T);
+          CsCell.write(T);
+          Lock->exit(T);
+        }
+      }
+      Sched.retire(T);
+      TotalRmrs.fetch_add(Instr.totalRmrs());
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+
+  return static_cast<double>(TotalRmrs.load()) /
+         static_cast<double>(N * PassagesPerThread);
+}
+
+} // namespace
+
+int main() {
+  RawOStream &OS = outs();
+  OS << "==============================================================\n";
+  OS << "E3  RMRs per passage of mutual-exclusion locks under the\n";
+  OS << "    paper's three memory models (Theorem 7 / Theorem 9),\n";
+  OS << "    dense round-robin event schedule\n";
+  OS << "==============================================================\n\n";
+
+  std::vector<LockCfg> Locks;
+  for (MutexKind Kind : allMutexKinds())
+    Locks.push_back({mutexKindName(Kind),
+                     [Kind](unsigned N) { return createMutex(Kind, N); }});
+  for (TmKind Kind : {TmKind::TK_Tl2, TmKind::TK_Norec,
+                      TmKind::TK_OrecIncremental, TmKind::TK_GlobalLock}) {
+    std::string Label = std::string("tm(") + tmKindName(Kind) + ")";
+    Locks.push_back(
+        {Label, [Kind](unsigned N) { return createTmMutex(Kind, N); }});
+  }
+
+  const std::vector<unsigned> ThreadCounts = {1, 2, 4, 8};
+  const uint64_t Passages = 60;
+
+  for (MemoryModelKind Model :
+       {MemoryModelKind::MM_CcWriteThrough, MemoryModelKind::MM_CcWriteBack,
+        MemoryModelKind::MM_Dsm}) {
+    std::vector<std::string> Header = {std::string("lock [") +
+                                       memoryModelName(Model) + "]"};
+    for (unsigned N : ThreadCounts)
+      Header.push_back("n=" + formatInt(uint64_t{N}));
+
+    TablePrinter Table(Header);
+    for (const LockCfg &Cfg : Locks) {
+      std::vector<std::string> Row = {Cfg.Label};
+      for (unsigned N : ThreadCounts)
+        Row.push_back(formatDouble(rmrsPerPassage(Cfg, Model, N, Passages), 1));
+      Table.addRow(Row);
+    }
+    Table.print(OS);
+  }
+
+  OS << "Reading the tables: queue locks (mcs, clh) stay flat in CC; TAS/\n"
+     << "TTAS/ticket grow with n; CLH degrades only in DSM; Algorithm 1\n"
+     << "(tm-mutex) spins locally — its handshake is O(1) (Theorem 7) and\n"
+     << "the residual growth with n is the inner TM's CAS contention on X\n"
+     << "(the Theorem 9 cost for conditional-primitive TMs).\n";
+  OS.flush();
+  return 0;
+}

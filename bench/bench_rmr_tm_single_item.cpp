@@ -1,0 +1,149 @@
+//===-- bench/bench_rmr_tm_single_item.cpp - Experiment E9 ----------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// **E9 — Theorem 9 without the mutex detour: RMRs of single-item
+/// transactions.**
+///
+/// Theorem 9 is stated for TMs directly: any strictly serializable,
+/// strongly progressive TM built from reads, writes and conditional
+/// primitives has executions with n processes on ONE t-object costing
+/// Ω(n log n) total RMRs. Here n threads each commit read-modify-write
+/// transactions on the single object under a dense round-robin event
+/// schedule; we report RMRs per *committed* transaction (failed attempts
+/// are part of the cost, exactly as in the bound).
+///
+/// Expected shape: every CAS-based TM's per-commit RMR cost grows with n
+/// (conflict retries — the conditional-primitive cost); `glock`, whose
+/// transactions never abort, pays only its lock hand-off.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Instrumentation.h"
+#include "runtime/Interleaver.h"
+#include "runtime/RmrSimulator.h"
+#include "stm/Stm.h"
+#include "support/Format.h"
+#include "support/RawOStream.h"
+#include "support/Table.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace ptm;
+
+namespace {
+
+/// Sentinel result: the cell livelocked (see below).
+constexpr double kLivelocked = -1.0;
+
+/// Returns mean RMRs per committed transaction, or kLivelocked if some
+/// thread exhausted its attempt budget. A perfectly fair event schedule
+/// keeps symmetric contenders in lockstep: TLRW's read-then-upgrade
+/// pattern livelocks this way (all readers acquire, all upgrades fail,
+/// all retry in phase) — a real property of reader-upgrade locking that
+/// wall-clock schedulers mask with timing noise, reported honestly here.
+double rmrsPerCommit(TmKind Kind, MemoryModelKind Model, unsigned N,
+                     uint64_t CommitsPerThread) {
+  auto M = createTm(Kind, /*NumObjects=*/1, N);
+  RmrSimulator Sim(Model, N);
+  RoundRobinInterleaver Sched(N);
+  std::atomic<uint64_t> TotalRmrs{0};
+  std::atomic<bool> Bailed{false};
+  constexpr uint64_t kAttemptBudget = 3000;
+
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < N; ++T) {
+    Workers.emplace_back([&, T] {
+      Instrumentation Instr(T, &Sim, &Sched);
+      {
+        ScopedInstrumentation Scope(Instr);
+        uint64_t Attempts = 0;
+        for (uint64_t C = 0;
+             C < CommitsPerThread && !Bailed.load(std::memory_order_relaxed);
+             ++C) {
+          // Retry until committed; failed attempts charge RMRs too.
+          for (;;) {
+            if (++Attempts > kAttemptBudget) {
+              Bailed.store(true, std::memory_order_relaxed);
+              break;
+            }
+            M->txBegin(T);
+            uint64_t V;
+            if (!M->txRead(T, 0, V))
+              continue;
+            if (!M->txWrite(T, 0, V + 1))
+              continue;
+            if (M->txCommit(T))
+              break;
+          }
+          if (Bailed.load(std::memory_order_relaxed)) {
+            if (M->txActive(T))
+              M->txAbort(T);
+            break;
+          }
+        }
+      }
+      Sched.retire(T);
+      TotalRmrs.fetch_add(Instr.totalRmrs());
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+
+  if (Bailed.load())
+    return kLivelocked;
+  return static_cast<double>(TotalRmrs.load()) /
+         static_cast<double>(N * CommitsPerThread);
+}
+
+std::string formatCell(double Value) {
+  return Value == kLivelocked ? "livelock" : formatDouble(Value, 1);
+}
+
+} // namespace
+
+int main() {
+  RawOStream &OS = outs();
+  OS << "==============================================================\n";
+  OS << "E9  Theorem 9 directly: RMRs per committed single-item\n";
+  OS << "    transaction, n threads, dense round-robin schedule\n";
+  OS << "==============================================================\n\n";
+
+  const std::vector<unsigned> ThreadCounts = {1, 2, 4};
+  const uint64_t Commits = 25;
+
+  // CC write-back tells the same story as write-through here; two models
+  // keep the run short.
+  for (MemoryModelKind Model :
+       {MemoryModelKind::MM_CcWriteThrough, MemoryModelKind::MM_Dsm}) {
+    std::vector<std::string> Header = {std::string("tm [") +
+                                       memoryModelName(Model) + "]"};
+    for (unsigned N : ThreadCounts)
+      Header.push_back("n=" + formatInt(uint64_t{N}));
+
+    TablePrinter Table(Header);
+    for (TmKind Kind : allTmKinds()) {
+      std::vector<std::string> Row = {tmKindName(Kind)};
+      for (unsigned N : ThreadCounts)
+        Row.push_back(formatCell(rmrsPerCommit(Kind, Model, N, Commits)));
+      Table.addRow(Row);
+    }
+    Table.print(OS);
+  }
+
+  OS << "All of these TMs use CAS (a conditional primitive), so Theorem 9\n"
+     << "applies: per-commit RMR cost must grow under contention. glock's\n"
+     << "flat-ish row is the blocking escape (its 'transactions' never\n"
+     << "retry; the cost hides in lock hand-off latency instead).\n"
+     << "'livelock' marks cells where symmetric contenders stayed in\n"
+     << "lockstep under the fair schedule — TLRW's reader-upgrade pattern\n"
+     << "does this; progressiveness promises abort-on-conflict, not\n"
+     << "livelock-freedom.\n";
+  OS.flush();
+  return 0;
+}

@@ -1,0 +1,101 @@
+//===-- bench/bench_throughput.cpp - Experiment E7 ------------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// **E7 — systems-style STM throughput comparison.**
+///
+/// Transactions/second for each TM across the four canonical workload
+/// shapes (hotspot, disjoint, read-dominated Zipf, write-heavy Zipf) at
+/// 1..4 threads. This is the experiment every TM paper the reproduction
+/// cites runs (TL2 [7], NOrec [6], TLRW [9]); the expected *shape*:
+///
+///  * disjoint: everything scales; glock is the floor (serializes).
+///  * hotspot: nothing scales (single item); glock often wins — no wasted
+///    speculation; strong progressiveness keeps everyone live.
+///  * read-dominated: tl2/norec win (O(1)-validated invisible reads);
+///    orec-incr pays quadratic validation; tlrw pays a CAS per read.
+///  * write-heavy skewed: locking/validation costs mix; norec's single
+///    commit point throttles scaling.
+///
+//===----------------------------------------------------------------------===//
+
+#include "stm/Tm.h"
+#include "workload/Workload.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace ptm;
+
+namespace {
+
+constexpr uint64_t kTxnsPerThread = 3000;
+
+void benchHotspot(benchmark::State &State, TmKind Kind) {
+  unsigned Threads = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    auto M = createTm(Kind, 1, Threads);
+    RunResult R = runHotspot(*M, Threads, kTxnsPerThread);
+    benchmark::DoNotOptimize(R.ValueChecksum);
+  }
+  State.SetItemsProcessed(State.iterations() * Threads * kTxnsPerThread);
+}
+
+void benchDisjoint(benchmark::State &State, TmKind Kind) {
+  unsigned Threads = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    auto M = createTm(Kind, Threads * 32, Threads);
+    RunResult R = runDisjoint(*M, Threads, kTxnsPerThread, 32, 4, 42);
+    benchmark::DoNotOptimize(R.ValueChecksum);
+  }
+  State.SetItemsProcessed(State.iterations() * Threads * kTxnsPerThread);
+}
+
+void benchReadDominated(benchmark::State &State, TmKind Kind) {
+  unsigned Threads = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    auto M = createTm(Kind, 1024, Threads);
+    RunResult R = runZipfMix(*M, Threads, kTxnsPerThread, 8,
+                             /*ReadProb=*/0.9, /*Theta=*/0.8, 42);
+    benchmark::DoNotOptimize(R.ValueChecksum);
+  }
+  State.SetItemsProcessed(State.iterations() * Threads * kTxnsPerThread);
+}
+
+void benchWriteHeavy(benchmark::State &State, TmKind Kind) {
+  unsigned Threads = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    auto M = createTm(Kind, 1024, Threads);
+    RunResult R = runZipfMix(*M, Threads, kTxnsPerThread, 4,
+                             /*ReadProb=*/0.5, /*Theta=*/0.9, 42);
+    benchmark::DoNotOptimize(R.ValueChecksum);
+  }
+  State.SetItemsProcessed(State.iterations() * Threads * kTxnsPerThread);
+}
+
+} // namespace
+
+#define PTM_BENCH_ALL(fn)                                                     \
+  BENCHMARK_CAPTURE(fn, glock, TmKind::TK_GlobalLock)                         \
+      ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();                \
+  BENCHMARK_CAPTURE(fn, tl2, TmKind::TK_Tl2)                                  \
+      ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();                \
+  BENCHMARK_CAPTURE(fn, norec, TmKind::TK_Norec)                              \
+      ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();                \
+  BENCHMARK_CAPTURE(fn, orec_incr, TmKind::TK_OrecIncremental)                \
+      ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();                \
+  BENCHMARK_CAPTURE(fn, orec_eager, TmKind::TK_OrecEager)                     \
+      ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();                \
+  BENCHMARK_CAPTURE(fn, tlrw, TmKind::TK_Tlrw)                                \
+      ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();                \
+  BENCHMARK_CAPTURE(fn, tml, TmKind::TK_Tml)                                  \
+      ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+PTM_BENCH_ALL(benchHotspot)
+PTM_BENCH_ALL(benchDisjoint)
+PTM_BENCH_ALL(benchReadDominated)
+PTM_BENCH_ALL(benchWriteHeavy)
+
+BENCHMARK_MAIN();

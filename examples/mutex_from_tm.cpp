@@ -1,0 +1,88 @@
+//===-- examples/mutex_from_tm.cpp - Algorithm 1, live --------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper's Section 5 construction, runnable: build a mutual-exclusion
+/// lock L(M) from a strongly progressive TM M that manages a single
+/// t-object, protect a plain (non-atomic!) counter with it, and measure
+/// the RMRs per passage in the cache-coherent model. The inner TM's
+/// commit statistics show the queue discipline at work: one committed
+/// fetch-and-store transaction per passage, plus the contention retries.
+///
+///   $ ./mutex_from_tm
+///
+//===----------------------------------------------------------------------===//
+
+#include "mutex/Mutex.h"
+#include "mutex/TmMutex.h"
+#include "runtime/Instrumentation.h"
+#include "runtime/RmrSimulator.h"
+#include "stm/Stm.h"
+#include "support/Format.h"
+#include "support/RawOStream.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace ptm;
+
+int main() {
+  RawOStream &OS = outs();
+  constexpr unsigned Threads = 4;
+  constexpr uint64_t Passages = 5000;
+
+  OS << "Algorithm 1: mutual exclusion from a strongly progressive TM\n\n";
+
+  for (TmKind Kind : allTmKinds()) {
+    auto Inner = createTm(Kind, /*NumObjects=*/1, Threads);
+    Tm *InnerRaw = Inner.get();
+    TmMutex Lock(std::move(Inner), Threads);
+
+    RmrSimulator Sim(MemoryModelKind::MM_CcWriteBack, Threads);
+    std::atomic<uint64_t> TotalRmrs{0};
+
+    // The protected state is a deliberately non-atomic variable: only the
+    // mutual exclusion of L(M) keeps it consistent.
+    volatile uint64_t PlainCounter = 0;
+
+    std::vector<std::thread> Workers;
+    for (unsigned T = 0; T < Threads; ++T) {
+      Workers.emplace_back([&, T] {
+        Instrumentation Instr(T, &Sim);
+        ScopedInstrumentation Scope(Instr);
+        for (uint64_t P = 0; P < Passages; ++P) {
+          Lock.enter(T);
+          PlainCounter = PlainCounter + 1;
+          Lock.exit(T);
+        }
+        TotalRmrs.fetch_add(Instr.totalRmrs());
+      });
+    }
+    for (std::thread &W : Workers)
+      W.join();
+
+    TmStats S = InnerRaw->stats();
+    uint64_t Expected = uint64_t{Threads} * Passages;
+    OS << Lock.name() << ":\n";
+    OS << "  counter " << uint64_t{PlainCounter} << "/" << Expected
+       << (PlainCounter == Expected ? "  (mutual exclusion held)\n"
+                                    : "  (RACE DETECTED!)\n");
+    OS << "  inner TM: commits=" << S.Commits
+       << " aborts=" << S.totalAborts() << " (func() retries under"
+       << " contention; strong progressiveness bounds each round)\n";
+    OS << "  rmrs/passage (cc-wb): "
+       << formatDouble(static_cast<double>(TotalRmrs.load()) /
+                           static_cast<double>(Expected),
+                       2)
+       << "\n\n";
+  }
+  OS << "Theorem 7: the handshake around the TM costs O(1) RMRs; the\n"
+     << "inner TM on one t-object is where Theorem 9's \xCE\xA9(n log n)\n"
+     << "lives for CAS-based TMs.\n";
+  OS.flush();
+  return 0;
+}

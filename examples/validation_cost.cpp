@@ -1,0 +1,64 @@
+//===-- examples/validation_cost.cpp - Watch Theorem 3 happen -------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// A narrated, single-run demonstration of the paper's core result: the
+/// step counter watches one read-only transaction execute on the
+/// weak-DAP invisible-read TM (orec-incr) and on TL2, printing the cost
+/// of every t-read. The first grows linearly per read (quadratic total) —
+/// incremental validation, unavoidable per Theorem 3(1); the second is
+/// flat thanks to the global clock TL2 trades its disjoint-access
+/// parallelism for.
+///
+///   $ ./validation_cost
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Instrumentation.h"
+#include "stm/Stm.h"
+#include "support/Format.h"
+#include "support/RawOStream.h"
+
+using namespace ptm;
+
+static void narrate(TmKind Kind, unsigned M, RawOStream &OS) {
+  auto Tm = createTm(Kind, M, 1);
+  Instrumentation Instr(0);
+  ScopedInstrumentation Scope(Instr);
+
+  OS << tmKindName(Kind) << ", read-only transaction over " << M
+     << " t-objects:\n";
+  Tm->txBegin(0);
+  uint64_t Total = 0;
+  for (ObjectId Obj = 0; Obj < M; ++Obj) {
+    uint64_t V;
+    Instr.beginOp();
+    (void)Tm->txRead(0, Obj, V);
+    OpStats S = Instr.endOp();
+    Total += S.Steps;
+    if (Obj < 8 || Obj + 1 == M || (Obj & (Obj - 1)) == 0) {
+      OS << "  read #" << padLeft(formatInt(uint64_t{Obj} + 1), 3) << ": "
+         << padLeft(formatInt(S.Steps), 4) << " steps ("
+         << formatInt(S.DistinctObjects) << " distinct base objects)\n";
+    }
+  }
+  (void)Tm->txCommit(0);
+  OS << "  total: " << Total << " steps\n\n";
+}
+
+int main() {
+  RawOStream &OS = outs();
+  OS << "Theorem 3(1): invisible reads + weak DAP => incremental\n"
+     << "validation. Each t-read of the subject TM revalidates the whole\n"
+     << "read set; TL2's global clock (which breaks weak DAP) does not.\n\n";
+  narrate(TmKind::TK_OrecIncremental, 32, OS);
+  narrate(TmKind::TK_Tl2, 32, OS);
+  OS << "The paper proves the first shape is *inherent*: no opaque,\n"
+     << "weak-DAP, invisible-read, progressive TM can do better than\n"
+     << "Omega(m^2) total steps for an m-read transaction.\n";
+  OS.flush();
+  return 0;
+}

@@ -1,0 +1,174 @@
+//===-- history/Checker.cpp - Opacity / strict serializability ------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "history/Checker.h"
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+using namespace ptm;
+
+namespace {
+
+/// DFS over serialization orders of a set of transactions, respecting
+/// real-time precedence, with incremental legality checking against a
+/// running memory state. One optional "phantom" transaction participates
+/// in legality but never publishes its writes — this is how an aborted
+/// transaction's snapshot consistency is checked for opacity.
+class SerializationSearch {
+public:
+  SerializationSearch(const History &H, const CheckerOptions &Options,
+                      const TxnRecord *Phantom)
+      : Options(Options), Phantom(Phantom) {
+    for (const TxnRecord &T : H.Txns)
+      if (T.committed())
+        Txns.push_back(&T);
+    if (Phantom)
+      Txns.push_back(Phantom);
+  }
+
+  CheckResult run() {
+    size_t N = Txns.size();
+    if (N > 63)
+      return CheckResult::CR_ResourceLimit;
+
+    Preds.assign(N, 0);
+    for (size_t I = 0; I != N; ++I)
+      for (size_t J = 0; J != N; ++J)
+        if (I != J && Txns[I]->precedes(*Txns[J]))
+          Preds[J] |= uint64_t{1} << I;
+
+    Full = N == 0 ? 0 : (uint64_t{1} << N) - 1;
+    Budget = Options.NodeBudget;
+    LimitHit = false;
+    Memory.clear();
+
+    if (dfs(0))
+      return CheckResult::CR_Ok;
+    return LimitHit ? CheckResult::CR_ResourceLimit
+                    : CheckResult::CR_Violation;
+  }
+
+private:
+  /// (object, had-previous-value, previous-value) for rollback.
+  struct UndoEntry {
+    ObjectId Obj;
+    bool HadValue;
+    uint64_t Value;
+  };
+
+  bool dfs(uint64_t Mask) {
+    if (Mask == Full)
+      return true;
+    size_t N = Txns.size();
+    for (size_t I = 0; I != N; ++I) {
+      uint64_t Bit = uint64_t{1} << I;
+      if (Mask & Bit)
+        continue;
+      // Real-time pruning: all ≺_RT-predecessors must already be placed.
+      if (Preds[I] & ~Mask)
+        continue;
+      if (Budget == 0) {
+        LimitHit = true;
+        return false;
+      }
+      --Budget;
+
+      std::vector<UndoEntry> Undo;
+      if (tryPlace(*Txns[I], /*ApplyWrites=*/Txns[I] != Phantom, Undo) &&
+          dfs(Mask | Bit))
+        return true;
+
+      for (auto It = Undo.rbegin(), End = Undo.rend(); It != End; ++It) {
+        if (It->HadValue)
+          Memory[It->Obj] = It->Value;
+        else
+          Memory.erase(It->Obj);
+      }
+      if (LimitHit)
+        return false;
+    }
+    return false;
+  }
+
+  /// Replays \p T against the running memory state (own writes visible to
+  /// own later reads via an overlay). Returns false if some read is
+  /// illegal. On success and if \p ApplyWrites, publishes the overlay and
+  /// records rollback entries in \p Undo.
+  bool tryPlace(const TxnRecord &T, bool ApplyWrites,
+                std::vector<UndoEntry> &Undo) {
+    std::unordered_map<ObjectId, uint64_t> Overlay;
+    for (const TOp &Op : T.Ops) {
+      if (Op.Kind == TOpKind::TO_Write) {
+        Overlay[Op.Obj] = Op.Value;
+        continue;
+      }
+      uint64_t Expect;
+      if (auto It = Overlay.find(Op.Obj); It != Overlay.end()) {
+        Expect = It->second;
+      } else if (auto It2 = Memory.find(Op.Obj); It2 != Memory.end()) {
+        Expect = It2->second;
+      } else {
+        Expect = Options.InitialValue;
+      }
+      if (Op.Value != Expect)
+        return false;
+    }
+    if (!ApplyWrites)
+      return true;
+    for (const auto &[Obj, Val] : Overlay) {
+      if (auto It = Memory.find(Obj); It != Memory.end())
+        Undo.push_back({Obj, true, It->second});
+      else
+        Undo.push_back({Obj, false, 0});
+      Memory[Obj] = Val;
+    }
+    return true;
+  }
+
+  const CheckerOptions &Options;
+  const TxnRecord *Phantom;
+  std::vector<const TxnRecord *> Txns;
+  std::vector<uint64_t> Preds;
+  uint64_t Full = 0;
+  uint64_t Budget = 0;
+  bool LimitHit = false;
+  std::unordered_map<ObjectId, uint64_t> Memory;
+};
+
+} // namespace
+
+CheckResult ptm::checkStrictSerializability(const History &H,
+                                            const CheckerOptions &Options) {
+  SerializationSearch Search(H, Options, /*Phantom=*/nullptr);
+  return Search.run();
+}
+
+CheckResult ptm::checkOpacity(const History &H,
+                              const CheckerOptions &Options) {
+  // Committed subhistory first.
+  CheckResult Committed = checkStrictSerializability(H, Options);
+  if (Committed != CheckResult::CR_Ok)
+    return Committed;
+
+  // Every aborted transaction must have observed a consistent snapshot.
+  // Aborted writes are never visible to others in any of our TMs, so the
+  // transactions can be checked independently.
+  bool Limited = false;
+  for (const TxnRecord &T : H.Txns) {
+    if (T.committed() || T.Ops.empty())
+      continue;
+    SerializationSearch Search(H, Options, /*Phantom=*/&T);
+    CheckResult R = Search.run();
+    if (R == CheckResult::CR_Violation)
+      return R;
+    if (R == CheckResult::CR_ResourceLimit)
+      Limited = true;
+  }
+  return Limited ? CheckResult::CR_ResourceLimit : CheckResult::CR_Ok;
+}

@@ -1,0 +1,66 @@
+//===-- history/History.cpp - TM histories as data -------------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "history/History.h"
+
+#include <cassert>
+
+using namespace ptm;
+
+size_t HistoryBuilder::begin(ThreadId Tid) {
+  TxnRecord T;
+  T.TxnId = Txns.size() + 1;
+  T.Tid = Tid;
+  T.FirstTicket = nextTicket();
+  Txns.push_back(std::move(T));
+  Open.push_back(true);
+  return Txns.size() - 1;
+}
+
+HistoryBuilder &HistoryBuilder::read(size_t Txn, ObjectId Obj,
+                                     uint64_t Value) {
+  assert(Txn < Txns.size() && Open[Txn] && "read on a finished transaction");
+  Txns[Txn].Ops.push_back({TOpKind::TO_Read, Obj, Value});
+  Txns[Txn].LastTicket = nextTicket();
+  return *this;
+}
+
+HistoryBuilder &HistoryBuilder::write(size_t Txn, ObjectId Obj,
+                                      uint64_t Value) {
+  assert(Txn < Txns.size() && Open[Txn] && "write on a finished transaction");
+  Txns[Txn].Ops.push_back({TOpKind::TO_Write, Obj, Value});
+  Txns[Txn].LastTicket = nextTicket();
+  return *this;
+}
+
+HistoryBuilder &HistoryBuilder::commit(size_t Txn) {
+  assert(Txn < Txns.size() && Open[Txn] && "commit on finished transaction");
+  Txns[Txn].Outcome = TxnOutcome::TX_Committed;
+  Txns[Txn].LastTicket = nextTicket();
+  Open[Txn] = false;
+  return *this;
+}
+
+HistoryBuilder &HistoryBuilder::abort(size_t Txn) {
+  assert(Txn < Txns.size() && Open[Txn] && "abort on finished transaction");
+  Txns[Txn].Outcome = TxnOutcome::TX_Aborted;
+  Txns[Txn].LastTicket = nextTicket();
+  Open[Txn] = false;
+  return *this;
+}
+
+History HistoryBuilder::take() {
+  for (size_t I = 0, E = Open.size(); I != E; ++I) {
+    (void)I;
+    assert(!Open[I] && "unfinished transaction in history");
+  }
+  History H;
+  H.Txns = std::move(Txns);
+  Txns.clear();
+  Open.clear();
+  return H;
+}

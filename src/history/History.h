@@ -1,0 +1,117 @@
+//===-- history/History.h - TM histories as data ----------------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A TM history in the sense of Section 2 of the paper: the sequence of
+/// t-operation invocations and responses, reduced here to per-transaction
+/// operation lists plus real-time intervals (ticket of the first
+/// invocation, ticket of the last response). Two transactions are ordered
+/// in real time iff one's interval ends before the other's begins —
+/// exactly the paper's ≺_RT.
+///
+/// Histories come from two sources: recorded live executions (RecordingTm)
+/// and hand-built fixtures in the checker unit tests (HistoryBuilder).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_HISTORY_HISTORY_H
+#define PTM_HISTORY_HISTORY_H
+
+#include "runtime/Ids.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ptm {
+
+/// Kinds of t-operation relevant to correctness checking.
+enum class TOpKind {
+  TO_Read,  ///< read_k(X) -> v
+  TO_Write, ///< write_k(X, v) -> ok
+};
+
+/// One completed t-operation (reads that returned A_k are not recorded:
+/// they return no value, so legality imposes nothing on them).
+struct TOp {
+  TOpKind Kind;
+  ObjectId Obj;
+  uint64_t Value; ///< Value returned (read) or written (write).
+};
+
+/// How a transaction ended.
+enum class TxnOutcome {
+  TX_Committed, ///< tryCommit returned C_k.
+  TX_Aborted,   ///< Some operation (or tryCommit) returned A_k.
+};
+
+/// One transaction of a history.
+struct TxnRecord {
+  uint64_t TxnId = 0;
+  ThreadId Tid = 0;
+  uint64_t FirstTicket = 0; ///< Global time of the first invocation.
+  uint64_t LastTicket = 0;  ///< Global time of the last response.
+  TxnOutcome Outcome = TxnOutcome::TX_Aborted;
+  std::vector<TOp> Ops;
+
+  bool committed() const { return Outcome == TxnOutcome::TX_Committed; }
+
+  /// True if the transaction performed no writes.
+  bool readOnly() const {
+    for (const TOp &Op : Ops)
+      if (Op.Kind == TOpKind::TO_Write)
+        return false;
+    return true;
+  }
+
+  /// True iff this transaction's interval ends before \p Other begins
+  /// (the paper's ≺_RT).
+  bool precedes(const TxnRecord &Other) const {
+    return LastTicket < Other.FirstTicket;
+  }
+};
+
+/// A complete history: every transaction is t-complete (our recorders join
+/// all threads before extracting).
+struct History {
+  std::vector<TxnRecord> Txns;
+
+  size_t numCommitted() const {
+    size_t N = 0;
+    for (const TxnRecord &T : Txns)
+      N += T.committed();
+    return N;
+  }
+};
+
+/// Fluent fixture builder for checker tests. Tickets advance by one per
+/// recorded event, so interleaving builder calls interleaves the
+/// transactions in real time.
+class HistoryBuilder {
+public:
+  /// Starts a transaction and returns its handle (index).
+  size_t begin(ThreadId Tid);
+
+  HistoryBuilder &read(size_t Txn, ObjectId Obj, uint64_t Value);
+  HistoryBuilder &write(size_t Txn, ObjectId Obj, uint64_t Value);
+  HistoryBuilder &commit(size_t Txn);
+  HistoryBuilder &abort(size_t Txn);
+
+  /// Finishes the build. All transactions must have been completed.
+  History take();
+
+private:
+  uint64_t nextTicket() { return Ticket++; }
+
+  uint64_t Ticket = 1;
+  std::vector<TxnRecord> Txns;
+  std::vector<bool> Open;
+};
+
+} // namespace ptm
+
+#endif // PTM_HISTORY_HISTORY_H

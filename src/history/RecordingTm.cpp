@@ -1,0 +1,89 @@
+//===-- history/RecordingTm.cpp - History-recording TM wrapper ------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "history/RecordingTm.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ptm;
+
+RecordingTm::RecordingTm(std::unique_ptr<Tm> Inner)
+    : M(std::move(Inner)), Recorders(M->maxThreads()) {}
+
+void RecordingTm::txBegin(ThreadId Tid) {
+  Recorder &R = Recorders[Tid];
+  assert(!R.Building && "previous transaction still being recorded");
+  R.Current = TxnRecord();
+  R.Current.TxnId = NextTxnId.fetch_add(1, std::memory_order_relaxed);
+  R.Current.Tid = Tid;
+  R.Current.FirstTicket = nextTicket();
+  R.Building = true;
+  M->txBegin(Tid);
+}
+
+bool RecordingTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
+  Recorder &R = Recorders[Tid];
+  assert(R.Building && "t-read outside a recorded transaction");
+  bool Ok = M->txRead(Tid, Obj, Value);
+  if (!Ok) {
+    finishTxn(Tid, TxnOutcome::TX_Aborted);
+    return false;
+  }
+  R.Current.Ops.push_back({TOpKind::TO_Read, Obj, Value});
+  R.Current.LastTicket = nextTicket();
+  return true;
+}
+
+bool RecordingTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
+  Recorder &R = Recorders[Tid];
+  assert(R.Building && "t-write outside a recorded transaction");
+  bool Ok = M->txWrite(Tid, Obj, Value);
+  if (!Ok) {
+    finishTxn(Tid, TxnOutcome::TX_Aborted);
+    return false;
+  }
+  R.Current.Ops.push_back({TOpKind::TO_Write, Obj, Value});
+  R.Current.LastTicket = nextTicket();
+  return true;
+}
+
+bool RecordingTm::txCommit(ThreadId Tid) {
+  assert(Recorders[Tid].Building && "tryCommit outside a transaction");
+  bool Ok = M->txCommit(Tid);
+  finishTxn(Tid, Ok ? TxnOutcome::TX_Committed : TxnOutcome::TX_Aborted);
+  return Ok;
+}
+
+void RecordingTm::txAbort(ThreadId Tid) {
+  assert(Recorders[Tid].Building && "abort outside a transaction");
+  M->txAbort(Tid);
+  finishTxn(Tid, TxnOutcome::TX_Aborted);
+}
+
+void RecordingTm::finishTxn(ThreadId Tid, TxnOutcome Outcome) {
+  Recorder &R = Recorders[Tid];
+  R.Current.Outcome = Outcome;
+  R.Current.LastTicket = nextTicket();
+  R.Finished.push_back(std::move(R.Current));
+  R.Building = false;
+}
+
+History RecordingTm::takeHistory() {
+  History H;
+  for (Recorder &R : Recorders) {
+    assert(!R.Building && "takeHistory while a transaction is live");
+    for (TxnRecord &T : R.Finished)
+      H.Txns.push_back(std::move(T));
+    R.Finished.clear();
+  }
+  std::sort(H.Txns.begin(), H.Txns.end(),
+            [](const TxnRecord &A, const TxnRecord &B) {
+              return A.FirstTicket < B.FirstTicket;
+            });
+  return H;
+}

@@ -1,0 +1,82 @@
+//===-- history/RecordingTm.h - History-recording TM wrapper ----*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Tm decorator that records the history exported by an execution:
+/// every t-operation's invocation/response with a global ticket, per
+/// transaction. The recorded history can then be fed to the opacity /
+/// strict-serializability checkers — turning the paper's correctness
+/// definitions into live integration tests against the real TMs.
+///
+/// Tickets come from a plain atomic counter (not a BaseObject): recording
+/// is harness infrastructure, not part of the measured algorithm.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_HISTORY_RECORDINGTM_H
+#define PTM_HISTORY_RECORDINGTM_H
+
+#include "history/History.h"
+#include "stm/Tm.h"
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <memory>
+
+namespace ptm {
+
+class RecordingTm final : public Tm {
+public:
+  explicit RecordingTm(std::unique_ptr<Tm> Inner);
+
+  TmKind kind() const override { return M->kind(); }
+  unsigned numObjects() const override { return M->numObjects(); }
+  unsigned maxThreads() const override { return M->maxThreads(); }
+
+  void txBegin(ThreadId Tid) override;
+  bool txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) override;
+  bool txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) override;
+  bool txCommit(ThreadId Tid) override;
+  void txAbort(ThreadId Tid) override;
+  bool txActive(ThreadId Tid) const override { return M->txActive(Tid); }
+  AbortCause lastAbortCause(ThreadId Tid) const override {
+    return M->lastAbortCause(Tid);
+  }
+  uint64_t sample(ObjectId Obj) const override { return M->sample(Obj); }
+  void init(ObjectId Obj, uint64_t Value) override { M->init(Obj, Value); }
+  TmStats stats() const override { return M->stats(); }
+  void resetStats() override { M->resetStats(); }
+
+  /// Extracts the recorded history. Call only when all threads have
+  /// finished (quiescent configuration).
+  History takeHistory();
+
+  Tm &innerTm() { return *M; }
+
+private:
+  uint64_t nextTicket() {
+    return Ticket.fetch_add(1, std::memory_order_relaxed);
+  }
+  void finishTxn(ThreadId Tid, TxnOutcome Outcome);
+
+  std::unique_ptr<Tm> M;
+  std::atomic<uint64_t> Ticket{1};
+  std::atomic<uint64_t> NextTxnId{1};
+
+  /// Per-thread recording state: the transaction being built plus the
+  /// thread's completed transactions (merged on takeHistory).
+  struct alignas(PTM_CACHELINE_SIZE) Recorder {
+    TxnRecord Current;
+    bool Building = false;
+    std::vector<TxnRecord> Finished;
+  };
+  std::vector<Recorder> Recorders;
+};
+
+} // namespace ptm
+
+#endif // PTM_HISTORY_RECORDINGTM_H

@@ -1,0 +1,47 @@
+//===-- mutex/ClhMutex.cpp - CLH queue lock --------------------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "mutex/ClhMutex.h"
+
+#include "support/Spin.h"
+
+#include <cassert>
+
+using namespace ptm;
+
+ClhMutex::ClhMutex(unsigned NumThreads)
+    : NumThreads(NumThreads), Tail(NumThreads), Flag(NumThreads + 1),
+      Locals(NumThreads) {
+  // Node n is the pre-released sentinel the first enterer queues behind.
+  Flag[NumThreads].poke(0);
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    Locals[T].MyNode = T;
+    Flag[T].setHome(T);
+  }
+  Flag[NumThreads].setHome(0);
+  Tail.setHome(0);
+}
+
+void ClhMutex::enter(ThreadId Tid) {
+  assert(Tid < NumThreads && "thread id out of range");
+  Local &L = Locals[Tid];
+  Flag[L.MyNode].write(1);
+  L.MyPred = Tail.exchange(L.MyNode);
+  // Spin on the predecessor's node — local in CC after the first load,
+  // remote in DSM (the node belongs to another process).
+  uint32_t Spins = 0;
+  while (Flag[L.MyPred].read() == 1)
+    spinPause(Spins);
+}
+
+void ClhMutex::exit(ThreadId Tid) {
+  assert(Tid < NumThreads && "thread id out of range");
+  Local &L = Locals[Tid];
+  Flag[L.MyNode].write(0);
+  // Recycle: the predecessor's node becomes ours for the next passage.
+  L.MyNode = L.MyPred;
+}

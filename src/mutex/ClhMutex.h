@@ -1,0 +1,52 @@
+//===-- mutex/ClhMutex.h - CLH queue lock -----------------------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Craig/Landin/Hagersten implicit-queue lock: each thread spins on
+/// its predecessor's node. O(1) RMRs per passage in the CC models; in the
+/// DSM model the spin is on *another* process's node, so CLH degrades
+/// there — the classic contrast with MCS, visible in experiment E3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_MUTEX_CLHMUTEX_H
+#define PTM_MUTEX_CLHMUTEX_H
+
+#include "mutex/Mutex.h"
+#include "runtime/BaseObject.h"
+#include "support/Compiler.h"
+
+#include <vector>
+
+namespace ptm {
+
+class ClhMutex final : public Mutex {
+public:
+  explicit ClhMutex(unsigned NumThreads);
+
+  const char *name() const override { return "clh"; }
+  unsigned maxThreads() const override { return NumThreads; }
+
+  void enter(ThreadId Tid) override;
+  void exit(ThreadId Tid) override;
+
+private:
+  unsigned NumThreads;
+  BaseObject Tail;              ///< Index of the most recent node.
+  std::vector<BaseObject> Flag; ///< Per-node: 1 = holder pending.
+
+  /// Thread-local node bookkeeping (nodes recycle through the queue).
+  struct alignas(PTM_CACHELINE_SIZE) Local {
+    uint64_t MyNode = 0;
+    uint64_t MyPred = 0;
+  };
+  std::vector<Local> Locals;
+};
+
+} // namespace ptm
+
+#endif // PTM_MUTEX_CLHMUTEX_H

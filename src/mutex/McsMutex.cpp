@@ -1,0 +1,55 @@
+//===-- mutex/McsMutex.cpp - MCS queue lock --------------------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "mutex/McsMutex.h"
+
+#include "support/Spin.h"
+
+#include <cassert>
+
+using namespace ptm;
+
+McsMutex::McsMutex(unsigned NumThreads)
+    : NumThreads(NumThreads), Tail(0), Next(NumThreads), Wait(NumThreads) {
+  // DSM homes: each thread spins only on its own node.
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    Next[T].setHome(T);
+    Wait[T].setHome(T);
+  }
+  Tail.setHome(0);
+}
+
+void McsMutex::enter(ThreadId Tid) {
+  assert(Tid < NumThreads && "thread id out of range");
+  Next[Tid].write(0);
+  Wait[Tid].write(1);
+  uint64_t Prev = Tail.exchange(Tid + 1);
+  if (Prev == 0)
+    return;
+  // Link behind the predecessor; the wait flag was raised before linking,
+  // so the predecessor's release cannot be lost.
+  Next[Prev - 1].write(Tid + 1);
+  uint32_t Spins = 0;
+  while (Wait[Tid].read() == 1)
+    spinPause(Spins);
+}
+
+void McsMutex::exit(ThreadId Tid) {
+  assert(Tid < NumThreads && "thread id out of range");
+  if (Next[Tid].read() == 0) {
+    // No known successor: try to swing the tail back to empty.
+    uint64_t Expected = Tid + 1;
+    if (Tail.compareAndSwap(Expected, 0))
+      return;
+    // Someone is enqueueing; wait for the link to appear (bounded by the
+    // successor's two steps).
+    uint32_t Spins = 0;
+    while (Next[Tid].read() == 0)
+      spinPause(Spins);
+  }
+  Wait[Next[Tid].read() - 1].write(0);
+}

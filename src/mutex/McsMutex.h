@@ -1,0 +1,46 @@
+//===-- mutex/McsMutex.h - MCS queue lock -----------------------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Mellor-Crummey/Scott queue lock: O(1) RMRs per passage in both the
+/// CC and DSM models. Note that MCS enqueues with *fetch-and-store* — an
+/// unconditional RMW primitive — which is precisely why it sits outside
+/// the hypotheses of the paper's Theorem 9 (reads, writes and conditional
+/// primitives only) and may beat the Ω(n log n) bound.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_MUTEX_MCSMUTEX_H
+#define PTM_MUTEX_MCSMUTEX_H
+
+#include "mutex/Mutex.h"
+#include "runtime/BaseObject.h"
+
+#include <vector>
+
+namespace ptm {
+
+class McsMutex final : public Mutex {
+public:
+  explicit McsMutex(unsigned NumThreads);
+
+  const char *name() const override { return "mcs"; }
+  unsigned maxThreads() const override { return NumThreads; }
+
+  void enter(ThreadId Tid) override;
+  void exit(ThreadId Tid) override;
+
+private:
+  unsigned NumThreads;
+  BaseObject Tail;              ///< 0 = empty, otherwise thread id + 1.
+  std::vector<BaseObject> Next; ///< Per-thread queue node: successor id + 1.
+  std::vector<BaseObject> Wait; ///< Per-thread spin flag, homed at owner.
+};
+
+} // namespace ptm
+
+#endif // PTM_MUTEX_MCSMUTEX_H

@@ -1,0 +1,33 @@
+//===-- mutex/Mutex.cpp - Mutual exclusion interface -----------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "mutex/Mutex.h"
+
+using namespace ptm;
+
+const char *ptm::mutexKindName(MutexKind Kind) {
+  switch (Kind) {
+  case MutexKind::MK_Tas:
+    return "tas";
+  case MutexKind::MK_Ttas:
+    return "ttas";
+  case MutexKind::MK_Ticket:
+    return "ticket";
+  case MutexKind::MK_Mcs:
+    return "mcs";
+  case MutexKind::MK_Clh:
+    return "clh";
+  }
+  return "unknown";
+}
+
+const std::vector<MutexKind> &ptm::allMutexKinds() {
+  static const std::vector<MutexKind> Kinds = {
+      MutexKind::MK_Tas, MutexKind::MK_Ttas, MutexKind::MK_Ticket,
+      MutexKind::MK_Mcs, MutexKind::MK_Clh};
+  return Kinds;
+}

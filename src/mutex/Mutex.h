@@ -1,0 +1,72 @@
+//===-- mutex/Mutex.h - Mutual exclusion interface --------------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mutual-exclusion object of the paper's Section 5: Enter/Exit pairs
+/// guarding a critical section. Implementations are built exclusively on
+/// instrumented BaseObjects so the RMR experiments (E3) can charge every
+/// shared access under the CC and DSM models.
+///
+/// The star of the module is TmMutex — the paper's Algorithm 1, which
+/// turns any strictly serializable, strongly progressive TM into a
+/// deadlock-free, finite-exit mutex with O(1) RMR overhead (Theorem 7).
+/// The classical locks (TAS, TTAS, ticket, MCS, CLH) serve as baselines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_MUTEX_MUTEX_H
+#define PTM_MUTEX_MUTEX_H
+
+#include "runtime/Ids.h"
+#include "stm/Tm.h"
+
+#include <memory>
+#include <vector>
+
+namespace ptm {
+
+/// Abstract mutex. Threads are identified explicitly; each thread must
+/// alternate enter() and exit() calls (well-formed passages).
+class Mutex {
+public:
+  virtual ~Mutex() = default;
+
+  virtual const char *name() const = 0;
+  virtual unsigned maxThreads() const = 0;
+
+  /// Blocks until the calling thread holds the critical section.
+  virtual void enter(ThreadId Tid) = 0;
+
+  /// Releases the critical section. Finite-exit: never blocks.
+  virtual void exit(ThreadId Tid) = 0;
+};
+
+/// The classical baseline lock algorithms.
+enum class MutexKind {
+  MK_Tas,    ///< Test-and-set CAS spin; unbounded RMRs under contention.
+  MK_Ttas,   ///< Test-and-test-and-set; local spin on cached copy.
+  MK_Ticket, ///< Ticket lock (fetch-and-add); FIFO, O(n) CC invalidations.
+  MK_Mcs,    ///< MCS queue lock; O(1) RMR in CC and DSM (uses swap!).
+  MK_Clh,    ///< CLH queue lock; O(1) RMR in CC, remote spin in DSM.
+};
+
+/// Short stable name for a baseline kind.
+const char *mutexKindName(MutexKind Kind);
+
+/// All baseline kinds in presentation order.
+const std::vector<MutexKind> &allMutexKinds();
+
+/// Creates a baseline lock for up to \p NumThreads threads.
+std::unique_ptr<Mutex> createMutex(MutexKind Kind, unsigned NumThreads);
+
+/// Creates the paper's Algorithm 1 lock L(M) where M is a freshly built TM
+/// of kind \p Inner restricted to a single t-object.
+std::unique_ptr<Mutex> createTmMutex(TmKind Inner, unsigned NumThreads);
+
+} // namespace ptm
+
+#endif // PTM_MUTEX_MUTEX_H

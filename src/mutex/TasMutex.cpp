@@ -1,0 +1,78 @@
+//===-- mutex/TasMutex.cpp - Test-and-set spin locks ------------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "mutex/TasMutex.h"
+
+#include "mutex/ClhMutex.h"
+#include "mutex/McsMutex.h"
+#include "mutex/TicketMutex.h"
+#include "support/Spin.h"
+
+#include <cassert>
+
+using namespace ptm;
+
+TasMutex::TasMutex(unsigned NumThreads) : NumThreads(NumThreads), Word(0) {
+  Word.setHome(0);
+}
+
+void TasMutex::enter(ThreadId Tid) {
+  assert(Tid < NumThreads && "thread id out of range");
+  (void)Tid;
+  uint32_t Spins = 0;
+  for (;;) {
+    uint64_t Expected = 0;
+    if (Word.compareAndSwap(Expected, 1))
+      return;
+    spinPause(Spins);
+  }
+}
+
+void TasMutex::exit(ThreadId Tid) {
+  assert(Tid < NumThreads && "thread id out of range");
+  (void)Tid;
+  Word.write(0);
+}
+
+TtasMutex::TtasMutex(unsigned NumThreads) : NumThreads(NumThreads), Word(0) {
+  Word.setHome(0);
+}
+
+void TtasMutex::enter(ThreadId Tid) {
+  assert(Tid < NumThreads && "thread id out of range");
+  (void)Tid;
+  uint32_t Spins = 0;
+  for (;;) {
+    while (Word.read() != 0)
+      spinPause(Spins);
+    uint64_t Expected = 0;
+    if (Word.compareAndSwap(Expected, 1))
+      return;
+  }
+}
+
+void TtasMutex::exit(ThreadId Tid) {
+  assert(Tid < NumThreads && "thread id out of range");
+  (void)Tid;
+  Word.write(0);
+}
+
+std::unique_ptr<Mutex> ptm::createMutex(MutexKind Kind, unsigned NumThreads) {
+  switch (Kind) {
+  case MutexKind::MK_Tas:
+    return std::make_unique<TasMutex>(NumThreads);
+  case MutexKind::MK_Ttas:
+    return std::make_unique<TtasMutex>(NumThreads);
+  case MutexKind::MK_Ticket:
+    return std::make_unique<TicketMutex>(NumThreads);
+  case MutexKind::MK_Mcs:
+    return std::make_unique<McsMutex>(NumThreads);
+  case MutexKind::MK_Clh:
+    return std::make_unique<ClhMutex>(NumThreads);
+  }
+  PTM_UNREACHABLE("unknown mutex kind");
+}

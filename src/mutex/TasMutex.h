@@ -1,0 +1,56 @@
+//===-- mutex/TasMutex.h - Test-and-set spin locks --------------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two canonical CAS spin locks: TAS (CAS in a tight loop — every
+/// failed attempt is an RMR in CC) and TTAS (spin on a cached read, CAS
+/// only when the lock looks free — O(1) RMRs per *release* but still Θ(n)
+/// per passage under contention). Both are the "bad" end of experiment E3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_MUTEX_TASMUTEX_H
+#define PTM_MUTEX_TASMUTEX_H
+
+#include "mutex/Mutex.h"
+#include "runtime/BaseObject.h"
+
+namespace ptm {
+
+class TasMutex final : public Mutex {
+public:
+  explicit TasMutex(unsigned NumThreads);
+
+  const char *name() const override { return "tas"; }
+  unsigned maxThreads() const override { return NumThreads; }
+
+  void enter(ThreadId Tid) override;
+  void exit(ThreadId Tid) override;
+
+private:
+  unsigned NumThreads;
+  BaseObject Word;
+};
+
+class TtasMutex final : public Mutex {
+public:
+  explicit TtasMutex(unsigned NumThreads);
+
+  const char *name() const override { return "ttas"; }
+  unsigned maxThreads() const override { return NumThreads; }
+
+  void enter(ThreadId Tid) override;
+  void exit(ThreadId Tid) override;
+
+private:
+  unsigned NumThreads;
+  BaseObject Word;
+};
+
+} // namespace ptm
+
+#endif // PTM_MUTEX_TASMUTEX_H

@@ -1,0 +1,36 @@
+//===-- mutex/TicketMutex.cpp - Ticket lock --------------------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "mutex/TicketMutex.h"
+
+#include "support/Spin.h"
+
+#include <cassert>
+
+using namespace ptm;
+
+TicketMutex::TicketMutex(unsigned NumThreads)
+    : NumThreads(NumThreads), NextTicket(0), Serving(0) {
+  NextTicket.setHome(0);
+  Serving.setHome(0);
+}
+
+void TicketMutex::enter(ThreadId Tid) {
+  assert(Tid < NumThreads && "thread id out of range");
+  (void)Tid;
+  uint64_t My = NextTicket.fetchAdd(1);
+  uint32_t Spins = 0;
+  while (Serving.read() != My)
+    spinPause(Spins);
+}
+
+void TicketMutex::exit(ThreadId Tid) {
+  assert(Tid < NumThreads && "thread id out of range");
+  (void)Tid;
+  // Only the holder advances Serving, so read-then-write is race-free.
+  Serving.write(Serving.read() + 1);
+}

@@ -1,0 +1,102 @@
+//===-- mutex/TmMutex.cpp - The paper's Algorithm 1 ------------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "mutex/TmMutex.h"
+
+#include "support/Spin.h"
+
+#include <cassert>
+
+using namespace ptm;
+
+TmMutex::TmMutex(std::unique_ptr<Tm> Inner, unsigned NumThreads)
+    : M(std::move(Inner)), NumThreads(NumThreads),
+      Done(static_cast<size_t>(NumThreads) * 2),
+      Succ(static_cast<size_t>(NumThreads) * 2),
+      Lock(static_cast<size_t>(NumThreads) * NumThreads), Faces(NumThreads) {
+  assert(M && "TmMutex needs an inner TM");
+  assert(M->numObjects() >= 1 && "inner TM must manage t-object X");
+  assert(M->maxThreads() >= NumThreads && "inner TM has too few thread slots");
+  Name = std::string("tm-mutex(") + M->name() + ")";
+
+  // DSM homes: every register of process i lives in i's memory segment, so
+  // the Entry spin loop is local (the crux of the Theorem 7 RMR argument).
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    doneReg(T, 0).setHome(T);
+    doneReg(T, 1).setHome(T);
+    succReg(T, 0).setHome(T);
+    succReg(T, 1).setHome(T);
+    for (unsigned H = 0; H < NumThreads; ++H)
+      lockReg(T, H).setHome(T);
+  }
+  M->init(0, kBottom);
+}
+
+uint64_t TmMutex::fetchAndStoreX(ThreadId Tid, uint64_t Tag) {
+  Backoff BO;
+  for (;;) {
+    M->txBegin(Tid);
+    uint64_t Prev;
+    if (M->txRead(Tid, /*Obj=*/0, Prev) && M->txWrite(Tid, /*Obj=*/0, Tag) &&
+        M->txCommit(Tid))
+      return Prev;
+    // Aborted: by (strong) progressiveness some concurrent contender
+    // committed or holds the conflict; back off and retry.
+    BO.spin();
+  }
+}
+
+void TmMutex::enter(ThreadId Tid) {
+  assert(Tid < NumThreads && "thread id out of range");
+
+  // Adopt the alternate identity [p_i, face_i] (Algorithm 1, lines 20-22).
+  Faces[Tid].Face ^= 1;
+  unsigned Face = Faces[Tid].Face;
+  doneReg(Tid, Face).write(0);
+  succReg(Tid, Face).write(0);
+
+  // Enqueue behind the previous tail (lines 23-25).
+  uint64_t Prev = fetchAndStoreX(Tid, encode(Tid, Face));
+  if (Prev == kBottom)
+    return; // No predecessor: straight into the critical section.
+
+  ThreadId PredPid = decodePid(Prev);
+  unsigned PredFace = decodeFace(Prev);
+  assert(PredPid < NumThreads && "corrupt tag read from X");
+
+  // Announce ourselves (lines 27-28): lock our pair register first, then
+  // publish the successor pointer. The predecessor's Exit reads Succ only
+  // after setting Done, so either it sees us and unlocks, or we see Done.
+  lockReg(Tid, PredPid).write(kLocked);
+  succReg(PredPid, PredFace).write(Tid + 1);
+
+  // Wait (lines 29-32): if the predecessor has not finished, spin on our
+  // *local* Lock register until its Exit unlocks it.
+  if (doneReg(PredPid, PredFace).read() == 0) {
+    uint32_t Spins = 0;
+    while (lockReg(Tid, PredPid).read() == kLocked)
+      spinPause(Spins);
+  }
+}
+
+void TmMutex::exit(ThreadId Tid) {
+  assert(Tid < NumThreads && "thread id out of range");
+  unsigned Face = Faces[Tid].Face;
+
+  // Lines 36-37: mark this face done, then release the successor that had
+  // announced itself (if any). Done must be written before Succ is read —
+  // that order is what makes the registration race benign.
+  doneReg(Tid, Face).write(1);
+  uint64_t S = succReg(Tid, Face).read();
+  if (S != 0)
+    lockReg(static_cast<ThreadId>(S - 1), Tid).write(kUnlocked);
+}
+
+std::unique_ptr<Mutex> ptm::createTmMutex(TmKind Inner, unsigned NumThreads) {
+  auto M = createTm(Inner, /*NumObjects=*/1, NumThreads);
+  return std::make_unique<TmMutex>(std::move(M), NumThreads);
+}

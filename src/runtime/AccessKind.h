@@ -1,0 +1,66 @@
+//===-- runtime/AccessKind.h - RMW primitive classification -----*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classification of the read-modify-write primitives a process may apply
+/// to a base object, following Section 2 of the paper: a primitive is
+/// *trivial* if it never changes the object's value, *nontrivial*
+/// otherwise; a nontrivial primitive is *conditional* if there are states
+/// it leaves unchanged (CAS, LL/SC) and *unconditional* otherwise
+/// (write, fetch-and-add, swap).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_RUNTIME_ACCESSKIND_H
+#define PTM_RUNTIME_ACCESSKIND_H
+
+namespace ptm {
+
+/// The primitive applied by one shared-memory event.
+enum class AccessKind {
+  AK_Read,     ///< Trivial: plain atomic load.
+  AK_Write,    ///< Nontrivial, unconditional: plain atomic store.
+  AK_Cas,      ///< Nontrivial, conditional: compare-and-swap.
+  AK_FetchAdd, ///< Nontrivial, unconditional: fetch-and-add.
+  AK_Exchange, ///< Nontrivial, unconditional: fetch-and-store (swap).
+};
+
+/// Returns true if \p Kind may change the base object (any primitive other
+/// than a plain read). Note a CAS event is classified by its primitive, not
+/// by whether this particular application succeeded.
+inline bool isNontrivial(AccessKind Kind) {
+  return Kind != AccessKind::AK_Read;
+}
+
+/// Returns true if \p Kind is a conditional primitive in the sense of
+/// Fich–Hendler–Shavit: some applications leave the object unchanged.
+/// Theorem 9 of the paper covers TMs built from reads, writes and
+/// conditional primitives only; fetch-and-add and swap fall outside it.
+inline bool isConditional(AccessKind Kind) {
+  return Kind == AccessKind::AK_Cas;
+}
+
+/// Short human-readable name for tables and logs.
+inline const char *accessKindName(AccessKind Kind) {
+  switch (Kind) {
+  case AccessKind::AK_Read:
+    return "read";
+  case AccessKind::AK_Write:
+    return "write";
+  case AccessKind::AK_Cas:
+    return "cas";
+  case AccessKind::AK_FetchAdd:
+    return "fetch-add";
+  case AccessKind::AK_Exchange:
+    return "swap";
+  }
+  return "unknown";
+}
+
+} // namespace ptm
+
+#endif // PTM_RUNTIME_ACCESSKIND_H

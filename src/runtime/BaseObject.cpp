@@ -1,0 +1,18 @@
+//===-- runtime/BaseObject.cpp - Instrumented shared base object ----------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/BaseObject.h"
+
+using namespace ptm;
+
+/// Monotonic id source. Object ids only need to be unique within a process;
+/// a relaxed counter suffices.
+static std::atomic<uint64_t> NextObjectId{1};
+
+BaseObject::BaseObject(uint64_t Init, ThreadId Home)
+    : Word(Init), Id(NextObjectId.fetch_add(1, std::memory_order_relaxed)),
+      Home(Home) {}

@@ -1,0 +1,109 @@
+//===-- runtime/BaseObject.h - Instrumented shared base object -*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared-memory cell of the paper's model: a 64-bit word manipulated
+/// only through classified RMW primitives. Every piece of shared state in
+/// the library — orecs, clocks, value cells, lock words, the mutex
+/// registers of Algorithm 1 — is a BaseObject, so step counts, distinct-
+/// object sets and RMRs are measured in exactly the model the paper's
+/// bounds are stated in.
+///
+/// Each object carries a process-unique id (for distinct-object tracking
+/// and the RMR directory) and an optional DSM home process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_RUNTIME_BASEOBJECT_H
+#define PTM_RUNTIME_BASEOBJECT_H
+
+#include "runtime/AccessKind.h"
+#include "runtime/Ids.h"
+#include "runtime/Instrumentation.h"
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace ptm {
+
+/// One instrumented atomic word. Padded to a cache line so that arrays of
+/// base objects do not false-share — important both for the throughput
+/// benchmarks and for making the simulated RMR model match the real layout.
+class alignas(PTM_CACHELINE_SIZE) BaseObject {
+public:
+  /// Creates an object holding \p Init, homed (for the DSM model) at
+  /// \p Home; kNoThread means "remote to everyone".
+  explicit BaseObject(uint64_t Init = 0, ThreadId Home = kNoThread);
+
+  BaseObject(const BaseObject &) = delete;
+  BaseObject &operator=(const BaseObject &) = delete;
+
+  /// Trivial primitive: atomic load.
+  uint64_t read() const {
+    note(AccessKind::AK_Read);
+    return Word.load(std::memory_order_seq_cst);
+  }
+
+  /// Nontrivial unconditional primitive: atomic store.
+  void write(uint64_t Value) {
+    note(AccessKind::AK_Write);
+    Word.store(Value, std::memory_order_seq_cst);
+  }
+
+  /// Nontrivial conditional primitive: single-shot CAS. On failure
+  /// \p Expected is updated with the observed value.
+  bool compareAndSwap(uint64_t &Expected, uint64_t Desired) {
+    note(AccessKind::AK_Cas);
+    return Word.compare_exchange_strong(Expected, Desired,
+                                        std::memory_order_seq_cst);
+  }
+
+  /// Nontrivial unconditional primitive: fetch-and-add. Returns the prior
+  /// value.
+  uint64_t fetchAdd(uint64_t Delta) {
+    note(AccessKind::AK_FetchAdd);
+    return Word.fetch_add(Delta, std::memory_order_seq_cst);
+  }
+
+  /// Nontrivial unconditional primitive: fetch-and-store (swap). Returns
+  /// the prior value. Note: not a conditional primitive, hence outside the
+  /// hypotheses of the paper's Theorem 9 — MCS-style locks exploit this.
+  uint64_t exchange(uint64_t Value) {
+    note(AccessKind::AK_Exchange);
+    return Word.exchange(Value, std::memory_order_seq_cst);
+  }
+
+  /// Non-primitive raw access for initialization and post-quiescence
+  /// inspection only; never counted, never an event of the execution.
+  uint64_t peek() const { return Word.load(std::memory_order_relaxed); }
+  void poke(uint64_t Value) { Word.store(Value, std::memory_order_relaxed); }
+
+  /// Process-unique object id.
+  uint64_t id() const { return Id; }
+
+  /// DSM home process of this object.
+  ThreadId home() const { return Home; }
+
+  /// Reassigns the DSM home. Call only during setup, before the object is
+  /// shared.
+  void setHome(ThreadId NewHome) { Home = NewHome; }
+
+private:
+  void note(AccessKind Kind) const {
+    if (Instrumentation *Instr = Instrumentation::current())
+      Instr->record(Id, Kind, Home);
+  }
+
+  std::atomic<uint64_t> Word;
+  uint64_t Id;
+  ThreadId Home;
+};
+
+} // namespace ptm
+
+#endif // PTM_RUNTIME_BASEOBJECT_H

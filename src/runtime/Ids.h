@@ -1,0 +1,40 @@
+//===-- runtime/Ids.h - Core identifier types -------------------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identifier types shared by the whole library: process (thread) ids in
+/// the sense of the paper's processes p_1..p_n, and t-object ids naming the
+/// data items a TM instance manages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_RUNTIME_IDS_H
+#define PTM_RUNTIME_IDS_H
+
+#include <cstdint>
+
+namespace ptm {
+
+/// Index of a process/thread, 0-based. The paper's p_i corresponds to
+/// ThreadId i-1.
+using ThreadId = uint32_t;
+
+/// Index of a t-object (data item) within one TM instance, 0-based.
+using ObjectId = uint32_t;
+
+/// Sentinel "no thread": used for base objects with no DSM home and for
+/// empty successor/owner fields.
+inline constexpr ThreadId kNoThread = ~0u;
+
+/// Hard cap on concurrent processes an experiment may use. The RMR
+/// simulator keeps one cache-state byte per (object, thread) pair up to
+/// this bound.
+inline constexpr uint32_t kMaxSimThreads = 64;
+
+} // namespace ptm
+
+#endif // PTM_RUNTIME_IDS_H

@@ -1,0 +1,80 @@
+//===-- runtime/Instrumentation.cpp - Step and RMR accounting -------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Instrumentation.h"
+
+#include "runtime/Interleaver.h"
+#include "runtime/RmrSimulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ptm;
+
+static thread_local Instrumentation *CurrentInstr = nullptr;
+
+Instrumentation *Instrumentation::current() { return CurrentInstr; }
+
+void Instrumentation::beginOp() {
+  OpActive = true;
+  OpSteps = 0;
+  OpNontrivial = 0;
+  OpRmrs = 0;
+  OpObjects.clear();
+}
+
+OpStats Instrumentation::endOp() {
+  assert(OpActive && "endOp without matching beginOp");
+  OpActive = false;
+  OpStats Stats;
+  Stats.Steps = OpSteps;
+  Stats.NontrivialSteps = OpNontrivial;
+  Stats.Rmrs = OpRmrs;
+  std::sort(OpObjects.begin(), OpObjects.end());
+  Stats.DistinctObjects = static_cast<uint64_t>(
+      std::unique(OpObjects.begin(), OpObjects.end()) - OpObjects.begin());
+  return Stats;
+}
+
+void Instrumentation::record(uint64_t ObjId, AccessKind Kind, ThreadId Home) {
+  // Serialize shared-memory events under the experiment's schedule before
+  // anything is charged, so the simulator observes the same order.
+  if (Sched)
+    Sched->step(Tid);
+  ++TotalSteps;
+  bool Nontrivial = isNontrivial(Kind);
+  if (Nontrivial)
+    ++TotalNontrivial;
+
+  bool IsRmr = false;
+  if (Rmr)
+    IsRmr = Rmr->access(Tid, ObjId, Kind, Home);
+  if (IsRmr)
+    ++TotalRmrs;
+
+  if (!OpActive)
+    return;
+  ++OpSteps;
+  if (Nontrivial)
+    ++OpNontrivial;
+  if (IsRmr)
+    ++OpRmrs;
+  OpObjects.push_back(ObjId);
+}
+
+void Instrumentation::resetTotals() {
+  TotalSteps = 0;
+  TotalNontrivial = 0;
+  TotalRmrs = 0;
+}
+
+ScopedInstrumentation::ScopedInstrumentation(Instrumentation &Instr)
+    : Previous(CurrentInstr) {
+  CurrentInstr = &Instr;
+}
+
+ScopedInstrumentation::~ScopedInstrumentation() { CurrentInstr = Previous; }

@@ -1,0 +1,115 @@
+//===-- runtime/Instrumentation.h - Step and RMR accounting ----*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-thread measurement context for the paper's complexity metrics:
+///
+///  * **steps** — the number of RMW primitive applications on base objects
+///    (events of the process, Section 2); local computation is free;
+///  * **distinct base objects** accessed during a bracketed interval (the
+///    space metric of Theorem 3(2));
+///  * **RMRs** charged by an attached RmrSimulator (Section 5).
+///
+/// A thread opts in by installing an Instrumentation via ScopedInstrumentation;
+/// when none is installed, BaseObject accesses run at bare-atomic cost.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_RUNTIME_INSTRUMENTATION_H
+#define PTM_RUNTIME_INSTRUMENTATION_H
+
+#include "runtime/AccessKind.h"
+#include "runtime/Ids.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ptm {
+
+class RmrSimulator;
+class TokenInterleaver;
+
+/// Aggregate counters for one bracketed interval (usually one t-operation).
+struct OpStats {
+  uint64_t Steps = 0;           ///< Primitive applications.
+  uint64_t NontrivialSteps = 0; ///< Applications of nontrivial primitives.
+  uint64_t DistinctObjects = 0; ///< Distinct base objects touched.
+  uint64_t Rmrs = 0;            ///< Remote memory references (if simulating).
+};
+
+/// Measurement sink for one thread. Not thread-safe: each thread owns its
+/// instance and installs it thread-locally.
+class Instrumentation {
+public:
+  /// Creates a context for process \p Tid, optionally charging RMRs to
+  /// \p Rmr and serializing accesses through \p Sched (both shared across
+  /// the experiment's threads).
+  explicit Instrumentation(ThreadId Tid, RmrSimulator *Rmr = nullptr,
+                           TokenInterleaver *Sched = nullptr)
+      : Tid(Tid), Rmr(Rmr), Sched(Sched) {}
+
+  /// Returns the context installed on the calling thread, or null.
+  static Instrumentation *current();
+
+  /// Begins a bracketed interval; per-op counters reset. Intervals may span
+  /// several TM calls (e.g. "last t-read plus tryCommit" in E2).
+  void beginOp();
+
+  /// Ends the interval and returns its counters.
+  OpStats endOp();
+
+  /// Called by BaseObject on every access. Updates both the running totals
+  /// and, if an interval is open, the per-op counters.
+  void record(uint64_t ObjId, AccessKind Kind, ThreadId Home);
+
+  /// Running totals since construction or resetTotals().
+  uint64_t totalSteps() const { return TotalSteps; }
+  uint64_t totalNontrivialSteps() const { return TotalNontrivial; }
+  uint64_t totalRmrs() const { return TotalRmrs; }
+
+  /// Clears the running totals (per-op state is unaffected).
+  void resetTotals();
+
+  ThreadId threadId() const { return Tid; }
+  RmrSimulator *rmrSimulator() const { return Rmr; }
+  TokenInterleaver *scheduler() const { return Sched; }
+
+private:
+  friend class ScopedInstrumentation;
+
+  ThreadId Tid;
+  RmrSimulator *Rmr;
+  TokenInterleaver *Sched;
+
+  uint64_t TotalSteps = 0;
+  uint64_t TotalNontrivial = 0;
+  uint64_t TotalRmrs = 0;
+
+  bool OpActive = false;
+  uint64_t OpSteps = 0;
+  uint64_t OpNontrivial = 0;
+  uint64_t OpRmrs = 0;
+  std::vector<uint64_t> OpObjects;
+};
+
+/// Installs an Instrumentation on the calling thread for the current scope
+/// and restores the previous one on exit.
+class ScopedInstrumentation {
+public:
+  explicit ScopedInstrumentation(Instrumentation &Instr);
+  ~ScopedInstrumentation();
+
+  ScopedInstrumentation(const ScopedInstrumentation &) = delete;
+  ScopedInstrumentation &operator=(const ScopedInstrumentation &) = delete;
+
+private:
+  Instrumentation *Previous;
+};
+
+} // namespace ptm
+
+#endif // PTM_RUNTIME_INSTRUMENTATION_H

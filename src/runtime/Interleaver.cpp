@@ -1,0 +1,82 @@
+//===-- runtime/Interleaver.cpp - Step-level schedule control -------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Interleaver.h"
+
+#include "support/Compiler.h"
+
+#include <cassert>
+#include <thread>
+
+using namespace ptm;
+
+TokenInterleaver::TokenInterleaver(unsigned NumThreads)
+    : NumThreads(NumThreads),
+      Active(std::make_unique<std::atomic<bool>[]>(NumThreads)) {
+  assert(NumThreads > 0 && "scheduler needs at least one thread");
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Active[T].store(true, std::memory_order_relaxed);
+}
+
+void TokenInterleaver::waitForToken(ThreadId Tid) {
+  // Hosts are frequently oversubscribed (more simulated threads than
+  // cores): spin briefly, then yield so the token holder can run.
+  unsigned Spins = 0;
+  while (Token.load(std::memory_order_acquire) != Tid) {
+    if (++Spins < 64)
+      cpuRelax();
+    else {
+      std::this_thread::yield();
+      Spins = 0;
+    }
+  }
+}
+
+void TokenInterleaver::step(ThreadId Tid) {
+  assert(Tid < NumThreads && "thread id out of range");
+  waitForToken(Tid);
+  advanceFrom(Tid);
+}
+
+void TokenInterleaver::retire(ThreadId Tid) {
+  assert(Tid < NumThreads && "thread id out of range");
+  // Take our turn once more so the token is provably here, mark ourselves
+  // inactive, then pass it on.
+  waitForToken(Tid);
+  Active[Tid].store(false, std::memory_order_release);
+  advanceFrom(Tid);
+}
+
+void TokenInterleaver::advanceFrom(unsigned Tid) {
+  unsigned Next = pickNext(Tid);
+  if (Next >= NumThreads)
+    return; // No active thread remains; the parked token is moot.
+  assert(isActive(Next) && "policy handed the token to a retired thread");
+  Token.store(Next, std::memory_order_release);
+}
+
+unsigned TokenInterleaver::nextActiveFrom(unsigned From) const {
+  for (unsigned Offset = 0; Offset < NumThreads; ++Offset) {
+    unsigned Candidate = (From + Offset) % NumThreads;
+    if (isActive(Candidate))
+      return Candidate;
+  }
+  return NumThreads;
+}
+
+unsigned RoundRobinInterleaver::pickNext(unsigned Current) {
+  return nextActiveFrom((Current + 1) % numThreads());
+}
+
+unsigned RandomInterleaver::pickNext(unsigned Current) {
+  (void)Current;
+  // Draw a random start and take the next active thread from there; the
+  // walk may stay on the same thread (bursty schedules are legal and
+  // worth exploring).
+  unsigned Start = static_cast<unsigned>(Rng.nextBounded(numThreads()));
+  return nextActiveFrom(Start);
+}

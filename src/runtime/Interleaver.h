@@ -1,0 +1,112 @@
+//===-- runtime/Interleaver.h - Step-level schedule control -----*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token-based control over the interleaving of base-object accesses
+/// across threads. The paper's complexity model is about *event
+/// interleavings*, not wall-clock overlap; on a small host the OS happily
+/// runs threads in long sequential bursts, which hides all contention.
+/// Hooking an interleaver into Instrumentation serializes execution one
+/// shared-memory event at a time, under a policy chosen per experiment:
+///
+///  * RoundRobinInterleaver — a dense, fair schedule; the RMR experiment
+///    (E3) uses it so contention materializes deterministically.
+///  * RandomInterleaver — a seeded random walk over the active threads;
+///    the schedule-exploration property tests use it as a lightweight
+///    model checker (every explored interleaving must yield an opaque
+///    history).
+///
+/// Threads whose turn it is not spin; a thread that stops accessing
+/// shared memory (finished its passages) must retire() so the token skips
+/// it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_RUNTIME_INTERLEAVER_H
+#define PTM_RUNTIME_INTERLEAVER_H
+
+#include "runtime/Ids.h"
+#include "support/Random.h"
+
+#include <atomic>
+#include <memory>
+
+namespace ptm {
+
+/// Base token scheduler over a fixed set of threads: exactly one thread
+/// may pass through step() at a time, and the successor is chosen by the
+/// subclass policy. pickNext() runs while holding the token, so policies
+/// may keep unsynchronized state.
+class TokenInterleaver {
+public:
+  virtual ~TokenInterleaver() = default;
+
+  TokenInterleaver(const TokenInterleaver &) = delete;
+  TokenInterleaver &operator=(const TokenInterleaver &) = delete;
+
+  /// Blocks until it is \p Tid's turn, then passes the token onward.
+  /// Called (via Instrumentation) before every base-object access.
+  void step(ThreadId Tid);
+
+  /// Removes \p Tid from the rotation (waits for its turn first, so the
+  /// hand-off is clean). Call exactly once, after the thread's last
+  /// base-object access.
+  void retire(ThreadId Tid);
+
+  unsigned numThreads() const { return NumThreads; }
+
+protected:
+  explicit TokenInterleaver(unsigned NumThreads);
+
+  /// Returns the thread to receive the token after \p Current. Must
+  /// return an active thread if any exists; called token-held.
+  virtual unsigned pickNext(unsigned Current) = 0;
+
+  bool isActive(unsigned Tid) const {
+    return Active[Tid].load(std::memory_order_acquire);
+  }
+
+  /// Next active thread at or after \p From (wrapping); NumThreads if
+  /// none.
+  unsigned nextActiveFrom(unsigned From) const;
+
+private:
+  void waitForToken(ThreadId Tid);
+  void advanceFrom(unsigned Tid);
+
+  unsigned NumThreads;
+  std::atomic<uint32_t> Token{0};
+  std::unique_ptr<std::atomic<bool>[]> Active;
+};
+
+/// Fair, dense schedule: threads take turns in index order.
+class RoundRobinInterleaver final : public TokenInterleaver {
+public:
+  explicit RoundRobinInterleaver(unsigned NumThreads)
+      : TokenInterleaver(NumThreads) {}
+
+protected:
+  unsigned pickNext(unsigned Current) override;
+};
+
+/// Seeded random walk over the active threads: adjacent events may stay
+/// on one thread (bursts) or bounce arbitrarily. Deterministic per seed.
+class RandomInterleaver final : public TokenInterleaver {
+public:
+  RandomInterleaver(unsigned NumThreads, uint64_t Seed)
+      : TokenInterleaver(NumThreads), Rng(Seed) {}
+
+protected:
+  unsigned pickNext(unsigned Current) override;
+
+private:
+  Xoshiro256 Rng; // Guarded by token ownership.
+};
+
+} // namespace ptm
+
+#endif // PTM_RUNTIME_INTERLEAVER_H

@@ -1,0 +1,110 @@
+//===-- runtime/RmrSimulator.cpp - Remote-memory-reference model ----------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/RmrSimulator.h"
+
+#include <cassert>
+
+using namespace ptm;
+
+const char *ptm::memoryModelName(MemoryModelKind Kind) {
+  switch (Kind) {
+  case MemoryModelKind::MM_CcWriteThrough:
+    return "cc-wt";
+  case MemoryModelKind::MM_CcWriteBack:
+    return "cc-wb";
+  case MemoryModelKind::MM_Dsm:
+    return "dsm";
+  }
+  return "unknown";
+}
+
+RmrSimulator::RmrSimulator(MemoryModelKind Kind, unsigned NumThreads)
+    : Kind(Kind), NumThreads(NumThreads) {
+  assert(NumThreads > 0 && NumThreads <= kMaxSimThreads &&
+         "thread count out of simulator range");
+}
+
+namespace {
+/// RAII spin-lock guard over a shard's atomic_flag.
+class ShardGuard {
+public:
+  explicit ShardGuard(std::atomic_flag &Flag) : Flag(Flag) {
+    while (Flag.test_and_set(std::memory_order_acquire))
+      cpuRelax();
+  }
+  ~ShardGuard() { Flag.clear(std::memory_order_release); }
+
+private:
+  std::atomic_flag &Flag;
+};
+} // namespace
+
+bool RmrSimulator::access(ThreadId Tid, uint64_t ObjId, AccessKind Kind,
+                          ThreadId Home) {
+  assert(Tid < NumThreads && "accessing thread outside simulated set");
+
+  // DSM needs no cache state: locality is fixed by the home assignment.
+  // An object with no home (kNoThread) is remote to every process, the
+  // conservative reading of "each register is assigned to a single
+  // process".
+  if (this->Kind == MemoryModelKind::MM_Dsm)
+    return Home == kNoThread || Home != Tid;
+
+  Shard &S = Shards[ObjId % NumShards];
+  ShardGuard Guard(S.Lock);
+  return accessCc(S, Tid, ObjId, isNontrivial(Kind));
+}
+
+bool RmrSimulator::accessCc(Shard &S, ThreadId Tid, uint64_t ObjId,
+                            bool WriteLike) {
+  Line &L = S.Lines[ObjId];
+
+  if (Kind == MemoryModelKind::MM_CcWriteThrough) {
+    if (!WriteLike) {
+      if (L.State[Tid] != CS_Invalid)
+        return false;
+      L.State[Tid] = CS_Shared;
+      return true;
+    }
+    // Write-through: every nontrivial primitive goes to memory and
+    // invalidates all other cached copies. The writer retains a valid
+    // (shared) copy, the standard reading of the protocol.
+    for (unsigned T = 0; T < NumThreads; ++T)
+      if (T != Tid)
+        L.State[T] = CS_Invalid;
+    L.State[Tid] = CS_Shared;
+    return true;
+  }
+
+  assert(Kind == MemoryModelKind::MM_CcWriteBack && "unexpected model");
+  if (!WriteLike) {
+    if (L.State[Tid] != CS_Invalid)
+      return false;
+    // Read miss: write back and invalidate exclusive holders, then cache
+    // the line in shared mode (paper Section 5, write-back CC).
+    for (unsigned T = 0; T < NumThreads; ++T)
+      if (T != Tid && L.State[T] == CS_Exclusive)
+        L.State[T] = CS_Invalid;
+    L.State[Tid] = CS_Shared;
+    return true;
+  }
+  if (L.State[Tid] == CS_Exclusive)
+    return false;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    if (T != Tid)
+      L.State[T] = CS_Invalid;
+  L.State[Tid] = CS_Exclusive;
+  return true;
+}
+
+void RmrSimulator::reset() {
+  for (Shard &S : Shards) {
+    ShardGuard Guard(S.Lock);
+    S.Lines.clear();
+  }
+}

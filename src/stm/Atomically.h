@@ -1,0 +1,125 @@
+//===-- stm/Atomically.h - Transaction retry combinator ---------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The application-facing way to run a transaction: `atomically` wraps a
+/// body lambda in begin / commit with automatic retry-on-abort and
+/// exponential backoff. Because the library is exception-free, the body
+/// receives a TxRef whose operations become no-ops once the transaction
+/// has aborted ("zombie" suppression): opaque TMs never expose
+/// inconsistent values, and a body that keeps running after failure simply
+/// performs dead local computation until it returns.
+///
+/// \code
+///   bool Ok = atomically(M, Tid, [&](TxRef &Tx) {
+///     uint64_t A = Tx.readOr(0, 0);
+///     Tx.write(1, A + 1);
+///   });
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_STM_ATOMICALLY_H
+#define PTM_STM_ATOMICALLY_H
+
+#include "stm/Tm.h"
+#include "support/Spin.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace ptm {
+
+/// Handle to the transaction currently executing a body passed to
+/// atomically(). All operations are forwarded to the underlying TM until
+/// the first abort, after which they become no-ops and failed() is true.
+class TxRef {
+public:
+  TxRef(Tm &M, ThreadId Tid) : M(M), Tid(Tid) {}
+
+  /// t-read; returns false (leaving \p Value untouched) once failed.
+  bool read(ObjectId Obj, uint64_t &Value) {
+    if (Failed)
+      return false;
+    if (!M.txRead(Tid, Obj, Value)) {
+      Failed = true;
+      return false;
+    }
+    return true;
+  }
+
+  /// t-read convenience: the value, or \p Default after failure.
+  uint64_t readOr(ObjectId Obj, uint64_t Default) {
+    uint64_t Value = Default;
+    read(Obj, Value);
+    return Value;
+  }
+
+  /// t-write; returns false once failed.
+  bool write(ObjectId Obj, uint64_t Value) {
+    if (Failed)
+      return false;
+    if (!M.txWrite(Tid, Obj, Value)) {
+      Failed = true;
+      return false;
+    }
+    return true;
+  }
+
+  /// Requests a voluntary abort; atomically() will *not* retry (a user
+  /// abort is a decision, not contention).
+  void userAbort() {
+    if (Failed)
+      return;
+    M.txAbort(Tid);
+    Failed = true;
+    UserAborted = true;
+  }
+
+  /// True once any operation aborted (or userAbort was called).
+  bool failed() const { return Failed; }
+
+  /// True if the failure was a voluntary userAbort().
+  bool userAborted() const { return UserAborted; }
+
+  ThreadId threadId() const { return Tid; }
+  Tm &tm() { return M; }
+
+private:
+  Tm &M;
+  ThreadId Tid;
+  bool Failed = false;
+  bool UserAborted = false;
+};
+
+/// Runs \p Body inside a transaction on thread \p Tid, retrying on
+/// contention aborts with exponential backoff. Returns true iff a commit
+/// succeeded. \p MaxAttempts of 0 means "retry until committed or
+/// voluntarily aborted".
+template <typename BodyFn>
+bool atomically(Tm &M, ThreadId Tid, BodyFn &&Body, unsigned MaxAttempts = 0) {
+  Backoff BO;
+  for (unsigned Attempt = 0; MaxAttempts == 0 || Attempt < MaxAttempts;
+       ++Attempt) {
+    M.txBegin(Tid);
+    TxRef Tx(M, Tid);
+    Body(Tx);
+    if (Tx.userAborted())
+      return false;
+    if (!Tx.failed()) {
+      if (M.txCommit(Tid))
+        return true;
+    }
+    // Aborted by contention: back off and retry.
+    BO.spin();
+  }
+  return false;
+}
+
+} // namespace ptm
+
+#endif // PTM_STM_ATOMICALLY_H

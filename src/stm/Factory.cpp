@@ -1,0 +1,39 @@
+//===-- stm/Factory.cpp - TM factory ---------------------------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/GlobalLockTm.h"
+#include "stm/NorecTm.h"
+#include "stm/OrecEagerTm.h"
+#include "stm/OrecIncrementalTm.h"
+#include "stm/Tl2Tm.h"
+#include "stm/TlrwTm.h"
+#include "stm/Tm.h"
+#include "stm/TmlTm.h"
+#include "support/Compiler.h"
+
+using namespace ptm;
+
+std::unique_ptr<Tm> ptm::createTm(TmKind Kind, unsigned NumObjects,
+                                  unsigned MaxThreads) {
+  switch (Kind) {
+  case TmKind::TK_GlobalLock:
+    return std::make_unique<GlobalLockTm>(NumObjects, MaxThreads);
+  case TmKind::TK_Tl2:
+    return std::make_unique<Tl2Tm>(NumObjects, MaxThreads);
+  case TmKind::TK_Norec:
+    return std::make_unique<NorecTm>(NumObjects, MaxThreads);
+  case TmKind::TK_OrecIncremental:
+    return std::make_unique<OrecIncrementalTm>(NumObjects, MaxThreads);
+  case TmKind::TK_OrecEager:
+    return std::make_unique<OrecEagerTm>(NumObjects, MaxThreads);
+  case TmKind::TK_Tlrw:
+    return std::make_unique<TlrwTm>(NumObjects, MaxThreads);
+  case TmKind::TK_Tml:
+    return std::make_unique<TmlTm>(NumObjects, MaxThreads);
+  }
+  PTM_UNREACHABLE("unknown TM kind");
+}

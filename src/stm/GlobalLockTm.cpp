@@ -1,0 +1,66 @@
+//===-- stm/GlobalLockTm.cpp - Single-global-lock TM ----------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/GlobalLockTm.h"
+
+#include "support/Spin.h"
+
+using namespace ptm;
+
+GlobalLockTm::GlobalLockTm(unsigned NumObjects, unsigned MaxThreads)
+    : TmBase(NumObjects, MaxThreads), Lock(0), Descs(MaxThreads) {}
+
+void GlobalLockTm::txBegin(ThreadId Tid) {
+  slotBegin(Tid);
+  Desc &D = Descs[Tid];
+  D.UndoLog.clear();
+  // Acquire the global lock for the whole transaction. The wait is bounded
+  // by the holder's transaction length, so this blocks but cannot deadlock.
+  uint32_t Spins = 0;
+  for (;;) {
+    uint64_t Expected = 0;
+    if (Lock.compareAndSwap(Expected, 1))
+      return;
+    while (Lock.read() != 0)
+      spinPause(Spins);
+  }
+}
+
+bool GlobalLockTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
+  assert(txActive(Tid) && "t-read outside a transaction");
+  assert(Obj < numObjects() && "object id out of range");
+  (void)Tid;
+  Value = Values[Obj].read();
+  return true;
+}
+
+bool GlobalLockTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
+  assert(txActive(Tid) && "t-write outside a transaction");
+  assert(Obj < numObjects() && "object id out of range");
+  Descs[Tid].UndoLog.push_back({Obj, Values[Obj].read()});
+  Values[Obj].write(Value);
+  return true;
+}
+
+bool GlobalLockTm::txCommit(ThreadId Tid) {
+  assert(txActive(Tid) && "tryCommit outside a transaction");
+  releaseLock();
+  return slotCommit(Tid);
+}
+
+void GlobalLockTm::txAbort(ThreadId Tid) {
+  assert(txActive(Tid) && "abort outside a transaction");
+  rollback(Descs[Tid]);
+  releaseLock();
+  slotAbort(Tid, AbortCause::AC_User);
+}
+
+void GlobalLockTm::rollback(Desc &D) {
+  for (auto It = D.UndoLog.rbegin(), End = D.UndoLog.rend(); It != End; ++It)
+    Values[It->Obj].write(It->Value);
+  D.UndoLog.clear();
+}

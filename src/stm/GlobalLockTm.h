@@ -1,0 +1,54 @@
+//===-- stm/GlobalLockTm.h - Single-global-lock TM --------------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simplest correct TM: one global test-and-set lock serializes all
+/// transactions. Transactions never abort involuntarily, so the TM is
+/// trivially progressive and strongly progressive; it is opaque (fully
+/// serialized) but maximally non-disjoint-access-parallel — the baseline
+/// "other end" of the paper's property space.
+///
+/// Writes are performed in place under the lock with an undo log so that
+/// voluntary aborts roll back.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_STM_GLOBALLOCKTM_H
+#define PTM_STM_GLOBALLOCKTM_H
+
+#include "stm/TmBase.h"
+#include "stm/WriteSet.h"
+
+namespace ptm {
+
+class GlobalLockTm final : public TmBase {
+public:
+  GlobalLockTm(unsigned NumObjects, unsigned MaxThreads);
+
+  TmKind kind() const override { return TmKind::TK_GlobalLock; }
+
+  void txBegin(ThreadId Tid) override;
+  bool txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) override;
+  bool txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) override;
+  bool txCommit(ThreadId Tid) override;
+  void txAbort(ThreadId Tid) override;
+
+private:
+  struct alignas(PTM_CACHELINE_SIZE) Desc {
+    std::vector<WriteEntry> UndoLog;
+  };
+
+  void releaseLock() { Lock.write(0); }
+  void rollback(Desc &D);
+
+  BaseObject Lock; // 0 = free, 1 = held.
+  std::vector<Desc> Descs;
+};
+
+} // namespace ptm
+
+#endif // PTM_STM_GLOBALLOCKTM_H

@@ -1,0 +1,113 @@
+//===-- stm/NorecTm.cpp - NOrec: no ownership records ----------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/NorecTm.h"
+
+#include "support/Spin.h"
+
+using namespace ptm;
+
+NorecTm::NorecTm(unsigned NumObjects, unsigned MaxThreads)
+    : TmBase(NumObjects, MaxThreads), Seq(0), Descs(MaxThreads) {}
+
+void NorecTm::resetDesc(Desc &D) {
+  D.Reads.clear();
+  D.Writes.clear();
+}
+
+uint64_t NorecTm::waitEven() {
+  // A committer holds the lock only for its bounded write-back phase, so
+  // this wait is finite.
+  uint32_t Spins = 0;
+  for (;;) {
+    uint64_t Time = Seq.read();
+    if ((Time & 1) == 0)
+      return Time;
+    spinPause(Spins);
+  }
+}
+
+void NorecTm::txBegin(ThreadId Tid) {
+  slotBegin(Tid);
+  Desc &D = Descs[Tid];
+  resetDesc(D);
+  D.Snapshot = waitEven();
+}
+
+uint64_t NorecTm::validate(Desc &D) {
+  for (;;) {
+    uint64_t Time = waitEven();
+    for (const ReadEntry &E : D.Reads)
+      if (Values[E.Obj].read() != E.Value)
+        return kValidateFailed;
+    // If the clock did not move while we re-read, all values coexisted at
+    // Time, which becomes the new snapshot.
+    if (Seq.read() == Time)
+      return Time;
+  }
+}
+
+bool NorecTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
+  assert(txActive(Tid) && "t-read outside a transaction");
+  assert(Obj < numObjects() && "object id out of range");
+  Desc &D = Descs[Tid];
+
+  if (D.Writes.lookup(Obj, Value))
+    return true;
+
+  Value = Values[Obj].read();
+  while (Seq.read() != D.Snapshot) {
+    uint64_t Fresh = validate(D);
+    if (Fresh == kValidateFailed)
+      return slotAbort(Tid, AbortCause::AC_ReadValidation);
+    D.Snapshot = Fresh;
+    Value = Values[Obj].read();
+  }
+
+  D.Reads.push_back({Obj, Value});
+  return true;
+}
+
+bool NorecTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
+  assert(txActive(Tid) && "t-write outside a transaction");
+  assert(Obj < numObjects() && "object id out of range");
+  Descs[Tid].Writes.insertOrUpdate(Obj, Value);
+  return true;
+}
+
+bool NorecTm::txCommit(ThreadId Tid) {
+  assert(txActive(Tid) && "tryCommit outside a transaction");
+  Desc &D = Descs[Tid];
+
+  // Read-only fast path: every read was consistent at the snapshot that
+  // was current when it executed.
+  if (D.Writes.empty())
+    return slotCommit(Tid);
+
+  // Take the sequence lock at our snapshot; each failure means someone
+  // committed, so revalidate and retry from their clock value. Each retry
+  // is justified by another transaction's commit (strong progressiveness).
+  uint64_t Expected = D.Snapshot;
+  while (!Seq.compareAndSwap(Expected, D.Snapshot + 1)) {
+    uint64_t Fresh = validate(D);
+    if (Fresh == kValidateFailed)
+      return slotAbort(Tid, AbortCause::AC_CommitValidation);
+    D.Snapshot = Fresh;
+    Expected = D.Snapshot;
+  }
+
+  for (const WriteEntry &W : D.Writes)
+    Values[W.Obj].write(W.Value);
+  Seq.write(D.Snapshot + 2);
+  return slotCommit(Tid);
+}
+
+void NorecTm::txAbort(ThreadId Tid) {
+  assert(txActive(Tid) && "abort outside a transaction");
+  resetDesc(Descs[Tid]);
+  slotAbort(Tid, AbortCause::AC_User);
+}

@@ -1,0 +1,73 @@
+//===-- stm/NorecTm.h - NOrec: no ownership records -------------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// NOrec (Dalessandro, Spear, Scott, PPoPP 2010 — the paper's reference
+/// [6]): a single global sequence lock plus *value-based* validation. Reads
+/// are invisible; a transaction revalidates its read set (by re-reading
+/// values) only when the global clock moved.
+///
+/// Role in the reproduction: like TL2, NOrec trades weak DAP for cheap
+/// validation — disjoint transactions contend on the sequence lock, so the
+/// Theorem 3 quadratic bound does not apply; uncontended read-only
+/// transactions run in Θ(m) steps. NOrec is also the second point in the
+/// validation-strategy ablation (E6): value-based instead of version-based.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_STM_NORECTM_H
+#define PTM_STM_NORECTM_H
+
+#include "stm/TmBase.h"
+#include "stm/WriteSet.h"
+
+namespace ptm {
+
+class NorecTm final : public TmBase {
+public:
+  NorecTm(unsigned NumObjects, unsigned MaxThreads);
+
+  TmKind kind() const override { return TmKind::TK_Norec; }
+
+  void txBegin(ThreadId Tid) override;
+  bool txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) override;
+  bool txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) override;
+  bool txCommit(ThreadId Tid) override;
+  void txAbort(ThreadId Tid) override;
+
+private:
+  /// One read-set entry: the value observed, for value-based revalidation.
+  struct ReadEntry {
+    ObjectId Obj;
+    uint64_t Value;
+  };
+
+  struct alignas(PTM_CACHELINE_SIZE) Desc {
+    uint64_t Snapshot = 0;
+    std::vector<ReadEntry> Reads;
+    WriteSet Writes;
+  };
+
+  static constexpr uint64_t kValidateFailed = ~uint64_t{0};
+
+  /// Spins until the sequence lock is even (no committer in its write-back
+  /// phase) and returns that even value.
+  uint64_t waitEven();
+
+  /// Re-reads every read-set entry; returns a fresh even snapshot at which
+  /// all values still hold, or kValidateFailed.
+  uint64_t validate(Desc &D);
+
+  void resetDesc(Desc &D);
+
+  BaseObject Seq; ///< Global sequence lock (even = free); breaks weak DAP.
+  std::vector<Desc> Descs;
+};
+
+} // namespace ptm
+
+#endif // PTM_STM_NORECTM_H

@@ -1,0 +1,155 @@
+//===-- stm/OrecEagerTm.cpp - Eager orec TM with incremental validation ---===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/OrecEagerTm.h"
+
+using namespace ptm;
+
+OrecEagerTm::OrecEagerTm(unsigned NumObjects, unsigned MaxThreads)
+    : TmBase(NumObjects, MaxThreads), Orecs(NumObjects), Descs(MaxThreads) {}
+
+void OrecEagerTm::txBegin(ThreadId Tid) {
+  slotBegin(Tid);
+  Desc &D = Descs[Tid];
+  D.Reads.clear();
+  D.Owned.clear();
+}
+
+const OrecEagerTm::OwnEntry *OrecEagerTm::findOwned(const Desc &D,
+                                                    ObjectId Obj) const {
+  for (const OwnEntry &E : D.Owned)
+    if (E.Obj == Obj)
+      return &E;
+  return nullptr;
+}
+
+bool OrecEagerTm::validateReadSet(const Desc &D, ThreadId Tid) const {
+  // A read-set entry is valid if its version is unchanged, or if we later
+  // locked the object ourselves and its pre-lock version matches what we
+  // read.
+  for (const ReadEntry &E : D.Reads) {
+    uint64_t Cur = Orecs[E.Obj].read();
+    if (Cur == makeVersion(E.Version))
+      continue;
+    if (Cur == makeLocked(Tid)) {
+      const OwnEntry *Own = findOwned(D, E.Obj);
+      if (Own && versionOf(Own->PreLockWord) == E.Version)
+        continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+bool OrecEagerTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
+  assert(txActive(Tid) && "t-read outside a transaction");
+  assert(Obj < numObjects() && "object id out of range");
+  Desc &D = Descs[Tid];
+
+  // Own writes are in place: read directly.
+  if (findOwned(D, Obj)) {
+    Value = Values[Obj].read();
+    return true;
+  }
+
+  // Invisible consistent read, then incremental validation — same
+  // Theorem 3 cost structure as the lazy variant.
+  uint64_t Pre = Orecs[Obj].read();
+  if (isLocked(Pre)) {
+    rollbackAndRelease(D);
+    return slotAbort(Tid, AbortCause::AC_LockHeld);
+  }
+  Value = Values[Obj].read();
+  uint64_t Post = Orecs[Obj].read();
+  if (Post != Pre) {
+    rollbackAndRelease(D);
+    return slotAbort(Tid, AbortCause::AC_ReadValidation);
+  }
+  if (!validateReadSet(D, Tid)) {
+    rollbackAndRelease(D);
+    return slotAbort(Tid, AbortCause::AC_ReadValidation);
+  }
+
+  bool Known = false;
+  for (const ReadEntry &E : D.Reads) {
+    if (E.Obj == Obj) {
+      Known = true;
+      break;
+    }
+  }
+  if (!Known)
+    D.Reads.push_back({Obj, versionOf(Pre)});
+  return true;
+}
+
+bool OrecEagerTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
+  assert(txActive(Tid) && "t-write outside a transaction");
+  assert(Obj < numObjects() && "object id out of range");
+  Desc &D = Descs[Tid];
+
+  // Encounter-time acquisition: lock on first write, update in place.
+  if (!findOwned(D, Obj)) {
+    uint64_t Cur = Orecs[Obj].read();
+    if (isLocked(Cur)) {
+      rollbackAndRelease(D);
+      return slotAbort(Tid, AbortCause::AC_LockHeld);
+    }
+    if (!Orecs[Obj].compareAndSwap(Cur, makeLocked(Tid))) {
+      rollbackAndRelease(D);
+      return slotAbort(Tid, AbortCause::AC_LockHeld);
+    }
+    // If we read this object earlier, the acquisition must not have
+    // raced with a concurrent commit to it.
+    for (const ReadEntry &E : D.Reads) {
+      if (E.Obj == Obj && E.Version != versionOf(Cur)) {
+        D.Owned.push_back({Obj, Cur, Values[Obj].read()});
+        rollbackAndRelease(D);
+        return slotAbort(Tid, AbortCause::AC_ReadValidation);
+      }
+    }
+    D.Owned.push_back({Obj, Cur, Values[Obj].read()});
+  }
+  Values[Obj].write(Value);
+  return true;
+}
+
+bool OrecEagerTm::txCommit(ThreadId Tid) {
+  assert(txActive(Tid) && "tryCommit outside a transaction");
+  Desc &D = Descs[Tid];
+
+  // Values are already in place; revalidate the read set one final time,
+  // then release with bumped versions.
+  if (D.Owned.empty()) {
+    // Read-only: the last read's incremental validation was the
+    // serialization point.
+    return slotCommit(Tid);
+  }
+  if (!validateReadSet(D, Tid)) {
+    rollbackAndRelease(D);
+    return slotAbort(Tid, AbortCause::AC_CommitValidation);
+  }
+  for (const OwnEntry &E : D.Owned)
+    Orecs[E.Obj].write(makeVersion(versionOf(E.PreLockWord) + 1));
+  D.Owned.clear();
+  return slotCommit(Tid);
+}
+
+void OrecEagerTm::txAbort(ThreadId Tid) {
+  assert(txActive(Tid) && "abort outside a transaction");
+  rollbackAndRelease(Descs[Tid]);
+  slotAbort(Tid, AbortCause::AC_User);
+}
+
+void OrecEagerTm::rollbackAndRelease(Desc &D) {
+  // Undo in reverse acquisition order, restoring the pre-lock orec word
+  // (no version bump: the object never changed committed state).
+  for (auto It = D.Owned.rbegin(), End = D.Owned.rend(); It != End; ++It) {
+    Values[It->Obj].write(It->UndoValue);
+    Orecs[It->Obj].write(It->PreLockWord);
+  }
+  D.Owned.clear();
+}

@@ -1,0 +1,86 @@
+//===-- stm/OrecEagerTm.h - Eager orec TM with incremental validation -----===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The *encounter-time* (eager) sibling of OrecIncrementalTm, in the
+/// TinySTM write-through tradition: a t-write locks the orec immediately
+/// and updates the value in place, logging the old value for undo.
+/// Reads stay invisible and — having no global clock to consult — must
+/// still validate the entire read set incrementally, so this TM also
+/// satisfies every hypothesis of Theorem 3 and pays the Θ(m²) read-only
+/// cost. Together with OrecIncrementalTm it gives the eager-vs-lazy
+/// ablation *within* the paper's TM class (experiment E6/E9).
+///
+/// Trade-off exhibited: eager acquisition detects write-write conflicts
+/// at encounter time (no doomed work after the conflict) but holds locks
+/// longer, so readers abort more; lazy acquisition speculates longer and
+/// may discover the conflict only at commit.
+///
+/// Orec layout shared with the other orec TMs: bit 0 = locked; unlocked
+/// word = version, locked word = (owner + 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_STM_ORECEAGERTM_H
+#define PTM_STM_ORECEAGERTM_H
+
+#include "stm/TmBase.h"
+#include "stm/WriteSet.h"
+
+namespace ptm {
+
+class OrecEagerTm final : public TmBase {
+public:
+  OrecEagerTm(unsigned NumObjects, unsigned MaxThreads);
+
+  TmKind kind() const override { return TmKind::TK_OrecEager; }
+
+  void txBegin(ThreadId Tid) override;
+  bool txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) override;
+  bool txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) override;
+  bool txCommit(ThreadId Tid) override;
+  void txAbort(ThreadId Tid) override;
+
+private:
+  /// One read-set entry: the version observed at first read.
+  struct ReadEntry {
+    ObjectId Obj;
+    uint64_t Version;
+  };
+
+  /// One acquired (written) object: pre-lock orec word + undo value.
+  struct OwnEntry {
+    ObjectId Obj;
+    uint64_t PreLockWord;
+    uint64_t UndoValue;
+  };
+
+  struct alignas(PTM_CACHELINE_SIZE) Desc {
+    std::vector<ReadEntry> Reads;
+    std::vector<OwnEntry> Owned;
+  };
+
+  static bool isLocked(uint64_t OrecWord) { return OrecWord & 1; }
+  static uint64_t versionOf(uint64_t OrecWord) { return OrecWord >> 1; }
+  static uint64_t makeVersion(uint64_t Version) { return Version << 1; }
+  static uint64_t makeLocked(ThreadId Tid) {
+    return (static_cast<uint64_t>(Tid + 1) << 1) | 1;
+  }
+
+  const OwnEntry *findOwned(const Desc &D, ObjectId Obj) const;
+  bool validateReadSet(const Desc &D, ThreadId Tid) const;
+
+  /// Undoes in-place writes and releases all locks (abort path).
+  void rollbackAndRelease(Desc &D);
+
+  std::vector<BaseObject> Orecs;
+  std::vector<Desc> Descs;
+};
+
+} // namespace ptm
+
+#endif // PTM_STM_ORECEAGERTM_H

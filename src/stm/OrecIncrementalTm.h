@@ -1,0 +1,78 @@
+//===-- stm/OrecIncrementalTm.h - The Theorem 3 subject TM ------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The TM class the paper's Theorem 3 is about: opaque, progressive,
+/// **weak disjoint-access-parallel** (the only shared metadata is one orec
+/// per t-object — no global clock), with **invisible reads** (t-reads apply
+/// only trivial primitives). Opacity without a global clock forces each
+/// t-read to revalidate the entire read set — DSTM-style *incremental
+/// validation* (the paper's references [16, 19], its own tightness
+/// witnesses). A read-only transaction with m reads therefore performs
+/// Θ(m²) steps, and its last read touches m-1 distinct base objects:
+/// exactly the lower bounds of Theorem 3, matched from above.
+///
+/// Orec layout is shared with TL2: bit 0 = locked; unlocked word carries
+/// the version, locked word carries (owner + 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_STM_ORECINCREMENTALTM_H
+#define PTM_STM_ORECINCREMENTALTM_H
+
+#include "stm/TmBase.h"
+#include "stm/WriteSet.h"
+
+namespace ptm {
+
+class OrecIncrementalTm final : public TmBase {
+public:
+  OrecIncrementalTm(unsigned NumObjects, unsigned MaxThreads);
+
+  TmKind kind() const override { return TmKind::TK_OrecIncremental; }
+
+  void txBegin(ThreadId Tid) override;
+  bool txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) override;
+  bool txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) override;
+  bool txCommit(ThreadId Tid) override;
+  void txAbort(ThreadId Tid) override;
+
+private:
+  /// One read-set entry: the version the object had when first read.
+  struct ReadEntry {
+    ObjectId Obj;
+    uint64_t Version;
+  };
+
+  struct alignas(PTM_CACHELINE_SIZE) Desc {
+    std::vector<ReadEntry> Reads;
+    WriteSet Writes;
+    std::vector<WriteEntry> Locked; ///< (Obj, pre-lock orec word).
+  };
+
+  static bool isLocked(uint64_t OrecWord) { return OrecWord & 1; }
+  static uint64_t versionOf(uint64_t OrecWord) { return OrecWord >> 1; }
+  static uint64_t makeVersion(uint64_t Version) { return Version << 1; }
+  static uint64_t makeLocked(ThreadId Tid) {
+    return (static_cast<uint64_t>(Tid + 1) << 1) | 1;
+  }
+
+  /// Re-checks that every read-set entry still has its recorded version.
+  /// This is the incremental validation whose cost Theorem 3 proves
+  /// unavoidable for this TM class.
+  bool validateReadSet(const Desc &D) const;
+
+  void releaseLocked(Desc &D);
+  void resetDesc(Desc &D);
+
+  std::vector<BaseObject> Orecs;
+  std::vector<Desc> Descs;
+};
+
+} // namespace ptm
+
+#endif // PTM_STM_ORECINCREMENTALTM_H

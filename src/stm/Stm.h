@@ -1,0 +1,22 @@
+//===-- stm/Stm.h - Umbrella header for the STM library ---------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience umbrella: the public STM surface (interface, factory,
+/// retry combinator, typed variables). Applications normally include just
+/// this header.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_STM_STM_H
+#define PTM_STM_STM_H
+
+#include "stm/Atomically.h" // IWYU pragma: export
+#include "stm/TVar.h"       // IWYU pragma: export
+#include "stm/Tm.h"         // IWYU pragma: export
+
+#endif // PTM_STM_STM_H

@@ -1,0 +1,83 @@
+//===-- stm/TVar.h - Typed transactional variables ---------------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thin typed veneer over the word-sized t-objects: TVar<T> binds a type
+/// to an ObjectId of some TM instance and bit-casts through the 64-bit
+/// cell. T must be trivially copyable and at most 8 bytes (ints, floats,
+/// small enums, indices — the usual STM payload).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_STM_TVAR_H
+#define PTM_STM_TVAR_H
+
+#include "stm/Atomically.h"
+#include "stm/Tm.h"
+
+#include <cstring>
+#include <type_traits>
+
+namespace ptm {
+
+template <typename T> class TVar {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "TVar payload must be trivially copyable");
+  static_assert(sizeof(T) <= sizeof(uint64_t),
+                "TVar payload must fit in a 64-bit cell");
+
+public:
+  TVar(Tm &M, ObjectId Obj) : M(&M), Obj(Obj) {}
+
+  /// Transactional read; returns \p Default once the transaction failed.
+  T readOr(TxRef &Tx, T Default) const {
+    uint64_t Word;
+    if (!Tx.read(Obj, Word))
+      return Default;
+    return decode(Word);
+  }
+
+  /// Transactional read into \p Out; false once failed.
+  bool read(TxRef &Tx, T &Out) const {
+    uint64_t Word;
+    if (!Tx.read(Obj, Word))
+      return false;
+    Out = decode(Word);
+    return true;
+  }
+
+  /// Transactional write; false once failed.
+  bool write(TxRef &Tx, T Value) const { return Tx.write(Obj, encode(Value)); }
+
+  /// Non-transactional readback (quiescence only).
+  T sample() const { return decode(M->sample(Obj)); }
+
+  /// Non-transactional initialization (quiescence only).
+  void init(T Value) const { M->init(Obj, encode(Value)); }
+
+  ObjectId objectId() const { return Obj; }
+
+private:
+  static uint64_t encode(T Value) {
+    uint64_t Word = 0;
+    std::memcpy(&Word, &Value, sizeof(T));
+    return Word;
+  }
+
+  static T decode(uint64_t Word) {
+    T Value;
+    std::memcpy(&Value, &Word, sizeof(T));
+    return Value;
+  }
+
+  Tm *M;
+  ObjectId Obj;
+};
+
+} // namespace ptm
+
+#endif // PTM_STM_TVAR_H

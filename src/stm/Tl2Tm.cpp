@@ -1,0 +1,146 @@
+//===-- stm/Tl2Tm.cpp - Transactional Locking II ---------------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Tl2Tm.h"
+
+using namespace ptm;
+
+Tl2Tm::Tl2Tm(unsigned NumObjects, unsigned MaxThreads)
+    : TmBase(NumObjects, MaxThreads), Clock(0), Orecs(NumObjects),
+      Descs(MaxThreads) {}
+
+void Tl2Tm::resetDesc(Desc &D) {
+  D.ReadSet.clear();
+  D.Writes.clear();
+  D.Locked.clear();
+}
+
+void Tl2Tm::txBegin(ThreadId Tid) {
+  slotBegin(Tid);
+  Desc &D = Descs[Tid];
+  resetDesc(D);
+  D.Rv = Clock.read();
+}
+
+bool Tl2Tm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
+  assert(txActive(Tid) && "t-read outside a transaction");
+  assert(Obj < numObjects() && "object id out of range");
+  Desc &D = Descs[Tid];
+
+  // Read-own-writes from the redo log.
+  if (D.Writes.lookup(Obj, Value))
+    return true;
+
+  // Invisible read, validated in O(1) against Rv thanks to the global
+  // clock: sample orec, value, orec; a consistent unlocked pair with
+  // version <= Rv is a value that existed at time Rv.
+  uint64_t Pre = Orecs[Obj].read();
+  if (isLocked(Pre))
+    return slotAbort(Tid, AbortCause::AC_LockHeld);
+  if (versionOf(Pre) > D.Rv)
+    return slotAbort(Tid, AbortCause::AC_ReadValidation);
+  Value = Values[Obj].read();
+  uint64_t Post = Orecs[Obj].read();
+  if (Post != Pre)
+    return slotAbort(Tid, AbortCause::AC_ReadValidation);
+
+  D.ReadSet.push_back(Obj);
+  return true;
+}
+
+bool Tl2Tm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
+  assert(txActive(Tid) && "t-write outside a transaction");
+  assert(Obj < numObjects() && "object id out of range");
+  Descs[Tid].Writes.insertOrUpdate(Obj, Value);
+  return true;
+}
+
+bool Tl2Tm::txCommit(ThreadId Tid) {
+  assert(txActive(Tid) && "tryCommit outside a transaction");
+  Desc &D = Descs[Tid];
+
+  // Read-only fast path: every read was already consistent at Rv.
+  if (D.Writes.empty())
+    return slotCommit(Tid);
+
+  // Acquire write locks (single-shot CAS: contention means a conflict, so
+  // aborting preserves progressiveness).
+  for (const WriteEntry &W : D.Writes) {
+    uint64_t Cur = Orecs[W.Obj].read();
+    if (isLocked(Cur)) {
+      releaseLocked(D);
+      return slotAbort(Tid, AbortCause::AC_LockHeld);
+    }
+    if (!Orecs[W.Obj].compareAndSwap(Cur, makeLocked(Tid))) {
+      releaseLocked(D);
+      return slotAbort(Tid, AbortCause::AC_LockHeld);
+    }
+    D.Locked.push_back({W.Obj, Cur});
+  }
+
+  uint64_t Wv = Clock.fetchAdd(1) + 1;
+
+  // Validate the read set unless no one committed since Rv (the TL2
+  // Wv == Rv + 1 shortcut).
+  if (Wv != D.Rv + 1) {
+    for (ObjectId Obj : D.ReadSet) {
+      uint64_t Cur = Orecs[Obj].read();
+      if (isLocked(Cur)) {
+        // Locked by anyone else is a conflict. Locked by us (object also
+        // in the write set): the version the orec had when we locked it
+        // must not exceed Rv, or a concurrent commit slipped between our
+        // read and our lock acquisition.
+        if (Cur != makeLocked(Tid)) {
+          releaseLocked(D);
+          return slotAbort(Tid, AbortCause::AC_CommitValidation);
+        }
+        uint64_t PreLock = 0;
+        bool Found = false;
+        for (const WriteEntry &L : D.Locked) {
+          if (L.Obj == Obj) {
+            PreLock = L.Value;
+            Found = true;
+            break;
+          }
+        }
+        assert(Found && "self-locked orec missing from the lock log");
+        if (!Found || versionOf(PreLock) > D.Rv) {
+          releaseLocked(D);
+          return slotAbort(Tid, AbortCause::AC_CommitValidation);
+        }
+        continue;
+      }
+      if (versionOf(Cur) > D.Rv) {
+        releaseLocked(D);
+        return slotAbort(Tid, AbortCause::AC_CommitValidation);
+      }
+    }
+  }
+
+  // Publish values, then release locks by installing the new version.
+  for (const WriteEntry &W : D.Writes)
+    Values[W.Obj].write(W.Value);
+  for (const WriteEntry &L : D.Locked)
+    Orecs[L.Obj].write(makeVersion(Wv));
+  D.Locked.clear();
+  return slotCommit(Tid);
+}
+
+void Tl2Tm::txAbort(ThreadId Tid) {
+  assert(txActive(Tid) && "abort outside a transaction");
+  // Lazy updates: nothing was published, just drop the logs.
+  resetDesc(Descs[Tid]);
+  slotAbort(Tid, AbortCause::AC_User);
+}
+
+void Tl2Tm::releaseLocked(Desc &D) {
+  // Restore the pre-lock orec words (versions unchanged: nothing was
+  // published).
+  for (auto It = D.Locked.rbegin(), End = D.Locked.rend(); It != End; ++It)
+    Orecs[It->Obj].write(It->Value);
+  D.Locked.clear();
+}

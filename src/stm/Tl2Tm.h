@@ -1,0 +1,70 @@
+//===-- stm/Tl2Tm.h - Transactional Locking II ------------------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TL2 (Dice, Shalev, Shavit, DISC 2006 — the paper's reference [7]):
+/// invisible reads, per-object versioned write-locks, commit-time lock
+/// acquisition and a *global version clock* that lets each t-read be
+/// validated in O(1) against the read timestamp RV.
+///
+/// Role in the reproduction: TL2 is opaque, progressive and uses invisible
+/// reads — but the shared clock makes concurrent transactions with disjoint
+/// data sets contend on one base object, so TL2 is **not** weak DAP. It
+/// therefore escapes the Theorem 3 quadratic bound with Θ(m) read-only
+/// transactions, demonstrating that the weak-DAP hypothesis is necessary.
+///
+/// Orec layout: bit 0 = locked; when unlocked, bits 63..1 hold the version;
+/// when locked, bits 63..1 hold (owner thread id + 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_STM_TL2TM_H
+#define PTM_STM_TL2TM_H
+
+#include "stm/TmBase.h"
+#include "stm/WriteSet.h"
+
+namespace ptm {
+
+class Tl2Tm final : public TmBase {
+public:
+  Tl2Tm(unsigned NumObjects, unsigned MaxThreads);
+
+  TmKind kind() const override { return TmKind::TK_Tl2; }
+
+  void txBegin(ThreadId Tid) override;
+  bool txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) override;
+  bool txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) override;
+  bool txCommit(ThreadId Tid) override;
+  void txAbort(ThreadId Tid) override;
+
+private:
+  struct alignas(PTM_CACHELINE_SIZE) Desc {
+    uint64_t Rv = 0;                ///< Read timestamp.
+    std::vector<ObjectId> ReadSet;  ///< Objects read (validated vs Rv).
+    WriteSet Writes;                ///< Redo log.
+    std::vector<WriteEntry> Locked; ///< (Obj, pre-lock orec word) pairs.
+  };
+
+  static bool isLocked(uint64_t OrecWord) { return OrecWord & 1; }
+  static uint64_t versionOf(uint64_t OrecWord) { return OrecWord >> 1; }
+  static uint64_t makeVersion(uint64_t Version) { return Version << 1; }
+  static uint64_t makeLocked(ThreadId Tid) {
+    return (static_cast<uint64_t>(Tid + 1) << 1) | 1;
+  }
+
+  void releaseLocked(Desc &D);
+  void resetDesc(Desc &D);
+
+  BaseObject Clock; ///< The global version clock (breaks weak DAP).
+  std::vector<BaseObject> Orecs;
+  std::vector<Desc> Descs;
+};
+
+} // namespace ptm
+
+#endif // PTM_STM_TL2TM_H

@@ -1,0 +1,150 @@
+//===-- stm/TlrwTm.cpp - TLRW-style visible-read TM -----------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/TlrwTm.h"
+
+#include "support/Compiler.h"
+
+using namespace ptm;
+
+TlrwTm::TlrwTm(unsigned NumObjects, unsigned MaxThreads)
+    : TmBase(NumObjects, MaxThreads), Locks(NumObjects), Descs(MaxThreads) {}
+
+void TlrwTm::erase(std::vector<ObjectId> &Set, ObjectId Obj) {
+  for (size_t I = 0, E = Set.size(); I != E; ++I) {
+    if (Set[I] == Obj) {
+      Set[I] = Set.back();
+      Set.pop_back();
+      return;
+    }
+  }
+  PTM_UNREACHABLE("erasing an object not in the lock set");
+}
+
+void TlrwTm::txBegin(ThreadId Tid) {
+  slotBegin(Tid);
+  Desc &D = Descs[Tid];
+  D.ReadLocks.clear();
+  D.WriteLocks.clear();
+  D.UndoLog.clear();
+}
+
+bool TlrwTm::acquireRead(ThreadId Tid, ObjectId Obj) {
+  (void)Tid;
+  for (unsigned Attempt = 0; Attempt < kAcquireAttempts; ++Attempt) {
+    uint64_t Cur = Locks[Obj].read();
+    if (writerOf(Cur) != 0) {
+      cpuRelax();
+      continue;
+    }
+    if (Locks[Obj].compareAndSwap(Cur, Cur + 1))
+      return true;
+  }
+  return false;
+}
+
+bool TlrwTm::acquireWrite(ThreadId Tid, ObjectId Obj, bool Upgrade) {
+  for (unsigned Attempt = 0; Attempt < kAcquireAttempts; ++Attempt) {
+    uint64_t Cur = Locks[Obj].read();
+    if (writerOf(Cur) != 0) {
+      cpuRelax();
+      continue;
+    }
+    // An upgrade succeeds only while we are the sole reader; a fresh write
+    // acquisition only when there are no readers at all.
+    uint32_t ExpectReaders = Upgrade ? 1 : 0;
+    if (readersOf(Cur) != ExpectReaders) {
+      cpuRelax();
+      continue;
+    }
+    if (Locks[Obj].compareAndSwap(Cur, makeWriter(Tid)))
+      return true;
+  }
+  return false;
+}
+
+bool TlrwTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
+  assert(txActive(Tid) && "t-read outside a transaction");
+  assert(Obj < numObjects() && "object id out of range");
+  Desc &D = Descs[Tid];
+
+  // Already locked by us (either mode): read in place — updates are eager.
+  if (contains(D.WriteLocks, Obj) || contains(D.ReadLocks, Obj)) {
+    Value = Values[Obj].read();
+    return true;
+  }
+
+  // Visible read: acquiring the read lock applies a nontrivial primitive.
+  // O(1) steps, no validation ever — the cost is visibility, which is how
+  // this TM escapes the Theorem 3 quadratic bound.
+  if (!acquireRead(Tid, Obj)) {
+    rollback(D);
+    releaseAll(D);
+    return slotAbort(Tid, AbortCause::AC_LockHeld);
+  }
+  D.ReadLocks.push_back(Obj);
+  Value = Values[Obj].read();
+  return true;
+}
+
+bool TlrwTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
+  assert(txActive(Tid) && "t-write outside a transaction");
+  assert(Obj < numObjects() && "object id out of range");
+  Desc &D = Descs[Tid];
+
+  if (!contains(D.WriteLocks, Obj)) {
+    bool Upgrade = contains(D.ReadLocks, Obj);
+    if (!acquireWrite(Tid, Obj, Upgrade)) {
+      rollback(D);
+      releaseAll(D);
+      return slotAbort(Tid, AbortCause::AC_LockHeld);
+    }
+    if (Upgrade)
+      erase(D.ReadLocks, Obj);
+    D.WriteLocks.push_back(Obj);
+  }
+
+  D.UndoLog.push_back({Obj, Values[Obj].read()});
+  Values[Obj].write(Value);
+  return true;
+}
+
+bool TlrwTm::txCommit(ThreadId Tid) {
+  assert(txActive(Tid) && "tryCommit outside a transaction");
+  // Two-phase locking: everything read or written is still locked, so the
+  // transaction is trivially serializable at this point. Just release.
+  releaseAll(Descs[Tid]);
+  return slotCommit(Tid);
+}
+
+void TlrwTm::txAbort(ThreadId Tid) {
+  assert(txActive(Tid) && "abort outside a transaction");
+  Desc &D = Descs[Tid];
+  rollback(D);
+  releaseAll(D);
+  slotAbort(Tid, AbortCause::AC_User);
+}
+
+void TlrwTm::rollback(Desc &D) {
+  for (auto It = D.UndoLog.rbegin(), End = D.UndoLog.rend(); It != End; ++It)
+    Values[It->Obj].write(It->Value);
+  D.UndoLog.clear();
+}
+
+void TlrwTm::releaseAll(Desc &D) {
+  // Write locks: clear the word (we were the only owner and eager values
+  // are already in place — or rolled back on the abort path).
+  for (ObjectId Obj : D.WriteLocks)
+    Locks[Obj].write(0);
+  // Read locks: decrement the reader count. No writer can have slipped in
+  // while we held a read lock, so fetch-add is safe.
+  for (ObjectId Obj : D.ReadLocks)
+    Locks[Obj].fetchAdd(~uint64_t{0});
+  D.WriteLocks.clear();
+  D.ReadLocks.clear();
+  D.UndoLog.clear();
+}

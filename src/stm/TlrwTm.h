@@ -1,0 +1,88 @@
+//===-- stm/TlrwTm.h - TLRW-style visible-read TM ---------------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A TLRW-style TM (Dice & Shavit, SPAA 2010 — the paper's reference [9]):
+/// encounter-time read-write locking with eager in-place updates and an
+/// undo log. Every t-read *acquires* a per-object read lock — a nontrivial
+/// primitive — so reads are **visible**.
+///
+/// Role in the reproduction: TLRW is weak DAP (per-object locks only) yet
+/// reads cost O(1) and need no validation at all — two-phase locking makes
+/// observed snapshots trivially consistent. It evades Theorem 3 by
+/// violating the *invisible reads* hypothesis, demonstrating that that
+/// hypothesis, too, is necessary.
+///
+/// Lock word layout: low 32 bits = reader count; high 32 bits = writer
+/// (owner + 1, 0 = none).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_STM_TLRWTM_H
+#define PTM_STM_TLRWTM_H
+
+#include "stm/TmBase.h"
+#include "stm/WriteSet.h"
+
+namespace ptm {
+
+class TlrwTm final : public TmBase {
+public:
+  TlrwTm(unsigned NumObjects, unsigned MaxThreads);
+
+  TmKind kind() const override { return TmKind::TK_Tlrw; }
+
+  void txBegin(ThreadId Tid) override;
+  bool txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) override;
+  bool txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) override;
+  bool txCommit(ThreadId Tid) override;
+  void txAbort(ThreadId Tid) override;
+
+private:
+  struct alignas(PTM_CACHELINE_SIZE) Desc {
+    std::vector<ObjectId> ReadLocks;
+    std::vector<ObjectId> WriteLocks;
+    std::vector<WriteEntry> UndoLog;
+  };
+
+  /// How many CAS attempts an acquisition makes before declaring a
+  /// conflict. Bounded, so the TM cannot block indefinitely (ICF
+  /// TM-liveness) and aborts only when another transaction demonstrably
+  /// holds the lock (progressiveness).
+  static constexpr unsigned kAcquireAttempts = 64;
+
+  static uint32_t readersOf(uint64_t LockWord) {
+    return static_cast<uint32_t>(LockWord & 0xffffffffu);
+  }
+  static uint32_t writerOf(uint64_t LockWord) {
+    return static_cast<uint32_t>(LockWord >> 32);
+  }
+  static uint64_t makeWriter(ThreadId Tid) {
+    return static_cast<uint64_t>(Tid + 1) << 32;
+  }
+
+  static bool contains(const std::vector<ObjectId> &Set, ObjectId Obj) {
+    for (ObjectId O : Set)
+      if (O == Obj)
+        return true;
+    return false;
+  }
+  static void erase(std::vector<ObjectId> &Set, ObjectId Obj);
+
+  bool acquireRead(ThreadId Tid, ObjectId Obj);
+  bool acquireWrite(ThreadId Tid, ObjectId Obj, bool Upgrade);
+
+  void rollback(Desc &D);
+  void releaseAll(Desc &D);
+
+  std::vector<BaseObject> Locks;
+  std::vector<Desc> Descs;
+};
+
+} // namespace ptm
+
+#endif // PTM_STM_TLRWTM_H

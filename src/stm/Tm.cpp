@@ -1,0 +1,57 @@
+//===-- stm/Tm.cpp - Transactional memory public interface ----------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Tm.h"
+
+using namespace ptm;
+
+const char *ptm::tmKindName(TmKind Kind) {
+  switch (Kind) {
+  case TmKind::TK_GlobalLock:
+    return "glock";
+  case TmKind::TK_Tl2:
+    return "tl2";
+  case TmKind::TK_Norec:
+    return "norec";
+  case TmKind::TK_OrecIncremental:
+    return "orec-incr";
+  case TmKind::TK_OrecEager:
+    return "orec-eager";
+  case TmKind::TK_Tlrw:
+    return "tlrw";
+  case TmKind::TK_Tml:
+    return "tml";
+  }
+  return "unknown";
+}
+
+const std::vector<TmKind> &ptm::allTmKinds() {
+  static const std::vector<TmKind> Kinds = {
+      TmKind::TK_GlobalLock,      TmKind::TK_Tl2,
+      TmKind::TK_Norec,           TmKind::TK_OrecIncremental,
+      TmKind::TK_OrecEager,       TmKind::TK_Tlrw,
+      TmKind::TK_Tml};
+  return Kinds;
+}
+
+bool ptm::isProgressive(TmKind Kind) { return Kind != TmKind::TK_Tml; }
+
+const char *ptm::abortCauseName(AbortCause Cause) {
+  switch (Cause) {
+  case AbortCause::AC_None:
+    return "none";
+  case AbortCause::AC_ReadValidation:
+    return "read-validation";
+  case AbortCause::AC_LockHeld:
+    return "lock-held";
+  case AbortCause::AC_CommitValidation:
+    return "commit-validation";
+  case AbortCause::AC_User:
+    return "user";
+  }
+  return "unknown";
+}

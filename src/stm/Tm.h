@@ -1,0 +1,156 @@
+//===-- stm/Tm.h - Transactional memory public interface -------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The uniform TM interface of this library, mirroring the paper's model
+/// (Section 2): transactions consist of t-reads, t-writes and a tryCommit,
+/// each of which may return the abort flag A_k. The library is
+/// exception-free: an operation returning false means the transaction
+/// aborted (the cause is queryable), after which the caller must start a
+/// new transaction with txBegin.
+///
+/// Five implementations cover the paper's property space (see DESIGN.md):
+/// GlobalLock, TL2, NOrec, OrecIncremental (the Theorem 3 subject) and
+/// TLRW. All of them are progressive; all are strongly progressive on
+/// single-object workloads; all are opaque.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_STM_TM_H
+#define PTM_STM_TM_H
+
+#include "runtime/Ids.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ptm {
+
+/// The available TM algorithms.
+enum class TmKind {
+  TK_GlobalLock,      ///< Single global lock; never aborts.
+  TK_Tl2,             ///< TL2: global version clock, commit-time locking.
+  TK_Norec,           ///< NOrec: global seqlock, value-based validation.
+  TK_OrecIncremental, ///< Weak-DAP invisible reads, incremental validation.
+  TK_OrecEager,       ///< Same class, encounter-time locking (TinySTM-ish).
+  TK_Tlrw,            ///< TLRW-style encounter-time read-write locking.
+  TK_Tml,             ///< TML: global seqlock, irrevocable writer.
+};
+
+/// Short stable name (used in tables, test names and logs).
+const char *tmKindName(TmKind Kind);
+
+/// All implemented TM kinds, in a fixed presentation order.
+const std::vector<TmKind> &allTmKinds();
+
+/// True if the TM guarantees progressiveness: a transaction aborts only
+/// because of a conflicting concurrent transaction. All TMs here are
+/// progressive except TML, which aborts readers on *any* concurrent
+/// commit — it is included precisely as the contrast point outside the
+/// paper's TM class.
+bool isProgressive(TmKind Kind);
+
+/// Why a transaction aborted. AC_None means "not aborted".
+enum class AbortCause {
+  AC_None = 0,
+  AC_ReadValidation,   ///< A read observed a conflicting update.
+  AC_LockHeld,         ///< A needed lock/orec was held by a concurrent txn.
+  AC_CommitValidation, ///< Commit-time validation of the read set failed.
+  AC_User,             ///< The application aborted voluntarily.
+};
+
+/// Number of distinct AbortCause values (for stats arrays).
+inline constexpr unsigned kNumAbortCauses = 5;
+
+/// Short stable name for an abort cause.
+const char *abortCauseName(AbortCause Cause);
+
+/// Commit/abort counters aggregated across all threads of a TM instance.
+struct TmStats {
+  uint64_t Commits = 0;
+  uint64_t Aborts[kNumAbortCauses] = {};
+
+  uint64_t totalAborts() const {
+    uint64_t Sum = 0;
+    for (uint64_t A : Aborts)
+      Sum += A;
+    return Sum;
+  }
+
+  /// Abort ratio in [0,1]; 0 when nothing ran.
+  double abortRatio() const {
+    uint64_t Total = Commits + totalAborts();
+    return Total == 0 ? 0.0
+                      : static_cast<double>(totalAborts()) /
+                            static_cast<double>(Total);
+  }
+};
+
+/// Abstract transactional memory over a fixed array of 64-bit t-objects.
+///
+/// Threading contract: thread \p Tid uses only its own descriptor slot and
+/// must run at most one transaction at a time (the paper's well-formedness).
+/// txBegin resets the slot; txRead/txWrite/txCommit return false iff the
+/// transaction aborted (then the slot is inactive and lastAbortCause tells
+/// why). txAbort is the voluntary A_k.
+class Tm {
+public:
+  virtual ~Tm() = default;
+
+  virtual TmKind kind() const = 0;
+  const char *name() const { return tmKindName(kind()); }
+
+  virtual unsigned numObjects() const = 0;
+  virtual unsigned maxThreads() const = 0;
+
+  /// Starts a fresh transaction for thread \p Tid. Any previous transaction
+  /// of this thread must be complete (committed or aborted).
+  virtual void txBegin(ThreadId Tid) = 0;
+
+  /// t-read of \p Obj; on success stores the value in \p Value.
+  virtual bool txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) = 0;
+
+  /// t-write of \p Value to \p Obj.
+  virtual bool txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) = 0;
+
+  /// tryCommit; true = C_k, false = A_k.
+  virtual bool txCommit(ThreadId Tid) = 0;
+
+  /// Voluntary abort (always succeeds).
+  virtual void txAbort(ThreadId Tid) = 0;
+
+  /// True while thread \p Tid has a live (begun, not yet complete)
+  /// transaction.
+  virtual bool txActive(ThreadId Tid) const = 0;
+
+  /// Cause of the last abort on this thread (AC_None if the last
+  /// transaction committed).
+  virtual AbortCause lastAbortCause(ThreadId Tid) const = 0;
+
+  /// Non-transactional readback, valid only in quiescent configurations
+  /// (setup/teardown/verification). Never counted as steps.
+  virtual uint64_t sample(ObjectId Obj) const = 0;
+
+  /// Non-transactional initialization, valid only while quiescent.
+  virtual void init(ObjectId Obj, uint64_t Value) = 0;
+
+  /// Aggregated commit/abort counters.
+  virtual TmStats stats() const = 0;
+
+  /// Zeroes all counters (call only while quiescent).
+  virtual void resetStats() = 0;
+};
+
+/// Creates a TM of the given kind over \p NumObjects t-objects usable by up
+/// to \p MaxThreads concurrent threads.
+std::unique_ptr<Tm> createTm(TmKind Kind, unsigned NumObjects,
+                             unsigned MaxThreads);
+
+} // namespace ptm
+
+#endif // PTM_STM_TM_H

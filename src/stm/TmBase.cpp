@@ -1,0 +1,35 @@
+//===-- stm/TmBase.cpp - Shared TM implementation plumbing ----------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/TmBase.h"
+
+using namespace ptm;
+
+TmBase::TmBase(unsigned NumObjects, unsigned MaxThreads)
+    : Values(NumObjects), Slots(MaxThreads), NumObjects(NumObjects),
+      MaxThreads(MaxThreads) {
+  assert(NumObjects > 0 && "TM needs at least one t-object");
+  assert(MaxThreads > 0 && "TM needs at least one thread slot");
+}
+
+TmStats TmBase::stats() const {
+  TmStats Total;
+  for (const Slot &S : Slots) {
+    Total.Commits += S.Commits;
+    for (unsigned I = 0; I < kNumAbortCauses; ++I)
+      Total.Aborts[I] += S.Aborts[I];
+  }
+  return Total;
+}
+
+void TmBase::resetStats() {
+  for (Slot &S : Slots) {
+    S.Commits = 0;
+    for (unsigned I = 0; I < kNumAbortCauses; ++I)
+      S.Aborts[I] = 0;
+  }
+}

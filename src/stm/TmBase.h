@@ -1,0 +1,108 @@
+//===-- stm/TmBase.h - Shared TM implementation plumbing -------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Boilerplate shared by all five TM implementations: the value-cell
+/// array (one BaseObject per t-object), per-thread descriptor lifecycle
+/// flags, abort-cause bookkeeping and commit/abort statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_STM_TMBASE_H
+#define PTM_STM_TMBASE_H
+
+#include "runtime/BaseObject.h"
+#include "stm/Tm.h"
+#include "support/Compiler.h"
+
+#include <cassert>
+#include <vector>
+
+namespace ptm {
+
+/// Implements the parts of Tm common to every algorithm. Subclasses add
+/// their metadata (orecs, clocks, lock words) and the four transactional
+/// operations.
+class TmBase : public Tm {
+public:
+  unsigned numObjects() const final { return NumObjects; }
+  unsigned maxThreads() const final { return MaxThreads; }
+
+  bool txActive(ThreadId Tid) const final {
+    assert(Tid < MaxThreads && "thread id out of range");
+    return Slots[Tid].Active;
+  }
+
+  AbortCause lastAbortCause(ThreadId Tid) const final {
+    assert(Tid < MaxThreads && "thread id out of range");
+    return Slots[Tid].Cause;
+  }
+
+  uint64_t sample(ObjectId Obj) const final {
+    assert(Obj < NumObjects && "object id out of range");
+    return Values[Obj].peek();
+  }
+
+  void init(ObjectId Obj, uint64_t Value) final {
+    assert(Obj < NumObjects && "object id out of range");
+    Values[Obj].poke(Value);
+  }
+
+  TmStats stats() const final;
+  void resetStats() final;
+
+protected:
+  TmBase(unsigned NumObjects, unsigned MaxThreads);
+
+  /// Per-thread lifecycle and counters, padded against false sharing.
+  struct alignas(PTM_CACHELINE_SIZE) Slot {
+    bool Active = false;
+    AbortCause Cause = AbortCause::AC_None;
+    uint64_t Commits = 0;
+    uint64_t Aborts[kNumAbortCauses] = {};
+  };
+
+  /// Marks the slot live; asserts well-formedness (no nesting).
+  void slotBegin(ThreadId Tid) {
+    assert(Tid < MaxThreads && "thread id out of range");
+    assert(!Slots[Tid].Active && "previous transaction still active");
+    Slots[Tid].Active = true;
+    Slots[Tid].Cause = AbortCause::AC_None;
+  }
+
+  /// Records a commit; returns true for tail-calling from txCommit.
+  bool slotCommit(ThreadId Tid) {
+    assert(Slots[Tid].Active && "commit without active transaction");
+    Slots[Tid].Active = false;
+    Slots[Tid].Cause = AbortCause::AC_None;
+    ++Slots[Tid].Commits;
+    return true;
+  }
+
+  /// Records an abort with \p Cause; returns false for tail-calling.
+  bool slotAbort(ThreadId Tid, AbortCause Cause) {
+    assert(Slots[Tid].Active && "abort without active transaction");
+    assert(Cause != AbortCause::AC_None && "abort needs a cause");
+    Slots[Tid].Active = false;
+    Slots[Tid].Cause = Cause;
+    ++Slots[Tid].Aborts[static_cast<unsigned>(Cause)];
+    return false;
+  }
+
+  /// The t-object value cells. Subclass metadata lives in parallel arrays.
+  std::vector<BaseObject> Values;
+
+  std::vector<Slot> Slots;
+
+private:
+  unsigned NumObjects;
+  unsigned MaxThreads;
+};
+
+} // namespace ptm
+
+#endif // PTM_STM_TMBASE_H

@@ -1,0 +1,96 @@
+//===-- stm/TmlTm.cpp - Transactional Mutex Lock ---------------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/TmlTm.h"
+
+#include "support/Spin.h"
+
+using namespace ptm;
+
+TmlTm::TmlTm(unsigned NumObjects, unsigned MaxThreads)
+    : TmBase(NumObjects, MaxThreads), Seq(0), Descs(MaxThreads) {}
+
+uint64_t TmlTm::waitEven() {
+  uint32_t Spins = 0;
+  for (;;) {
+    uint64_t Time = Seq.read();
+    if ((Time & 1) == 0)
+      return Time;
+    spinPause(Spins);
+  }
+}
+
+void TmlTm::txBegin(ThreadId Tid) {
+  slotBegin(Tid);
+  Desc &D = Descs[Tid];
+  D.Writer = false;
+  D.UndoLog.clear();
+  D.Snapshot = waitEven();
+}
+
+bool TmlTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
+  assert(txActive(Tid) && "t-read outside a transaction");
+  assert(Obj < numObjects() && "object id out of range");
+  Desc &D = Descs[Tid];
+
+  Value = Values[Obj].read();
+  // The writer reads its own in-place state; a reader is valid only while
+  // the clock has not moved. Note the abort does NOT imply a data
+  // conflict — this is exactly where TML fails progressiveness.
+  if (D.Writer)
+    return true;
+  if (Seq.read() != D.Snapshot)
+    return slotAbort(Tid, AbortCause::AC_ReadValidation);
+  return true;
+}
+
+bool TmlTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
+  assert(txActive(Tid) && "t-write outside a transaction");
+  assert(Obj < numObjects() && "object id out of range");
+  Desc &D = Descs[Tid];
+
+  if (!D.Writer) {
+    // Become the writer: take the sequence lock at our snapshot. Failure
+    // means someone else committed or is writing — abort (single-shot CAS
+    // keeps us non-blocking).
+    uint64_t Expected = D.Snapshot;
+    if (!Seq.compareAndSwap(Expected, D.Snapshot + 1))
+      return slotAbort(Tid, AbortCause::AC_LockHeld);
+    D.Writer = true;
+  }
+  D.UndoLog.push_back({Obj, Values[Obj].read()});
+  Values[Obj].write(Value);
+  return true;
+}
+
+bool TmlTm::txCommit(ThreadId Tid) {
+  assert(txActive(Tid) && "tryCommit outside a transaction");
+  Desc &D = Descs[Tid];
+  // A writer publishes by bumping the clock to even; it can never fail
+  // (it ran irrevocably under the lock). A reader validated every read
+  // in-line, so it simply commits.
+  if (D.Writer) {
+    Seq.write(D.Snapshot + 2);
+    D.Writer = false;
+    D.UndoLog.clear();
+  }
+  return slotCommit(Tid);
+}
+
+void TmlTm::txAbort(ThreadId Tid) {
+  assert(txActive(Tid) && "abort outside a transaction");
+  Desc &D = Descs[Tid];
+  if (D.Writer) {
+    for (auto It = D.UndoLog.rbegin(), End = D.UndoLog.rend(); It != End;
+         ++It)
+      Values[It->Obj].write(It->Value);
+    Seq.write(D.Snapshot + 2);
+    D.Writer = false;
+    D.UndoLog.clear();
+  }
+  slotAbort(Tid, AbortCause::AC_User);
+}

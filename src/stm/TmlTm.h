@@ -1,0 +1,64 @@
+//===-- stm/TmlTm.h - Transactional Mutex Lock ------------------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// TML (Dalessandro, Dice, Marathe, Moir, Nussbaum, Shavit; the minimal
+/// sibling of NOrec): one global sequence lock. The first t-write takes
+/// the lock (odd clock) and the transaction then runs in place,
+/// irrevocably; reads validate only that the clock has not moved.
+///
+/// Role in the reproduction: a *contrast point outside* the paper's TM
+/// class. TML is opaque and strictly serializable with O(1) reads, but it
+/// is **not progressive**: a reader aborts whenever any writer committed,
+/// conflict or not — exactly the behaviour progressiveness (and the
+/// paper's lower bounds, which presuppose it) rules out. The disjoint-
+/// access experiment (E5) shows TML aborting on conflict-free workloads
+/// where all five progressive TMs are abort-free.
+///
+/// TML *is* strongly progressive on single-item workloads (the seqlock
+/// winner always commits), so Algorithm 1 still works over it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_STM_TMLTM_H
+#define PTM_STM_TMLTM_H
+
+#include "stm/TmBase.h"
+#include "stm/WriteSet.h"
+
+namespace ptm {
+
+class TmlTm final : public TmBase {
+public:
+  TmlTm(unsigned NumObjects, unsigned MaxThreads);
+
+  TmKind kind() const override { return TmKind::TK_Tml; }
+
+  void txBegin(ThreadId Tid) override;
+  bool txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) override;
+  bool txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) override;
+  bool txCommit(ThreadId Tid) override;
+  void txAbort(ThreadId Tid) override;
+
+private:
+  struct alignas(PTM_CACHELINE_SIZE) Desc {
+    uint64_t Snapshot = 0;
+    bool Writer = false;
+    std::vector<WriteEntry> UndoLog; ///< For voluntary aborts only.
+  };
+
+  /// Spins until the sequence lock is even and returns it (a writer holds
+  /// it only for its own finite transaction).
+  uint64_t waitEven();
+
+  BaseObject Seq; ///< Global sequence lock; odd = a writer is running.
+  std::vector<Desc> Descs;
+};
+
+} // namespace ptm
+
+#endif // PTM_STM_TMLTM_H

@@ -1,0 +1,72 @@
+//===-- stm/WriteSet.h - Deferred-update write set --------------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Redo-log write set shared by the lazy-update TMs (TL2, NOrec,
+/// OrecIncremental). Lookup is a linear scan: write sets in the targeted
+/// workloads are small, scans are purely local computation (not steps in
+/// the paper's model), and linearity keeps the step accounting honest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_STM_WRITESET_H
+#define PTM_STM_WRITESET_H
+
+#include "runtime/Ids.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ptm {
+
+/// One buffered t-write.
+struct WriteEntry {
+  ObjectId Obj;
+  uint64_t Value;
+};
+
+/// Ordered redo log with last-writer-wins lookup.
+class WriteSet {
+public:
+  /// Returns true and fills \p Value if \p Obj has a buffered write.
+  bool lookup(ObjectId Obj, uint64_t &Value) const {
+    for (auto It = Entries.rbegin(), End = Entries.rend(); It != End; ++It) {
+      if (It->Obj == Obj) {
+        Value = It->Value;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Buffers a write, overwriting any earlier write to the same object.
+  void insertOrUpdate(ObjectId Obj, uint64_t Value) {
+    for (auto &Entry : Entries) {
+      if (Entry.Obj == Obj) {
+        Entry.Value = Value;
+        return;
+      }
+    }
+    Entries.push_back({Obj, Value});
+  }
+
+  bool empty() const { return Entries.empty(); }
+  size_t size() const { return Entries.size(); }
+  void clear() { Entries.clear(); }
+
+  std::vector<WriteEntry>::const_iterator begin() const {
+    return Entries.begin();
+  }
+  std::vector<WriteEntry>::const_iterator end() const { return Entries.end(); }
+
+private:
+  std::vector<WriteEntry> Entries;
+};
+
+} // namespace ptm
+
+#endif // PTM_STM_WRITESET_H

@@ -1,0 +1,62 @@
+//===-- support/Compiler.h - Portability and tuning macros -----*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small portability layer: cache-line geometry, branch hints, and an
+/// unreachable marker. The library is exception-free and RTTI-free; abort
+/// paths are expressed with status codes, so the only "failure" facility
+/// needed here is an assert-backed unreachable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_SUPPORT_COMPILER_H
+#define PTM_SUPPORT_COMPILER_H
+
+#include <cassert>
+#include <cstddef>
+
+/// Size, in bytes, assumed for one cache line. Shared mutable words that
+/// must not false-share are aligned to this.
+#define PTM_CACHELINE_SIZE 64
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PTM_LIKELY(x) (__builtin_expect(!!(x), 1))
+#define PTM_UNLIKELY(x) (__builtin_expect(!!(x), 0))
+#else
+#define PTM_LIKELY(x) (x)
+#define PTM_UNLIKELY(x) (x)
+#endif
+
+/// Marks a point that must never be reached. Asserts in debug builds and
+/// gives the optimizer an unreachable hint in release builds.
+#if defined(__GNUC__) || defined(__clang__)
+#define PTM_UNREACHABLE(msg)                                                   \
+  do {                                                                         \
+    assert(false && msg);                                                      \
+    __builtin_unreachable();                                                   \
+  } while (false)
+#else
+#define PTM_UNREACHABLE(msg) assert(false && msg)
+#endif
+
+namespace ptm {
+
+/// Hint to the CPU that the caller is inside a spin-wait loop.
+inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  // Fall back to a compiler barrier so the loop is not optimized away.
+  asm volatile("" ::: "memory");
+#endif
+}
+
+} // namespace ptm
+
+#endif // PTM_SUPPORT_COMPILER_H

@@ -1,0 +1,61 @@
+//===-- support/Format.h - String formatting helpers -----------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string-returning formatting helpers used by the table printer and
+/// the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_SUPPORT_FORMAT_H
+#define PTM_SUPPORT_FORMAT_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace ptm {
+
+/// Formats \p Value with \p Precision digits after the decimal point.
+inline std::string formatDouble(double Value, unsigned Precision = 2) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", static_cast<int>(Precision), Value);
+  return Buf;
+}
+
+/// Formats \p Value as a decimal integer.
+inline std::string formatInt(uint64_t Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%llu",
+                static_cast<unsigned long long>(Value));
+  return Buf;
+}
+
+/// Formats \p Value as a signed decimal integer.
+inline std::string formatInt(int64_t Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(Value));
+  return Buf;
+}
+
+/// Pads \p Str on the left with spaces to at least \p Width characters.
+inline std::string padLeft(std::string Str, size_t Width) {
+  if (Str.size() < Width)
+    Str.insert(0, Width - Str.size(), ' ');
+  return Str;
+}
+
+/// Pads \p Str on the right with spaces to at least \p Width characters.
+inline std::string padRight(std::string Str, size_t Width) {
+  if (Str.size() < Width)
+    Str.append(Width - Str.size(), ' ');
+  return Str;
+}
+
+} // namespace ptm
+
+#endif // PTM_SUPPORT_FORMAT_H

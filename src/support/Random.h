@@ -1,0 +1,89 @@
+//===-- support/Random.h - Deterministic pseudo-random numbers -*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64 (seed expansion) and xoshiro256** (bulk generation). All
+/// workloads and benchmark harnesses draw from these so that every run of an
+/// experiment is reproducible from its seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_SUPPORT_RANDOM_H
+#define PTM_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace ptm {
+
+/// SplitMix64: tiny, fast generator used mainly to expand a user seed into
+/// the larger xoshiro state. Sebastiano Vigna's public-domain reference.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// xoshiro256**: the project-wide PRNG. Not cryptographic; excellent
+/// statistical quality for workload generation.
+class Xoshiro256 {
+public:
+  explicit Xoshiro256(uint64_t Seed) {
+    SplitMix64 SM(Seed);
+    for (auto &Word : State)
+      Word = SM.next();
+  }
+
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be nonzero.
+  /// Uses Lemire's multiply-shift rejection-free mapping (bias is
+  /// negligible for the bounds used in this project).
+  uint64_t nextBounded(uint64_t Bound) {
+    assert(Bound != 0 && "bound must be nonzero");
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P (clamped to [0,1]).
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace ptm
+
+#endif // PTM_SUPPORT_RANDOM_H

@@ -1,0 +1,82 @@
+//===-- support/RawOStream.cpp - Lightweight output streams --------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RawOStream.h"
+
+#include <cinttypes>
+#include <cstring>
+
+using namespace ptm;
+
+RawOStream::~RawOStream() = default;
+
+RawOStream &RawOStream::operator<<(char C) { return write(&C, 1); }
+
+RawOStream &RawOStream::operator<<(const char *Str) {
+  if (Str)
+    write(Str, std::strlen(Str));
+  return *this;
+}
+
+RawOStream &RawOStream::operator<<(const std::string &Str) {
+  return write(Str.data(), Str.size());
+}
+
+RawOStream &RawOStream::operator<<(bool B) {
+  return *this << (B ? "true" : "false");
+}
+
+RawOStream &RawOStream::operator<<(int32_t N) {
+  return *this << static_cast<int64_t>(N);
+}
+
+RawOStream &RawOStream::operator<<(uint32_t N) {
+  return *this << static_cast<uint64_t>(N);
+}
+
+RawOStream &RawOStream::operator<<(int64_t N) {
+  char Buf[32];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%" PRId64, N);
+  return write(Buf, static_cast<size_t>(Len));
+}
+
+RawOStream &RawOStream::operator<<(uint64_t N) {
+  char Buf[32];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%" PRIu64, N);
+  return write(Buf, static_cast<size_t>(Len));
+}
+
+RawOStream &RawOStream::operator<<(double D) {
+  char Buf[48];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%g", D);
+  return write(Buf, static_cast<size_t>(Len));
+}
+
+RawOStream &RawOStream::write(const char *Ptr, size_t Size) {
+  writeImpl(Ptr, Size);
+  return *this;
+}
+
+void FileOStream::writeImpl(const char *Ptr, size_t Size) {
+  std::fwrite(Ptr, 1, Size, File);
+}
+
+void FileOStream::flush() { std::fflush(File); }
+
+void StringOStream::writeImpl(const char *Ptr, size_t Size) {
+  Buffer.append(Ptr, Size);
+}
+
+RawOStream &ptm::outs() {
+  static FileOStream Stream(stdout);
+  return Stream;
+}
+
+RawOStream &ptm::errs() {
+  static FileOStream Stream(stderr);
+  return Stream;
+}

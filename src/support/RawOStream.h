@@ -1,0 +1,86 @@
+//===-- support/RawOStream.h - Lightweight output streams ------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal raw_ostream-style output facility. Library code never includes
+/// <iostream> (which injects static constructors); all human-readable output
+/// goes through these classes instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_SUPPORT_RAWOSTREAM_H
+#define PTM_SUPPORT_RAWOSTREAM_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace ptm {
+
+/// Abstract byte-oriented output stream with formatting operators for the
+/// types the project prints. Subclasses supply the sink via writeImpl().
+class RawOStream {
+public:
+  virtual ~RawOStream();
+
+  RawOStream &operator<<(char C);
+  RawOStream &operator<<(const char *Str);
+  RawOStream &operator<<(const std::string &Str);
+  RawOStream &operator<<(bool B);
+  RawOStream &operator<<(int32_t N);
+  RawOStream &operator<<(uint32_t N);
+  RawOStream &operator<<(int64_t N);
+  RawOStream &operator<<(uint64_t N);
+  RawOStream &operator<<(double D);
+
+  /// Writes exactly \p Size bytes from \p Ptr.
+  RawOStream &write(const char *Ptr, size_t Size);
+
+  /// Flushes any buffering performed by the sink.
+  virtual void flush() {}
+
+protected:
+  virtual void writeImpl(const char *Ptr, size_t Size) = 0;
+};
+
+/// Stream over a stdio FILE handle. Does not own the handle.
+class FileOStream : public RawOStream {
+public:
+  explicit FileOStream(std::FILE *File) : File(File) {}
+
+  void flush() override;
+
+protected:
+  void writeImpl(const char *Ptr, size_t Size) override;
+
+private:
+  std::FILE *File;
+};
+
+/// Stream that appends to a caller-owned std::string. Useful for tests and
+/// for composing table rows.
+class StringOStream : public RawOStream {
+public:
+  explicit StringOStream(std::string &Buffer) : Buffer(Buffer) {}
+
+protected:
+  void writeImpl(const char *Ptr, size_t Size) override;
+
+private:
+  std::string &Buffer;
+};
+
+/// Returns a stream bound to stdout. Safe to call from multiple threads only
+/// if callers serialize whole lines themselves.
+RawOStream &outs();
+
+/// Returns a stream bound to stderr.
+RawOStream &errs();
+
+} // namespace ptm
+
+#endif // PTM_SUPPORT_RAWOSTREAM_H

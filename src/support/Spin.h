@@ -1,0 +1,69 @@
+//===-- support/Spin.h - Spin-wait backoff helpers --------------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exponential backoff used by transaction retry loops and lock
+/// acquisition paths. Deterministic (no clock, no PRNG): the backoff
+/// sequence depends only on the number of failures so far, which keeps
+/// step-count experiments reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_SUPPORT_SPIN_H
+#define PTM_SUPPORT_SPIN_H
+
+#include "support/Compiler.h"
+
+#include <cstdint>
+#include <thread>
+
+namespace ptm {
+
+/// One pause inside a spin-wait loop: cheap CPU relaxes at first, then a
+/// scheduler yield every 128th call so oversubscribed hosts (more
+/// spinning threads than cores) still make progress. \p Count is the
+/// caller's loop-local counter.
+inline void spinPause(uint32_t &Count) {
+  if (PTM_UNLIKELY(++Count >= 128)) {
+    Count = 0;
+    std::this_thread::yield();
+  } else {
+    cpuRelax();
+  }
+}
+
+/// Exponential backoff: each call to spin() pauses roughly twice as long as
+/// the previous one, up to a cap.
+class Backoff {
+public:
+  explicit Backoff(uint32_t InitialSpins = 4, uint32_t MaxSpins = 1024)
+      : Current(InitialSpins), Initial(InitialSpins), Max(MaxSpins) {}
+
+  /// Busy-waits for the current backoff duration, then doubles it. Once
+  /// saturated, also yields: a capped backoff means heavy contention, and
+  /// on an oversubscribed host the contender we wait for may need a core.
+  void spin() {
+    for (uint32_t I = 0; I < Current; ++I)
+      cpuRelax();
+    if (Current < Max)
+      Current *= 2;
+    else
+      std::this_thread::yield();
+  }
+
+  /// Resets the backoff to its initial duration.
+  void reset() { Current = Initial; }
+
+private:
+  uint32_t Current;
+  uint32_t Initial;
+  uint32_t Max;
+};
+
+} // namespace ptm
+
+#endif // PTM_SUPPORT_SPIN_H

@@ -1,0 +1,55 @@
+//===-- support/Table.cpp - Aligned plain-text tables ---------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include "support/Format.h"
+#include "support/RawOStream.h"
+
+#include <cassert>
+
+using namespace ptm;
+
+TablePrinter::TablePrinter(std::vector<std::string> Header)
+    : Header(std::move(Header)) {
+  assert(!this->Header.empty() && "table must have at least one column");
+}
+
+void TablePrinter::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row arity must match header");
+  Rows.push_back(std::move(Row));
+}
+
+void TablePrinter::print(RawOStream &OS) const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t I = 0, E = Header.size(); I != E; ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0, E = Row.size(); I != E; ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+
+  auto printRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0, E = Row.size(); I != E; ++I) {
+      if (I != 0)
+        OS << "  ";
+      OS << (I == 0 ? padRight(Row[I], Widths[I]) : padLeft(Row[I], Widths[I]));
+    }
+    OS << '\n';
+  };
+
+  printRow(Header);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W;
+  Total += 2 * (Widths.size() - 1);
+  std::string Rule(Total, '-');
+  OS << Rule << '\n';
+  for (const auto &Row : Rows)
+    printRow(Row);
+  OS << '\n';
+}

@@ -1,0 +1,49 @@
+//===-- support/Table.h - Aligned plain-text tables ------------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny column-aligned table printer. Every benchmark harness reports its
+/// experiment as one of these tables so the output reads like the series a
+/// paper would plot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_SUPPORT_TABLE_H
+#define PTM_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace ptm {
+
+class RawOStream;
+
+/// Collects rows of string cells and prints them with columns aligned and a
+/// rule under the header. Column 0 is left-aligned; the rest right-aligned
+/// (the usual convention for label + numeric series).
+class TablePrinter {
+public:
+  /// Creates a table whose header row is \p Header.
+  explicit TablePrinter(std::vector<std::string> Header);
+
+  /// Appends one data row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Writes the table, followed by a blank line, to \p OS.
+  void print(RawOStream &OS) const;
+
+  /// Returns the number of data rows added so far.
+  size_t numRows() const { return Rows.size(); }
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace ptm
+
+#endif // PTM_SUPPORT_TABLE_H

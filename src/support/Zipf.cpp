@@ -1,0 +1,50 @@
+//===-- support/Zipf.cpp - Zipfian index sampler ---------------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Zipf.h"
+
+#include "support/Random.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace ptm;
+
+static double zeta(uint64_t N, double Theta) {
+  double Sum = 0.0;
+  for (uint64_t I = 1; I <= N; ++I)
+    Sum += 1.0 / std::pow(static_cast<double>(I), Theta);
+  return Sum;
+}
+
+ZipfDistribution::ZipfDistribution(uint64_t N, double Theta)
+    : N(N), Theta(Theta) {
+  assert(N > 0 && "domain must be nonempty");
+  assert(Theta >= 0.0 && Theta < 1.0 && "generator requires theta in [0,1)");
+  Zeta2Theta = zeta(2, Theta);
+  ZetaN = zeta(N, Theta);
+  Alpha = 1.0 / (1.0 - Theta);
+  Eta = (1.0 - std::pow(2.0 / static_cast<double>(N), 1.0 - Theta)) /
+        (1.0 - Zeta2Theta / ZetaN);
+}
+
+uint64_t ZipfDistribution::sample(Xoshiro256 &Rng) const {
+  if (N == 1)
+    return 0;
+  double U = Rng.nextDouble();
+  double Uz = U * ZetaN;
+  if (Uz < 1.0)
+    return 0;
+  if (Uz < 1.0 + std::pow(0.5, Theta))
+    return 1;
+  double Rank = static_cast<double>(N) *
+                std::pow(Eta * U - Eta + 1.0, Alpha);
+  uint64_t Result = static_cast<uint64_t>(Rank);
+  if (Result >= N)
+    Result = N - 1;
+  return Result;
+}

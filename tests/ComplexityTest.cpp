@@ -1,0 +1,208 @@
+//===-- tests/ComplexityTest.cpp - Theorem 3 shapes as assertions ---------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper's Theorem 3 complexity claims, verified deterministically on
+/// sequential executions with the step-counting instrumentation:
+///
+///  (1) the weak-DAP invisible-read TM (orec-incr) pays Θ(i) steps for its
+///      i-th t-read (incremental validation) and Θ(m²) for an m-read
+///      transaction, while each TM that drops one hypothesis (tl2, norec,
+///      tlrw, glock) reads in O(1) steps;
+///  (2) orec-incr's last t-read + tryCommit touches at least m-1 distinct
+///      base objects; tl2's touches O(1).
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Instrumentation.h"
+#include "stm/Stm.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace ptm;
+
+namespace {
+
+/// Runs one read-only transaction over objects [0, M) and returns the
+/// per-read OpStats, plus the commit's stats in \p CommitStats.
+std::vector<OpStats> measureReadOnlySweep(Tm &M, unsigned ReadSet,
+                                          OpStats &CommitStats) {
+  Instrumentation Instr(0);
+  ScopedInstrumentation Scope(Instr);
+  std::vector<OpStats> PerRead;
+  PerRead.reserve(ReadSet);
+
+  M.txBegin(0);
+  for (ObjectId Obj = 0; Obj < ReadSet; ++Obj) {
+    uint64_t V;
+    Instr.beginOp();
+    EXPECT_TRUE(M.txRead(0, Obj, V));
+    PerRead.push_back(Instr.endOp());
+  }
+  Instr.beginOp();
+  EXPECT_TRUE(M.txCommit(0));
+  CommitStats = Instr.endOp();
+  return PerRead;
+}
+
+uint64_t totalSteps(const std::vector<OpStats> &PerRead) {
+  uint64_t Sum = 0;
+  for (const OpStats &S : PerRead)
+    Sum += S.Steps;
+  return Sum;
+}
+
+} // namespace
+
+TEST(Theorem3Step, SubjectTmsReadsGrowLinearly) {
+  // Both weak-DAP invisible-read TMs (lazy and eager acquisition) are in
+  // the theorem's class and must pay the incremental-validation price.
+  constexpr unsigned M = 64;
+  for (TmKind Kind : {TmKind::TK_OrecIncremental, TmKind::TK_OrecEager}) {
+    auto Tm = createTm(Kind, M, 1);
+    OpStats Commit;
+    auto PerRead = measureReadOnlySweep(*Tm, M, Commit);
+
+    // The i-th read (0-based index I) validates I earlier entries: at
+    // least I steps beyond its own 3-step consistent read.
+    for (unsigned I = 0; I < M; ++I) {
+      EXPECT_GE(PerRead[I].Steps, I)
+          << tmKindName(Kind) << ": read " << I << " skipped validation";
+      EXPECT_LE(PerRead[I].Steps, I + 5)
+          << tmKindName(Kind) << ": read " << I << " oddly expensive";
+    }
+    // Total is quadratic: at least m(m-1)/2 — the Theorem 3(1) bound.
+    EXPECT_GE(totalSteps(PerRead), uint64_t{M} * (M - 1) / 2)
+        << tmKindName(Kind);
+  }
+}
+
+TEST(Theorem3Step, EscapeHatchTmsReadInConstantSteps) {
+  constexpr unsigned M = 64;
+  for (TmKind Kind : {TmKind::TK_Tl2, TmKind::TK_Norec, TmKind::TK_Tlrw,
+                      TmKind::TK_GlobalLock, TmKind::TK_Tml}) {
+    auto Tm = createTm(Kind, M, 1);
+    OpStats Commit;
+    auto PerRead = measureReadOnlySweep(*Tm, M, Commit);
+    for (unsigned I = 0; I < M; ++I)
+      EXPECT_LE(PerRead[I].Steps, 8u)
+          << tmKindName(Kind) << ": read " << I
+          << " should be O(1), the TM dropped a Theorem 3 hypothesis";
+    EXPECT_LE(totalSteps(PerRead), uint64_t{8} * M)
+        << tmKindName(Kind) << " read-only transactions must be linear";
+  }
+}
+
+TEST(Theorem3Step, QuadraticGapIsVisibleAtScale) {
+  // The gap between the subject TM and an escape-hatch TM must widen
+  // superlinearly with m.
+  for (unsigned M : {16u, 64u, 256u}) {
+    auto Subject = createTm(TmKind::TK_OrecIncremental, M, 1);
+    auto Escape = createTm(TmKind::TK_Tl2, M, 1);
+    OpStats C1, C2;
+    uint64_t SubjectSteps = totalSteps(measureReadOnlySweep(*Subject, M, C1));
+    uint64_t EscapeSteps = totalSteps(measureReadOnlySweep(*Escape, M, C2));
+    double Ratio =
+        static_cast<double>(SubjectSteps) / static_cast<double>(EscapeSteps);
+    EXPECT_GE(Ratio, static_cast<double>(M) / 8.0)
+        << "at m=" << M << " the quadratic/linear gap is too small";
+  }
+}
+
+TEST(Theorem3Space, SubjectTmsLastReadTouchesLinearObjects) {
+  constexpr unsigned M = 64;
+  for (TmKind Kind : {TmKind::TK_OrecIncremental, TmKind::TK_OrecEager}) {
+    auto Tm = createTm(Kind, M, 1);
+
+    Instrumentation Instr(0);
+    ScopedInstrumentation Scope(Instr);
+    Tm->txBegin(0);
+    uint64_t V;
+    for (ObjectId Obj = 0; Obj + 1 < M; ++Obj)
+      ASSERT_TRUE(Tm->txRead(0, Obj, V));
+
+    // The m-th t-read plus tryCommit: Theorem 3(2) says ≥ m-1 distinct
+    // base objects for this TM class.
+    Instr.beginOp();
+    ASSERT_TRUE(Tm->txRead(0, M - 1, V));
+    ASSERT_TRUE(Tm->txCommit(0));
+    OpStats Last = Instr.endOp();
+
+    EXPECT_GE(Last.DistinctObjects, uint64_t{M - 1}) << tmKindName(Kind);
+  }
+}
+
+TEST(Theorem3Space, Tl2LastReadTouchesConstantObjects) {
+  constexpr unsigned M = 64;
+  auto Tm = createTm(TmKind::TK_Tl2, M, 1);
+
+  Instrumentation Instr(0);
+  ScopedInstrumentation Scope(Instr);
+  Tm->txBegin(0);
+  uint64_t V;
+  for (ObjectId Obj = 0; Obj + 1 < M; ++Obj)
+    ASSERT_TRUE(Tm->txRead(0, Obj, V));
+
+  Instr.beginOp();
+  ASSERT_TRUE(Tm->txRead(0, M - 1, V));
+  ASSERT_TRUE(Tm->txCommit(0));
+  OpStats Last = Instr.endOp();
+
+  EXPECT_LE(Last.DistinctObjects, 4u)
+      << "TL2's global clock should make the last read O(1) in space";
+}
+
+TEST(Theorem3Step, WriteSetSizeDoesNotInflateReadCost) {
+  // Buffered writes are local bookkeeping; reading an object in the write
+  // set must not touch shared memory at all for the lazy TMs.
+  for (TmKind Kind :
+       {TmKind::TK_Tl2, TmKind::TK_Norec, TmKind::TK_OrecIncremental}) {
+    auto Tm = createTm(Kind, 16, 1);
+    Instrumentation Instr(0);
+    ScopedInstrumentation Scope(Instr);
+    Tm->txBegin(0);
+    ASSERT_TRUE(Tm->txWrite(0, 3, 99));
+    uint64_t V;
+    Instr.beginOp();
+    ASSERT_TRUE(Tm->txRead(0, 3, V));
+    OpStats S = Instr.endOp();
+    EXPECT_EQ(V, 99u);
+    EXPECT_EQ(S.Steps, 0u)
+        << tmKindName(Kind) << ": read-own-write hit shared memory";
+    ASSERT_TRUE(Tm->txCommit(0));
+  }
+}
+
+TEST(Theorem3Step, VisibleReadsApplyNontrivialPrimitives) {
+  // TLRW's escape hatch is precisely that its reads are *visible*: each
+  // first read of an object applies a nontrivial primitive (lock CAS).
+  auto Tm = createTm(TmKind::TK_Tlrw, 8, 1);
+  Instrumentation Instr(0);
+  ScopedInstrumentation Scope(Instr);
+  Tm->txBegin(0);
+  uint64_t V;
+  Instr.beginOp();
+  ASSERT_TRUE(Tm->txRead(0, 0, V));
+  OpStats S = Instr.endOp();
+  EXPECT_GE(S.NontrivialSteps, 1u) << "TLRW reads must be visible";
+  ASSERT_TRUE(Tm->txCommit(0));
+
+  // By contrast the invisible-read TMs apply none.
+  for (TmKind Kind : {TmKind::TK_Tl2, TmKind::TK_Norec,
+                      TmKind::TK_OrecIncremental, TmKind::TK_OrecEager,
+                      TmKind::TK_Tml}) {
+    auto M2 = createTm(Kind, 8, 1);
+    M2->txBegin(0);
+    Instr.beginOp();
+    ASSERT_TRUE(M2->txRead(0, 0, V));
+    OpStats S2 = Instr.endOp();
+    EXPECT_EQ(S2.NontrivialSteps, 0u)
+        << tmKindName(Kind) << " reads must be invisible";
+    ASSERT_TRUE(M2->txCommit(0));
+  }
+}

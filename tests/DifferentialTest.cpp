@@ -1,0 +1,148 @@
+//===-- tests/DifferentialTest.cpp - Differential testing vs a model ------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// Randomized sequential differential testing: every TM is driven with a
+/// long random schedule of begin/read/write/commit/abort and compared
+/// op-for-op against a trivial reference implementation (a map plus an
+/// overlay). In sequential executions a TM must never abort
+/// involuntarily and every read must match the model exactly — any
+/// divergence in read-own-write handling, abort rollback or commit
+/// publication shows up immediately.
+///
+/// Parameterized over (TmKind × seed) as a property-style sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#include "stm/Stm.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+using namespace ptm;
+
+namespace {
+
+/// The reference: committed state + transaction overlay.
+class ModelTm {
+public:
+  void begin() { Overlay.clear(); }
+
+  uint64_t read(ObjectId Obj) const {
+    if (auto It = Overlay.find(Obj); It != Overlay.end())
+      return It->second;
+    if (auto It = Committed.find(Obj); It != Committed.end())
+      return It->second;
+    return 0;
+  }
+
+  void write(ObjectId Obj, uint64_t Value) { Overlay[Obj] = Value; }
+
+  void commit() {
+    for (const auto &[Obj, Value] : Overlay)
+      Committed[Obj] = Value;
+    Overlay.clear();
+  }
+
+  void abort() { Overlay.clear(); }
+
+  uint64_t committedValue(ObjectId Obj) const {
+    auto It = Committed.find(Obj);
+    return It == Committed.end() ? 0 : It->second;
+  }
+
+private:
+  std::map<ObjectId, uint64_t> Committed;
+  std::map<ObjectId, uint64_t> Overlay;
+};
+
+using Param = std::tuple<TmKind, uint64_t>;
+
+class DifferentialTest : public ::testing::TestWithParam<Param> {};
+
+std::string paramName(const ::testing::TestParamInfo<Param> &Info) {
+  std::string Name = tmKindName(std::get<0>(Info.param));
+  for (char &C : Name)
+    if (C == '-')
+      C = '_';
+  return Name + "_seed" + std::to_string(std::get<1>(Info.param));
+}
+
+} // namespace
+
+TEST_P(DifferentialTest, MatchesModelOnRandomSchedules) {
+  auto [Kind, Seed] = GetParam();
+  constexpr unsigned NumObjects = 12;
+  constexpr int NumOps = 4000;
+
+  auto M = createTm(Kind, NumObjects, 2);
+  ModelTm Model;
+  Xoshiro256 Rng(Seed);
+
+  bool Active = false;
+  int OpsThisTxn = 0;
+  for (int I = 0; I < NumOps; ++I) {
+    if (!Active) {
+      M->txBegin(0);
+      Model.begin();
+      Active = true;
+      OpsThisTxn = 0;
+      continue;
+    }
+    ObjectId Obj = static_cast<ObjectId>(Rng.nextBounded(NumObjects));
+    double Dice = Rng.nextDouble();
+    // Bias toward reads/writes; occasionally finish the transaction.
+    if (Dice < 0.45 || OpsThisTxn < 1) {
+      uint64_t Got = 1;
+      ASSERT_TRUE(M->txRead(0, Obj, Got))
+          << "sequential read aborted at op " << I;
+      ASSERT_EQ(Got, Model.read(Obj)) << "read mismatch at op " << I
+                                      << " obj " << Obj;
+      ++OpsThisTxn;
+    } else if (Dice < 0.85) {
+      uint64_t Value = Rng.next() % 1000;
+      ASSERT_TRUE(M->txWrite(0, Obj, Value))
+          << "sequential write aborted at op " << I;
+      Model.write(Obj, Value);
+      ++OpsThisTxn;
+    } else if (Dice < 0.95) {
+      ASSERT_TRUE(M->txCommit(0)) << "sequential commit failed at op " << I;
+      Model.commit();
+      Active = false;
+    } else {
+      M->txAbort(0);
+      Model.abort();
+      Active = false;
+    }
+
+    // Cross-check committed state while quiescent.
+    if (!Active && (I % 97) == 0) {
+      for (ObjectId O = 0; O < NumObjects; ++O)
+        ASSERT_EQ(M->sample(O), Model.committedValue(O))
+            << "committed state diverged at op " << I << " obj " << O;
+    }
+  }
+  if (Active) {
+    ASSERT_TRUE(M->txCommit(0));
+    Model.commit();
+  }
+  for (ObjectId O = 0; O < NumObjects; ++O)
+    EXPECT_EQ(M->sample(O), Model.committedValue(O)) << "final state, obj "
+                                                     << O;
+  EXPECT_EQ(M->stats().Aborts[static_cast<unsigned>(
+                AbortCause::AC_ReadValidation)],
+            0u)
+      << "sequential executions must never fail validation";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DifferentialTest,
+    ::testing::Combine(::testing::ValuesIn(allTmKinds()),
+                       ::testing::Values(1u, 2u, 3u, 4u)),
+    paramName);

@@ -1,0 +1,138 @@
+//===-- tests/HistoryRecorderTest.cpp - RecordingTm unit tests ------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "history/RecordingTm.h"
+
+#include "stm/Stm.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace ptm;
+
+namespace {
+std::unique_ptr<RecordingTm> makeRecorder() {
+  return std::make_unique<RecordingTm>(createTm(TmKind::TK_Tl2, 8, 4));
+}
+} // namespace
+
+TEST(RecordingTm, TicketsAreMonotonicPerTransaction) {
+  auto M = makeRecorder();
+  M->txBegin(0);
+  uint64_t V;
+  ASSERT_TRUE(M->txRead(0, 0, V));
+  ASSERT_TRUE(M->txWrite(0, 1, 5));
+  ASSERT_TRUE(M->txCommit(0));
+  History H = M->takeHistory();
+  ASSERT_EQ(H.Txns.size(), 1u);
+  EXPECT_LT(H.Txns[0].FirstTicket, H.Txns[0].LastTicket);
+}
+
+TEST(RecordingTm, SequentialTransactionsAreRealTimeOrdered) {
+  auto M = makeRecorder();
+  for (int I = 0; I < 3; ++I) {
+    M->txBegin(0);
+    ASSERT_TRUE(M->txWrite(0, 0, I));
+    ASSERT_TRUE(M->txCommit(0));
+  }
+  History H = M->takeHistory();
+  ASSERT_EQ(H.Txns.size(), 3u);
+  EXPECT_TRUE(H.Txns[0].precedes(H.Txns[1]));
+  EXPECT_TRUE(H.Txns[1].precedes(H.Txns[2]));
+  EXPECT_FALSE(H.Txns[2].precedes(H.Txns[0]));
+}
+
+TEST(RecordingTm, VoluntaryAbortIsRecordedAsAborted) {
+  auto M = makeRecorder();
+  M->txBegin(0);
+  ASSERT_TRUE(M->txWrite(0, 0, 9));
+  M->txAbort(0);
+  History H = M->takeHistory();
+  ASSERT_EQ(H.Txns.size(), 1u);
+  EXPECT_FALSE(H.Txns[0].committed());
+  ASSERT_EQ(H.Txns[0].Ops.size(), 1u);
+  EXPECT_EQ(H.Txns[0].Ops[0].Kind, TOpKind::TO_Write);
+}
+
+TEST(RecordingTm, FailedOperationsAreNotRecordedAsOps) {
+  // A read that returns A_k returns no value, so legality constrains
+  // nothing: the recorder must not add an op for it.
+  auto M = std::make_unique<RecordingTm>(createTm(TmKind::TK_Tlrw, 4, 2));
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 0, 7)); // Thread 1 write-locks object 0.
+
+  M->txBegin(0);
+  uint64_t V;
+  EXPECT_FALSE(M->txRead(0, 0, V));
+  ASSERT_TRUE(M->txCommit(1));
+
+  History H = M->takeHistory();
+  ASSERT_EQ(H.Txns.size(), 2u);
+  const TxnRecord *Aborted = nullptr;
+  for (const TxnRecord &T : H.Txns)
+    if (!T.committed())
+      Aborted = &T;
+  ASSERT_NE(Aborted, nullptr);
+  EXPECT_TRUE(Aborted->Ops.empty())
+      << "the failed read must leave no legality obligation";
+}
+
+TEST(RecordingTm, ReadOnlyClassification) {
+  auto M = makeRecorder();
+  M->txBegin(0);
+  uint64_t V;
+  ASSERT_TRUE(M->txRead(0, 0, V));
+  ASSERT_TRUE(M->txCommit(0));
+  M->txBegin(0);
+  ASSERT_TRUE(M->txWrite(0, 0, 1));
+  ASSERT_TRUE(M->txCommit(0));
+  History H = M->takeHistory();
+  ASSERT_EQ(H.Txns.size(), 2u);
+  EXPECT_TRUE(H.Txns[0].readOnly());
+  EXPECT_FALSE(H.Txns[1].readOnly());
+}
+
+TEST(RecordingTm, TakeHistoryMergesThreadsSortedByStart) {
+  auto M = makeRecorder();
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < 4; ++T) {
+    Workers.emplace_back([&, T] {
+      for (int I = 0; I < 5; ++I) {
+        M->txBegin(T);
+        uint64_t V;
+        if (M->txRead(T, T, V) && M->txWrite(T, T, V + 1))
+          (void)M->txCommit(T);
+      }
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+
+  History H = M->takeHistory();
+  EXPECT_EQ(H.Txns.size(), 20u);
+  for (size_t I = 1; I < H.Txns.size(); ++I)
+    EXPECT_LE(H.Txns[I - 1].FirstTicket, H.Txns[I].FirstTicket);
+
+  // takeHistory drains: a second call returns an empty history.
+  EXPECT_TRUE(M->takeHistory().Txns.empty());
+}
+
+TEST(RecordingTm, ForwardsStatsAndSamples) {
+  auto M = makeRecorder();
+  M->txBegin(2);
+  ASSERT_TRUE(M->txWrite(2, 3, 77));
+  ASSERT_TRUE(M->txCommit(2));
+  EXPECT_EQ(M->sample(3), 77u);
+  EXPECT_EQ(M->stats().Commits, 1u);
+  EXPECT_EQ(M->kind(), TmKind::TK_Tl2);
+  EXPECT_EQ(M->numObjects(), 8u);
+  EXPECT_EQ(M->maxThreads(), 4u);
+  M->resetStats();
+  EXPECT_EQ(M->stats().Commits, 0u);
+}

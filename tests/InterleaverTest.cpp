@@ -1,0 +1,158 @@
+//===-- tests/InterleaverTest.cpp - Round-robin scheduler tests ------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/BaseObject.h"
+#include "runtime/Instrumentation.h"
+#include "runtime/Interleaver.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace ptm;
+
+TEST(Interleaver, SingleThreadNeverBlocks) {
+  RoundRobinInterleaver Sched(1);
+  for (int I = 0; I < 1000; ++I)
+    Sched.step(0);
+  Sched.retire(0);
+  SUCCEED();
+}
+
+TEST(Interleaver, StrictAlternationOfSteps) {
+  // Two threads record the global order of their steps; the sequence must
+  // alternate strictly (round-robin at step granularity).
+  RoundRobinInterleaver Sched(2);
+  constexpr int StepsPerThread = 500;
+  std::vector<ThreadId> Order(2 * StepsPerThread);
+  std::atomic<size_t> Slot{0};
+
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < 2; ++T) {
+    Workers.emplace_back([&, T] {
+      for (int I = 0; I < StepsPerThread; ++I) {
+        Sched.step(T);
+        Order[Slot.fetch_add(1)] = T;
+      }
+      Sched.retire(T);
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+
+  // The recording slot is claimed after the token moves on, so a burst of
+  // reordering of +-1 position is possible; check balance in windows
+  // instead of exact alternation: in any prefix the counts differ by a
+  // small constant.
+  int Balance = 0;
+  int MaxSkew = 0;
+  for (ThreadId T : Order) {
+    Balance += T == 0 ? 1 : -1;
+    MaxSkew = std::max(MaxSkew, Balance < 0 ? -Balance : Balance);
+  }
+  EXPECT_LE(MaxSkew, 3) << "scheduling was not near-round-robin";
+}
+
+TEST(Interleaver, RetiredThreadsAreSkipped) {
+  RoundRobinInterleaver Sched(3);
+  std::atomic<uint64_t> Steps2{0};
+
+  std::thread T0([&] {
+    for (int I = 0; I < 10; ++I)
+      Sched.step(0);
+    Sched.retire(0);
+  });
+  std::thread T1([&] {
+    for (int I = 0; I < 10; ++I)
+      Sched.step(1);
+    Sched.retire(1);
+  });
+  std::thread T2([&] {
+    // Keeps stepping long after the others retired; must never wedge.
+    for (int I = 0; I < 5000; ++I) {
+      Sched.step(2);
+      Steps2.fetch_add(1);
+    }
+    Sched.retire(2);
+  });
+  T0.join();
+  T1.join();
+  T2.join();
+  EXPECT_EQ(Steps2.load(), 5000u);
+}
+
+TEST(RandomInterleaver, AllStepsCompleteUnderBurstySchedules) {
+  // The random policy may hand the token back to the same thread
+  // repeatedly (bursts); every thread must still complete all its steps
+  // (no wedging). Note: the *token hand-off order* is deterministic per
+  // seed, but observing it from outside would race with the hand-off, so
+  // this test asserts liveness and balance only.
+  for (uint64_t Seed : {42u, 43u, 44u}) {
+    RandomInterleaver Sched(3, Seed);
+    std::atomic<uint64_t> Counts[3] = {{0}, {0}, {0}};
+    std::vector<std::thread> Workers;
+    for (unsigned T = 0; T < 3; ++T) {
+      Workers.emplace_back([&, T] {
+        for (int I = 0; I < 500; ++I) {
+          Sched.step(T);
+          Counts[T].fetch_add(1);
+        }
+        Sched.retire(T);
+      });
+    }
+    for (std::thread &W : Workers)
+      W.join();
+    for (unsigned T = 0; T < 3; ++T)
+      EXPECT_EQ(Counts[T].load(), 500u) << "thread " << T;
+  }
+}
+
+TEST(RandomInterleaver, RetiredThreadsAreNeverPicked) {
+  RandomInterleaver Sched(4, 7);
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < 4; ++T) {
+    Workers.emplace_back([&, T] {
+      // Uneven work: early retirees must not wedge the survivors.
+      for (unsigned I = 0; I < 10 * (T + 1); ++I)
+        Sched.step(T);
+      Sched.retire(T);
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+  SUCCEED();
+}
+
+TEST(Interleaver, DrivesInstrumentedBaseObjectAccesses) {
+  // End-to-end: two instrumented threads hammer one object through the
+  // scheduler; total steps are exact and no deadlock occurs even though
+  // the host may serialize the threads arbitrarily.
+  RoundRobinInterleaver Sched(2);
+  BaseObject Obj(0);
+  std::atomic<uint64_t> Total{0};
+
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < 2; ++T) {
+    Workers.emplace_back([&, T] {
+      Instrumentation Instr(T, nullptr, &Sched);
+      {
+        ScopedInstrumentation Scope(Instr);
+        for (int I = 0; I < 2000; ++I)
+          Obj.fetchAdd(1);
+      }
+      Sched.retire(T);
+      Total.fetch_add(Instr.totalSteps());
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+
+  EXPECT_EQ(Obj.peek(), 4000u);
+  EXPECT_EQ(Total.load(), 4000u);
+}

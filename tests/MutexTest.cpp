@@ -1,0 +1,199 @@
+//===-- tests/MutexTest.cpp - Mutual exclusion property tests --------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// The paper's mutex properties (Section 5), tested for every lock in the
+/// module — the five classical baselines and Algorithm 1 over each of the
+/// five TMs:
+///
+///  * mutual exclusion — no two processes in the critical section;
+///  * deadlock-freedom — contended runs always complete;
+///  * finite exit — Exit involves no waiting.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mutex/Mutex.h"
+#include "mutex/TmMutex.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ptm;
+
+namespace {
+
+struct MutexParam {
+  const char *Label;
+  std::unique_ptr<Mutex> (*Make)(unsigned NumThreads);
+};
+
+template <MutexKind Kind>
+std::unique_ptr<Mutex> makeBaseline(unsigned NumThreads) {
+  return createMutex(Kind, NumThreads);
+}
+
+template <TmKind Kind> std::unique_ptr<Mutex> makeTmBased(unsigned NumThreads) {
+  return createTmMutex(Kind, NumThreads);
+}
+
+const MutexParam kParams[] = {
+    {"tas", makeBaseline<MutexKind::MK_Tas>},
+    {"ttas", makeBaseline<MutexKind::MK_Ttas>},
+    {"ticket", makeBaseline<MutexKind::MK_Ticket>},
+    {"mcs", makeBaseline<MutexKind::MK_Mcs>},
+    {"clh", makeBaseline<MutexKind::MK_Clh>},
+    {"tm_glock", makeTmBased<TmKind::TK_GlobalLock>},
+    {"tm_tl2", makeTmBased<TmKind::TK_Tl2>},
+    {"tm_norec", makeTmBased<TmKind::TK_Norec>},
+    {"tm_orec_incr", makeTmBased<TmKind::TK_OrecIncremental>},
+    {"tm_orec_eager", makeTmBased<TmKind::TK_OrecEager>},
+    {"tm_tlrw", makeTmBased<TmKind::TK_Tlrw>},
+    {"tm_tml", makeTmBased<TmKind::TK_Tml>},
+};
+
+class MutexTest : public ::testing::TestWithParam<MutexParam> {};
+
+std::string paramName(const ::testing::TestParamInfo<MutexParam> &Info) {
+  return Info.param.Label;
+}
+
+} // namespace
+
+TEST_P(MutexTest, SingleThreadPassages) {
+  auto L = GetParam().Make(1);
+  for (int I = 0; I < 100; ++I) {
+    L->enter(0);
+    L->exit(0);
+  }
+  SUCCEED();
+}
+
+TEST_P(MutexTest, SequentialAlternationBetweenThreads) {
+  auto L = GetParam().Make(3);
+  for (int I = 0; I < 30; ++I) {
+    ThreadId Tid = I % 3;
+    L->enter(Tid);
+    L->exit(Tid);
+  }
+  SUCCEED();
+}
+
+TEST_P(MutexTest, MutualExclusionUnderContention) {
+  constexpr unsigned Threads = 4;
+  constexpr int Passages = 400;
+  auto L = GetParam().Make(Threads);
+
+  std::atomic<int> Occupancy{0};
+  std::atomic<int> Collisions{0};
+  // Deliberately non-atomic: only mutual exclusion protects it.
+  volatile uint64_t PlainCounter = 0;
+
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T) {
+    Workers.emplace_back([&, T] {
+      for (int I = 0; I < Passages; ++I) {
+        L->enter(T);
+        if (Occupancy.fetch_add(1, std::memory_order_acq_rel) != 0)
+          Collisions.fetch_add(1, std::memory_order_relaxed);
+        PlainCounter = PlainCounter + 1;
+        Occupancy.fetch_sub(1, std::memory_order_acq_rel);
+        L->exit(T);
+      }
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+
+  EXPECT_EQ(Collisions.load(), 0) << "two threads were in the CS at once";
+  EXPECT_EQ(PlainCounter, uint64_t{Threads} * Passages)
+      << "lost update inside the critical section";
+}
+
+TEST_P(MutexTest, DeadlockFreedomTwoThreadsTightLoop) {
+  // The finishing of this test *is* the assertion: repeated hand-offs
+  // between two threads must never wedge (this hammers the Done/Succ
+  // registration race in Algorithm 1).
+  constexpr int Passages = 2000;
+  auto L = GetParam().Make(2);
+  uint64_t Shared = 0;
+
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < 2; ++T) {
+    Workers.emplace_back([&, T] {
+      for (int I = 0; I < Passages; ++I) {
+        L->enter(T);
+        Shared = Shared + 1;
+        L->exit(T);
+      }
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(Shared, uint64_t{2} * Passages);
+}
+
+TEST_P(MutexTest, ProgressWithUnevenWorkloads) {
+  // Threads do different numbers of passages; everyone must finish even
+  // when contenders disappear (no one waits on a ghost).
+  constexpr unsigned Threads = 4;
+  auto L = GetParam().Make(Threads);
+  std::atomic<uint64_t> Done{0};
+
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T) {
+    Workers.emplace_back([&, T] {
+      int Mine = 50 * (static_cast<int>(T) + 1);
+      for (int I = 0; I < Mine; ++I) {
+        L->enter(T);
+        L->exit(T);
+      }
+      Done.fetch_add(1);
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(Done.load(), Threads);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLocks, MutexTest, ::testing::ValuesIn(kParams),
+                         paramName);
+
+//===----------------------------------------------------------------------===//
+// Algorithm 1 specifics
+//===----------------------------------------------------------------------===//
+
+TEST(TmMutex, InnerTmObservesCommits) {
+  auto M = createTm(TmKind::TK_Tl2, 1, 2);
+  Tm *Raw = M.get();
+  TmMutex L(std::move(M), 2);
+  for (int I = 0; I < 10; ++I) {
+    L.enter(0);
+    L.exit(0);
+  }
+  // Each passage commits exactly one func() transaction when uncontended.
+  EXPECT_EQ(Raw->stats().Commits, 10u);
+}
+
+TEST(TmMutex, NameIdentifiesInnerTm) {
+  auto L = createTmMutex(TmKind::TK_Norec, 2);
+  EXPECT_STREQ(L->name(), "tm-mutex(norec)");
+}
+
+TEST(TmMutex, QueueHandoffIsFifoWhenSequential) {
+  // Sequential passages from distinct threads chain through X: each
+  // enterer finds the previous holder's tag and must see Done=true.
+  auto L = createTmMutex(TmKind::TK_OrecIncremental, 4);
+  for (int Round = 0; Round < 5; ++Round)
+    for (ThreadId T = 0; T < 4; ++T) {
+      L->enter(T);
+      L->exit(T);
+    }
+  SUCCEED();
+}

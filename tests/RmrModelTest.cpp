@@ -1,0 +1,189 @@
+//===-- tests/RmrModelTest.cpp - RMR simulator unit tests ------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// Hand-computed coherence scenarios for the three memory models of the
+/// paper's Section 5. Thread ids are passed explicitly, so multi-process
+/// interleavings are simulated deterministically from one test thread.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/BaseObject.h"
+#include "runtime/Instrumentation.h"
+#include "runtime/RmrSimulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace ptm;
+
+namespace {
+constexpr uint64_t kObj = 100;
+constexpr uint64_t kOther = 200;
+constexpr AccessKind R = AccessKind::AK_Read;
+constexpr AccessKind W = AccessKind::AK_Write;
+constexpr AccessKind C = AccessKind::AK_Cas;
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Write-through CC
+//===----------------------------------------------------------------------===//
+
+TEST(RmrCcWriteThrough, FirstReadMissesThenHits) {
+  RmrSimulator Sim(MemoryModelKind::MM_CcWriteThrough, 4);
+  EXPECT_TRUE(Sim.access(0, kObj, R, kNoThread));
+  EXPECT_FALSE(Sim.access(0, kObj, R, kNoThread));
+  EXPECT_FALSE(Sim.access(0, kObj, R, kNoThread));
+}
+
+TEST(RmrCcWriteThrough, WriteAlwaysRmrAndInvalidatesOthers) {
+  RmrSimulator Sim(MemoryModelKind::MM_CcWriteThrough, 4);
+  EXPECT_TRUE(Sim.access(0, kObj, R, kNoThread));  // p0 caches.
+  EXPECT_TRUE(Sim.access(1, kObj, W, kNoThread));  // p1 writes: RMR.
+  EXPECT_TRUE(Sim.access(1, kObj, W, kNoThread));  // Write-through: again.
+  EXPECT_TRUE(Sim.access(0, kObj, R, kNoThread));  // p0 was invalidated.
+  EXPECT_FALSE(Sim.access(1, kObj, R, kNoThread)); // Writer kept a copy.
+}
+
+TEST(RmrCcWriteThrough, CasCountsAsWrite) {
+  RmrSimulator Sim(MemoryModelKind::MM_CcWriteThrough, 2);
+  EXPECT_TRUE(Sim.access(0, kObj, R, kNoThread));
+  EXPECT_TRUE(Sim.access(1, kObj, C, kNoThread));
+  EXPECT_TRUE(Sim.access(0, kObj, R, kNoThread)) << "CAS invalidated p0";
+}
+
+TEST(RmrCcWriteThrough, ObjectsAreIndependent) {
+  RmrSimulator Sim(MemoryModelKind::MM_CcWriteThrough, 2);
+  EXPECT_TRUE(Sim.access(0, kObj, R, kNoThread));
+  EXPECT_TRUE(Sim.access(0, kOther, R, kNoThread));
+  EXPECT_TRUE(Sim.access(1, kOther, W, kNoThread));
+  EXPECT_FALSE(Sim.access(0, kObj, R, kNoThread))
+      << "write to another object must not invalidate this one";
+}
+
+TEST(RmrCcWriteThrough, LocalSpinPattern) {
+  // A TTAS-style waiter: after one miss it spins locally until the holder
+  // writes. This is the pattern that gives queue locks O(1) RMRs.
+  RmrSimulator Sim(MemoryModelKind::MM_CcWriteThrough, 2);
+  EXPECT_TRUE(Sim.access(1, kObj, R, kNoThread));
+  for (int I = 0; I < 100; ++I)
+    EXPECT_FALSE(Sim.access(1, kObj, R, kNoThread));
+  EXPECT_TRUE(Sim.access(0, kObj, W, kNoThread)); // Holder releases.
+  EXPECT_TRUE(Sim.access(1, kObj, R, kNoThread)); // One reload...
+  EXPECT_FALSE(Sim.access(1, kObj, R, kNoThread)); // ...then local again.
+}
+
+//===----------------------------------------------------------------------===//
+// Write-back CC
+//===----------------------------------------------------------------------===//
+
+TEST(RmrCcWriteBack, ReadSharing) {
+  RmrSimulator Sim(MemoryModelKind::MM_CcWriteBack, 4);
+  EXPECT_TRUE(Sim.access(0, kObj, R, kNoThread));
+  EXPECT_TRUE(Sim.access(1, kObj, R, kNoThread));
+  EXPECT_FALSE(Sim.access(0, kObj, R, kNoThread))
+      << "shared copies coexist across readers";
+  EXPECT_FALSE(Sim.access(1, kObj, R, kNoThread));
+}
+
+TEST(RmrCcWriteBack, WriterGetsExclusiveAndWritesLocally) {
+  RmrSimulator Sim(MemoryModelKind::MM_CcWriteBack, 4);
+  EXPECT_TRUE(Sim.access(0, kObj, W, kNoThread));  // Take exclusive.
+  EXPECT_FALSE(Sim.access(0, kObj, W, kNoThread)); // Local in exclusive.
+  EXPECT_FALSE(Sim.access(0, kObj, R, kNoThread)); // Reads local too.
+}
+
+TEST(RmrCcWriteBack, ReadMissInvalidatesExclusiveHolder) {
+  RmrSimulator Sim(MemoryModelKind::MM_CcWriteBack, 4);
+  EXPECT_TRUE(Sim.access(0, kObj, W, kNoThread)); // p0 exclusive.
+  EXPECT_TRUE(Sim.access(1, kObj, R, kNoThread)); // p1 read: writes back,
+                                                  // invalidates p0.
+  EXPECT_TRUE(Sim.access(0, kObj, R, kNoThread)) << "p0 lost its copy";
+}
+
+TEST(RmrCcWriteBack, WriteInvalidatesAllSharedCopies) {
+  RmrSimulator Sim(MemoryModelKind::MM_CcWriteBack, 4);
+  EXPECT_TRUE(Sim.access(0, kObj, R, kNoThread));
+  EXPECT_TRUE(Sim.access(1, kObj, R, kNoThread));
+  EXPECT_TRUE(Sim.access(2, kObj, W, kNoThread));
+  EXPECT_TRUE(Sim.access(0, kObj, R, kNoThread));
+  EXPECT_TRUE(Sim.access(1, kObj, R, kNoThread));
+}
+
+TEST(RmrCcWriteBack, UpgradeFromSharedIsRmr) {
+  RmrSimulator Sim(MemoryModelKind::MM_CcWriteBack, 2);
+  EXPECT_TRUE(Sim.access(0, kObj, R, kNoThread));  // Shared.
+  EXPECT_TRUE(Sim.access(0, kObj, W, kNoThread));  // Upgrade: RMR.
+  EXPECT_FALSE(Sim.access(0, kObj, W, kNoThread)); // Exclusive now.
+}
+
+//===----------------------------------------------------------------------===//
+// DSM
+//===----------------------------------------------------------------------===//
+
+TEST(RmrDsm, HomeAccessIsLocal) {
+  RmrSimulator Sim(MemoryModelKind::MM_Dsm, 4);
+  EXPECT_FALSE(Sim.access(2, kObj, R, /*Home=*/2));
+  EXPECT_FALSE(Sim.access(2, kObj, W, /*Home=*/2));
+  EXPECT_TRUE(Sim.access(1, kObj, R, /*Home=*/2));
+  EXPECT_TRUE(Sim.access(1, kObj, W, /*Home=*/2));
+}
+
+TEST(RmrDsm, UnhomedIsRemoteToEveryone) {
+  RmrSimulator Sim(MemoryModelKind::MM_Dsm, 4);
+  for (ThreadId T = 0; T < 4; ++T)
+    EXPECT_TRUE(Sim.access(T, kObj, R, kNoThread));
+}
+
+TEST(RmrDsm, NoCachingEffects) {
+  RmrSimulator Sim(MemoryModelKind::MM_Dsm, 2);
+  // Repeated remote reads stay remote: DSM has no caches in this model.
+  EXPECT_TRUE(Sim.access(0, kObj, R, /*Home=*/1));
+  EXPECT_TRUE(Sim.access(0, kObj, R, /*Home=*/1));
+}
+
+//===----------------------------------------------------------------------===//
+// Reset and integration with Instrumentation/BaseObject
+//===----------------------------------------------------------------------===//
+
+TEST(RmrSimulator, ResetForgetsCaches) {
+  RmrSimulator Sim(MemoryModelKind::MM_CcWriteThrough, 2);
+  EXPECT_TRUE(Sim.access(0, kObj, R, kNoThread));
+  EXPECT_FALSE(Sim.access(0, kObj, R, kNoThread));
+  Sim.reset();
+  EXPECT_TRUE(Sim.access(0, kObj, R, kNoThread)) << "cold after reset";
+}
+
+TEST(RmrSimulator, BaseObjectAccessesChargeRmrs) {
+  RmrSimulator Sim(MemoryModelKind::MM_CcWriteThrough, 2);
+  Instrumentation Instr(0, &Sim);
+  ScopedInstrumentation Scope(Instr);
+
+  BaseObject O(0);
+  (void)O.read(); // Miss.
+  (void)O.read(); // Hit.
+  O.write(1);     // Write-through RMR.
+
+  EXPECT_EQ(Instr.totalRmrs(), 2u);
+  EXPECT_EQ(Instr.totalSteps(), 3u);
+}
+
+TEST(RmrSimulator, PerOpRmrAccounting) {
+  RmrSimulator Sim(MemoryModelKind::MM_Dsm, 2);
+  Instrumentation Instr(1, &Sim);
+  ScopedInstrumentation Scope(Instr);
+
+  BaseObject Local(0, /*Home=*/1);
+  BaseObject Remote(0, /*Home=*/0);
+
+  Instr.beginOp();
+  (void)Local.read();
+  (void)Remote.read();
+  (void)Remote.read();
+  OpStats Stats = Instr.endOp();
+
+  EXPECT_EQ(Stats.Steps, 3u);
+  EXPECT_EQ(Stats.Rmrs, 2u);
+}

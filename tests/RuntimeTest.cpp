@@ -1,0 +1,170 @@
+//===-- tests/RuntimeTest.cpp - BaseObject & instrumentation tests --------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/AccessKind.h"
+#include "runtime/BaseObject.h"
+#include "runtime/Instrumentation.h"
+
+#include <gtest/gtest.h>
+
+using namespace ptm;
+
+TEST(AccessKind, Classification) {
+  EXPECT_FALSE(isNontrivial(AccessKind::AK_Read));
+  EXPECT_TRUE(isNontrivial(AccessKind::AK_Write));
+  EXPECT_TRUE(isNontrivial(AccessKind::AK_Cas));
+  EXPECT_TRUE(isNontrivial(AccessKind::AK_FetchAdd));
+  EXPECT_TRUE(isNontrivial(AccessKind::AK_Exchange));
+
+  // Only CAS is conditional; FAA and swap are unconditional (the
+  // distinction Theorem 9 hinges on).
+  EXPECT_FALSE(isConditional(AccessKind::AK_Read));
+  EXPECT_TRUE(isConditional(AccessKind::AK_Cas));
+  EXPECT_FALSE(isConditional(AccessKind::AK_FetchAdd));
+  EXPECT_FALSE(isConditional(AccessKind::AK_Exchange));
+}
+
+TEST(BaseObject, InitialValueAndIds) {
+  BaseObject A(7), B(9);
+  EXPECT_EQ(A.peek(), 7u);
+  EXPECT_EQ(B.peek(), 9u);
+  EXPECT_NE(A.id(), B.id());
+}
+
+TEST(BaseObject, PrimitiveSemantics) {
+  BaseObject O(10);
+  EXPECT_EQ(O.read(), 10u);
+
+  O.write(20);
+  EXPECT_EQ(O.read(), 20u);
+
+  uint64_t Expected = 20;
+  EXPECT_TRUE(O.compareAndSwap(Expected, 30));
+  EXPECT_EQ(O.read(), 30u);
+
+  Expected = 999;
+  EXPECT_FALSE(O.compareAndSwap(Expected, 40));
+  EXPECT_EQ(Expected, 30u) << "failed CAS reports the observed value";
+  EXPECT_EQ(O.read(), 30u);
+
+  EXPECT_EQ(O.fetchAdd(5), 30u);
+  EXPECT_EQ(O.read(), 35u);
+
+  EXPECT_EQ(O.exchange(50), 35u);
+  EXPECT_EQ(O.read(), 50u);
+}
+
+TEST(BaseObject, HomeAssignment) {
+  BaseObject O(0);
+  EXPECT_EQ(O.home(), kNoThread);
+  O.setHome(3);
+  EXPECT_EQ(O.home(), 3u);
+  BaseObject Homed(1, /*Home=*/2);
+  EXPECT_EQ(Homed.home(), 2u);
+}
+
+TEST(Instrumentation, NoContextMeansNoCounting) {
+  EXPECT_EQ(Instrumentation::current(), nullptr);
+  BaseObject O(0);
+  O.write(1);
+  EXPECT_EQ(O.read(), 1u); // Simply must not crash.
+}
+
+TEST(Instrumentation, CountsStepsAndNontrivial) {
+  Instrumentation Instr(0);
+  ScopedInstrumentation Scope(Instr);
+  BaseObject O(0);
+
+  (void)O.read();
+  O.write(1);
+  uint64_t E = 1;
+  (void)O.compareAndSwap(E, 2);
+  (void)O.fetchAdd(1);
+  (void)O.exchange(9);
+
+  EXPECT_EQ(Instr.totalSteps(), 5u);
+  EXPECT_EQ(Instr.totalNontrivialSteps(), 4u);
+}
+
+TEST(Instrumentation, PerOpDistinctObjects) {
+  Instrumentation Instr(0);
+  ScopedInstrumentation Scope(Instr);
+  BaseObject A(0), B(0), C(0);
+
+  Instr.beginOp();
+  (void)A.read();
+  (void)A.read();
+  (void)B.read();
+  B.write(1);
+  (void)C.read();
+  OpStats Stats = Instr.endOp();
+
+  EXPECT_EQ(Stats.Steps, 5u);
+  EXPECT_EQ(Stats.NontrivialSteps, 1u);
+  EXPECT_EQ(Stats.DistinctObjects, 3u);
+}
+
+TEST(Instrumentation, OpsAreIndependent) {
+  Instrumentation Instr(0);
+  ScopedInstrumentation Scope(Instr);
+  BaseObject A(0);
+
+  Instr.beginOp();
+  (void)A.read();
+  OpStats First = Instr.endOp();
+  EXPECT_EQ(First.Steps, 1u);
+
+  Instr.beginOp();
+  OpStats Second = Instr.endOp();
+  EXPECT_EQ(Second.Steps, 0u);
+  EXPECT_EQ(Second.DistinctObjects, 0u);
+
+  // Totals keep accumulating across ops.
+  EXPECT_EQ(Instr.totalSteps(), 1u);
+}
+
+TEST(Instrumentation, AccessesOutsideOpsStillCountTotals) {
+  Instrumentation Instr(0);
+  ScopedInstrumentation Scope(Instr);
+  BaseObject A(0);
+  (void)A.read();
+  Instr.beginOp();
+  OpStats Stats = Instr.endOp();
+  EXPECT_EQ(Stats.Steps, 0u);
+  EXPECT_EQ(Instr.totalSteps(), 1u);
+}
+
+TEST(Instrumentation, ResetTotals) {
+  Instrumentation Instr(0);
+  ScopedInstrumentation Scope(Instr);
+  BaseObject A(0);
+  (void)A.read();
+  Instr.resetTotals();
+  EXPECT_EQ(Instr.totalSteps(), 0u);
+  EXPECT_EQ(Instr.totalNontrivialSteps(), 0u);
+  EXPECT_EQ(Instr.totalRmrs(), 0u);
+}
+
+TEST(Instrumentation, ScopesNestAndRestore) {
+  BaseObject O(0);
+  Instrumentation Outer(0), Inner(1);
+  {
+    ScopedInstrumentation S1(Outer);
+    (void)O.read();
+    {
+      ScopedInstrumentation S2(Inner);
+      (void)O.read();
+      (void)O.read();
+      EXPECT_EQ(Instrumentation::current(), &Inner);
+    }
+    EXPECT_EQ(Instrumentation::current(), &Outer);
+    (void)O.read();
+  }
+  EXPECT_EQ(Instrumentation::current(), nullptr);
+  EXPECT_EQ(Outer.totalSteps(), 2u);
+  EXPECT_EQ(Inner.totalSteps(), 2u);
+}

@@ -1,0 +1,260 @@
+//===-- tests/StmConcurrentTest.cpp - Concurrent TM properties ------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// Concurrent integration/property tests for every TM: atomicity of
+/// increments, invariant conservation, progressiveness on disjoint data
+/// sets (no conflict => no abort) and strong progressiveness on a single
+/// item (Definition 1: in every conflict round, someone commits).
+///
+//===----------------------------------------------------------------------===//
+
+#include "stm/Stm.h"
+#include "support/Random.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+using namespace ptm;
+
+namespace {
+
+class StmConcurrentTest : public ::testing::TestWithParam<TmKind> {
+protected:
+  static constexpr unsigned kThreads = 4;
+  std::unique_ptr<Tm> makeTm(unsigned Objects) {
+    return createTm(GetParam(), Objects, kThreads);
+  }
+};
+
+std::string paramName(const ::testing::TestParamInfo<TmKind> &Info) {
+  std::string Name = tmKindName(Info.param);
+  for (char &C : Name)
+    if (C == '-')
+      C = '_';
+  return Name;
+}
+
+/// Simple sense-reversing spin barrier for round-based tests.
+class SpinBarrier {
+public:
+  explicit SpinBarrier(unsigned Parties) : Parties(Parties) {}
+
+  void arriveAndWait() {
+    unsigned Gen = Generation.load();
+    if (Arrived.fetch_add(1) + 1 == Parties) {
+      Arrived.store(0);
+      Generation.fetch_add(1);
+      return;
+    }
+    while (Generation.load() == Gen)
+      std::this_thread::yield();
+  }
+
+private:
+  unsigned Parties;
+  std::atomic<unsigned> Arrived{0};
+  std::atomic<unsigned> Generation{0};
+};
+
+} // namespace
+
+TEST_P(StmConcurrentTest, HotspotIncrementsAreAtomic) {
+  auto M = makeTm(4);
+  const uint64_t PerThread = 2000;
+  RunResult R = runHotspot(*M, kThreads, PerThread);
+  EXPECT_EQ(R.ValueChecksum, kThreads * PerThread)
+      << "lost updates detected on the hotspot counter";
+  EXPECT_EQ(R.Commits, kThreads * PerThread);
+}
+
+TEST_P(StmConcurrentTest, BankTotalIsConserved) {
+  auto M = makeTm(32);
+  const uint64_t PerThread = 1500;
+  const uint64_t Initial = 1000;
+  RunResult R = runBank(*M, kThreads, PerThread, Initial, /*Seed=*/42);
+  EXPECT_EQ(R.ValueChecksum, 32 * Initial)
+      << "transfers must conserve the total balance";
+  EXPECT_EQ(R.Commits, kThreads * PerThread);
+}
+
+TEST_P(StmConcurrentTest, DisjointDataSetsNeverAbort) {
+  // Progressiveness: a transaction aborts only due to a conflicting
+  // concurrent transaction. Threads on disjoint partitions have no
+  // conflicts, so no aborts are permitted — even though the non-DAP TMs
+  // (tl2, norec) share their clock, they must absorb that contention
+  // without aborting. TML is the deliberate exception: it is not
+  // progressive, and this workload is exactly where that shows.
+  auto M = makeTm(64);
+  RunResult R = runDisjoint(*M, kThreads, /*TxnsPerThread=*/1500,
+                            /*PartitionSize=*/16, /*TxnSize=*/4, /*Seed=*/7);
+  if (isProgressive(GetParam())) {
+    EXPECT_EQ(R.Aborts, 0u)
+        << "abort without conflict violates progressiveness";
+  }
+  EXPECT_EQ(R.Commits, kThreads * 1500u);
+  EXPECT_EQ(R.ValueChecksum, kThreads * 1500u * 4u);
+}
+
+TEST_P(StmConcurrentTest, ZipfMixAllWritesAccountedFor) {
+  auto M = makeTm(128);
+  const uint64_t PerThread = 800;
+  const unsigned TxnSize = 4;
+  RunResult R = runZipfMix(*M, kThreads, PerThread, TxnSize,
+                           /*ReadProb=*/0.0, /*Theta=*/0.6, /*Seed=*/11);
+  EXPECT_EQ(R.Commits, kThreads * PerThread);
+  EXPECT_EQ(R.ValueChecksum, kThreads * PerThread * TxnSize)
+      << "every committed write must be applied exactly once";
+}
+
+TEST_P(StmConcurrentTest, ReadersSeeConsistentSnapshots) {
+  // Writers perform sum-preserving transfers; a reader snapshotting all
+  // accounts must always observe the exact initial total. Any torn
+  // (non-opaque) snapshot breaks the sum.
+  constexpr unsigned Accounts = 16;
+  constexpr uint64_t Initial = 100;
+  auto M = makeTm(Accounts);
+  for (ObjectId A = 0; A < Accounts; ++A)
+    M->init(A, Initial);
+
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> BadSnapshots{0};
+  std::atomic<uint64_t> GoodSnapshots{0};
+
+  std::thread Reader([&] {
+    while (!Stop.load(std::memory_order_relaxed)) {
+      uint64_t Sum = 0;
+      bool Ok = atomically(
+          *M, 0,
+          [&](TxRef &Tx) {
+            Sum = 0;
+            for (ObjectId A = 0; A < Accounts; ++A)
+              Sum += Tx.readOr(A, 0);
+          },
+          /*MaxAttempts=*/50);
+      if (!Ok)
+        continue;
+      if (Sum == Accounts * Initial)
+        GoodSnapshots.fetch_add(1);
+      else
+        BadSnapshots.fetch_add(1);
+    }
+  });
+
+  std::vector<std::thread> Writers;
+  for (unsigned T = 1; T < kThreads; ++T) {
+    Writers.emplace_back([&, T] {
+      Xoshiro256 Rng(1000 + T);
+      for (int I = 0; I < 3000; ++I) {
+        ObjectId From = static_cast<ObjectId>(Rng.nextBounded(Accounts));
+        ObjectId To = static_cast<ObjectId>(Rng.nextBounded(Accounts));
+        if (From == To)
+          continue;
+        atomically(*M, T, [&](TxRef &Tx) {
+          uint64_t F = Tx.readOr(From, 0);
+          uint64_t D = Tx.readOr(To, 0);
+          uint64_t Moved = F < 3 ? F : 3;
+          Tx.write(From, F - Moved);
+          Tx.write(To, D + Moved);
+        });
+      }
+    });
+  }
+  for (std::thread &W : Writers)
+    W.join();
+  Stop.store(true);
+  Reader.join();
+
+  EXPECT_EQ(BadSnapshots.load(), 0u) << "opacity violation: torn snapshot";
+  EXPECT_GT(GoodSnapshots.load(), 0u) << "reader never committed";
+
+  uint64_t Final = 0;
+  for (ObjectId A = 0; A < Accounts; ++A)
+    Final += M->sample(A);
+  EXPECT_EQ(Final, Accounts * Initial);
+}
+
+TEST_P(StmConcurrentTest, StronglyProgressiveOnSingleItem) {
+  // Definition 1, operationally: in every round where all threads attempt
+  // one single-shot transaction on the same item, at least one commits.
+  auto M = makeTm(1);
+  constexpr unsigned Rounds = 100;
+  SpinBarrier Barrier(kThreads);
+  std::atomic<unsigned> CommitsThisRound{0};
+  std::atomic<unsigned> FailedRounds{0};
+
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < kThreads; ++T) {
+    Workers.emplace_back([&, T] {
+      for (unsigned Round = 0; Round < Rounds; ++Round) {
+        Barrier.arriveAndWait();
+        if (Round > 0 && T == 0)
+          CommitsThisRound.store(0);
+        Barrier.arriveAndWait();
+        bool Ok = atomically(
+            *M, T,
+            [&](TxRef &Tx) {
+              uint64_t V = Tx.readOr(0, 0);
+              Tx.write(0, V + 1);
+            },
+            /*MaxAttempts=*/1);
+        if (Ok)
+          CommitsThisRound.fetch_add(1);
+        Barrier.arriveAndWait();
+        if (T == 0 && CommitsThisRound.load() == 0)
+          FailedRounds.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+
+  EXPECT_EQ(FailedRounds.load(), 0u)
+      << "a round where every single-item transaction aborted violates "
+         "strong progressiveness";
+}
+
+TEST_P(StmConcurrentTest, AbortCausesAreContentionRelated) {
+  // Under heavy single-item contention with single-shot attempts, any
+  // abort must be attributed to a contention cause, never AC_User or
+  // AC_None.
+  auto M = makeTm(1);
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < kThreads; ++T) {
+    Workers.emplace_back([&, T] {
+      for (int I = 0; I < 500; ++I) {
+        M->txBegin(T);
+        uint64_t V;
+        if (!M->txRead(T, 0, V)) {
+          EXPECT_NE(M->lastAbortCause(T), AbortCause::AC_None);
+          EXPECT_NE(M->lastAbortCause(T), AbortCause::AC_User);
+          continue;
+        }
+        if (!M->txWrite(T, 0, V + 1)) {
+          EXPECT_NE(M->lastAbortCause(T), AbortCause::AC_None);
+          continue;
+        }
+        if (!M->txCommit(T)) {
+          EXPECT_NE(M->lastAbortCause(T), AbortCause::AC_None);
+          EXPECT_NE(M->lastAbortCause(T), AbortCause::AC_User);
+        }
+      }
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+
+  TmStats S = M->stats();
+  EXPECT_EQ(S.Aborts[static_cast<unsigned>(AbortCause::AC_User)], 0u);
+  EXPECT_EQ(M->sample(0), S.Commits) << "commits and increments must agree";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTms, StmConcurrentTest,
+                         ::testing::ValuesIn(allTmKinds()), paramName);

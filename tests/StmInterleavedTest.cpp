@@ -1,0 +1,395 @@
+//===-- tests/StmInterleavedTest.cpp - Hand-crafted interleavings ---------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// Deterministic two-transaction interleavings driven from a single test
+/// thread using two descriptor slots. These pin down the conflict
+/// anomalies every strictly serializable TM must reject: lost updates,
+/// write skew with an antidependency cycle, fractured reads, dirty reads.
+///
+/// GlobalLockTm is excluded where noted: it blocks at txBegin, so the
+/// interleavings cannot even be expressed against it (which is its own
+/// kind of correctness).
+///
+/// The lost-update case is the regression test for a real bug found
+/// during development: TL2's commit-time validation skipped the
+/// pre-lock version check for read-set entries locked by the committer
+/// itself, letting two concurrent increments both commit.
+///
+//===----------------------------------------------------------------------===//
+
+#include "stm/Stm.h"
+
+#include <gtest/gtest.h>
+
+using namespace ptm;
+
+namespace {
+
+/// The lazy-update TMs, against which mid-transaction interleavings can
+/// be expressed without blocking.
+const TmKind kLazyTms[] = {TmKind::TK_Tl2, TmKind::TK_Norec,
+                           TmKind::TK_OrecIncremental};
+
+class LazyTmTest : public ::testing::TestWithParam<TmKind> {
+protected:
+  void SetUp() override { M = createTm(GetParam(), 8, 2); }
+  std::unique_ptr<Tm> M;
+};
+
+std::string paramName(const ::testing::TestParamInfo<TmKind> &Info) {
+  std::string Name = tmKindName(Info.param);
+  for (char &C : Name)
+    if (C == '-')
+      C = '_';
+  return Name;
+}
+
+} // namespace
+
+TEST_P(LazyTmTest, LostUpdateIsRejected) {
+  // Both transactions read X=0 and buffer X := read+1; the first commit
+  // wins, the second MUST abort (regression: TL2 self-locked validation).
+  uint64_t V0 = 99, V1 = 99;
+  M->txBegin(0);
+  M->txBegin(1);
+  ASSERT_TRUE(M->txRead(0, 0, V0));
+  ASSERT_TRUE(M->txRead(1, 0, V1));
+  EXPECT_EQ(V0, 0u);
+  EXPECT_EQ(V1, 0u);
+  ASSERT_TRUE(M->txWrite(0, 0, V0 + 1));
+  ASSERT_TRUE(M->txWrite(1, 0, V1 + 1));
+
+  EXPECT_TRUE(M->txCommit(0)) << "first committer must win";
+  EXPECT_FALSE(M->txCommit(1)) << "second increment must not be lost";
+  EXPECT_EQ(M->sample(0), 1u);
+}
+
+TEST_P(LazyTmTest, LostUpdateRejectedRegardlessOfCommitOrder) {
+  // Same anomaly, opposite commit order.
+  uint64_t V;
+  M->txBegin(0);
+  M->txBegin(1);
+  ASSERT_TRUE(M->txRead(0, 0, V));
+  ASSERT_TRUE(M->txRead(1, 0, V));
+  ASSERT_TRUE(M->txWrite(0, 0, 10));
+  ASSERT_TRUE(M->txWrite(1, 0, 20));
+  EXPECT_TRUE(M->txCommit(1));
+  EXPECT_FALSE(M->txCommit(0));
+  EXPECT_EQ(M->sample(0), 20u);
+}
+
+TEST_P(LazyTmTest, AntidependencyCycleIsRejected) {
+  // T0: r(A) r(B) w(A); T1: r(A) r(B) w(B). Serializing either first
+  // makes the other's read stale; exactly one may commit.
+  uint64_t V;
+  M->txBegin(0);
+  M->txBegin(1);
+  ASSERT_TRUE(M->txRead(0, 0, V));
+  ASSERT_TRUE(M->txRead(0, 1, V));
+  ASSERT_TRUE(M->txRead(1, 0, V));
+  ASSERT_TRUE(M->txRead(1, 1, V));
+  ASSERT_TRUE(M->txWrite(0, 0, 1));
+  ASSERT_TRUE(M->txWrite(1, 1, 1));
+
+  bool First = M->txCommit(0);
+  bool Second = M->txCommit(1);
+  EXPECT_TRUE(First) << "no reason for the first committer to fail";
+  EXPECT_FALSE(Second) << "write-skew cycle must be broken by an abort";
+}
+
+TEST_P(LazyTmTest, DisjointInterleavedTransactionsBothCommit) {
+  // Sanity counterpart: interleaved but conflict-free transactions must
+  // BOTH commit (progressiveness, interleaved edition).
+  uint64_t V;
+  M->txBegin(0);
+  M->txBegin(1);
+  ASSERT_TRUE(M->txRead(0, 0, V));
+  ASSERT_TRUE(M->txRead(1, 2, V));
+  ASSERT_TRUE(M->txWrite(0, 1, 7));
+  ASSERT_TRUE(M->txWrite(1, 3, 8));
+  EXPECT_TRUE(M->txCommit(0));
+  EXPECT_TRUE(M->txCommit(1));
+  EXPECT_EQ(M->sample(1), 7u);
+  EXPECT_EQ(M->sample(3), 8u);
+}
+
+TEST_P(LazyTmTest, FracturedReadIsRejected) {
+  // T0 reads A; T1 commits A=1, B=1; T0 then reads B. Returning B=1 would
+  // pair with the stale A=0 — the canonical opacity violation. The read
+  // must abort (it cannot return 0: that value no longer exists, and
+  // these TMs do not keep old versions).
+  uint64_t V;
+  M->txBegin(0);
+  ASSERT_TRUE(M->txRead(0, 0, V));
+  EXPECT_EQ(V, 0u);
+
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 0, 1));
+  ASSERT_TRUE(M->txWrite(1, 1, 1));
+  ASSERT_TRUE(M->txCommit(1));
+
+  uint64_t B = 1234;
+  bool Ok = M->txRead(0, 1, B);
+  if (Ok) {
+    EXPECT_EQ(B, 0u) << "fractured read: saw B=1 alongside stale A=0";
+    EXPECT_FALSE(M->txCommit(0))
+        << "a torn snapshot must not be committed";
+  } else {
+    EXPECT_NE(M->lastAbortCause(0), AbortCause::AC_None);
+  }
+  EXPECT_EQ(M->sample(0), 1u);
+  EXPECT_EQ(M->sample(1), 1u);
+}
+
+TEST_P(LazyTmTest, DirtyReadsAreImpossible) {
+  // T1 buffers a write but has not committed; T0 must read the old value
+  // (lazy update = nothing published before commit).
+  uint64_t V;
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 0, 42));
+
+  M->txBegin(0);
+  ASSERT_TRUE(M->txRead(0, 0, V));
+  EXPECT_EQ(V, 0u) << "uncommitted write leaked";
+  EXPECT_TRUE(M->txCommit(0));
+
+  ASSERT_TRUE(M->txCommit(1));
+  EXPECT_EQ(M->sample(0), 42u);
+}
+
+TEST_P(LazyTmTest, AbortedWriterLeavesNoTrace) {
+  uint64_t V;
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 0, 42));
+  M->txAbort(1);
+
+  M->txBegin(0);
+  ASSERT_TRUE(M->txRead(0, 0, V));
+  EXPECT_EQ(V, 0u);
+  EXPECT_TRUE(M->txCommit(0));
+}
+
+TEST_P(LazyTmTest, ReaderUnaffectedByLaterDisjointCommit) {
+  // T0 reads A; T1 commits to B (disjoint). T0's snapshot stays valid and
+  // it must still commit (progressive reads across commits to other
+  // objects).
+  uint64_t V;
+  M->txBegin(0);
+  ASSERT_TRUE(M->txRead(0, 0, V));
+
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 5, 9));
+  ASSERT_TRUE(M->txCommit(1));
+
+  uint64_t W;
+  ASSERT_TRUE(M->txRead(0, 1, W)) << "disjoint commit killed the reader";
+  EXPECT_EQ(W, 0u);
+  EXPECT_TRUE(M->txCommit(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(LazyTms, LazyTmTest, ::testing::ValuesIn(kLazyTms),
+                         paramName);
+
+//===----------------------------------------------------------------------===//
+// TLRW (eager) interleavings: conflicts surface at encounter time.
+//===----------------------------------------------------------------------===//
+
+TEST(TlrwInterleaved, WriteLockBlocksReaders) {
+  auto M = createTm(TmKind::TK_Tlrw, 4, 2);
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 0, 7));
+
+  M->txBegin(0);
+  uint64_t V;
+  EXPECT_FALSE(M->txRead(0, 0, V)) << "read under a write lock must abort";
+  EXPECT_EQ(M->lastAbortCause(0), AbortCause::AC_LockHeld);
+
+  ASSERT_TRUE(M->txCommit(1));
+  M->txBegin(0);
+  ASSERT_TRUE(M->txRead(0, 0, V));
+  EXPECT_EQ(V, 7u);
+  ASSERT_TRUE(M->txCommit(0));
+}
+
+TEST(TlrwInterleaved, ReadLockBlocksWriters) {
+  auto M = createTm(TmKind::TK_Tlrw, 4, 2);
+  M->txBegin(0);
+  uint64_t V;
+  ASSERT_TRUE(M->txRead(0, 0, V));
+
+  M->txBegin(1);
+  EXPECT_FALSE(M->txWrite(1, 0, 9)) << "write under a read lock must abort";
+
+  ASSERT_TRUE(M->txCommit(0));
+}
+
+TEST(TlrwInterleaved, ConcurrentReadersShareTheLock) {
+  auto M = createTm(TmKind::TK_Tlrw, 4, 2);
+  M->txBegin(0);
+  M->txBegin(1);
+  uint64_t V;
+  EXPECT_TRUE(M->txRead(0, 0, V));
+  EXPECT_TRUE(M->txRead(1, 0, V));
+  EXPECT_TRUE(M->txCommit(0));
+  EXPECT_TRUE(M->txCommit(1));
+}
+
+TEST(TlrwInterleaved, UpgradeFailsWithConcurrentReader) {
+  // Both hold read locks; an upgrade would need sole ownership.
+  auto M = createTm(TmKind::TK_Tlrw, 4, 2);
+  M->txBegin(0);
+  M->txBegin(1);
+  uint64_t V;
+  ASSERT_TRUE(M->txRead(0, 0, V));
+  ASSERT_TRUE(M->txRead(1, 0, V));
+  EXPECT_FALSE(M->txWrite(0, 0, 1))
+      << "upgrade with another reader present must abort, not deadlock";
+  EXPECT_TRUE(M->txCommit(1));
+}
+
+TEST(TlrwInterleaved, UpgradeSucceedsWhenSoleReader) {
+  auto M = createTm(TmKind::TK_Tlrw, 4, 2);
+  M->txBegin(0);
+  uint64_t V;
+  ASSERT_TRUE(M->txRead(0, 0, V));
+  EXPECT_TRUE(M->txWrite(0, 0, V + 1)) << "sole reader upgrades in place";
+  EXPECT_TRUE(M->txCommit(0));
+  EXPECT_EQ(M->sample(0), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// NOrec value-based validation specifics.
+//===----------------------------------------------------------------------===//
+
+TEST(NorecInterleaved, AbaValueIsAcceptedAndOpaque) {
+  // Value-based validation admits ABA: T0 read X=0; two commits take X to
+  // 1 and back to 0; T0's revalidation re-reads X=0 and survives. This is
+  // correct — T0 serializes after the second commit — and distinguishes
+  // NOrec from version-based TMs, which abort here.
+  auto M = createTm(TmKind::TK_Norec, 4, 2);
+  uint64_t V;
+  M->txBegin(0);
+  ASSERT_TRUE(M->txRead(0, 0, V));
+  EXPECT_EQ(V, 0u);
+
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 0, 1));
+  ASSERT_TRUE(M->txCommit(1));
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 0, 0));
+  ASSERT_TRUE(M->txCommit(1));
+
+  // The clock moved twice, but X's value is back: the next read triggers
+  // revalidation, which passes.
+  uint64_t W;
+  EXPECT_TRUE(M->txRead(0, 1, W)) << "ABA must survive value validation";
+  EXPECT_TRUE(M->txCommit(0));
+}
+
+TEST(Tl2Interleaved, AbaVersionIsRejected) {
+  // The same ABA kills a version-based reader: X's version advanced even
+  // though its value returned.
+  auto M = createTm(TmKind::TK_Tl2, 4, 2);
+  uint64_t V;
+  M->txBegin(0);
+  ASSERT_TRUE(M->txRead(0, 0, V));
+
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 0, 1));
+  ASSERT_TRUE(M->txCommit(1));
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 0, 0));
+  ASSERT_TRUE(M->txCommit(1));
+
+  // Re-reading X: its value is back to 0, but its version is 2 > RV = 0.
+  uint64_t W;
+  EXPECT_FALSE(M->txRead(0, 0, W))
+      << "TL2's version check must reject the ABA'd object";
+  EXPECT_EQ(M->lastAbortCause(0), AbortCause::AC_ReadValidation);
+}
+
+//===----------------------------------------------------------------------===//
+// OrecEager (encounter-time) interleavings: write-write conflicts are
+// detected at the write, not at commit.
+//===----------------------------------------------------------------------===//
+
+TEST(OrecEagerInterleaved, SecondWriterAbortsAtEncounter) {
+  auto M = createTm(TmKind::TK_OrecEager, 4, 2);
+  M->txBegin(0);
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(0, 0, 1));
+  EXPECT_FALSE(M->txWrite(1, 0, 2))
+      << "eager acquisition must surface the conflict immediately";
+  EXPECT_EQ(M->lastAbortCause(1), AbortCause::AC_LockHeld);
+  EXPECT_TRUE(M->txCommit(0));
+  EXPECT_EQ(M->sample(0), 1u);
+}
+
+TEST(OrecEagerInterleaved, ReaderOfLockedObjectAborts) {
+  auto M = createTm(TmKind::TK_OrecEager, 4, 2);
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 0, 7));
+
+  M->txBegin(0);
+  uint64_t V;
+  EXPECT_FALSE(M->txRead(0, 0, V))
+      << "in-place dirty values must never be readable";
+  EXPECT_EQ(M->lastAbortCause(0), AbortCause::AC_LockHeld);
+  ASSERT_TRUE(M->txCommit(1));
+  EXPECT_EQ(M->sample(0), 7u);
+}
+
+TEST(OrecEagerInterleaved, AbortUndoesInPlaceWrites) {
+  auto M = createTm(TmKind::TK_OrecEager, 4, 2);
+  M->init(0, 10);
+  M->txBegin(0);
+  ASSERT_TRUE(M->txWrite(0, 0, 11));
+  ASSERT_TRUE(M->txWrite(0, 1, 12));
+  M->txAbort(0);
+  EXPECT_EQ(M->sample(0), 10u);
+  EXPECT_EQ(M->sample(1), 0u);
+
+  // Locks released: another transaction proceeds unhindered.
+  M->txBegin(1);
+  uint64_t V;
+  ASSERT_TRUE(M->txRead(1, 0, V));
+  EXPECT_EQ(V, 10u);
+  ASSERT_TRUE(M->txCommit(1));
+}
+
+TEST(OrecEagerInterleaved, LostUpdateStillRejected) {
+  // Read-read then write-write on the same object: the second write hits
+  // the first writer's lock; if the first already committed, the second
+  // writer's acquisition sees a bumped version vs its read entry.
+  auto M = createTm(TmKind::TK_OrecEager, 4, 2);
+  uint64_t V0, V1;
+  M->txBegin(0);
+  M->txBegin(1);
+  ASSERT_TRUE(M->txRead(0, 0, V0));
+  ASSERT_TRUE(M->txRead(1, 0, V1));
+  ASSERT_TRUE(M->txWrite(0, 0, V0 + 1));
+  ASSERT_TRUE(M->txCommit(0));
+  EXPECT_FALSE(M->txWrite(1, 0, V1 + 1))
+      << "stale read + late write must abort";
+  EXPECT_EQ(M->sample(0), 1u);
+}
+
+TEST(OrecEagerInterleaved, FracturedReadRejected) {
+  auto M = createTm(TmKind::TK_OrecEager, 4, 2);
+  uint64_t V;
+  M->txBegin(0);
+  ASSERT_TRUE(M->txRead(0, 0, V));
+
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 0, 1));
+  ASSERT_TRUE(M->txWrite(1, 1, 1));
+  ASSERT_TRUE(M->txCommit(1));
+
+  uint64_t B;
+  EXPECT_FALSE(M->txRead(0, 1, B))
+      << "incremental validation must catch the stale snapshot";
+}

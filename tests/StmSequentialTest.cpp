@@ -1,0 +1,234 @@
+//===-- tests/StmSequentialTest.cpp - Single-threaded TM semantics --------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// Sequential-execution semantics shared by every TM: legality of reads,
+/// read-own-writes, abort rollback, descriptor lifecycle, and sequential
+/// TM-progress (a transaction running alone never aborts — the paper's
+/// minimal progressiveness).
+///
+//===----------------------------------------------------------------------===//
+
+#include "stm/Stm.h"
+
+#include <gtest/gtest.h>
+
+using namespace ptm;
+
+namespace {
+
+class StmSequentialTest : public ::testing::TestWithParam<TmKind> {
+protected:
+  void SetUp() override { M = createTm(GetParam(), /*Objects=*/64, 4); }
+  std::unique_ptr<Tm> M;
+};
+
+std::string paramName(const ::testing::TestParamInfo<TmKind> &Info) {
+  std::string Name = tmKindName(Info.param);
+  for (char &C : Name)
+    if (C == '-')
+      C = '_';
+  return Name;
+}
+
+} // namespace
+
+TEST_P(StmSequentialTest, FreshObjectsReadZero) {
+  M->txBegin(0);
+  for (ObjectId Obj = 0; Obj < 8; ++Obj) {
+    uint64_t V = 1;
+    ASSERT_TRUE(M->txRead(0, Obj, V));
+    EXPECT_EQ(V, 0u);
+  }
+  EXPECT_TRUE(M->txCommit(0));
+}
+
+TEST_P(StmSequentialTest, InitIsVisibleToTransactions) {
+  M->init(3, 77);
+  M->txBegin(0);
+  uint64_t V = 0;
+  ASSERT_TRUE(M->txRead(0, 3, V));
+  EXPECT_EQ(V, 77u);
+  EXPECT_TRUE(M->txCommit(0));
+}
+
+TEST_P(StmSequentialTest, ReadYourOwnWrite) {
+  M->txBegin(0);
+  ASSERT_TRUE(M->txWrite(0, 5, 123));
+  uint64_t V = 0;
+  ASSERT_TRUE(M->txRead(0, 5, V));
+  EXPECT_EQ(V, 123u);
+  ASSERT_TRUE(M->txWrite(0, 5, 456));
+  ASSERT_TRUE(M->txRead(0, 5, V));
+  EXPECT_EQ(V, 456u) << "last own write wins";
+  EXPECT_TRUE(M->txCommit(0));
+  EXPECT_EQ(M->sample(5), 456u);
+}
+
+TEST_P(StmSequentialTest, WritesInvisibleUntilCommit) {
+  M->txBegin(0);
+  ASSERT_TRUE(M->txWrite(0, 2, 9));
+  // Not yet committed: the eager TMs (glock, tlrw) have published under a
+  // lock, but no *transaction* may observe it; the lazy TMs have not
+  // published at all. Either way, after a user abort nothing remains.
+  M->txAbort(0);
+  EXPECT_EQ(M->sample(2), 0u);
+  EXPECT_EQ(M->lastAbortCause(0), AbortCause::AC_User);
+}
+
+TEST_P(StmSequentialTest, AbortRollsBackMultipleWrites) {
+  M->init(0, 10);
+  M->init(1, 20);
+  M->txBegin(0);
+  ASSERT_TRUE(M->txWrite(0, 0, 11));
+  ASSERT_TRUE(M->txWrite(0, 1, 21));
+  ASSERT_TRUE(M->txWrite(0, 0, 12));
+  M->txAbort(0);
+  EXPECT_EQ(M->sample(0), 10u);
+  EXPECT_EQ(M->sample(1), 20u);
+}
+
+TEST_P(StmSequentialTest, CommitPublishesAllWrites) {
+  M->txBegin(0);
+  for (ObjectId Obj = 0; Obj < 16; ++Obj)
+    ASSERT_TRUE(M->txWrite(0, Obj, Obj * 100));
+  ASSERT_TRUE(M->txCommit(0));
+  for (ObjectId Obj = 0; Obj < 16; ++Obj)
+    EXPECT_EQ(M->sample(Obj), Obj * 100u);
+}
+
+TEST_P(StmSequentialTest, TransactionsSeeEarlierCommits) {
+  M->txBegin(0);
+  ASSERT_TRUE(M->txWrite(0, 7, 1));
+  ASSERT_TRUE(M->txCommit(0));
+
+  M->txBegin(0);
+  uint64_t V = 0;
+  ASSERT_TRUE(M->txRead(0, 7, V));
+  EXPECT_EQ(V, 1u);
+  ASSERT_TRUE(M->txWrite(0, 7, V + 1));
+  ASSERT_TRUE(M->txCommit(0));
+  EXPECT_EQ(M->sample(7), 2u);
+}
+
+TEST_P(StmSequentialTest, RepeatedReadsReturnSameValue) {
+  M->init(9, 5);
+  M->txBegin(0);
+  uint64_t A = 0, B = 0;
+  ASSERT_TRUE(M->txRead(0, 9, A));
+  ASSERT_TRUE(M->txRead(0, 9, B));
+  EXPECT_EQ(A, B);
+  EXPECT_TRUE(M->txCommit(0));
+}
+
+TEST_P(StmSequentialTest, ActiveFlagLifecycle) {
+  EXPECT_FALSE(M->txActive(0));
+  M->txBegin(0);
+  EXPECT_TRUE(M->txActive(0));
+  EXPECT_TRUE(M->txCommit(0));
+  EXPECT_FALSE(M->txActive(0));
+
+  M->txBegin(0);
+  M->txAbort(0);
+  EXPECT_FALSE(M->txActive(0));
+}
+
+TEST_P(StmSequentialTest, AbortCauseClearedByCommit) {
+  M->txBegin(0);
+  M->txAbort(0);
+  EXPECT_EQ(M->lastAbortCause(0), AbortCause::AC_User);
+  M->txBegin(0);
+  EXPECT_TRUE(M->txCommit(0));
+  EXPECT_EQ(M->lastAbortCause(0), AbortCause::AC_None);
+}
+
+TEST_P(StmSequentialTest, StatsCountCommitsAndAborts) {
+  M->resetStats();
+  for (int I = 0; I < 5; ++I) {
+    M->txBegin(0);
+    ASSERT_TRUE(M->txWrite(0, 0, I));
+    ASSERT_TRUE(M->txCommit(0));
+  }
+  for (int I = 0; I < 3; ++I) {
+    M->txBegin(0);
+    M->txAbort(0);
+  }
+  TmStats S = M->stats();
+  EXPECT_EQ(S.Commits, 5u);
+  EXPECT_EQ(S.totalAborts(), 3u);
+  EXPECT_EQ(S.Aborts[static_cast<unsigned>(AbortCause::AC_User)], 3u);
+  M->resetStats();
+  EXPECT_EQ(M->stats().Commits, 0u);
+}
+
+TEST_P(StmSequentialTest, ReadOnlyTransactionCommits) {
+  M->txBegin(0);
+  uint64_t V;
+  for (ObjectId Obj = 0; Obj < 32; ++Obj)
+    ASSERT_TRUE(M->txRead(0, Obj, V));
+  EXPECT_TRUE(M->txCommit(0));
+}
+
+TEST_P(StmSequentialTest, WriteOnlyTransactionCommits) {
+  M->txBegin(0);
+  for (ObjectId Obj = 0; Obj < 32; ++Obj)
+    ASSERT_TRUE(M->txWrite(0, Obj, 1));
+  EXPECT_TRUE(M->txCommit(0));
+  for (ObjectId Obj = 0; Obj < 32; ++Obj)
+    EXPECT_EQ(M->sample(Obj), 1u);
+}
+
+TEST_P(StmSequentialTest, LargeTransactionSequentialProgress) {
+  // Sequential TM-progress over the full object array: must commit, no
+  // matter the size.
+  M->txBegin(0);
+  uint64_t V;
+  for (ObjectId Obj = 0; Obj < 64; ++Obj) {
+    ASSERT_TRUE(M->txRead(0, Obj, V));
+    ASSERT_TRUE(M->txWrite(0, Obj, V + 1));
+  }
+  ASSERT_TRUE(M->txCommit(0));
+  TmStats S = M->stats();
+  EXPECT_EQ(S.totalAborts(), 0u) << "a solo transaction must never abort";
+}
+
+TEST_P(StmSequentialTest, InterleavedThreadSlotsSequentially) {
+  // Two thread slots used alternately (but never concurrently) must not
+  // interfere.
+  M->txBegin(0);
+  ASSERT_TRUE(M->txWrite(0, 0, 1));
+  ASSERT_TRUE(M->txCommit(0));
+
+  M->txBegin(1);
+  uint64_t V = 0;
+  ASSERT_TRUE(M->txRead(1, 0, V));
+  EXPECT_EQ(V, 1u);
+  ASSERT_TRUE(M->txWrite(1, 0, 2));
+  ASSERT_TRUE(M->txCommit(1));
+
+  M->txBegin(0);
+  ASSERT_TRUE(M->txRead(0, 0, V));
+  EXPECT_EQ(V, 2u);
+  ASSERT_TRUE(M->txCommit(0));
+}
+
+TEST_P(StmSequentialTest, ManySmallTransactionsNoLeakage) {
+  for (int Round = 0; Round < 200; ++Round) {
+    ThreadId Tid = Round % 4;
+    M->txBegin(Tid);
+    uint64_t V = 0;
+    ASSERT_TRUE(M->txRead(Tid, Round % 64, V));
+    ASSERT_TRUE(M->txWrite(Tid, Round % 64, V + 1));
+    ASSERT_TRUE(M->txCommit(Tid));
+  }
+  uint64_t Sum = 0;
+  for (ObjectId Obj = 0; Obj < 64; ++Obj)
+    Sum += M->sample(Obj);
+  EXPECT_EQ(Sum, 200u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTms, StmSequentialTest,
+                         ::testing::ValuesIn(allTmKinds()), paramName);

@@ -1,0 +1,148 @@
+//===-- tests/SupportTest.cpp - Support library unit tests ----------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+#include "support/Random.h"
+#include "support/RawOStream.h"
+#include "support/Spin.h"
+#include "support/Table.h"
+#include "support/Zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace ptm;
+
+TEST(RawOStream, FormatsIntegersAndStrings) {
+  std::string Buf;
+  StringOStream OS(Buf);
+  OS << "x=" << 42 << " y=" << uint64_t{18446744073709551615ULL} << " z="
+     << int64_t{-7} << " b=" << true << " c=" << 'Q';
+  EXPECT_EQ(Buf, "x=42 y=18446744073709551615 z=-7 b=true c=Q");
+}
+
+TEST(RawOStream, FormatsDoubles) {
+  std::string Buf;
+  StringOStream OS(Buf);
+  OS << 2.5;
+  EXPECT_EQ(Buf, "2.5");
+}
+
+TEST(RawOStream, WriteRespectsLength) {
+  std::string Buf;
+  StringOStream OS(Buf);
+  OS.write("abcdef", 3);
+  EXPECT_EQ(Buf, "abc");
+}
+
+TEST(Format, Padding) {
+  EXPECT_EQ(padLeft("7", 4), "   7");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("long-already", 4), "long-already");
+}
+
+TEST(Format, Numbers) {
+  EXPECT_EQ(formatInt(uint64_t{12345}), "12345");
+  EXPECT_EQ(formatInt(int64_t{-9}), "-9");
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+}
+
+TEST(Table, AlignsColumns) {
+  TablePrinter Table({"name", "value"});
+  Table.addRow({"a", "1"});
+  Table.addRow({"bbbb", "22222"});
+  std::string Buf;
+  StringOStream OS(Buf);
+  Table.print(OS);
+  // Column 0 left-aligned to width 4, column 1 right-aligned to width 5,
+  // two-space separator.
+  EXPECT_NE(Buf.find("name  value"), std::string::npos);
+  EXPECT_NE(Buf.find("bbbb  22222"), std::string::npos);
+  EXPECT_NE(Buf.find("a         1"), std::string::npos);
+}
+
+TEST(SplitMix64, DeterministicAndDistinct) {
+  SplitMix64 A(1), B(1), C(2);
+  uint64_t A1 = A.next();
+  EXPECT_EQ(A1, B.next());
+  EXPECT_NE(A1, C.next());
+}
+
+TEST(Xoshiro256, Deterministic) {
+  Xoshiro256 A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Xoshiro256, BoundedStaysInRange) {
+  Xoshiro256 Rng(7);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_LT(Rng.nextBounded(17), 17u);
+}
+
+TEST(Xoshiro256, BoundedCoversRange) {
+  Xoshiro256 Rng(7);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 1000; ++I)
+    Seen.insert(Rng.nextBounded(8));
+  EXPECT_EQ(Seen.size(), 8u);
+}
+
+TEST(Xoshiro256, DoubleInUnitInterval) {
+  Xoshiro256 Rng(9);
+  for (int I = 0; I < 10000; ++I) {
+    double D = Rng.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Zipf, UniformWhenThetaZero) {
+  ZipfDistribution Zipf(10, 0.0);
+  Xoshiro256 Rng(3);
+  std::vector<uint64_t> Counts(10, 0);
+  const int N = 100000;
+  for (int I = 0; I < N; ++I)
+    ++Counts[Zipf.sample(Rng)];
+  for (uint64_t C : Counts) {
+    EXPECT_GT(C, N / 10 * 0.8);
+    EXPECT_LT(C, N / 10 * 1.2);
+  }
+}
+
+TEST(Zipf, SkewPrefersSmallRanks) {
+  ZipfDistribution Zipf(1000, 0.9);
+  Xoshiro256 Rng(3);
+  uint64_t Low = 0, Total = 100000;
+  for (uint64_t I = 0; I < Total; ++I)
+    if (Zipf.sample(Rng) < 10)
+      ++Low;
+  // With theta=0.9 the top-10 ranks receive far more than the uniform 1%.
+  EXPECT_GT(Low, Total / 10);
+}
+
+TEST(Zipf, SamplesInDomain) {
+  ZipfDistribution Zipf(37, 0.5);
+  Xoshiro256 Rng(11);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_LT(Zipf.sample(Rng), 37u);
+}
+
+TEST(Backoff, GrowsAndResets) {
+  // Behavioural smoke test: spin() must terminate and reset() must be
+  // callable; timing is not asserted.
+  Backoff BO(2, 16);
+  for (int I = 0; I < 10; ++I)
+    BO.spin();
+  BO.reset();
+  BO.spin();
+  SUCCEED();
+}

@@ -1,0 +1,116 @@
+//===-- tests/TmlTest.cpp - TML-specific behaviour -------------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// TML is in the library as the contrast point *outside* the paper's
+/// progressive TM class: opaque and O(1)-read, but a reader dies whenever
+/// any writer commits — conflict or not. These tests pin down exactly
+/// that behaviour (the generic opacity/semantics suites already cover TML
+/// through allTmKinds()).
+///
+//===----------------------------------------------------------------------===//
+
+#include "stm/Stm.h"
+
+#include <gtest/gtest.h>
+
+using namespace ptm;
+
+namespace {
+std::unique_ptr<Tm> makeTml() { return createTm(TmKind::TK_Tml, 8, 2); }
+} // namespace
+
+TEST(Tml, IsFlaggedNotProgressive) {
+  EXPECT_FALSE(isProgressive(TmKind::TK_Tml));
+  for (TmKind Kind : allTmKinds()) {
+    if (Kind != TmKind::TK_Tml) {
+      EXPECT_TRUE(isProgressive(Kind)) << tmKindName(Kind);
+    }
+  }
+}
+
+TEST(Tml, ReaderAbortsOnDisjointCommit) {
+  // The non-progressiveness witness: T0's data set is {0, 2}, T1 commits
+  // to {1} — completely disjoint — yet T0's next read must observe the
+  // moved clock and abort.
+  auto M = makeTml();
+  uint64_t V;
+  M->txBegin(0);
+  ASSERT_TRUE(M->txRead(0, 0, V));
+
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 1, 5));
+  ASSERT_TRUE(M->txCommit(1));
+
+  EXPECT_FALSE(M->txRead(0, 2, V))
+      << "TML readers cannot survive any concurrent commit";
+  EXPECT_EQ(M->lastAbortCause(0), AbortCause::AC_ReadValidation);
+}
+
+TEST(Tml, ReaderAbortsWhileWriterActive) {
+  auto M = makeTml();
+  uint64_t V;
+  M->txBegin(0);
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 0, 5)); // T1 takes the sequence lock.
+
+  EXPECT_FALSE(M->txRead(0, 1, V)) << "odd clock must kill readers";
+  ASSERT_TRUE(M->txCommit(1));
+}
+
+TEST(Tml, SecondWriterAbortsImmediately) {
+  auto M = makeTml();
+  M->txBegin(0);
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(0, 0, 1));
+  EXPECT_FALSE(M->txWrite(1, 1, 2))
+      << "only one writer may hold the sequence lock";
+  EXPECT_EQ(M->lastAbortCause(1), AbortCause::AC_LockHeld);
+  ASSERT_TRUE(M->txCommit(0));
+  EXPECT_EQ(M->sample(0), 1u);
+  EXPECT_EQ(M->sample(1), 0u);
+}
+
+TEST(Tml, WriterIsIrrevocableAndCommits) {
+  auto M = makeTml();
+  M->txBegin(0);
+  uint64_t V;
+  ASSERT_TRUE(M->txWrite(0, 0, 1));
+  ASSERT_TRUE(M->txRead(0, 0, V)); // Writer reads its own in-place state.
+  EXPECT_EQ(V, 1u);
+  ASSERT_TRUE(M->txWrite(0, 1, 2));
+  EXPECT_TRUE(M->txCommit(0));
+  EXPECT_EQ(M->sample(0), 1u);
+  EXPECT_EQ(M->sample(1), 2u);
+}
+
+TEST(Tml, VoluntaryAbortOfWriterRollsBack) {
+  auto M = makeTml();
+  M->init(0, 10);
+  M->txBegin(0);
+  ASSERT_TRUE(M->txWrite(0, 0, 11));
+  ASSERT_TRUE(M->txWrite(0, 1, 12));
+  M->txAbort(0);
+  EXPECT_EQ(M->sample(0), 10u);
+  EXPECT_EQ(M->sample(1), 0u);
+
+  // The TM is usable afterwards (the lock was released).
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 0, 20));
+  EXPECT_TRUE(M->txCommit(1));
+  EXPECT_EQ(M->sample(0), 20u);
+}
+
+TEST(Tml, ReadsCostConstantSteps) {
+  // TML's reward for giving up progressiveness: two steps per read, no
+  // read-set bookkeeping at all.
+  auto M = makeTml();
+  M->txBegin(0);
+  uint64_t V;
+  for (ObjectId Obj = 0; Obj < 8; ++Obj)
+    ASSERT_TRUE(M->txRead(0, Obj, V));
+  EXPECT_TRUE(M->txCommit(0));
+}

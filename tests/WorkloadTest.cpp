@@ -1,0 +1,71 @@
+//===-- tests/WorkloadTest.cpp - Workload runner tests ---------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Workload.h"
+
+#include "stm/Stm.h"
+
+#include <gtest/gtest.h>
+
+using namespace ptm;
+
+TEST(Workload, HotspotCountsExactly) {
+  auto M = createTm(TmKind::TK_Tl2, 4, 4);
+  RunResult R = runHotspot(*M, 3, 500);
+  EXPECT_EQ(R.ValueChecksum, 1500u);
+  EXPECT_EQ(R.Commits, 1500u);
+  EXPECT_GT(R.Seconds, 0.0);
+}
+
+TEST(Workload, DisjointChecksumIsDeterministic) {
+  auto M1 = createTm(TmKind::TK_Norec, 64, 4);
+  auto M2 = createTm(TmKind::TK_Norec, 64, 4);
+  RunResult A = runDisjoint(*M1, 4, 300, 16, 4, /*Seed=*/5);
+  RunResult B = runDisjoint(*M2, 4, 300, 16, 4, /*Seed=*/5);
+  EXPECT_EQ(A.ValueChecksum, B.ValueChecksum);
+  EXPECT_EQ(A.ValueChecksum, 4u * 300u * 4u);
+}
+
+TEST(Workload, ZipfMixChecksumMatchesWriteCount) {
+  auto M = createTm(TmKind::TK_Tlrw, 128, 4);
+  RunResult R = runZipfMix(*M, 2, 400, 3, /*ReadProb=*/0.0, /*Theta=*/0.5,
+                           /*Seed=*/9);
+  EXPECT_EQ(R.Commits, 800u);
+  EXPECT_EQ(R.ValueChecksum, 800u * 3u);
+}
+
+TEST(Workload, ZipfMixReadsOnlyLeavesMemoryUntouched) {
+  auto M = createTm(TmKind::TK_OrecIncremental, 64, 2);
+  RunResult R = runZipfMix(*M, 2, 200, 4, /*ReadProb=*/1.0, /*Theta=*/0.8,
+                           /*Seed=*/13);
+  EXPECT_EQ(R.Commits, 400u);
+  EXPECT_EQ(R.ValueChecksum, 0u) << "pure readers must not modify objects";
+}
+
+TEST(Workload, BankConservesTotalAcrossSeeds) {
+  for (uint64_t Seed : {1ull, 2ull, 3ull}) {
+    auto M = createTm(TmKind::TK_GlobalLock, 16, 4);
+    RunResult R = runBank(*M, 4, 400, /*InitialBalance=*/250, Seed);
+    EXPECT_EQ(R.ValueChecksum, 16u * 250u) << "seed " << Seed;
+  }
+}
+
+TEST(Workload, ReadSweepCommitsReaderTransactions) {
+  auto M = createTm(TmKind::TK_Tl2, 64, 3);
+  RunResult R = runReadSweepWithWriters(*M, 3, /*ReadSetSize=*/32,
+                                        /*ReaderTxns=*/50, /*WriterTxns=*/200,
+                                        /*Seed=*/21);
+  EXPECT_GT(R.ValueChecksum, 0u) << "the reader never committed";
+  EXPECT_LE(R.ValueChecksum, 50u);
+}
+
+TEST(Workload, SingleThreadRunsWork) {
+  auto M = createTm(TmKind::TK_OrecIncremental, 16, 1);
+  RunResult R = runHotspot(*M, 1, 100);
+  EXPECT_EQ(R.ValueChecksum, 100u);
+  EXPECT_EQ(R.Aborts, 0u);
+}
