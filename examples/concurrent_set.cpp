@@ -43,7 +43,7 @@ constexpr uint64_t kNil = ~uint64_t{0};
 /// insert, missing remove), never on contention (that is retried away).
 class TxSortedSet {
 public:
-  TxSortedSet(Tm &M) : M(M) {
+  TxSortedSet(Tm &Memory) : M(Memory) {
     M.init(kHead, kNil);
     M.init(kAlloc, 0);
   }

@@ -37,7 +37,7 @@ namespace {
 /// obj 2+i = slot i. Indices grow monotonically; slot = index % capacity.
 class TxQueue {
 public:
-  TxQueue(Tm &M, unsigned Capacity) : M(M), Capacity(Capacity) {
+  TxQueue(Tm &Memory, unsigned Slots) : M(Memory), Capacity(Slots) {
     M.init(0, 0);
     M.init(1, 0);
   }

@@ -22,9 +22,9 @@ namespace {
 /// transaction's snapshot consistency is checked for opacity.
 class SerializationSearch {
 public:
-  SerializationSearch(const History &H, const CheckerOptions &Options,
-                      const TxnRecord *Phantom)
-      : Options(Options), Phantom(Phantom) {
+  SerializationSearch(const History &H, const CheckerOptions &Opts,
+                      const TxnRecord *PhantomTxn)
+      : Options(Opts), Phantom(PhantomTxn) {
     for (const TxnRecord &T : H.Txns)
       if (T.committed())
         Txns.push_back(&T);

@@ -13,9 +13,9 @@
 
 using namespace ptm;
 
-ClhMutex::ClhMutex(unsigned NumThreads)
-    : NumThreads(NumThreads), Tail(NumThreads), Flag(NumThreads + 1),
-      Locals(NumThreads) {
+ClhMutex::ClhMutex(unsigned ThreadCount)
+    : NumThreads(ThreadCount), Tail(ThreadCount), Flag(ThreadCount + 1),
+      Locals(ThreadCount) {
   // Node n is the pre-released sentinel the first enterer queues behind.
   Flag[NumThreads].poke(0);
   for (unsigned T = 0; T < NumThreads; ++T) {

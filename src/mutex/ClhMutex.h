@@ -26,7 +26,7 @@ namespace ptm {
 
 class ClhMutex final : public Mutex {
 public:
-  explicit ClhMutex(unsigned NumThreads);
+  explicit ClhMutex(unsigned ThreadCount);
 
   const char *name() const override { return "clh"; }
   unsigned maxThreads() const override { return NumThreads; }

@@ -13,8 +13,8 @@
 
 using namespace ptm;
 
-McsMutex::McsMutex(unsigned NumThreads)
-    : NumThreads(NumThreads), Tail(0), Next(NumThreads), Wait(NumThreads) {
+McsMutex::McsMutex(unsigned ThreadCount)
+    : NumThreads(ThreadCount), Tail(0), Next(ThreadCount), Wait(ThreadCount) {
   // DSM homes: each thread spins only on its own node.
   for (unsigned T = 0; T < NumThreads; ++T) {
     Next[T].setHome(T);

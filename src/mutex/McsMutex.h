@@ -26,7 +26,7 @@ namespace ptm {
 
 class McsMutex final : public Mutex {
 public:
-  explicit McsMutex(unsigned NumThreads);
+  explicit McsMutex(unsigned ThreadCount);
 
   const char *name() const override { return "mcs"; }
   unsigned maxThreads() const override { return NumThreads; }

@@ -64,7 +64,8 @@ const std::vector<MutexKind> &allMutexKinds();
 std::unique_ptr<Mutex> createMutex(MutexKind Kind, unsigned NumThreads);
 
 /// Creates the paper's Algorithm 1 lock L(M) where M is a freshly built TM
-/// of kind \p Inner restricted to a single t-object.
+/// of kind \p Inner restricted to a single t-object. Returns null if
+/// \p Inner is not a known TmKind or \p NumThreads is zero.
 std::unique_ptr<Mutex> createTmMutex(TmKind Inner, unsigned NumThreads);
 
 } // namespace ptm

@@ -16,7 +16,7 @@
 
 using namespace ptm;
 
-TasMutex::TasMutex(unsigned NumThreads) : NumThreads(NumThreads), Word(0) {
+TasMutex::TasMutex(unsigned ThreadCount) : NumThreads(ThreadCount), Word(0) {
   Word.setHome(0);
 }
 
@@ -38,7 +38,7 @@ void TasMutex::exit(ThreadId Tid) {
   Word.write(0);
 }
 
-TtasMutex::TtasMutex(unsigned NumThreads) : NumThreads(NumThreads), Word(0) {
+TtasMutex::TtasMutex(unsigned ThreadCount) : NumThreads(ThreadCount), Word(0) {
   Word.setHome(0);
 }
 

@@ -23,7 +23,7 @@ namespace ptm {
 
 class TasMutex final : public Mutex {
 public:
-  explicit TasMutex(unsigned NumThreads);
+  explicit TasMutex(unsigned ThreadCount);
 
   const char *name() const override { return "tas"; }
   unsigned maxThreads() const override { return NumThreads; }
@@ -38,7 +38,7 @@ private:
 
 class TtasMutex final : public Mutex {
 public:
-  explicit TtasMutex(unsigned NumThreads);
+  explicit TtasMutex(unsigned ThreadCount);
 
   const char *name() const override { return "ttas"; }
   unsigned maxThreads() const override { return NumThreads; }

@@ -13,8 +13,8 @@
 
 using namespace ptm;
 
-TicketMutex::TicketMutex(unsigned NumThreads)
-    : NumThreads(NumThreads), NextTicket(0), Serving(0) {
+TicketMutex::TicketMutex(unsigned ThreadCount)
+    : NumThreads(ThreadCount), NextTicket(0), Serving(0) {
   NextTicket.setHome(0);
   Serving.setHome(0);
 }

@@ -23,7 +23,7 @@ namespace ptm {
 
 class TicketMutex final : public Mutex {
 public:
-  explicit TicketMutex(unsigned NumThreads);
+  explicit TicketMutex(unsigned ThreadCount);
 
   const char *name() const override { return "ticket"; }
   unsigned maxThreads() const override { return NumThreads; }

@@ -13,11 +13,12 @@
 
 using namespace ptm;
 
-TmMutex::TmMutex(std::unique_ptr<Tm> Inner, unsigned NumThreads)
-    : M(std::move(Inner)), NumThreads(NumThreads),
-      Done(static_cast<size_t>(NumThreads) * 2),
-      Succ(static_cast<size_t>(NumThreads) * 2),
-      Lock(static_cast<size_t>(NumThreads) * NumThreads), Faces(NumThreads) {
+TmMutex::TmMutex(std::unique_ptr<Tm> Inner, unsigned ThreadCount)
+    : M(std::move(Inner)), NumThreads(ThreadCount),
+      Done(static_cast<size_t>(ThreadCount) * 2),
+      Succ(static_cast<size_t>(ThreadCount) * 2),
+      Lock(static_cast<size_t>(ThreadCount) * ThreadCount),
+      Faces(ThreadCount) {
   assert(M && "TmMutex needs an inner TM");
   assert(M->numObjects() >= 1 && "inner TM must manage t-object X");
   assert(M->maxThreads() >= NumThreads && "inner TM has too few thread slots");
@@ -98,5 +99,7 @@ void TmMutex::exit(ThreadId Tid) {
 
 std::unique_ptr<Mutex> ptm::createTmMutex(TmKind Inner, unsigned NumThreads) {
   auto M = createTm(Inner, /*NumObjects=*/1, NumThreads);
+  if (!M)
+    return nullptr;
   return std::make_unique<TmMutex>(std::move(M), NumThreads);
 }

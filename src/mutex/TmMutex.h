@@ -47,9 +47,9 @@ namespace ptm {
 
 class TmMutex final : public Mutex {
 public:
-  /// Builds L(M) for up to \p NumThreads processes. \p M must manage at
-  /// least one t-object; only t-object 0 is used (the paper's X).
-  TmMutex(std::unique_ptr<Tm> M, unsigned NumThreads);
+  /// Builds L(M) for up to \p ThreadCount processes. \p Inner must manage
+  /// at least one t-object; only t-object 0 is used (the paper's X).
+  TmMutex(std::unique_ptr<Tm> Inner, unsigned ThreadCount);
 
   const char *name() const override { return Name.c_str(); }
   unsigned maxThreads() const override { return NumThreads; }

@@ -13,6 +13,6 @@ using namespace ptm;
 /// a relaxed counter suffices.
 static std::atomic<uint64_t> NextObjectId{1};
 
-BaseObject::BaseObject(uint64_t Init, ThreadId Home)
+BaseObject::BaseObject(uint64_t Init, ThreadId HomeTid)
     : Word(Init), Id(NextObjectId.fetch_add(1, std::memory_order_relaxed)),
-      Home(Home) {}
+      Home(HomeTid) {}

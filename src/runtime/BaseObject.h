@@ -37,8 +37,8 @@ namespace ptm {
 class alignas(PTM_CACHELINE_SIZE) BaseObject {
 public:
   /// Creates an object holding \p Init, homed (for the DSM model) at
-  /// \p Home; kNoThread means "remote to everyone".
-  explicit BaseObject(uint64_t Init = 0, ThreadId Home = kNoThread);
+  /// \p HomeTid; kNoThread means "remote to everyone".
+  explicit BaseObject(uint64_t Init = 0, ThreadId HomeTid = kNoThread);
 
   BaseObject(const BaseObject &) = delete;
   BaseObject &operator=(const BaseObject &) = delete;

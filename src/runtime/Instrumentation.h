@@ -45,12 +45,12 @@ struct OpStats {
 /// instance and installs it thread-locally.
 class Instrumentation {
 public:
-  /// Creates a context for process \p Tid, optionally charging RMRs to
-  /// \p Rmr and serializing accesses through \p Sched (both shared across
-  /// the experiment's threads).
-  explicit Instrumentation(ThreadId Tid, RmrSimulator *Rmr = nullptr,
-                           TokenInterleaver *Sched = nullptr)
-      : Tid(Tid), Rmr(Rmr), Sched(Sched) {}
+  /// Creates a context for process \p OwnerTid, optionally charging RMRs
+  /// to \p RmrSim and serializing accesses through \p Scheduler (both
+  /// shared across the experiment's threads).
+  explicit Instrumentation(ThreadId OwnerTid, RmrSimulator *RmrSim = nullptr,
+                           TokenInterleaver *Scheduler = nullptr)
+      : Tid(OwnerTid), Rmr(RmrSim), Sched(Scheduler) {}
 
   /// Returns the context installed on the calling thread, or null.
   static Instrumentation *current();

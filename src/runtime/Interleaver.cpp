@@ -14,10 +14,10 @@
 
 using namespace ptm;
 
-TokenInterleaver::TokenInterleaver(unsigned NumThreads)
-    : NumThreads(NumThreads),
-      Active(std::make_unique<std::atomic<bool>[]>(NumThreads)) {
-  assert(NumThreads > 0 && "scheduler needs at least one thread");
+TokenInterleaver::TokenInterleaver(unsigned ThreadCount)
+    : NumThreads(ThreadCount),
+      Active(std::make_unique<std::atomic<bool>[]>(ThreadCount)) {
+  assert(ThreadCount > 0 && "scheduler needs at least one thread");
   for (unsigned T = 0; T < NumThreads; ++T)
     Active[T].store(true, std::memory_order_relaxed);
 }

@@ -60,7 +60,7 @@ public:
   unsigned numThreads() const { return NumThreads; }
 
 protected:
-  explicit TokenInterleaver(unsigned NumThreads);
+  explicit TokenInterleaver(unsigned ThreadCount);
 
   /// Returns the thread to receive the token after \p Current. Must
   /// return an active thread if any exists; called token-held.
@@ -86,8 +86,8 @@ private:
 /// Fair, dense schedule: threads take turns in index order.
 class RoundRobinInterleaver final : public TokenInterleaver {
 public:
-  explicit RoundRobinInterleaver(unsigned NumThreads)
-      : TokenInterleaver(NumThreads) {}
+  explicit RoundRobinInterleaver(unsigned ThreadCount)
+      : TokenInterleaver(ThreadCount) {}
 
 protected:
   unsigned pickNext(unsigned Current) override;
@@ -97,8 +97,8 @@ protected:
 /// on one thread (bursts) or bounce arbitrarily. Deterministic per seed.
 class RandomInterleaver final : public TokenInterleaver {
 public:
-  RandomInterleaver(unsigned NumThreads, uint64_t Seed)
-      : TokenInterleaver(NumThreads), Rng(Seed) {}
+  RandomInterleaver(unsigned ThreadCount, uint64_t Seed)
+      : TokenInterleaver(ThreadCount), Rng(Seed) {}
 
 protected:
   unsigned pickNext(unsigned Current) override;

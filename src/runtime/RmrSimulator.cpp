@@ -23,9 +23,9 @@ const char *ptm::memoryModelName(MemoryModelKind Kind) {
   return "unknown";
 }
 
-RmrSimulator::RmrSimulator(MemoryModelKind Kind, unsigned NumThreads)
-    : Kind(Kind), NumThreads(NumThreads) {
-  assert(NumThreads > 0 && NumThreads <= kMaxSimThreads &&
+RmrSimulator::RmrSimulator(MemoryModelKind ModelKind, unsigned ThreadCount)
+    : Kind(ModelKind), NumThreads(ThreadCount) {
+  assert(ThreadCount > 0 && ThreadCount <= kMaxSimThreads &&
          "thread count out of simulator range");
 }
 
@@ -33,7 +33,7 @@ namespace {
 /// RAII spin-lock guard over a shard's atomic_flag.
 class ShardGuard {
 public:
-  explicit ShardGuard(std::atomic_flag &Flag) : Flag(Flag) {
+  explicit ShardGuard(std::atomic_flag &Target) : Flag(Target) {
     while (Flag.test_and_set(std::memory_order_acquire))
       cpuRelax();
   }
@@ -44,7 +44,7 @@ private:
 };
 } // namespace
 
-bool RmrSimulator::access(ThreadId Tid, uint64_t ObjId, AccessKind Kind,
+bool RmrSimulator::access(ThreadId Tid, uint64_t ObjId, AccessKind Op,
                           ThreadId Home) {
   assert(Tid < NumThreads && "accessing thread outside simulated set");
 
@@ -52,12 +52,12 @@ bool RmrSimulator::access(ThreadId Tid, uint64_t ObjId, AccessKind Kind,
   // An object with no home (kNoThread) is remote to every process, the
   // conservative reading of "each register is assigned to a single
   // process".
-  if (this->Kind == MemoryModelKind::MM_Dsm)
+  if (Kind == MemoryModelKind::MM_Dsm)
     return Home == kNoThread || Home != Tid;
 
   Shard &S = Shards[ObjId % NumShards];
   ShardGuard Guard(S.Lock);
-  return accessCc(S, Tid, ObjId, isNontrivial(Kind));
+  return accessCc(S, Tid, ObjId, isNontrivial(Op));
 }
 
 bool RmrSimulator::accessCc(Shard &S, ThreadId Tid, uint64_t ObjId,

@@ -58,17 +58,17 @@ const char *memoryModelName(MemoryModelKind Kind);
 /// boolean this class returns.
 class RmrSimulator {
 public:
-  /// \p NumThreads is the number of processes participating (at most
+  /// \p ThreadCount is the number of processes participating (at most
   /// kMaxSimThreads).
-  RmrSimulator(MemoryModelKind Kind, unsigned NumThreads);
+  RmrSimulator(MemoryModelKind ModelKind, unsigned ThreadCount);
 
   RmrSimulator(const RmrSimulator &) = delete;
   RmrSimulator &operator=(const RmrSimulator &) = delete;
 
   /// Records an access by \p Tid to base object \p ObjId (whose DSM home is
-  /// \p Home) with primitive \p Kind. Returns true iff the access is an RMR
+  /// \p Home) with primitive \p Op. Returns true iff the access is an RMR
   /// under this model.
-  bool access(ThreadId Tid, uint64_t ObjId, AccessKind Kind, ThreadId Home);
+  bool access(ThreadId Tid, uint64_t ObjId, AccessKind Op, ThreadId Home);
 
   /// Forgets all cache state (counts are owned by the caller).
   void reset();

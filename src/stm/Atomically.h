@@ -39,7 +39,7 @@ namespace ptm {
 /// the first abort, after which they become no-ops and failed() is true.
 class TxRef {
 public:
-  TxRef(Tm &M, ThreadId Tid) : M(M), Tid(Tid) {}
+  TxRef(Tm &Memory, ThreadId Self) : M(Memory), Tid(Self) {}
 
   /// t-read; returns false (leaving \p Value untouched) once failed.
   bool read(ObjectId Obj, uint64_t &Value) {

@@ -13,12 +13,13 @@
 #include "stm/TlrwTm.h"
 #include "stm/Tm.h"
 #include "stm/TmlTm.h"
-#include "support/Compiler.h"
 
 using namespace ptm;
 
 std::unique_ptr<Tm> ptm::createTm(TmKind Kind, unsigned NumObjects,
                                   unsigned MaxThreads) {
+  if (NumObjects == 0 || MaxThreads == 0)
+    return nullptr;
   switch (Kind) {
   case TmKind::TK_GlobalLock:
     return std::make_unique<GlobalLockTm>(NumObjects, MaxThreads);
@@ -35,5 +36,5 @@ std::unique_ptr<Tm> ptm::createTm(TmKind Kind, unsigned NumObjects,
   case TmKind::TK_Tml:
     return std::make_unique<TmlTm>(NumObjects, MaxThreads);
   }
-  PTM_UNREACHABLE("unknown TM kind");
+  return nullptr;
 }

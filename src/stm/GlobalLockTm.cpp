@@ -11,8 +11,8 @@
 
 using namespace ptm;
 
-GlobalLockTm::GlobalLockTm(unsigned NumObjects, unsigned MaxThreads)
-    : TmBase(NumObjects, MaxThreads), Lock(0), Descs(MaxThreads) {}
+GlobalLockTm::GlobalLockTm(unsigned ObjectCount, unsigned ThreadCount)
+    : TmBase(ObjectCount, ThreadCount), Lock(0), Descs(ThreadCount) {}
 
 void GlobalLockTm::txBegin(ThreadId Tid) {
   slotBegin(Tid);

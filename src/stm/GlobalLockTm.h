@@ -27,7 +27,7 @@ namespace ptm {
 
 class GlobalLockTm final : public TmBase {
 public:
-  GlobalLockTm(unsigned NumObjects, unsigned MaxThreads);
+  GlobalLockTm(unsigned ObjectCount, unsigned ThreadCount);
 
   TmKind kind() const override { return TmKind::TK_GlobalLock; }
 

@@ -11,8 +11,8 @@
 
 using namespace ptm;
 
-NorecTm::NorecTm(unsigned NumObjects, unsigned MaxThreads)
-    : TmBase(NumObjects, MaxThreads), Seq(0), Descs(MaxThreads) {}
+NorecTm::NorecTm(unsigned ObjectCount, unsigned ThreadCount)
+    : TmBase(ObjectCount, ThreadCount), Seq(0), Descs(ThreadCount) {}
 
 void NorecTm::resetDesc(Desc &D) {
   D.Reads.clear();

@@ -29,7 +29,7 @@ namespace ptm {
 
 class NorecTm final : public TmBase {
 public:
-  NorecTm(unsigned NumObjects, unsigned MaxThreads);
+  NorecTm(unsigned ObjectCount, unsigned ThreadCount);
 
   TmKind kind() const override { return TmKind::TK_Norec; }
 

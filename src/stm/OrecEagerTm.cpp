@@ -9,8 +9,8 @@
 
 using namespace ptm;
 
-OrecEagerTm::OrecEagerTm(unsigned NumObjects, unsigned MaxThreads)
-    : TmBase(NumObjects, MaxThreads), Orecs(NumObjects), Descs(MaxThreads) {}
+OrecEagerTm::OrecEagerTm(unsigned ObjectCount, unsigned ThreadCount)
+    : TmBase(ObjectCount, ThreadCount), Orecs(ObjectCount), Descs(ThreadCount) {}
 
 void OrecEagerTm::txBegin(ThreadId Tid) {
   slotBegin(Tid);

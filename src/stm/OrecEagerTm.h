@@ -35,7 +35,7 @@ namespace ptm {
 
 class OrecEagerTm final : public TmBase {
 public:
-  OrecEagerTm(unsigned NumObjects, unsigned MaxThreads);
+  OrecEagerTm(unsigned ObjectCount, unsigned ThreadCount);
 
   TmKind kind() const override { return TmKind::TK_OrecEager; }
 

@@ -9,8 +9,8 @@
 
 using namespace ptm;
 
-OrecIncrementalTm::OrecIncrementalTm(unsigned NumObjects, unsigned MaxThreads)
-    : TmBase(NumObjects, MaxThreads), Orecs(NumObjects), Descs(MaxThreads) {}
+OrecIncrementalTm::OrecIncrementalTm(unsigned ObjectCount, unsigned ThreadCount)
+    : TmBase(ObjectCount, ThreadCount), Orecs(ObjectCount), Descs(ThreadCount) {}
 
 void OrecIncrementalTm::resetDesc(Desc &D) {
   D.Reads.clear();

@@ -31,7 +31,7 @@ namespace ptm {
 
 class OrecIncrementalTm final : public TmBase {
 public:
-  OrecIncrementalTm(unsigned NumObjects, unsigned MaxThreads);
+  OrecIncrementalTm(unsigned ObjectCount, unsigned ThreadCount);
 
   TmKind kind() const override { return TmKind::TK_OrecIncremental; }
 

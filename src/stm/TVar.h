@@ -31,7 +31,7 @@ template <typename T> class TVar {
                 "TVar payload must fit in a 64-bit cell");
 
 public:
-  TVar(Tm &M, ObjectId Obj) : M(&M), Obj(Obj) {}
+  TVar(Tm &Memory, ObjectId Object) : M(&Memory), Obj(Object) {}
 
   /// Transactional read; returns \p Default once the transaction failed.
   T readOr(TxRef &Tx, T Default) const {

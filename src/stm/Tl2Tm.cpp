@@ -9,9 +9,9 @@
 
 using namespace ptm;
 
-Tl2Tm::Tl2Tm(unsigned NumObjects, unsigned MaxThreads)
-    : TmBase(NumObjects, MaxThreads), Clock(0), Orecs(NumObjects),
-      Descs(MaxThreads) {}
+Tl2Tm::Tl2Tm(unsigned ObjectCount, unsigned ThreadCount)
+    : TmBase(ObjectCount, ThreadCount), Clock(0), Orecs(ObjectCount),
+      Descs(ThreadCount) {}
 
 void Tl2Tm::resetDesc(Desc &D) {
   D.ReadSet.clear();

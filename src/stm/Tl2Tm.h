@@ -32,7 +32,7 @@ namespace ptm {
 
 class Tl2Tm final : public TmBase {
 public:
-  Tl2Tm(unsigned NumObjects, unsigned MaxThreads);
+  Tl2Tm(unsigned ObjectCount, unsigned ThreadCount);
 
   TmKind kind() const override { return TmKind::TK_Tl2; }
 

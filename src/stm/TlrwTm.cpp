@@ -11,8 +11,8 @@
 
 using namespace ptm;
 
-TlrwTm::TlrwTm(unsigned NumObjects, unsigned MaxThreads)
-    : TmBase(NumObjects, MaxThreads), Locks(NumObjects), Descs(MaxThreads) {}
+TlrwTm::TlrwTm(unsigned ObjectCount, unsigned ThreadCount)
+    : TmBase(ObjectCount, ThreadCount), Locks(ObjectCount), Descs(ThreadCount) {}
 
 void TlrwTm::erase(std::vector<ObjectId> &Set, ObjectId Obj) {
   for (size_t I = 0, E = Set.size(); I != E; ++I) {

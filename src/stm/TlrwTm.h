@@ -32,7 +32,7 @@ namespace ptm {
 
 class TlrwTm final : public TmBase {
 public:
-  TlrwTm(unsigned NumObjects, unsigned MaxThreads);
+  TlrwTm(unsigned ObjectCount, unsigned ThreadCount);
 
   TmKind kind() const override { return TmKind::TK_Tlrw; }
 

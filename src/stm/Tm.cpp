@@ -29,6 +29,13 @@ const char *ptm::tmKindName(TmKind Kind) {
   return "unknown";
 }
 
+std::optional<TmKind> ptm::tmKindFromName(std::string_view Name) {
+  for (TmKind Kind : allTmKinds())
+    if (Name == tmKindName(Kind))
+      return Kind;
+  return std::nullopt;
+}
+
 const std::vector<TmKind> &ptm::allTmKinds() {
   static const std::vector<TmKind> Kinds = {
       TmKind::TK_GlobalLock,      TmKind::TK_Tl2,

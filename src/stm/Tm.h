@@ -27,6 +27,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 namespace ptm {
@@ -44,6 +46,10 @@ enum class TmKind {
 
 /// Short stable name (used in tables, test names and logs).
 const char *tmKindName(TmKind Kind);
+
+/// Inverse of tmKindName: parses a short name back into a kind. Returns
+/// std::nullopt for names that denote no TM.
+std::optional<TmKind> tmKindFromName(std::string_view Name);
 
 /// All implemented TM kinds, in a fixed presentation order.
 const std::vector<TmKind> &allTmKinds();
@@ -147,7 +153,8 @@ public:
 };
 
 /// Creates a TM of the given kind over \p NumObjects t-objects usable by up
-/// to \p MaxThreads concurrent threads.
+/// to \p MaxThreads concurrent threads. Returns null if \p Kind is not a
+/// known TmKind or if either count is zero.
 std::unique_ptr<Tm> createTm(TmKind Kind, unsigned NumObjects,
                              unsigned MaxThreads);
 

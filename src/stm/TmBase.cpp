@@ -9,11 +9,11 @@
 
 using namespace ptm;
 
-TmBase::TmBase(unsigned NumObjects, unsigned MaxThreads)
-    : Values(NumObjects), Slots(MaxThreads), NumObjects(NumObjects),
-      MaxThreads(MaxThreads) {
-  assert(NumObjects > 0 && "TM needs at least one t-object");
-  assert(MaxThreads > 0 && "TM needs at least one thread slot");
+TmBase::TmBase(unsigned ObjectCount, unsigned ThreadCount)
+    : Values(ObjectCount), Slots(ThreadCount), NumObjects(ObjectCount),
+      MaxThreads(ThreadCount) {
+  assert(ObjectCount > 0 && "TM needs at least one t-object");
+  assert(ThreadCount > 0 && "TM needs at least one thread slot");
 }
 
 TmStats TmBase::stats() const {

@@ -56,7 +56,7 @@ public:
   void resetStats() final;
 
 protected:
-  TmBase(unsigned NumObjects, unsigned MaxThreads);
+  TmBase(unsigned ObjectCount, unsigned ThreadCount);
 
   /// Per-thread lifecycle and counters, padded against false sharing.
   struct alignas(PTM_CACHELINE_SIZE) Slot {

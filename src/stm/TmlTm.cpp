@@ -11,8 +11,8 @@
 
 using namespace ptm;
 
-TmlTm::TmlTm(unsigned NumObjects, unsigned MaxThreads)
-    : TmBase(NumObjects, MaxThreads), Seq(0), Descs(MaxThreads) {}
+TmlTm::TmlTm(unsigned ObjectCount, unsigned ThreadCount)
+    : TmBase(ObjectCount, ThreadCount), Seq(0), Descs(ThreadCount) {}
 
 uint64_t TmlTm::waitEven() {
   uint32_t Spins = 0;

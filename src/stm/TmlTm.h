@@ -34,7 +34,7 @@ namespace ptm {
 
 class TmlTm final : public TmBase {
 public:
-  TmlTm(unsigned NumObjects, unsigned MaxThreads);
+  TmlTm(unsigned ObjectCount, unsigned ThreadCount);
 
   TmKind kind() const override { return TmKind::TK_Tml; }
 

@@ -64,8 +64,9 @@ public:
   /// negligible for the bounds used in this project).
   uint64_t nextBounded(uint64_t Bound) {
     assert(Bound != 0 && "bound must be nonzero");
-    return static_cast<uint64_t>(
-        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+    // __extension__ keeps -Wpedantic quiet about the non-ISO __int128.
+    __extension__ typedef unsigned __int128 Uint128;
+    return static_cast<uint64_t>((static_cast<Uint128>(next()) * Bound) >> 64);
   }
 
   /// Returns a uniform double in [0, 1).

@@ -50,7 +50,7 @@ protected:
 /// Stream over a stdio FILE handle. Does not own the handle.
 class FileOStream : public RawOStream {
 public:
-  explicit FileOStream(std::FILE *File) : File(File) {}
+  explicit FileOStream(std::FILE *Handle) : File(Handle) {}
 
   void flush() override;
 
@@ -65,7 +65,7 @@ private:
 /// for composing table rows.
 class StringOStream : public RawOStream {
 public:
-  explicit StringOStream(std::string &Buffer) : Buffer(Buffer) {}
+  explicit StringOStream(std::string &Out) : Buffer(Out) {}
 
 protected:
   void writeImpl(const char *Ptr, size_t Size) override;

@@ -14,9 +14,9 @@
 
 using namespace ptm;
 
-TablePrinter::TablePrinter(std::vector<std::string> Header)
-    : Header(std::move(Header)) {
-  assert(!this->Header.empty() && "table must have at least one column");
+TablePrinter::TablePrinter(std::vector<std::string> Columns)
+    : Header(std::move(Columns)) {
+  assert(!Header.empty() && "table must have at least one column");
 }
 
 void TablePrinter::addRow(std::vector<std::string> Row) {

@@ -27,8 +27,8 @@ class RawOStream;
 /// (the usual convention for label + numeric series).
 class TablePrinter {
 public:
-  /// Creates a table whose header row is \p Header.
-  explicit TablePrinter(std::vector<std::string> Header);
+  /// Creates a table whose header row is \p Columns.
+  explicit TablePrinter(std::vector<std::string> Columns);
 
   /// Appends one data row; must have the same arity as the header.
   void addRow(std::vector<std::string> Row);

@@ -21,10 +21,10 @@ static double zeta(uint64_t N, double Theta) {
   return Sum;
 }
 
-ZipfDistribution::ZipfDistribution(uint64_t N, double Theta)
-    : N(N), Theta(Theta) {
-  assert(N > 0 && "domain must be nonempty");
-  assert(Theta >= 0.0 && Theta < 1.0 && "generator requires theta in [0,1)");
+ZipfDistribution::ZipfDistribution(uint64_t Domain, double Skew)
+    : N(Domain), Theta(Skew) {
+  assert(Domain > 0 && "domain must be nonempty");
+  assert(Skew >= 0.0 && Skew < 1.0 && "generator requires theta in [0,1)");
   Zeta2Theta = zeta(2, Theta);
   ZetaN = zeta(N, Theta);
   Alpha = 1.0 / (1.0 - Theta);

@@ -27,7 +27,7 @@ class Xoshiro256;
 /// sampling is O(1).
 class ZipfDistribution {
 public:
-  ZipfDistribution(uint64_t N, double Theta);
+  ZipfDistribution(uint64_t Domain, double Skew);
 
   /// Draws one rank in [0, N) using \p Rng.
   uint64_t sample(Xoshiro256 &Rng) const;

@@ -1,0 +1,119 @@
+//===-- tests/FactoryTest.cpp - TM factory negative-path tests ------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Negative-path and metadata tests for the TM factory: invalid kinds and
+/// sizes must be rejected with null (never undefined behaviour), and the
+/// kind/name mapping must round-trip for every implemented algorithm.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mutex/Mutex.h"
+#include "stm/Tm.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+using namespace ptm;
+
+TEST(Factory, UnknownKindReturnsNull) {
+  EXPECT_EQ(createTm(static_cast<TmKind>(999), 4, 2), nullptr);
+  EXPECT_EQ(createTm(static_cast<TmKind>(-1), 4, 2), nullptr);
+}
+
+TEST(Factory, ZeroObjectsReturnsNull) {
+  for (TmKind Kind : allTmKinds())
+    EXPECT_EQ(createTm(Kind, 0, 2), nullptr) << tmKindName(Kind);
+}
+
+TEST(Factory, ZeroThreadsReturnsNull) {
+  for (TmKind Kind : allTmKinds())
+    EXPECT_EQ(createTm(Kind, 4, 0), nullptr) << tmKindName(Kind);
+}
+
+TEST(Factory, CreatesEveryKindWithRequestedGeometry) {
+  for (TmKind Kind : allTmKinds()) {
+    auto M = createTm(Kind, 3, 2);
+    ASSERT_NE(M, nullptr) << tmKindName(Kind);
+    EXPECT_EQ(M->kind(), Kind);
+    EXPECT_EQ(M->numObjects(), 3u);
+    EXPECT_EQ(M->maxThreads(), 2u);
+  }
+}
+
+TEST(Factory, SingleObjectSingleThreadIsValid) {
+  for (TmKind Kind : allTmKinds()) {
+    auto M = createTm(Kind, 1, 1);
+    ASSERT_NE(M, nullptr) << tmKindName(Kind);
+    M->txBegin(0);
+    EXPECT_TRUE(M->txWrite(0, 0, 7));
+    EXPECT_TRUE(M->txCommit(0));
+    EXPECT_EQ(M->sample(0), 7u);
+  }
+}
+
+TEST(Factory, KindNamesAreUniqueAndStable) {
+  std::set<std::string> Names;
+  for (TmKind Kind : allTmKinds()) {
+    const char *Name = tmKindName(Kind);
+    ASSERT_NE(Name, nullptr);
+    EXPECT_STRNE(Name, "unknown");
+    EXPECT_TRUE(Names.insert(Name).second) << "duplicate name " << Name;
+  }
+  EXPECT_EQ(Names.size(), allTmKinds().size());
+}
+
+TEST(Factory, KindNameRoundTripsForEveryKind) {
+  for (TmKind Kind : allTmKinds()) {
+    auto Parsed = tmKindFromName(tmKindName(Kind));
+    ASSERT_TRUE(Parsed.has_value()) << tmKindName(Kind);
+    EXPECT_EQ(*Parsed, Kind);
+  }
+}
+
+TEST(Factory, UnknownNameDoesNotParse) {
+  EXPECT_FALSE(tmKindFromName("no-such-tm").has_value());
+  EXPECT_FALSE(tmKindFromName("").has_value());
+  EXPECT_FALSE(tmKindFromName("TL2").has_value()) << "names are lowercase";
+}
+
+TEST(Factory, InstanceNameMatchesKindName) {
+  for (TmKind Kind : allTmKinds()) {
+    auto M = createTm(Kind, 2, 1);
+    ASSERT_NE(M, nullptr);
+    EXPECT_STREQ(M->name(), tmKindName(Kind));
+  }
+}
+
+TEST(Factory, ProgressivenessMatchesDesign) {
+  // Every TM in the paper's class is progressive; TML is the deliberate
+  // contrast point (readers abort on any concurrent commit).
+  for (TmKind Kind : allTmKinds())
+    EXPECT_EQ(isProgressive(Kind), Kind != TmKind::TK_Tml)
+        << tmKindName(Kind);
+}
+
+TEST(Factory, TmMutexPropagatesInvalidInnerKind) {
+  EXPECT_EQ(createTmMutex(static_cast<TmKind>(999), 2), nullptr);
+  EXPECT_EQ(createTmMutex(TmKind::TK_Tl2, 0), nullptr);
+  auto L = createTmMutex(TmKind::TK_Tl2, 2);
+  ASSERT_NE(L, nullptr);
+  EXPECT_EQ(L->maxThreads(), 2u);
+}
+
+TEST(Factory, AbortCauseNamesAreStable) {
+  EXPECT_STREQ(abortCauseName(AbortCause::AC_None), "none");
+  EXPECT_STREQ(abortCauseName(AbortCause::AC_ReadValidation),
+               "read-validation");
+  EXPECT_STREQ(abortCauseName(AbortCause::AC_LockHeld), "lock-held");
+  EXPECT_STREQ(abortCauseName(AbortCause::AC_CommitValidation),
+               "commit-validation");
+  EXPECT_STREQ(abortCauseName(AbortCause::AC_User), "user");
+  EXPECT_STREQ(abortCauseName(static_cast<AbortCause>(99)), "unknown");
+}

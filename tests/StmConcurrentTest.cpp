@@ -45,7 +45,7 @@ std::string paramName(const ::testing::TestParamInfo<TmKind> &Info) {
 /// Simple sense-reversing spin barrier for round-based tests.
 class SpinBarrier {
 public:
-  explicit SpinBarrier(unsigned Parties) : Parties(Parties) {}
+  explicit SpinBarrier(unsigned Count) : Parties(Count) {}
 
   void arriveAndWait() {
     unsigned Gen = Generation.load();

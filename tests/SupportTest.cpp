@@ -136,6 +136,90 @@ TEST(Zipf, SamplesInDomain) {
     EXPECT_LT(Zipf.sample(Rng), 37u);
 }
 
+TEST(Zipf, SingleElementDomainAlwaysSamplesZero) {
+  ZipfDistribution Zipf(1, 0.0);
+  Xoshiro256 Rng(5);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(Zipf.sample(Rng), 0u);
+}
+
+TEST(Zipf, CountsDecreaseWithRank) {
+  // The defining shape property: under skew, lower ranks are sampled at
+  // least as often as higher ones (checked on coarse rank buckets to keep
+  // the test statistically robust).
+  ZipfDistribution Zipf(100, 0.8);
+  Xoshiro256 Rng(21);
+  std::vector<uint64_t> Buckets(4, 0);
+  for (int I = 0; I < 200000; ++I)
+    ++Buckets[Zipf.sample(Rng) / 25];
+  EXPECT_GT(Buckets[0], Buckets[1]);
+  EXPECT_GT(Buckets[1], Buckets[2]);
+  EXPECT_GT(Buckets[2], Buckets[3]);
+}
+
+TEST(Zipf, DeterministicUnderFixedSeed) {
+  ZipfDistribution Zipf(64, 0.6);
+  Xoshiro256 A(123), B(123);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(Zipf.sample(A), Zipf.sample(B));
+}
+
+TEST(Table, SingleColumnSingleRow) {
+  TablePrinter Table({"only"});
+  Table.addRow({"x"});
+  std::string Buf;
+  StringOStream OS(Buf);
+  Table.print(OS);
+  EXPECT_NE(Buf.find("only"), std::string::npos);
+  EXPECT_NE(Buf.find("x"), std::string::npos);
+}
+
+TEST(Table, HeaderWiderThanCells) {
+  TablePrinter Table({"wide-header", "h2"});
+  Table.addRow({"a", "b"});
+  std::string Buf;
+  StringOStream OS(Buf);
+  Table.print(OS);
+  // Output is header, rule, then data rows; every line is padded to the
+  // header's width so the data row is as wide as the header line.
+  std::vector<std::string> Lines;
+  for (size_t Pos = 0; Pos < Buf.size();) {
+    size_t End = Buf.find('\n', Pos);
+    ASSERT_NE(End, std::string::npos);
+    Lines.push_back(Buf.substr(Pos, End - Pos));
+    Pos = End + 1;
+  }
+  ASSERT_GE(Lines.size(), 3u);
+  EXPECT_NE(Lines[0].find("wide-header"), std::string::npos);
+  EXPECT_EQ(Lines[0].size(), Lines[2].size()) << "data row: " << Lines[2];
+  EXPECT_NE(Lines[2].find('a'), std::string::npos);
+}
+
+TEST(SplitMix64, GoldenSequence) {
+  // Reference values from Vigna's splitmix64 reference implementation with
+  // seed 0; pins the generator against silent changes.
+  SplitMix64 SM(0);
+  EXPECT_EQ(SM.next(), 0xE220A8397B1DCDAFull);
+  EXPECT_EQ(SM.next(), 0x6E789E6AA1B965F4ull);
+  EXPECT_EQ(SM.next(), 0x06C45D188009454Full);
+}
+
+TEST(Xoshiro256, BoundedDeterministicUnderFixedSeed) {
+  Xoshiro256 A(77), B(77);
+  for (uint64_t Bound : {2ull, 17ull, 1000003ull})
+    for (int I = 0; I < 100; ++I)
+      EXPECT_EQ(A.nextBounded(Bound), B.nextBounded(Bound));
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  Xoshiro256 A(1), B(2);
+  int Equal = 0;
+  for (int I = 0; I < 64; ++I)
+    if (A.next() == B.next())
+      ++Equal;
+  EXPECT_LT(Equal, 4);
+}
+
 TEST(Backoff, GrowsAndResets) {
   // Behavioural smoke test: spin() must terminate and reset() must be
   // callable; timing is not asserted.
