@@ -8,33 +8,36 @@
 /// **E5 — progressiveness and strong progressiveness in numbers.**
 ///
 /// Three workloads per TM:
-///  * disjoint partitions — progressiveness predicts **zero** aborts;
-///  * single-item hotspot — abort rates by cause; strong progressiveness
-///    predicts every round of conflicting single-shot transactions commits
-///    at least one member (reported as "empty rounds", expected 0);
+///  * disjoint partitions — progressiveness predicts **zero** aborts
+///    (the `aborts` metric must be 0 for every TM whose `progressive`
+///    param says "yes"; TML is the designed-in exception);
+///  * single-item hotspot — abort rate and causes; strong progressiveness
+///    predicts every round of conflicting single-shot transactions
+///    commits at least one member (`empty_rounds`, expected 0);
 ///  * zipf-skewed mix — a realistic middle ground.
+///
+/// Abort causes in the `causes` param: rv=read-validation, lk=lock-held,
+/// cv=commit-validation.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "bench/Bench.h"
 #include "stm/Stm.h"
 #include "support/Format.h"
-#include "support/RawOStream.h"
-#include "support/Table.h"
 #include "workload/Workload.h"
 
 #include <atomic>
 #include <thread>
+#include <utility>
 #include <vector>
 
 using namespace ptm;
 
 namespace {
 
-constexpr unsigned kThreads = 4;
-
 /// Counts rounds of simultaneous single-shot hotspot transactions in which
 /// nobody committed (strong progressiveness says: none).
-uint64_t emptyRounds(Tm &M, unsigned Rounds) {
+uint64_t emptyRounds(Tm &M, unsigned Threads, unsigned Rounds) {
   std::atomic<unsigned> Arrived{0};
   std::atomic<unsigned> Generation{0};
   std::atomic<unsigned> CommitsThisRound{0};
@@ -42,7 +45,7 @@ uint64_t emptyRounds(Tm &M, unsigned Rounds) {
 
   auto Barrier = [&] {
     unsigned Gen = Generation.load();
-    if (Arrived.fetch_add(1) + 1 == kThreads) {
+    if (Arrived.fetch_add(1) + 1 == Threads) {
       Arrived.store(0);
       Generation.fetch_add(1);
       return;
@@ -52,7 +55,7 @@ uint64_t emptyRounds(Tm &M, unsigned Rounds) {
   };
 
   std::vector<std::thread> Workers;
-  for (unsigned T = 0; T < kThreads; ++T) {
+  for (unsigned T = 0; T < Threads; ++T) {
     Workers.emplace_back([&, T] {
       for (unsigned R = 0; R < Rounds; ++R) {
         Barrier();
@@ -87,60 +90,141 @@ std::string causeBreakdown(const TmStats &S) {
   return Out;
 }
 
+/// Per-metric samples of one workload repeated under the warmup +
+/// repetition policy. Commit/abort totals vary run to run under real
+/// contention, so they get full statistics just like the wall-clock
+/// throughput; Causes keeps the last repetition's breakdown (informational).
+struct WorkloadSamples {
+  std::vector<double> Commits, Aborts, Throughput, AbortPct;
+  std::string Causes;
+};
+
+template <typename RunOnce>
+WorkloadSamples collect(bench::BenchContext &Ctx, RunOnce &&Once) {
+  for (unsigned I = 0; I < Ctx.warmup(); ++I)
+    (void)Once();
+  WorkloadSamples S;
+  for (unsigned I = 0; I < Ctx.reps(); ++I) {
+    std::pair<RunResult, TmStats> R = Once();
+    S.Commits.push_back(static_cast<double>(R.first.Commits));
+    S.Aborts.push_back(static_cast<double>(R.first.Aborts));
+    S.Throughput.push_back(R.first.throughputPerSec());
+    S.AbortPct.push_back(100.0 * R.second.abortRatio());
+    S.Causes = causeBreakdown(R.second);
+  }
+  return S;
+}
+
+void reportCounts(bench::BenchContext &Ctx, bench::ResultRow Row,
+                  WorkloadSamples &S) {
+  Row.Metric = "commits";
+  Row.Unit = "txn";
+  Row.Stats = bench::SampleStats::compute(std::move(S.Commits));
+  Ctx.report(Row);
+
+  Row.Metric = "aborts";
+  Row.Unit = "txn";
+  Row.Stats = bench::SampleStats::compute(std::move(S.Aborts));
+  Ctx.report(Row);
+
+  Row.Metric = "throughput";
+  Row.Unit = "txn/s";
+  Row.Stats = bench::SampleStats::compute(std::move(S.Throughput));
+  Ctx.report(Row);
+}
+
+void benchAborts(bench::BenchContext &Ctx) {
+  const uint64_t DisjointTxns = Ctx.pick<uint64_t>(3000, 400);
+  const uint64_t HotspotTxns = Ctx.pick<uint64_t>(5000, 600);
+  const unsigned Rounds = Ctx.pick<unsigned>(200, 40);
+  const uint64_t ZipfTxns = Ctx.pick<uint64_t>(4000, 500);
+
+  const std::vector<unsigned> Counts = Ctx.threadCounts({4});
+
+  for (unsigned N : Counts) {
+    for (TmKind Kind : allTmKinds()) {
+      const char *Progressive = isProgressive(Kind) ? "yes" : "no";
+
+      // Disjoint partitions: conflict-free => zero aborts required of any
+      // progressive TM.
+      {
+        WorkloadSamples S = collect(Ctx, [&] {
+          auto M = createTm(Kind, N * 16, N);
+          RunResult R = runDisjoint(*M, N, DisjointTxns, 16, 4, /*Seed=*/3);
+          return std::make_pair(R, M->stats());
+        });
+        bench::ResultRow Row;
+        Row.Tm = tmKindName(Kind);
+        Row.Threads = N;
+        Row.Params = {bench::param("workload", "disjoint"),
+                      bench::param("progressive", Progressive)};
+        reportCounts(Ctx, Row, S);
+      }
+
+      // Single-item hotspot: abort ratio, cause breakdown and the strong-
+      // progressiveness empty-rounds check.
+      {
+        WorkloadSamples S = collect(Ctx, [&] {
+          auto M = createTm(Kind, 1, N);
+          RunResult R = runHotspot(*M, N, HotspotTxns);
+          return std::make_pair(R, M->stats());
+        });
+        std::vector<double> Empty;
+        for (unsigned I = 0; I < Ctx.reps(); ++I) {
+          auto M = createTm(Kind, 1, N);
+          Empty.push_back(static_cast<double>(emptyRounds(*M, N, Rounds)));
+        }
+
+        bench::ResultRow Row;
+        Row.Tm = tmKindName(Kind);
+        Row.Threads = N;
+        Row.Params = {bench::param("workload", "hotspot"),
+                      bench::param("progressive", Progressive),
+                      bench::param("causes", S.Causes)};
+        reportCounts(Ctx, Row, S);
+
+        Row.Metric = "abort_pct";
+        Row.Unit = "%";
+        Row.Stats = bench::SampleStats::compute(std::move(S.AbortPct));
+        Ctx.report(Row);
+
+        Row.Metric = "empty_rounds";
+        Row.Unit = "rounds";
+        Row.Params = {bench::param("workload", "hotspot"),
+                      bench::param("progressive", Progressive),
+                      bench::param("rounds", uint64_t{Rounds})};
+        Row.Stats = bench::SampleStats::compute(std::move(Empty));
+        Ctx.report(Row);
+      }
+
+      // Zipf-skewed mix: the realistic middle ground.
+      {
+        WorkloadSamples S = collect(Ctx, [&] {
+          auto M = createTm(Kind, 256, N);
+          RunResult R = runZipfMix(*M, N, ZipfTxns, 4, /*ReadProb=*/0.5,
+                                   /*Theta=*/0.8, /*Seed=*/17);
+          return std::make_pair(R, M->stats());
+        });
+        bench::ResultRow Row;
+        Row.Tm = tmKindName(Kind);
+        Row.Threads = N;
+        Row.Params = {bench::param("workload", "zipf_0.8"),
+                      bench::param("progressive", Progressive)};
+        reportCounts(Ctx, Row, S);
+
+        Row.Metric = "abort_pct";
+        Row.Unit = "%";
+        Row.Stats = bench::SampleStats::compute(std::move(S.AbortPct));
+        Ctx.report(Row);
+      }
+    }
+  }
+}
+
 } // namespace
 
-int main() {
-  RawOStream &OS = outs();
-  OS << "==============================================================\n";
-  OS << "E5  Progressiveness (Def. progressive / strongly progressive)\n";
-  OS << "    " << kThreads << " threads; abort causes: rv=read-validation,"
-     << " lk=lock-held, cv=commit-validation\n";
-  OS << "==============================================================\n\n";
-
-  TablePrinter Disjoint(
-      {"tm", "commits", "aborts", "throughput/s", "verdict"});
-  for (TmKind Kind : allTmKinds()) {
-    auto M = createTm(Kind, 64, kThreads);
-    RunResult R = runDisjoint(*M, kThreads, 3000, 16, 4, /*Seed=*/3);
-    const char *Verdict = R.Aborts == 0 ? "progressive" : "VIOLATION";
-    if (!isProgressive(Kind))
-      Verdict = "not progressive (by design)";
-    Disjoint.addRow({tmKindName(Kind), formatInt(R.Commits),
-                     formatInt(R.Aborts),
-                     formatDouble(R.throughputPerSec(), 0), Verdict});
-  }
-  OS << "Disjoint partitions (conflict-free => zero aborts required):\n";
-  Disjoint.print(OS);
-
-  TablePrinter Hotspot({"tm", "commits", "aborts", "abort%", "causes",
-                        "empty-rounds"});
-  for (TmKind Kind : allTmKinds()) {
-    auto M = createTm(Kind, 1, kThreads);
-    RunResult R = runHotspot(*M, kThreads, 5000);
-    TmStats S = M->stats();
-    auto M2 = createTm(Kind, 1, kThreads);
-    uint64_t Empty = emptyRounds(*M2, 200);
-    Hotspot.addRow({tmKindName(Kind), formatInt(R.Commits),
-                    formatInt(R.Aborts),
-                    formatDouble(100.0 * S.abortRatio(), 1),
-                    causeBreakdown(S), formatInt(Empty)});
-  }
-  OS << "Single-item hotspot (strong progressiveness => empty-rounds = 0):\n";
-  Hotspot.print(OS);
-
-  TablePrinter Zipf({"tm", "commits", "aborts", "abort%", "throughput/s"});
-  for (TmKind Kind : allTmKinds()) {
-    auto M = createTm(Kind, 256, kThreads);
-    RunResult R = runZipfMix(*M, kThreads, 4000, 4, /*ReadProb=*/0.5,
-                             /*Theta=*/0.8, /*Seed=*/17);
-    TmStats S = M->stats();
-    Zipf.addRow({tmKindName(Kind), formatInt(R.Commits), formatInt(R.Aborts),
-                 formatDouble(100.0 * S.abortRatio(), 1),
-                 formatDouble(R.throughputPerSec(), 0)});
-  }
-  OS << "Zipf(0.8) mixed read/write, 4 ops/txn:\n";
-  Zipf.print(OS);
-
-  OS.flush();
-  return 0;
-}
+PTM_BENCHMARK("aborts", "aborts",
+              "Progressiveness (Def. 1): zero aborts on disjoint data; "
+              "strong progressiveness: no round of conflicting single-item "
+              "transactions ends with everyone aborted (empty_rounds = 0)",
+              benchAborts);

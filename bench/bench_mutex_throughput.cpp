@@ -8,17 +8,21 @@
 /// **E4 — wall-clock passage throughput of the locks.**
 ///
 /// Complements E3's simulated RMR counts with real time: passages/second
-/// for each lock at 1..4 threads (google-benchmark). Each benchmark
-/// iteration runs a full parallel phase of fixed passages so the thread
-/// count is controlled by us, not by the framework.
+/// for each baseline lock and each TmMutex (Algorithm 1) instantiation.
+/// Each repetition builds a fresh lock and runs a full parallel phase of
+/// fixed passages so the thread count is controlled by us, not by the
+/// scheduler; the harness applies the warmup + repetition policy.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "bench/Bench.h"
 #include "mutex/Mutex.h"
 #include "stm/Tm.h"
 
-#include <benchmark/benchmark.h>
-
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -26,66 +30,77 @@ using namespace ptm;
 
 namespace {
 
-constexpr uint64_t kPassagesPerThread = 2000;
-
-void runPassages(Mutex &Lock, unsigned Threads) {
+/// Runs the parallel passage phase and returns passages per second.
+double passagesPerSec(Mutex &Lock, unsigned Threads,
+                      uint64_t PassagesPerThread) {
+  std::atomic<unsigned> Ready{0};
+  std::atomic<bool> Go{false};
   std::vector<std::thread> Workers;
   for (unsigned T = 0; T < Threads; ++T) {
-    Workers.emplace_back([&Lock, T] {
-      for (uint64_t P = 0; P < kPassagesPerThread; ++P) {
+    Workers.emplace_back([&, T] {
+      Ready.fetch_add(1);
+      while (!Go.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      for (uint64_t P = 0; P < PassagesPerThread; ++P) {
         Lock.enter(T);
-        benchmark::ClobberMemory(); // The (empty) critical section.
+        // The (empty) critical section.
         Lock.exit(T);
       }
     });
   }
+  while (Ready.load() != Threads)
+    std::this_thread::yield();
+  auto Start = std::chrono::steady_clock::now();
+  Go.store(true, std::memory_order_release);
   for (std::thread &W : Workers)
     W.join();
+  auto End = std::chrono::steady_clock::now();
+  double Seconds = std::chrono::duration<double>(End - Start).count();
+  return Seconds > 0.0
+             ? static_cast<double>(Threads * PassagesPerThread) / Seconds
+             : 0.0;
 }
 
-void benchBaseline(benchmark::State &State, MutexKind Kind) {
-  unsigned Threads = static_cast<unsigned>(State.range(0));
-  for (auto _ : State) {
-    auto Lock = createMutex(Kind, Threads);
-    runPassages(*Lock, Threads);
-  }
-  State.SetItemsProcessed(State.iterations() * Threads * kPassagesPerThread);
-}
+void benchMutexThroughput(bench::BenchContext &Ctx) {
+  const uint64_t Passages = Ctx.pick<uint64_t>(2000, 400);
+  const std::vector<unsigned> Counts =
+      Ctx.threadCounts(Ctx.pick<std::vector<unsigned>>({1, 2, 4}, {1, 2}));
 
-void benchTmMutex(benchmark::State &State, TmKind Inner) {
-  unsigned Threads = static_cast<unsigned>(State.range(0));
-  for (auto _ : State) {
-    auto Lock = createTmMutex(Inner, Threads);
-    runPassages(*Lock, Threads);
+  struct Subject {
+    std::string Label;
+    std::function<std::unique_ptr<Mutex>(unsigned)> Make;
+  };
+  std::vector<Subject> Subjects;
+  for (MutexKind Kind : allMutexKinds())
+    Subjects.push_back({mutexKindName(Kind),
+                        [Kind](unsigned N) { return createMutex(Kind, N); }});
+  for (TmKind Kind : allTmKinds()) {
+    std::string Label = std::string("tm(") + tmKindName(Kind) + ")";
+    Subjects.push_back(
+        {Label, [Kind](unsigned N) { return createTmMutex(Kind, N); }});
   }
-  State.SetItemsProcessed(State.iterations() * Threads * kPassagesPerThread);
+
+  for (const Subject &S : Subjects) {
+    for (unsigned N : Counts) {
+      bench::ResultRow Row;
+      Row.Tm = S.Label;
+      Row.Threads = N;
+      Row.Params = {bench::param("passages_per_thread", Passages)};
+      Row.Metric = "throughput";
+      Row.Unit = "passage/s";
+      Row.Stats = Ctx.measure([&] {
+        auto Lock = S.Make(N);
+        return passagesPerSec(*Lock, N, Passages);
+      });
+      Ctx.report(Row);
+    }
+  }
 }
 
 } // namespace
 
-BENCHMARK_CAPTURE(benchBaseline, tas, MutexKind::MK_Tas)
-    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
-BENCHMARK_CAPTURE(benchBaseline, ttas, MutexKind::MK_Ttas)
-    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
-BENCHMARK_CAPTURE(benchBaseline, ticket, MutexKind::MK_Ticket)
-    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
-BENCHMARK_CAPTURE(benchBaseline, mcs, MutexKind::MK_Mcs)
-    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
-BENCHMARK_CAPTURE(benchBaseline, clh, MutexKind::MK_Clh)
-    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
-BENCHMARK_CAPTURE(benchTmMutex, tm_glock, TmKind::TK_GlobalLock)
-    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
-BENCHMARK_CAPTURE(benchTmMutex, tm_tl2, TmKind::TK_Tl2)
-    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
-BENCHMARK_CAPTURE(benchTmMutex, tm_norec, TmKind::TK_Norec)
-    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
-BENCHMARK_CAPTURE(benchTmMutex, tm_orec_incr, TmKind::TK_OrecIncremental)
-    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
-BENCHMARK_CAPTURE(benchTmMutex, tm_orec_eager, TmKind::TK_OrecEager)
-    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
-BENCHMARK_CAPTURE(benchTmMutex, tm_tlrw, TmKind::TK_Tlrw)
-    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
-BENCHMARK_CAPTURE(benchTmMutex, tm_tml, TmKind::TK_Tml)
-    ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
-
-BENCHMARK_MAIN();
+PTM_BENCHMARK("mutex_throughput", "throughput",
+              "Theorem 7 in wall-clock terms: Algorithm 1's mutex-from-TM "
+              "construction against the classical baseline locks "
+              "(TAS/TTAS/ticket/MCS/CLH), passages per second",
+              benchMutexThroughput);

@@ -12,9 +12,9 @@
 /// memory models (CC write-through, CC write-back, DSM). The schedule is
 /// controlled: a round-robin interleaver serializes execution one
 /// shared-memory event at a time across all n threads, so contention is
-/// dense and deterministic-ish regardless of host core count (the paper's
+/// dense and deterministic regardless of host core count (the paper's
 /// bounds quantify over schedules; the OS's bursty schedule on a small
-/// host would hide all contention). Reported: RMRs per passage.
+/// host would hide all contention). Metric: rmrs_per_passage.
 ///
 /// What the theory predicts:
 ///  * MCS (fetch-and-store — an *unconditional* primitive, outside
@@ -30,15 +30,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "bench/Bench.h"
 #include "mutex/Mutex.h"
 #include "runtime/BaseObject.h"
 #include "runtime/Instrumentation.h"
 #include "runtime/Interleaver.h"
 #include "runtime/RmrSimulator.h"
 #include "stm/Tm.h"
-#include "support/Format.h"
-#include "support/RawOStream.h"
-#include "support/Table.h"
 
 #include <atomic>
 #include <functional>
@@ -54,6 +52,20 @@ struct LockCfg {
   std::string Label;
   std::function<std::unique_ptr<Mutex>(unsigned)> Make;
 };
+
+std::vector<LockCfg> lockConfigs() {
+  std::vector<LockCfg> Locks;
+  for (MutexKind Kind : allMutexKinds())
+    Locks.push_back({mutexKindName(Kind),
+                     [Kind](unsigned N) { return createMutex(Kind, N); }});
+  for (TmKind Kind : {TmKind::TK_Tl2, TmKind::TK_Norec,
+                      TmKind::TK_OrecIncremental, TmKind::TK_GlobalLock}) {
+    std::string Label = std::string("tm(") + tmKindName(Kind) + ")";
+    Locks.push_back(
+        {Label, [Kind](unsigned N) { return createTmMutex(Kind, N); }});
+  }
+  return Locks;
+}
 
 double rmrsPerPassage(const LockCfg &Cfg, MemoryModelKind Model, unsigned N,
                       uint64_t PassagesPerThread) {
@@ -86,53 +98,39 @@ double rmrsPerPassage(const LockCfg &Cfg, MemoryModelKind Model, unsigned N,
          static_cast<double>(N * PassagesPerThread);
 }
 
-} // namespace
-
-int main() {
-  RawOStream &OS = outs();
-  OS << "==============================================================\n";
-  OS << "E3  RMRs per passage of mutual-exclusion locks under the\n";
-  OS << "    paper's three memory models (Theorem 7 / Theorem 9),\n";
-  OS << "    dense round-robin event schedule\n";
-  OS << "==============================================================\n\n";
-
-  std::vector<LockCfg> Locks;
-  for (MutexKind Kind : allMutexKinds())
-    Locks.push_back({mutexKindName(Kind),
-                     [Kind](unsigned N) { return createMutex(Kind, N); }});
-  for (TmKind Kind : {TmKind::TK_Tl2, TmKind::TK_Norec,
-                      TmKind::TK_OrecIncremental, TmKind::TK_GlobalLock}) {
-    std::string Label = std::string("tm(") + tmKindName(Kind) + ")";
-    Locks.push_back(
-        {Label, [Kind](unsigned N) { return createTmMutex(Kind, N); }});
-  }
-
-  const std::vector<unsigned> ThreadCounts = {1, 2, 4, 8};
-  const uint64_t Passages = 60;
+void benchRmrMutex(bench::BenchContext &Ctx) {
+  const uint64_t Passages = Ctx.pick<uint64_t>(60, 12);
+  const std::vector<unsigned> Counts =
+      Ctx.threadCounts(Ctx.pick<std::vector<unsigned>>({1, 2, 4, 8}, {1, 2}));
+  const std::vector<LockCfg> Locks = lockConfigs();
 
   for (MemoryModelKind Model :
        {MemoryModelKind::MM_CcWriteThrough, MemoryModelKind::MM_CcWriteBack,
         MemoryModelKind::MM_Dsm}) {
-    std::vector<std::string> Header = {std::string("lock [") +
-                                       memoryModelName(Model) + "]"};
-    for (unsigned N : ThreadCounts)
-      Header.push_back("n=" + formatInt(uint64_t{N}));
-
-    TablePrinter Table(Header);
     for (const LockCfg &Cfg : Locks) {
-      std::vector<std::string> Row = {Cfg.Label};
-      for (unsigned N : ThreadCounts)
-        Row.push_back(formatDouble(rmrsPerPassage(Cfg, Model, N, Passages), 1));
-      Table.addRow(Row);
+      for (unsigned N : Counts) {
+        bench::ResultRow Row;
+        Row.Tm = Cfg.Label;
+        Row.Threads = N;
+        Row.Params = {bench::param("model", memoryModelName(Model)),
+                      bench::param("passages_per_thread", Passages)};
+        Row.Metric = "rmrs_per_passage";
+        Row.Unit = "rmr";
+        // The round-robin schedule makes the count deterministic; one
+        // evaluation is exact.
+        Row.Stats =
+            bench::SampleStats::once(rmrsPerPassage(Cfg, Model, N, Passages));
+        Ctx.report(Row);
+      }
     }
-    Table.print(OS);
   }
-
-  OS << "Reading the tables: queue locks (mcs, clh) stay flat in CC; TAS/\n"
-     << "TTAS/ticket grow with n; CLH degrades only in DSM; Algorithm 1\n"
-     << "(tm-mutex) spins locally — its handshake is O(1) (Theorem 7) and\n"
-     << "the residual growth with n is the inner TM's CAS contention on X\n"
-     << "(the Theorem 9 cost for conditional-primitive TMs).\n";
-  OS.flush();
-  return 0;
 }
+
+} // namespace
+
+PTM_BENCHMARK("rmr_mutex", "rmr",
+              "Theorem 7: Algorithm 1 turns a strongly progressive TM into "
+              "a mutex with O(1) RMR handshake overhead; Theorem 9: the "
+              "inner CAS-based TM's RMR cost must grow with contention "
+              "(queue locks are the baselines, under CC-WT/CC-WB/DSM)",
+              benchRmrMutex);

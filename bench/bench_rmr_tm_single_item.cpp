@@ -13,24 +13,31 @@
 /// primitives has executions with n processes on ONE t-object costing
 /// Ω(n log n) total RMRs. Here n threads each commit read-modify-write
 /// transactions on the single object under a dense round-robin event
-/// schedule; we report RMRs per *committed* transaction (failed attempts
-/// are part of the cost, exactly as in the bound).
+/// schedule; the metric is rmrs_per_commit (failed attempts are part of
+/// the cost, exactly as in the bound).
 ///
 /// Expected shape: every CAS-based TM's per-commit RMR cost grows with n
 /// (conflict retries — the conditional-primitive cost); `glock`, whose
 /// transactions never abort, pays only its lock hand-off.
 ///
+/// Rows with status "livelock" mark cells where symmetric contenders
+/// stayed in lockstep under the perfectly fair schedule: TLRW's
+/// read-then-upgrade pattern does this (all readers acquire, all upgrades
+/// fail, all retry in phase) — a real property of reader-upgrade locking
+/// that wall-clock schedulers mask with timing noise, reported honestly
+/// here. Progressiveness promises abort-on-conflict, not
+/// livelock-freedom.
+///
 //===----------------------------------------------------------------------===//
 
+#include "bench/Bench.h"
 #include "runtime/Instrumentation.h"
 #include "runtime/Interleaver.h"
 #include "runtime/RmrSimulator.h"
 #include "stm/Stm.h"
-#include "support/Format.h"
-#include "support/RawOStream.h"
-#include "support/Table.h"
 
 #include <atomic>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -38,23 +45,16 @@ using namespace ptm;
 
 namespace {
 
-/// Sentinel result: the cell livelocked (see below).
-constexpr double kLivelocked = -1.0;
-
-/// Returns mean RMRs per committed transaction, or kLivelocked if some
-/// thread exhausted its attempt budget. A perfectly fair event schedule
-/// keeps symmetric contenders in lockstep: TLRW's read-then-upgrade
-/// pattern livelocks this way (all readers acquire, all upgrades fail,
-/// all retry in phase) — a real property of reader-upgrade locking that
-/// wall-clock schedulers mask with timing noise, reported honestly here.
-double rmrsPerCommit(TmKind Kind, MemoryModelKind Model, unsigned N,
-                     uint64_t CommitsPerThread) {
+/// Returns mean RMRs per committed transaction, or nullopt if some thread
+/// exhausted its attempt budget (the livelock case described above).
+std::optional<double> rmrsPerCommit(TmKind Kind, MemoryModelKind Model,
+                                    unsigned N, uint64_t CommitsPerThread,
+                                    uint64_t AttemptBudget) {
   auto M = createTm(Kind, /*NumObjects=*/1, N);
   RmrSimulator Sim(Model, N);
   RoundRobinInterleaver Sched(N);
   std::atomic<uint64_t> TotalRmrs{0};
   std::atomic<bool> Bailed{false};
-  constexpr uint64_t kAttemptBudget = 3000;
 
   std::vector<std::thread> Workers;
   for (unsigned T = 0; T < N; ++T) {
@@ -68,7 +68,7 @@ double rmrsPerCommit(TmKind Kind, MemoryModelKind Model, unsigned N,
              ++C) {
           // Retry until committed; failed attempts charge RMRs too.
           for (;;) {
-            if (++Attempts > kAttemptBudget) {
+            if (++Attempts > AttemptBudget) {
               Bailed.store(true, std::memory_order_relaxed);
               break;
             }
@@ -96,54 +96,50 @@ double rmrsPerCommit(TmKind Kind, MemoryModelKind Model, unsigned N,
     W.join();
 
   if (Bailed.load())
-    return kLivelocked;
+    return std::nullopt;
   return static_cast<double>(TotalRmrs.load()) /
          static_cast<double>(N * CommitsPerThread);
 }
 
-std::string formatCell(double Value) {
-  return Value == kLivelocked ? "livelock" : formatDouble(Value, 1);
-}
-
-} // namespace
-
-int main() {
-  RawOStream &OS = outs();
-  OS << "==============================================================\n";
-  OS << "E9  Theorem 9 directly: RMRs per committed single-item\n";
-  OS << "    transaction, n threads, dense round-robin schedule\n";
-  OS << "==============================================================\n\n";
-
-  const std::vector<unsigned> ThreadCounts = {1, 2, 4};
-  const uint64_t Commits = 25;
+void benchRmrTmSingleItem(bench::BenchContext &Ctx) {
+  const uint64_t Commits = Ctx.pick<uint64_t>(25, 10);
+  const uint64_t AttemptBudget = Ctx.pick<uint64_t>(3000, 1500);
+  const std::vector<unsigned> Counts =
+      Ctx.threadCounts(Ctx.pick<std::vector<unsigned>>({1, 2, 4}, {1, 2}));
 
   // CC write-back tells the same story as write-through here; two models
   // keep the run short.
   for (MemoryModelKind Model :
        {MemoryModelKind::MM_CcWriteThrough, MemoryModelKind::MM_Dsm}) {
-    std::vector<std::string> Header = {std::string("tm [") +
-                                       memoryModelName(Model) + "]"};
-    for (unsigned N : ThreadCounts)
-      Header.push_back("n=" + formatInt(uint64_t{N}));
-
-    TablePrinter Table(Header);
     for (TmKind Kind : allTmKinds()) {
-      std::vector<std::string> Row = {tmKindName(Kind)};
-      for (unsigned N : ThreadCounts)
-        Row.push_back(formatCell(rmrsPerCommit(Kind, Model, N, Commits)));
-      Table.addRow(Row);
+      for (unsigned N : Counts) {
+        std::optional<double> Rmrs =
+            rmrsPerCommit(Kind, Model, N, Commits, AttemptBudget);
+        bench::ResultRow Row;
+        Row.Tm = tmKindName(Kind);
+        Row.Threads = N;
+        Row.Params = {bench::param("model", memoryModelName(Model)),
+                      bench::param("commits_per_thread", Commits)};
+        Row.Metric = "rmrs_per_commit";
+        Row.Unit = "rmr";
+        if (Rmrs) {
+          // Deterministic under the round-robin schedule; one evaluation.
+          Row.Stats = bench::SampleStats::once(*Rmrs);
+        } else {
+          Row.Status = "livelock";
+          Row.Stats = bench::SampleStats::compute({});
+        }
+        Ctx.report(Row);
+      }
     }
-    Table.print(OS);
   }
-
-  OS << "All of these TMs use CAS (a conditional primitive), so Theorem 9\n"
-     << "applies: per-commit RMR cost must grow under contention. glock's\n"
-     << "flat-ish row is the blocking escape (its 'transactions' never\n"
-     << "retry; the cost hides in lock hand-off latency instead).\n"
-     << "'livelock' marks cells where symmetric contenders stayed in\n"
-     << "lockstep under the fair schedule — TLRW's reader-upgrade pattern\n"
-     << "does this; progressiveness promises abort-on-conflict, not\n"
-     << "livelock-freedom.\n";
-  OS.flush();
-  return 0;
 }
+
+} // namespace
+
+PTM_BENCHMARK("rmr_tm_single_item", "rmr",
+              "Theorem 9: n processes committing transactions on one "
+              "t-object through a strictly serializable, strongly "
+              "progressive CAS-based TM incur Omega(n log n) total RMRs "
+              "(per-commit cost grows with n; glock is the blocking escape)",
+              benchRmrTmSingleItem);

@@ -13,19 +13,23 @@
 /// invisible-read TM has executions where this count is at least m-1; the
 /// subject TM meets it, the escape-hatch TMs stay O(1).
 ///
+/// Metric per (TM, m): distinct_base_objects — deterministic model count;
+/// expect >= m-1 for orec-incr/orec-eager (the paper's lower bound) and
+/// O(1) for the TMs that drop a hypothesis.
+///
 //===----------------------------------------------------------------------===//
 
+#include "bench/Bench.h"
 #include "runtime/Instrumentation.h"
 #include "stm/Stm.h"
-#include "support/Format.h"
-#include "support/RawOStream.h"
-#include "support/Table.h"
 
 #include <vector>
 
 using namespace ptm;
 
-static uint64_t distinctInLastReadAndCommit(TmKind Kind, unsigned M) {
+namespace {
+
+uint64_t distinctInLastReadAndCommit(TmKind Kind, unsigned M) {
   auto Tm = createTm(Kind, M, 1);
   Instrumentation Instr(0);
   ScopedInstrumentation Scope(Instr);
@@ -43,31 +47,31 @@ static uint64_t distinctInLastReadAndCommit(TmKind Kind, unsigned M) {
   return Instr.endOp().DistinctObjects;
 }
 
-int main() {
-  RawOStream &OS = outs();
-  OS << "==============================================================\n";
-  OS << "E2  Theorem 3(2): distinct base objects accessed during the\n";
-  OS << "    m-th t-read + tryCommit of a read-only transaction\n";
-  OS << "==============================================================\n\n";
+void benchSpaceObjects(bench::BenchContext &Ctx) {
+  const std::vector<unsigned> Sizes =
+      Ctx.pick<std::vector<unsigned>>({2, 4, 8, 16, 32, 64, 128, 256, 512},
+                                      {2, 8, 32});
 
-  const std::vector<unsigned> Sizes = {2, 4, 8, 16, 32, 64, 128, 256, 512};
-
-  std::vector<std::string> Header = {"m", "bound(m-1)"};
-  for (TmKind Kind : allTmKinds())
-    Header.push_back(tmKindName(Kind));
-
-  TablePrinter Table(Header);
-  for (unsigned M : Sizes) {
-    std::vector<std::string> Row = {formatInt(uint64_t{M}),
-                                    formatInt(uint64_t{M - 1})};
-    for (TmKind Kind : allTmKinds())
-      Row.push_back(formatInt(distinctInLastReadAndCommit(Kind, M)));
-    Table.addRow(Row);
+  for (TmKind Kind : allTmKinds()) {
+    for (unsigned M : Sizes) {
+      bench::ResultRow Row;
+      Row.Tm = tmKindName(Kind);
+      Row.Threads = 1;
+      Row.Params = {bench::param("m", uint64_t{M}),
+                    bench::param("bound", uint64_t{M - 1})};
+      Row.Metric = "distinct_base_objects";
+      Row.Unit = "objects";
+      Row.Stats = bench::SampleStats::once(
+          static_cast<double>(distinctInLastReadAndCommit(Kind, M)));
+      Ctx.report(Row);
+    }
   }
-
-  OS << "Distinct base objects (expect >= m-1 for orec-incr — the paper's\n"
-     << "lower bound — and O(1) for the TMs that drop a hypothesis):\n";
-  Table.print(OS);
-  OS.flush();
-  return 0;
 }
+
+} // namespace
+
+PTM_BENCHMARK("space_objects", "space",
+              "Theorem 3(2): the m-th t-read plus tryCommit of a read-only "
+              "transaction must access >= m-1 distinct base objects on any "
+              "strictly serializable weak-DAP invisible-read TM",
+              benchSpaceObjects);

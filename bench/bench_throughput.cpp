@@ -7,10 +7,11 @@
 ///
 /// **E7 — systems-style STM throughput comparison.**
 ///
-/// Transactions/second for each TM across the four canonical workload
-/// shapes (hotspot, disjoint, read-dominated Zipf, write-heavy Zipf) at
-/// 1..4 threads. This is the experiment every TM paper the reproduction
-/// cites runs (TL2 [7], NOrec [6], TLRW [9]); the expected *shape*:
+/// Committed transactions/second for each TM across the four canonical
+/// workload shapes (hotspot, disjoint, read-dominated Zipf, write-heavy
+/// Zipf) at each thread count. This is the experiment every TM paper the
+/// reproduction cites runs (TL2 [7], NOrec [6], TLRW [9]); the expected
+/// *shape*:
 ///
 ///  * disjoint: everything scales; glock is the floor (serializes).
 ///  * hotspot: nothing scales (single item); glock often wins — no wasted
@@ -22,80 +23,80 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "bench/Bench.h"
 #include "stm/Tm.h"
 #include "workload/Workload.h"
 
-#include <benchmark/benchmark.h>
+#include <functional>
+#include <string>
+#include <vector>
 
 using namespace ptm;
 
 namespace {
 
-constexpr uint64_t kTxnsPerThread = 3000;
+void benchStmThroughput(bench::BenchContext &Ctx) {
+  const uint64_t Txns = Ctx.pick<uint64_t>(3000, 400);
+  const std::vector<unsigned> Counts =
+      Ctx.threadCounts(Ctx.pick<std::vector<unsigned>>({1, 2, 4}, {1, 2}));
 
-void benchHotspot(benchmark::State &State, TmKind Kind) {
-  unsigned Threads = static_cast<unsigned>(State.range(0));
-  for (auto _ : State) {
-    auto M = createTm(Kind, 1, Threads);
-    RunResult R = runHotspot(*M, Threads, kTxnsPerThread);
-    benchmark::DoNotOptimize(R.ValueChecksum);
-  }
-  State.SetItemsProcessed(State.iterations() * Threads * kTxnsPerThread);
-}
+  struct Shape {
+    std::string Label;
+    std::function<RunResult(Tm &, unsigned)> Run;
+  };
+  const std::vector<Shape> Shapes = {
+      {"hotspot",
+       [Txns](Tm &M, unsigned Threads) {
+         return runHotspot(M, Threads, Txns);
+       }},
+      {"disjoint",
+       [Txns](Tm &M, unsigned Threads) {
+         return runDisjoint(M, Threads, Txns, 32, 4, 42);
+       }},
+      {"read_zipf",
+       [Txns](Tm &M, unsigned Threads) {
+         return runZipfMix(M, Threads, Txns, 8, /*ReadProb=*/0.9,
+                           /*Theta=*/0.8, 42);
+       }},
+      {"write_zipf",
+       [Txns](Tm &M, unsigned Threads) {
+         return runZipfMix(M, Threads, Txns, 4, /*ReadProb=*/0.5,
+                           /*Theta=*/0.9, 42);
+       }},
+  };
 
-void benchDisjoint(benchmark::State &State, TmKind Kind) {
-  unsigned Threads = static_cast<unsigned>(State.range(0));
-  for (auto _ : State) {
-    auto M = createTm(Kind, Threads * 32, Threads);
-    RunResult R = runDisjoint(*M, Threads, kTxnsPerThread, 32, 4, 42);
-    benchmark::DoNotOptimize(R.ValueChecksum);
-  }
-  State.SetItemsProcessed(State.iterations() * Threads * kTxnsPerThread);
-}
+  auto ObjectsFor = [](const std::string &Shape, unsigned Threads) {
+    if (Shape == "hotspot")
+      return 1u;
+    if (Shape == "disjoint")
+      return Threads * 32u;
+    return 1024u;
+  };
 
-void benchReadDominated(benchmark::State &State, TmKind Kind) {
-  unsigned Threads = static_cast<unsigned>(State.range(0));
-  for (auto _ : State) {
-    auto M = createTm(Kind, 1024, Threads);
-    RunResult R = runZipfMix(*M, Threads, kTxnsPerThread, 8,
-                             /*ReadProb=*/0.9, /*Theta=*/0.8, 42);
-    benchmark::DoNotOptimize(R.ValueChecksum);
+  for (const Shape &S : Shapes) {
+    for (TmKind Kind : allTmKinds()) {
+      for (unsigned N : Counts) {
+        bench::ResultRow Row;
+        Row.Tm = tmKindName(Kind);
+        Row.Threads = N;
+        Row.Params = {bench::param("workload", S.Label),
+                      bench::param("txns_per_thread", Txns)};
+        Row.Metric = "throughput";
+        Row.Unit = "txn/s";
+        Row.Stats = Ctx.measure([&] {
+          auto M = createTm(Kind, ObjectsFor(S.Label, N), N);
+          return S.Run(*M, N).throughputPerSec();
+        });
+        Ctx.report(Row);
+      }
+    }
   }
-  State.SetItemsProcessed(State.iterations() * Threads * kTxnsPerThread);
-}
-
-void benchWriteHeavy(benchmark::State &State, TmKind Kind) {
-  unsigned Threads = static_cast<unsigned>(State.range(0));
-  for (auto _ : State) {
-    auto M = createTm(Kind, 1024, Threads);
-    RunResult R = runZipfMix(*M, Threads, kTxnsPerThread, 4,
-                             /*ReadProb=*/0.5, /*Theta=*/0.9, 42);
-    benchmark::DoNotOptimize(R.ValueChecksum);
-  }
-  State.SetItemsProcessed(State.iterations() * Threads * kTxnsPerThread);
 }
 
 } // namespace
 
-#define PTM_BENCH_ALL(fn)                                                     \
-  BENCHMARK_CAPTURE(fn, glock, TmKind::TK_GlobalLock)                         \
-      ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();                \
-  BENCHMARK_CAPTURE(fn, tl2, TmKind::TK_Tl2)                                  \
-      ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();                \
-  BENCHMARK_CAPTURE(fn, norec, TmKind::TK_Norec)                              \
-      ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();                \
-  BENCHMARK_CAPTURE(fn, orec_incr, TmKind::TK_OrecIncremental)                \
-      ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();                \
-  BENCHMARK_CAPTURE(fn, orec_eager, TmKind::TK_OrecEager)                     \
-      ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();                \
-  BENCHMARK_CAPTURE(fn, tlrw, TmKind::TK_Tlrw)                                \
-      ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();                \
-  BENCHMARK_CAPTURE(fn, tml, TmKind::TK_Tml)                                  \
-      ->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond)->UseRealTime();
-
-PTM_BENCH_ALL(benchHotspot)
-PTM_BENCH_ALL(benchDisjoint)
-PTM_BENCH_ALL(benchReadDominated)
-PTM_BENCH_ALL(benchWriteHeavy)
-
-BENCHMARK_MAIN();
+PTM_BENCHMARK("stm_throughput", "throughput",
+              "Section 6 context: committed transactions per second across "
+              "the canonical workload shapes — the wall-clock face of the "
+              "validation-cost trade-offs Theorem 3 formalizes",
+              benchStmThroughput);

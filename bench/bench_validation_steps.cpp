@@ -14,18 +14,19 @@
 /// (orec-incr) matches that from above; each TM that drops one hypothesis
 /// stays linear.
 ///
-/// Series reported (rows = m, columns = TMs):
-///   Table 1: total steps of the m-read transaction (+ tryCommit)
-///   Table 2: steps of the m-th (last) t-read alone
-///   Table 3: mean steps per t-read
+/// Metrics per (TM, m), all deterministic model counts:
+///   total_steps          — the m-read transaction plus tryCommit
+///   last_read_steps      — the m-th (last) t-read alone
+///   mean_steps_per_read  — average over the m t-reads
+///
+/// Shape check: orec-incr total_steps(m=512) / total_steps(m=64) should be
+/// ~64x (quadratic); every other TM ~8x (linear).
 ///
 //===----------------------------------------------------------------------===//
 
+#include "bench/Bench.h"
 #include "runtime/Instrumentation.h"
 #include "stm/Stm.h"
-#include "support/Format.h"
-#include "support/RawOStream.h"
-#include "support/Table.h"
 
 #include <vector>
 
@@ -67,54 +68,40 @@ Measurement measure(TmKind Kind, unsigned M) {
   return Result;
 }
 
+void benchValidationSteps(bench::BenchContext &Ctx) {
+  const std::vector<unsigned> Sizes =
+      Ctx.pick<std::vector<unsigned>>({2, 4, 8, 16, 32, 64, 128, 256, 512},
+                                      {2, 8, 32});
+
+  for (TmKind Kind : allTmKinds()) {
+    for (unsigned M : Sizes) {
+      Measurement R = measure(Kind, M);
+      bench::ResultRow Row;
+      Row.Tm = tmKindName(Kind);
+      Row.Threads = 1;
+      Row.Params = {bench::param("m", uint64_t{M})};
+
+      Row.Metric = "total_steps";
+      Row.Unit = "steps";
+      Row.Stats = bench::SampleStats::once(static_cast<double>(R.TotalSteps));
+      Ctx.report(Row);
+
+      Row.Metric = "last_read_steps";
+      Row.Stats =
+          bench::SampleStats::once(static_cast<double>(R.LastReadSteps));
+      Ctx.report(Row);
+
+      Row.Metric = "mean_steps_per_read";
+      Row.Stats = bench::SampleStats::once(R.MeanReadSteps);
+      Ctx.report(Row);
+    }
+  }
+}
+
 } // namespace
 
-int main() {
-  RawOStream &OS = outs();
-  OS << "==============================================================\n";
-  OS << "E1  Theorem 3(1): read-only transaction step complexity\n";
-  OS << "    (steps = base-object primitive applications; 1 thread,\n";
-  OS << "    solo execution; orec-incr is the theorem's subject TM)\n";
-  OS << "==============================================================\n\n";
-
-  const std::vector<unsigned> Sizes = {2, 4, 8, 16, 32, 64, 128, 256, 512};
-
-  std::vector<std::string> Header = {"m"};
-  for (TmKind Kind : allTmKinds())
-    Header.push_back(tmKindName(Kind));
-
-  TablePrinter Total(Header);
-  TablePrinter Last(Header);
-  TablePrinter Mean(Header);
-
-  for (unsigned M : Sizes) {
-    std::vector<std::string> RowT = {formatInt(uint64_t{M})};
-    std::vector<std::string> RowL = {formatInt(uint64_t{M})};
-    std::vector<std::string> RowM = {formatInt(uint64_t{M})};
-    for (TmKind Kind : allTmKinds()) {
-      Measurement R = measure(Kind, M);
-      RowT.push_back(formatInt(R.TotalSteps));
-      RowL.push_back(formatInt(R.LastReadSteps));
-      RowM.push_back(formatDouble(R.MeanReadSteps, 2));
-    }
-    Total.addRow(RowT);
-    Last.addRow(RowL);
-    Mean.addRow(RowM);
-  }
-
-  OS << "Total steps, m-read transaction (expect Theta(m^2) for orec-incr,"
-     << " Theta(m) elsewhere):\n";
-  Total.print(OS);
-
-  OS << "Steps of the m-th (last) t-read (expect Theta(m) for orec-incr,"
-     << " O(1) elsewhere):\n";
-  Last.print(OS);
-
-  OS << "Mean steps per t-read:\n";
-  Mean.print(OS);
-
-  OS << "Shape check: orec-incr(m=512) total / orec-incr(m=64) total should"
-     << " be ~64x (quadratic), others ~8x (linear).\n";
-  OS.flush();
-  return 0;
-}
+PTM_BENCHMARK("validation_steps", "steps",
+              "Theorem 3(1): read-only transactions of m t-reads cost "
+              "Theta(m^2) steps on the subject TM (orec-incr/orec-eager), "
+              "Theta(m) on every TM that drops a hypothesis",
+              benchValidationSteps);

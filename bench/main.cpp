@@ -1,0 +1,19 @@
+//===-- bench/main.cpp - Shared entry point for all benchmarks ------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// Every benchmark binary (each single-experiment bench_* target and the
+/// consolidated run_all driver) links this main together with one or more
+/// registration translation units. The CLI, reporters and JSON output all
+/// live in the harness (src/bench/Runner.h).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/Runner.h"
+
+int main(int argc, char **argv) {
+  return ptm::bench::benchMain(argc, argv);
+}

@@ -1,0 +1,27 @@
+//===-- bench/Bench.h - Umbrella header for the bench harness --*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience umbrella for benchmark translation units: the registry and
+/// context (Benchmark.h), repetition statistics (Stats.h), the CLI runner
+/// (Runner.h) and JSON emission (Json.h). A benchmark author includes
+/// just this header, defines `void myBench(bench::BenchContext &)`, and
+/// registers it with PTM_BENCHMARK; `bench/main.cpp` supplies the shared
+/// main() for every benchmark binary. See BENCHMARKS.md for the full
+/// authoring guide and the JSON trajectory schema.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_BENCH_BENCH_H
+#define PTM_BENCH_BENCH_H
+
+#include "bench/Benchmark.h" // IWYU pragma: export
+#include "bench/Json.h"      // IWYU pragma: export
+#include "bench/Runner.h"    // IWYU pragma: export
+#include "bench/Stats.h"     // IWYU pragma: export
+
+#endif // PTM_BENCH_BENCH_H

@@ -1,0 +1,137 @@
+//===-- bench/Benchmark.cpp - Benchmark registry and context --------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Benchmark.h"
+
+#include "support/Format.h"
+#include "support/RawOStream.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ptm {
+namespace bench {
+
+Param param(std::string_view Key, std::string_view Value) {
+  return {std::string(Key), std::string(Value)};
+}
+
+Param param(std::string_view Key, uint64_t Value) {
+  return {std::string(Key), formatInt(Value)};
+}
+
+Param param(std::string_view Key, double Value, unsigned Precision) {
+  return {std::string(Key), formatDouble(Value, Precision)};
+}
+
+SampleStats BenchContext::measure(const std::function<double()> &Sample) const {
+  for (unsigned I = 0; I < Cfg.Warmup; ++I)
+    (void)Sample();
+  std::vector<double> Samples;
+  Samples.reserve(Cfg.Reps);
+  for (unsigned I = 0; I < Cfg.Reps; ++I)
+    Samples.push_back(Sample());
+  return SampleStats::compute(std::move(Samples));
+}
+
+void BenchContext::report(ResultRow Row) {
+  Row.Benchmark = CurrentName;
+  Row.Family = CurrentFamily;
+  Rows.push_back(std::move(Row));
+}
+
+bool nameMatches(std::string_view Pattern, std::string_view Name) {
+  if (Pattern.empty())
+    return true;
+  if (Pattern.find('*') == std::string_view::npos &&
+      Pattern.find('?') == std::string_view::npos)
+    return Name.find(Pattern) != std::string_view::npos;
+
+  // Iterative glob with single-star backtracking.
+  size_t P = 0, N = 0;
+  size_t StarP = std::string_view::npos, StarN = 0;
+  while (N < Name.size()) {
+    if (P < Pattern.size() &&
+        (Pattern[P] == '?' || Pattern[P] == Name[N])) {
+      ++P;
+      ++N;
+    } else if (P < Pattern.size() && Pattern[P] == '*') {
+      StarP = P++;
+      StarN = N;
+    } else if (StarP != std::string_view::npos) {
+      P = StarP + 1;
+      N = ++StarN;
+    } else {
+      return false;
+    }
+  }
+  while (P < Pattern.size() && Pattern[P] == '*')
+    ++P;
+  return P == Pattern.size();
+}
+
+Registry &Registry::global() {
+  static Registry Instance;
+  return Instance;
+}
+
+RegisterBench::RegisterBench(std::string Name, std::string Family,
+                             std::string Claim,
+                             std::function<void(BenchContext &)> Run) {
+  std::string Duplicate = Name;
+  if (!Registry::global().add({std::move(Name), std::move(Family),
+                               std::move(Claim), std::move(Run)})) {
+    // Static-init context: keep diagnostics to bare stdio.
+    std::fprintf(stderr,
+                 "ptm-bench: duplicate benchmark registration '%s'\n",
+                 Duplicate.c_str());
+    std::abort();
+  }
+}
+
+bool Registry::add(BenchDef Def) {
+  for (const BenchDef &Existing : Defs)
+    if (Existing.Name == Def.Name)
+      return false;
+  Defs.push_back(std::move(Def));
+  return true;
+}
+
+std::vector<const BenchDef *> Registry::match(std::string_view Pattern) const {
+  std::vector<const BenchDef *> Out;
+  for (const BenchDef &Def : Defs)
+    if (nameMatches(Pattern, Def.Name))
+      Out.push_back(&Def);
+  std::sort(Out.begin(), Out.end(),
+            [](const BenchDef *A, const BenchDef *B) {
+              return A->Name < B->Name;
+            });
+  return Out;
+}
+
+std::vector<ResultRow>
+Registry::run(const std::vector<const BenchDef *> &Selected,
+              const RunConfig &Config) {
+  std::vector<ResultRow> All;
+  for (const BenchDef *Def : Selected) {
+    BenchContext Ctx(Config);
+    Ctx.CurrentName = Def->Name;
+    Ctx.CurrentFamily = Def->Family;
+    Def->Run(Ctx);
+    if (!Config.ThreadOverride.empty() && !Ctx.threadCountsConsumed())
+      errs() << "note: benchmark '" << Def->Name
+             << "' has a fixed thread structure; --threads was ignored\n";
+    std::vector<ResultRow> Rows = Ctx.takeRows();
+    All.insert(All.end(), std::make_move_iterator(Rows.begin()),
+               std::make_move_iterator(Rows.end()));
+  }
+  return All;
+}
+
+} // namespace bench
+} // namespace ptm

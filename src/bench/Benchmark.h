@@ -1,0 +1,201 @@
+//===-- bench/Benchmark.h - Benchmark registry and context -----*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared benchmark harness every `bench_*` binary is built on.
+///
+/// A benchmark is a named function registered with PTM_BENCHMARK; at run
+/// time it receives a BenchContext carrying the run configuration
+/// (repetitions, warmup, smoke mode, thread-count sweep) and reports
+/// ResultRow records — one per (subject, thread count, parameter point,
+/// metric). The runner (Runner.h) selects benchmarks by name, executes
+/// them, and renders the rows through the table and JSON reporters.
+///
+/// Two measurement styles coexist:
+///  * wall-clock metrics call BenchContext::measure(), which applies the
+///    warmup + repetition policy and reduces the samples to SampleStats;
+///  * deterministic model metrics (step counts, distinct base objects,
+///    simulated RMRs) are exact by construction and use
+///    SampleStats::once() — repeating them would only repeat the digits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_BENCH_BENCHMARK_H
+#define PTM_BENCH_BENCHMARK_H
+
+#include "bench/Stats.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ptm {
+namespace bench {
+
+/// One named parameter of a result row (e.g. {"m", "64"} or
+/// {"model", "cc-wt"}). Values are strings in the JSON schema; use the
+/// param() helpers for numeric values.
+struct Param {
+  std::string Key;
+  std::string Value;
+};
+
+/// Builds a string-valued parameter.
+Param param(std::string_view Key, std::string_view Value);
+/// Builds an integer-valued parameter.
+Param param(std::string_view Key, uint64_t Value);
+/// Builds a real-valued parameter with \p Precision fractional digits.
+Param param(std::string_view Key, double Value, unsigned Precision = 2);
+
+/// One reported measurement: a single metric of a single benchmark
+/// configuration. `Benchmark` and `Family` are stamped by the harness
+/// when the row is reported; benchmark code fills in the rest.
+struct ResultRow {
+  std::string Benchmark; ///< Registered benchmark name (harness-stamped).
+  std::string Family;    ///< Trajectory family (harness-stamped).
+  std::string Tm;        ///< Subject algorithm: a TM kind name, or a lock
+                         ///< label for the mutex benchmarks.
+  unsigned Threads = 1;  ///< Number of worker threads in this config.
+  std::vector<Param> Params; ///< Remaining configuration axes.
+  std::string Metric;        ///< Metric name, e.g. "total_steps".
+  std::string Unit;          ///< Unit, e.g. "steps", "txn/s", "rmr".
+  std::string Status = "ok"; ///< "ok", or a sentinel like "livelock" for
+                             ///< configurations with no valid measurement.
+  SampleStats Stats;         ///< The samples and their reduction.
+};
+
+/// The run configuration shared by all benchmarks of one invocation;
+/// built by the CLI parser (Runner.h) or directly by tests.
+struct RunConfig {
+  unsigned Reps = 5;    ///< Measured repetitions per wall-clock metric.
+  unsigned Warmup = 1;  ///< Discarded warmup repetitions before measuring.
+  bool Smoke = false;   ///< Shrink problem sizes for a fast sanity pass.
+  std::vector<unsigned> ThreadOverride; ///< --threads list; empty = use
+                                        ///< each benchmark's defaults.
+};
+
+/// Execution context handed to a benchmark function: exposes the run
+/// configuration, applies the measurement policy, and collects rows.
+class BenchContext {
+public:
+  explicit BenchContext(const RunConfig &Config) : Cfg(Config) {}
+
+  /// True when the run should use reduced problem sizes (--smoke).
+  bool smoke() const { return Cfg.Smoke; }
+  /// Measured repetitions applied by measure().
+  unsigned reps() const { return Cfg.Reps; }
+  /// Warmup repetitions discarded by measure().
+  unsigned warmup() const { return Cfg.Warmup; }
+
+  /// Picks \p Full normally and \p Small under --smoke.
+  template <typename T> T pick(T Full, T Small) const {
+    return Cfg.Smoke ? Small : Full;
+  }
+
+  /// The thread counts to sweep: the --threads override when given,
+  /// otherwise \p Defaults. Benchmarks with a fixed thread structure
+  /// never call this; the runner then warns when an override was given
+  /// so it cannot be ignored silently.
+  std::vector<unsigned>
+  threadCounts(const std::vector<unsigned> &Defaults) const {
+    ThreadsConsumed = true;
+    return Cfg.ThreadOverride.empty() ? Defaults : Cfg.ThreadOverride;
+  }
+
+  /// True once threadCounts() has been consulted (see above).
+  bool threadCountsConsumed() const { return ThreadsConsumed; }
+
+  /// Runs \p Sample `warmup()` times discarding the results, then
+  /// `reps()` times collecting them, and returns the reduction. The
+  /// callable re-creates its subject per call so repetitions are
+  /// independent.
+  SampleStats measure(const std::function<double()> &Sample) const;
+
+  /// Records one result row. The harness stamps Benchmark/Family.
+  void report(ResultRow Row);
+
+  /// All rows reported so far, in report() order.
+  const std::vector<ResultRow> &rows() const { return Rows; }
+
+  /// Moves the collected rows out (used by the runner).
+  std::vector<ResultRow> takeRows() { return std::move(Rows); }
+
+private:
+  friend class Registry;
+
+  RunConfig Cfg;
+  std::string CurrentName;   ///< Stamped onto reported rows.
+  std::string CurrentFamily; ///< Stamped onto reported rows.
+  mutable bool ThreadsConsumed = false;
+  std::vector<ResultRow> Rows;
+};
+
+/// A registered benchmark: stable name, trajectory family (groups rows
+/// into one BENCH_<family>.json file), the paper claim it measures (shown
+/// by --list and embedded in the JSON), and the function to run.
+struct BenchDef {
+  std::string Name;
+  std::string Family;
+  std::string Claim;
+  std::function<void(BenchContext &)> Run;
+};
+
+/// True if \p Name matches \p Pattern: `*` and `?` glob wildcards when
+/// present, plain substring match otherwise. The empty pattern matches
+/// everything.
+bool nameMatches(std::string_view Pattern, std::string_view Name);
+
+/// A set of benchmark definitions. Each bench_* binary contributes its
+/// definitions to global() via static registration (PTM_BENCHMARK); tests
+/// build private instances.
+class Registry {
+public:
+  /// The process-wide registry that PTM_BENCHMARK populates.
+  static Registry &global();
+
+  /// Adds \p Def. Duplicate names are rejected (returns false) so two
+  /// translation units cannot silently shadow each other.
+  bool add(BenchDef Def);
+
+  /// Definitions matching \p Pattern (see nameMatches), sorted by name so
+  /// output order is independent of static-initialization order.
+  std::vector<const BenchDef *> match(std::string_view Pattern) const;
+
+  /// Number of registered benchmarks.
+  size_t size() const { return Defs.size(); }
+
+  /// Runs every definition in \p Selected against a fresh context with
+  /// \p Config and returns all reported rows, stamped with the owning
+  /// benchmark's name and family.
+  static std::vector<ResultRow> run(const std::vector<const BenchDef *> &Selected,
+                                    const RunConfig &Config);
+
+private:
+  std::vector<BenchDef> Defs;
+};
+
+/// Static registrar used by PTM_BENCHMARK. A duplicate name aborts at
+/// startup: in `run_all` (which links every benchmark TU) a silently
+/// dropped registration would erase that benchmark's trajectory rows
+/// with no other symptom.
+struct RegisterBench {
+  RegisterBench(std::string Name, std::string Family, std::string Claim,
+                std::function<void(BenchContext &)> Run);
+};
+
+/// Registers function \p FN (void(BenchContext &)) as benchmark \p NAME in
+/// trajectory family \p FAMILY, measuring paper claim \p CLAIM.
+#define PTM_BENCHMARK(NAME, FAMILY, CLAIM, FN)                                \
+  static const ::ptm::bench::RegisterBench PtmBenchRegistrar_##FN(            \
+      NAME, FAMILY, CLAIM, FN)
+
+} // namespace bench
+} // namespace ptm
+
+#endif // PTM_BENCH_BENCHMARK_H

@@ -1,0 +1,163 @@
+//===-- bench/Json.cpp - Minimal JSON emission ----------------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Json.h"
+
+#include "support/RawOStream.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace ptm {
+namespace bench {
+
+std::string jsonEscaped(std::string_view Raw) {
+  std::string Out;
+  Out.reserve(Raw.size());
+  for (unsigned char C : Raw) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+std::string jsonNumber(double Value) {
+  if (!std::isfinite(Value))
+    return "null";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.12g", Value);
+  return Buf;
+}
+
+void JsonWriter::separate() {
+  assert(!PendingKey || !NeedComma);
+  if (PendingKey) {
+    PendingKey = false;
+    return; // key() already wrote "...":
+  }
+  assert((Stack.empty() || Stack.back() == 'A') &&
+         "object members need a key() first");
+  if (NeedComma)
+    OS << ',';
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  separate();
+  OS << '{';
+  Stack.push_back('O');
+  NeedComma = false;
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  assert(!Stack.empty() && Stack.back() == 'O' && "unbalanced endObject");
+  assert(!PendingKey && "dangling key at endObject");
+  Stack.pop_back();
+  OS << '}';
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  separate();
+  OS << '[';
+  Stack.push_back('A');
+  NeedComma = false;
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  assert(!Stack.empty() && Stack.back() == 'A' && "unbalanced endArray");
+  Stack.pop_back();
+  OS << ']';
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(std::string_view K) {
+  assert(!Stack.empty() && Stack.back() == 'O' && "key() outside an object");
+  assert(!PendingKey && "two keys in a row");
+  if (NeedComma)
+    OS << ',';
+  OS << '"' << jsonEscaped(K) << "\":";
+  PendingKey = true;
+  NeedComma = false;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(std::string_view V) {
+  separate();
+  OS << '"' << jsonEscaped(V) << '"';
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(double V) {
+  separate();
+  OS << jsonNumber(V);
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(uint64_t V) {
+  separate();
+  OS << V;
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::value(bool V) {
+  separate();
+  OS << (V ? "true" : "false");
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::null() {
+  separate();
+  OS << "null";
+  NeedComma = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::newline() {
+  OS << '\n';
+  return *this;
+}
+
+} // namespace bench
+} // namespace ptm

@@ -1,0 +1,95 @@
+//===-- bench/Json.h - Minimal JSON emission --------------------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small streaming JSON writer over RawOStream, enough to emit the
+/// benchmark trajectory files (`BENCH_*.json`). It guarantees
+/// well-formedness by construction: commas and colons are inserted by the
+/// writer, strings are escaped per RFC 8259, and non-finite doubles are
+/// emitted as `null` (JSON has no NaN/Infinity).
+///
+/// There is deliberately no JSON *parser* here — the trajectory consumers
+/// are external tools; the unit tests carry their own tiny validator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_BENCH_JSON_H
+#define PTM_BENCH_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ptm {
+
+class RawOStream;
+
+namespace bench {
+
+/// Returns \p Raw with JSON string escaping applied (quotes, backslashes,
+/// and control characters; non-ASCII bytes pass through, so valid UTF-8
+/// input stays valid UTF-8 output). The result is NOT quoted.
+std::string jsonEscaped(std::string_view Raw);
+
+/// Formats \p Value as a JSON number token; non-finite values become the
+/// token "null". Uses %.12g — enough precision for benchmark metrics while
+/// keeping the files humanly diffable.
+std::string jsonNumber(double Value);
+
+/// Streaming JSON writer. Usage:
+/// \code
+///   JsonWriter W(OS);
+///   W.beginObject();
+///   W.key("schema").value("ptm-bench-v1");
+///   W.key("results").beginArray();
+///   ...
+///   W.endArray();
+///   W.endObject();
+/// \endcode
+/// Structural validity (matching begin/end, key-before-value inside
+/// objects) is asserted in debug builds.
+class JsonWriter {
+public:
+  explicit JsonWriter(RawOStream &Out) : OS(Out) {}
+
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+
+  /// Emits an object member key; must be followed by exactly one value
+  /// (or begin of a nested container).
+  JsonWriter &key(std::string_view K);
+
+  JsonWriter &value(std::string_view V);
+  JsonWriter &value(const char *V) { return value(std::string_view(V)); }
+  JsonWriter &value(double V);
+  JsonWriter &value(uint64_t V);
+  JsonWriter &value(unsigned V) { return value(static_cast<uint64_t>(V)); }
+  JsonWriter &value(bool V);
+  JsonWriter &null();
+
+  /// Emits a raw newline between elements (cosmetic only: keeps one
+  /// result row per line so trajectory files diff cleanly).
+  JsonWriter &newline();
+
+private:
+  /// Emits the separating comma if a sibling value was already written at
+  /// the current nesting level.
+  void separate();
+
+  RawOStream &OS;
+  std::vector<char> Stack;  ///< 'O' = object, 'A' = array.
+  bool NeedComma = false;   ///< A sibling was emitted at this level.
+  bool PendingKey = false;  ///< key() was called; next value closes it.
+};
+
+} // namespace bench
+} // namespace ptm
+
+#endif // PTM_BENCH_JSON_H

@@ -1,0 +1,355 @@
+//===-- bench/Runner.cpp - Benchmark CLI driver and reporters -------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Runner.h"
+
+#include "bench/Json.h"
+#include "support/Format.h"
+#include "support/RawOStream.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+namespace ptm {
+namespace bench {
+
+namespace {
+
+/// Formats a metric value: integral values print without a fraction so
+/// step/RMR counts stay readable; everything else gets two decimals.
+std::string formatMetric(double Value) {
+  if (std::isfinite(Value) && Value == std::floor(Value) &&
+      std::fabs(Value) < 1e15)
+    return formatInt(static_cast<int64_t>(Value));
+  return formatDouble(Value, 2);
+}
+
+/// Parses a non-negative integer; false on junk.
+bool parseUnsigned(std::string_view Text, unsigned &Out) {
+  if (Text.empty())
+    return false;
+  uint64_t Value = 0;
+  for (char C : Text) {
+    if (C < '0' || C > '9')
+      return false;
+    Value = Value * 10 + static_cast<uint64_t>(C - '0');
+    if (Value > 1u << 20)
+      return false;
+  }
+  Out = static_cast<unsigned>(Value);
+  return true;
+}
+
+/// Parses a comma-separated list of positive thread counts.
+bool parseThreadList(std::string_view Text, std::vector<unsigned> &Out) {
+  Out.clear();
+  while (!Text.empty()) {
+    size_t Comma = Text.find(',');
+    std::string_view Item = Text.substr(0, Comma);
+    unsigned N = 0;
+    if (!parseUnsigned(Item, N) || N == 0)
+      return false;
+    Out.push_back(N);
+    if (Comma == std::string_view::npos)
+      break;
+    Text.remove_prefix(Comma + 1);
+  }
+  return !Out.empty();
+}
+
+std::string joinParams(const std::vector<Param> &Params) {
+  std::string Out;
+  for (const Param &P : Params) {
+    if (!Out.empty())
+      Out += ' ';
+    Out += P.Key;
+    Out += '=';
+    Out += P.Value;
+  }
+  return Out.empty() ? "-" : Out;
+}
+
+void writeRowJson(JsonWriter &W, const ResultRow &Row) {
+  W.beginObject();
+  W.key("benchmark").value(Row.Benchmark);
+  W.key("family").value(Row.Family);
+  W.key("tm").value(Row.Tm);
+  W.key("threads").value(Row.Threads);
+  W.key("params").beginObject();
+  for (const Param &P : Row.Params)
+    W.key(P.Key).value(P.Value);
+  W.endObject();
+  W.key("metric").value(Row.Metric);
+  W.key("unit").value(Row.Unit);
+  W.key("status").value(Row.Status);
+  W.key("reps").value(static_cast<uint64_t>(Row.Stats.reps()));
+  W.key("min").value(Row.Stats.Min);
+  W.key("max").value(Row.Stats.Max);
+  W.key("mean").value(Row.Stats.Mean);
+  W.key("median").value(Row.Stats.Median);
+  W.key("p90").value(Row.Stats.P90);
+  W.key("stddev").value(Row.Stats.StdDev);
+  W.key("cv").value(Row.Stats.cv());
+  W.key("samples").beginArray();
+  for (double S : Row.Stats.Samples)
+    W.value(S);
+  W.endArray();
+  W.endObject();
+}
+
+/// Writes one JSON document to \p Path; false on I/O failure.
+bool writeJsonFile(const std::string &Path, const std::vector<ResultRow> &Rows,
+                   const std::vector<const BenchDef *> &Defs,
+                   const RunConfig &Config) {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return false;
+  FileOStream OS(File);
+  writeResultsJson(OS, Rows, Defs, Config);
+  OS.flush();
+  return std::fclose(File) == 0;
+}
+
+} // namespace
+
+bool parseCliOptions(int Argc, const char *const *Argv, CliOptions &Opts,
+                     std::string &Error) {
+  bool RepsSet = false, WarmupSet = false;
+
+  auto NeedValue = [&](int &I, const char *Flag, std::string &Out) {
+    if (I + 1 >= Argc) {
+      Error = std::string(Flag) + " requires a value";
+      return false;
+    }
+    Out = Argv[++I];
+    return true;
+  };
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    std::string Value;
+    if (Arg == "--filter") {
+      if (!NeedValue(I, "--filter", Opts.Filter))
+        return false;
+    } else if (Arg == "--threads") {
+      if (!NeedValue(I, "--threads", Value))
+        return false;
+      if (!parseThreadList(Value, Opts.Config.ThreadOverride)) {
+        Error = "--threads expects a comma-separated list of positive "
+                "integers, got '" +
+                Value + "'";
+        return false;
+      }
+    } else if (Arg == "--reps") {
+      if (!NeedValue(I, "--reps", Value))
+        return false;
+      if (!parseUnsigned(Value, Opts.Config.Reps) || Opts.Config.Reps == 0) {
+        Error = "--reps expects a positive integer, got '" + Value + "'";
+        return false;
+      }
+      RepsSet = true;
+    } else if (Arg == "--warmup") {
+      if (!NeedValue(I, "--warmup", Value))
+        return false;
+      if (!parseUnsigned(Value, Opts.Config.Warmup)) {
+        Error = "--warmup expects a non-negative integer, got '" + Value + "'";
+        return false;
+      }
+      WarmupSet = true;
+    } else if (Arg == "--smoke") {
+      Opts.Config.Smoke = true;
+    } else if (Arg == "--json") {
+      if (!NeedValue(I, "--json", Opts.JsonPath))
+        return false;
+    } else if (Arg == "--json-dir") {
+      if (!NeedValue(I, "--json-dir", Opts.JsonDir))
+        return false;
+    } else if (Arg == "--list") {
+      Opts.List = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      Opts.Help = true;
+    } else {
+      Error = "unknown argument '" + std::string(Arg) + "'";
+      return false;
+    }
+  }
+
+  // Smoke mode is a sanity/trajectory pass: default to the cheapest
+  // repetition policy unless the caller asked for more.
+  if (Opts.Config.Smoke) {
+    if (!RepsSet)
+      Opts.Config.Reps = 2;
+    if (!WarmupSet)
+      Opts.Config.Warmup = 0;
+  }
+  return true;
+}
+
+void printUsage(RawOStream &OS, const char *Binary) {
+  OS << "usage: " << Binary << " [options]\n"
+     << "  --filter <pat>    run only benchmarks matching <pat>\n"
+     << "                    (glob with * and ?, else substring)\n"
+     << "  --threads <list>  thread-count sweep, e.g. 1,2,4\n"
+     << "  --reps <n>        measured repetitions (default 5; 2 in smoke)\n"
+     << "  --warmup <n>      warmup repetitions (default 1; 0 in smoke)\n"
+     << "  --smoke           reduced problem sizes for a fast pass\n"
+     << "  --json <path>     write all results to one JSON file\n"
+     << "  --json-dir <dir>  write one BENCH_<family>.json per family\n"
+     << "  --list            list registered benchmarks and exit\n"
+     << "  --help            this text\n";
+}
+
+void printResultsTable(RawOStream &OS, const std::vector<ResultRow> &Rows,
+                       const std::vector<const BenchDef *> &Defs) {
+  for (const BenchDef *Def : Defs) {
+    OS << "=== " << Def->Name << " [" << Def->Family << "] ===\n";
+    OS << Def->Claim << "\n\n";
+    TablePrinter Table({"tm", "threads", "params", "metric", "unit", "reps",
+                        "median", "min", "p90", "cv%", "status"});
+    for (const ResultRow &Row : Rows) {
+      if (Row.Benchmark != Def->Name)
+        continue;
+      Table.addRow({Row.Tm, formatInt(uint64_t{Row.Threads}),
+                    joinParams(Row.Params), Row.Metric, Row.Unit,
+                    formatInt(static_cast<uint64_t>(Row.Stats.reps())),
+                    formatMetric(Row.Stats.Median),
+                    formatMetric(Row.Stats.Min), formatMetric(Row.Stats.P90),
+                    formatDouble(100.0 * Row.Stats.cv(), 1), Row.Status});
+    }
+    if (Table.numRows() == 0)
+      OS << "(no results)\n\n";
+    else
+      Table.print(OS);
+  }
+}
+
+void writeResultsJson(RawOStream &OS, const std::vector<ResultRow> &Rows,
+                      const std::vector<const BenchDef *> &Defs,
+                      const RunConfig &Config) {
+  JsonWriter W(OS);
+  W.beginObject().newline();
+  W.key("schema").value("ptm-bench-v1").newline();
+  W.key("smoke").value(Config.Smoke).newline();
+  W.key("config").beginObject();
+  W.key("reps").value(Config.Reps);
+  W.key("warmup").value(Config.Warmup);
+  W.key("threads").beginArray();
+  for (unsigned N : Config.ThreadOverride)
+    W.value(N);
+  W.endArray();
+  W.endObject().newline();
+  W.key("benchmarks").beginArray().newline();
+  for (const BenchDef *Def : Defs) {
+    W.beginObject();
+    W.key("name").value(Def->Name);
+    W.key("family").value(Def->Family);
+    W.key("claim").value(Def->Claim);
+    W.endObject().newline();
+  }
+  W.endArray().newline();
+  W.key("results").beginArray().newline();
+  for (const ResultRow &Row : Rows) {
+    writeRowJson(W, Row);
+    W.newline();
+  }
+  W.endArray().newline();
+  W.endObject().newline();
+}
+
+std::string resultsToJson(const std::vector<ResultRow> &Rows,
+                          const std::vector<const BenchDef *> &Defs,
+                          const RunConfig &Config) {
+  std::string Out;
+  StringOStream OS(Out);
+  writeResultsJson(OS, Rows, Defs, Config);
+  return Out;
+}
+
+int benchMain(int Argc, const char *const *Argv) {
+  CliOptions Opts;
+  std::string Error;
+  if (!parseCliOptions(Argc, Argv, Opts, Error)) {
+    errs() << "error: " << Error << "\n";
+    printUsage(errs(), Argv[0]);
+    return 2;
+  }
+  if (Opts.Help) {
+    printUsage(outs(), Argv[0]);
+    return 0;
+  }
+
+  std::vector<const BenchDef *> Selected =
+      Registry::global().match(Opts.Filter);
+
+  if (Opts.List) {
+    TablePrinter Table({"benchmark", "family", "paper claim"});
+    for (const BenchDef *Def : Selected)
+      Table.addRow({Def->Name, Def->Family, Def->Claim});
+    Table.print(outs());
+    outs().flush();
+    return 0;
+  }
+
+  if (Selected.empty()) {
+    errs() << "error: no benchmarks match filter '" << Opts.Filter << "'\n";
+    return 1;
+  }
+
+  std::vector<ResultRow> Rows = Registry::run(Selected, Opts.Config);
+  printResultsTable(outs(), Rows, Selected);
+
+  if (!Opts.JsonPath.empty()) {
+    if (!writeJsonFile(Opts.JsonPath, Rows, Selected, Opts.Config)) {
+      errs() << "error: cannot write '" << Opts.JsonPath << "'\n";
+      return 2;
+    }
+    outs() << "JSON results written to " << Opts.JsonPath << "\n";
+  }
+
+  if (!Opts.JsonDir.empty()) {
+    std::error_code Ec;
+    std::filesystem::create_directories(Opts.JsonDir, Ec);
+    if (Ec) {
+      errs() << "error: cannot create '" << Opts.JsonDir
+             << "': " << Ec.message() << "\n";
+      return 2;
+    }
+    // One consolidated file per trajectory family, preserving the sorted
+    // benchmark order inside each.
+    std::vector<std::string> Families;
+    for (const BenchDef *Def : Selected)
+      if (std::find(Families.begin(), Families.end(), Def->Family) ==
+          Families.end())
+        Families.push_back(Def->Family);
+    for (const std::string &Family : Families) {
+      std::vector<const BenchDef *> FamilyDefs;
+      for (const BenchDef *Def : Selected)
+        if (Def->Family == Family)
+          FamilyDefs.push_back(Def);
+      std::vector<ResultRow> FamilyRows;
+      for (const ResultRow &Row : Rows)
+        if (Row.Family == Family)
+          FamilyRows.push_back(Row);
+      std::string Path = Opts.JsonDir + "/BENCH_" + Family + ".json";
+      if (!writeJsonFile(Path, FamilyRows, FamilyDefs, Opts.Config)) {
+        errs() << "error: cannot write '" << Path << "'\n";
+        return 2;
+      }
+      outs() << "JSON results written to " << Path << "\n";
+    }
+  }
+
+  outs().flush();
+  return 0;
+}
+
+} // namespace bench
+} // namespace ptm

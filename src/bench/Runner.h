@@ -1,0 +1,85 @@
+//===-- bench/Runner.h - Benchmark CLI driver and reporters ----*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The command-line front end shared by every bench_* binary and by the
+/// consolidated `run_all` driver. Parses the common flags:
+///
+///   --filter <pat>   run only benchmarks matching <pat> (glob/substring)
+///   --threads <list> comma-separated thread-count sweep, e.g. 1,2,4
+///   --reps <n>       measured repetitions per wall-clock metric
+///   --warmup <n>     discarded warmup repetitions
+///   --smoke          reduced problem sizes (CI sanity / trajectory mode)
+///   --json <path>    write all results to one JSON file
+///   --json-dir <dir> write one BENCH_<family>.json per trajectory family
+///   --list           list registered benchmarks and their paper claims
+///
+/// and renders results through two reporters: the human-readable
+/// support/Table view and the machine-readable JSON trajectory schema
+/// documented in BENCHMARKS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_BENCH_RUNNER_H
+#define PTM_BENCH_RUNNER_H
+
+#include "bench/Benchmark.h"
+
+#include <string>
+#include <vector>
+
+namespace ptm {
+
+class RawOStream;
+
+namespace bench {
+
+/// Parsed command-line options; field defaults are the no-flag defaults.
+struct CliOptions {
+  std::string Filter;                ///< Empty = run everything.
+  RunConfig Config;                  ///< Reps/warmup/smoke/threads.
+  std::string JsonPath;              ///< --json target (empty = none).
+  std::string JsonDir;               ///< --json-dir target (empty = none).
+  bool List = false;                 ///< --list: print and exit.
+  bool Help = false;                 ///< --help/-h: print usage and exit.
+};
+
+/// Parses \p Argv into \p Opts. Returns false and fills \p Error on
+/// malformed input. Under --smoke, reps/warmup default to 2/0 unless
+/// explicitly overridden.
+bool parseCliOptions(int Argc, const char *const *Argv, CliOptions &Opts,
+                     std::string &Error);
+
+/// Prints the usage text to \p OS.
+void printUsage(RawOStream &OS, const char *Binary);
+
+/// Human reporter: one aligned table per benchmark, preceded by the
+/// benchmark's name and paper claim.
+void printResultsTable(RawOStream &OS, const std::vector<ResultRow> &Rows,
+                       const std::vector<const BenchDef *> &Defs);
+
+/// Machine reporter: serializes \p Rows (and the metadata of \p Defs)
+/// into the `ptm-bench-v1` JSON document described in BENCHMARKS.md.
+void writeResultsJson(RawOStream &OS, const std::vector<ResultRow> &Rows,
+                      const std::vector<const BenchDef *> &Defs,
+                      const RunConfig &Config);
+
+/// Convenience for tests: writeResultsJson into a string.
+std::string resultsToJson(const std::vector<ResultRow> &Rows,
+                          const std::vector<const BenchDef *> &Defs,
+                          const RunConfig &Config);
+
+/// The shared main(): parses flags, selects benchmarks from
+/// Registry::global(), runs them, prints tables to stdout and writes the
+/// requested JSON file(s). Returns 0 on success, 1 when the filter
+/// matches nothing, 2 on CLI or I/O errors.
+int benchMain(int Argc, const char *const *Argv);
+
+} // namespace bench
+} // namespace ptm
+
+#endif // PTM_BENCH_RUNNER_H

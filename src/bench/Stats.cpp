@@ -1,0 +1,58 @@
+//===-- bench/Stats.cpp - Repetition statistics ---------------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ptm {
+namespace bench {
+
+double percentile(const std::vector<double> &Sorted, double Pct) {
+  assert(!Sorted.empty() && "percentile of an empty sample set");
+  assert(Pct >= 0.0 && Pct <= 100.0 && "percentile outside [0, 100]");
+  if (Sorted.size() == 1)
+    return Sorted.front();
+  double Rank = (Pct / 100.0) * static_cast<double>(Sorted.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return Sorted[Lo] + Frac * (Sorted[Hi] - Sorted[Lo]);
+}
+
+SampleStats SampleStats::compute(std::vector<double> RawSamples) {
+  SampleStats S;
+  S.Samples = std::move(RawSamples);
+  if (S.Samples.empty())
+    return S;
+
+  std::vector<double> Sorted = S.Samples;
+  std::sort(Sorted.begin(), Sorted.end());
+
+  S.Min = Sorted.front();
+  S.Max = Sorted.back();
+  S.Median = percentile(Sorted, 50.0);
+  S.P90 = percentile(Sorted, 90.0);
+
+  double Sum = 0.0;
+  for (double V : Sorted)
+    Sum += V;
+  S.Mean = Sum / static_cast<double>(Sorted.size());
+
+  if (Sorted.size() > 1) {
+    double SqDev = 0.0;
+    for (double V : Sorted)
+      SqDev += (V - S.Mean) * (V - S.Mean);
+    S.StdDev = std::sqrt(SqDev / static_cast<double>(Sorted.size() - 1));
+  }
+  return S;
+}
+
+} // namespace bench
+} // namespace ptm

@@ -1,0 +1,68 @@
+//===-- bench/Stats.h - Repetition statistics -------------------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics over benchmark repetition samples. Every metric the
+/// harness reports — wall-clock throughput as well as deterministic step /
+/// RMR counts — is reduced to a SampleStats, so the table and JSON
+/// reporters can treat all benchmarks uniformly.
+///
+/// Conventions (documented in BENCHMARKS.md):
+///  * percentiles use linear interpolation between closest ranks
+///    (the "linear" method of NumPy/R type 7);
+///  * StdDev is the sample standard deviation (n-1 denominator), 0 for
+///    fewer than two samples;
+///  * the coefficient of variation is StdDev/Mean, 0 when Mean is 0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_BENCH_STATS_H
+#define PTM_BENCH_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace ptm {
+namespace bench {
+
+/// Returns the \p Pct-th percentile (0..100) of \p Sorted, which must be
+/// sorted ascending and non-empty, using linear interpolation between the
+/// two closest ranks.
+double percentile(const std::vector<double> &Sorted, double Pct);
+
+/// Reduction of one benchmark configuration's repetition samples. Produced
+/// by SampleStats::compute(); the raw samples are retained (in collection
+/// order) so the JSON trajectory keeps full fidelity.
+struct SampleStats {
+  std::vector<double> Samples; ///< Raw samples, collection order.
+  double Min = 0.0;            ///< Smallest sample.
+  double Max = 0.0;            ///< Largest sample.
+  double Mean = 0.0;           ///< Arithmetic mean.
+  double Median = 0.0;         ///< 50th percentile.
+  double P90 = 0.0;            ///< 90th percentile.
+  double StdDev = 0.0;         ///< Sample standard deviation (n-1).
+
+  /// Number of measured repetitions behind these statistics.
+  size_t reps() const { return Samples.size(); }
+
+  /// Coefficient of variation (StdDev / Mean); 0 when Mean is 0. Values
+  /// above ~0.1 on a time-based metric mean the host was too noisy.
+  double cv() const { return Mean == 0.0 ? 0.0 : StdDev / Mean; }
+
+  /// Computes all statistics from \p RawSamples. An empty vector yields
+  /// all-zero statistics (used for rows whose Status is not "ok").
+  static SampleStats compute(std::vector<double> RawSamples);
+
+  /// Convenience for deterministic metrics measured exactly once (step
+  /// counts, distinct-object counts, simulated RMRs).
+  static SampleStats once(double Value) { return compute({Value}); }
+};
+
+} // namespace bench
+} // namespace ptm
+
+#endif // PTM_BENCH_STATS_H

@@ -74,8 +74,11 @@ public:
   /// Clears the running totals (per-op state is unaffected).
   void resetTotals();
 
+  /// The process this context measures for.
   ThreadId threadId() const { return Tid; }
+  /// The attached RMR simulator, or null when not charging RMRs.
   RmrSimulator *rmrSimulator() const { return Rmr; }
+  /// The attached schedule controller, or null for free-running threads.
   TokenInterleaver *scheduler() const { return Sched; }
 
 private:

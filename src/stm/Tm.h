@@ -78,9 +78,10 @@ const char *abortCauseName(AbortCause Cause);
 
 /// Commit/abort counters aggregated across all threads of a TM instance.
 struct TmStats {
-  uint64_t Commits = 0;
-  uint64_t Aborts[kNumAbortCauses] = {};
+  uint64_t Commits = 0;                  ///< Successful tryCommits (C_k).
+  uint64_t Aborts[kNumAbortCauses] = {}; ///< Aborts, indexed by AbortCause.
 
+  /// Total aborts across all causes.
   uint64_t totalAborts() const {
     uint64_t Sum = 0;
     for (uint64_t A : Aborts)
@@ -108,10 +109,18 @@ class Tm {
 public:
   virtual ~Tm() = default;
 
+  /// The algorithm implementing this instance.
   virtual TmKind kind() const = 0;
+
+  /// Short stable name of the algorithm (same as tmKindName(kind())).
   const char *name() const { return tmKindName(kind()); }
 
+  /// Number of t-objects this instance was created over; valid ObjectIds
+  /// are [0, numObjects()).
   virtual unsigned numObjects() const = 0;
+
+  /// Maximum number of concurrent threads; valid ThreadIds are
+  /// [0, maxThreads()).
   virtual unsigned maxThreads() const = 0;
 
   /// Starts a fresh transaction for thread \p Tid. Any previous transaction
@@ -119,9 +128,12 @@ public:
   virtual void txBegin(ThreadId Tid) = 0;
 
   /// t-read of \p Obj; on success stores the value in \p Value.
+  /// \returns false iff the transaction aborted (the paper's A_k), after
+  /// which the slot is inactive and lastAbortCause() tells why.
   virtual bool txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) = 0;
 
   /// t-write of \p Value to \p Obj.
+  /// \returns false iff the transaction aborted (see txRead).
   virtual bool txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) = 0;
 
   /// tryCommit; true = C_k, false = A_k.

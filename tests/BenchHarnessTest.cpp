@@ -1,0 +1,509 @@
+//===-- tests/BenchHarnessTest.cpp - Benchmark harness unit tests ---------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// Tests for the shared benchmark harness (src/bench/): repetition
+/// statistics on known samples, JSON escaping and well-formedness (checked
+/// with a tiny recursive-descent validator carried by this test), registry
+/// filter matching, CLI parsing, and determinism of the smoke-mode
+/// pipeline on synthetic benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/Bench.h"
+#include "support/RawOStream.h"
+
+#include "gtest/gtest.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+using namespace ptm;
+using namespace ptm::bench;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+TEST(StatsTest, KnownSamples) {
+  SampleStats S = SampleStats::compute({4.0, 1.0, 3.0, 2.0, 5.0});
+  EXPECT_EQ(S.reps(), 5u);
+  EXPECT_DOUBLE_EQ(S.Min, 1.0);
+  EXPECT_DOUBLE_EQ(S.Max, 5.0);
+  EXPECT_DOUBLE_EQ(S.Mean, 3.0);
+  EXPECT_DOUBLE_EQ(S.Median, 3.0);
+  EXPECT_DOUBLE_EQ(S.P90, 4.6); // rank 3.6 between 4 and 5
+  EXPECT_NEAR(S.StdDev, std::sqrt(2.5), 1e-12);
+  EXPECT_NEAR(S.cv(), std::sqrt(2.5) / 3.0, 1e-12);
+  // Raw samples keep collection order.
+  EXPECT_EQ(S.Samples.front(), 4.0);
+}
+
+TEST(StatsTest, EvenCountMedianInterpolates) {
+  SampleStats S =
+      SampleStats::compute({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_DOUBLE_EQ(S.Median, 5.5);
+  EXPECT_DOUBLE_EQ(S.P90, 9.1); // rank 8.1 between 9 and 10
+}
+
+TEST(StatsTest, PercentileEdges) {
+  const std::vector<double> Sorted = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(Sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(Sorted, 100.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(Sorted, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 90.0), 7.0);
+}
+
+TEST(StatsTest, SingleSampleAndEmpty) {
+  SampleStats One = SampleStats::once(42.0);
+  EXPECT_EQ(One.reps(), 1u);
+  EXPECT_DOUBLE_EQ(One.Min, 42.0);
+  EXPECT_DOUBLE_EQ(One.Median, 42.0);
+  EXPECT_DOUBLE_EQ(One.P90, 42.0);
+  EXPECT_DOUBLE_EQ(One.StdDev, 0.0);
+  EXPECT_DOUBLE_EQ(One.cv(), 0.0);
+
+  SampleStats None = SampleStats::compute({});
+  EXPECT_EQ(None.reps(), 0u);
+  EXPECT_DOUBLE_EQ(None.Mean, 0.0);
+  EXPECT_DOUBLE_EQ(None.cv(), 0.0);
+}
+
+TEST(StatsTest, ZeroMeanCvIsZero) {
+  SampleStats S = SampleStats::compute({-1.0, 1.0});
+  EXPECT_DOUBLE_EQ(S.Mean, 0.0);
+  EXPECT_DOUBLE_EQ(S.cv(), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON emission
+//===----------------------------------------------------------------------===//
+
+TEST(JsonTest, Escaping) {
+  EXPECT_EQ(jsonEscaped("plain"), "plain");
+  EXPECT_EQ(jsonEscaped("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscaped("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscaped("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(jsonEscaped(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_EQ(jsonEscaped("\b\f\r"), "\\b\\f\\r");
+  // Non-ASCII bytes pass through untouched (UTF-8 stays UTF-8).
+  EXPECT_EQ(jsonEscaped("\xc3\xa9"), "\xc3\xa9");
+}
+
+TEST(JsonTest, Numbers) {
+  EXPECT_EQ(jsonNumber(2.5), "2.5");
+  EXPECT_EQ(jsonNumber(0.0), "0");
+  EXPECT_EQ(jsonNumber(-3.0), "-3");
+  EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(jsonNumber(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonTest, WriterProducesExpectedDocument) {
+  std::string Out;
+  StringOStream OS(Out);
+  JsonWriter W(OS);
+  W.beginObject();
+  W.key("name").value("x\"y");
+  W.key("n").value(uint64_t{7});
+  W.key("ok").value(true);
+  W.key("arr").beginArray().value(1.5).value(uint64_t{2}).null().endArray();
+  W.key("nested").beginObject().key("k").value("v").endObject();
+  W.endObject();
+  EXPECT_EQ(Out, "{\"name\":\"x\\\"y\",\"n\":7,\"ok\":true,"
+                 "\"arr\":[1.5,2,null],\"nested\":{\"k\":\"v\"}}");
+}
+
+/// A minimal JSON validity checker (structure only, no value semantics):
+/// returns true iff the whole input is one well-formed JSON value.
+class JsonValidator {
+public:
+  explicit JsonValidator(std::string_view Text) : T(Text) {}
+
+  bool valid() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return P == T.size();
+  }
+
+private:
+  void skipWs() {
+    while (P < T.size() && std::isspace(static_cast<unsigned char>(T[P])))
+      ++P;
+  }
+  bool literal(std::string_view L) {
+    if (T.substr(P, L.size()) != L)
+      return false;
+    P += L.size();
+    return true;
+  }
+  bool string() {
+    if (P >= T.size() || T[P] != '"')
+      return false;
+    ++P;
+    while (P < T.size()) {
+      char C = T[P];
+      if (C == '"') {
+        ++P;
+        return true;
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return false; // raw control character: escaping failed
+      if (C == '\\') {
+        ++P;
+        if (P >= T.size())
+          return false;
+        char E = T[P];
+        if (E == 'u') {
+          for (int I = 1; I <= 4; ++I)
+            if (P + I >= T.size() ||
+                !std::isxdigit(static_cast<unsigned char>(T[P + I])))
+              return false;
+          P += 4;
+        } else if (!std::strchr("\"\\/bfnrt", E)) {
+          return false;
+        }
+      }
+      ++P;
+    }
+    return false;
+  }
+  bool number() {
+    size_t Start = P;
+    if (P < T.size() && T[P] == '-')
+      ++P;
+    while (P < T.size() && (std::isdigit(static_cast<unsigned char>(T[P])) ||
+                            T[P] == '.' || T[P] == 'e' || T[P] == 'E' ||
+                            T[P] == '+' || T[P] == '-'))
+      ++P;
+    return P > Start;
+  }
+  bool value() {
+    skipWs();
+    if (P >= T.size())
+      return false;
+    char C = T[P];
+    if (C == '{')
+      return object();
+    if (C == '[')
+      return array();
+    if (C == '"')
+      return string();
+    if (C == 't')
+      return literal("true");
+    if (C == 'f')
+      return literal("false");
+    if (C == 'n')
+      return literal("null");
+    return number();
+  }
+  bool object() {
+    ++P; // '{'
+    skipWs();
+    if (P < T.size() && T[P] == '}') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (P >= T.size() || T[P] != ':')
+        return false;
+      ++P;
+      if (!value())
+        return false;
+      skipWs();
+      if (P < T.size() && T[P] == ',') {
+        ++P;
+        continue;
+      }
+      if (P < T.size() && T[P] == '}') {
+        ++P;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool array() {
+    ++P; // '['
+    skipWs();
+    if (P < T.size() && T[P] == ']') {
+      ++P;
+      return true;
+    }
+    for (;;) {
+      if (!value())
+        return false;
+      skipWs();
+      if (P < T.size() && T[P] == ',') {
+        ++P;
+        continue;
+      }
+      if (P < T.size() && T[P] == ']') {
+        ++P;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  std::string_view T;
+  size_t P = 0;
+};
+
+std::vector<const BenchDef *> defPtrs(const Registry &R) {
+  return R.match("");
+}
+
+/// Two synthetic deterministic benchmarks exercising every row feature
+/// (params, unusual characters, non-ok status, measure()).
+Registry makeSyntheticRegistry() {
+  Registry R;
+  R.add({"synthetic_counts", "synthetic", "claim A",
+         [](BenchContext &Ctx) {
+           ResultRow Row;
+           Row.Tm = "tm\"quoted";
+           Row.Threads = 2;
+           Row.Params = {param("m", uint64_t{64}),
+                         param("label", "a b\nc"),
+                         param("theta", 0.8, 2)};
+           Row.Metric = "steps";
+           Row.Unit = "steps";
+           Row.Stats = SampleStats::once(Ctx.smoke() ? 10.0 : 1000.0);
+           Ctx.report(Row);
+
+           Row.Metric = "rmrs";
+           Row.Unit = "rmr";
+           Row.Status = "livelock";
+           Row.Stats = SampleStats::compute({});
+           Ctx.report(Row);
+         }});
+  R.add({"synthetic_measure", "synthetic", "claim B",
+         [](BenchContext &Ctx) {
+           ResultRow Row;
+           Row.Tm = "subject";
+           Row.Threads = 1;
+           Row.Metric = "value";
+           Row.Unit = "unit";
+           double Next = 1.0;
+           Row.Stats = Ctx.measure([&Next] { return Next++; });
+           Ctx.report(Row);
+         }});
+  return R;
+}
+
+TEST(JsonTest, ResultsDocumentIsWellFormed) {
+  Registry R = makeSyntheticRegistry();
+  RunConfig Cfg;
+  Cfg.Reps = 3;
+  Cfg.Warmup = 1;
+  std::vector<const BenchDef *> Defs = defPtrs(R);
+  std::vector<ResultRow> Rows = Registry::run(Defs, Cfg);
+  std::string Json = resultsToJson(Rows, Defs, Cfg);
+
+  EXPECT_TRUE(JsonValidator(Json).valid()) << Json;
+  // Spot-check required schema keys.
+  EXPECT_NE(Json.find("\"schema\":\"ptm-bench-v1\""), std::string::npos);
+  EXPECT_NE(Json.find("\"benchmark\":\"synthetic_counts\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"metric\":\"steps\""), std::string::npos);
+  EXPECT_NE(Json.find("\"status\":\"livelock\""), std::string::npos);
+  EXPECT_NE(Json.find("\"median\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"samples\":"), std::string::npos);
+  // The quoted TM name must have been escaped.
+  EXPECT_NE(Json.find("tm\\\"quoted"), std::string::npos);
+  EXPECT_NE(Json.find("a b\\nc"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Registry and filter matching
+//===----------------------------------------------------------------------===//
+
+TEST(RegistryTest, FilterMatching) {
+  // Empty pattern matches everything.
+  EXPECT_TRUE(nameMatches("", "anything"));
+  // No wildcard: substring.
+  EXPECT_TRUE(nameMatches("steps", "validation_steps"));
+  EXPECT_TRUE(nameMatches("validation", "validation_steps"));
+  EXPECT_FALSE(nameMatches("rmr", "validation_steps"));
+  // Glob.
+  EXPECT_TRUE(nameMatches("rmr_*", "rmr_mutex"));
+  EXPECT_TRUE(nameMatches("*_steps", "validation_steps"));
+  EXPECT_FALSE(nameMatches("rmr_*", "validation_steps"));
+  EXPECT_TRUE(nameMatches("*", "anything"));
+  EXPECT_TRUE(nameMatches("a*b", "aXXb"));
+  EXPECT_TRUE(nameMatches("a*b", "aXbYb")); // backtracking
+  EXPECT_FALSE(nameMatches("a*b", "aXbY"));
+  EXPECT_TRUE(nameMatches("r?r_mutex", "rmr_mutex"));
+  EXPECT_FALSE(nameMatches("r?r", "rmr_mutex")); // glob is a full match
+}
+
+TEST(RegistryTest, MatchSortsAndFilters) {
+  Registry R;
+  EXPECT_TRUE(R.add({"zeta", "f", "c", [](BenchContext &) {}}));
+  EXPECT_TRUE(R.add({"alpha", "f", "c", [](BenchContext &) {}}));
+  EXPECT_TRUE(R.add({"middle", "g", "c", [](BenchContext &) {}}));
+  EXPECT_EQ(R.size(), 3u);
+
+  std::vector<const BenchDef *> All = R.match("");
+  ASSERT_EQ(All.size(), 3u);
+  EXPECT_EQ(All[0]->Name, "alpha");
+  EXPECT_EQ(All[1]->Name, "middle");
+  EXPECT_EQ(All[2]->Name, "zeta");
+
+  std::vector<const BenchDef *> Only = R.match("mid");
+  ASSERT_EQ(Only.size(), 1u);
+  EXPECT_EQ(Only[0]->Name, "middle");
+}
+
+TEST(RegistryTest, DuplicateNamesRejected) {
+  Registry R;
+  EXPECT_TRUE(R.add({"same", "f", "c", [](BenchContext &) {}}));
+  EXPECT_FALSE(R.add({"same", "f2", "c2", [](BenchContext &) {}}));
+  EXPECT_EQ(R.size(), 1u);
+}
+
+TEST(RegistryTest, GlobalRegistryEmptyWithoutBenchmarkTus) {
+  // The test binary does not link the bench/*.cpp registration TUs, so
+  // the global registry is empty here — which itself is worth pinning:
+  // registration must come from the benchmark TUs, not the library.
+  // (The empty pattern matches every registered benchmark.)
+  EXPECT_EQ(Registry::global().match("").size(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// BenchContext
+//===----------------------------------------------------------------------===//
+
+TEST(BenchContextTest, MeasureAppliesWarmupAndReps) {
+  RunConfig Cfg;
+  Cfg.Reps = 3;
+  Cfg.Warmup = 2;
+  BenchContext Ctx(Cfg);
+  unsigned Calls = 0;
+  SampleStats S = Ctx.measure([&Calls] {
+    ++Calls;
+    return static_cast<double>(Calls);
+  });
+  EXPECT_EQ(Calls, 5u); // 2 warmup + 3 measured
+  ASSERT_EQ(S.reps(), 3u);
+  // Warmup samples (1, 2) are discarded; measured are 3, 4, 5.
+  EXPECT_DOUBLE_EQ(S.Min, 3.0);
+  EXPECT_DOUBLE_EQ(S.Max, 5.0);
+  EXPECT_DOUBLE_EQ(S.Median, 4.0);
+}
+
+TEST(BenchContextTest, ThreadCountsAndPick) {
+  RunConfig Cfg;
+  Cfg.Smoke = true;
+  Cfg.ThreadOverride = {3, 5};
+  BenchContext Ctx(Cfg);
+  EXPECT_EQ(Ctx.threadCounts({1, 2, 4}), (std::vector<unsigned>{3, 5}));
+  EXPECT_EQ(Ctx.pick<unsigned>(100, 10), 10u);
+
+  RunConfig Full;
+  BenchContext FullCtx(Full);
+  EXPECT_EQ(FullCtx.threadCounts({1, 2, 4}), (std::vector<unsigned>{1, 2, 4}));
+  EXPECT_EQ(FullCtx.pick<unsigned>(100, 10), 100u);
+}
+
+TEST(BenchContextTest, RunStampsBenchmarkAndFamily) {
+  Registry R = makeSyntheticRegistry();
+  RunConfig Cfg;
+  std::vector<ResultRow> Rows = Registry::run(defPtrs(R), Cfg);
+  ASSERT_EQ(Rows.size(), 3u);
+  EXPECT_EQ(Rows[0].Benchmark, "synthetic_counts");
+  EXPECT_EQ(Rows[0].Family, "synthetic");
+  EXPECT_EQ(Rows[2].Benchmark, "synthetic_measure");
+}
+
+//===----------------------------------------------------------------------===//
+// CLI parsing
+//===----------------------------------------------------------------------===//
+
+TEST(CliTest, DefaultsAndFlags) {
+  const char *Argv[] = {"bench", "--filter", "rmr_*", "--threads", "1,2,8",
+                        "--reps", "7", "--warmup", "3", "--json", "out.json",
+                        "--json-dir", "dir"};
+  CliOptions Opts;
+  std::string Error;
+  ASSERT_TRUE(parseCliOptions(13, Argv, Opts, Error)) << Error;
+  EXPECT_EQ(Opts.Filter, "rmr_*");
+  EXPECT_EQ(Opts.Config.ThreadOverride, (std::vector<unsigned>{1, 2, 8}));
+  EXPECT_EQ(Opts.Config.Reps, 7u);
+  EXPECT_EQ(Opts.Config.Warmup, 3u);
+  EXPECT_FALSE(Opts.Config.Smoke);
+  EXPECT_EQ(Opts.JsonPath, "out.json");
+  EXPECT_EQ(Opts.JsonDir, "dir");
+}
+
+TEST(CliTest, SmokeAdjustsRepetitionDefaults) {
+  const char *Argv[] = {"bench", "--smoke"};
+  CliOptions Opts;
+  std::string Error;
+  ASSERT_TRUE(parseCliOptions(2, Argv, Opts, Error)) << Error;
+  EXPECT_TRUE(Opts.Config.Smoke);
+  EXPECT_EQ(Opts.Config.Reps, 2u);
+  EXPECT_EQ(Opts.Config.Warmup, 0u);
+
+  const char *Argv2[] = {"bench", "--smoke", "--reps", "9"};
+  CliOptions Opts2;
+  ASSERT_TRUE(parseCliOptions(4, Argv2, Opts2, Error)) << Error;
+  EXPECT_EQ(Opts2.Config.Reps, 9u); // explicit flag wins over smoke default
+  EXPECT_EQ(Opts2.Config.Warmup, 0u);
+}
+
+TEST(CliTest, Errors) {
+  CliOptions Opts;
+  std::string Error;
+  const char *Unknown[] = {"bench", "--frobnicate"};
+  EXPECT_FALSE(parseCliOptions(2, Unknown, Opts, Error));
+  EXPECT_NE(Error.find("--frobnicate"), std::string::npos);
+
+  const char *BadThreads[] = {"bench", "--threads", "1,zero"};
+  EXPECT_FALSE(parseCliOptions(3, BadThreads, Opts, Error));
+
+  const char *ZeroThreads[] = {"bench", "--threads", "0"};
+  EXPECT_FALSE(parseCliOptions(3, ZeroThreads, Opts, Error));
+
+  const char *MissingValue[] = {"bench", "--json"};
+  EXPECT_FALSE(parseCliOptions(2, MissingValue, Opts, Error));
+
+  const char *ZeroReps[] = {"bench", "--reps", "0"};
+  EXPECT_FALSE(parseCliOptions(3, ZeroReps, Opts, Error));
+}
+
+//===----------------------------------------------------------------------===//
+// Smoke determinism
+//===----------------------------------------------------------------------===//
+
+TEST(SmokeTest, DeterministicPipelineProducesIdenticalJson) {
+  RunConfig Cfg;
+  Cfg.Smoke = true;
+  Cfg.Reps = 2;
+  Cfg.Warmup = 0;
+
+  Registry R1 = makeSyntheticRegistry();
+  Registry R2 = makeSyntheticRegistry();
+  std::string A = resultsToJson(Registry::run(defPtrs(R1), Cfg), defPtrs(R1),
+                                Cfg);
+  std::string B = resultsToJson(Registry::run(defPtrs(R2), Cfg), defPtrs(R2),
+                                Cfg);
+  EXPECT_EQ(A, B);
+  EXPECT_TRUE(JsonValidator(A).valid());
+  // Smoke mode actually took the small branch of pick().
+  EXPECT_NE(A.find("\"samples\":[10]"), std::string::npos) << A;
+}
+
+} // namespace
