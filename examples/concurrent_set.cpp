@@ -6,23 +6,19 @@
 //===----------------------------------------------------------------------===//
 ///
 /// The compositionality pitch of transactional memory (the paper's
-/// introduction): a sorted linked-list set written exactly like its
-/// sequential version — traverse, link, unlink — wrapped in transactions.
-/// No hand-over-hand locking, no marked pointers; the TM provides
-/// atomicity and the retry loop provides progress.
-///
-/// Layout inside the TM's object array:
-///   obj 0       head "next" field (node index or kNil)
-///   obj 1       bump allocator (next free node index)
-///   obj 2+2i    key of node i
-///   obj 3+2i    next of node i
-/// Removed nodes are leaked (a bump allocator suffices for the demo; a
-/// free list would be a transaction like any other).
+/// introduction), now as a library client: ds::TxSet is a sorted
+/// linked-list set written exactly like its sequential version inside
+/// transactions, with removed nodes recycled through the transactional
+/// free-list allocator (ds::TxAlloc). That reclamation is the point of
+/// this demo's sizing: four threads churn 32'000 operations over a
+/// 128-key space inside a region of only 132 nodes — the original
+/// leak-forever version needed one node per insert ever performed.
 ///
 ///   $ ./concurrent_set
 ///
 //===----------------------------------------------------------------------===//
 
+#include "ds/Ds.h"
 #include "stm/Stm.h"
 #include "support/Random.h"
 #include "support/RawOStream.h"
@@ -34,127 +30,21 @@
 
 using namespace ptm;
 
-namespace {
-
-constexpr uint64_t kNil = ~uint64_t{0};
-
-/// A sorted-set abstraction over a Tm. All operations are transactions;
-/// each returns false only on voluntary semantic failure (duplicate
-/// insert, missing remove), never on contention (that is retried away).
-class TxSortedSet {
-public:
-  TxSortedSet(Tm &Memory) : M(Memory) {
-    M.init(kHead, kNil);
-    M.init(kAlloc, 0);
-  }
-
-  bool insert(ThreadId Tid, uint64_t Key) {
-    bool Inserted = false;
-    atomically(M, Tid, [&](TxRef &Tx) {
-      Inserted = false;
-      auto [PrevNextObj, CurIdx] = locate(Tx, Key);
-      if (Tx.failed())
-        return;
-      if (CurIdx != kNil && Tx.readOr(keyObj(CurIdx), 0) == Key)
-        return; // Already present.
-      // Allocate and link a fresh node.
-      uint64_t NewIdx = Tx.readOr(kAlloc, 0);
-      if (Tx.failed() || !hasRoom(NewIdx))
-        return;
-      Tx.write(kAlloc, NewIdx + 1);
-      Tx.write(keyObj(NewIdx), Key);
-      Tx.write(nextObj(NewIdx), CurIdx);
-      Tx.write(PrevNextObj, NewIdx);
-      Inserted = true;
-    });
-    return Inserted;
-  }
-
-  bool remove(ThreadId Tid, uint64_t Key) {
-    bool Removed = false;
-    atomically(M, Tid, [&](TxRef &Tx) {
-      Removed = false;
-      auto [PrevNextObj, CurIdx] = locate(Tx, Key);
-      if (Tx.failed() || CurIdx == kNil)
-        return;
-      if (Tx.readOr(keyObj(CurIdx), 0) != Key)
-        return;
-      uint64_t Next = Tx.readOr(nextObj(CurIdx), kNil);
-      Tx.write(PrevNextObj, Next); // Unlink; the node is leaked.
-      Removed = true;
-    });
-    return Removed;
-  }
-
-  bool contains(ThreadId Tid, uint64_t Key) {
-    bool Found = false;
-    atomically(M, Tid, [&](TxRef &Tx) {
-      auto [PrevNextObj, CurIdx] = locate(Tx, Key);
-      (void)PrevNextObj;
-      Found = !Tx.failed() && CurIdx != kNil &&
-              Tx.readOr(keyObj(CurIdx), 0) == Key;
-    });
-    return Found;
-  }
-
-  /// Quiescent walk: returns the keys in list order (no transaction —
-  /// call only when no other thread is active).
-  std::vector<uint64_t> snapshot() const {
-    std::vector<uint64_t> Keys;
-    uint64_t Idx = M.sample(kHead);
-    while (Idx != kNil) {
-      Keys.push_back(M.sample(keyObj(Idx)));
-      Idx = M.sample(nextObj(Idx));
-    }
-    return Keys;
-  }
-
-private:
-  static constexpr ObjectId kHead = 0;
-  static constexpr ObjectId kAlloc = 1;
-
-  static ObjectId keyObj(uint64_t Idx) {
-    return static_cast<ObjectId>(2 + 2 * Idx);
-  }
-  static ObjectId nextObj(uint64_t Idx) {
-    return static_cast<ObjectId>(3 + 2 * Idx);
-  }
-  bool hasRoom(uint64_t Idx) const {
-    return 3 + 2 * Idx < M.numObjects();
-  }
-
-  /// Returns {object holding the incoming "next" pointer, index of the
-  /// first node with key >= Key (or kNil)} — the sequential list walk.
-  std::pair<ObjectId, uint64_t> locate(TxRef &Tx, uint64_t Key) {
-    ObjectId PrevNextObj = kHead;
-    uint64_t Cur = Tx.readOr(kHead, kNil);
-    while (!Tx.failed() && Cur != kNil) {
-      uint64_t CurKey = Tx.readOr(keyObj(Cur), 0);
-      if (CurKey >= Key)
-        break;
-      PrevNextObj = nextObj(Cur);
-      Cur = Tx.readOr(PrevNextObj, kNil);
-    }
-    return {PrevNextObj, Cur};
-  }
-
-  Tm &M;
-};
-
-} // namespace
-
 int main() {
   RawOStream &OS = outs();
   constexpr unsigned Threads = 4;
-  constexpr unsigned KeySpace = 128;
+  constexpr uint64_t KeySpace = 128;
   constexpr int OpsPerThread = 8000;
+  // Capacity: the live set never exceeds the key space, plus one
+  // in-flight insert per thread — churn runs in bounded space.
+  constexpr uint64_t Capacity = KeySpace + Threads;
 
-  // Capacity: every insert allocates a node, including re-inserts.
-  auto M = createTm(TmKind::TK_Tl2, 2 + 2 * (Threads * OpsPerThread + 8),
+  auto M = createTm(TmKind::TK_Tl2, ds::TxSet::objectsNeeded(Capacity),
                     Threads);
-  TxSortedSet Set(*M);
+  ds::TxSet Set(*M, /*RegionBase=*/0, Capacity);
 
   std::atomic<int64_t> NetInserted{0};
+  std::atomic<uint64_t> OutOfMemoryFailures{0};
   std::vector<std::thread> Workers;
   for (unsigned T = 0; T < Threads; ++T) {
     Workers.emplace_back([&, T] {
@@ -163,8 +53,11 @@ int main() {
         uint64_t Key = Rng.nextBounded(KeySpace);
         double Dice = Rng.nextDouble();
         if (Dice < 0.4) {
-          if (Set.insert(T, Key))
+          bool OutOfMemory = false;
+          if (Set.insert(T, Key, &OutOfMemory))
             NetInserted.fetch_add(1);
+          if (OutOfMemory)
+            OutOfMemoryFailures.fetch_add(1);
         } else if (Dice < 0.7) {
           if (Set.remove(T, Key))
             NetInserted.fetch_sub(1);
@@ -177,24 +70,33 @@ int main() {
   for (std::thread &W : Workers)
     W.join();
 
-  // Verify: the list is strictly sorted and its size equals the net
-  // number of successful inserts.
-  std::vector<uint64_t> Keys = Set.snapshot();
+  // Invariants: strictly sorted, duplicate-free, size equals the net
+  // number of successful inserts, and — the reclamation story — the
+  // allocator's live-node count equals the set size while everything it
+  // ever handed out fits the 132-node region.
+  std::vector<uint64_t> Keys = Set.sampleKeys();
   bool Sorted = true;
   for (size_t I = 1; I < Keys.size(); ++I)
     if (Keys[I - 1] >= Keys[I])
       Sorted = false;
   std::set<uint64_t> Unique(Keys.begin(), Keys.end());
+  uint64_t Live = Set.sampleLiveNodes();
+  uint64_t Ever = Set.allocator().sampleEverAllocated();
 
   TmStats S = M->stats();
   OS << "final size: " << uint64_t{Keys.size()}
      << " (net inserts: " << int64_t{NetInserted.load()} << ")\n";
   OS << "strictly sorted: " << Sorted
      << ", duplicates: " << uint64_t{Keys.size() - Unique.size()} << '\n';
+  OS << "live nodes: " << Live << ", ever allocated: " << Ever << " of "
+     << Capacity << " (out-of-memory failures: "
+     << OutOfMemoryFailures.load() << ")\n";
   OS << "commits: " << S.Commits << ", aborts: " << S.totalAborts() << '\n';
   bool Ok = Sorted && Keys.size() == Unique.size() &&
-            static_cast<int64_t>(Keys.size()) == NetInserted.load();
-  OS << (Ok ? "OK: set invariants hold\n"
+            static_cast<int64_t>(Keys.size()) == NetInserted.load() &&
+            Live == Keys.size() && Ever <= Capacity &&
+            OutOfMemoryFailures.load() == 0;
+  OS << (Ok ? "OK: set invariants hold, churn ran in bounded space\n"
             : "FAILURE: set invariants violated\n");
   OS.flush();
   return Ok ? 0 : 1;

@@ -5,153 +5,56 @@
 //
 //===----------------------------------------------------------------------===//
 ///
-/// Producer/consumer pipeline over a transactional bounded ring buffer.
-/// The queue is written exactly like sequential code — head index, tail
-/// index, slot array — and a *voluntary abort* expresses "queue full /
-/// empty, try again": `atomically` returns false without publishing
-/// anything, and the caller retries. No condition variables, no reserved
-/// sentinel slots, no two-lock tricks.
+/// Producer/consumer pipeline over ds::TxQueue, the library's bounded
+/// transactional ring buffer. The queue is written exactly like
+/// sequential code — head index, tail index, slot array — and a
+/// *voluntary abort* expresses "queue full / empty, try again":
+/// tryEnqueue/tryDequeue return false without publishing anything, and
+/// the caller retries. No condition variables, no reserved sentinel
+/// slots, no two-lock tricks.
 ///
-/// Each item carries (producer, sequence); consumers check that every
-/// producer's items arrive in order (FIFO per producer through a single
-/// queue is total order preservation) and that nothing is lost or
-/// duplicated.
+/// The whole pipeline — tagged items, FIFO-order checking, loss/duplicate
+/// accounting — is the runDsQueuePipeline workload driver; this example
+/// is reduced to configuration plus verdict.
 ///
 ///   $ ./pipeline_queue
 ///
 //===----------------------------------------------------------------------===//
 
+#include "ds/Ds.h"
 #include "stm/Stm.h"
 #include "support/RawOStream.h"
-
-#include <atomic>
-#include <thread>
-#include <vector>
+#include "workload/DsWorkload.h"
 
 using namespace ptm;
 
-namespace {
-
-/// Bounded FIFO of 64-bit items inside a Tm.
-/// Layout: obj 0 = head (dequeue index), obj 1 = tail (enqueue index),
-/// obj 2+i = slot i. Indices grow monotonically; slot = index % capacity.
-class TxQueue {
-public:
-  TxQueue(Tm &Memory, unsigned Slots) : M(Memory), Capacity(Slots) {
-    M.init(0, 0);
-    M.init(1, 0);
-  }
-
-  /// True once the item is enqueued; false if the queue was full.
-  bool tryEnqueue(ThreadId Tid, uint64_t Item) {
-    return atomically(M, Tid, [&](TxRef &Tx) {
-      uint64_t Head = Tx.readOr(0, 0);
-      uint64_t Tail = Tx.readOr(1, 0);
-      if (Tail - Head >= Capacity) {
-        Tx.userAbort(); // Full: abandon without side effects.
-        return;
-      }
-      Tx.write(slotObj(Tail), Item);
-      Tx.write(1, Tail + 1);
-    });
-  }
-
-  /// True once an item was dequeued into \p Item; false if empty.
-  bool tryDequeue(ThreadId Tid, uint64_t &Item) {
-    uint64_t Out = 0;
-    bool Ok = atomically(M, Tid, [&](TxRef &Tx) {
-      uint64_t Head = Tx.readOr(0, 0);
-      uint64_t Tail = Tx.readOr(1, 0);
-      if (Head == Tail) {
-        Tx.userAbort(); // Empty.
-        return;
-      }
-      Out = Tx.readOr(slotObj(Head), 0);
-      Tx.write(0, Head + 1);
-    });
-    if (Ok)
-      Item = Out;
-    return Ok;
-  }
-
-private:
-  ObjectId slotObj(uint64_t Index) const {
-    return static_cast<ObjectId>(2 + Index % Capacity);
-  }
-
-  Tm &M;
-  unsigned Capacity;
-};
-
-constexpr unsigned kProducers = 2;
-constexpr unsigned kConsumers = 2;
-constexpr unsigned kCapacity = 8;
-constexpr uint64_t kItemsPerProducer = 20000;
-
-uint64_t encodeItem(unsigned Producer, uint64_t Seq) {
-  return (static_cast<uint64_t>(Producer) << 48) | Seq;
-}
-
-} // namespace
-
 int main() {
   RawOStream &OS = outs();
-  auto M = createTm(TmKind::TK_Tl2, 2 + kCapacity, kProducers + kConsumers);
-  TxQueue Queue(*M, kCapacity);
+  constexpr unsigned kProducers = 2;
+  constexpr unsigned kConsumers = 2;
+  constexpr uint64_t kCapacity = 8;
+  constexpr uint64_t kItemsPerProducer = 20000;
+  constexpr uint64_t kTotal = kProducers * kItemsPerProducer;
 
-  std::vector<std::thread> Threads;
+  auto M = createTm(TmKind::TK_Tl2, ds::TxQueue::objectsNeeded(kCapacity),
+                    kProducers + kConsumers);
+  ds::TxQueue Queue(*M, /*RegionBase=*/0, kCapacity);
 
-  // Producers: threads 0..kProducers-1.
-  for (unsigned P = 0; P < kProducers; ++P) {
-    Threads.emplace_back([&, P] {
-      for (uint64_t Seq = 0; Seq < kItemsPerProducer; ++Seq)
-        while (!Queue.tryEnqueue(P, encodeItem(P, Seq)))
-          std::this_thread::yield();
-    });
-  }
-
-  // Consumers: split the total evenly; track per-producer last-seen
-  // sequence to verify FIFO, and count items.
-  std::atomic<uint64_t> Consumed{0};
-  std::atomic<uint64_t> OrderViolations{0};
-  const uint64_t Total = kProducers * kItemsPerProducer;
-
-  for (unsigned C = 0; C < kConsumers; ++C) {
-    Threads.emplace_back([&, C] {
-      ThreadId Tid = kProducers + C;
-      // Per-consumer view of each producer's last sequence: a single
-      // queue dequeued by several consumers preserves per-producer order
-      // *per consumer* only if dequeues are atomic — which is what the
-      // TM provides and this checks.
-      std::vector<int64_t> LastSeen(kProducers, -1);
-      uint64_t Item;
-      while (Consumed.load(std::memory_order_relaxed) < Total) {
-        if (!Queue.tryDequeue(Tid, Item)) {
-          std::this_thread::yield();
-          continue;
-        }
-        Consumed.fetch_add(1);
-        unsigned P = static_cast<unsigned>(Item >> 48);
-        int64_t Seq = static_cast<int64_t>(Item & 0xffffffffffffULL);
-        if (Seq <= LastSeen[P])
-          OrderViolations.fetch_add(1);
-        LastSeen[P] = Seq;
-      }
-    });
-  }
-
-  for (std::thread &T : Threads)
-    T.join();
+  uint64_t OrderViolations = 0;
+  RunResult R = runDsQueuePipeline(Queue, kProducers, kConsumers,
+                                   kItemsPerProducer, &OrderViolations);
 
   TmStats S = M->stats();
-  OS << "pipeline: " << Consumed.load() << "/" << Total << " items through a "
-     << kCapacity << "-slot transactional ring\n";
-  OS << "per-producer order violations: " << OrderViolations.load() << '\n';
-  OS << "commits=" << S.Commits << " contention-aborts="
-     << S.totalAborts() - S.Aborts[static_cast<unsigned>(AbortCause::AC_User)]
-     << " full/empty-retries="
-     << S.Aborts[static_cast<unsigned>(AbortCause::AC_User)] << '\n';
-  bool Ok = Consumed.load() == Total && OrderViolations.load() == 0;
+  uint64_t FullEmptyRetries =
+      S.Aborts[static_cast<unsigned>(AbortCause::AC_User)];
+  OS << "pipeline: " << R.ValueChecksum << "/" << kTotal
+     << " items through a " << kCapacity << "-slot transactional ring\n";
+  OS << "per-producer order violations: " << OrderViolations << '\n';
+  OS << "commits=" << S.Commits
+     << " contention-aborts=" << S.totalAborts() - FullEmptyRetries
+     << " full/empty-retries=" << FullEmptyRetries << '\n';
+  bool Ok = R.ValueChecksum == kTotal && OrderViolations == 0 &&
+            Queue.sampleSize() == 0;
   OS << (Ok ? "OK: no loss, no duplication, FIFO preserved\n"
             : "FAILURE: queue semantics violated\n");
   OS.flush();

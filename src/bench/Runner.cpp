@@ -207,6 +207,13 @@ void printUsage(RawOStream &OS, const char *Binary) {
      << "  --help            this text\n";
 }
 
+void printBenchList(RawOStream &OS, const std::vector<const BenchDef *> &Defs) {
+  TablePrinter Table({"benchmark", "family", "paper claim"});
+  for (const BenchDef *Def : Defs)
+    Table.addRow({Def->Name, Def->Family, Def->Claim});
+  Table.print(OS);
+}
+
 void printResultsTable(RawOStream &OS, const std::vector<ResultRow> &Rows,
                        const std::vector<const BenchDef *> &Defs) {
   for (const BenchDef *Def : Defs) {
@@ -290,10 +297,7 @@ int benchMain(int Argc, const char *const *Argv) {
       Registry::global().match(Opts.Filter);
 
   if (Opts.List) {
-    TablePrinter Table({"benchmark", "family", "paper claim"});
-    for (const BenchDef *Def : Selected)
-      Table.addRow({Def->Name, Def->Family, Def->Claim});
-    Table.print(outs());
+    printBenchList(outs(), Selected);
     outs().flush();
     return 0;
   }

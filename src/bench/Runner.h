@@ -57,6 +57,10 @@ bool parseCliOptions(int Argc, const char *const *Argv, CliOptions &Opts,
 /// Prints the usage text to \p OS.
 void printUsage(RawOStream &OS, const char *Binary);
 
+/// --list reporter: one aligned table of the registered benchmarks —
+/// name, trajectory family, and the paper claim each measures.
+void printBenchList(RawOStream &OS, const std::vector<const BenchDef *> &Defs);
+
 /// Human reporter: one aligned table per benchmark, preceded by the
 /// benchmark's name and paper claim.
 void printResultsTable(RawOStream &OS, const std::vector<ResultRow> &Rows,

@@ -1,0 +1,28 @@
+//===-- ds/Ds.h - Umbrella header for the data-structure library -*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience umbrella for the transactional data-structure library:
+/// the node allocator (TxAlloc) and the structures built on it — sorted
+/// linked-list set (TxSet), bucketed hash map (TxMap), bounded FIFO
+/// (TxQueue) and striped counter (TxCounter). All are generic over any
+/// Tm via the atomically()/TxRef surface; each documents how to size the
+/// TM's object array through its static objectsNeeded(). See DESIGN.md
+/// for how list length maps onto the paper's read-set size m.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_DS_DS_H
+#define PTM_DS_DS_H
+
+#include "ds/TxAlloc.h"   // IWYU pragma: export
+#include "ds/TxCounter.h" // IWYU pragma: export
+#include "ds/TxMap.h"     // IWYU pragma: export
+#include "ds/TxQueue.h"   // IWYU pragma: export
+#include "ds/TxSet.h"     // IWYU pragma: export
+
+#endif // PTM_DS_DS_H

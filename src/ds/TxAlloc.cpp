@@ -1,0 +1,59 @@
+//===-- ds/TxAlloc.cpp - Transactional node allocator ---------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ds/TxAlloc.h"
+
+#include <cassert>
+
+using namespace ptm;
+using namespace ptm::ds;
+
+TxAlloc::TxAlloc(Tm &Memory, ObjectId RegionBase, unsigned NodeWords,
+                 uint64_t NodeCapacity)
+    : M(&Memory), Base(RegionBase), Words(NodeWords), Capacity(NodeCapacity) {
+  assert(NodeWords > 0 && "nodes must have at least one word");
+  assert(Base + objectsNeeded(NodeWords, NodeCapacity) <= M->numObjects() &&
+         "allocator region exceeds the TM's object array");
+  reset();
+}
+
+void TxAlloc::reset() {
+  M->init(bumpObj(), 0);
+  M->init(freeObj(), kNil);
+}
+
+uint64_t TxAlloc::allocate(TxRef &Tx) {
+  uint64_t Free = Tx.readOr(freeObj(), kNil);
+  if (Tx.failed())
+    return kNil;
+  if (Free != kNil) {
+    uint64_t Next = Tx.readOr(wordObj(Free, 0), kNil);
+    if (!Tx.write(freeObj(), Next))
+      return kNil;
+    return Free;
+  }
+  uint64_t Bump = Tx.readOr(bumpObj(), 0);
+  if (Tx.failed() || Bump >= Capacity)
+    return kNil; // Region exhausted (or transaction dead).
+  if (!Tx.write(bumpObj(), Bump + 1))
+    return kNil;
+  return Bump;
+}
+
+bool TxAlloc::release(TxRef &Tx, uint64_t Node) {
+  assert(Node < Capacity && "releasing a handle outside the region");
+  uint64_t Free = Tx.readOr(freeObj(), kNil);
+  return Tx.write(wordObj(Node, 0), Free) && Tx.write(freeObj(), Node);
+}
+
+uint64_t TxAlloc::sampleFreeCount() const {
+  uint64_t Count = 0;
+  for (uint64_t Node = M->sample(freeObj()); Node != kNil;
+       Node = M->sample(wordObj(Node, 0)))
+    ++Count;
+  return Count;
+}

@@ -1,0 +1,100 @@
+//===-- ds/TxAlloc.h - Transactional node allocator -------------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A transactional bump-plus-free-list allocator carving fixed-size nodes
+/// out of a contiguous region of a Tm's object array. Allocation and
+/// release are ordinary transactional reads/writes, so they compose with
+/// the caller's transaction: an aborted insert rolls back its allocation,
+/// a committed remove durably recycles the node. This is what lets the
+/// data structures in src/ds/ run unbounded churn in bounded space,
+/// unlike the leak-forever bump pointer of the original examples.
+///
+/// Region layout (all offsets relative to the region base):
+///   word 0            bump cursor: nodes [0, bump) have been handed out
+///   word 1            free-list head (node handle, or kNil when empty)
+///   word 2 + N*w + i  word i of node N (w = wordsPerNode())
+///
+/// A released node's word 0 is reused as its free-list link, so node
+/// contents are unspecified after release; allocate() hands nodes back
+/// without clearing them and callers initialize every word they use.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_DS_TXALLOC_H
+#define PTM_DS_TXALLOC_H
+
+#include "stm/Atomically.h"
+#include "stm/Tm.h"
+
+namespace ptm {
+namespace ds {
+
+/// Sentinel "no node" handle shared by all src/ds/ structures (also used
+/// as the null next-pointer in linked nodes).
+inline constexpr uint64_t kNil = ~uint64_t{0};
+
+class TxAlloc {
+public:
+  /// Manages \p NodeCapacity nodes of \p NodeWords words each inside
+  /// \p Memory, starting at object \p RegionBase. The region must span
+  /// objectsNeeded(NodeWords, NodeCapacity) valid ObjectIds. Resets the
+  /// region (quiescently) to the all-free state.
+  TxAlloc(Tm &Memory, ObjectId RegionBase, unsigned NodeWords,
+          uint64_t NodeCapacity);
+
+  /// Number of t-objects a region with this geometry occupies.
+  static unsigned objectsNeeded(unsigned NodeWords, uint64_t NodeCapacity) {
+    return static_cast<unsigned>(kMetaWords + NodeWords * NodeCapacity);
+  }
+
+  /// Quiescent reset to "everything free, nothing ever handed out".
+  void reset();
+
+  /// Allocates one node inside \p Tx: pops the free list if possible,
+  /// bumps otherwise. Returns the node handle, or kNil when the region is
+  /// exhausted or the transaction failed (check Tx.failed()).
+  uint64_t allocate(TxRef &Tx);
+
+  /// Returns \p Node to the free list inside \p Tx (clobbering its word
+  /// 0 with the free-list link). False once the transaction failed.
+  bool release(TxRef &Tx, uint64_t Node);
+
+  /// The t-object holding word \p Word of node \p Node.
+  ObjectId wordObj(uint64_t Node, unsigned Word) const {
+    return Base + kMetaWords + static_cast<ObjectId>(Node * Words + Word);
+  }
+
+  uint64_t nodeCapacity() const { return Capacity; }
+  unsigned wordsPerNode() const { return Words; }
+
+  /// Quiescent introspection (setup/teardown/verification only).
+  uint64_t sampleEverAllocated() const { return M->sample(Base + kBumpWord); }
+  uint64_t sampleFreeCount() const;
+  /// Nodes currently held by callers: allocations minus free-list length.
+  uint64_t sampleLiveCount() const {
+    return sampleEverAllocated() - sampleFreeCount();
+  }
+
+private:
+  static constexpr unsigned kBumpWord = 0;
+  static constexpr unsigned kFreeWord = 1;
+  static constexpr unsigned kMetaWords = 2;
+
+  ObjectId bumpObj() const { return Base + kBumpWord; }
+  ObjectId freeObj() const { return Base + kFreeWord; }
+
+  Tm *M;
+  ObjectId Base;
+  unsigned Words;
+  uint64_t Capacity;
+};
+
+} // namespace ds
+} // namespace ptm
+
+#endif // PTM_DS_TXALLOC_H

@@ -1,0 +1,62 @@
+//===-- ds/TxCounter.cpp - Transactional striped counter ------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ds/TxCounter.h"
+
+#include <cassert>
+
+using namespace ptm;
+using namespace ptm::ds;
+
+TxCounter::TxCounter(Tm &Memory, ObjectId RegionBase, unsigned StripeCount)
+    : M(&Memory) {
+  assert(StripeCount > 0 && "a counter needs at least one stripe");
+  Stripes.reserve(StripeCount);
+  for (unsigned S = 0; S < StripeCount; ++S)
+    Stripes.emplace_back(Memory, RegionBase + S);
+  clear();
+}
+
+void TxCounter::clear() {
+  for (const TVar<int64_t> &Stripe : Stripes)
+    Stripe.init(0);
+}
+
+bool TxCounter::add(TxRef &Tx, ThreadId Hint, int64_t Delta) {
+  const TVar<int64_t> &Stripe = Stripes[Hint % Stripes.size()];
+  int64_t Value = 0;
+  return Stripe.read(Tx, Value) && Stripe.write(Tx, Value + Delta);
+}
+
+bool TxCounter::read(TxRef &Tx, int64_t &Sum) {
+  int64_t Total = 0;
+  for (const TVar<int64_t> &Stripe : Stripes) {
+    int64_t Value = 0;
+    if (!Stripe.read(Tx, Value))
+      return false;
+    Total += Value;
+  }
+  Sum = Total;
+  return true;
+}
+
+bool TxCounter::add(ThreadId Tid, int64_t Delta) {
+  return atomically(*M, Tid, [&](TxRef &Tx) { add(Tx, Tid, Delta); });
+}
+
+int64_t TxCounter::read(ThreadId Tid) {
+  int64_t Sum = 0;
+  atomically(*M, Tid, [&](TxRef &Tx) { read(Tx, Sum); });
+  return Sum;
+}
+
+int64_t TxCounter::sampleTotal() const {
+  int64_t Total = 0;
+  for (const TVar<int64_t> &Stripe : Stripes)
+    Total += Stripe.sample();
+  return Total;
+}

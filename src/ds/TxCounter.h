@@ -1,0 +1,70 @@
+//===-- ds/TxCounter.h - Transactional striped counter ----------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A striped counter over any Tm: increments hash to one of S stripe
+/// cells (disjoint for distinct hints, so a progressive TM commits
+/// contention-free), while a precise read sums all S stripes in one
+/// transaction — deliberately an S-sized read set, the counter-shaped
+/// miniature of the paper's m-read transaction. Deltas are two's-
+/// complement int64 riding in the 64-bit cells, so decrements work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_DS_TXCOUNTER_H
+#define PTM_DS_TXCOUNTER_H
+
+#include "stm/Atomically.h"
+#include "stm/TVar.h"
+#include "stm/Tm.h"
+
+#include <vector>
+
+namespace ptm {
+namespace ds {
+
+class TxCounter {
+public:
+  /// Builds a zeroed counter of \p StripeCount stripes over \p Memory at
+  /// \p RegionBase (one t-object per stripe).
+  TxCounter(Tm &Memory, ObjectId RegionBase, unsigned StripeCount);
+
+  static unsigned objectsNeeded(unsigned StripeCount) { return StripeCount; }
+
+  /// Quiescent reset to zero.
+  void clear();
+
+  //===--- transactional core (compose within a caller transaction) ------===//
+
+  /// Adds \p Delta to the stripe selected by \p Hint (callers typically
+  /// pass their ThreadId so concurrent increments stay disjoint). False
+  /// once the transaction failed.
+  bool add(TxRef &Tx, ThreadId Hint, int64_t Delta);
+
+  /// Precise sum of all stripes — an S-read transaction.
+  bool read(TxRef &Tx, int64_t &Sum);
+
+  //===--- one-transaction conveniences ----------------------------------===//
+
+  bool add(ThreadId Tid, int64_t Delta);
+  int64_t read(ThreadId Tid);
+
+  //===--- quiescent introspection ---------------------------------------===//
+
+  int64_t sampleTotal() const;
+  unsigned stripeCount() const { return static_cast<unsigned>(Stripes.size()); }
+  Tm &tm() const { return *M; }
+
+private:
+  Tm *M;
+  std::vector<TVar<int64_t>> Stripes;
+};
+
+} // namespace ds
+} // namespace ptm
+
+#endif // PTM_DS_TXCOUNTER_H

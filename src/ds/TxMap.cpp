@@ -1,0 +1,140 @@
+//===-- ds/TxMap.cpp - Transactional bucketed hash map --------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ds/TxMap.h"
+
+#include <cassert>
+
+using namespace ptm;
+using namespace ptm::ds;
+
+namespace {
+
+/// SplitMix64-style finalizer so adjacent keys land in distinct buckets.
+uint64_t mixKey(uint64_t Key) {
+  Key = (Key ^ (Key >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Key = (Key ^ (Key >> 27)) * 0x94d049bb133111ebULL;
+  return Key ^ (Key >> 31);
+}
+
+} // namespace
+
+TxMap::TxMap(Tm &Memory, ObjectId RegionBase, unsigned BucketCount,
+             uint64_t KeyCapacity)
+    : M(&Memory), Base(RegionBase), Buckets(BucketCount),
+      Alloc(Memory, RegionBase + BucketCount, kNodeWords, KeyCapacity) {
+  assert(BucketCount > 0 && "a map needs at least one bucket");
+  for (unsigned B = 0; B < Buckets; ++B)
+    M->init(Base + B, kNil);
+}
+
+void TxMap::clear() {
+  for (unsigned B = 0; B < Buckets; ++B)
+    M->init(Base + B, kNil);
+  Alloc.reset();
+}
+
+ObjectId TxMap::bucketObj(uint64_t Key) const {
+  return Base + static_cast<ObjectId>(mixKey(Key) % Buckets);
+}
+
+TxMap::Position TxMap::locate(TxRef &Tx, uint64_t Key) {
+  ObjectId PrevNextObj = bucketObj(Key);
+  uint64_t Cur = Tx.readOr(PrevNextObj, kNil);
+  while (!Tx.failed() && Cur != kNil) {
+    if (Tx.readOr(keyObj(Cur), 0) == Key)
+      break;
+    PrevNextObj = nextObj(Cur);
+    Cur = Tx.readOr(PrevNextObj, kNil);
+  }
+  return {PrevNextObj, Cur};
+}
+
+bool TxMap::put(TxRef &Tx, uint64_t Key, uint64_t Value, bool *Inserted,
+                bool *OutOfMemory) {
+  if (Inserted)
+    *Inserted = false;
+  if (OutOfMemory)
+    *OutOfMemory = false;
+  Position Pos = locate(Tx, Key);
+  if (Tx.failed())
+    return false;
+  if (Pos.Node != kNil)
+    return Tx.write(valueObj(Pos.Node), Value); // Update in place.
+  uint64_t Node = Alloc.allocate(Tx);
+  if (Node == kNil) {
+    if (OutOfMemory && !Tx.failed())
+      *OutOfMemory = true;
+    return false;
+  }
+  // Link at the bucket head: the chain is unordered.
+  ObjectId BucketHead = bucketObj(Key);
+  uint64_t OldHead = Tx.readOr(BucketHead, kNil);
+  if (!(Tx.write(keyObj(Node), Key) && Tx.write(valueObj(Node), Value) &&
+        Tx.write(nextObj(Node), OldHead) && Tx.write(BucketHead, Node)))
+    return false;
+  if (Inserted)
+    *Inserted = true;
+  return true;
+}
+
+bool TxMap::get(TxRef &Tx, uint64_t Key, uint64_t &Value) {
+  Position Pos = locate(Tx, Key);
+  if (Tx.failed() || Pos.Node == kNil)
+    return false;
+  return Tx.read(valueObj(Pos.Node), Value);
+}
+
+bool TxMap::erase(TxRef &Tx, uint64_t Key) {
+  Position Pos = locate(Tx, Key);
+  if (Tx.failed() || Pos.Node == kNil)
+    return false;
+  uint64_t Next = Tx.readOr(nextObj(Pos.Node), kNil);
+  return Tx.write(Pos.PrevNextObj, Next) && Alloc.release(Tx, Pos.Node);
+}
+
+uint64_t TxMap::size(TxRef &Tx) {
+  uint64_t Count = 0;
+  for (unsigned B = 0; B < Buckets && !Tx.failed(); ++B)
+    for (uint64_t Cur = Tx.readOr(Base + B, kNil);
+         !Tx.failed() && Cur != kNil; Cur = Tx.readOr(nextObj(Cur), kNil))
+      ++Count;
+  return Count;
+}
+
+bool TxMap::put(ThreadId Tid, uint64_t Key, uint64_t Value, bool *Inserted,
+                bool *OutOfMemory) {
+  bool Ok = false;
+  atomically(*M, Tid, [&](TxRef &Tx) {
+    Ok = put(Tx, Key, Value, Inserted, OutOfMemory);
+  });
+  return Ok;
+}
+
+bool TxMap::get(ThreadId Tid, uint64_t Key, uint64_t &Value) {
+  bool Found = false;
+  uint64_t Out = 0;
+  atomically(*M, Tid, [&](TxRef &Tx) { Found = get(Tx, Key, Out); });
+  if (Found)
+    Value = Out;
+  return Found;
+}
+
+bool TxMap::erase(ThreadId Tid, uint64_t Key) {
+  bool Removed = false;
+  atomically(*M, Tid, [&](TxRef &Tx) { Removed = erase(Tx, Key); });
+  return Removed;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> TxMap::sampleEntries() const {
+  std::vector<std::pair<uint64_t, uint64_t>> Entries;
+  for (unsigned B = 0; B < Buckets; ++B)
+    for (uint64_t Cur = M->sample(Base + B); Cur != kNil;
+         Cur = M->sample(nextObj(Cur)))
+      Entries.emplace_back(M->sample(keyObj(Cur)), M->sample(valueObj(Cur)));
+  return Entries;
+}

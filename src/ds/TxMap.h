@@ -1,0 +1,110 @@
+//===-- ds/TxMap.h - Transactional bucketed hash map ------------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-bucket-count separate-chaining hash map of 64-bit keys to
+/// 64-bit values over any Tm, with chain nodes recycled through TxAlloc.
+/// Hashing spreads keys over the buckets, so the per-operation read set is
+/// one bucket head plus the chain behind it — short chains keep the
+/// Theorem 3 validation cost flat where TxSet makes it grow, which is
+/// exactly the contrast the ds_* benchmarks sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_DS_TXMAP_H
+#define PTM_DS_TXMAP_H
+
+#include "ds/TxAlloc.h"
+
+#include <utility>
+#include <vector>
+
+namespace ptm {
+namespace ds {
+
+class TxMap {
+public:
+  /// Builds an empty map over \p Memory at \p RegionBase with
+  /// \p BucketCount chains and room for \p KeyCapacity entries. The
+  /// region must span objectsNeeded(BucketCount, KeyCapacity) ObjectIds.
+  TxMap(Tm &Memory, ObjectId RegionBase, unsigned BucketCount,
+        uint64_t KeyCapacity);
+
+  static unsigned objectsNeeded(unsigned BucketCount, uint64_t KeyCapacity) {
+    return BucketCount + TxAlloc::objectsNeeded(kNodeWords, KeyCapacity);
+  }
+
+  /// Quiescent reset to the empty map.
+  void clear();
+
+  //===--- transactional core (compose within a caller transaction) ------===//
+
+  /// Inserts or updates \p Key -> \p Value. True on success; *Inserted
+  /// (when non-null) tells whether the key was new. False on region
+  /// exhaustion (*OutOfMemory set) or once the transaction failed.
+  bool put(TxRef &Tx, uint64_t Key, uint64_t Value, bool *Inserted = nullptr,
+           bool *OutOfMemory = nullptr);
+
+  /// Looks up \p Key; true iff present (then *Value holds the mapping).
+  bool get(TxRef &Tx, uint64_t Key, uint64_t &Value);
+
+  /// Removes \p Key and recycles its node; true iff it was present.
+  bool erase(TxRef &Tx, uint64_t Key);
+
+  /// Number of entries, by traversing every chain.
+  uint64_t size(TxRef &Tx);
+
+  //===--- one-transaction conveniences (retry contention internally) ----===//
+
+  bool put(ThreadId Tid, uint64_t Key, uint64_t Value,
+           bool *Inserted = nullptr, bool *OutOfMemory = nullptr);
+  bool get(ThreadId Tid, uint64_t Key, uint64_t &Value);
+  bool erase(ThreadId Tid, uint64_t Key);
+
+  //===--- quiescent introspection ---------------------------------------===//
+
+  /// All (key, value) entries, in bucket-then-chain order.
+  std::vector<std::pair<uint64_t, uint64_t>> sampleEntries() const;
+
+  uint64_t sampleLiveNodes() const { return Alloc.sampleLiveCount(); }
+  unsigned bucketCount() const { return Buckets; }
+  TxAlloc &allocator() { return Alloc; }
+  Tm &tm() const { return *M; }
+
+private:
+  static constexpr unsigned kNodeWords = 3; // key, value, next
+  static constexpr unsigned kKeyWord = 0;
+  static constexpr unsigned kValueWord = 1;
+  static constexpr unsigned kNextWord = 2;
+
+  ObjectId bucketObj(uint64_t Key) const;
+  ObjectId keyObj(uint64_t Node) const { return Alloc.wordObj(Node, kKeyWord); }
+  ObjectId valueObj(uint64_t Node) const {
+    return Alloc.wordObj(Node, kValueWord);
+  }
+  ObjectId nextObj(uint64_t Node) const {
+    return Alloc.wordObj(Node, kNextWord);
+  }
+
+  /// Chain walk within Key's bucket: {object holding the incoming "next"
+  /// pointer, handle of the node with exactly this key (or kNil)}.
+  struct Position {
+    ObjectId PrevNextObj;
+    uint64_t Node;
+  };
+  Position locate(TxRef &Tx, uint64_t Key);
+
+  Tm *M;
+  ObjectId Base;
+  unsigned Buckets;
+  TxAlloc Alloc;
+};
+
+} // namespace ds
+} // namespace ptm
+
+#endif // PTM_DS_TXMAP_H

@@ -1,0 +1,64 @@
+//===-- ds/TxQueue.cpp - Transactional bounded FIFO queue -----------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ds/TxQueue.h"
+
+#include <cassert>
+
+using namespace ptm;
+using namespace ptm::ds;
+
+TxQueue::TxQueue(Tm &Memory, ObjectId RegionBase, uint64_t SlotCapacity)
+    : M(&Memory), Base(RegionBase), Capacity(SlotCapacity) {
+  assert(SlotCapacity > 0 && "a queue needs at least one slot");
+  clear();
+}
+
+void TxQueue::clear() {
+  M->init(headObj(), 0);
+  M->init(tailObj(), 0);
+}
+
+bool TxQueue::enqueue(TxRef &Tx, uint64_t Item) {
+  uint64_t Head = Tx.readOr(headObj(), 0);
+  uint64_t Tail = Tx.readOr(tailObj(), 0);
+  if (Tx.failed() || Tail - Head >= Capacity)
+    return false; // Full (or transaction dead).
+  return Tx.write(slotObj(Tail), Item) && Tx.write(tailObj(), Tail + 1);
+}
+
+bool TxQueue::dequeue(TxRef &Tx, uint64_t &Item) {
+  uint64_t Head = Tx.readOr(headObj(), 0);
+  uint64_t Tail = Tx.readOr(tailObj(), 0);
+  if (Tx.failed() || Head == Tail)
+    return false; // Empty (or transaction dead).
+  return Tx.read(slotObj(Head), Item) && Tx.write(headObj(), Head + 1);
+}
+
+uint64_t TxQueue::size(TxRef &Tx) {
+  uint64_t Head = Tx.readOr(headObj(), 0);
+  uint64_t Tail = Tx.readOr(tailObj(), 0);
+  return Tx.failed() ? 0 : Tail - Head;
+}
+
+bool TxQueue::tryEnqueue(ThreadId Tid, uint64_t Item) {
+  return atomically(*M, Tid, [&](TxRef &Tx) {
+    if (!enqueue(Tx, Item) && !Tx.failed())
+      Tx.userAbort(); // Full: abandon without side effects.
+  });
+}
+
+bool TxQueue::tryDequeue(ThreadId Tid, uint64_t &Item) {
+  uint64_t Out = 0;
+  bool Ok = atomically(*M, Tid, [&](TxRef &Tx) {
+    if (!dequeue(Tx, Out) && !Tx.failed())
+      Tx.userAbort(); // Empty.
+  });
+  if (Ok)
+    Item = Out;
+  return Ok;
+}

@@ -1,0 +1,90 @@
+//===-- ds/TxQueue.h - Transactional bounded FIFO queue ---------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded FIFO of 64-bit items over any Tm: head index, tail index,
+/// ring of slots — written exactly like sequential code. Indices grow
+/// monotonically (slot = index mod capacity), so fullness is
+/// `tail - head == capacity` with no reserved sentinel slot.
+///
+/// The TxRef methods report full/empty as an ordinary false return so a
+/// caller can compose "dequeue here, enqueue there" pipelines in one
+/// transaction; the ThreadId try* conveniences express "full/empty, come
+/// back later" as a *voluntary abort* — atomically() returns false
+/// without publishing anything, the classic STM condition-wait idiom.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_DS_TXQUEUE_H
+#define PTM_DS_TXQUEUE_H
+
+#include "stm/Atomically.h"
+#include "stm/Tm.h"
+
+namespace ptm {
+namespace ds {
+
+class TxQueue {
+public:
+  /// Builds an empty queue of \p SlotCapacity items over \p Memory at
+  /// \p RegionBase. The region must span objectsNeeded(SlotCapacity)
+  /// valid ObjectIds.
+  TxQueue(Tm &Memory, ObjectId RegionBase, uint64_t SlotCapacity);
+
+  static unsigned objectsNeeded(uint64_t SlotCapacity) {
+    return static_cast<unsigned>(2 + SlotCapacity);
+  }
+
+  /// Quiescent reset to the empty queue.
+  void clear();
+
+  //===--- transactional core (compose within a caller transaction) ------===//
+
+  /// Appends \p Item; false when the queue is full or the transaction
+  /// failed (check Tx.failed()).
+  bool enqueue(TxRef &Tx, uint64_t Item);
+
+  /// Pops the oldest item into \p Item; false when empty or failed.
+  bool dequeue(TxRef &Tx, uint64_t &Item);
+
+  /// Items currently queued.
+  uint64_t size(TxRef &Tx);
+
+  //===--- one-transaction conveniences ----------------------------------===//
+
+  /// True once the item is enqueued; false if the queue was full (the
+  /// "full" observation is abandoned via a voluntary abort, so it costs
+  /// no commit and shows up in TmStats as an AC_User abort).
+  bool tryEnqueue(ThreadId Tid, uint64_t Item);
+
+  /// True once an item was dequeued into \p Item; false if empty.
+  bool tryDequeue(ThreadId Tid, uint64_t &Item);
+
+  //===--- quiescent introspection ---------------------------------------===//
+
+  uint64_t sampleSize() const {
+    return M->sample(tailObj()) - M->sample(headObj());
+  }
+  uint64_t capacity() const { return Capacity; }
+  Tm &tm() const { return *M; }
+
+private:
+  ObjectId headObj() const { return Base; }
+  ObjectId tailObj() const { return Base + 1; }
+  ObjectId slotObj(uint64_t Index) const {
+    return Base + 2 + static_cast<ObjectId>(Index % Capacity);
+  }
+
+  Tm *M;
+  ObjectId Base;
+  uint64_t Capacity;
+};
+
+} // namespace ds
+} // namespace ptm
+
+#endif // PTM_DS_TXQUEUE_H

@@ -1,0 +1,104 @@
+//===-- ds/TxSet.cpp - Transactional sorted linked-list set ---------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "ds/TxSet.h"
+
+using namespace ptm;
+using namespace ptm::ds;
+
+TxSet::TxSet(Tm &Memory, ObjectId RegionBase, uint64_t KeyCapacity)
+    : M(&Memory), Head(RegionBase),
+      Alloc(Memory, RegionBase + 1, kNodeWords, KeyCapacity) {
+  M->init(Head, kNil);
+}
+
+void TxSet::clear() {
+  M->init(Head, kNil);
+  Alloc.reset();
+}
+
+TxSet::Position TxSet::locate(TxRef &Tx, uint64_t Key) {
+  ObjectId PrevNextObj = headObj();
+  uint64_t Cur = Tx.readOr(PrevNextObj, kNil);
+  while (!Tx.failed() && Cur != kNil) {
+    if (Tx.readOr(keyObj(Cur), 0) >= Key)
+      break;
+    PrevNextObj = nextObj(Cur);
+    Cur = Tx.readOr(PrevNextObj, kNil);
+  }
+  return {PrevNextObj, Cur};
+}
+
+bool TxSet::insert(TxRef &Tx, uint64_t Key, bool *OutOfMemory) {
+  if (OutOfMemory)
+    *OutOfMemory = false;
+  Position Pos = locate(Tx, Key);
+  if (Tx.failed())
+    return false;
+  if (Pos.Node != kNil && Tx.readOr(keyObj(Pos.Node), 0) == Key)
+    return false; // Already present.
+  uint64_t Node = Alloc.allocate(Tx);
+  if (Node == kNil) {
+    if (OutOfMemory && !Tx.failed())
+      *OutOfMemory = true;
+    return false;
+  }
+  return Tx.write(keyObj(Node), Key) && Tx.write(nextObj(Node), Pos.Node) &&
+         Tx.write(Pos.PrevNextObj, Node);
+}
+
+bool TxSet::remove(TxRef &Tx, uint64_t Key) {
+  Position Pos = locate(Tx, Key);
+  if (Tx.failed() || Pos.Node == kNil)
+    return false;
+  if (Tx.readOr(keyObj(Pos.Node), 0) != Key)
+    return false;
+  uint64_t Next = Tx.readOr(nextObj(Pos.Node), kNil);
+  return Tx.write(Pos.PrevNextObj, Next) && Alloc.release(Tx, Pos.Node);
+}
+
+bool TxSet::contains(TxRef &Tx, uint64_t Key) {
+  Position Pos = locate(Tx, Key);
+  return !Tx.failed() && Pos.Node != kNil &&
+         Tx.readOr(keyObj(Pos.Node), 0) == Key;
+}
+
+uint64_t TxSet::size(TxRef &Tx) {
+  uint64_t Count = 0;
+  for (uint64_t Cur = Tx.readOr(headObj(), kNil);
+       !Tx.failed() && Cur != kNil; Cur = Tx.readOr(nextObj(Cur), kNil))
+    ++Count;
+  return Count;
+}
+
+bool TxSet::insert(ThreadId Tid, uint64_t Key, bool *OutOfMemory) {
+  bool Inserted = false;
+  atomically(*M, Tid, [&](TxRef &Tx) {
+    Inserted = insert(Tx, Key, OutOfMemory);
+  });
+  return Inserted;
+}
+
+bool TxSet::remove(ThreadId Tid, uint64_t Key) {
+  bool Removed = false;
+  atomically(*M, Tid, [&](TxRef &Tx) { Removed = remove(Tx, Key); });
+  return Removed;
+}
+
+bool TxSet::contains(ThreadId Tid, uint64_t Key) {
+  bool Found = false;
+  atomically(*M, Tid, [&](TxRef &Tx) { Found = contains(Tx, Key); });
+  return Found;
+}
+
+std::vector<uint64_t> TxSet::sampleKeys() const {
+  std::vector<uint64_t> Keys;
+  for (uint64_t Cur = M->sample(headObj()); Cur != kNil;
+       Cur = M->sample(nextObj(Cur)))
+    Keys.push_back(M->sample(keyObj(Cur)));
+  return Keys;
+}

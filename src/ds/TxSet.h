@@ -1,0 +1,110 @@
+//===-- ds/TxSet.h - Transactional sorted linked-list set -------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sorted singly-linked-list set of 64-bit keys over any Tm, written
+/// exactly like its sequential version — traverse, link, unlink — with
+/// node storage managed by TxAlloc so removed nodes are recycled instead
+/// of leaked. This is the repository's workhorse for the paper's Theorem
+/// 3: a contains() over an n-node list performs 2n+1 t-reads, so the list
+/// length *is* the paper's m, and per-operation traversal cost grows
+/// quadratically on incremental-validation TMs (orec-incr/orec-eager) but
+/// linearly on the escape-hatch TMs (tl2/norec/tlrw/glock).
+///
+/// Two API levels:
+///  * TxRef methods compose inside a caller-owned transaction (several
+///    structure operations can form one atomic step);
+///  * ThreadId conveniences wrap one operation in atomically() with
+///    contention retry, the common case for applications.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_DS_TXSET_H
+#define PTM_DS_TXSET_H
+
+#include "ds/TxAlloc.h"
+
+#include <vector>
+
+namespace ptm {
+namespace ds {
+
+class TxSet {
+public:
+  /// Builds an empty set over \p Memory in the region starting at
+  /// \p RegionBase, able to hold up to \p KeyCapacity keys. The region
+  /// must span objectsNeeded(KeyCapacity) valid ObjectIds.
+  TxSet(Tm &Memory, ObjectId RegionBase, uint64_t KeyCapacity);
+
+  static unsigned objectsNeeded(uint64_t KeyCapacity) {
+    return 1 + TxAlloc::objectsNeeded(kNodeWords, KeyCapacity);
+  }
+
+  /// Quiescent reset to the empty set.
+  void clear();
+
+  //===--- transactional core (compose within a caller transaction) ------===//
+
+  /// Inserts \p Key; true iff it was absent and is now linked. False for
+  /// duplicates, on region exhaustion (*OutOfMemory set when non-null),
+  /// and once the transaction failed (check Tx.failed()).
+  bool insert(TxRef &Tx, uint64_t Key, bool *OutOfMemory = nullptr);
+
+  /// Unlinks \p Key and recycles its node; true iff it was present.
+  bool remove(TxRef &Tx, uint64_t Key);
+
+  /// Membership test; the full-list miss probe is the Theorem 3 workload.
+  bool contains(TxRef &Tx, uint64_t Key);
+
+  /// Number of keys, by transactional traversal (an m-sized read set).
+  uint64_t size(TxRef &Tx);
+
+  //===--- one-transaction conveniences (retry contention internally) ----===//
+
+  bool insert(ThreadId Tid, uint64_t Key, bool *OutOfMemory = nullptr);
+  bool remove(ThreadId Tid, uint64_t Key);
+  bool contains(ThreadId Tid, uint64_t Key);
+
+  //===--- quiescent introspection ---------------------------------------===//
+
+  /// The keys in list order (strictly ascending iff the set is intact).
+  std::vector<uint64_t> sampleKeys() const;
+
+  /// Nodes currently linked into the list, per the allocator's books.
+  uint64_t sampleLiveNodes() const { return Alloc.sampleLiveCount(); }
+
+  TxAlloc &allocator() { return Alloc; }
+  Tm &tm() const { return *M; }
+
+private:
+  static constexpr unsigned kNodeWords = 2; // word 0 = key, word 1 = next
+  static constexpr unsigned kKeyWord = 0;
+  static constexpr unsigned kNextWord = 1;
+
+  ObjectId headObj() const { return Head; }
+  ObjectId keyObj(uint64_t Node) const { return Alloc.wordObj(Node, kKeyWord); }
+  ObjectId nextObj(uint64_t Node) const {
+    return Alloc.wordObj(Node, kNextWord);
+  }
+
+  /// The sequential list walk: returns {object holding the incoming
+  /// "next" pointer, handle of the first node with key >= Key (or kNil)}.
+  struct Position {
+    ObjectId PrevNextObj;
+    uint64_t Node;
+  };
+  Position locate(TxRef &Tx, uint64_t Key);
+
+  Tm *M;
+  ObjectId Head;
+  TxAlloc Alloc;
+};
+
+} // namespace ds
+} // namespace ptm
+
+#endif // PTM_DS_TXSET_H

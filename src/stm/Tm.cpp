@@ -59,6 +59,8 @@ const char *ptm::abortCauseName(AbortCause Cause) {
     return "commit-validation";
   case AbortCause::AC_User:
     return "user";
+  case AbortCause::AC_CauseCount_:
+    break; // Sentinel, never a live value.
   }
   return "unknown";
 }

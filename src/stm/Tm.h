@@ -68,10 +68,17 @@ enum class AbortCause {
   AC_LockHeld,         ///< A needed lock/orec was held by a concurrent txn.
   AC_CommitValidation, ///< Commit-time validation of the read set failed.
   AC_User,             ///< The application aborted voluntarily.
+  AC_CauseCount_,      ///< Sentinel, not a cause: append new causes above.
 };
 
 /// Number of distinct AbortCause values (for stats arrays).
 inline constexpr unsigned kNumAbortCauses = 5;
+static_assert(kNumAbortCauses ==
+                  static_cast<unsigned>(AbortCause::AC_CauseCount_),
+              "kNumAbortCauses must track the AbortCause enumerator count — "
+              "a cause appended before AC_CauseCount_ moves the sentinel, so "
+              "this fires until the constant (and the stats arrays sized by "
+              "it) catch up");
 
 /// Short stable name for an abort cause.
 const char *abortCauseName(AbortCause Cause);

@@ -1,0 +1,65 @@
+//===-- workload/Driver.h - Shared workload-runner plumbing -----*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The plumbing every workload runner shares: fork/join over N threads
+/// with wall-clock timing of the parallel phase, per-thread PRNG stream
+/// derivation from (seed, thread id), and the TmStats -> RunResult
+/// reduction. Kept header-only and tiny so Workload.cpp and
+/// DsWorkload.cpp (and tests that roll custom drivers) agree on the
+/// determinism contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_WORKLOAD_DRIVER_H
+#define PTM_WORKLOAD_DRIVER_H
+
+#include "workload/Workload.h"
+
+#include "support/Random.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace ptm {
+
+/// Runs \p Body(t) for t in [0, Threads) on real threads and returns the
+/// wall-clock seconds of the parallel phase.
+template <typename Fn> double runParallel(unsigned Threads, Fn &&Body) {
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<std::thread> Workers;
+  Workers.reserve(Threads);
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&Body, T] { Body(static_cast<ThreadId>(T)); });
+  for (std::thread &W : Workers)
+    W.join();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(End - Start).count();
+}
+
+/// Derives thread \p Tid's PRNG stream from the run seed: every workload
+/// is reproducible from (Seed, Tid) alone.
+inline uint64_t threadSeed(uint64_t Seed, ThreadId Tid) {
+  SplitMix64 SM(Seed ^ (0x9e3779b97f4a7c15ULL * (Tid + 1)));
+  return SM.next();
+}
+
+/// Reduces \p M's aggregated counters plus the measured \p Seconds into a
+/// RunResult (ValueChecksum is left for the caller to fill).
+inline RunResult finalizeRun(Tm &M, double Seconds) {
+  RunResult R;
+  TmStats S = M.stats();
+  R.Commits = S.Commits;
+  R.Aborts = S.totalAborts();
+  R.Seconds = Seconds;
+  return R;
+}
+
+} // namespace ptm
+
+#endif // PTM_WORKLOAD_DRIVER_H

@@ -1,0 +1,154 @@
+//===-- workload/DsWorkload.cpp - Structure-scale STM workloads -----------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/DsWorkload.h"
+
+#include "ds/Ds.h"
+#include "support/Random.h"
+#include "support/Zipf.h"
+#include "workload/Driver.h"
+
+#include <atomic>
+#include <cassert>
+
+using namespace ptm;
+
+RunResult ptm::runDsSetMix(ds::TxSet &Set, unsigned Threads,
+                           uint64_t OpsPerThread, double InsertProb,
+                           double RemoveProb, uint64_t KeySpace, double Theta,
+                           uint64_t Seed) {
+  Tm &M = Set.tm();
+  assert(Threads <= M.maxThreads() && "more threads than TM slots");
+  assert(Set.allocator().nodeCapacity() >= KeySpace + Threads &&
+         "set capacity must cover the key space plus in-flight inserts");
+  M.resetStats();
+  ZipfDistribution Zipf(KeySpace, Theta);
+
+  double Seconds = runParallel(Threads, [&](ThreadId Tid) {
+    Xoshiro256 Rng(threadSeed(Seed, Tid));
+    for (uint64_t I = 0; I < OpsPerThread; ++I) {
+      uint64_t Key = Zipf.sample(Rng);
+      double Dice = Rng.nextDouble();
+      if (Dice < InsertProb)
+        Set.insert(Tid, Key);
+      else if (Dice < InsertProb + RemoveProb)
+        Set.remove(Tid, Key);
+      else
+        Set.contains(Tid, Key);
+    }
+  });
+
+  RunResult R = finalizeRun(M, Seconds);
+  R.ValueChecksum = Set.sampleKeys().size();
+  return R;
+}
+
+RunResult ptm::runDsMapMix(ds::TxMap &Map, unsigned Threads,
+                           uint64_t OpsPerThread, double GetProb,
+                           uint64_t KeySpace, double Theta, uint64_t Seed) {
+  Tm &M = Map.tm();
+  assert(Threads <= M.maxThreads() && "more threads than TM slots");
+  assert(Map.allocator().nodeCapacity() >= KeySpace + Threads &&
+         "map capacity must cover the key space plus in-flight puts");
+  M.resetStats();
+  ZipfDistribution Zipf(KeySpace, Theta);
+
+  double Seconds = runParallel(Threads, [&](ThreadId Tid) {
+    Xoshiro256 Rng(threadSeed(Seed, Tid));
+    for (uint64_t I = 0; I < OpsPerThread; ++I) {
+      uint64_t Key = Zipf.sample(Rng);
+      double Dice = Rng.nextDouble();
+      if (Dice < GetProb) {
+        uint64_t Value;
+        Map.get(Tid, Key, Value);
+      } else if (Dice < GetProb + (1.0 - GetProb) / 2) {
+        Map.put(Tid, Key, (static_cast<uint64_t>(Tid) << 48) | I);
+      } else {
+        Map.erase(Tid, Key);
+      }
+    }
+  });
+
+  RunResult R = finalizeRun(M, Seconds);
+  R.ValueChecksum = Map.sampleEntries().size();
+  return R;
+}
+
+RunResult ptm::runDsQueuePipeline(ds::TxQueue &Queue, unsigned Producers,
+                                  unsigned Consumers,
+                                  uint64_t ItemsPerProducer,
+                                  uint64_t *OrderViolations) {
+  Tm &M = Queue.tm();
+  assert(Producers > 0 && Consumers > 0 && "pipeline needs both ends");
+  assert(Producers + Consumers <= M.maxThreads() &&
+         "more threads than TM slots");
+  assert(Producers <= (1u << 15) && ItemsPerProducer < (1ULL << 48) &&
+         "tag encoding: 16-bit producer, 48-bit sequence");
+  M.resetStats();
+
+  const uint64_t Total = Producers * ItemsPerProducer;
+  std::atomic<uint64_t> Consumed{0};
+  std::atomic<uint64_t> Violations{0};
+
+  double Seconds = runParallel(Producers + Consumers, [&](ThreadId Tid) {
+    if (Tid < Producers) {
+      for (uint64_t Seq = 0; Seq < ItemsPerProducer; ++Seq) {
+        uint64_t Item = (static_cast<uint64_t>(Tid) << 48) | Seq;
+        while (!Queue.tryEnqueue(Tid, Item))
+          std::this_thread::yield();
+      }
+      return;
+    }
+    // Consumer: drain until the global count is reached, checking that
+    // each producer's items arrive in increasing sequence order (FIFO
+    // through a single queue preserves per-producer order per consumer
+    // only if dequeues are atomic — which is what the TM provides).
+    std::vector<int64_t> LastSeen(Producers, -1);
+    uint64_t Item;
+    while (Consumed.load(std::memory_order_relaxed) < Total) {
+      if (!Queue.tryDequeue(Tid, Item)) {
+        std::this_thread::yield();
+        continue;
+      }
+      Consumed.fetch_add(1);
+      unsigned P = static_cast<unsigned>(Item >> 48);
+      int64_t Seq = static_cast<int64_t>(Item & 0xffffffffffffULL);
+      if (P >= Producers || Seq <= LastSeen[P])
+        Violations.fetch_add(1);
+      if (P < Producers)
+        LastSeen[P] = Seq;
+    }
+  });
+
+  if (OrderViolations)
+    *OrderViolations = Violations.load();
+  RunResult R = finalizeRun(M, Seconds);
+  R.ValueChecksum = Consumed.load();
+  return R;
+}
+
+RunResult ptm::runDsCounterLoad(ds::TxCounter &Counter, unsigned Threads,
+                                uint64_t OpsPerThread, double ReadProb,
+                                uint64_t Seed) {
+  Tm &M = Counter.tm();
+  assert(Threads <= M.maxThreads() && "more threads than TM slots");
+  M.resetStats();
+
+  double Seconds = runParallel(Threads, [&](ThreadId Tid) {
+    Xoshiro256 Rng(threadSeed(Seed, Tid));
+    for (uint64_t I = 0; I < OpsPerThread; ++I) {
+      if (Rng.nextBool(ReadProb))
+        Counter.read(Tid);
+      else
+        Counter.add(Tid, 1);
+    }
+  });
+
+  RunResult R = finalizeRun(M, Seconds);
+  R.ValueChecksum = static_cast<uint64_t>(Counter.sampleTotal());
+  return R;
+}

@@ -1,0 +1,78 @@
+//===-- workload/DsWorkload.h - Structure-scale STM workloads ---*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic multi-threaded drivers over the src/ds/ transactional
+/// data structures — the structure-scale counterpart of Workload.h's flat
+/// object-array workloads. Thread t of a run derives its PRNG stream from
+/// (Seed, t) exactly as there, so every run is reproducible from its
+/// parameters. These are the workloads where the paper's read-set size m
+/// materializes as *structure shape*: set traversals grow the read set
+/// with the key range, map chains keep it near-constant, queue and
+/// counter transactions keep it at a handful of objects.
+///
+///  * set mix       — insert/remove/contains over a TxSet with Zipf keys;
+///  * map mix       — get/put/erase over a TxMap with Zipf keys;
+///  * queue pipeline— producers/consumers through one bounded TxQueue,
+///                    checking per-producer FIFO order end to end;
+///  * counter load  — striped increments with occasional precise reads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_WORKLOAD_DSWORKLOAD_H
+#define PTM_WORKLOAD_DSWORKLOAD_H
+
+#include "workload/Workload.h"
+
+namespace ptm {
+namespace ds {
+class TxCounter;
+class TxMap;
+class TxQueue;
+class TxSet;
+} // namespace ds
+
+/// Set mix: each of \p Threads threads performs \p OpsPerThread operations
+/// on \p Set with keys drawn Zipf(\p Theta) from [0, KeySpace): insert
+/// with probability \p InsertProb, remove with \p RemoveProb, contains
+/// otherwise. The set must have capacity for KeySpace keys plus one
+/// in-flight insert per thread. ValueChecksum = final set size (which
+/// callers can cross-check against sampleKeys()/sampleLiveNodes()).
+RunResult runDsSetMix(ds::TxSet &Set, unsigned Threads, uint64_t OpsPerThread,
+                      double InsertProb, double RemoveProb, uint64_t KeySpace,
+                      double Theta, uint64_t Seed);
+
+/// Map mix: get with probability \p GetProb, otherwise put/erase split
+/// evenly, keys Zipf(\p Theta) over [0, KeySpace), put values encode
+/// (thread, op index) so committed states stay diagnosable.
+/// ValueChecksum = final entry count.
+RunResult runDsMapMix(ds::TxMap &Map, unsigned Threads, uint64_t OpsPerThread,
+                      double GetProb, uint64_t KeySpace, double Theta,
+                      uint64_t Seed);
+
+/// Queue pipeline: \p Producers producer threads each push
+/// \p ItemsPerProducer tagged items through \p Queue while \p Consumers
+/// consumer threads drain it; both sides spin on full/empty. Thread ids
+/// [0, Producers) produce, [Producers, Producers+Consumers) consume.
+/// ValueChecksum = items consumed (must equal Producers *
+/// ItemsPerProducer); *OrderViolations (when non-null) counts
+/// per-producer FIFO inversions observed by consumers (must be 0).
+RunResult runDsQueuePipeline(ds::TxQueue &Queue, unsigned Producers,
+                             unsigned Consumers, uint64_t ItemsPerProducer,
+                             uint64_t *OrderViolations = nullptr);
+
+/// Counter load: each thread performs \p OpsPerThread operations on
+/// \p Counter — a precise all-stripe read with probability \p ReadProb,
+/// otherwise a +1 on its own stripe. ValueChecksum = final total (must
+/// equal the number of committed increments).
+RunResult runDsCounterLoad(ds::TxCounter &Counter, unsigned Threads,
+                           uint64_t OpsPerThread, double ReadProb,
+                           uint64_t Seed);
+
+} // namespace ptm
+
+#endif // PTM_WORKLOAD_DSWORKLOAD_H

@@ -10,47 +10,13 @@
 #include "stm/Atomically.h"
 #include "support/Random.h"
 #include "support/Zipf.h"
+#include "workload/Driver.h"
 
 #include <atomic>
 #include <cassert>
-#include <chrono>
-#include <thread>
 #include <vector>
 
 using namespace ptm;
-
-namespace {
-
-/// Runs \p Fn(t) on \p Threads threads, returns wall-clock seconds of the
-/// parallel phase.
-template <typename Fn> double runParallel(unsigned Threads, Fn &&Body) {
-  auto Start = std::chrono::steady_clock::now();
-  std::vector<std::thread> Workers;
-  Workers.reserve(Threads);
-  for (unsigned T = 0; T < Threads; ++T)
-    Workers.emplace_back([&Body, T] { Body(static_cast<ThreadId>(T)); });
-  for (std::thread &W : Workers)
-    W.join();
-  auto End = std::chrono::steady_clock::now();
-  return std::chrono::duration<double>(End - Start).count();
-}
-
-/// Derives a per-thread PRNG stream from (Seed, Tid).
-uint64_t threadSeed(uint64_t Seed, ThreadId Tid) {
-  SplitMix64 SM(Seed ^ (0x9e3779b97f4a7c15ULL * (Tid + 1)));
-  return SM.next();
-}
-
-RunResult finalize(Tm &M, double Seconds) {
-  RunResult R;
-  TmStats S = M.stats();
-  R.Commits = S.Commits;
-  R.Aborts = S.totalAborts();
-  R.Seconds = Seconds;
-  return R;
-}
-
-} // namespace
 
 RunResult ptm::runHotspot(Tm &M, unsigned Threads, uint64_t TxnsPerThread) {
   assert(Threads <= M.maxThreads() && "more threads than TM slots");
@@ -66,7 +32,7 @@ RunResult ptm::runHotspot(Tm &M, unsigned Threads, uint64_t TxnsPerThread) {
     }
   });
 
-  RunResult R = finalize(M, Seconds);
+  RunResult R = finalizeRun(M, Seconds);
   R.ValueChecksum = M.sample(0);
   return R;
 }
@@ -95,7 +61,7 @@ RunResult ptm::runDisjoint(Tm &M, unsigned Threads, uint64_t TxnsPerThread,
     }
   });
 
-  RunResult R = finalize(M, Seconds);
+  RunResult R = finalizeRun(M, Seconds);
   for (ObjectId Obj = 0; Obj < Threads * PartitionSize; ++Obj)
     R.ValueChecksum += M.sample(Obj);
   return R;
@@ -130,7 +96,7 @@ RunResult ptm::runZipfMix(Tm &M, unsigned Threads, uint64_t TxnsPerThread,
     }
   });
 
-  RunResult R = finalize(M, Seconds);
+  RunResult R = finalizeRun(M, Seconds);
   for (ObjectId Obj = 0; Obj < M.numObjects(); ++Obj)
     R.ValueChecksum += M.sample(Obj);
   return R;
@@ -164,7 +130,7 @@ RunResult ptm::runBank(Tm &M, unsigned Threads, uint64_t TransfersPerThread,
     }
   });
 
-  RunResult R = finalize(M, Seconds);
+  RunResult R = finalizeRun(M, Seconds);
   for (ObjectId A = 0; A < Accounts; ++A)
     R.ValueChecksum += M.sample(A);
   return R;
@@ -210,7 +176,7 @@ RunResult ptm::runReadSweepWithWriters(Tm &M, unsigned Threads,
     }
   });
 
-  RunResult R = finalize(M, Seconds);
+  RunResult R = finalizeRun(M, Seconds);
   R.ValueChecksum = ReadOnlyCommits.load();
   return R;
 }

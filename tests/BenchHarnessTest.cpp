@@ -464,6 +464,37 @@ TEST(CliTest, SmokeAdjustsRepetitionDefaults) {
   EXPECT_EQ(Opts2.Config.Warmup, 0u);
 }
 
+TEST(CliTest, ListFlag) {
+  const char *Argv[] = {"bench", "--list"};
+  CliOptions Opts;
+  std::string Error;
+  ASSERT_TRUE(parseCliOptions(2, Argv, Opts, Error)) << Error;
+  EXPECT_TRUE(Opts.List);
+  EXPECT_FALSE(Opts.Help);
+
+  // --list composes with --filter (list only the matching benchmarks).
+  const char *Argv2[] = {"bench", "--list", "--filter", "ds_*"};
+  CliOptions Opts2;
+  ASSERT_TRUE(parseCliOptions(4, Argv2, Opts2, Error)) << Error;
+  EXPECT_TRUE(Opts2.List);
+  EXPECT_EQ(Opts2.Filter, "ds_*");
+}
+
+TEST(CliTest, ListRendersNameFamilyAndClaim) {
+  Registry R = makeSyntheticRegistry();
+  std::string Out;
+  StringOStream OS(Out);
+  printBenchList(OS, defPtrs(R));
+  // Header plus one row per registered benchmark.
+  EXPECT_NE(Out.find("benchmark"), std::string::npos);
+  EXPECT_NE(Out.find("family"), std::string::npos);
+  EXPECT_NE(Out.find("paper claim"), std::string::npos);
+  EXPECT_NE(Out.find("synthetic_counts"), std::string::npos);
+  EXPECT_NE(Out.find("synthetic_measure"), std::string::npos);
+  EXPECT_NE(Out.find("claim A"), std::string::npos);
+  EXPECT_NE(Out.find("claim B"), std::string::npos);
+}
+
 TEST(CliTest, Errors) {
   CliOptions Opts;
   std::string Error;

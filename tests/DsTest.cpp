@@ -1,0 +1,654 @@
+//===-- tests/DsTest.cpp - Transactional data-structure tests -------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// The src/ds/ library test suite, in four tiers:
+///
+///  1. sequential unit tests per structure (allocator reuse and abort
+///     rollback, set/map/queue/counter semantics), parameterized over
+///     every TmKind;
+///  2. randomized differential stress against the obvious std::
+///     reference (std::set / std::map / std::deque), again across every
+///     TmKind including tml — in sequential runs a TM must never abort
+///     involuntarily and must match the reference op-for-op;
+///  3. deterministic conflict scripts: two descriptor slots driven from
+///     one thread force a conflicting insert/remove interleaving (the
+///     unlink must invalidate the in-flight insert's traversal) and a
+///     disjoint read/update pair (both must commit);
+///  4. schedule-driven churn: real threads serialized through a seeded
+///     RandomInterleaver hammer one TxSet, with invariant and
+///     reclamation checks at the end.
+///
+//===----------------------------------------------------------------------===//
+
+#include "ds/Ds.h"
+#include "runtime/Instrumentation.h"
+#include "runtime/Interleaver.h"
+#include "stm/Stm.h"
+#include "support/Random.h"
+#include "workload/DsWorkload.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+using namespace ptm;
+using namespace ptm::ds;
+
+namespace {
+
+std::string kindName(TmKind Kind) {
+  std::string Name = tmKindName(Kind);
+  for (char &C : Name)
+    if (C == '-')
+      C = '_';
+  return Name;
+}
+
+//===----------------------------------------------------------------------===//
+// Tier 1: sequential unit tests, one fixture per structure
+//===----------------------------------------------------------------------===//
+
+class DsKindTest : public ::testing::TestWithParam<TmKind> {};
+
+std::string kindParamName(const ::testing::TestParamInfo<TmKind> &Info) {
+  return kindName(Info.param);
+}
+
+TEST_P(DsKindTest, AllocReusesReleasedNodesLifo) {
+  auto M = createTm(GetParam(), TxAlloc::objectsNeeded(2, 4), 1);
+  TxAlloc Alloc(*M, 0, /*NodeWords=*/2, /*NodeCapacity=*/4);
+
+  uint64_t A = kNil, B = kNil;
+  ASSERT_TRUE(atomically(*M, 0, [&](TxRef &Tx) {
+    A = Alloc.allocate(Tx);
+    B = Alloc.allocate(Tx);
+  }));
+  EXPECT_EQ(A, 0u);
+  EXPECT_EQ(B, 1u);
+  EXPECT_EQ(Alloc.sampleLiveCount(), 2u);
+
+  ASSERT_TRUE(atomically(*M, 0, [&](TxRef &Tx) { Alloc.release(Tx, A); }));
+  EXPECT_EQ(Alloc.sampleLiveCount(), 1u);
+  EXPECT_EQ(Alloc.sampleFreeCount(), 1u);
+
+  // The freed node comes back before the bump cursor moves.
+  uint64_t C = kNil;
+  ASSERT_TRUE(
+      atomically(*M, 0, [&](TxRef &Tx) { C = Alloc.allocate(Tx); }));
+  EXPECT_EQ(C, A);
+  EXPECT_EQ(Alloc.sampleEverAllocated(), 2u);
+}
+
+TEST_P(DsKindTest, AllocExhaustionAndAbortRollback) {
+  auto M = createTm(GetParam(), TxAlloc::objectsNeeded(1, 2), 1);
+  TxAlloc Alloc(*M, 0, /*NodeWords=*/1, /*NodeCapacity=*/2);
+
+  uint64_t Third = 0;
+  ASSERT_TRUE(atomically(*M, 0, [&](TxRef &Tx) {
+    Alloc.allocate(Tx);
+    Alloc.allocate(Tx);
+    Third = Alloc.allocate(Tx);
+  }));
+  EXPECT_EQ(Third, kNil) << "capacity 2 must refuse a third node";
+  EXPECT_EQ(Alloc.sampleLiveCount(), 2u);
+
+  // A voluntarily aborted allocation must leave no trace.
+  Alloc.reset();
+  bool Committed = atomically(*M, 0, [&](TxRef &Tx) {
+    Alloc.allocate(Tx);
+    Tx.userAbort();
+  });
+  EXPECT_FALSE(Committed);
+  EXPECT_EQ(Alloc.sampleEverAllocated(), 0u);
+  EXPECT_EQ(Alloc.sampleLiveCount(), 0u);
+}
+
+TEST_P(DsKindTest, SetInsertRemoveContains) {
+  auto M = createTm(GetParam(), TxSet::objectsNeeded(8), 1);
+  TxSet Set(*M, 0, 8);
+
+  EXPECT_FALSE(Set.contains(0u, 5));
+  EXPECT_TRUE(Set.insert(0u, 5));
+  EXPECT_FALSE(Set.insert(0u, 5)) << "duplicate insert must fail";
+  EXPECT_TRUE(Set.insert(0u, 1));
+  EXPECT_TRUE(Set.insert(0u, 9));
+  EXPECT_TRUE(Set.contains(0u, 5));
+  EXPECT_FALSE(Set.contains(0u, 4));
+  EXPECT_EQ(Set.sampleKeys(), (std::vector<uint64_t>{1, 5, 9}));
+
+  EXPECT_TRUE(Set.remove(0u, 5));
+  EXPECT_FALSE(Set.remove(0u, 5)) << "double remove must fail";
+  EXPECT_FALSE(Set.contains(0u, 5));
+  EXPECT_EQ(Set.sampleKeys(), (std::vector<uint64_t>{1, 9}));
+  EXPECT_EQ(Set.sampleLiveNodes(), 2u);
+}
+
+TEST_P(DsKindTest, SetChurnRunsInBoundedSpace) {
+  // Insert/remove the same keys far more often than the capacity could
+  // absorb without reclamation: the region holds 4 nodes, the churn
+  // performs 64 inserts.
+  auto M = createTm(GetParam(), TxSet::objectsNeeded(4), 1);
+  TxSet Set(*M, 0, 4);
+
+  for (int Round = 0; Round < 32; ++Round) {
+    bool OutOfMemory = false;
+    ASSERT_TRUE(Set.insert(0u, 10, &OutOfMemory)) << "round " << Round;
+    ASSERT_FALSE(OutOfMemory);
+    ASSERT_TRUE(Set.insert(0u, 20, &OutOfMemory)) << "round " << Round;
+    ASSERT_FALSE(OutOfMemory);
+    ASSERT_TRUE(Set.remove(0u, 10));
+    ASSERT_TRUE(Set.remove(0u, 20));
+  }
+  EXPECT_EQ(Set.sampleLiveNodes(), 0u);
+  EXPECT_LE(Set.allocator().sampleEverAllocated(), 4u);
+}
+
+TEST_P(DsKindTest, SetOutOfMemoryIsReported) {
+  auto M = createTm(GetParam(), TxSet::objectsNeeded(2), 1);
+  TxSet Set(*M, 0, 2);
+  EXPECT_TRUE(Set.insert(0u, 1));
+  EXPECT_TRUE(Set.insert(0u, 2));
+  bool OutOfMemory = false;
+  EXPECT_FALSE(Set.insert(0u, 3, &OutOfMemory));
+  EXPECT_TRUE(OutOfMemory);
+  // The failed insert must not have corrupted the set.
+  EXPECT_EQ(Set.sampleKeys(), (std::vector<uint64_t>{1, 2}));
+}
+
+TEST_P(DsKindTest, MapPutGetEraseWithCollisions) {
+  // Two buckets force chain collisions on any key distribution.
+  auto M = createTm(GetParam(), TxMap::objectsNeeded(2, 8), 1);
+  TxMap Map(*M, 0, /*BucketCount=*/2, /*KeyCapacity=*/8);
+
+  uint64_t Value = 0;
+  EXPECT_FALSE(Map.get(0u, 7, Value));
+  for (uint64_t K = 0; K < 6; ++K) {
+    bool Inserted = false;
+    ASSERT_TRUE(Map.put(0u, K, 100 + K, &Inserted));
+    EXPECT_TRUE(Inserted);
+  }
+  for (uint64_t K = 0; K < 6; ++K) {
+    ASSERT_TRUE(Map.get(0u, K, Value));
+    EXPECT_EQ(Value, 100 + K);
+  }
+
+  // Update in place: no new node, value changes.
+  bool Inserted = true;
+  ASSERT_TRUE(Map.put(0u, 3, 999, &Inserted));
+  EXPECT_FALSE(Inserted);
+  ASSERT_TRUE(Map.get(0u, 3, Value));
+  EXPECT_EQ(Value, 999u);
+  EXPECT_EQ(Map.sampleLiveNodes(), 6u);
+
+  EXPECT_TRUE(Map.erase(0u, 3));
+  EXPECT_FALSE(Map.erase(0u, 3));
+  EXPECT_FALSE(Map.get(0u, 3, Value));
+  EXPECT_EQ(Map.sampleLiveNodes(), 5u);
+  EXPECT_EQ(Map.sampleEntries().size(), 5u);
+}
+
+TEST_P(DsKindTest, QueueFifoWraparoundAndBounds) {
+  auto M = createTm(GetParam(), TxQueue::objectsNeeded(3), 1);
+  TxQueue Queue(*M, 0, 3);
+
+  uint64_t Item = 0;
+  EXPECT_FALSE(Queue.tryDequeue(0u, Item)) << "empty queue must refuse";
+  EXPECT_TRUE(Queue.tryEnqueue(0u, 11));
+  EXPECT_TRUE(Queue.tryEnqueue(0u, 22));
+  EXPECT_TRUE(Queue.tryEnqueue(0u, 33));
+  EXPECT_FALSE(Queue.tryEnqueue(0u, 44)) << "full queue must refuse";
+  EXPECT_EQ(Queue.sampleSize(), 3u);
+
+  // Drain/refill across the ring seam: indices keep growing, slots wrap.
+  Queue.clear();
+  uint64_t Next = 0, Expect = 0;
+  for (int I = 0; I < 10; ++I) {
+    ASSERT_TRUE(Queue.tryEnqueue(0u, Next++));
+    ASSERT_TRUE(Queue.tryEnqueue(0u, Next++));
+    ASSERT_TRUE(Queue.tryDequeue(0u, Item));
+    EXPECT_EQ(Item, Expect++);
+    ASSERT_TRUE(Queue.tryDequeue(0u, Item));
+    EXPECT_EQ(Item, Expect++);
+  }
+  EXPECT_EQ(Queue.sampleSize(), 0u);
+}
+
+TEST_P(DsKindTest, CounterStripesAndPreciseRead) {
+  auto M = createTm(GetParam(), TxCounter::objectsNeeded(4), 1);
+  TxCounter Counter(*M, 0, 4);
+
+  // Hints spread over the stripes; the precise read sums them all.
+  for (ThreadId Hint = 0; Hint < 8; ++Hint)
+    ASSERT_TRUE(atomically(*M, 0, [&](TxRef &Tx) {
+      Counter.add(Tx, Hint, static_cast<int64_t>(Hint));
+    }));
+  EXPECT_EQ(Counter.read(0u), 0 + 1 + 2 + 3 + 4 + 5 + 6 + 7);
+  EXPECT_EQ(Counter.sampleTotal(), 28);
+
+  ASSERT_TRUE(Counter.add(0u, -28));
+  EXPECT_EQ(Counter.read(0u), 0);
+}
+
+TEST_P(DsKindTest, ComposedCrossStructureTransaction) {
+  // One atomic step spanning two structures: move a key from set A to
+  // set B and bump a counter — either all three happen or none.
+  unsigned SetObjs = TxSet::objectsNeeded(4);
+  auto M = createTm(GetParam(), 2 * SetObjs + TxCounter::objectsNeeded(2), 1);
+  TxSet A(*M, 0, 4);
+  TxSet B(*M, SetObjs, 4);
+  TxCounter Moves(*M, 2 * SetObjs, 2);
+
+  ASSERT_TRUE(A.insert(0u, 42));
+  bool Moved = false;
+  ASSERT_TRUE(atomically(*M, 0, [&](TxRef &Tx) {
+    Moved = A.remove(Tx, 42) && B.insert(Tx, 42);
+    if (Moved)
+      Moves.add(Tx, 0, 1);
+  }));
+  EXPECT_TRUE(Moved);
+  EXPECT_TRUE(A.sampleKeys().empty());
+  EXPECT_EQ(B.sampleKeys(), (std::vector<uint64_t>{42}));
+  EXPECT_EQ(Moves.sampleTotal(), 1);
+
+  // Moving a missing key commits as a no-op (the remove fails, nothing
+  // else runs) — composition makes the partial update impossible.
+  ASSERT_TRUE(atomically(*M, 0, [&](TxRef &Tx) {
+    Moved = A.remove(Tx, 7) && B.insert(Tx, 7);
+    if (Moved)
+      Moves.add(Tx, 0, 1);
+  }));
+  EXPECT_FALSE(Moved);
+  EXPECT_EQ(Moves.sampleTotal(), 1);
+}
+
+TEST_P(DsKindTest, ComposedMoveAbortsWhenDestinationIsFull) {
+  // The README's move idiom: if the destination rejects the insert
+  // (region exhausted), the mover must userAbort so the committed state
+  // never shows a half-done move — the key stays in the source.
+  unsigned SetObjs = TxSet::objectsNeeded(2);
+  auto M = createTm(GetParam(), 2 * SetObjs, 1);
+  TxSet A(*M, 0, 2);
+  TxSet B(*M, SetObjs, /*KeyCapacity=*/2);
+  ASSERT_TRUE(A.insert(0u, 42));
+  ASSERT_TRUE(B.insert(0u, 1));
+  ASSERT_TRUE(B.insert(0u, 2)); // B's region is now exhausted.
+
+  bool Committed = atomically(*M, 0, [&](TxRef &Tx) {
+    if (A.remove(Tx, 42) && !B.insert(Tx, 42))
+      Tx.userAbort();
+  });
+  EXPECT_FALSE(Committed);
+  EXPECT_EQ(A.sampleKeys(), (std::vector<uint64_t>{42}))
+      << "an aborted move must leave the source untouched";
+  EXPECT_EQ(B.sampleKeys(), (std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(A.sampleLiveNodes(), 1u);
+  EXPECT_EQ(B.sampleLiveNodes(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, DsKindTest,
+                         ::testing::ValuesIn(allTmKinds()), kindParamName);
+
+//===----------------------------------------------------------------------===//
+// Tier 2: randomized differential stress vs std:: references
+//===----------------------------------------------------------------------===//
+
+using DiffParam = std::tuple<TmKind, uint64_t>;
+
+class DsDifferentialTest : public ::testing::TestWithParam<DiffParam> {};
+
+std::string diffParamName(const ::testing::TestParamInfo<DiffParam> &Info) {
+  return kindName(std::get<0>(Info.param)) + "_seed" +
+         std::to_string(std::get<1>(Info.param));
+}
+
+TEST_P(DsDifferentialTest, SetMatchesStdSet) {
+  auto [Kind, Seed] = GetParam();
+  constexpr uint64_t KeySpace = 16;
+  auto M = createTm(Kind, TxSet::objectsNeeded(KeySpace), 1);
+  TxSet Set(*M, 0, KeySpace);
+  std::set<uint64_t> Ref;
+  Xoshiro256 Rng(Seed);
+
+  for (int I = 0; I < 3000; ++I) {
+    uint64_t Key = Rng.nextBounded(KeySpace);
+    double Dice = Rng.nextDouble();
+    if (Dice < 0.4) {
+      EXPECT_EQ(Set.insert(0u, Key), Ref.insert(Key).second)
+          << "insert(" << Key << ") diverged at op " << I;
+    } else if (Dice < 0.7) {
+      EXPECT_EQ(Set.remove(0u, Key), Ref.erase(Key) == 1)
+          << "remove(" << Key << ") diverged at op " << I;
+    } else {
+      EXPECT_EQ(Set.contains(0u, Key), Ref.count(Key) == 1)
+          << "contains(" << Key << ") diverged at op " << I;
+    }
+  }
+  EXPECT_EQ(Set.sampleKeys(),
+            std::vector<uint64_t>(Ref.begin(), Ref.end()));
+  EXPECT_EQ(Set.sampleLiveNodes(), Ref.size());
+}
+
+TEST_P(DsDifferentialTest, MapMatchesStdMap) {
+  auto [Kind, Seed] = GetParam();
+  constexpr uint64_t KeySpace = 16;
+  auto M = createTm(Kind, TxMap::objectsNeeded(4, KeySpace), 1);
+  TxMap Map(*M, 0, /*BucketCount=*/4, KeySpace);
+  std::map<uint64_t, uint64_t> Ref;
+  Xoshiro256 Rng(Seed ^ 0x3a97UL);
+
+  for (int I = 0; I < 3000; ++I) {
+    uint64_t Key = Rng.nextBounded(KeySpace);
+    double Dice = Rng.nextDouble();
+    if (Dice < 0.4) {
+      uint64_t Value = Rng.nextBounded(1000);
+      bool Inserted = false;
+      ASSERT_TRUE(Map.put(0u, Key, Value, &Inserted));
+      EXPECT_EQ(Inserted, Ref.find(Key) == Ref.end())
+          << "put(" << Key << ") diverged at op " << I;
+      Ref[Key] = Value;
+    } else if (Dice < 0.6) {
+      EXPECT_EQ(Map.erase(0u, Key), Ref.erase(Key) == 1)
+          << "erase(" << Key << ") diverged at op " << I;
+    } else {
+      uint64_t Got = 0;
+      auto It = Ref.find(Key);
+      EXPECT_EQ(Map.get(0u, Key, Got), It != Ref.end())
+          << "get(" << Key << ") presence diverged at op " << I;
+      if (It != Ref.end()) {
+        EXPECT_EQ(Got, It->second) << "get(" << Key << ") value diverged";
+      }
+    }
+  }
+  std::map<uint64_t, uint64_t> Final;
+  for (auto [K, V] : Map.sampleEntries())
+    Final[K] = V;
+  EXPECT_EQ(Final, Ref);
+  EXPECT_EQ(Map.sampleLiveNodes(), Ref.size());
+}
+
+TEST_P(DsDifferentialTest, QueueMatchesStdDeque) {
+  auto [Kind, Seed] = GetParam();
+  constexpr uint64_t Capacity = 5;
+  auto M = createTm(Kind, TxQueue::objectsNeeded(Capacity), 1);
+  TxQueue Queue(*M, 0, Capacity);
+  std::deque<uint64_t> Ref;
+  Xoshiro256 Rng(Seed * 977 + 5);
+
+  for (int I = 0; I < 3000; ++I) {
+    if (Rng.nextBool(0.55)) {
+      uint64_t Item = Rng.next();
+      EXPECT_EQ(Queue.tryEnqueue(0u, Item), Ref.size() < Capacity)
+          << "enqueue fullness diverged at op " << I;
+      if (Ref.size() < Capacity)
+        Ref.push_back(Item);
+    } else {
+      uint64_t Item = 0;
+      bool Got = Queue.tryDequeue(0u, Item);
+      EXPECT_EQ(Got, !Ref.empty()) << "dequeue diverged at op " << I;
+      if (Got) {
+        EXPECT_EQ(Item, Ref.front()) << "FIFO order diverged at op " << I;
+        Ref.pop_front();
+      }
+    }
+  }
+  EXPECT_EQ(Queue.sampleSize(), Ref.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DsDifferentialTest,
+    ::testing::Combine(::testing::ValuesIn(allTmKinds()),
+                       ::testing::Values(1u, 2u)),
+    diffParamName);
+
+//===----------------------------------------------------------------------===//
+// Tier 3: deterministic conflict scripts (two descriptor slots)
+//===----------------------------------------------------------------------===//
+
+/// The lazy-update TMs, against which mid-transaction interleavings can
+/// be expressed without blocking (same set as StmInterleavedTest).
+class DsInterleavedTest : public ::testing::TestWithParam<TmKind> {
+protected:
+  void SetUp() override {
+    M = createTm(GetParam(), TxSet::objectsNeeded(8), 2);
+    Set.emplace(*M, 0, 8);
+    ASSERT_TRUE(Set->insert(0u, 10));
+    ASSERT_TRUE(Set->insert(0u, 20));
+    ASSERT_TRUE(Set->insert(0u, 30));
+    M->resetStats();
+  }
+  std::unique_ptr<Tm> M;
+  std::optional<TxSet> Set;
+};
+
+TEST_P(DsInterleavedTest, ConcurrentRemoveInvalidatesInFlightInsert) {
+  // T0 walks the list to insert 25 (its traversal reads node 20); T1
+  // unlinks 20 and commits first. T0's snapshot is now stale: its commit
+  // MUST fail, and the retry must land 25 in the post-remove list.
+  M->txBegin(0);
+  TxRef Tx0(*M, 0);
+  ASSERT_TRUE(Set->insert(Tx0, 25));
+  ASSERT_FALSE(Tx0.failed()) << "solo traversal must not abort";
+
+  M->txBegin(1);
+  TxRef Tx1(*M, 1);
+  ASSERT_TRUE(Set->remove(Tx1, 20));
+  ASSERT_FALSE(Tx1.failed());
+
+  EXPECT_TRUE(M->txCommit(1)) << "first committer must win";
+  EXPECT_FALSE(M->txCommit(0))
+      << "insert over a concurrently-unlinked node must not commit";
+
+  // The aborted insert retries like any application op and succeeds.
+  EXPECT_TRUE(Set->insert(0u, 25));
+  EXPECT_EQ(Set->sampleKeys(), (std::vector<uint64_t>{10, 25, 30}));
+  EXPECT_EQ(Set->sampleLiveNodes(), 3u);
+  // Reclamation across the conflict: the retry reused node 20's slot,
+  // so the region never grew past the three prefill nodes plus one.
+  EXPECT_LE(Set->allocator().sampleEverAllocated(), 4u);
+}
+
+TEST_P(DsInterleavedTest, DisjointReadAndUpdateBothCommit) {
+  // T0's contains(10) reads only the list prefix; T1's insert(40)
+  // appends at the tail. No read-write intersection: both must commit
+  // (progressiveness at structure granularity).
+  M->txBegin(0);
+  TxRef Tx0(*M, 0);
+  bool Found = Set->contains(Tx0, 10);
+  ASSERT_FALSE(Tx0.failed());
+  EXPECT_TRUE(Found);
+
+  M->txBegin(1);
+  TxRef Tx1(*M, 1);
+  ASSERT_TRUE(Set->insert(Tx1, 40));
+  ASSERT_FALSE(Tx1.failed());
+
+  EXPECT_TRUE(M->txCommit(1));
+  EXPECT_TRUE(M->txCommit(0))
+      << "a prefix-only reader must survive a tail update";
+  EXPECT_EQ(Set->sampleKeys(), (std::vector<uint64_t>{10, 20, 30, 40}));
+}
+
+INSTANTIATE_TEST_SUITE_P(LazyKinds, DsInterleavedTest,
+                         ::testing::Values(TmKind::TK_Tl2, TmKind::TK_Norec,
+                                           TmKind::TK_OrecIncremental),
+                         kindParamName);
+
+//===----------------------------------------------------------------------===//
+// Tier 4: schedule-driven and free-running concurrency
+//===----------------------------------------------------------------------===//
+
+using ChurnParam = std::tuple<TmKind, uint64_t>;
+
+class DsScheduledChurnTest : public ::testing::TestWithParam<ChurnParam> {};
+
+TEST_P(DsScheduledChurnTest, InvariantsHoldUnderInterleavedChurn) {
+  auto [Kind, Seed] = GetParam();
+  constexpr unsigned Threads = 2;
+  constexpr uint64_t KeySpace = 6;
+  constexpr unsigned OpsPerThread = 24;
+  constexpr uint64_t Capacity = KeySpace + Threads;
+
+  auto M = createTm(Kind, TxSet::objectsNeeded(Capacity), Threads);
+  TxSet Set(*M, 0, Capacity);
+  RandomInterleaver Sched(Threads, Seed);
+
+  std::atomic<int64_t> NetInserted{0};
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T) {
+    Workers.emplace_back([&, T, SeedCopy = Seed] {
+      Instrumentation Instr(T, nullptr, &Sched);
+      {
+        ScopedInstrumentation Scope(Instr);
+        Xoshiro256 Rng(SeedCopy * 131 + T);
+        for (unsigned I = 0; I < OpsPerThread; ++I) {
+          uint64_t Key = Rng.nextBounded(KeySpace);
+          bool Result = false;
+          // Capped attempts so symmetric-contention livelocks (the
+          // TLRW caveat of E9) terminate; uncommitted ops simply do
+          // not count toward the net-insert ledger.
+          if (Rng.nextBool(0.5)) {
+            if (atomically(
+                    *M, T, [&](TxRef &Tx) { Result = Set.insert(Tx, Key); },
+                    /*MaxAttempts=*/200) &&
+                Result)
+              NetInserted.fetch_add(1);
+          } else {
+            if (atomically(
+                    *M, T, [&](TxRef &Tx) { Result = Set.remove(Tx, Key); },
+                    /*MaxAttempts=*/200) &&
+                Result)
+              NetInserted.fetch_sub(1);
+          }
+        }
+      }
+      Sched.retire(T);
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+
+  std::vector<uint64_t> Keys = Set.sampleKeys();
+  for (size_t I = 1; I < Keys.size(); ++I)
+    EXPECT_LT(Keys[I - 1], Keys[I]) << "list must stay strictly sorted";
+  for (uint64_t Key : Keys)
+    EXPECT_LT(Key, KeySpace);
+  EXPECT_EQ(static_cast<int64_t>(Keys.size()), NetInserted.load())
+      << "size must equal successful inserts minus removes";
+  EXPECT_EQ(Set.sampleLiveNodes(), Keys.size())
+      << "every unlinked node must be back on the free list";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DsScheduledChurnTest,
+    ::testing::Combine(::testing::ValuesIn(allTmKinds()),
+                       ::testing::Values(7u, 21u)),
+    [](const ::testing::TestParamInfo<ChurnParam> &Info) {
+      return kindName(std::get<0>(Info.param)) + "_seed" +
+             std::to_string(std::get<1>(Info.param));
+    });
+
+class DsStressTest : public ::testing::TestWithParam<TmKind> {};
+
+TEST_P(DsStressTest, FreeRunningSetChurnKeepsInvariants) {
+  constexpr unsigned Threads = 4;
+  constexpr uint64_t KeySpace = 32;
+  constexpr int OpsPerThread = 1500;
+  constexpr uint64_t Capacity = KeySpace + Threads;
+
+  auto M = createTm(GetParam(), TxSet::objectsNeeded(Capacity), Threads);
+  TxSet Set(*M, 0, Capacity);
+
+  std::atomic<int64_t> NetInserted{0};
+  std::atomic<uint64_t> OutOfMemory{0};
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T) {
+    Workers.emplace_back([&, T] {
+      Xoshiro256 Rng(T * 7919 + 3);
+      for (int I = 0; I < OpsPerThread; ++I) {
+        uint64_t Key = Rng.nextBounded(KeySpace);
+        double Dice = Rng.nextDouble();
+        if (Dice < 0.4) {
+          bool Oom = false;
+          if (Set.insert(T, Key, &Oom))
+            NetInserted.fetch_add(1);
+          if (Oom)
+            OutOfMemory.fetch_add(1);
+        } else if (Dice < 0.7) {
+          if (Set.remove(T, Key))
+            NetInserted.fetch_sub(1);
+        } else {
+          (void)Set.contains(T, Key);
+        }
+      }
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+
+  std::vector<uint64_t> Keys = Set.sampleKeys();
+  for (size_t I = 1; I < Keys.size(); ++I)
+    EXPECT_LT(Keys[I - 1], Keys[I]);
+  EXPECT_EQ(static_cast<int64_t>(Keys.size()), NetInserted.load());
+  EXPECT_EQ(Set.sampleLiveNodes(), Keys.size());
+  EXPECT_EQ(OutOfMemory.load(), 0u)
+      << "KeySpace + Threads capacity must absorb unbounded churn";
+}
+
+TEST_P(DsStressTest, QueuePipelineLosesNothing) {
+  auto M = createTm(GetParam(), TxQueue::objectsNeeded(4), 4);
+  TxQueue Queue(*M, 0, 4);
+  uint64_t OrderViolations = 0;
+  RunResult R = runDsQueuePipeline(Queue, /*Producers=*/2, /*Consumers=*/2,
+                                   /*ItemsPerProducer=*/2500,
+                                   &OrderViolations);
+  EXPECT_EQ(R.ValueChecksum, 5000u);
+  EXPECT_EQ(OrderViolations, 0u);
+  EXPECT_EQ(Queue.sampleSize(), 0u);
+  EXPECT_GE(R.Commits, 5000u * 2);
+}
+
+TEST_P(DsStressTest, CounterNeverLosesIncrements) {
+  constexpr unsigned Threads = 4;
+  constexpr uint64_t Increments = 2000;
+  auto M = createTm(GetParam(), TxCounter::objectsNeeded(Threads), Threads);
+  TxCounter Counter(*M, 0, Threads);
+  RunResult R = runDsCounterLoad(Counter, Threads, Increments,
+                                 /*ReadProb=*/0.0, 42);
+  EXPECT_EQ(R.ValueChecksum, Threads * Increments);
+  EXPECT_EQ(Counter.sampleTotal(),
+            static_cast<int64_t>(Threads * Increments));
+}
+
+TEST_P(DsStressTest, MapMixStaysWithinKeySpace) {
+  constexpr unsigned Threads = 4;
+  constexpr uint64_t KeySpace = 24;
+  auto M = createTm(GetParam(),
+                    TxMap::objectsNeeded(4, KeySpace + Threads), Threads);
+  TxMap Map(*M, 0, 4, KeySpace + Threads);
+  RunResult R = runDsMapMix(Map, Threads, /*OpsPerThread=*/1500,
+                            /*GetProb=*/0.5, KeySpace, /*Theta=*/0.8, 42);
+  auto Entries = Map.sampleEntries();
+  EXPECT_EQ(R.ValueChecksum, Entries.size());
+  std::set<uint64_t> Seen;
+  for (auto [K, V] : Entries) {
+    EXPECT_LT(K, KeySpace);
+    EXPECT_TRUE(Seen.insert(K).second) << "duplicate key " << K;
+  }
+  EXPECT_EQ(Map.sampleLiveNodes(), Entries.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, DsStressTest,
+                         ::testing::ValuesIn(allTmKinds()), kindParamName);
+
+} // namespace
