@@ -47,6 +47,17 @@ uint64_t TxAlloc::allocate(TxRef &Tx) {
 bool TxAlloc::release(TxRef &Tx, uint64_t Node) {
   assert(Node < Capacity && "releasing a handle outside the region");
   uint64_t Free = Tx.readOr(freeObj(), kNil);
+#ifndef NDEBUG
+  // Debug-mode double-release check: a node already on the free list must
+  // not be pushed again — its word 0 would be clobbered with a link to
+  // itself (directly or via the new head), tying the free list into a
+  // cycle that a later sampleFreeCount()/allocate() walks forever. The
+  // walk is transactional, so it observes this transaction's own releases
+  // and costs shared-memory steps only in debug builds.
+  for (uint64_t Cur = Free; Cur != kNil && !Tx.failed();
+       Cur = Tx.readOr(wordObj(Cur, 0), kNil))
+    assert(Cur != Node && "double release: node is already on the free list");
+#endif
   return Tx.write(wordObj(Node, 0), Free) && Tx.write(freeObj(), Node);
 }
 

@@ -62,6 +62,8 @@ public:
 
   /// Returns \p Node to the free list inside \p Tx (clobbering its word
   /// 0 with the free-list link). False once the transaction failed.
+  /// Releasing a node that is already free is undefined (it would tie the
+  /// free list into a cycle); debug builds walk the list and assert.
   bool release(TxRef &Tx, uint64_t Node);
 
   /// The t-object holding word \p Word of node \p Node.

@@ -100,24 +100,28 @@ private:
 /// contention aborts with exponential backoff. Returns true iff a commit
 /// succeeded. \p MaxAttempts of 0 means "retry until committed or
 /// voluntarily aborted".
-template <typename BodyFn>
-bool atomically(Tm &M, ThreadId Tid, BodyFn &&Body, unsigned MaxAttempts = 0) {
-  Backoff BO;
-  for (unsigned Attempt = 0; MaxAttempts == 0 || Attempt < MaxAttempts;
-       ++Attempt) {
+///
+/// \p BackoffPolicy must provide spin(); the default is the capped
+/// exponential Backoff. The policy backs off *between* attempts only — in
+/// particular, never after the final failed attempt, where spinning would
+/// only delay the caller's failure handling.
+template <typename BodyFn, typename BackoffPolicy = Backoff>
+bool atomically(Tm &M, ThreadId Tid, BodyFn &&Body, unsigned MaxAttempts = 0,
+                BackoffPolicy BO = BackoffPolicy()) {
+  for (unsigned Attempt = 1;; ++Attempt) {
     M.txBegin(Tid);
     TxRef Tx(M, Tid);
     Body(Tx);
     if (Tx.userAborted())
       return false;
-    if (!Tx.failed()) {
-      if (M.txCommit(Tid))
-        return true;
-    }
-    // Aborted by contention: back off and retry.
+    if (!Tx.failed() && M.txCommit(Tid))
+      return true;
+    // Aborted by contention: give up if the attempt budget is spent,
+    // otherwise back off and retry.
+    if (MaxAttempts != 0 && Attempt >= MaxAttempts)
+      return false;
     BO.spin();
   }
-  return false;
 }
 
 } // namespace ptm

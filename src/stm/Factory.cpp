@@ -9,6 +9,7 @@
 #include "stm/NorecTm.h"
 #include "stm/OrecEagerTm.h"
 #include "stm/OrecIncrementalTm.h"
+#include "stm/OrecTsTm.h"
 #include "stm/Tl2Tm.h"
 #include "stm/TlrwTm.h"
 #include "stm/Tm.h"
@@ -31,6 +32,8 @@ std::unique_ptr<Tm> ptm::createTm(TmKind Kind, unsigned NumObjects,
     return std::make_unique<OrecIncrementalTm>(NumObjects, MaxThreads);
   case TmKind::TK_OrecEager:
     return std::make_unique<OrecEagerTm>(NumObjects, MaxThreads);
+  case TmKind::TK_OrecTs:
+    return std::make_unique<OrecTsTm>(NumObjects, MaxThreads);
   case TmKind::TK_Tlrw:
     return std::make_unique<TlrwTm>(NumObjects, MaxThreads);
   case TmKind::TK_Tml:

@@ -21,7 +21,7 @@
 #define PTM_STM_GLOBALLOCKTM_H
 
 #include "stm/TmBase.h"
-#include "stm/WriteSet.h"
+#include "stm/TxSets.h"
 
 namespace ptm {
 

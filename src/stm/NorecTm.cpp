@@ -41,8 +41,8 @@ void NorecTm::txBegin(ThreadId Tid) {
 uint64_t NorecTm::validate(Desc &D) {
   for (;;) {
     uint64_t Time = waitEven();
-    for (const ReadEntry &E : D.Reads)
-      if (Values[E.Obj].read() != E.Value)
+    for (const auto &E : D.Reads)
+      if (Values[E.Obj].read() != E.Payload)
         return kValidateFailed;
     // If the clock did not move while we re-read, all values coexisted at
     // Time, which becomes the new snapshot.
@@ -59,6 +59,15 @@ bool NorecTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
   if (D.Writes.lookup(Obj, Value))
     return true;
 
+  // Dedup: a repeated read returns the logged value — by construction the
+  // committed value of Obj at the current snapshot — without touching
+  // shared memory, keeping the read set (and every validate() pass over
+  // it) bounded by the number of distinct objects read.
+  if (const auto *E = D.Reads.find(Obj)) {
+    Value = E->Payload;
+    return true;
+  }
+
   Value = Values[Obj].read();
   while (Seq.read() != D.Snapshot) {
     uint64_t Fresh = validate(D);
@@ -68,7 +77,7 @@ bool NorecTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
     Value = Values[Obj].read();
   }
 
-  D.Reads.push_back({Obj, Value});
+  D.Reads.insert(Obj, Value);
   return true;
 }
 

@@ -23,7 +23,7 @@
 #define PTM_STM_NORECTM_H
 
 #include "stm/TmBase.h"
-#include "stm/WriteSet.h"
+#include "stm/TxSets.h"
 
 namespace ptm {
 
@@ -40,15 +40,11 @@ public:
   void txAbort(ThreadId Tid) override;
 
 private:
-  /// One read-set entry: the value observed, for value-based revalidation.
-  struct ReadEntry {
-    ObjectId Obj;
-    uint64_t Value;
-  };
-
   struct alignas(PTM_CACHELINE_SIZE) Desc {
     uint64_t Snapshot = 0;
-    std::vector<ReadEntry> Reads;
+    /// Dedup'd read set; the payload is the value observed (and kept
+    /// current by validate()), for value-based revalidation.
+    ReadSet<uint64_t> Reads;
     WriteSet Writes;
   };
 

@@ -19,25 +19,17 @@ void OrecEagerTm::txBegin(ThreadId Tid) {
   D.Owned.clear();
 }
 
-const OrecEagerTm::OwnEntry *OrecEagerTm::findOwned(const Desc &D,
-                                                    ObjectId Obj) const {
-  for (const OwnEntry &E : D.Owned)
-    if (E.Obj == Obj)
-      return &E;
-  return nullptr;
-}
-
 bool OrecEagerTm::validateReadSet(const Desc &D, ThreadId Tid) const {
   // A read-set entry is valid if its version is unchanged, or if we later
   // locked the object ourselves and its pre-lock version matches what we
   // read.
-  for (const ReadEntry &E : D.Reads) {
+  for (const auto &E : D.Reads) {
     uint64_t Cur = Orecs[E.Obj].read();
-    if (Cur == makeVersion(E.Version))
+    if (Cur == makeVersion(E.Payload))
       continue;
     if (Cur == makeLocked(Tid)) {
-      const OwnEntry *Own = findOwned(D, E.Obj);
-      if (Own && versionOf(Own->PreLockWord) == E.Version)
+      const auto *Own = D.Owned.find(E.Obj);
+      if (Own && versionOf(Own->Payload.PreLockWord) == E.Payload)
         continue;
     }
     return false;
@@ -51,7 +43,7 @@ bool OrecEagerTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
   Desc &D = Descs[Tid];
 
   // Own writes are in place: read directly.
-  if (findOwned(D, Obj)) {
+  if (D.Owned.contains(Obj)) {
     Value = Values[Obj].read();
     return true;
   }
@@ -74,15 +66,8 @@ bool OrecEagerTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
     return slotAbort(Tid, AbortCause::AC_ReadValidation);
   }
 
-  bool Known = false;
-  for (const ReadEntry &E : D.Reads) {
-    if (E.Obj == Obj) {
-      Known = true;
-      break;
-    }
-  }
-  if (!Known)
-    D.Reads.push_back({Obj, versionOf(Pre)});
+  if (!D.Reads.contains(Obj))
+    D.Reads.insert(Obj, versionOf(Pre));
   return true;
 }
 
@@ -92,7 +77,7 @@ bool OrecEagerTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
   Desc &D = Descs[Tid];
 
   // Encounter-time acquisition: lock on first write, update in place.
-  if (!findOwned(D, Obj)) {
+  if (!D.Owned.contains(Obj)) {
     uint64_t Cur = Orecs[Obj].read();
     if (isLocked(Cur)) {
       rollbackAndRelease(D);
@@ -104,14 +89,13 @@ bool OrecEagerTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
     }
     // If we read this object earlier, the acquisition must not have
     // raced with a concurrent commit to it.
-    for (const ReadEntry &E : D.Reads) {
-      if (E.Obj == Obj && E.Version != versionOf(Cur)) {
-        D.Owned.push_back({Obj, Cur, Values[Obj].read()});
-        rollbackAndRelease(D);
-        return slotAbort(Tid, AbortCause::AC_ReadValidation);
-      }
+    const auto *Read = D.Reads.find(Obj);
+    if (Read && Read->Payload != versionOf(Cur)) {
+      D.Owned.insert(Obj, {Cur, Values[Obj].read()});
+      rollbackAndRelease(D);
+      return slotAbort(Tid, AbortCause::AC_ReadValidation);
     }
-    D.Owned.push_back({Obj, Cur, Values[Obj].read()});
+    D.Owned.insert(Obj, {Cur, Values[Obj].read()});
   }
   Values[Obj].write(Value);
   return true;
@@ -132,8 +116,8 @@ bool OrecEagerTm::txCommit(ThreadId Tid) {
     rollbackAndRelease(D);
     return slotAbort(Tid, AbortCause::AC_CommitValidation);
   }
-  for (const OwnEntry &E : D.Owned)
-    Orecs[E.Obj].write(makeVersion(versionOf(E.PreLockWord) + 1));
+  for (const auto &E : D.Owned)
+    Orecs[E.Obj].write(makeVersion(versionOf(E.Payload.PreLockWord) + 1));
   D.Owned.clear();
   return slotCommit(Tid);
 }
@@ -147,9 +131,10 @@ void OrecEagerTm::txAbort(ThreadId Tid) {
 void OrecEagerTm::rollbackAndRelease(Desc &D) {
   // Undo in reverse acquisition order, restoring the pre-lock orec word
   // (no version bump: the object never changed committed state).
-  for (auto It = D.Owned.rbegin(), End = D.Owned.rend(); It != End; ++It) {
-    Values[It->Obj].write(It->UndoValue);
-    Orecs[It->Obj].write(It->PreLockWord);
+  for (size_t I = D.Owned.size(); I != 0; --I) {
+    const auto &E = D.Owned[I - 1];
+    Values[E.Obj].write(E.Payload.UndoValue);
+    Orecs[E.Obj].write(E.Payload.PreLockWord);
   }
   D.Owned.clear();
 }

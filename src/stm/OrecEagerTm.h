@@ -29,7 +29,7 @@
 #define PTM_STM_ORECEAGERTM_H
 
 #include "stm/TmBase.h"
-#include "stm/WriteSet.h"
+#include "stm/TxSets.h"
 
 namespace ptm {
 
@@ -46,22 +46,21 @@ public:
   void txAbort(ThreadId Tid) override;
 
 private:
-  /// One read-set entry: the version observed at first read.
-  struct ReadEntry {
-    ObjectId Obj;
-    uint64_t Version;
-  };
-
-  /// One acquired (written) object: pre-lock orec word + undo value.
-  struct OwnEntry {
-    ObjectId Obj;
+  /// Payload of an acquired (written) object: pre-lock orec word + undo
+  /// value.
+  struct OwnInfo {
     uint64_t PreLockWord;
     uint64_t UndoValue;
   };
 
   struct alignas(PTM_CACHELINE_SIZE) Desc {
-    std::vector<ReadEntry> Reads;
-    std::vector<OwnEntry> Owned;
+    /// Dedup'd read set; payload is the version observed at first read.
+    /// As in OrecIncrementalTm, dedup is local-only: every t-read still
+    /// performs the full incremental validation (the Theorem 3 cost).
+    ReadSet<uint64_t> Reads;
+    /// Acquired objects in acquisition order (rollback walks it in
+    /// reverse); the index makes the per-access ownership probe O(1).
+    ReadSet<OwnInfo> Owned;
   };
 
   static bool isLocked(uint64_t OrecWord) { return OrecWord & 1; }
@@ -71,7 +70,6 @@ private:
     return (static_cast<uint64_t>(Tid + 1) << 1) | 1;
   }
 
-  const OwnEntry *findOwned(const Desc &D, ObjectId Obj) const;
   bool validateReadSet(const Desc &D, ThreadId Tid) const;
 
   /// Undoes in-place writes and releases all locks (abort path).

@@ -24,8 +24,8 @@ void OrecIncrementalTm::txBegin(ThreadId Tid) {
 }
 
 bool OrecIncrementalTm::validateReadSet(const Desc &D) const {
-  for (const ReadEntry &E : D.Reads)
-    if (Orecs[E.Obj].read() != makeVersion(E.Version))
+  for (const auto &E : D.Reads)
+    if (Orecs[E.Obj].read() != makeVersion(E.Payload))
       return false;
   return true;
 }
@@ -58,16 +58,9 @@ bool OrecIncrementalTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
     return slotAbort(Tid, AbortCause::AC_ReadValidation);
 
   // Record the first read of each object (a repeated read is covered by
-  // the validation above).
-  bool Known = false;
-  for (const ReadEntry &E : D.Reads) {
-    if (E.Obj == Obj) {
-      Known = true;
-      break;
-    }
-  }
-  if (!Known)
-    D.Reads.push_back({Obj, versionOf(Pre)});
+  // the validation above; the dedup probe itself is O(1) local work).
+  if (!D.Reads.contains(Obj))
+    D.Reads.insert(Obj, versionOf(Pre));
   return true;
 }
 
@@ -106,15 +99,15 @@ bool OrecIncrementalTm::txCommit(ThreadId Tid) {
 
   // Final validation: every read-set entry must still carry its recorded
   // version, or be locked by us with the recorded pre-lock version.
-  for (const ReadEntry &E : D.Reads) {
+  for (const auto &E : D.Reads) {
     uint64_t Cur = Orecs[E.Obj].read();
-    if (Cur == makeVersion(E.Version))
+    if (Cur == makeVersion(E.Payload))
       continue;
     bool OkSelfLocked = false;
     if (Cur == makeLocked(Tid)) {
       for (const WriteEntry &L : D.Locked) {
         if (L.Obj == E.Obj) {
-          OkSelfLocked = versionOf(L.Value) == E.Version;
+          OkSelfLocked = versionOf(L.Value) == E.Payload;
           break;
         }
       }

@@ -25,7 +25,7 @@
 #define PTM_STM_ORECINCREMENTALTM_H
 
 #include "stm/TmBase.h"
-#include "stm/WriteSet.h"
+#include "stm/TxSets.h"
 
 namespace ptm {
 
@@ -42,14 +42,12 @@ public:
   void txAbort(ThreadId Tid) override;
 
 private:
-  /// One read-set entry: the version the object had when first read.
-  struct ReadEntry {
-    ObjectId Obj;
-    uint64_t Version;
-  };
-
   struct alignas(PTM_CACHELINE_SIZE) Desc {
-    std::vector<ReadEntry> Reads;
+    /// Dedup'd read set; the payload is the version the object had when
+    /// first read. Dedup is local bookkeeping only — every t-read still
+    /// pays the full incremental validation over the log (the Theorem 3
+    /// shared-memory cost this TM exists to exhibit).
+    ReadSet<uint64_t> Reads;
     WriteSet Writes;
     std::vector<WriteEntry> Locked; ///< (Obj, pre-lock orec word).
   };

@@ -1,0 +1,166 @@
+//===-- stm/OrecTsTm.cpp - Orec TM with timestamp extension ---------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/OrecTsTm.h"
+
+using namespace ptm;
+
+OrecTsTm::OrecTsTm(unsigned ObjectCount, unsigned ThreadCount)
+    : TmBase(ObjectCount, ThreadCount), Clock(0), Orecs(ObjectCount),
+      Descs(ThreadCount) {}
+
+void OrecTsTm::resetDesc(Desc &D) {
+  D.Reads.clear();
+  D.Writes.clear();
+  D.Locked.clear();
+}
+
+void OrecTsTm::txBegin(ThreadId Tid) {
+  slotBegin(Tid);
+  Desc &D = Descs[Tid];
+  resetDesc(D);
+  D.Rv = Clock.read();
+}
+
+bool OrecTsTm::extendSnapshot(Desc &D) {
+  // Read the clock FIRST: any commit serialized at or before Now that
+  // touched our read set will have released its locks with a changed
+  // version by the time the scan below reaches it — so if the scan sees
+  // every entry unchanged and unlocked, the snapshot holds through Now.
+  uint64_t Now = Clock.read();
+  for (const auto &E : D.Reads)
+    if (Orecs[E.Obj].read() != makeVersion(E.Payload))
+      return false;
+  D.Rv = Now;
+  return true;
+}
+
+bool OrecTsTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
+  assert(txActive(Tid) && "t-read outside a transaction");
+  assert(Obj < numObjects() && "object id out of range");
+  Desc &D = Descs[Tid];
+
+  // Read-own-writes from the redo log.
+  if (D.Writes.lookup(Obj, Value))
+    return true;
+
+  for (;;) {
+    // Consistent (orec, value, orec) sample, as in TL2.
+    uint64_t Pre = Orecs[Obj].read();
+    if (isLocked(Pre))
+      return slotAbort(Tid, AbortCause::AC_LockHeld);
+    Value = Values[Obj].read();
+    uint64_t Post = Orecs[Obj].read();
+    if (Post != Pre)
+      return slotAbort(Tid, AbortCause::AC_ReadValidation);
+
+    // Repeated read: consistent iff the object still carries the version
+    // recorded at first read (any change means our snapshot's value no
+    // longer exists — these TMs keep no old versions).
+    if (const auto *E = D.Reads.find(Obj)) {
+      if (versionOf(Pre) != E->Payload)
+        return slotAbort(Tid, AbortCause::AC_ReadValidation);
+      return true;
+    }
+
+    if (versionOf(Pre) <= D.Rv) {
+      D.Reads.insert(Obj, versionOf(Pre));
+      return true;
+    }
+
+    // The object post-dates the snapshot. Where TL2 aborts, extend: if
+    // everything read so far is still current, the snapshot moves forward
+    // and the read is retried. A failed extension means something we read
+    // was overwritten by a concurrent commit — a genuine conflict, so
+    // aborting preserves progressiveness; each loop iteration requires
+    // yet another concurrent commit, so solo runs never loop.
+    if (!extendSnapshot(D))
+      return slotAbort(Tid, AbortCause::AC_ReadValidation);
+  }
+}
+
+bool OrecTsTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
+  assert(txActive(Tid) && "t-write outside a transaction");
+  assert(Obj < numObjects() && "object id out of range");
+  Descs[Tid].Writes.insertOrUpdate(Obj, Value);
+  return true;
+}
+
+bool OrecTsTm::txCommit(ThreadId Tid) {
+  assert(txActive(Tid) && "tryCommit outside a transaction");
+  Desc &D = Descs[Tid];
+
+  // Read-only fast path: every read was consistent at (the final) Rv.
+  if (D.Writes.empty())
+    return slotCommit(Tid);
+
+  // Acquire write locks (single-shot CAS: contention means a conflict, so
+  // aborting preserves progressiveness).
+  for (const WriteEntry &W : D.Writes) {
+    uint64_t Cur = Orecs[W.Obj].read();
+    if (isLocked(Cur)) {
+      releaseLocked(D);
+      return slotAbort(Tid, AbortCause::AC_LockHeld);
+    }
+    if (!Orecs[W.Obj].compareAndSwap(Cur, makeLocked(Tid))) {
+      releaseLocked(D);
+      return slotAbort(Tid, AbortCause::AC_LockHeld);
+    }
+    D.Locked.push_back({W.Obj, Cur});
+  }
+
+  uint64_t Wv = Clock.fetchAdd(1) + 1;
+
+  // Validate the read set unless no one committed since Rv (the TL2
+  // Wv == Rv + 1 shortcut, equally sound here: version bumps only come
+  // from commits, and every commit takes a fresh clock value).
+  if (Wv != D.Rv + 1) {
+    for (const auto &E : D.Reads) {
+      uint64_t Cur = Orecs[E.Obj].read();
+      if (Cur == makeVersion(E.Payload))
+        continue;
+      bool OkSelfLocked = false;
+      if (Cur == makeLocked(Tid)) {
+        // Locked by us (object also written): valid iff the pre-lock
+        // version is still the one we read.
+        for (const WriteEntry &L : D.Locked) {
+          if (L.Obj == E.Obj) {
+            OkSelfLocked = versionOf(L.Value) == E.Payload;
+            break;
+          }
+        }
+      }
+      if (!OkSelfLocked) {
+        releaseLocked(D);
+        return slotAbort(Tid, AbortCause::AC_CommitValidation);
+      }
+    }
+  }
+
+  // Publish values, then release locks by installing the new version.
+  for (const WriteEntry &W : D.Writes)
+    Values[W.Obj].write(W.Value);
+  for (const WriteEntry &L : D.Locked)
+    Orecs[L.Obj].write(makeVersion(Wv));
+  D.Locked.clear();
+  return slotCommit(Tid);
+}
+
+void OrecTsTm::txAbort(ThreadId Tid) {
+  assert(txActive(Tid) && "abort outside a transaction");
+  // Lazy updates: nothing was published, just drop the logs.
+  resetDesc(Descs[Tid]);
+  slotAbort(Tid, AbortCause::AC_User);
+}
+
+void OrecTsTm::releaseLocked(Desc &D) {
+  // Restore the pre-lock orec words (versions unchanged: nothing was
+  // published).
+  for (auto It = D.Locked.rbegin(), End = D.Locked.rend(); It != End; ++It)
+    Orecs[It->Obj].write(It->Value);
+  D.Locked.clear();
+}

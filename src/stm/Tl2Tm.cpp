@@ -14,7 +14,7 @@ Tl2Tm::Tl2Tm(unsigned ObjectCount, unsigned ThreadCount)
       Descs(ThreadCount) {}
 
 void Tl2Tm::resetDesc(Desc &D) {
-  D.ReadSet.clear();
+  D.Reads.clear();
   D.Writes.clear();
   D.Locked.clear();
 }
@@ -48,7 +48,11 @@ bool Tl2Tm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
   if (Post != Pre)
     return slotAbort(Tid, AbortCause::AC_ReadValidation);
 
-  D.ReadSet.push_back(Obj);
+  // Dedup: a repeated read was just revalidated against Rv above, so the
+  // read set (and with it commit-time validation) stays bounded by the
+  // number of *distinct* objects read.
+  if (!D.Reads.contains(Obj))
+    D.Reads.insert(Obj, versionOf(Pre));
   return true;
 }
 
@@ -85,19 +89,21 @@ bool Tl2Tm::txCommit(ThreadId Tid) {
   uint64_t Wv = Clock.fetchAdd(1) + 1;
 
   // Validate the read set unless no one committed since Rv (the TL2
-  // Wv == Rv + 1 shortcut).
+  // Wv == Rv + 1 shortcut). An entry is valid iff its orec still carries
+  // the version recorded at first read — equivalent to the classic
+  // "version <= Rv" check (any post-read change commits with wv > Rv)
+  // and the same discipline the other orec TMs use.
   if (Wv != D.Rv + 1) {
-    for (ObjectId Obj : D.ReadSet) {
+    for (const auto &E : D.Reads) {
+      ObjectId Obj = E.Obj;
       uint64_t Cur = Orecs[Obj].read();
-      if (isLocked(Cur)) {
-        // Locked by anyone else is a conflict. Locked by us (object also
-        // in the write set): the version the orec had when we locked it
-        // must not exceed Rv, or a concurrent commit slipped between our
-        // read and our lock acquisition.
-        if (Cur != makeLocked(Tid)) {
-          releaseLocked(D);
-          return slotAbort(Tid, AbortCause::AC_CommitValidation);
-        }
+      if (Cur == makeVersion(E.Payload))
+        continue;
+      if (Cur == makeLocked(Tid)) {
+        // Locked by us (object also in the write set): the version the
+        // orec had when we locked it must be the one we read, or a
+        // concurrent commit slipped between our read and our lock
+        // acquisition.
         uint64_t PreLock = 0;
         bool Found = false;
         for (const WriteEntry &L : D.Locked) {
@@ -108,16 +114,12 @@ bool Tl2Tm::txCommit(ThreadId Tid) {
           }
         }
         assert(Found && "self-locked orec missing from the lock log");
-        if (!Found || versionOf(PreLock) > D.Rv) {
-          releaseLocked(D);
-          return slotAbort(Tid, AbortCause::AC_CommitValidation);
-        }
-        continue;
+        if (Found && versionOf(PreLock) == E.Payload)
+          continue;
       }
-      if (versionOf(Cur) > D.Rv) {
-        releaseLocked(D);
-        return slotAbort(Tid, AbortCause::AC_CommitValidation);
-      }
+      // Changed or locked by anyone else: a conflict either way.
+      releaseLocked(D);
+      return slotAbort(Tid, AbortCause::AC_CommitValidation);
     }
   }
 

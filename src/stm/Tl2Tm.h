@@ -26,7 +26,7 @@
 #define PTM_STM_TL2TM_H
 
 #include "stm/TmBase.h"
-#include "stm/WriteSet.h"
+#include "stm/TxSets.h"
 
 namespace ptm {
 
@@ -45,7 +45,8 @@ public:
 private:
   struct alignas(PTM_CACHELINE_SIZE) Desc {
     uint64_t Rv = 0;                ///< Read timestamp.
-    std::vector<ObjectId> ReadSet;  ///< Objects read (validated vs Rv).
+    ReadSet<uint64_t> Reads;        ///< Objects read, dedup'd; payload is
+                                    ///< the version seen at first read.
     WriteSet Writes;                ///< Redo log.
     std::vector<WriteEntry> Locked; ///< (Obj, pre-lock orec word) pairs.
   };

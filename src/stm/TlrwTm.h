@@ -26,7 +26,7 @@
 #define PTM_STM_TLRWTM_H
 
 #include "stm/TmBase.h"
-#include "stm/WriteSet.h"
+#include "stm/TxSets.h"
 
 namespace ptm {
 

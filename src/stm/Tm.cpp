@@ -21,6 +21,8 @@ const char *ptm::tmKindName(TmKind Kind) {
     return "orec-incr";
   case TmKind::TK_OrecEager:
     return "orec-eager";
+  case TmKind::TK_OrecTs:
+    return "orec-ts";
   case TmKind::TK_Tlrw:
     return "tlrw";
   case TmKind::TK_Tml:
@@ -40,8 +42,8 @@ const std::vector<TmKind> &ptm::allTmKinds() {
   static const std::vector<TmKind> Kinds = {
       TmKind::TK_GlobalLock,      TmKind::TK_Tl2,
       TmKind::TK_Norec,           TmKind::TK_OrecIncremental,
-      TmKind::TK_OrecEager,       TmKind::TK_Tlrw,
-      TmKind::TK_Tml};
+      TmKind::TK_OrecEager,       TmKind::TK_OrecTs,
+      TmKind::TK_Tlrw,            TmKind::TK_Tml};
   return Kinds;
 }
 

@@ -13,10 +13,11 @@
 /// aborted (the cause is queryable), after which the caller must start a
 /// new transaction with txBegin.
 ///
-/// Five implementations cover the paper's property space (see DESIGN.md):
-/// GlobalLock, TL2, NOrec, OrecIncremental (the Theorem 3 subject) and
-/// TLRW. All of them are progressive; all are strongly progressive on
-/// single-object workloads; all are opaque.
+/// The implementations cover the paper's property space (see DESIGN.md):
+/// GlobalLock, TL2, NOrec, OrecIncremental (the Theorem 3 subject),
+/// OrecEager, OrecTs (clock + timestamp extension) and TLRW, plus TML as
+/// the non-progressive contrast point. All but TML are progressive; all
+/// are strongly progressive on single-object workloads; all are opaque.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,6 +41,7 @@ enum class TmKind {
   TK_Norec,           ///< NOrec: global seqlock, value-based validation.
   TK_OrecIncremental, ///< Weak-DAP invisible reads, incremental validation.
   TK_OrecEager,       ///< Same class, encounter-time locking (TinySTM-ish).
+  TK_OrecTs,          ///< Orecs + global clock with timestamp extension.
   TK_Tlrw,            ///< TLRW-style encounter-time read-write locking.
   TK_Tml,             ///< TML: global seqlock, irrevocable writer.
 };
@@ -164,7 +166,11 @@ public:
   /// Non-transactional initialization, valid only while quiescent.
   virtual void init(ObjectId Obj, uint64_t Value) = 0;
 
-  /// Aggregated commit/abort counters.
+  /// Aggregated commit/abort counters. Like resetStats(), valid only in
+  /// quiescent configurations (no thread has a live transaction): the
+  /// per-thread counters are read without synchronization, so calling
+  /// this concurrently with running transactions is a data race. Debug
+  /// builds assert quiescence.
   virtual TmStats stats() const = 0;
 
   /// Zeroes all counters (call only while quiescent).

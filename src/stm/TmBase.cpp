@@ -19,6 +19,11 @@ TmBase::TmBase(unsigned ObjectCount, unsigned ThreadCount)
 TmStats TmBase::stats() const {
   TmStats Total;
   for (const Slot &S : Slots) {
+    // Quiescence contract (see Tm::stats()): the per-slot counters are
+    // plain fields, so reading them while any thread runs a transaction
+    // is a data race, not just a stale answer.
+    assert(!S.Active && "stats() requires quiescence: a transaction is "
+                        "still live on some thread slot");
     Total.Commits += S.Commits;
     for (unsigned I = 0; I < kNumAbortCauses; ++I)
       Total.Aborts[I] += S.Aborts[I];

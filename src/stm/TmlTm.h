@@ -28,7 +28,7 @@
 #define PTM_STM_TMLTM_H
 
 #include "stm/TmBase.h"
-#include "stm/WriteSet.h"
+#include "stm/TxSets.h"
 
 namespace ptm {
 

@@ -92,6 +92,55 @@ INSTANTIATE_TEST_SUITE_P(AllTms, AtomicallyTest,
                            return Name;
                          });
 
+namespace {
+
+/// Counting fake for the BackoffPolicy slot: records how often
+/// atomically() backs off instead of burning cycles.
+struct CountingBackoff {
+  int *Spins;
+  void spin() { ++*Spins; }
+};
+
+} // namespace
+
+TEST(AtomicallyContention, NoBackoffAfterTheFinalAttempt) {
+  // Regression: atomically() used to run a full capped backoff spin after
+  // the last failed attempt, delaying the caller's failure handling for
+  // nothing. N attempts must back off exactly N-1 times.
+  auto M = createTm(TmKind::TK_Tlrw, 4, 4);
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 0, 7)); // Every attempt below hits this lock.
+
+  for (unsigned MaxAttempts : {1u, 2u, 5u}) {
+    int Spins = 0;
+    int BodyRuns = 0;
+    bool Ok = atomically(
+        *M, 0,
+        [&](TxRef &Tx) {
+          ++BodyRuns;
+          (void)Tx.readOr(0, 0);
+        },
+        MaxAttempts, CountingBackoff{&Spins});
+    EXPECT_FALSE(Ok);
+    EXPECT_EQ(BodyRuns, static_cast<int>(MaxAttempts));
+    EXPECT_EQ(Spins, static_cast<int>(MaxAttempts) - 1)
+        << "backoff ran after the final attempt";
+  }
+  ASSERT_TRUE(M->txCommit(1));
+}
+
+TEST(AtomicallyContention, NoBackoffOnFirstTrySuccessOrUserAbort) {
+  auto M = createTm(TmKind::TK_Tl2, 4, 2);
+  int Spins = 0;
+  EXPECT_TRUE(atomically(
+      *M, 0, [](TxRef &Tx) { Tx.write(0, 1); }, 0, CountingBackoff{&Spins}));
+  EXPECT_EQ(Spins, 0) << "a clean commit must never back off";
+
+  EXPECT_FALSE(atomically(
+      *M, 0, [](TxRef &Tx) { Tx.userAbort(); }, 0, CountingBackoff{&Spins}));
+  EXPECT_EQ(Spins, 0) << "a voluntary abort must never back off";
+}
+
 TEST(AtomicallyContention, MaxAttemptsBoundsRetries) {
   // TLRW acquires encounter-time locks, so a write lock held by thread 1
   // forces thread 0's transaction to abort deterministically.

@@ -11,7 +11,7 @@
 ///  (1) the weak-DAP invisible-read TM (orec-incr) pays Θ(i) steps for its
 ///      i-th t-read (incremental validation) and Θ(m²) for an m-read
 ///      transaction, while each TM that drops one hypothesis (tl2, norec,
-///      tlrw, glock) reads in O(1) steps;
+///      orec-ts, tlrw, glock) reads in O(1) steps;
 ///  (2) orec-incr's last t-read + tryCommit touches at least m-1 distinct
 ///      base objects; tl2's touches O(1).
 ///
@@ -84,8 +84,9 @@ TEST(Theorem3Step, SubjectTmsReadsGrowLinearly) {
 
 TEST(Theorem3Step, EscapeHatchTmsReadInConstantSteps) {
   constexpr unsigned M = 64;
-  for (TmKind Kind : {TmKind::TK_Tl2, TmKind::TK_Norec, TmKind::TK_Tlrw,
-                      TmKind::TK_GlobalLock, TmKind::TK_Tml}) {
+  for (TmKind Kind : {TmKind::TK_Tl2, TmKind::TK_Norec, TmKind::TK_OrecTs,
+                      TmKind::TK_Tlrw, TmKind::TK_GlobalLock,
+                      TmKind::TK_Tml}) {
     auto Tm = createTm(Kind, M, 1);
     OpStats Commit;
     auto PerRead = measureReadOnlySweep(*Tm, M, Commit);
@@ -137,31 +138,68 @@ TEST(Theorem3Space, SubjectTmsLastReadTouchesLinearObjects) {
   }
 }
 
-TEST(Theorem3Space, Tl2LastReadTouchesConstantObjects) {
+TEST(Theorem3Space, ClockTmsLastReadTouchesConstantObjects) {
   constexpr unsigned M = 64;
-  auto Tm = createTm(TmKind::TK_Tl2, M, 1);
+  for (TmKind Kind : {TmKind::TK_Tl2, TmKind::TK_OrecTs}) {
+    auto Tm = createTm(Kind, M, 1);
 
-  Instrumentation Instr(0);
-  ScopedInstrumentation Scope(Instr);
-  Tm->txBegin(0);
-  uint64_t V;
-  for (ObjectId Obj = 0; Obj + 1 < M; ++Obj)
-    ASSERT_TRUE(Tm->txRead(0, Obj, V));
+    Instrumentation Instr(0);
+    ScopedInstrumentation Scope(Instr);
+    Tm->txBegin(0);
+    uint64_t V;
+    for (ObjectId Obj = 0; Obj + 1 < M; ++Obj)
+      ASSERT_TRUE(Tm->txRead(0, Obj, V));
 
-  Instr.beginOp();
-  ASSERT_TRUE(Tm->txRead(0, M - 1, V));
-  ASSERT_TRUE(Tm->txCommit(0));
-  OpStats Last = Instr.endOp();
+    Instr.beginOp();
+    ASSERT_TRUE(Tm->txRead(0, M - 1, V));
+    ASSERT_TRUE(Tm->txCommit(0));
+    OpStats Last = Instr.endOp();
 
-  EXPECT_LE(Last.DistinctObjects, 4u)
-      << "TL2's global clock should make the last read O(1) in space";
+    EXPECT_LE(Last.DistinctObjects, 4u)
+        << tmKindName(Kind)
+        << ": the global clock should make the last read O(1) in space";
+  }
+}
+
+TEST(Theorem3Step, RepeatedReadsKeepReadSetsBounded) {
+  // Regression (the old TL2 read set appended every read without dedup):
+  // k repeated reads of one object must leave a one-entry read set, so
+  // commit-time validation — forced by breaking the Wv == Rv+1 shortcut
+  // with an unrelated commit — stays O(distinct objects), not O(k).
+  for (TmKind Kind : {TmKind::TK_Tl2, TmKind::TK_OrecTs}) {
+    auto Tm = createTm(Kind, 8, 2);
+
+    Instrumentation Instr(0);
+    ScopedInstrumentation Scope(Instr);
+    Tm->txBegin(0);
+    uint64_t V;
+    for (int I = 0; I < 200; ++I)
+      ASSERT_TRUE(Tm->txRead(0, 0, V)) << tmKindName(Kind);
+
+    // A disjoint commit on another slot advances the global clock, so the
+    // writer commit below cannot take the validation-skipping shortcut.
+    Tm->txBegin(1);
+    ASSERT_TRUE(Tm->txWrite(1, 5, 1));
+    ASSERT_TRUE(Tm->txCommit(1));
+
+    ASSERT_TRUE(Tm->txWrite(0, 1, 7)) << tmKindName(Kind);
+    Instr.beginOp();
+    ASSERT_TRUE(Tm->txCommit(0)) << tmKindName(Kind);
+    OpStats Commit = Instr.endOp();
+
+    // Lock + clock + validation of ONE read entry + publish + release:
+    // a handful of steps. The un-dedup'd read set made this ~200.
+    EXPECT_LE(Commit.Steps, 12u)
+        << tmKindName(Kind)
+        << ": commit validation walked an inflated read set";
+  }
 }
 
 TEST(Theorem3Step, WriteSetSizeDoesNotInflateReadCost) {
   // Buffered writes are local bookkeeping; reading an object in the write
   // set must not touch shared memory at all for the lazy TMs.
-  for (TmKind Kind :
-       {TmKind::TK_Tl2, TmKind::TK_Norec, TmKind::TK_OrecIncremental}) {
+  for (TmKind Kind : {TmKind::TK_Tl2, TmKind::TK_Norec,
+                      TmKind::TK_OrecIncremental, TmKind::TK_OrecTs}) {
     auto Tm = createTm(Kind, 16, 1);
     Instrumentation Instr(0);
     ScopedInstrumentation Scope(Instr);
@@ -195,7 +233,7 @@ TEST(Theorem3Step, VisibleReadsApplyNontrivialPrimitives) {
   // By contrast the invisible-read TMs apply none.
   for (TmKind Kind : {TmKind::TK_Tl2, TmKind::TK_Norec,
                       TmKind::TK_OrecIncremental, TmKind::TK_OrecEager,
-                      TmKind::TK_Tml}) {
+                      TmKind::TK_OrecTs, TmKind::TK_Tml}) {
     auto M2 = createTm(Kind, 8, 1);
     M2->txBegin(0);
     Instr.beginOp();

@@ -296,6 +296,40 @@ TEST_P(DsKindTest, ComposedMoveAbortsWhenDestinationIsFull) {
   EXPECT_EQ(B.sampleLiveNodes(), 2u);
 }
 
+#ifndef NDEBUG
+TEST_P(DsKindTest, DoubleReleaseIsCaughtInDebug) {
+  // Releasing a node that is already free would tie the free list into a
+  // cycle (its word 0 becomes a self-referential link), after which
+  // sampleFreeCount()/allocate() walk forever. Debug builds walk the
+  // free list on release and must trip the assertion.
+  auto M = createTm(GetParam(), TxAlloc::objectsNeeded(1, 4), 1);
+  TxAlloc Alloc(*M, 0, /*NodeWords=*/1, /*NodeCapacity=*/4);
+
+  uint64_t A = kNil, B = kNil;
+  ASSERT_TRUE(atomically(*M, 0, [&](TxRef &Tx) {
+    A = Alloc.allocate(Tx);
+    B = Alloc.allocate(Tx);
+  }));
+  ASSERT_TRUE(atomically(*M, 0, [&](TxRef &Tx) { Alloc.release(Tx, B); }));
+  ASSERT_TRUE(atomically(*M, 0, [&](TxRef &Tx) { Alloc.release(Tx, A); }));
+  // A and B are both free (A at the head). Releasing either again must
+  // die — including B, which is not the head and is only found by the
+  // walk.
+  EXPECT_DEATH(
+      atomically(*M, 0, [&](TxRef &Tx) { Alloc.release(Tx, B); }),
+      "double release");
+  // Same-transaction double release (release then release again before
+  // committing) must be caught by the walk seeing the txn's own write.
+  EXPECT_DEATH(atomically(*M, 0,
+                          [&](TxRef &Tx) {
+                            uint64_t C = Alloc.allocate(Tx);
+                            Alloc.release(Tx, C);
+                            Alloc.release(Tx, C);
+                          }),
+               "double release");
+}
+#endif
+
 INSTANTIATE_TEST_SUITE_P(AllKinds, DsKindTest,
                          ::testing::ValuesIn(allTmKinds()), kindParamName);
 
@@ -481,7 +515,8 @@ TEST_P(DsInterleavedTest, DisjointReadAndUpdateBothCommit) {
 
 INSTANTIATE_TEST_SUITE_P(LazyKinds, DsInterleavedTest,
                          ::testing::Values(TmKind::TK_Tl2, TmKind::TK_Norec,
-                                           TmKind::TK_OrecIncremental),
+                                           TmKind::TK_OrecIncremental,
+                                           TmKind::TK_OrecTs),
                          kindParamName);
 
 //===----------------------------------------------------------------------===//

@@ -32,7 +32,7 @@ namespace {
 /// The lazy-update TMs, against which mid-transaction interleavings can
 /// be expressed without blocking.
 const TmKind kLazyTms[] = {TmKind::TK_Tl2, TmKind::TK_Norec,
-                           TmKind::TK_OrecIncremental};
+                           TmKind::TK_OrecIncremental, TmKind::TK_OrecTs};
 
 class LazyTmTest : public ::testing::TestWithParam<TmKind> {
 protected:
@@ -310,6 +310,123 @@ TEST(Tl2Interleaved, AbaVersionIsRejected) {
   EXPECT_FALSE(M->txRead(0, 0, W))
       << "TL2's version check must reject the ABA'd object";
   EXPECT_EQ(M->lastAbortCause(0), AbortCause::AC_ReadValidation);
+}
+
+//===----------------------------------------------------------------------===//
+// OrecTs timestamp-extension specifics: the clock escape hatch without
+// TL2's spurious aborts.
+//===----------------------------------------------------------------------===//
+
+TEST(OrecTsInterleaved, StaleReadExtendsInsteadOfAborting) {
+  // T0 starts, then T1 commits to B. T0 now reads B: its version (1)
+  // post-dates T0's snapshot (0). TL2 aborts here — see
+  // Tl2SpuriousAbortContrast below — but there is no conflict: T0 has
+  // read nothing that changed. orec-ts revalidates its (empty-so-far)
+  // read set, extends the snapshot and returns the fresh value.
+  auto M = createTm(TmKind::TK_OrecTs, 4, 2);
+  uint64_t V;
+  M->txBegin(0);
+  ASSERT_TRUE(M->txRead(0, 0, V)); // Snapshot anchored with one read.
+
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 1, 42));
+  ASSERT_TRUE(M->txCommit(1));
+
+  uint64_t B = 0;
+  EXPECT_TRUE(M->txRead(0, 1, B))
+      << "timestamp extension must absorb a disjoint concurrent commit";
+  EXPECT_EQ(B, 42u);
+  EXPECT_TRUE(M->txCommit(0));
+  EXPECT_EQ(M->stats().Aborts[static_cast<unsigned>(
+                AbortCause::AC_ReadValidation)],
+            0u);
+}
+
+TEST(OrecTsInterleaved, Tl2SpuriousAbortContrast) {
+  // The identical schedule on TL2: the read of B dies on version > Rv
+  // even though no object T0 read was touched. This pair of tests is the
+  // orec-ts design point (fewer AC_ReadValidation aborts than tl2).
+  auto M = createTm(TmKind::TK_Tl2, 4, 2);
+  uint64_t V;
+  M->txBegin(0);
+  ASSERT_TRUE(M->txRead(0, 0, V));
+
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 1, 42));
+  ASSERT_TRUE(M->txCommit(1));
+
+  uint64_t B = 0;
+  EXPECT_FALSE(M->txRead(0, 1, B));
+  EXPECT_EQ(M->lastAbortCause(0), AbortCause::AC_ReadValidation);
+}
+
+TEST(OrecTsInterleaved, ExtensionFailsWhenAReadObjectChanged) {
+  // Fractured-read protection must survive the extension machinery: T0
+  // reads A; T1 commits A=1, B=1; T0 reads B. The extension revalidates
+  // A, finds it overwritten, and the read aborts — B=1 next to the stale
+  // A=0 is exactly the torn snapshot opacity forbids.
+  auto M = createTm(TmKind::TK_OrecTs, 4, 2);
+  uint64_t V;
+  M->txBegin(0);
+  ASSERT_TRUE(M->txRead(0, 0, V));
+  EXPECT_EQ(V, 0u);
+
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 0, 1));
+  ASSERT_TRUE(M->txWrite(1, 1, 1));
+  ASSERT_TRUE(M->txCommit(1));
+
+  uint64_t B = 0;
+  EXPECT_FALSE(M->txRead(0, 1, B))
+      << "a failed extension must abort, not return a torn snapshot";
+  EXPECT_EQ(M->lastAbortCause(0), AbortCause::AC_ReadValidation);
+}
+
+TEST(OrecTsInterleaved, AbaVersionIsRejectedOnRepeatedRead) {
+  // Version-based validation rejects ABA like TL2 does: X's value returns
+  // to 0 but its version advanced, so T0's repeated read of X must not
+  // pretend its snapshot still holds.
+  auto M = createTm(TmKind::TK_OrecTs, 4, 2);
+  uint64_t V;
+  M->txBegin(0);
+  ASSERT_TRUE(M->txRead(0, 0, V));
+
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 0, 1));
+  ASSERT_TRUE(M->txCommit(1));
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 0, 0));
+  ASSERT_TRUE(M->txCommit(1));
+
+  uint64_t W;
+  EXPECT_FALSE(M->txRead(0, 0, W))
+      << "the version check must reject the ABA'd object";
+  EXPECT_EQ(M->lastAbortCause(0), AbortCause::AC_ReadValidation);
+}
+
+TEST(OrecTsInterleaved, ReadOnlySnapshotExtendsAcrossManyCommits) {
+  // A reader chasing a writer: each object it is about to read was *just*
+  // committed, so every single read observes a version newer than the
+  // snapshot — the workload where TL2's clock tax is total (its first
+  // such read aborts). orec-ts extends eight times and commits with zero
+  // aborts, because none of the extensions ever finds an already-read
+  // object changed.
+  auto M = createTm(TmKind::TK_OrecTs, 16, 2);
+  M->txBegin(0);
+  uint64_t V;
+  for (ObjectId Obj = 0; Obj < 8; ++Obj) {
+    M->txBegin(1);
+    ASSERT_TRUE(M->txWrite(1, 8 + Obj, 100 + Obj));
+    ASSERT_TRUE(M->txCommit(1));
+
+    ASSERT_TRUE(M->txRead(0, 8 + Obj, V))
+        << "reader died at step " << Obj << " without any conflict";
+    EXPECT_EQ(V, 100u + Obj) << "extension must surface the fresh value";
+  }
+  EXPECT_TRUE(M->txCommit(0));
+  TmStats S = M->stats();
+  EXPECT_EQ(S.totalAborts(), 0u)
+      << "commits the reader never conflicted with must not abort it";
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,231 @@
+//===-- tests/TxSetsTest.cpp - Transaction-local metadata tests -----------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// The stm/TxSets.h containers: unit tests around the linear-scan /
+/// hash-index threshold, O(1)-clear generation reuse, and a randomized
+/// differential sweep pitting the indexed WriteSet against the previous
+/// linear-scan implementation (reproduced here as the reference model).
+///
+//===----------------------------------------------------------------------===//
+
+#include "stm/TxSets.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace ptm;
+
+namespace {
+
+/// The pre-index WriteSet (verbatim semantics: ordered log, linear
+/// last-writer-wins lookup) as the differential reference.
+class LinearWriteSet {
+public:
+  bool lookup(ObjectId Obj, uint64_t &Value) const {
+    for (auto It = Entries.rbegin(), End = Entries.rend(); It != End; ++It) {
+      if (It->Obj == Obj) {
+        Value = It->Value;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void insertOrUpdate(ObjectId Obj, uint64_t Value) {
+    for (auto &Entry : Entries) {
+      if (Entry.Obj == Obj) {
+        Entry.Value = Value;
+        return;
+      }
+    }
+    Entries.push_back({Obj, Value});
+  }
+
+  size_t size() const { return Entries.size(); }
+  void clear() { Entries.clear(); }
+
+  const std::vector<WriteEntry> &entries() const { return Entries; }
+
+private:
+  std::vector<WriteEntry> Entries;
+};
+
+} // namespace
+
+TEST(WriteSet, LastWriterWinsAcrossTheIndexThreshold) {
+  WriteSet WS;
+  // Stay linear, then cross the threshold, updating an early object both
+  // before and after the index activates.
+  for (ObjectId Obj = 0; Obj < 40; ++Obj) {
+    WS.insertOrUpdate(Obj, Obj * 10);
+    WS.insertOrUpdate(2, 1000 + Obj); // Repeated update of one object.
+  }
+  EXPECT_EQ(WS.size(), 40u);
+  uint64_t V = 0;
+  ASSERT_TRUE(WS.lookup(2, V));
+  EXPECT_EQ(V, 1000u + 39);
+  ASSERT_TRUE(WS.lookup(39, V));
+  EXPECT_EQ(V, 390u);
+  EXPECT_FALSE(WS.lookup(40, V));
+}
+
+TEST(WriteSet, IterationPreservesFirstWriteOrder) {
+  WriteSet WS;
+  for (ObjectId Obj : {7u, 3u, 9u, 1u})
+    WS.insertOrUpdate(Obj, Obj);
+  WS.insertOrUpdate(3, 33); // Update must not move the entry.
+  std::vector<ObjectId> Order;
+  for (const WriteEntry &W : WS)
+    Order.push_back(W.Obj);
+  EXPECT_EQ(Order, (std::vector<ObjectId>{7, 3, 9, 1}));
+}
+
+TEST(WriteSet, ClearIsReusableAfterLargeTransactions) {
+  // The generation-stamp trick: after clear(), stale index slots from the
+  // previous transaction must be invisible even though they are not
+  // zeroed. Use object ids that recur across rounds to maximize stale
+  // hits, with sizes oscillating around the threshold.
+  WriteSet WS;
+  for (int Round = 0; Round < 50; ++Round) {
+    unsigned Size = (Round % 2) ? 200 : 3;
+    for (ObjectId Obj = 0; Obj < Size; ++Obj)
+      WS.insertOrUpdate(Obj, Round * 1000 + Obj);
+    EXPECT_EQ(WS.size(), Size);
+    uint64_t V = 0;
+    for (ObjectId Obj = 0; Obj < Size; ++Obj) {
+      ASSERT_TRUE(WS.lookup(Obj, V)) << "round " << Round << " obj " << Obj;
+      EXPECT_EQ(V, Round * 1000u + Obj);
+    }
+    EXPECT_FALSE(WS.lookup(Size, V))
+        << "stale slot from a previous round leaked through clear()";
+    WS.clear();
+    EXPECT_TRUE(WS.empty());
+  }
+}
+
+TEST(WriteSet, DifferentialAgainstLinearReference) {
+  // Randomized lookup/insert sequences over key ranges chosen to exercise
+  // both the linear regime and the indexed regime, plus clears.
+  for (uint64_t Seed : {1u, 2u, 3u, 4u}) {
+    Xoshiro256 Rng(Seed * 7919);
+    WriteSet Indexed;
+    LinearWriteSet Linear;
+    const unsigned KeySpace = (Seed % 2) ? 12 : 300;
+    for (int I = 0; I < 20000; ++I) {
+      ObjectId Obj = static_cast<ObjectId>(Rng.nextBounded(KeySpace));
+      double Dice = Rng.nextDouble();
+      if (Dice < 0.45) {
+        uint64_t Value = Rng.next();
+        Indexed.insertOrUpdate(Obj, Value);
+        Linear.insertOrUpdate(Obj, Value);
+      } else if (Dice < 0.99) {
+        uint64_t Vi = 0, Vl = 0;
+        bool Hi = Indexed.lookup(Obj, Vi);
+        bool Hl = Linear.lookup(Obj, Vl);
+        ASSERT_EQ(Hi, Hl) << "seed " << Seed << " op " << I << " obj " << Obj;
+        if (Hl) {
+          ASSERT_EQ(Vi, Vl) << "seed " << Seed << " op " << I;
+        }
+      } else {
+        Indexed.clear();
+        Linear.clear();
+      }
+      ASSERT_EQ(Indexed.size(), Linear.size());
+    }
+    // Final sweep: logs must agree entry-for-entry (order included).
+    std::vector<WriteEntry> Got(Indexed.begin(), Indexed.end());
+    ASSERT_EQ(Got.size(), Linear.entries().size());
+    for (size_t I = 0; I < Got.size(); ++I) {
+      EXPECT_EQ(Got[I].Obj, Linear.entries()[I].Obj);
+      EXPECT_EQ(Got[I].Value, Linear.entries()[I].Value);
+    }
+  }
+}
+
+TEST(ReadSetTest, DedupsAndFindsAcrossTheThreshold) {
+  ReadSet<uint64_t> RS;
+  for (ObjectId Obj = 0; Obj < 100; ++Obj) {
+    EXPECT_FALSE(RS.contains(Obj));
+    RS.insert(Obj, Obj + 500);
+    EXPECT_TRUE(RS.contains(Obj));
+  }
+  EXPECT_EQ(RS.size(), 100u);
+  for (ObjectId Obj = 0; Obj < 100; ++Obj) {
+    const auto *E = RS.find(Obj);
+    ASSERT_NE(E, nullptr) << "obj " << Obj;
+    EXPECT_EQ(E->Payload, Obj + 500);
+  }
+  EXPECT_EQ(RS.find(100), nullptr);
+  EXPECT_EQ(RS.find(~0u - 1), nullptr);
+}
+
+TEST(ReadSetTest, PayloadIsMutableThroughFind) {
+  // NOrec-style usage: validate() updates the logged value in place.
+  ReadSet<uint64_t> RS;
+  for (ObjectId Obj = 0; Obj < 32; ++Obj)
+    RS.insert(Obj, 0);
+  auto *E17 = RS.find(17);
+  ASSERT_NE(E17, nullptr);
+  E17->Payload = 99;
+  EXPECT_EQ(E17->Payload, 99u);
+  const auto *E16 = RS.find(16);
+  ASSERT_NE(E16, nullptr);
+  EXPECT_EQ(E16->Payload, 0u);
+}
+
+TEST(ReadSetTest, IterationIsFirstReadOrderAndIndexable) {
+  ReadSet<uint64_t> RS;
+  const std::vector<ObjectId> Objs = {42, 7, 13, 99, 0};
+  for (size_t I = 0; I < Objs.size(); ++I)
+    RS.insert(Objs[I], I);
+  size_t I = 0;
+  for (const auto &E : RS) {
+    EXPECT_EQ(E.Obj, Objs[I]);
+    EXPECT_EQ(E.Payload, I);
+    ++I;
+  }
+  // Reverse positional walk (the undo-log pattern).
+  for (size_t Pos = RS.size(); Pos != 0; --Pos)
+    EXPECT_EQ(RS[Pos - 1].Obj, Objs[Pos - 1]);
+}
+
+TEST(ReadSetTest, ClearGenerationsDoNotLeakMembership) {
+  ReadSet<uint64_t> RS;
+  for (int Round = 0; Round < 30; ++Round) {
+    for (ObjectId Obj = 0; Obj < 64; ++Obj)
+      RS.insert(Obj * 3, Round); // Sparse ids stress probe sequences.
+    EXPECT_TRUE(RS.contains(63 * 3));
+    RS.clear();
+    EXPECT_FALSE(RS.contains(63 * 3))
+        << "membership leaked across clear() in round " << Round;
+    EXPECT_EQ(RS.find(0), nullptr);
+  }
+}
+
+TEST(ReadSetTest, RandomizedMembershipMatchesReference) {
+  Xoshiro256 Rng(0xDECAF);
+  ReadSet<uint64_t> RS;
+  std::vector<bool> Ref(4096, false);
+  for (int I = 0; I < 30000; ++I) {
+    ObjectId Obj = static_cast<ObjectId>(Rng.nextBounded(4096));
+    if (Rng.nextBool(0.5)) {
+      if (!Ref[Obj]) {
+        RS.insert(Obj, Obj);
+        Ref[Obj] = true;
+      }
+    } else {
+      ASSERT_EQ(RS.contains(Obj), static_cast<bool>(Ref[Obj]))
+          << "op " << I << " obj " << Obj;
+    }
+  }
+  size_t Expected = 0;
+  for (bool B : Ref)
+    Expected += B;
+  EXPECT_EQ(RS.size(), Expected);
+}
