@@ -52,6 +52,11 @@ public:
     return static_cast<unsigned>(kMetaWords + NodeWords * NodeCapacity);
   }
 
+  /// Fixed metadata words at the head of every region (bump cursor +
+  /// free-list head); callers sizing very large regions pre-check
+  /// against overflow with this before calling objectsNeeded.
+  static constexpr unsigned metaWords() { return kMetaWords; }
+
   /// Quiescent reset to "everything free, nothing ever handed out".
   void reset();
 

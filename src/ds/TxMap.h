@@ -38,6 +38,10 @@ public:
     return BucketCount + TxAlloc::objectsNeeded(kNodeWords, KeyCapacity);
   }
 
+  /// t-objects per entry node; callers sizing very large regions (the KV
+  /// shards) use this to pre-check that objectsNeeded cannot overflow.
+  static constexpr unsigned entryWords() { return kNodeWords; }
+
   /// Quiescent reset to the empty map.
   void clear();
 

@@ -1,0 +1,22 @@
+//===-- kv/Kv.h - Umbrella header for the KV service layer -----*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience umbrella for the sharded key-value service layer: the
+/// store itself (KvStore.h) and the asynchronous request front end
+/// (RequestExecutor.h). See DESIGN.md for the latch protocol and the
+/// consistency properties sharding preserves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_KV_KV_H
+#define PTM_KV_KV_H
+
+#include "kv/KvStore.h"         // IWYU pragma: export
+#include "kv/RequestExecutor.h" // IWYU pragma: export
+
+#endif // PTM_KV_KV_H

@@ -1,0 +1,443 @@
+//===-- kv/KvStore.cpp - Sharded transactional key-value store ------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "kv/KvStore.h"
+
+#include "stm/Atomically.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+#include <mutex>
+
+using namespace ptm;
+using namespace ptm::kv;
+
+namespace {
+
+/// SplitMix64-style finalizer used for shard routing. Salted differently
+/// from TxMap's bucket hash: shard index comes from the low bits of this
+/// mix while buckets take `mix % Buckets` of their own, so the two
+/// partitions stay independent (an unsalted shared mix would leave each
+/// shard using only 1/ShardCount of its buckets).
+uint64_t mixShardKey(uint64_t Key) {
+  Key ^= 0x2545f4914f6cdd1dULL;
+  Key = (Key ^ (Key >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Key = (Key ^ (Key >> 27)) * 0x94d049bb133111ebULL;
+  return Key ^ (Key >> 31);
+}
+
+} // namespace
+
+bool KvStore::isValidShardCount(unsigned ShardCount) {
+  return std::has_single_bit(ShardCount);
+}
+
+unsigned KvStore::objectsPerShard(unsigned BucketsPerShard,
+                                  uint64_t CapacityPerShard) {
+  if (BucketsPerShard == 0 || CapacityPerShard == 0)
+    return 0;
+  // Reject geometries whose region would not fit in ObjectId range
+  // before TxMap::objectsNeeded computes (and truncates) in unsigned.
+  // Everything here is uint64 arithmetic: the entry-words product cannot
+  // wrap once Capacity clears the division test, and bucket/meta words
+  // add at most ~2^33 on top.
+  const uint64_t Limit = std::numeric_limits<ObjectId>::max();
+  const uint64_t Entry = ds::TxMap::entryWords();
+  if (CapacityPerShard > Limit / Entry)
+    return 0;
+  uint64_t Needed = uint64_t{BucketsPerShard} + ds::TxAlloc::metaWords() +
+                    Entry * CapacityPerShard;
+  if (Needed > Limit)
+    return 0;
+  return ds::TxMap::objectsNeeded(BucketsPerShard, CapacityPerShard);
+}
+
+std::unique_ptr<KvStore> KvStore::create(const KvConfig &Config) {
+  if (!isValidShardCount(Config.ShardCount) || Config.MaxThreads == 0)
+    return nullptr;
+  unsigned PerShard =
+      objectsPerShard(Config.BucketsPerShard, Config.CapacityPerShard);
+  if (PerShard == 0)
+    return nullptr;
+
+  std::unique_ptr<KvStore> Store(new KvStore(Config));
+  Store->ShardMask = Config.ShardCount - 1;
+  Store->Shards.reserve(Config.ShardCount);
+  for (unsigned I = 0; I < Config.ShardCount; ++I) {
+    Shard S;
+    S.M = createTm(Config.Kind, PerShard, Config.MaxThreads);
+    if (!S.M)
+      return nullptr; // Unknown TmKind.
+    S.Map = std::make_unique<ds::TxMap>(*S.M, 0, Config.BucketsPerShard,
+                                        Config.CapacityPerShard);
+    S.Latch = std::make_unique<std::shared_mutex>();
+    Store->Shards.push_back(std::move(S));
+  }
+  return Store;
+}
+
+unsigned KvStore::shardOf(uint64_t Key) const {
+  return static_cast<unsigned>(mixShardKey(Key)) & ShardMask;
+}
+
+//===----------------------------------------------------------------------===//
+// Single-key operations
+//===----------------------------------------------------------------------===//
+
+bool KvStore::get(ThreadId Tid, uint64_t Key, uint64_t &Value) {
+  Shard &S = shardFor(Key);
+  bool Hit = false;
+  atomically(*S.M, Tid, [&](TxRef &Tx) {
+    uint64_t V = 0;
+    Hit = S.Map->get(Tx, Key, V);
+    if (Hit)
+      Value = V;
+  });
+  return Hit;
+}
+
+bool KvStore::put(ThreadId Tid, uint64_t Key, uint64_t Value) {
+  Shard &S = shardFor(Key);
+  std::shared_lock<std::shared_mutex> Latch(*S.Latch);
+  bool Oom = false;
+  atomically(*S.M, Tid, [&](TxRef &Tx) {
+    Oom = false;
+    bool LocalOom = false;
+    S.Map->put(Tx, Key, Value, nullptr, &LocalOom);
+    if (LocalOom) {
+      // Nothing was mutated; abandon the probe reads without a commit.
+      Oom = true;
+      Tx.userAbort();
+    }
+  });
+  return !Oom;
+}
+
+bool KvStore::erase(ThreadId Tid, uint64_t Key) {
+  Shard &S = shardFor(Key);
+  std::shared_lock<std::shared_mutex> Latch(*S.Latch);
+  bool Hit = false;
+  atomically(*S.M, Tid,
+             [&](TxRef &Tx) { Hit = S.Map->erase(Tx, Key); });
+  return Hit;
+}
+
+bool KvStore::compareAndSwap(ThreadId Tid, uint64_t Key, uint64_t Expected,
+                             uint64_t Desired,
+                             std::optional<uint64_t> *Witness) {
+  Shard &S = shardFor(Key);
+  std::shared_lock<std::shared_mutex> Latch(*S.Latch);
+  bool Swapped = false;
+  std::optional<uint64_t> Seen;
+  atomically(*S.M, Tid, [&](TxRef &Tx) {
+    Swapped = false;
+    Seen.reset();
+    uint64_t V = 0;
+    if (S.Map->get(Tx, Key, V))
+      Seen = V;
+    if (Tx.failed())
+      return;
+    if (Seen == Expected) {
+      // Present with the expected value: the overwrite cannot allocate,
+      // so it cannot fail for capacity.
+      S.Map->put(Tx, Key, Desired);
+      Swapped = !Tx.failed();
+    }
+  });
+  if (Witness)
+    *Witness = Seen;
+  return Swapped;
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-key operations (canonical-order shard composition)
+//===----------------------------------------------------------------------===//
+
+std::vector<unsigned>
+KvStore::involvedShards(const std::vector<uint64_t> &Keys) const {
+  std::vector<unsigned> Involved;
+  Involved.reserve(Keys.size());
+  for (uint64_t Key : Keys)
+    Involved.push_back(shardOf(Key));
+  std::sort(Involved.begin(), Involved.end());
+  Involved.erase(std::unique(Involved.begin(), Involved.end()),
+                 Involved.end());
+  return Involved;
+}
+
+bool KvStore::shardHasRoom(
+    ThreadId Tid, unsigned ShardIdx,
+    const std::vector<std::pair<uint64_t, std::optional<uint64_t>>>
+        &Writes) {
+  Shard &S = Shards[ShardIdx];
+  uint64_t Inserts = 0;
+  std::vector<uint64_t> Seen; // Batches are small; linear dedup is fine.
+  atomically(*S.M, Tid, [&](TxRef &Tx) {
+    Inserts = 0;
+    Seen.clear();
+    for (const auto &[Key, Value] : Writes) {
+      if (!Value)
+        continue; // Erase: frees capacity, never consumes it.
+      if (std::find(Seen.begin(), Seen.end(), Key) != Seen.end())
+        continue;
+      Seen.push_back(Key);
+      uint64_t Current = 0;
+      if (!S.Map->get(Tx, Key, Current))
+        ++Inserts; // Fresh key: needs a node.
+      if (Tx.failed())
+        return;
+    }
+  });
+  // With the latch held exclusively no update can commit to this shard,
+  // so the quiescent live-node sample is exact.
+  return Inserts <= Config_.CapacityPerShard - S.Map->sampleLiveNodes();
+}
+
+bool KvStore::applyToShard(
+    ThreadId Tid, unsigned ShardIdx,
+    const std::vector<std::pair<uint64_t, std::optional<uint64_t>>> &Writes,
+    std::vector<UndoEntry> &Undo) {
+  Shard &S = Shards[ShardIdx];
+  std::vector<UndoEntry> Attempt;
+  Attempt.reserve(Writes.size());
+  bool Oom = false;
+  bool Committed = atomically(*S.M, Tid, [&](TxRef &Tx) {
+    Attempt.clear();
+    Oom = false;
+    for (const auto &[Key, Value] : Writes) {
+      uint64_t Prior = 0;
+      bool Present = S.Map->get(Tx, Key, Prior);
+      if (Tx.failed())
+        return;
+      Attempt.push_back(
+          {Key, Present ? std::optional<uint64_t>(Prior) : std::nullopt});
+      if (Value) {
+        bool LocalOom = false;
+        S.Map->put(Tx, Key, *Value, nullptr, &LocalOom);
+        if (LocalOom) {
+          Oom = true;
+          Tx.userAbort(); // Leave this shard untouched.
+          return;
+        }
+      } else {
+        S.Map->erase(Tx, Key);
+      }
+      if (Tx.failed())
+        return;
+    }
+  });
+  if (!Committed) {
+    assert(Oom && "only capacity exhaustion abandons a latched shard txn");
+    (void)Oom;
+    return false;
+  }
+  Undo.insert(Undo.end(), Attempt.begin(), Attempt.end());
+  return true;
+}
+
+void KvStore::rollbackShard(ThreadId Tid, unsigned ShardIdx,
+                            const std::vector<UndoEntry> &Undo) {
+  Shard &S = Shards[ShardIdx];
+  atomically(*S.M, Tid, [&](TxRef &Tx) {
+    for (auto It = Undo.rbegin(); It != Undo.rend(); ++It) {
+      if (It->Prior) {
+        bool LocalOom = false;
+        S.Map->put(Tx, It->Key, *It->Prior, nullptr, &LocalOom);
+        // Restores refill capacity the forward pass consumed or freed, so
+        // exhaustion here would be a bookkeeping bug.
+        assert(!LocalOom && "rollback must not exhaust the shard");
+        (void)LocalOom;
+      } else {
+        S.Map->erase(Tx, It->Key);
+      }
+      if (Tx.failed())
+        return;
+    }
+  });
+}
+
+bool KvStore::multiPut(
+    ThreadId Tid, const std::vector<std::pair<uint64_t, uint64_t>> &Pairs) {
+  if (Pairs.empty())
+    return true;
+
+  std::vector<uint64_t> Keys;
+  Keys.reserve(Pairs.size());
+  for (const auto &P : Pairs)
+    Keys.push_back(P.first);
+  const std::vector<unsigned> Involved = involvedShards(Keys);
+
+  // Canonical-order unique latches: ascending shard index, so two
+  // multi-key operations with overlapping shard sets can never hold
+  // resources in a cycle.
+  std::vector<std::unique_lock<std::shared_mutex>> Latches;
+  Latches.reserve(Involved.size());
+  for (unsigned ShardIdx : Involved)
+    Latches.emplace_back(*Shards[ShardIdx].Latch);
+
+  // Per-shard write lists, in batch order within each shard.
+  std::vector<std::vector<std::pair<uint64_t, std::optional<uint64_t>>>>
+      ShardWrites(Involved.size());
+  for (size_t S = 0; S < Involved.size(); ++S)
+    for (const auto &[Key, Value] : Pairs)
+      if (shardOf(Key) == Involved[S])
+        ShardWrites[S].emplace_back(Key, Value);
+
+  // Capacity precheck before anything commits: a failing batch must
+  // leave the store untouched for *every* observer — unlatched readers
+  // included, which a commit-then-roll-back scheme could not guarantee.
+  for (size_t S = 0; S < Involved.size(); ++S)
+    if (!shardHasRoom(Tid, Involved[S], ShardWrites[S]))
+      return false;
+
+  std::vector<std::pair<unsigned, std::vector<UndoEntry>>> Applied;
+  for (size_t S = 0; S < Involved.size(); ++S) {
+    std::vector<UndoEntry> Undo;
+    if (!applyToShard(Tid, Involved[S], ShardWrites[S], Undo)) {
+      // Unreachable after the precheck; kept as defense in depth (the
+      // latches still exclude every consistent reader here).
+      assert(false && "capacity precheck admitted an oversized batch");
+      for (auto It = Applied.rbegin(); It != Applied.rend(); ++It)
+        rollbackShard(Tid, It->first, It->second);
+      return false;
+    }
+    Applied.emplace_back(Involved[S], std::move(Undo));
+  }
+  return true;
+}
+
+bool KvStore::snapshotGet(ThreadId Tid, const std::vector<uint64_t> &Keys,
+                          std::vector<std::optional<uint64_t>> &Out) {
+  Out.assign(Keys.size(), std::nullopt);
+  if (Keys.empty())
+    return true;
+  const std::vector<unsigned> Involved = involvedShards(Keys);
+
+  std::vector<std::unique_lock<std::shared_mutex>> Latches;
+  Latches.reserve(Involved.size());
+  for (unsigned ShardIdx : Involved)
+    Latches.emplace_back(*Shards[ShardIdx].Latch);
+
+  // With the latches held no update can commit to any involved shard
+  // (single-key updates take the shared side), so the per-shard read
+  // transactions observe one atomic cross-shard state.
+  for (unsigned ShardIdx : Involved) {
+    Shard &S = Shards[ShardIdx];
+    atomically(*S.M, Tid, [&](TxRef &Tx) {
+      for (size_t I = 0; I < Keys.size(); ++I) {
+        if (shardOf(Keys[I]) != ShardIdx)
+          continue;
+        uint64_t V = 0;
+        if (S.Map->get(Tx, Keys[I], V))
+          Out[I] = V;
+        else
+          Out[I] = std::nullopt;
+        if (Tx.failed())
+          return;
+      }
+    });
+  }
+  return true;
+}
+
+bool KvStore::readModifyWrite(
+    ThreadId Tid, const std::vector<uint64_t> &Keys,
+    const std::function<void(std::vector<std::optional<uint64_t>> &)>
+        &Update) {
+  if (Keys.empty())
+    return true;
+  const std::vector<unsigned> Involved = involvedShards(Keys);
+
+  std::vector<std::unique_lock<std::shared_mutex>> Latches;
+  Latches.reserve(Involved.size());
+  for (unsigned ShardIdx : Involved)
+    Latches.emplace_back(*Shards[ShardIdx].Latch);
+
+  // Read phase: one read-only transaction per shard; the latches freeze
+  // the involved shards, so the values form a consistent snapshot that
+  // stays valid through the write phase.
+  std::vector<std::optional<uint64_t>> Values(Keys.size());
+  for (unsigned ShardIdx : Involved) {
+    Shard &S = Shards[ShardIdx];
+    atomically(*S.M, Tid, [&](TxRef &Tx) {
+      for (size_t I = 0; I < Keys.size(); ++I) {
+        if (shardOf(Keys[I]) != ShardIdx)
+          continue;
+        uint64_t V = 0;
+        Values[I] =
+            S.Map->get(Tx, Keys[I], V) ? std::optional<uint64_t>(V)
+                                       : std::nullopt;
+        if (Tx.failed())
+          return;
+      }
+    });
+  }
+
+  Update(Values);
+  assert(Values.size() == Keys.size() &&
+         "readModifyWrite update must keep one value per key");
+
+  // Write phase, canonical order, capacity prechecked like multiPut so
+  // a failing update writes nothing at all.
+  std::vector<std::vector<std::pair<uint64_t, std::optional<uint64_t>>>>
+      ShardWrites(Involved.size());
+  for (size_t S = 0; S < Involved.size(); ++S)
+    for (size_t I = 0; I < Keys.size(); ++I)
+      if (shardOf(Keys[I]) == Involved[S])
+        ShardWrites[S].emplace_back(Keys[I], Values[I]);
+
+  for (size_t S = 0; S < Involved.size(); ++S)
+    if (!shardHasRoom(Tid, Involved[S], ShardWrites[S]))
+      return false;
+
+  std::vector<std::pair<unsigned, std::vector<UndoEntry>>> Applied;
+  for (size_t S = 0; S < Involved.size(); ++S) {
+    std::vector<UndoEntry> Undo;
+    if (!applyToShard(Tid, Involved[S], ShardWrites[S], Undo)) {
+      assert(false && "capacity precheck admitted an oversized update");
+      for (auto It = Applied.rbegin(); It != Applied.rend(); ++It)
+        rollbackShard(Tid, It->first, It->second);
+      return false;
+    }
+    Applied.emplace_back(Involved[S], std::move(Undo));
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Quiescent introspection
+//===----------------------------------------------------------------------===//
+
+uint64_t KvStore::sampleSize() const {
+  uint64_t Total = 0;
+  for (const Shard &S : Shards)
+    Total += S.Map->sampleEntries().size();
+  return Total;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>>
+KvStore::sampleShard(unsigned ShardIdx) const {
+  return Shards[ShardIdx].Map->sampleEntries();
+}
+
+TmStats KvStore::aggregateStats() const {
+  TmStats Total;
+  for (const Shard &S : Shards) {
+    TmStats Part = S.M->stats();
+    Total.Commits += Part.Commits;
+    for (unsigned C = 0; C < kNumAbortCauses; ++C)
+      Total.Aborts[C] += Part.Aborts[C];
+  }
+  return Total;
+}
+
+void KvStore::resetStats() {
+  for (Shard &S : Shards)
+    S.M->resetStats();
+}

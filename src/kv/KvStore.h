@@ -1,0 +1,224 @@
+//===-- kv/KvStore.h - Sharded transactional key-value store ----*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The service layer: a key-value store hash-partitioned across N shards,
+/// each shard owning its own Tm instance (any TmKind) plus a TxMap region
+/// over it. This is where the paper's per-TM complexity results become
+/// per-shard service latencies: a single-key operation is a one-shard
+/// transaction whose cost is exactly the underlying TM's, and sharding
+/// multiplies the paper's single-instance concurrency bounds by keeping
+/// unrelated keys on unrelated TM instances (Kuznetsov & Ravi's "cost of
+/// concurrency" is paid per shard, not per store).
+///
+/// Multi-key operations (multiPut, snapshotGet, readModifyWrite) span
+/// shards. There is no global version clock across shards, so cross-shard
+/// atomicity is provided by a per-shard latch (std::shared_mutex)
+/// acquired in canonical (ascending shard index) order — the classic
+/// deadlock-freedom argument. The latch protocol:
+///
+///   * single-key get            — no latch; one opaque shard transaction.
+///   * single-key put/erase/cas  — shared latch on the one shard.
+///   * multiPut / snapshotGet /
+///     readModifyWrite           — unique latches on the involved shards,
+///                                 ascending order, held across all the
+///                                 per-shard commits.
+///
+/// What this preserves and what it does not (see DESIGN.md): every
+/// operation is linearizable per key, every shard is opaque, and the
+/// latched operations are strictly serializable among themselves *and*
+/// with single-key updates. What sharding gives up is cross-shard
+/// real-time ordering for unlatched single-key gets: a client issuing two
+/// separate gets can observe a multiPut "in between" (new value in one
+/// shard, old in another). Readers that need a consistent cross-key view
+/// use snapshotGet, which is the documented trade for not serializing
+/// every read through a global clock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_KV_KVSTORE_H
+#define PTM_KV_KVSTORE_H
+
+#include "ds/TxMap.h"
+#include "stm/Tm.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+namespace ptm {
+namespace kv {
+
+/// Geometry and algorithm choice of a KvStore. Every field is validated
+/// by KvStore::create (invalid configurations yield null, never UB).
+struct KvConfig {
+  unsigned ShardCount = 8;          ///< Shards; nonzero power of two.
+  unsigned BucketsPerShard = 64;    ///< TxMap chains per shard; nonzero.
+  uint64_t CapacityPerShard = 1024; ///< Max keys per shard; nonzero.
+  TmKind Kind = TmKind::TK_Tl2;     ///< TM algorithm run by every shard.
+  unsigned MaxThreads = 4;          ///< Descriptor slots per shard TM.
+};
+
+class KvStore {
+public:
+  /// True iff \p ShardCount is usable: nonzero and a power of two (keys
+  /// route by mask, so any other count would silently strand shards).
+  /// This is the shard-sizing gate every createTm-reaching path shares.
+  static bool isValidShardCount(unsigned ShardCount);
+
+  /// t-objects each shard's TM must span for the given map geometry; 0
+  /// when the geometry is invalid (zero buckets/capacity, or a region too
+  /// large for ObjectId).
+  static unsigned objectsPerShard(unsigned BucketsPerShard,
+                                  uint64_t CapacityPerShard);
+
+  /// Builds a store per \p Config. Returns null on any invalid field:
+  /// shard count 0 or non-power-of-two, zero buckets/capacity/threads, an
+  /// unknown TmKind, or a per-shard region exceeding ObjectId range.
+  static std::unique_ptr<KvStore> create(const KvConfig &Config);
+
+  unsigned shardCount() const { return static_cast<unsigned>(Shards.size()); }
+  unsigned maxThreads() const { return Config_.MaxThreads; }
+  const KvConfig &config() const { return Config_; }
+
+  /// The shard \p Key routes to (hash of the key, masked).
+  unsigned shardOf(uint64_t Key) const;
+
+  //===--- single-key operations (one-shard transactions) ----------------===//
+
+  /// Looks up \p Key. True iff present (then \p Value holds the mapping).
+  bool get(ThreadId Tid, uint64_t Key, uint64_t &Value);
+
+  /// Inserts or updates \p Key -> \p Value. False iff the owning shard's
+  /// capacity is exhausted (the store is unchanged in that case).
+  bool put(ThreadId Tid, uint64_t Key, uint64_t Value);
+
+  /// Removes \p Key. True iff it was present.
+  bool erase(ThreadId Tid, uint64_t Key);
+
+  /// Atomically: if \p Key is present with value \p Expected, replace it
+  /// with \p Desired. Returns true iff the swap happened; on false,
+  /// \p Witness (when non-null) holds the value that was actually present
+  /// (or nothing when the key was absent).
+  bool compareAndSwap(ThreadId Tid, uint64_t Key, uint64_t Expected,
+                      uint64_t Desired,
+                      std::optional<uint64_t> *Witness = nullptr);
+
+  //===--- multi-key operations (canonical-order shard composition) ------===//
+
+  /// Applies every (key, value) pair atomically: all of the batch or
+  /// none of it, for every observer (latched or not). Duplicate keys
+  /// apply in batch order (the last pair wins). False iff some shard
+  /// lacks capacity for the batch's fresh keys — capacity is prechecked
+  /// under the latches before anything commits, so a failed multiPut
+  /// writes nothing at all.
+  bool multiPut(ThreadId Tid,
+                const std::vector<std::pair<uint64_t, uint64_t>> &Pairs);
+
+  /// Reads all \p Keys as one consistent cross-shard snapshot:
+  /// \p Out[i] is the value of Keys[i], or nullopt when absent. The
+  /// snapshot is atomic with respect to every latched operation and every
+  /// single-key update. Always succeeds (returns for symmetry/future).
+  bool snapshotGet(ThreadId Tid, const std::vector<uint64_t> &Keys,
+                   std::vector<std::optional<uint64_t>> &Out);
+
+  /// Atomic cross-key read-modify-write: reads all \p Keys, hands the
+  /// values to \p Update (nullopt = absent), and applies the mutated
+  /// vector back (nullopt = erase). No concurrent update can slide
+  /// between the read and the write. False iff a shard lacks capacity
+  /// for the update's fresh keys (prechecked like multiPut, so nothing
+  /// is written; the check is conservative — erases in the same update
+  /// do not fund its inserts, since in-transaction application order
+  /// could need the peak anyway).
+  bool readModifyWrite(
+      ThreadId Tid, const std::vector<uint64_t> &Keys,
+      const std::function<void(std::vector<std::optional<uint64_t>> &)>
+          &Update);
+
+  //===--- quiescent introspection (setup/teardown/verification) ---------===//
+
+  /// Total entries across all shards. Quiescent only.
+  uint64_t sampleSize() const;
+
+  /// Entries of one shard, in bucket-then-chain order. Quiescent only.
+  std::vector<std::pair<uint64_t, uint64_t>>
+  sampleShard(unsigned ShardIdx) const;
+
+  /// Commit/abort counters summed over all shard TMs. Quiescent only.
+  TmStats aggregateStats() const;
+
+  /// Zeroes every shard TM's counters. Quiescent only.
+  void resetStats();
+
+  /// Shard \p ShardIdx's TM (tests and benchmarks peek at per-shard
+  /// stats).
+  Tm &shardTm(unsigned ShardIdx) { return *Shards[ShardIdx].M; }
+
+private:
+  friend class RequestExecutor; // executeBatch drives shards directly.
+
+  struct Shard {
+    std::unique_ptr<Tm> M;
+    std::unique_ptr<ds::TxMap> Map;
+    /// The canonical-order latch; see the file comment for the protocol.
+    /// unique_ptr because shared_mutex is immovable and shards live in a
+    /// vector.
+    std::unique_ptr<std::shared_mutex> Latch;
+  };
+
+  /// One key's prior state, recorded for capacity-failure rollback.
+  struct UndoEntry {
+    uint64_t Key;
+    std::optional<uint64_t> Prior; ///< nullopt = was absent.
+  };
+
+  explicit KvStore(const KvConfig &Config) : Config_(Config) {}
+
+  Shard &shardFor(uint64_t Key) { return Shards[shardOf(Key)]; }
+
+  /// The ascending list of shards touched by \p Keys (deduplicated).
+  std::vector<unsigned> involvedShards(const std::vector<uint64_t> &Keys) const;
+
+  /// True iff shard \p ShardIdx can absorb \p Writes: counts the
+  /// distinct not-yet-present insert keys against the shard's free
+  /// capacity. Erase entries are deliberately not credited (the
+  /// in-transaction application order could need the peak). Requires the
+  /// shard's latch held exclusively — the state is then write-frozen, so
+  /// the sampled live count is exact and the answer stays valid until
+  /// the latch drops.
+  bool shardHasRoom(
+      ThreadId Tid, unsigned ShardIdx,
+      const std::vector<std::pair<uint64_t, std::optional<uint64_t>>>
+          &Writes);
+
+  /// Applies \p Writes (nullopt value = erase) to shard \p ShardIdx in
+  /// one transaction, recording prior states into \p Undo. False on
+  /// capacity exhaustion (the shard is then unchanged).
+  bool applyToShard(
+      ThreadId Tid, unsigned ShardIdx,
+      const std::vector<std::pair<uint64_t, std::optional<uint64_t>>>
+          &Writes,
+      std::vector<UndoEntry> &Undo);
+
+  /// Reverses \p Undo against shard \p ShardIdx (restore prior values,
+  /// erase fresh inserts). Cannot fail: restores only ever refill nodes
+  /// the forward pass touched.
+  void rollbackShard(ThreadId Tid, unsigned ShardIdx,
+                     const std::vector<UndoEntry> &Undo);
+
+  KvConfig Config_;
+  unsigned ShardMask = 0;
+  std::vector<Shard> Shards;
+};
+
+} // namespace kv
+} // namespace ptm
+
+#endif // PTM_KV_KVSTORE_H

@@ -1,0 +1,158 @@
+//===-- kv/RequestExecutor.h - Async KV request execution -------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The asynchronous front end of the KV service: clients enqueue
+/// KvRequests into per-shard bounded MPMC queues (runtime/MpmcQueue.h)
+/// and a fixed worker pool drains them, executing each shard's pending
+/// requests as one batched transaction. Batching is the service-layer
+/// knob the bench_kv_batch family sweeps: a batch of B single-key
+/// operations pays one begin/commit instead of B, but its read/write set
+/// is B operations wide, so aborts get more expensive and latency grows
+/// with the time a request waits for its batch — the classic
+/// throughput-vs-latency trade.
+///
+/// Threading contract: worker w runs shard transactions under ThreadId w,
+/// so Options.Workers must not exceed the store's configured MaxThreads.
+/// Client threads never touch a TM — they only push requests and spin on
+/// the Done flag — so any number of clients may submit concurrently.
+///
+/// Ordering contract: shard s is drained only by worker s % Workers
+/// (static shard affinity), and the queues are per-producer FIFO, so one
+/// client's requests to any single key execute in submission order. More
+/// workers than shards leaves the surplus idle; more shards than workers
+/// time-multiplexes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_KV_REQUESTEXECUTOR_H
+#define PTM_KV_REQUESTEXECUTOR_H
+
+#include "kv/KvStore.h"
+#include "runtime/MpmcQueue.h"
+
+#include <atomic>
+#include <thread>
+
+namespace ptm {
+namespace kv {
+
+/// The operations a request can carry (the single-key KvStore surface;
+/// multi-key operations stay synchronous because they span shards).
+enum class KvOpKind : uint8_t {
+  Get,   ///< Result = value, Hit = present.
+  Put,   ///< Hit = stored (false only on shard capacity exhaustion).
+  Erase, ///< Hit = was present.
+  Cas,   ///< Hit = swapped; Result = witnessed value (0 when absent).
+};
+
+/// One in-flight client operation. The client owns the storage and must
+/// keep it alive until done(); the executor publishes results and sets
+/// Done with release ordering, so a client that observed done() reads
+/// consistent result fields.
+struct KvRequest {
+  KvOpKind Op = KvOpKind::Get;
+  uint64_t Key = 0;
+  uint64_t Value = 0;    ///< put: value to store; cas: desired value.
+  uint64_t Expected = 0; ///< cas: expected current value.
+
+  uint64_t Result = 0; ///< get: value read; cas: witnessed value.
+  bool Hit = false;    ///< See KvOpKind.
+  std::atomic<bool> Done{false};
+
+  bool done() const { return Done.load(std::memory_order_acquire); }
+
+  /// Re-arm a completed request for resubmission (client-side only).
+  void reset() { Done.store(false, std::memory_order_relaxed); }
+};
+
+/// Aggregate executor counters (racy-but-monotonic while running; exact
+/// once the executor is stopped).
+struct ExecutorStats {
+  uint64_t Completed = 0; ///< Requests executed and published.
+  uint64_t Batches = 0;   ///< Shard transactions that carried them.
+
+  double meanBatch() const {
+    return Batches == 0 ? 0.0
+                        : static_cast<double>(Completed) /
+                              static_cast<double>(Batches);
+  }
+};
+
+class RequestExecutor {
+public:
+  struct Options {
+    unsigned Workers = 2;          ///< Pool size; <= store MaxThreads.
+    unsigned QueueCapacity = 1024; ///< Per-shard queue; power of two.
+    unsigned MaxBatch = 16;        ///< Requests per shard transaction.
+  };
+
+  /// True iff \p Opts can drive \p Store: nonzero workers within the
+  /// store's thread budget, power-of-two queue capacity, nonzero batch.
+  static bool validOptions(const KvStore &Store, const Options &Opts);
+
+  /// Spawns the worker pool immediately. \p Opts must satisfy
+  /// validOptions (asserted).
+  RequestExecutor(KvStore &Store, const Options &Opts);
+
+  /// Stops and joins the pool (drains queued requests first).
+  ~RequestExecutor();
+
+  RequestExecutor(const RequestExecutor &) = delete;
+  RequestExecutor &operator=(const RequestExecutor &) = delete;
+
+  /// Enqueues \p R on its shard's queue, spinning while the queue is full
+  /// (bounded queues are the backpressure: a flooded shard slows its
+  /// clients instead of growing memory without bound).
+  void submit(KvRequest &R);
+
+  /// Non-blocking submit; false when the shard queue is full.
+  bool trySubmit(KvRequest &R);
+
+  /// Spins until \p R completed.
+  static void wait(const KvRequest &R);
+
+  /// Processes everything already submitted, then stops the workers.
+  /// Callers must not submit concurrently with or after this call.
+  void drainAndStop();
+
+  ExecutorStats stats() const;
+
+  unsigned workers() const { return Opts.Workers; }
+
+private:
+  void workerLoop(unsigned Worker);
+
+  /// Pops up to MaxBatch requests of \p Shard into the reused \p Batch
+  /// scratch and executes them in one transaction under ThreadId
+  /// \p Worker. Returns the batch size (0 = nothing pending; that path
+  /// is allocation-free).
+  unsigned runBatch(unsigned Worker, unsigned Shard,
+                    std::vector<KvRequest *> &Batch);
+
+  /// One sweep over the shards owned by \p Worker (static affinity:
+  /// shard s belongs to worker s % Workers); returns true if any batch
+  /// ran.
+  bool sweepOnce(unsigned Worker, std::vector<KvRequest *> &Batch);
+
+  struct alignas(64) WorkerStats {
+    std::atomic<uint64_t> Completed{0};
+    std::atomic<uint64_t> Batches{0};
+  };
+
+  KvStore &Store;
+  Options Opts;
+  std::vector<std::unique_ptr<MpmcQueue<KvRequest *>>> Queues;
+  std::vector<WorkerStats> PerWorker;
+  std::vector<std::thread> Pool;
+  std::atomic<bool> Stopping{false};
+};
+
+} // namespace kv
+} // namespace ptm
+
+#endif // PTM_KV_REQUESTEXECUTOR_H

@@ -1,0 +1,129 @@
+//===-- runtime/MpmcQueue.h - Bounded MPMC ring queue -----------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded multi-producer/multi-consumer queue in the style of Dmitry
+/// Vyukov's array-based design: a power-of-two ring of cells, each
+/// carrying a sequence number that encodes whether the cell is ready for
+/// the next producer or the next consumer. Both ends claim positions with
+/// a single CAS and never block each other beyond that cell hand-off, so
+/// the queue is suitable as the request-channel primitive of the service
+/// layer (src/kv/RequestExecutor): many client threads push, a fixed
+/// worker pool pops in batches.
+///
+/// tryPush/tryPop are non-blocking ("full"/"empty" is an ordinary false
+/// return); callers that want to wait spin with support/Spin.h like every
+/// other busy-wait loop in the project. Elements must be trivially
+/// movable; the KV layer stores raw request pointers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_RUNTIME_MPMCQUEUE_H
+#define PTM_RUNTIME_MPMCQUEUE_H
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace ptm {
+
+template <typename T> class MpmcQueue {
+public:
+  /// Builds a queue of \p Capacity slots. \p Capacity must be a nonzero
+  /// power of two (asserted): the ring indexes with a mask.
+  explicit MpmcQueue(uint64_t Capacity)
+      : Cells(new Cell[Capacity]), Mask(Capacity - 1) {
+    assert(std::has_single_bit(Capacity) && "MpmcQueue capacity: power of two");
+    for (uint64_t I = 0; I < Capacity; ++I)
+      Cells[I].Sequence.store(I, std::memory_order_relaxed);
+  }
+
+  MpmcQueue(const MpmcQueue &) = delete;
+  MpmcQueue &operator=(const MpmcQueue &) = delete;
+
+  uint64_t capacity() const { return Mask + 1; }
+
+  /// Attempts to enqueue \p Value; false when the queue is full. Each
+  /// producer's own pushes dequeue in push order (per-producer FIFO),
+  /// which is what makes per-client operation order meaningful at the
+  /// service layer.
+  bool tryPush(T Value) {
+    uint64_t Pos = Tail.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell &C = Cells[Pos & Mask];
+      uint64_t Seq = C.Sequence.load(std::memory_order_acquire);
+      intptr_t Diff =
+          static_cast<intptr_t>(Seq) - static_cast<intptr_t>(Pos);
+      if (Diff == 0) {
+        // The cell is free for this position; claim it.
+        if (Tail.compare_exchange_weak(Pos, Pos + 1,
+                                       std::memory_order_relaxed))
+          break;
+      } else if (Diff < 0) {
+        return false; // The cell still holds an unconsumed lap: full.
+      } else {
+        Pos = Tail.load(std::memory_order_relaxed); // Lost the race.
+      }
+    }
+    Cell &C = Cells[Pos & Mask];
+    C.Value = std::move(Value);
+    C.Sequence.store(Pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Attempts to dequeue into \p Value; false when the queue is empty.
+  bool tryPop(T &Value) {
+    uint64_t Pos = Head.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell &C = Cells[Pos & Mask];
+      uint64_t Seq = C.Sequence.load(std::memory_order_acquire);
+      intptr_t Diff =
+          static_cast<intptr_t>(Seq) - static_cast<intptr_t>(Pos + 1);
+      if (Diff == 0) {
+        if (Head.compare_exchange_weak(Pos, Pos + 1,
+                                       std::memory_order_relaxed))
+          break;
+      } else if (Diff < 0) {
+        return false; // The producer has not published this lap: empty.
+      } else {
+        Pos = Head.load(std::memory_order_relaxed);
+      }
+    }
+    Cell &C = Cells[Pos & Mask];
+    Value = std::move(C.Value);
+    C.Sequence.store(Pos + Mask + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Snapshot of the number of queued elements. Racy by nature (both ends
+  /// move concurrently); use only for monitoring and idle checks.
+  uint64_t approxSize() const {
+    uint64_t Produced = Tail.load(std::memory_order_acquire);
+    uint64_t Consumed = Head.load(std::memory_order_acquire);
+    return Produced > Consumed ? Produced - Consumed : 0;
+  }
+
+  bool approxEmpty() const { return approxSize() == 0; }
+
+private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> Sequence{0};
+    T Value{};
+  };
+
+  std::unique_ptr<Cell[]> Cells;
+  uint64_t Mask;
+  alignas(64) std::atomic<uint64_t> Tail{0}; ///< Next enqueue position.
+  alignas(64) std::atomic<uint64_t> Head{0}; ///< Next dequeue position.
+};
+
+} // namespace ptm
+
+#endif // PTM_RUNTIME_MPMCQUEUE_H

@@ -1,0 +1,211 @@
+//===-- workload/KvWorkload.cpp - Service-scale KV workloads --------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/KvWorkload.h"
+
+#include "kv/Kv.h"
+#include "support/Random.h"
+#include "support/Zipf.h"
+#include "workload/Driver.h"
+
+#include <cassert>
+#include <chrono>
+#include <optional>
+
+using namespace ptm;
+
+namespace {
+
+/// The keys of [0, KeySpace) owned by shard 0 — the hot-shard scenario's
+/// target population. Falls back to the whole key space when the store
+/// has a single shard (everything is "hot" then anyway).
+std::vector<uint64_t> hotShardKeys(const kv::KvStore &Store,
+                                   uint64_t KeySpace) {
+  std::vector<uint64_t> Pool;
+  for (uint64_t Key = 0; Key < KeySpace; ++Key)
+    if (Store.shardOf(Key) == 0)
+      Pool.push_back(Key);
+  if (Pool.empty())
+    for (uint64_t Key = 0; Key < KeySpace; ++Key)
+      Pool.push_back(Key);
+  return Pool;
+}
+
+/// Draws a Zipf-ranked key, optionally redirected into the hot pool with
+/// probability \p HotFrac (the rank indexes the pool, preserving skew).
+uint64_t drawKey(Xoshiro256 &Rng, const ZipfDistribution &Zipf,
+                 const std::vector<uint64_t> &HotPool, double HotFrac) {
+  uint64_t Rank = Zipf.sample(Rng);
+  if (HotFrac > 0.0 && Rng.nextBool(HotFrac))
+    return HotPool[Rank % HotPool.size()];
+  return Rank;
+}
+
+} // namespace
+
+RunResult ptm::runKvMix(kv::KvStore &Store, unsigned Threads,
+                        const KvMixConfig &Config) {
+  assert(Threads > 0 && Threads <= Store.maxThreads() &&
+         "client threads run shard transactions under their own ThreadId");
+  Store.resetStats();
+  const std::vector<uint64_t> HotPool = hotShardKeys(Store, Config.KeySpace);
+  const double SingleTotal =
+      Config.GetFrac + Config.PutFrac + Config.CasFrac;
+
+  double Seconds = runParallel(Threads, [&](ThreadId Tid) {
+    Xoshiro256 Rng(threadSeed(Config.Seed, Tid));
+    ZipfDistribution Zipf(Config.KeySpace, Config.Theta);
+    uint64_t MultiCounter = 0;
+
+    for (uint64_t Op = 0; Op < Config.OpsPerThread; ++Op) {
+      if (Config.MultiFrac > 0.0 && Rng.nextBool(Config.MultiFrac)) {
+        // Multi-key operation, cycling the three composition shapes.
+        std::vector<uint64_t> Keys;
+        Keys.reserve(Config.MultiKeys);
+        for (unsigned K = 0; K < Config.MultiKeys; ++K)
+          Keys.push_back(
+              drawKey(Rng, Zipf, HotPool, Config.HotShardFrac));
+        switch (MultiCounter++ % 3) {
+        case 0: {
+          std::vector<std::pair<uint64_t, uint64_t>> Pairs;
+          Pairs.reserve(Keys.size());
+          for (uint64_t Key : Keys)
+            Pairs.emplace_back(Key, (uint64_t{Tid} << 32) | Op);
+          Store.multiPut(Tid, Pairs);
+          break;
+        }
+        case 1: {
+          std::vector<std::optional<uint64_t>> Values;
+          Store.snapshotGet(Tid, Keys, Values);
+          break;
+        }
+        default:
+          Store.readModifyWrite(
+              Tid, Keys, [](std::vector<std::optional<uint64_t>> &Values) {
+                for (std::optional<uint64_t> &V : Values)
+                  V = V.value_or(0) + 1;
+              });
+          break;
+        }
+        continue;
+      }
+
+      uint64_t Key = drawKey(Rng, Zipf, HotPool, Config.HotShardFrac);
+      double Pick = Rng.nextDouble() *
+                    (SingleTotal < 1.0 ? 1.0 : SingleTotal);
+      if (Pick < Config.GetFrac) {
+        uint64_t Value = 0;
+        Store.get(Tid, Key, Value);
+      } else if (Pick < Config.GetFrac + Config.PutFrac) {
+        Store.put(Tid, Key, (uint64_t{Tid} << 32) | Op);
+      } else if (Pick < SingleTotal) {
+        uint64_t Current = 0;
+        if (Store.get(Tid, Key, Current))
+          Store.compareAndSwap(Tid, Key, Current, Current + 1);
+      } else {
+        Store.erase(Tid, Key);
+      }
+    }
+  });
+
+  RunResult R;
+  TmStats S = Store.aggregateStats();
+  R.Commits = S.Commits;
+  R.Aborts = S.totalAborts();
+  R.Seconds = Seconds;
+  R.ValueChecksum = Store.sampleSize();
+  return R;
+}
+
+RunResult ptm::runKvExecutorLoad(kv::KvStore &Store,
+                                 const KvExecutorConfig &Config,
+                                 KvExecutorMetrics *Metrics) {
+  assert(Config.Clients > 0 && Config.Pipeline > 0);
+  Store.resetStats();
+  const std::vector<uint64_t> HotPool = hotShardKeys(Store, Config.KeySpace);
+
+  kv::RequestExecutor::Options ExecOpts;
+  ExecOpts.Workers = Config.Workers;
+  ExecOpts.QueueCapacity = Config.QueueCapacity;
+  ExecOpts.MaxBatch = Config.MaxBatch;
+  kv::RequestExecutor Exec(Store, ExecOpts);
+
+  // Per-client latency sums, filled inside the parallel phase and reduced
+  // after the join.
+  std::vector<double> LatencySeconds(Config.Clients, 0.0);
+  std::vector<uint64_t> LatencySamples(Config.Clients, 0);
+
+  double Seconds = runParallel(Config.Clients, [&](ThreadId Client) {
+    using Clock = std::chrono::steady_clock;
+    Xoshiro256 Rng(threadSeed(Config.Seed, Client));
+    ZipfDistribution Zipf(Config.KeySpace, Config.Theta);
+
+    // A ring of Pipeline in-flight requests: submit until the ring is
+    // full, then retire the oldest before reusing its slot.
+    std::vector<kv::KvRequest> Ring(Config.Pipeline);
+    std::vector<Clock::time_point> SubmittedAt(Config.Pipeline);
+    double LocalLatency = 0.0;
+    uint64_t LocalSamples = 0;
+
+    auto Retire = [&](unsigned Slot) {
+      kv::RequestExecutor::wait(Ring[Slot]);
+      LocalLatency += std::chrono::duration<double>(Clock::now() -
+                                                    SubmittedAt[Slot])
+                          .count();
+      ++LocalSamples;
+    };
+
+    for (uint64_t Op = 0; Op < Config.OpsPerClient; ++Op) {
+      unsigned Slot = static_cast<unsigned>(Op % Config.Pipeline);
+      if (Op >= Config.Pipeline)
+        Retire(Slot);
+      kv::KvRequest &R = Ring[Slot];
+      R.reset();
+      R.Key = drawKey(Rng, Zipf, HotPool, Config.HotShardFrac);
+      if (Rng.nextBool(Config.GetFrac)) {
+        R.Op = kv::KvOpKind::Get;
+      } else {
+        R.Op = kv::KvOpKind::Put;
+        R.Value = (uint64_t{Client} << 32) | Op;
+      }
+      SubmittedAt[Slot] = Clock::now();
+      Exec.submit(R);
+    }
+    // Drain this client's tail of in-flight requests.
+    uint64_t Inflight = std::min<uint64_t>(Config.OpsPerClient,
+                                           Config.Pipeline);
+    for (uint64_t I = 0; I < Inflight; ++I)
+      Retire(static_cast<unsigned>((Config.OpsPerClient - Inflight + I) %
+                                   Config.Pipeline));
+
+    LatencySeconds[Client] = LocalLatency;
+    LatencySamples[Client] = LocalSamples;
+  });
+  Exec.drainAndStop();
+
+  kv::ExecutorStats ES = Exec.stats();
+  if (Metrics) {
+    double TotalLatency = 0.0;
+    uint64_t TotalSamples = 0;
+    for (unsigned C = 0; C < Config.Clients; ++C) {
+      TotalLatency += LatencySeconds[C];
+      TotalSamples += LatencySamples[C];
+    }
+    Metrics->Completed = ES.Completed;
+    Metrics->MeanLatencyUs =
+        TotalSamples == 0 ? 0.0 : (TotalLatency / TotalSamples) * 1e6;
+    Metrics->MeanBatch = ES.meanBatch();
+  }
+
+  RunResult R;
+  TmStats S = Store.aggregateStats();
+  R.Commits = S.Commits;
+  R.Aborts = S.totalAborts();
+  R.Seconds = Seconds;
+  R.ValueChecksum = ES.Completed;
+  return R;
+}

@@ -1,0 +1,95 @@
+//===-- workload/KvWorkload.h - Service-scale KV workloads ------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic drivers for the sharded KV service layer — the
+/// end-to-end counterpart of Workload.h (flat arrays) and DsWorkload.h
+/// (single structures). Thread t derives its PRNG stream from (Seed, t)
+/// exactly as everywhere else, so every run is reproducible from its
+/// parameters.
+///
+///  * kv mix        — client threads issue single-key get/put/cas/erase
+///                    and multi-key (multiPut / snapshotGet /
+///                    readModifyWrite) operations directly against a
+///                    KvStore, keys Zipf-skewed, with an optional
+///                    hot-shard scenario that funnels a fraction of all
+///                    traffic into shard 0's key population;
+///  * executor load — client threads pump pipelined KvRequests through a
+///                    RequestExecutor, measuring completed operations,
+///                    per-request latency and realized batch size.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_WORKLOAD_KVWORKLOAD_H
+#define PTM_WORKLOAD_KVWORKLOAD_H
+
+#include "workload/Workload.h"
+
+namespace ptm {
+namespace kv {
+class KvStore;
+} // namespace kv
+
+/// Parameters of the direct (synchronous) KV mix.
+struct KvMixConfig {
+  uint64_t OpsPerThread = 1000;
+  double GetFrac = 0.70;   ///< Single-key op split: lookups...
+  double PutFrac = 0.20;   ///< ...updates...
+  double CasFrac = 0.05;   ///< ...compare-and-swaps (rest are erases).
+  double MultiFrac = 0.10; ///< Fraction of all ops that are multi-key
+                           ///< (cycling multiPut / snapshotGet /
+                           ///< readModifyWrite).
+  unsigned MultiKeys = 4;  ///< Keys per multi-key operation.
+  uint64_t KeySpace = 1024;
+  double Theta = 0.8;          ///< Zipf skew of the key popularity.
+  double HotShardFrac = 0.0;   ///< Probability a key draw is redirected
+                               ///< into shard 0's key population (the
+                               ///< skewed-hot-shard scenario; 0 = off).
+  uint64_t Seed = 42;
+};
+
+/// Runs the mix with \p Threads client threads issuing operations
+/// directly (thread t uses ThreadId t, so Threads must not exceed the
+/// store's MaxThreads). Resets the store's stats, then reports:
+/// Commits/Aborts = the summed shard TM counters, ValueChecksum = final
+/// entry count across all shards.
+RunResult runKvMix(kv::KvStore &Store, unsigned Threads,
+                   const KvMixConfig &Config);
+
+/// Parameters of the asynchronous executor load.
+struct KvExecutorConfig {
+  unsigned Clients = 2;     ///< Submitting threads (never touch a TM).
+  unsigned Workers = 2;     ///< Executor pool; <= store MaxThreads.
+  uint64_t OpsPerClient = 1000;
+  unsigned MaxBatch = 16;      ///< Requests per shard transaction.
+  unsigned QueueCapacity = 1024; ///< Per-shard queue; power of two.
+  unsigned Pipeline = 64;      ///< In-flight requests per client.
+  double GetFrac = 0.8;        ///< Lookup fraction (rest are puts).
+  uint64_t KeySpace = 1024;
+  double Theta = 0.8;
+  double HotShardFrac = 0.0;
+  uint64_t Seed = 42;
+};
+
+/// Extra service-level metrics of one executor run.
+struct KvExecutorMetrics {
+  uint64_t Completed = 0;    ///< Requests completed.
+  double MeanLatencyUs = 0;  ///< Mean submit-to-done latency.
+  double MeanBatch = 0;      ///< Mean realized batch size.
+};
+
+/// Pumps Clients * OpsPerClient requests through a RequestExecutor over
+/// \p Store. RunResult Commits/Aborts are the shard TM counters (one
+/// commit per *batch*); ValueChecksum = completed requests. Per-request
+/// service metrics land in \p Metrics when non-null.
+RunResult runKvExecutorLoad(kv::KvStore &Store,
+                            const KvExecutorConfig &Config,
+                            KvExecutorMetrics *Metrics = nullptr);
+
+} // namespace ptm
+
+#endif // PTM_WORKLOAD_KVWORKLOAD_H

@@ -12,11 +12,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "kv/KvStore.h"
 #include "mutex/Mutex.h"
 #include "stm/Tm.h"
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 #include <string>
 
@@ -105,6 +107,62 @@ TEST(Factory, TmMutexPropagatesInvalidInnerKind) {
   auto L = createTmMutex(TmKind::TK_Tl2, 2);
   ASSERT_NE(L, nullptr);
   EXPECT_EQ(L->maxThreads(), 2u);
+}
+
+TEST(Factory, KvShardCountGate) {
+  // The shard-sizing rule every createTm-reaching KV path shares: shard
+  // counts must be nonzero powers of two (keys route by mask).
+  EXPECT_FALSE(kv::KvStore::isValidShardCount(0));
+  for (unsigned Bad : {3u, 5u, 6u, 7u, 9u, 24u, 1000u})
+    EXPECT_FALSE(kv::KvStore::isValidShardCount(Bad)) << Bad;
+  for (unsigned Shift = 0; Shift < 12; ++Shift)
+    EXPECT_TRUE(kv::KvStore::isValidShardCount(1u << Shift)) << Shift;
+}
+
+TEST(Factory, KvObjectsPerShardMatchesMapGeometry) {
+  // The helper is TxMap::objectsNeeded behind an overflow gate.
+  EXPECT_EQ(kv::KvStore::objectsPerShard(8, 16),
+            ds::TxMap::objectsNeeded(8, 16));
+  EXPECT_EQ(kv::KvStore::objectsPerShard(0, 16), 0u);
+  EXPECT_EQ(kv::KvStore::objectsPerShard(8, 0), 0u);
+  // Geometries whose region cannot fit ObjectId range are rejected
+  // instead of truncated — on either axis.
+  EXPECT_EQ(kv::KvStore::objectsPerShard(
+                8, std::numeric_limits<uint64_t>::max() / 2),
+            0u);
+  EXPECT_EQ(kv::KvStore::objectsPerShard(
+                8, uint64_t{std::numeric_limits<ObjectId>::max()}),
+            0u);
+  EXPECT_EQ(kv::KvStore::objectsPerShard(
+                std::numeric_limits<unsigned>::max() - 1, 1),
+            0u);
+  EXPECT_EQ(kv::KvStore::objectsPerShard(
+                std::numeric_limits<unsigned>::max(),
+                std::numeric_limits<uint64_t>::max()),
+            0u);
+}
+
+TEST(Factory, KvCreateRejectsWhatTheGateRejects) {
+  kv::KvConfig Cfg;
+  Cfg.ShardCount = 4;
+  Cfg.BucketsPerShard = 4;
+  Cfg.CapacityPerShard = 8;
+  Cfg.Kind = TmKind::TK_Norec;
+  Cfg.MaxThreads = 2;
+  ASSERT_NE(kv::KvStore::create(Cfg), nullptr);
+
+  kv::KvConfig Bad = Cfg;
+  Bad.ShardCount = 6;
+  EXPECT_EQ(kv::KvStore::create(Bad), nullptr);
+  Bad = Cfg;
+  Bad.ShardCount = 0;
+  EXPECT_EQ(kv::KvStore::create(Bad), nullptr);
+  Bad = Cfg;
+  Bad.MaxThreads = 0;
+  EXPECT_EQ(kv::KvStore::create(Bad), nullptr);
+  Bad = Cfg;
+  Bad.Kind = static_cast<TmKind>(999);
+  EXPECT_EQ(kv::KvStore::create(Bad), nullptr);
 }
 
 TEST(Factory, AbortCauseNamesAreStable) {

@@ -1,0 +1,776 @@
+//===-- tests/KvTest.cpp - Sharded KV service layer tests -----------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The service-layer suite, in four tiers:
+///
+///  * creation/sizing negatives — invalid shard geometry must yield null,
+///    never UB (the power-of-two gate shared with FactoryTest);
+///  * sequential semantics + a randomized differential against
+///    std::unordered_map across every TmKind, covering the whole surface
+///    (get/put/erase/cas, multiPut, snapshotGet, readModifyWrite) and the
+///    capacity-exhaustion rollback of multi-shard batches;
+///  * concurrency — per-thread differential stress, the canonical-order
+///    multi-shard commit scripts (reversed acquisition orders must not
+///    deadlock; a cross-shard batch must never be observed torn: the
+///    "opacity across shards" property the latch protocol buys);
+///  * the asynchronous executor — per-client FIFO, mixed-op batches
+///    matched against an in-order model, and drain-on-stop.
+///
+//===----------------------------------------------------------------------===//
+
+#include "kv/Kv.h"
+#include "workload/KvWorkload.h"
+
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+using namespace ptm;
+using namespace ptm::kv;
+
+namespace {
+
+std::string paramName(const ::testing::TestParamInfo<TmKind> &Info) {
+  std::string Name = tmKindName(Info.param);
+  for (char &C : Name)
+    if (C == '-')
+      C = '_';
+  return Name;
+}
+
+KvConfig smallConfig(TmKind Kind, unsigned Shards = 4,
+                     unsigned MaxThreads = 4) {
+  KvConfig Cfg;
+  Cfg.ShardCount = Shards;
+  Cfg.BucketsPerShard = 8;
+  Cfg.CapacityPerShard = 256;
+  Cfg.Kind = Kind;
+  Cfg.MaxThreads = MaxThreads;
+  return Cfg;
+}
+
+/// First \p Count keys (ascending) that the store routes to \p Shard.
+std::vector<uint64_t> keysOfShard(const KvStore &Store, unsigned Shard,
+                                  size_t Count) {
+  std::vector<uint64_t> Keys;
+  for (uint64_t Key = 0; Keys.size() < Count && Key < 1 << 20; ++Key)
+    if (Store.shardOf(Key) == Shard)
+      Keys.push_back(Key);
+  EXPECT_EQ(Keys.size(), Count) << "key search space exhausted";
+  return Keys;
+}
+
+class KvStoreTest : public ::testing::TestWithParam<TmKind> {};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Creation and sizing
+//===----------------------------------------------------------------------===//
+
+TEST(KvSizing, ShardCountMustBePowerOfTwo) {
+  for (unsigned Bad : {0u, 3u, 5u, 6u, 7u, 12u, 100u}) {
+    EXPECT_FALSE(KvStore::isValidShardCount(Bad)) << Bad;
+    KvConfig Cfg = smallConfig(TmKind::TK_Tl2);
+    Cfg.ShardCount = Bad;
+    EXPECT_EQ(KvStore::create(Cfg), nullptr) << Bad;
+  }
+  for (unsigned Good : {1u, 2u, 4u, 8u, 64u})
+    EXPECT_TRUE(KvStore::isValidShardCount(Good)) << Good;
+}
+
+TEST(KvSizing, RejectsZeroGeometry) {
+  KvConfig Cfg = smallConfig(TmKind::TK_Tl2);
+  Cfg.BucketsPerShard = 0;
+  EXPECT_EQ(KvStore::create(Cfg), nullptr);
+  Cfg = smallConfig(TmKind::TK_Tl2);
+  Cfg.CapacityPerShard = 0;
+  EXPECT_EQ(KvStore::create(Cfg), nullptr);
+  Cfg = smallConfig(TmKind::TK_Tl2);
+  Cfg.MaxThreads = 0;
+  EXPECT_EQ(KvStore::create(Cfg), nullptr);
+  Cfg = smallConfig(static_cast<TmKind>(999));
+  EXPECT_EQ(KvStore::create(Cfg), nullptr);
+}
+
+TEST(KvSizing, EveryKeyRoutesToAValidShard) {
+  auto Store = KvStore::create(smallConfig(TmKind::TK_Tl2, 8));
+  ASSERT_NE(Store, nullptr);
+  std::vector<uint64_t> PerShard(8, 0);
+  for (uint64_t Key = 0; Key < 4096; ++Key) {
+    unsigned Shard = Store->shardOf(Key);
+    ASSERT_LT(Shard, 8u);
+    ++PerShard[Shard];
+  }
+  // The router is a mixing hash: no shard may be starved (a starved
+  // shard would mean routing and bucket hashing collapsed together).
+  for (unsigned S = 0; S < 8; ++S)
+    EXPECT_GT(PerShard[S], 4096u / 16) << "shard " << S << " starved";
+}
+
+//===----------------------------------------------------------------------===//
+// Sequential semantics (every TmKind)
+//===----------------------------------------------------------------------===//
+
+TEST_P(KvStoreTest, SingleKeyBasics) {
+  auto Store = KvStore::create(smallConfig(GetParam()));
+  ASSERT_NE(Store, nullptr);
+
+  uint64_t Value = 99;
+  EXPECT_FALSE(Store->get(0, 7, Value));
+  EXPECT_TRUE(Store->put(0, 7, 70));
+  EXPECT_TRUE(Store->get(0, 7, Value));
+  EXPECT_EQ(Value, 70u);
+  EXPECT_TRUE(Store->put(0, 7, 71)); // Overwrite.
+  EXPECT_TRUE(Store->get(0, 7, Value));
+  EXPECT_EQ(Value, 71u);
+  EXPECT_TRUE(Store->erase(0, 7));
+  EXPECT_FALSE(Store->erase(0, 7));
+  EXPECT_FALSE(Store->get(0, 7, Value));
+  EXPECT_EQ(Store->sampleSize(), 0u);
+}
+
+TEST_P(KvStoreTest, CompareAndSwapSemantics) {
+  auto Store = KvStore::create(smallConfig(GetParam()));
+  ASSERT_NE(Store, nullptr);
+
+  std::optional<uint64_t> Witness;
+  // Absent key: no swap, witness reports absence.
+  EXPECT_FALSE(Store->compareAndSwap(0, 5, 0, 1, &Witness));
+  EXPECT_FALSE(Witness.has_value());
+
+  ASSERT_TRUE(Store->put(0, 5, 10));
+  // Wrong expectation: no swap, witness holds the actual value.
+  EXPECT_FALSE(Store->compareAndSwap(0, 5, 11, 12, &Witness));
+  ASSERT_TRUE(Witness.has_value());
+  EXPECT_EQ(*Witness, 10u);
+  uint64_t Value = 0;
+  ASSERT_TRUE(Store->get(0, 5, Value));
+  EXPECT_EQ(Value, 10u);
+
+  // Matching expectation: swapped.
+  EXPECT_TRUE(Store->compareAndSwap(0, 5, 10, 12, &Witness));
+  ASSERT_TRUE(Store->get(0, 5, Value));
+  EXPECT_EQ(Value, 12u);
+}
+
+TEST_P(KvStoreTest, MultiPutAndSnapshotGet) {
+  auto Store = KvStore::create(smallConfig(GetParam()));
+  ASSERT_NE(Store, nullptr);
+
+  // Duplicate key in the batch: the later pair wins (batch order).
+  ASSERT_TRUE(Store->multiPut(0, {{1, 10}, {2, 20}, {3, 30}, {1, 11}}));
+  std::vector<std::optional<uint64_t>> Out;
+  ASSERT_TRUE(Store->snapshotGet(0, {1, 2, 3, 4}, Out));
+  ASSERT_EQ(Out.size(), 4u);
+  EXPECT_EQ(Out[0], std::optional<uint64_t>(11));
+  EXPECT_EQ(Out[1], std::optional<uint64_t>(20));
+  EXPECT_EQ(Out[2], std::optional<uint64_t>(30));
+  EXPECT_FALSE(Out[3].has_value());
+  EXPECT_EQ(Store->sampleSize(), 3u);
+}
+
+TEST_P(KvStoreTest, ReadModifyWriteAcrossShards) {
+  auto Store = KvStore::create(smallConfig(GetParam()));
+  ASSERT_NE(Store, nullptr);
+
+  ASSERT_TRUE(Store->multiPut(0, {{1, 100}, {2, 50}}));
+  // A transfer: both keys mutate as one atomic cross-key operation.
+  ASSERT_TRUE(Store->readModifyWrite(
+      0, {1, 2}, [](std::vector<std::optional<uint64_t>> &Values) {
+        ASSERT_TRUE(Values[0] && Values[1]);
+        *Values[0] -= 30;
+        *Values[1] += 30;
+      }));
+  std::vector<std::optional<uint64_t>> Out;
+  ASSERT_TRUE(Store->snapshotGet(0, {1, 2}, Out));
+  EXPECT_EQ(Out[0], std::optional<uint64_t>(70));
+  EXPECT_EQ(Out[1], std::optional<uint64_t>(80));
+
+  // nullopt result = erase; absent input reads as nullopt.
+  ASSERT_TRUE(Store->readModifyWrite(
+      0, {1, 9}, [](std::vector<std::optional<uint64_t>> &Values) {
+        EXPECT_FALSE(Values[1].has_value());
+        Values[0].reset();
+        Values[1] = 5;
+      }));
+  ASSERT_TRUE(Store->snapshotGet(0, {1, 9}, Out));
+  EXPECT_FALSE(Out[0].has_value());
+  EXPECT_EQ(Out[1], std::optional<uint64_t>(5));
+}
+
+TEST_P(KvStoreTest, DifferentialAgainstUnorderedMap) {
+  auto Store = KvStore::create(smallConfig(GetParam()));
+  ASSERT_NE(Store, nullptr);
+  std::unordered_map<uint64_t, uint64_t> Model;
+  Xoshiro256 Rng(0xC0FFEE ^ static_cast<uint64_t>(GetParam()));
+  constexpr uint64_t kKeySpace = 128;
+
+  for (int Op = 0; Op < 4000; ++Op) {
+    uint64_t Key = Rng.nextBounded(kKeySpace);
+    switch (Rng.nextBounded(7)) {
+    case 0:
+    case 1: { // get
+      uint64_t Value = 0;
+      bool Hit = Store->get(0, Key, Value);
+      auto It = Model.find(Key);
+      ASSERT_EQ(Hit, It != Model.end()) << "op " << Op;
+      if (Hit) {
+        ASSERT_EQ(Value, It->second) << "op " << Op;
+      }
+      break;
+    }
+    case 2: { // put
+      uint64_t Value = Rng.next();
+      ASSERT_TRUE(Store->put(0, Key, Value));
+      Model[Key] = Value;
+      break;
+    }
+    case 3: { // erase
+      bool Hit = Store->erase(0, Key);
+      ASSERT_EQ(Hit, Model.erase(Key) != 0) << "op " << Op;
+      break;
+    }
+    case 4: { // cas with a fifty-fifty correct expectation
+      auto It = Model.find(Key);
+      uint64_t Current = It != Model.end() ? It->second : 0;
+      uint64_t Expected = Rng.nextBool(0.5) ? Current : Current + 1;
+      bool Swapped = Store->compareAndSwap(0, Key, Expected, 777);
+      bool ModelSwap = It != Model.end() && Expected == Current;
+      ASSERT_EQ(Swapped, ModelSwap) << "op " << Op;
+      if (ModelSwap)
+        Model[Key] = 777;
+      break;
+    }
+    case 5: { // multiPut
+      std::vector<std::pair<uint64_t, uint64_t>> Pairs;
+      for (unsigned K = 0; K < 4; ++K)
+        Pairs.emplace_back(Rng.nextBounded(kKeySpace), Rng.next());
+      ASSERT_TRUE(Store->multiPut(0, Pairs));
+      for (const auto &[PKey, PValue] : Pairs)
+        Model[PKey] = PValue;
+      break;
+    }
+    default: { // readModifyWrite: increment-or-seed a random key set
+      std::vector<uint64_t> Keys;
+      for (unsigned K = 0; K < 3; ++K)
+        Keys.push_back(Rng.nextBounded(kKeySpace));
+      ASSERT_TRUE(Store->readModifyWrite(
+          0, Keys, [](std::vector<std::optional<uint64_t>> &Values) {
+            for (auto &V : Values)
+              V = V.value_or(0) + 1;
+          }));
+      // Mirror the RMW snapshot semantics: duplicate keys all read the
+      // same pre-operation value, so they increment once, not twice.
+      std::unordered_map<uint64_t, uint64_t> Snapshot;
+      for (uint64_t K : Keys)
+        if (!Snapshot.count(K))
+          Snapshot[K] = Model.count(K) ? Model[K] : 0;
+      for (uint64_t K : Keys)
+        Model[K] = Snapshot[K] + 1;
+      break;
+    }
+    }
+  }
+
+  // Full-state comparison at the end.
+  ASSERT_EQ(Store->sampleSize(), Model.size());
+  for (const auto &[Key, Value] : Model) {
+    uint64_t Stored = 0;
+    ASSERT_TRUE(Store->get(0, Key, Stored)) << Key;
+    ASSERT_EQ(Stored, Value) << Key;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Capacity exhaustion and rollback
+//===----------------------------------------------------------------------===//
+
+TEST_P(KvStoreTest, PutFailsCleanlyWhenShardFull) {
+  KvConfig Cfg = smallConfig(GetParam(), /*Shards=*/1);
+  Cfg.CapacityPerShard = 4;
+  auto Store = KvStore::create(Cfg);
+  ASSERT_NE(Store, nullptr);
+
+  for (uint64_t Key = 0; Key < 4; ++Key)
+    ASSERT_TRUE(Store->put(0, Key, Key));
+  EXPECT_FALSE(Store->put(0, 99, 1)) << "fifth distinct key must not fit";
+  EXPECT_EQ(Store->sampleSize(), 4u);
+  // Overwrites and erase+insert still work at capacity.
+  EXPECT_TRUE(Store->put(0, 3, 33));
+  EXPECT_TRUE(Store->erase(0, 0));
+  EXPECT_TRUE(Store->put(0, 99, 1));
+}
+
+TEST_P(KvStoreTest, MultiPutFailsAtomicallyOnCapacityExhaustion) {
+  KvConfig Cfg = smallConfig(GetParam(), /*Shards=*/2);
+  Cfg.CapacityPerShard = 3;
+  auto Store = KvStore::create(Cfg);
+  ASSERT_NE(Store, nullptr);
+
+  // Fill shard 1 completely; shard 0 stays empty.
+  std::vector<uint64_t> Shard1Keys = keysOfShard(*Store, 1, 4);
+  for (unsigned I = 0; I < 3; ++I)
+    ASSERT_TRUE(Store->put(0, Shard1Keys[I], 100 + I));
+  std::vector<uint64_t> Shard0Keys = keysOfShard(*Store, 0, 2);
+
+  // A batch that fits shard 0 but exhausts shard 1 must leave the store
+  // exactly as it was: the capacity precheck fails it before anything
+  // commits, so not even a momentary shard-0 write is observable.
+  std::vector<std::pair<uint64_t, uint64_t>> Batch = {
+      {Shard0Keys[0], 1}, {Shard0Keys[1], 2}, {Shard1Keys[3], 3}};
+  EXPECT_FALSE(Store->multiPut(0, Batch));
+
+  EXPECT_EQ(Store->sampleSize(), 3u);
+  uint64_t Value = 0;
+  EXPECT_FALSE(Store->get(0, Shard0Keys[0], Value)) << "partial batch leaked";
+  EXPECT_FALSE(Store->get(0, Shard0Keys[1], Value)) << "partial batch leaked";
+  for (unsigned I = 0; I < 3; ++I) {
+    ASSERT_TRUE(Store->get(0, Shard1Keys[I], Value));
+    EXPECT_EQ(Value, 100u + I) << "pre-existing value clobbered";
+  }
+
+  // The same batch through readModifyWrite also fails atomically.
+  EXPECT_FALSE(Store->readModifyWrite(
+      0, {Shard0Keys[0], Shard1Keys[3]},
+      [](std::vector<std::optional<uint64_t>> &Values) {
+        Values[0] = 7;
+        Values[1] = 8;
+      }));
+  EXPECT_FALSE(Store->get(0, Shard0Keys[0], Value));
+  EXPECT_EQ(Store->sampleSize(), 3u);
+
+  // The documented conservatism: at full capacity an RMW whose erase
+  // would fund its insert is still rejected (application order inside
+  // the shard transaction could need the peak).
+  EXPECT_FALSE(Store->readModifyWrite(
+      0, {Shard1Keys[0], Shard1Keys[3]},
+      [](std::vector<std::optional<uint64_t>> &Values) {
+        Values[0].reset();
+        Values[1] = 9;
+      }));
+  ASSERT_TRUE(Store->get(0, Shard1Keys[0], Value));
+  EXPECT_EQ(Value, 100u);
+
+  // Overwrites of present keys need no fresh node and still succeed at
+  // full capacity.
+  EXPECT_TRUE(Store->multiPut(
+      0, {{Shard1Keys[0], 500}, {Shard1Keys[1], 501}}));
+  ASSERT_TRUE(Store->get(0, Shard1Keys[0], Value));
+  EXPECT_EQ(Value, 500u);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency
+//===----------------------------------------------------------------------===//
+
+TEST_P(KvStoreTest, ConcurrentDifferentialDisjointRanges) {
+  constexpr unsigned kThreads = 4;
+  constexpr uint64_t kOps = 1500;
+  constexpr uint64_t kRange = 64;
+  auto Store = KvStore::create(smallConfig(GetParam(), 4, kThreads));
+  ASSERT_NE(Store, nullptr);
+
+  // Each thread owns a disjoint key range and mirrors its own model, so
+  // the mirror needs no synchronization; contention still happens inside
+  // the shards (ranges interleave across all shards).
+  std::vector<std::unordered_map<uint64_t, uint64_t>> Models(kThreads);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < kThreads; ++T) {
+    Threads.emplace_back([&, T] {
+      Xoshiro256 Rng(0xABCD + T);
+      auto &Model = Models[T];
+      const uint64_t Base = T * kRange;
+      for (uint64_t Op = 0; Op < kOps; ++Op) {
+        uint64_t Key = Base + Rng.nextBounded(kRange);
+        switch (Rng.nextBounded(4)) {
+        case 0: {
+          uint64_t Value = 0;
+          bool Hit = Store->get(T, Key, Value);
+          ASSERT_EQ(Hit, Model.count(Key) != 0);
+          if (Hit) {
+            ASSERT_EQ(Value, Model[Key]);
+          }
+          break;
+        }
+        case 1:
+          ASSERT_TRUE(Store->put(T, Key, Op));
+          Model[Key] = Op;
+          break;
+        case 2:
+          ASSERT_EQ(Store->erase(T, Key), Model.erase(Key) != 0);
+          break;
+        default: {
+          std::vector<std::pair<uint64_t, uint64_t>> Pairs = {
+              {Key, Op}, {Base + (Key + 1 - Base) % kRange, Op + 1}};
+          ASSERT_TRUE(Store->multiPut(T, Pairs));
+          for (const auto &[PKey, PValue] : Pairs)
+            Model[PKey] = PValue;
+          break;
+        }
+        }
+      }
+    });
+  }
+  for (std::thread &W : Threads)
+    W.join();
+
+  uint64_t Expected = 0;
+  for (const auto &Model : Models)
+    Expected += Model.size();
+  ASSERT_EQ(Store->sampleSize(), Expected);
+  for (const auto &Model : Models)
+    for (const auto &[Key, Value] : Model) {
+      uint64_t Stored = 0;
+      ASSERT_TRUE(Store->get(0, Key, Stored)) << Key;
+      ASSERT_EQ(Stored, Value) << Key;
+    }
+}
+
+TEST_P(KvStoreTest, CrossShardBatchesAreNeverTorn) {
+  // The "opacity across shards" property: writers keep multiPut-ing
+  // matched (KeyA, KeyB) pairs on two different shards; snapshot readers
+  // must always see both halves equal. Without the canonical-order
+  // latches the per-shard commits would be separately visible.
+  auto Store = KvStore::create(smallConfig(GetParam(), 4, 4));
+  ASSERT_NE(Store, nullptr);
+  const uint64_t KeyA = keysOfShard(*Store, 0, 1)[0];
+  const uint64_t KeyB = keysOfShard(*Store, 1, 1)[0];
+  ASSERT_TRUE(Store->multiPut(0, {{KeyA, 0}, {KeyB, 0}}));
+
+  constexpr uint64_t kRounds = 400;
+  std::vector<std::thread> Threads;
+  for (unsigned W = 0; W < 2; ++W) {
+    Threads.emplace_back([&, W] {
+      for (uint64_t I = 1; I <= kRounds; ++I) {
+        uint64_t Tag = (uint64_t{W} << 32) | I;
+        ASSERT_TRUE(Store->multiPut(W, {{KeyA, Tag}, {KeyB, Tag}}));
+      }
+    });
+  }
+  for (unsigned R = 2; R < 4; ++R) {
+    Threads.emplace_back([&, R] {
+      for (uint64_t I = 0; I < kRounds; ++I) {
+        std::vector<std::optional<uint64_t>> Out;
+        ASSERT_TRUE(Store->snapshotGet(R, {KeyA, KeyB}, Out));
+        ASSERT_TRUE(Out[0] && Out[1]);
+        ASSERT_EQ(*Out[0], *Out[1]) << "torn cross-shard batch";
+      }
+    });
+  }
+  for (std::thread &W : Threads)
+    W.join();
+}
+
+TEST_P(KvStoreTest, ReversedAcquisitionOrdersDoNotDeadlock) {
+  // Two threads compose the same two shards but name the keys in
+  // opposite orders; canonical (ascending shard) acquisition inside the
+  // store must prevent the lock-order cycle. The multiPuts write the
+  // same keys, so atomicity additionally requires the final state to be
+  // one batch in its entirety.
+  auto Store = KvStore::create(smallConfig(GetParam(), 4, 2));
+  ASSERT_NE(Store, nullptr);
+  const uint64_t KeyA = keysOfShard(*Store, 0, 1)[0];
+  const uint64_t KeyB = keysOfShard(*Store, 3, 1)[0];
+
+  constexpr uint64_t kRounds = 500;
+  std::thread Forward([&] {
+    for (uint64_t I = 0; I < kRounds; ++I)
+      ASSERT_TRUE(Store->multiPut(0, {{KeyA, 2 * I}, {KeyB, 2 * I}}));
+  });
+  std::thread Reversed([&] {
+    for (uint64_t I = 0; I < kRounds; ++I)
+      ASSERT_TRUE(Store->multiPut(1, {{KeyB, 2 * I + 1}, {KeyA, 2 * I + 1}}));
+  });
+  Forward.join();
+  Reversed.join();
+
+  std::vector<std::optional<uint64_t>> Out;
+  ASSERT_TRUE(Store->snapshotGet(0, {KeyA, KeyB}, Out));
+  ASSERT_TRUE(Out[0] && Out[1]);
+  EXPECT_EQ(*Out[0], *Out[1]) << "final state mixes two batches";
+}
+
+TEST_P(KvStoreTest, RmwTransfersConserveTotal) {
+  // Cross-shard transfers through readModifyWrite: the summed balance is
+  // invariant, and concurrent single-key updates to other keys must not
+  // be lost under the shared/unique latch split.
+  constexpr unsigned kAccounts = 16;
+  constexpr uint64_t kInitial = 1000;
+  auto Store = KvStore::create(smallConfig(GetParam(), 4, 4));
+  ASSERT_NE(Store, nullptr);
+  for (uint64_t Key = 0; Key < kAccounts; ++Key)
+    ASSERT_TRUE(Store->put(0, Key, kInitial));
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < 3; ++T) {
+    Threads.emplace_back([&, T] {
+      Xoshiro256 Rng(31 + T);
+      for (int I = 0; I < 400; ++I) {
+        uint64_t From = Rng.nextBounded(kAccounts);
+        uint64_t To = Rng.nextBounded(kAccounts - 1);
+        if (To >= From)
+          ++To;
+        uint64_t Amount = Rng.nextBounded(20);
+        ASSERT_TRUE(Store->readModifyWrite(
+            T, {From, To},
+            [&](std::vector<std::optional<uint64_t>> &Values) {
+              uint64_t F = Values[0].value_or(0);
+              uint64_t Moved = F < Amount ? F : Amount;
+              Values[0] = F - Moved;
+              Values[1] = Values[1].value_or(0) + Moved;
+            }));
+      }
+    });
+  }
+  // A counter thread on a separate key: single-key cas increments racing
+  // the latched transfers.
+  const uint64_t CounterKey = kAccounts + 100;
+  ASSERT_TRUE(Store->put(0, CounterKey, 0));
+  Threads.emplace_back([&] {
+    for (int I = 0; I < 400; ++I) {
+      uint64_t Current = 0;
+      ASSERT_TRUE(Store->get(3, CounterKey, Current));
+      while (!Store->compareAndSwap(3, CounterKey, Current, Current + 1)) {
+        ASSERT_TRUE(Store->get(3, CounterKey, Current));
+      }
+    }
+  });
+  for (std::thread &W : Threads)
+    W.join();
+
+  uint64_t Total = 0;
+  for (uint64_t Key = 0; Key < kAccounts; ++Key) {
+    uint64_t Value = 0;
+    ASSERT_TRUE(Store->get(0, Key, Value));
+    Total += Value;
+  }
+  EXPECT_EQ(Total, kAccounts * kInitial) << "transfer money leaked";
+  uint64_t Counter = 0;
+  ASSERT_TRUE(Store->get(0, CounterKey, Counter));
+  EXPECT_EQ(Counter, 400u) << "single-key cas increments lost";
+}
+
+//===----------------------------------------------------------------------===//
+// The asynchronous executor
+//===----------------------------------------------------------------------===//
+
+TEST(KvExecutor, OptionValidation) {
+  auto Store = KvStore::create(smallConfig(TmKind::TK_Tl2, 4, 2));
+  ASSERT_NE(Store, nullptr);
+  RequestExecutor::Options Opts;
+  Opts.Workers = 2;
+  Opts.QueueCapacity = 64;
+  Opts.MaxBatch = 8;
+  EXPECT_TRUE(RequestExecutor::validOptions(*Store, Opts));
+  Opts.Workers = 0;
+  EXPECT_FALSE(RequestExecutor::validOptions(*Store, Opts));
+  Opts.Workers = 3; // Exceeds the store's MaxThreads of 2.
+  EXPECT_FALSE(RequestExecutor::validOptions(*Store, Opts));
+  Opts.Workers = 2;
+  Opts.QueueCapacity = 100; // Not a power of two.
+  EXPECT_FALSE(RequestExecutor::validOptions(*Store, Opts));
+  Opts.QueueCapacity = 64;
+  Opts.MaxBatch = 0;
+  EXPECT_FALSE(RequestExecutor::validOptions(*Store, Opts));
+}
+
+TEST_P(KvStoreTest, ExecutorMatchesInOrderModel) {
+  // One client submits a mixed sequence; per-producer queue FIFO plus
+  // batched in-order execution must make the results identical to
+  // executing the sequence synchronously against a model map.
+  auto Store = KvStore::create(smallConfig(GetParam(), 4, 2));
+  ASSERT_NE(Store, nullptr);
+  RequestExecutor::Options Opts;
+  Opts.Workers = 2;
+  Opts.QueueCapacity = 64;
+  Opts.MaxBatch = 8;
+  RequestExecutor Exec(*Store, Opts);
+
+  std::unordered_map<uint64_t, uint64_t> Model;
+  Xoshiro256 Rng(0xFEED ^ static_cast<uint64_t>(GetParam()));
+  constexpr int kOps = 600;
+  constexpr uint64_t kKeySpace = 32;
+
+  // Submit in waves of pipelined requests targeting ONE key each wave:
+  // requests to the same key keep their submission order, so the model
+  // stays exact even though batches coalesce.
+  std::vector<KvRequest> Wave(8);
+  for (int Round = 0; Round < kOps / 8; ++Round) {
+    uint64_t Key = Rng.nextBounded(kKeySpace);
+    for (auto &R : Wave) {
+      R.reset();
+      R.Key = Key;
+      switch (Rng.nextBounded(4)) {
+      case 0:
+        R.Op = KvOpKind::Get;
+        break;
+      case 1:
+        R.Op = KvOpKind::Put;
+        R.Value = Rng.next();
+        break;
+      case 2:
+        R.Op = KvOpKind::Erase;
+        break;
+      default:
+        R.Op = KvOpKind::Cas;
+        R.Expected = Rng.nextBounded(3);
+        R.Value = Rng.next();
+        break;
+      }
+      Exec.submit(R);
+    }
+    for (auto &R : Wave)
+      RequestExecutor::wait(R);
+    // Mirror the wave in submission order and check each result.
+    for (size_t I = 0; I < Wave.size(); ++I) {
+      KvRequest &R = Wave[I];
+      auto It = Model.find(Key);
+      switch (R.Op) {
+      case KvOpKind::Get:
+        ASSERT_EQ(R.Hit, It != Model.end());
+        if (R.Hit) {
+          ASSERT_EQ(R.Result, It->second);
+        }
+        break;
+      case KvOpKind::Put:
+        ASSERT_TRUE(R.Hit);
+        Model[Key] = R.Value;
+        break;
+      case KvOpKind::Erase:
+        ASSERT_EQ(R.Hit, It != Model.end());
+        Model.erase(Key);
+        break;
+      case KvOpKind::Cas: {
+        bool ShouldSwap = It != Model.end() && It->second == R.Expected;
+        ASSERT_EQ(R.Hit, ShouldSwap);
+        if (ShouldSwap)
+          Model[Key] = R.Value;
+        break;
+      }
+      }
+    }
+  }
+  Exec.drainAndStop();
+  ASSERT_EQ(Store->sampleSize(), Model.size());
+}
+
+TEST_P(KvStoreTest, ExecutorConcurrentClientsDisjointKeys) {
+  constexpr unsigned kClients = 3;
+  constexpr uint64_t kOpsPerClient = 800;
+  auto Store = KvStore::create(smallConfig(GetParam(), 8, 2));
+  ASSERT_NE(Store, nullptr);
+  RequestExecutor::Options Opts;
+  Opts.Workers = 2;
+  Opts.QueueCapacity = 32; // Small queue: exercises submit backpressure.
+  Opts.MaxBatch = 4;
+  ExecutorStats Stats;
+  {
+    RequestExecutor Exec(*Store, Opts);
+    std::vector<std::thread> Clients;
+    for (unsigned C = 0; C < kClients; ++C) {
+      Clients.emplace_back([&, C] {
+        // Pipelined puts to the client's own key range; the last write
+        // per key wins by per-producer FIFO.
+        std::vector<KvRequest> Ring(16);
+        for (uint64_t Op = 0; Op < kOpsPerClient; ++Op) {
+          KvRequest &R = Ring[Op % Ring.size()];
+          if (Op >= Ring.size())
+            RequestExecutor::wait(R);
+          R.reset();
+          R.Op = KvOpKind::Put;
+          R.Key = C * 1000 + Op % 50;
+          R.Value = (uint64_t{C} << 32) | Op;
+          Exec.submit(R);
+        }
+        for (auto &R : Ring)
+          RequestExecutor::wait(R);
+      });
+    }
+    for (std::thread &W : Clients)
+      W.join();
+    Exec.drainAndStop();
+    Stats = Exec.stats();
+  }
+
+  EXPECT_EQ(Stats.Completed, kClients * kOpsPerClient);
+  EXPECT_GT(Stats.Batches, 0u);
+  // Every key must hold the LAST value its client wrote.
+  for (unsigned C = 0; C < kClients; ++C) {
+    for (uint64_t Slot = 0; Slot < 50; ++Slot) {
+      uint64_t LastOp = kOpsPerClient - 50 + Slot;
+      uint64_t Value = 0;
+      ASSERT_TRUE(Store->get(0, C * 1000 + Slot, Value));
+      ASSERT_EQ(Value, (uint64_t{C} << 32) | LastOp)
+          << "client " << C << " slot " << Slot;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Workload drivers
+//===----------------------------------------------------------------------===//
+
+TEST(KvWorkload, MixIsDeterministicPerSeed) {
+  auto RunOnce = [] {
+    auto Store = KvStore::create(smallConfig(TmKind::TK_GlobalLock, 4, 1));
+    KvMixConfig Mix;
+    Mix.OpsPerThread = 500;
+    Mix.KeySpace = 128;
+    Mix.Seed = 99;
+    return runKvMix(*Store, 1, Mix).ValueChecksum;
+  };
+  // Single-threaded runs are fully reproducible from the seed.
+  EXPECT_EQ(RunOnce(), RunOnce());
+}
+
+TEST(KvWorkload, HotShardScenarioSkewsTraffic) {
+  auto Store = KvStore::create(smallConfig(TmKind::TK_Tl2, 4, 2));
+  KvMixConfig Mix;
+  Mix.OpsPerThread = 1000;
+  Mix.KeySpace = 256;
+  Mix.GetFrac = 0.0; // All updates, so commits land where keys do.
+  Mix.PutFrac = 1.0;
+  Mix.CasFrac = 0.0;
+  Mix.MultiFrac = 0.0;
+  Mix.HotShardFrac = 0.9;
+  RunResult R = runKvMix(*Store, 2, Mix);
+  EXPECT_GT(R.Commits, 0u);
+  uint64_t Hot = Store->shardTm(0).stats().Commits;
+  uint64_t Rest = 0;
+  for (unsigned S = 1; S < Store->shardCount(); ++S)
+    Rest += Store->shardTm(S).stats().Commits;
+  EXPECT_GT(Hot, Rest) << "hot shard should dominate commit traffic";
+}
+
+TEST(KvWorkload, ExecutorLoadCompletesEverything) {
+  auto Store = KvStore::create(smallConfig(TmKind::TK_Norec, 4, 2));
+  KvExecutorConfig Load;
+  Load.Clients = 2;
+  Load.Workers = 2;
+  Load.OpsPerClient = 700;
+  Load.MaxBatch = 8;
+  Load.QueueCapacity = 64;
+  Load.Pipeline = 16;
+  Load.KeySpace = 128;
+  KvExecutorMetrics Metrics;
+  RunResult R = runKvExecutorLoad(*Store, Load, &Metrics);
+  EXPECT_EQ(Metrics.Completed, 2u * 700u);
+  EXPECT_EQ(R.ValueChecksum, 2u * 700u);
+  EXPECT_GT(Metrics.MeanBatch, 0.0);
+  EXPECT_GT(Metrics.MeanLatencyUs, 0.0);
+  EXPECT_GT(R.Commits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTms, KvStoreTest,
+                         ::testing::ValuesIn(allTmKinds()), paramName);

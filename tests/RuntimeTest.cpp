@@ -168,3 +168,124 @@ TEST(Instrumentation, ScopesNestAndRestore) {
   EXPECT_EQ(Outer.totalSteps(), 2u);
   EXPECT_EQ(Inner.totalSteps(), 2u);
 }
+
+//===----------------------------------------------------------------------===//
+// MpmcQueue — the bounded request channel of the KV service layer
+//===----------------------------------------------------------------------===//
+
+#include "runtime/MpmcQueue.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+TEST(MpmcQueue, FifoWithinCapacity) {
+  MpmcQueue<uint64_t> Q(8);
+  EXPECT_EQ(Q.capacity(), 8u);
+  for (uint64_t I = 0; I < 8; ++I)
+    EXPECT_TRUE(Q.tryPush(I));
+  EXPECT_FALSE(Q.tryPush(99)) << "ninth push must report full";
+  for (uint64_t I = 0; I < 8; ++I) {
+    uint64_t V = 0;
+    ASSERT_TRUE(Q.tryPop(V));
+    EXPECT_EQ(V, I) << "single-producer pops must be FIFO";
+  }
+  uint64_t V = 0;
+  EXPECT_FALSE(Q.tryPop(V)) << "empty pop must report empty";
+}
+
+TEST(MpmcQueue, WrapsAroundManyLaps) {
+  MpmcQueue<uint64_t> Q(4);
+  uint64_t Next = 0;
+  for (uint64_t Lap = 0; Lap < 100; ++Lap) {
+    for (uint64_t I = 0; I < 3; ++I)
+      ASSERT_TRUE(Q.tryPush(Lap * 3 + I));
+    for (uint64_t I = 0; I < 3; ++I) {
+      uint64_t V = 0;
+      ASSERT_TRUE(Q.tryPop(V));
+      ASSERT_EQ(V, Next++);
+    }
+  }
+  EXPECT_TRUE(Q.approxEmpty());
+}
+
+TEST(MpmcQueue, ConcurrentProducersConsumersLoseNothing) {
+  constexpr unsigned kProducers = 2, kConsumers = 2;
+  constexpr uint64_t kPerProducer = 8000;
+  MpmcQueue<uint64_t> Q(64);
+  std::atomic<uint64_t> Sum{0}, Popped{0};
+
+  std::vector<std::thread> Threads;
+  for (unsigned P = 0; P < kProducers; ++P) {
+    Threads.emplace_back([&, P] {
+      for (uint64_t I = 0; I < kPerProducer; ++I) {
+        uint64_t Item = P * kPerProducer + I + 1;
+        while (!Q.tryPush(Item))
+          std::this_thread::yield();
+      }
+    });
+  }
+  for (unsigned C = 0; C < kConsumers; ++C) {
+    Threads.emplace_back([&] {
+      // Every pop publishes immediately: the exit condition must never
+      // depend on another consumer flushing a local counter, or two
+      // consumers can wait on each other's residuals forever.
+      while (Popped.load() < kProducers * kPerProducer) {
+        uint64_t V = 0;
+        if (Q.tryPop(V)) {
+          Sum.fetch_add(V);
+          Popped.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (std::thread &W : Threads)
+    W.join();
+
+  const uint64_t Total = kProducers * kPerProducer;
+  EXPECT_EQ(Popped.load(), Total);
+  EXPECT_EQ(Sum.load(), Total * (Total + 1) / 2)
+      << "every pushed item must be popped exactly once";
+}
+
+TEST(MpmcQueue, PerProducerOrderIsPreserved) {
+  // Items carry (producer, sequence); any interleaving is legal but each
+  // producer's own items must pop in increasing sequence order — the
+  // property the RequestExecutor's per-client FIFO rests on.
+  constexpr unsigned kProducers = 3;
+  constexpr uint64_t kPerProducer = 4000;
+  MpmcQueue<uint64_t> Q(32);
+  std::vector<std::thread> Producers;
+  for (unsigned P = 0; P < kProducers; ++P) {
+    Producers.emplace_back([&, P] {
+      for (uint64_t I = 0; I < kPerProducer; ++I) {
+        uint64_t Item = (uint64_t{P} << 32) | I;
+        while (!Q.tryPush(Item))
+          std::this_thread::yield();
+      }
+    });
+  }
+  uint64_t LastSeq[kProducers];
+  bool Seen[kProducers] = {};
+  uint64_t Count = 0;
+  while (Count < kProducers * kPerProducer) {
+    uint64_t V = 0;
+    if (!Q.tryPop(V)) {
+      std::this_thread::yield(); // Keep the producers running on small hosts.
+      continue;
+    }
+    ++Count;
+    unsigned P = static_cast<unsigned>(V >> 32);
+    uint64_t Seq = V & 0xffffffffu;
+    ASSERT_LT(P, kProducers);
+    if (Seen[P]) {
+      ASSERT_GT(Seq, LastSeq[P]) << "producer " << P << " reordered";
+    }
+    Seen[P] = true;
+    LastSeq[P] = Seq;
+  }
+  for (std::thread &W : Producers)
+    W.join();
+}

@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Schema and sanity gate for the ptm-bench-v1 benchmark trajectory.
+
+Validates one consolidated JSON document produced by ``run_all --json``
+(and, with ``--dir``, the per-family ``BENCH_<family>.json`` files from
+``--json-dir``):
+
+  * the document parses and carries ``schema == "ptm-bench-v1"`` with the
+    expected top-level shape (``smoke``, ``config``, ``benchmarks``,
+    ``results``);
+  * every registered benchmark family has at least one result row, so a
+    silently dropped registration fails the gate instead of erasing a
+    family's trajectory with no other symptom;
+  * every ``status == "ok"`` row carries finite, non-negative statistics
+    (the JSON writer emits ``null`` for NaN/inf, so any null here means a
+    broken measurement), ``reps == len(samples)``, and internally
+    consistent order statistics (min <= median <= max);
+  * rows reference registered benchmarks and match their family;
+  * with ``--dir``, each family's per-family file exists, validates by the
+    same rules, and contains exactly that family's rows;
+  * with ``--expect-family``, the named families must be registered — CI
+    pins the known family list so a vanished benchmark fails the PR.
+
+Exit status 0 when everything holds, 1 with one line per violation.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+STAT_FIELDS = ("min", "max", "mean", "median", "p90", "stddev", "cv")
+KNOWN_STATUSES = {"ok", "livelock", "budget-hit", "violation"}
+
+
+class Gate:
+    """Collects violations with their document context."""
+
+    def __init__(self):
+        self.violations = []
+
+    def fail(self, doc, message):
+        self.violations.append(f"{doc}: {message}")
+
+    def ok(self):
+        return not self.violations
+
+
+def is_finite_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool) \
+        and math.isfinite(value)
+
+
+def check_row(gate, doc, index, row, families_by_benchmark):
+    where = f"results[{index}]"
+    if not isinstance(row, dict):
+        gate.fail(doc, f"{where}: not an object")
+        return
+    benchmark = row.get("benchmark")
+    if benchmark not in families_by_benchmark:
+        gate.fail(doc, f"{where}: unregistered benchmark {benchmark!r}")
+    elif row.get("family") != families_by_benchmark[benchmark]:
+        gate.fail(doc, f"{where}: family {row.get('family')!r} does not "
+                       f"match benchmark {benchmark!r}")
+    if not isinstance(row.get("tm"), str) or not row["tm"]:
+        gate.fail(doc, f"{where}: missing tm label")
+    threads = row.get("threads")
+    if not isinstance(threads, int) or isinstance(threads, bool) \
+            or threads < 1:
+        gate.fail(doc, f"{where}: threads must be a positive integer")
+    for key in ("metric", "unit"):
+        if not isinstance(row.get(key), str) or not row[key]:
+            gate.fail(doc, f"{where}: missing {key}")
+    status = row.get("status")
+    if status not in KNOWN_STATUSES:
+        gate.fail(doc, f"{where}: unknown status {status!r}")
+
+    samples = row.get("samples")
+    if not isinstance(samples, list):
+        gate.fail(doc, f"{where}: samples must be an array")
+        return
+    if row.get("reps") != len(samples):
+        gate.fail(doc, f"{where}: reps {row.get('reps')!r} != "
+                       f"len(samples) {len(samples)}")
+    if status != "ok":
+        return  # Non-ok rows carry sentinel statistics by design.
+
+    for field in STAT_FIELDS:
+        if not is_finite_number(row.get(field)):
+            gate.fail(doc, f"{where}: {field} is not a finite number "
+                           f"({row.get(field)!r} — NaN/inf serialize as "
+                           f"null)")
+    for pos, sample in enumerate(samples):
+        if not is_finite_number(sample):
+            gate.fail(doc, f"{where}: samples[{pos}] is not a finite "
+                           f"number ({sample!r})")
+        elif sample < 0:
+            gate.fail(doc, f"{where}: samples[{pos}] is negative "
+                           f"({sample})")
+    if all(is_finite_number(row.get(f)) for f in ("min", "median", "max")):
+        if not row["min"] <= row["median"] <= row["max"]:
+            gate.fail(doc, f"{where}: order statistics inconsistent "
+                           f"(min {row['min']}, median {row['median']}, "
+                           f"max {row['max']})")
+        if row["min"] < 0:
+            gate.fail(doc, f"{where}: negative min ({row['min']})")
+    if is_finite_number(row.get("stddev")) and row["stddev"] < 0:
+        gate.fail(doc, f"{where}: negative stddev ({row['stddev']})")
+
+
+def check_document(gate, path, expect_single_family=None):
+    """Validates one ptm-bench-v1 document; returns its family set."""
+    doc = os.path.basename(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as err:
+        gate.fail(doc, f"cannot read: {err}")
+        return set()
+    except json.JSONDecodeError as err:
+        gate.fail(doc, f"invalid JSON: {err}")
+        return set()
+
+    if not isinstance(data, dict):
+        gate.fail(doc, "top level is not an object")
+        return set()
+    if data.get("schema") != "ptm-bench-v1":
+        gate.fail(doc, f"schema is {data.get('schema')!r}, "
+                       f"expected 'ptm-bench-v1'")
+    if not isinstance(data.get("smoke"), bool):
+        gate.fail(doc, "smoke flag missing or not a boolean")
+    config = data.get("config")
+    if not isinstance(config, dict) or \
+            not all(key in config for key in ("reps", "warmup", "threads")):
+        gate.fail(doc, "config missing reps/warmup/threads")
+
+    benchmarks = data.get("benchmarks")
+    families_by_benchmark = {}
+    if not isinstance(benchmarks, list) or not benchmarks:
+        gate.fail(doc, "benchmarks list missing or empty")
+        benchmarks = []
+    for entry in benchmarks:
+        if not isinstance(entry, dict) or \
+                not all(isinstance(entry.get(k), str) and entry[k]
+                        for k in ("name", "family", "claim")):
+            gate.fail(doc, f"malformed benchmark entry {entry!r}")
+            continue
+        if entry["name"] in families_by_benchmark:
+            gate.fail(doc, f"duplicate benchmark {entry['name']!r}")
+        families_by_benchmark[entry["name"]] = entry["family"]
+
+    results = data.get("results")
+    if not isinstance(results, list):
+        gate.fail(doc, "results missing or not an array")
+        results = []
+    for index, row in enumerate(results):
+        check_row(gate, doc, index, row, families_by_benchmark)
+
+    families = set(families_by_benchmark.values())
+    covered = {row.get("family") for row in results
+               if isinstance(row, dict)}
+    for family in sorted(families - covered):
+        gate.fail(doc, f"registered family '{family}' has no result rows")
+
+    if expect_single_family is not None:
+        for family in sorted(covered | families):
+            if family != expect_single_family:
+                gate.fail(doc, f"per-family file contains foreign family "
+                               f"'{family}'")
+    return families
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("consolidated",
+                        help="consolidated JSON from run_all --json")
+    parser.add_argument("--dir", dest="family_dir",
+                        help="directory of per-family BENCH_<family>.json "
+                             "files (run_all --json-dir)")
+    parser.add_argument("--expect-family", action="append", default=[],
+                        help="family that must be registered (repeatable)")
+    args = parser.parse_args()
+
+    gate = Gate()
+    families = check_document(gate, args.consolidated)
+
+    for family in args.expect_family:
+        if family not in families:
+            gate.fail(os.path.basename(args.consolidated),
+                      f"expected family '{family}' is not registered")
+
+    if args.family_dir:
+        for family in sorted(families):
+            path = os.path.join(args.family_dir, f"BENCH_{family}.json")
+            if not os.path.exists(path):
+                gate.fail(f"BENCH_{family}.json",
+                          f"missing from {args.family_dir}")
+                continue
+            check_document(gate, path, expect_single_family=family)
+
+    if not gate.ok():
+        for violation in gate.violations:
+            print(f"check_bench_json: {violation}", file=sys.stderr)
+        print(f"check_bench_json: FAILED with {len(gate.violations)} "
+              f"violation(s)", file=sys.stderr)
+        return 1
+    print(f"check_bench_json: OK ({len(families)} families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
