@@ -26,6 +26,17 @@ void RecordingTm::txBegin(ThreadId Tid) {
   M->txBegin(Tid);
 }
 
+void RecordingTm::txBeginReadOnly(ThreadId Tid) {
+  Recorder &R = Recorders[Tid];
+  assert(!R.Building && "previous transaction still being recorded");
+  R.Current = TxnRecord();
+  R.Current.TxnId = NextTxnId.fetch_add(1, std::memory_order_relaxed);
+  R.Current.Tid = Tid;
+  R.Current.FirstTicket = nextTicket();
+  R.Building = true;
+  M->txBeginReadOnly(Tid);
+}
+
 bool RecordingTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
   Recorder &R = Recorders[Tid];
   assert(R.Building && "t-read outside a recorded transaction");

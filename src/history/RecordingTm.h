@@ -38,6 +38,10 @@ public:
   unsigned maxThreads() const override { return M->maxThreads(); }
 
   void txBegin(ThreadId Tid) override;
+  void txBeginReadOnly(ThreadId Tid) override;
+  bool hasAbortFreeReadOnly() const override {
+    return M->hasAbortFreeReadOnly();
+  }
   bool txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) override;
   bool txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) override;
   bool txCommit(ThreadId Tid) override;
@@ -49,6 +53,9 @@ public:
   uint64_t sample(ObjectId Obj) const override { return M->sample(Obj); }
   void init(ObjectId Obj, uint64_t Value) override { M->init(Obj, Value); }
   TmStats stats() const override { return M->stats(); }
+  TmStats threadStats(ThreadId Tid) const override {
+    return M->threadStats(Tid);
+  }
   void resetStats() override { M->resetStats(); }
 
   /// Extracts the recorded history. Call only when all threads have

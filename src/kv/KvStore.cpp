@@ -8,6 +8,8 @@
 #include "kv/KvStore.h"
 
 #include "stm/Atomically.h"
+#include "stm/MvTm.h"
+#include "support/Spin.h"
 
 #include <algorithm>
 #include <bit>
@@ -69,14 +71,24 @@ std::unique_ptr<KvStore> KvStore::create(const KvConfig &Config) {
   std::unique_ptr<KvStore> Store(new KvStore(Config));
   Store->ShardMask = Config.ShardCount - 1;
   Store->Shards.reserve(Config.ShardCount);
+  // Multi-version shards share one version clock: a single timestamp
+  // then names a consistent cut across every shard, which is what lets
+  // snapshotGet read all shards at one pinned instant with no latches
+  // and no re-reads (see the global-snapshot path there).
+  if (Config.Kind == TmKind::TK_Mv)
+    Store->MvClock = std::make_unique<BaseObject>(0);
   for (unsigned I = 0; I < Config.ShardCount; ++I) {
     Shard S;
-    S.M = createTm(Config.Kind, PerShard, Config.MaxThreads);
+    S.M = Store->MvClock
+              ? std::make_unique<MvTm>(PerShard, Config.MaxThreads,
+                                       Store->MvClock.get())
+              : createTm(Config.Kind, PerShard, Config.MaxThreads);
     if (!S.M)
       return nullptr; // Unknown TmKind.
     S.Map = std::make_unique<ds::TxMap>(*S.M, 0, Config.BucketsPerShard,
                                         Config.CapacityPerShard);
     S.Latch = std::make_unique<std::shared_mutex>();
+    S.BatchEpoch = std::make_unique<std::atomic<uint64_t>>(0);
     Store->Shards.push_back(std::move(S));
   }
   return Store;
@@ -169,6 +181,22 @@ KvStore::involvedShards(const std::vector<uint64_t> &Keys) const {
   Involved.erase(std::unique(Involved.begin(), Involved.end()),
                  Involved.end());
   return Involved;
+}
+
+void KvStore::markBatchBegin(const std::vector<unsigned> &Involved) {
+  for (unsigned ShardIdx : Involved) {
+    [[maybe_unused]] uint64_t Prev =
+        Shards[ShardIdx].BatchEpoch->fetch_add(1);
+    assert(!(Prev & 1) && "batch epoch already odd: nested batch marking");
+  }
+}
+
+void KvStore::markBatchEnd(const std::vector<unsigned> &Involved) {
+  for (unsigned ShardIdx : Involved) {
+    [[maybe_unused]] uint64_t Prev =
+        Shards[ShardIdx].BatchEpoch->fetch_add(1);
+    assert((Prev & 1) && "batch epoch already even: unbalanced marking");
+  }
 }
 
 bool KvStore::shardHasRoom(
@@ -296,6 +324,9 @@ bool KvStore::multiPut(
     if (!shardHasRoom(Tid, Involved[S], ShardWrites[S]))
       return false;
 
+  // The odd-epoch window spans every per-shard commit, so a latch-free
+  // snapshot reader can detect any overlap with this batch.
+  markBatchBegin(Involved);
   std::vector<std::pair<unsigned, std::vector<UndoEntry>>> Applied;
   for (size_t S = 0; S < Involved.size(); ++S) {
     std::vector<UndoEntry> Undo;
@@ -305,10 +336,12 @@ bool KvStore::multiPut(
       assert(false && "capacity precheck admitted an oversized batch");
       for (auto It = Applied.rbegin(); It != Applied.rend(); ++It)
         rollbackShard(Tid, It->first, It->second);
+      markBatchEnd(Involved);
       return false;
     }
     Applied.emplace_back(Involved[S], std::move(Undo));
   }
+  markBatchEnd(Involved);
   return true;
 }
 
@@ -319,17 +352,11 @@ bool KvStore::snapshotGet(ThreadId Tid, const std::vector<uint64_t> &Keys,
     return true;
   const std::vector<unsigned> Involved = involvedShards(Keys);
 
-  std::vector<std::unique_lock<std::shared_mutex>> Latches;
-  Latches.reserve(Involved.size());
-  for (unsigned ShardIdx : Involved)
-    Latches.emplace_back(*Shards[ShardIdx].Latch);
-
-  // With the latches held no update can commit to any involved shard
-  // (single-key updates take the shared side), so the per-shard read
-  // transactions observe one atomic cross-shard state.
-  for (unsigned ShardIdx : Involved) {
+  // One shard transaction per involved shard; read-only throughout, so
+  // the TM's snapshot path (when it has one) serves it abort-free.
+  auto readShard = [&](unsigned ShardIdx) {
     Shard &S = Shards[ShardIdx];
-    atomically(*S.M, Tid, [&](TxRef &Tx) {
+    atomicallyReadOnly(*S.M, Tid, [&](TxRef &Tx) {
       for (size_t I = 0; I < Keys.size(); ++I) {
         if (shardOf(Keys[I]) != ShardIdx)
           continue;
@@ -342,7 +369,115 @@ bool KvStore::snapshotGet(ThreadId Tid, const std::vector<uint64_t> &Keys,
           return;
       }
     });
+  };
+
+  // Single shard: one opaque shard transaction already is an atomic
+  // snapshot; no latch, no epoch, for every TmKind (same argument as the
+  // unlatched single-key get).
+  if (Involved.size() == 1) {
+    readShard(Involved[0]);
+    return true;
   }
+
+  if (hasSharedSnapshotClock()) {
+    // Latch-free global-snapshot path: every shard's MvTm stamps commits
+    // from the one shared clock, so ONE timestamp Ts names a consistent
+    // cut of the whole store — pin it, then read each shard's version
+    // rings at Ts. Nothing after the pin can invalidate the reads (the
+    // published Ts blocks eviction of any version the snapshot needs),
+    // so unlike validation schemes this never re-reads: a reader of any
+    // length finishes in a bounded number of steps per key regardless of
+    // concurrent write traffic.
+    //
+    // Pinning Ts: epochs only gate the CHOICE of Ts against multi-key
+    // batches, whose per-shard commits carry different clock values. Ts
+    // is valid iff no batch commit straddles it on an involved shard:
+    //  1. read all involved epochs; retry while any is odd (mid-batch);
+    //  2. Ts = clock; publish Ts on all involved shards;
+    //  3. clock still == Ts? Any commit at all in the window ⇒ retry.
+    //  4. epochs unmoved? A batch that slipped its BEGIN in before (2)
+    //     but commits later would not bump the clock until after (3) —
+    //     this recheck catches it; one that begins after the recheck
+    //     commits entirely at versions > Ts, invisibly. A batch fully
+    //     committed before (1) sits entirely at versions <= Ts. Either
+    //     way no batch is torn.
+    // On EVERY retry the candidate pin is released first: a pin frozen
+    // across the epoch wait blocks ring eviction, so the in-flight
+    // batch commit we are waiting out could itself be spinning on
+    // AC_HistoryFull behind our pin — reader waits for batch, batch
+    // waits for reader. Releasing before the wait keeps writers live;
+    // the loop re-runs only when a commit or batch lands inside the
+    // sub-microsecond pin window, so it converges under any realistic
+    // write rate; the reads themselves retry never.
+    auto MvShard = [&](unsigned ShardIdx) -> MvTm & {
+      return static_cast<MvTm &>(*Shards[ShardIdx].M);
+    };
+    for (unsigned ShardIdx : Involved)
+      MvShard(ShardIdx).snapshotEnter(Tid);
+    std::vector<uint64_t> Epochs(Involved.size());
+    uint32_t Spin = 0;
+    uint64_t Ts;
+    for (;;) {
+      bool Busy = false;
+      for (size_t I = 0; I < Involved.size(); ++I) {
+        Epochs[I] = Shards[Involved[I]].BatchEpoch->load();
+        if (Epochs[I] & 1)
+          Busy = true;
+      }
+      if (!Busy) {
+        Ts = MvClock->read();
+        for (unsigned ShardIdx : Involved)
+          MvShard(ShardIdx).snapshotPublish(Tid, Ts);
+        if (MvClock->read() == Ts) {
+          bool Stable = true;
+          for (size_t I = 0; I < Involved.size(); ++I)
+            if (Shards[Involved[I]].BatchEpoch->load() != Epochs[I]) {
+              Stable = false;
+              break;
+            }
+          if (Stable)
+            break;
+        }
+        // Verification failed: retire the candidate pin before waiting
+        // (see the deadlock note above). The Busy path published
+        // nothing this iteration, so it has nothing to release.
+        for (unsigned ShardIdx : Involved)
+          MvShard(ShardIdx).snapshotRelease(Tid);
+      }
+      spinPause(Spin); // A commit or batch hit the pin window; re-pin.
+    }
+    // Read phase: per shard, a read-only transaction at the pinned Ts
+    // (its commit also retires that shard's published timestamp).
+    for (unsigned ShardIdx : Involved) {
+      Shard &S = Shards[ShardIdx];
+      MvShard(ShardIdx).txBeginReadOnlyAt(Tid, Ts);
+      TxRef Tx(*S.M, Tid);
+      for (size_t I = 0; I < Keys.size(); ++I) {
+        if (shardOf(Keys[I]) != ShardIdx)
+          continue;
+        uint64_t V = 0;
+        if (S.Map->get(Tx, Keys[I], V))
+          Out[I] = V;
+        else
+          Out[I] = std::nullopt;
+      }
+      assert(!Tx.failed() && "read-only snapshot transactions cannot fail");
+      S.M->txCommit(Tid);
+    }
+    return true;
+  }
+
+  // Fallback: shared latches on the involved shards, canonical order.
+  // Shared, not unique — this is a pure read: it must exclude batch
+  // writers (who hold the unique side across all their commits) but has
+  // no reason to exclude other snapshot readers or single-key updates
+  // (per-shard consistency comes from the shard transaction itself).
+  std::vector<std::shared_lock<std::shared_mutex>> Latches;
+  Latches.reserve(Involved.size());
+  for (unsigned ShardIdx : Involved)
+    Latches.emplace_back(*Shards[ShardIdx].Latch);
+  for (unsigned ShardIdx : Involved)
+    readShard(ShardIdx);
   return true;
 }
 
@@ -354,6 +489,14 @@ bool KvStore::readModifyWrite(
     return true;
   const std::vector<unsigned> Involved = involvedShards(Keys);
 
+  // Unique latches for the whole read-modify-write, deliberately *not*
+  // the shared/latch-free treatment snapshotGet got: the atomicity
+  // contract ("no concurrent update slides between the read and the
+  // write") requires the involved shards to stay frozen from the first
+  // read to the last write. A shared read phase upgrading to unique for
+  // the write would deadlock the moment two rMWs upgrade on a common
+  // shard, and dropping the latch between phases re-admits exactly the
+  // interleaving the operation exists to exclude (see DESIGN.md).
   std::vector<std::unique_lock<std::shared_mutex>> Latches;
   Latches.reserve(Involved.size());
   for (unsigned ShardIdx : Involved)
@@ -365,7 +508,7 @@ bool KvStore::readModifyWrite(
   std::vector<std::optional<uint64_t>> Values(Keys.size());
   for (unsigned ShardIdx : Involved) {
     Shard &S = Shards[ShardIdx];
-    atomically(*S.M, Tid, [&](TxRef &Tx) {
+    atomicallyReadOnly(*S.M, Tid, [&](TxRef &Tx) {
       for (size_t I = 0; I < Keys.size(); ++I) {
         if (shardOf(Keys[I]) != ShardIdx)
           continue;
@@ -396,6 +539,7 @@ bool KvStore::readModifyWrite(
     if (!shardHasRoom(Tid, Involved[S], ShardWrites[S]))
       return false;
 
+  markBatchBegin(Involved);
   std::vector<std::pair<unsigned, std::vector<UndoEntry>>> Applied;
   for (size_t S = 0; S < Involved.size(); ++S) {
     std::vector<UndoEntry> Undo;
@@ -403,10 +547,12 @@ bool KvStore::readModifyWrite(
       assert(false && "capacity precheck admitted an oversized update");
       for (auto It = Applied.rbegin(); It != Applied.rend(); ++It)
         rollbackShard(Tid, It->first, It->second);
+      markBatchEnd(Involved);
       return false;
     }
     Applied.emplace_back(Involved[S], std::move(Undo));
   }
+  markBatchEnd(Involved);
   return true;
 }
 

@@ -19,24 +19,47 @@
 /// shards. There is no global version clock across shards, so cross-shard
 /// atomicity is provided by a per-shard latch (std::shared_mutex)
 /// acquired in canonical (ascending shard index) order — the classic
-/// deadlock-freedom argument. The latch protocol:
+/// deadlock-freedom argument — plus a per-shard batch epoch (a seqlock
+/// word) that lets snapshot readers validate instead of latch. The
+/// protocol (full compatibility matrix in DESIGN.md):
 ///
 ///   * single-key get            — no latch; one opaque shard transaction.
 ///   * single-key put/erase/cas  — shared latch on the one shard.
-///   * multiPut / snapshotGet /
-///     readModifyWrite           — unique latches on the involved shards,
+///   * multiPut / readModifyWrite— unique latches on the involved shards,
 ///                                 ascending order, held across all the
-///                                 per-shard commits.
+///                                 per-shard commits; the write phase
+///                                 marks every involved shard's batch
+///                                 epoch odd before the first commit and
+///                                 even again after the last.
+///   * snapshotGet               — pure read. One involved shard: a
+///                                 single read-only shard transaction, no
+///                                 latch (TM opacity is enough). Several
+///                                 shards on a TM with an abort-free
+///                                 read-only path (Tm::hasAbortFreeReadOnly,
+///                                 the mv kind): **no latches at all** —
+///                                 read the involved epochs, run one
+///                                 read-only transaction per shard, and
+///                                 retry if any epoch was odd or moved.
+///                                 Otherwise: *shared* latches on the
+///                                 involved shards, which excludes batch
+///                                 writers but no longer excludes other
+///                                 readers or single-key updates.
 ///
 /// What this preserves and what it does not (see DESIGN.md): every
 /// operation is linearizable per key, every shard is opaque, and the
-/// latched operations are strictly serializable among themselves *and*
-/// with single-key updates. What sharding gives up is cross-shard
-/// real-time ordering for unlatched single-key gets: a client issuing two
-/// separate gets can observe a multiPut "in between" (new value in one
-/// shard, old in another). Readers that need a consistent cross-key view
-/// use snapshotGet, which is the documented trade for not serializing
-/// every read through a global clock.
+/// latched multi-key updates are strictly serializable among themselves
+/// *and* with single-key updates. snapshotGet is per-shard consistent and
+/// atomic with respect to multiPut/readModifyWrite (all of a batch or
+/// none of it), but concurrent snapshot readers no longer serialize
+/// against each other — the price is that a snapshot spanning shards may
+/// interleave with *single-key* updates on different shards (it is not a
+/// single cross-store linearization point; it never was one for unlatched
+/// gets). What sharding gives up entirely is cross-shard real-time
+/// ordering for unlatched single-key gets: a client issuing two separate
+/// gets can observe a multiPut "in between" (new value in one shard, old
+/// in another). Readers that need a batch-consistent cross-key view use
+/// snapshotGet, which is the documented trade for not serializing every
+/// read through a global clock.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -44,8 +67,10 @@
 #define PTM_KV_KVSTORE_H
 
 #include "ds/TxMap.h"
+#include "runtime/BaseObject.h"
 #include "stm/Tm.h"
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -122,10 +147,15 @@ public:
   bool multiPut(ThreadId Tid,
                 const std::vector<std::pair<uint64_t, uint64_t>> &Pairs);
 
-  /// Reads all \p Keys as one consistent cross-shard snapshot:
-  /// \p Out[i] is the value of Keys[i], or nullopt when absent. The
-  /// snapshot is atomic with respect to every latched operation and every
-  /// single-key update. Always succeeds (returns for symmetry/future).
+  /// Reads all \p Keys as one cross-shard snapshot: \p Out[i] is the
+  /// value of Keys[i], or nullopt when absent. The snapshot is per-shard
+  /// consistent and atomic with respect to multiPut / readModifyWrite
+  /// (it can never observe part of a batch); concurrent snapshotGets run
+  /// in parallel, so a snapshot spanning shards may interleave with
+  /// single-key updates on *different* shards (see the file comment). On
+  /// a TM with an abort-free read-only path this takes no latches at
+  /// all; otherwise it holds the involved shards' latches in shared
+  /// mode. Always succeeds (returns for symmetry/future).
   bool snapshotGet(ThreadId Tid, const std::vector<uint64_t> &Keys,
                    std::vector<std::optional<uint64_t>> &Out);
 
@@ -163,6 +193,7 @@ public:
 
 private:
   friend class RequestExecutor; // executeBatch drives shards directly.
+  friend struct KvTestPeer;     // Tests probe latch compatibility directly.
 
   struct Shard {
     std::unique_ptr<Tm> M;
@@ -171,6 +202,14 @@ private:
     /// unique_ptr because shared_mutex is immovable and shards live in a
     /// vector.
     std::unique_ptr<std::shared_mutex> Latch;
+    /// Batch-epoch seqlock word: odd while a multi-key update's write
+    /// phase is in flight on this shard, bumped to a fresh even value
+    /// when it completes. Only ever modified under the shard's unique
+    /// latch (so writers never race on it); monotonic, so a snapshot
+    /// reader that sees the same even value before and after its reads
+    /// overlapped no batch. unique_ptr for the same movability reason as
+    /// the latch.
+    std::unique_ptr<std::atomic<uint64_t>> BatchEpoch;
   };
 
   /// One key's prior state, recorded for capacity-failure rollback.
@@ -181,10 +220,22 @@ private:
 
   explicit KvStore(const KvConfig &Config) : Config_(Config) {}
 
+  /// True iff the shards are MvTm instances sharing MvClock (set up by
+  /// create() for TK_Mv) — the precondition of the global-snapshot read
+  /// path in snapshotGet.
+  bool hasSharedSnapshotClock() const { return MvClock != nullptr; }
+
   Shard &shardFor(uint64_t Key) { return Shards[shardOf(Key)]; }
 
   /// The ascending list of shards touched by \p Keys (deduplicated).
   std::vector<unsigned> involvedShards(const std::vector<uint64_t> &Keys) const;
+
+  /// Marks every involved shard's batch epoch odd / even again. Call
+  /// only with the involved shards' unique latches held: begin before
+  /// the first write-phase commit, end after the last commit (or after
+  /// rollback), so the odd window covers the entire batch application.
+  void markBatchBegin(const std::vector<unsigned> &Involved);
+  void markBatchEnd(const std::vector<unsigned> &Involved);
 
   /// True iff shard \p ShardIdx can absorb \p Writes: counts the
   /// distinct not-yet-present insert keys against the shard's free
@@ -215,6 +266,11 @@ private:
 
   KvConfig Config_;
   unsigned ShardMask = 0;
+  /// For TK_Mv stores: the version clock shared by every shard's MvTm,
+  /// so one timestamp names a consistent cut across all shards (the
+  /// global-snapshot read path). Null for every other TmKind. Declared
+  /// before Shards so it outlives the TMs that reference it.
+  std::unique_ptr<BaseObject> MvClock;
   std::vector<Shard> Shards;
 };
 

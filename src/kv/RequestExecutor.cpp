@@ -181,8 +181,18 @@ void RequestExecutor::workerLoop(unsigned Worker) {
     if (Stopping.load(std::memory_order_acquire)) {
       // The release store in drainAndStop ordered every prior submit
       // before this observation, so one final drain empties the queues.
+      // Queued requests are client-owned: a request left behind here
+      // would never complete and its storage would leak at the call
+      // site, so the owned queues must be verifiably empty afterwards
+      // (the caller contract forbids submits concurrent with the stop).
       while (sweepOnce(Worker, Batch))
         ;
+      for (unsigned Shard = Worker; Shard < Store.shardCount();
+           Shard += Opts.Workers) {
+        assert(Queues[Shard]->approxEmpty() &&
+               "drain left a queued request behind");
+        (void)Shard;
+      }
       return;
     }
     spinPause(IdleSpin);

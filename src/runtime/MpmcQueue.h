@@ -30,11 +30,24 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <utility>
 
 namespace ptm {
 
 template <typename T> class MpmcQueue {
+  // The "trivially movable" contract from the file comment, compile-
+  // checked: cells are plain storage that the destructor never walks, so
+  // an element type with a real destructor (or non-trivial copy/move)
+  // would leak or double-own whatever leftovers remain in the ring.
+  // Holders of owning types queue raw pointers and keep ownership at the
+  // call sites (as the KV layer does with KvRequest*).
+  static_assert(std::is_trivially_copyable_v<T> &&
+                    std::is_trivially_destructible_v<T>,
+                "MpmcQueue elements must be trivially copyable and "
+                "destructible; queue a raw pointer and keep ownership "
+                "outside the ring");
+
 public:
   /// Builds a queue of \p Capacity slots. \p Capacity must be a nonzero
   /// power of two (asserted): the ring indexes with a mask.

@@ -124,6 +124,30 @@ bool atomically(Tm &M, ThreadId Tid, BodyFn &&Body, unsigned MaxAttempts = 0,
   }
 }
 
+/// Like atomically(), but declares the body read-only (it must perform no
+/// Tx.write): the transaction is started with txBeginReadOnly, so TMs
+/// with an abort-free snapshot path (Tm::hasAbortFreeReadOnly) serve it
+/// from a consistent snapshot that can neither abort nor block writers.
+/// On every other TM this is exactly atomically() — same retry loop, same
+/// backoff — so callers can use it unconditionally for read-only bodies.
+template <typename BodyFn, typename BackoffPolicy = Backoff>
+bool atomicallyReadOnly(Tm &M, ThreadId Tid, BodyFn &&Body,
+                        unsigned MaxAttempts = 0,
+                        BackoffPolicy BO = BackoffPolicy()) {
+  for (unsigned Attempt = 1;; ++Attempt) {
+    M.txBeginReadOnly(Tid);
+    TxRef Tx(M, Tid);
+    Body(Tx);
+    if (Tx.userAborted())
+      return false;
+    if (!Tx.failed() && M.txCommit(Tid))
+      return true;
+    if (MaxAttempts != 0 && Attempt >= MaxAttempts)
+      return false;
+    BO.spin();
+  }
+}
+
 } // namespace ptm
 
 #endif // PTM_STM_ATOMICALLY_H

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "stm/GlobalLockTm.h"
+#include "stm/MvTm.h"
 #include "stm/NorecTm.h"
 #include "stm/OrecEagerTm.h"
 #include "stm/OrecIncrementalTm.h"
@@ -38,6 +39,8 @@ std::unique_ptr<Tm> ptm::createTm(TmKind Kind, unsigned NumObjects,
     return std::make_unique<TlrwTm>(NumObjects, MaxThreads);
   case TmKind::TK_Tml:
     return std::make_unique<TmlTm>(NumObjects, MaxThreads);
+  case TmKind::TK_Mv:
+    return std::make_unique<MvTm>(NumObjects, MaxThreads);
   }
   return nullptr;
 }

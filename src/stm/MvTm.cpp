@@ -1,0 +1,361 @@
+//===-- stm/MvTm.cpp - Multi-version TM with abort-free reads --------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/MvTm.h"
+#include "support/Spin.h"
+
+using namespace ptm;
+
+MvTm::MvTm(unsigned ObjectCount, unsigned ThreadCount,
+           BaseObject *SharedClock)
+    : TmBase(ObjectCount, ThreadCount), OwnClock(0),
+      Clock(SharedClock ? *SharedClock : OwnClock), ActiveReaders(0),
+      Orecs(ObjectCount),
+      SlotVersions(static_cast<size_t>(ObjectCount) * kHistoryDepth),
+      SlotValues(static_cast<size_t>(ObjectCount) * kHistoryDepth),
+      ReaderTs(ThreadCount), Descs(ThreadCount) {
+  // Slot 0 of every object holds the initial value at version 0; the rest
+  // of the ring starts empty. Snapshots always have Ts >= 0, so every
+  // object is readable from the first snapshot on.
+  for (ObjectId Obj = 0; Obj < ObjectCount; ++Obj)
+    for (unsigned S = 1; S < kHistoryDepth; ++S)
+      slotVersion(Obj, S).poke(kNoVersion);
+  for (BaseObject &Ts : ReaderTs)
+    Ts.poke(kNoVersion);
+}
+
+void MvTm::init(ObjectId Obj, uint64_t Value) {
+  TmBase::init(Obj, Value);
+  // Re-seed the ring: the init value becomes the one retained version,
+  // stamped with the current clock so it shadows anything committed
+  // before this (quiescent) reset.
+  slotVersion(Obj, 0).poke(Clock.peek());
+  slotValue(Obj, 0).poke(Value);
+  for (unsigned S = 1; S < kHistoryDepth; ++S)
+    slotVersion(Obj, S).poke(kNoVersion);
+}
+
+void MvTm::resetDesc(Desc &D) {
+  D.Reads.clear();
+  D.Writes.clear();
+  D.Locked.clear();
+  D.InstallSlots.clear();
+  D.ReadOnly = false;
+}
+
+void MvTm::txBegin(ThreadId Tid) {
+  slotBegin(Tid);
+  Desc &D = Descs[Tid];
+  resetDesc(D);
+  D.Rv = Clock.read();
+}
+
+void MvTm::txBeginReadOnly(ThreadId Tid) {
+  slotBegin(Tid);
+  Desc &D = Descs[Tid];
+  resetDesc(D);
+  D.ReadOnly = true;
+  ActiveReaders.fetchAdd(1);
+  // Publish-verify: announce the snapshot timestamp, then confirm the
+  // clock has not moved. On the iteration that exits the loop, no commit
+  // acquired a write version between our clock read and our announcement,
+  // so every updater whose eviction scan could miss this reader has
+  // Wv > Ts and installs only versions this snapshot never needs.
+  uint64_t C;
+  do {
+    C = Clock.read();
+    ReaderTs[Tid].write(C);
+  } while (Clock.read() != C);
+  D.SnapshotTs = C;
+}
+
+void MvTm::snapshotEnter(ThreadId Tid) {
+  (void)Tid;
+  ActiveReaders.fetchAdd(1);
+}
+
+void MvTm::snapshotPublish(ThreadId Tid, uint64_t Ts) {
+  ReaderTs[Tid].write(Ts);
+}
+
+void MvTm::snapshotRelease(ThreadId Tid) { ReaderTs[Tid].write(kNoVersion); }
+
+void MvTm::txBeginReadOnlyAt(ThreadId Tid, uint64_t Ts) {
+  assert(ReaderTs[Tid].peek() == Ts &&
+         "begin-at requires the timestamp to be published on this thread");
+  slotBegin(Tid);
+  Desc &D = Descs[Tid];
+  resetDesc(D);
+  D.ReadOnly = true;
+  D.SnapshotTs = Ts;
+}
+
+bool MvTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
+  assert(txActive(Tid) && "t-read outside a transaction");
+  assert(Obj < numObjects() && "object id out of range");
+  Desc &D = Descs[Tid];
+
+  if (D.ReadOnly) {
+    // Snapshot read: newest ring version <= Ts. Never aborts. If the
+    // object's orec is locked, an update commit is mid-install on it;
+    // wait it out rather than risk scanning a half-written slot pair.
+    uint32_t Spin = 0;
+    for (;;) {
+      uint64_t OrecWord = Orecs[Obj].read();
+      if (isLocked(OrecWord)) {
+        spinPause(Spin);
+        continue;
+      }
+      // Fast path — the common no-conflict case costs exactly TL2's
+      // three accesses: when the object's newest committed version
+      // already fits the snapshot, the current-value cell IS the
+      // newest-<=-Ts version, so the orec/value/orec sandwich suffices
+      // and the ring is never touched.
+      if (versionOf(OrecWord) <= D.SnapshotTs) {
+        uint64_t Val = Values[Obj].read();
+        if (Orecs[Obj].read() == OrecWord) {
+          Value = Val;
+          return true;
+        }
+        spinPause(Spin);
+        continue;
+      }
+      // Once the orec is seen unlocked, the newest-<=-Ts version of this
+      // object is immutable: any commit with Wv <= Ts locked the orec
+      // before our begin (else its clock bump would have failed our
+      // publish-verify), and eviction never removes a version a
+      // published snapshot still needs. The per-slot version sandwich
+      // skips slots a *later* commit (Wv > Ts) is overwriting.
+      bool Found = false;
+      uint64_t BestVer = 0, BestVal = 0;
+      for (unsigned S = 0; S < kHistoryDepth; ++S) {
+        uint64_t V1 = slotVersion(Obj, S).read();
+        if (V1 == kNoVersion || V1 > D.SnapshotTs)
+          continue;
+        uint64_t Val = slotValue(Obj, S).read();
+        if (slotVersion(Obj, S).read() != V1)
+          continue; // Slot overwritten mid-scan; its new version > Ts.
+        if (!Found || V1 > BestVer) {
+          BestVer = V1;
+          BestVal = Val;
+          Found = true;
+        }
+      }
+      if (Found) {
+        Value = BestVal;
+        return true;
+      }
+      spinPause(Spin); // Install raced the scan; the candidate reappears.
+    }
+  }
+
+  // Update mode: TL2's invisible read, validated in O(1) against Rv.
+  if (D.Writes.lookup(Obj, Value))
+    return true;
+  uint64_t Pre = Orecs[Obj].read();
+  if (isLocked(Pre))
+    return slotAbort(Tid, AbortCause::AC_LockHeld);
+  if (versionOf(Pre) > D.Rv)
+    return slotAbort(Tid, AbortCause::AC_ReadValidation);
+  Value = Values[Obj].read();
+  uint64_t Post = Orecs[Obj].read();
+  if (Post != Pre)
+    return slotAbort(Tid, AbortCause::AC_ReadValidation);
+  if (!D.Reads.contains(Obj))
+    D.Reads.insert(Obj, versionOf(Pre));
+  return true;
+}
+
+bool MvTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
+  assert(txActive(Tid) && "t-write outside a transaction");
+  assert(Obj < numObjects() && "object id out of range");
+  Desc &D = Descs[Tid];
+  if (D.ReadOnly) {
+    // Contract violation: the caller promised a read-only body. Fail the
+    // transaction rather than silently lose the write.
+    ReaderTs[Tid].write(kNoVersion);
+    ActiveReaders.fetchAdd(uint64_t(-1));
+    resetDesc(D);
+    return slotAbort(Tid, AbortCause::AC_User);
+  }
+  D.Writes.insertOrUpdate(Obj, Value);
+  return true;
+}
+
+uint64_t MvTm::minActiveReaderTs() {
+  uint64_t Min = kNoVersion;
+  for (BaseObject &Ts : ReaderTs) {
+    uint64_t T = Ts.read();
+    if (T < Min)
+      Min = T;
+  }
+  return Min;
+}
+
+bool MvTm::txCommit(ThreadId Tid) {
+  assert(txActive(Tid) && "tryCommit outside a transaction");
+  Desc &D = Descs[Tid];
+
+  if (D.ReadOnly) {
+    // Every read came from one immutable snapshot: nothing to validate.
+    ReaderTs[Tid].write(kNoVersion);
+    ActiveReaders.fetchAdd(uint64_t(-1));
+    return slotCommit(Tid);
+  }
+
+  if (D.Writes.empty())
+    return slotCommit(Tid);
+
+  // Optimistic history gate, BEFORE any lock: if some written object's
+  // ring is full and a published snapshot still needs its oldest version,
+  // this commit is doomed to AC_HistoryFull — abort now, while the orecs
+  // are untouched and the clock unbumped. Without this, every doomed
+  // attempt (common while a descheduled reader's timestamp goes stale)
+  // locks the hottest orecs and stalls the very readers it is waiting
+  // for. Advisory only: the ring can change before the locks are taken,
+  // so the authoritative re-check under lock below still decides.
+  for (const WriteEntry &W : D.Writes) {
+    uint64_t OldestVer = kNoVersion, SecondVer = kNoVersion;
+    bool Free = false;
+    for (unsigned S = 0; S < kHistoryDepth; ++S) {
+      uint64_t V = slotVersion(W.Obj, S).read();
+      if (V == kNoVersion) {
+        Free = true;
+        break;
+      }
+      if (V < OldestVer) {
+        SecondVer = OldestVer;
+        OldestVer = V;
+      } else if (V < SecondVer) {
+        SecondVer = V;
+      }
+    }
+    if (!Free && ActiveReaders.read() != 0 &&
+        minActiveReaderTs() < SecondVer)
+      return slotAbort(Tid, AbortCause::AC_HistoryFull);
+  }
+
+  // TL2 commit: acquire write locks with single-shot CASes.
+  for (const WriteEntry &W : D.Writes) {
+    uint64_t Cur = Orecs[W.Obj].read();
+    if (isLocked(Cur)) {
+      releaseLocked(D);
+      return slotAbort(Tid, AbortCause::AC_LockHeld);
+    }
+    if (!Orecs[W.Obj].compareAndSwap(Cur, makeLocked(Tid))) {
+      releaseLocked(D);
+      return slotAbort(Tid, AbortCause::AC_LockHeld);
+    }
+    D.Locked.push_back({W.Obj, Cur});
+  }
+
+  uint64_t Wv = Clock.fetchAdd(1) + 1;
+
+  // Validate the read set unless no one committed since Rv.
+  if (Wv != D.Rv + 1) {
+    for (const auto &E : D.Reads) {
+      ObjectId Obj = E.Obj;
+      uint64_t Cur = Orecs[Obj].read();
+      if (Cur == makeVersion(E.Payload))
+        continue;
+      if (Cur == makeLocked(Tid)) {
+        uint64_t PreLock = 0;
+        bool FoundLock = false;
+        for (const WriteEntry &L : D.Locked) {
+          if (L.Obj == Obj) {
+            PreLock = L.Value;
+            FoundLock = true;
+            break;
+          }
+        }
+        assert(FoundLock && "self-locked orec missing from the lock log");
+        if (FoundLock && versionOf(PreLock) == E.Payload)
+          continue;
+      }
+      releaseLocked(D);
+      return slotAbort(Tid, AbortCause::AC_CommitValidation);
+    }
+  }
+
+  // Choose a ring slot per written object and prove every eviction safe.
+  // The ReaderTs scan happens after the clock bump: a reader missed by
+  // the scan announced itself after it, so its publish-verify forced
+  // Ts >= Wv and it can only ever need versions this commit does not
+  // evict. An eviction is safe iff no active snapshot is older than the
+  // ring's second-oldest version; otherwise the oldest version is still
+  // reachable by some reader and the commit must abort (AC_HistoryFull).
+  // Solo transactions see no active readers, so they never abort here.
+  uint64_t MinTs = 0;
+  bool MinTsKnown = false;
+  D.InstallSlots.clear();
+  for (const WriteEntry &W : D.Writes) {
+    unsigned Chosen = kHistoryDepth;
+    uint64_t OldestVer = kNoVersion, SecondVer = kNoVersion;
+    unsigned OldestSlot = 0;
+    for (unsigned S = 0; S < kHistoryDepth; ++S) {
+      uint64_t V = slotVersion(W.Obj, S).read();
+      if (V == kNoVersion) {
+        Chosen = S; // Free slot: no eviction needed.
+        break;
+      }
+      if (V < OldestVer) {
+        SecondVer = OldestVer;
+        OldestVer = V;
+        OldestSlot = S;
+      } else if (V < SecondVer) {
+        SecondVer = V;
+      }
+    }
+    if (Chosen == kHistoryDepth) {
+      if (!MinTsKnown) {
+        // ActiveReaders == 0 here (after the clock bump) means any reader
+        // not yet counted will publish Ts >= Wv — the O(threads) ReaderTs
+        // scan can be skipped outright on the writer-only fast path.
+        MinTs = ActiveReaders.read() == 0 ? kNoVersion : minActiveReaderTs();
+        MinTsKnown = true;
+      }
+      if (MinTs < SecondVer) {
+        releaseLocked(D);
+        return slotAbort(Tid, AbortCause::AC_HistoryFull);
+      }
+      Chosen = OldestSlot;
+    }
+    D.InstallSlots.push_back(Chosen);
+  }
+
+  // Point of no return: install ring versions (version cell first, then
+  // value — the reader's sandwich depends on this order), publish the
+  // current-value cells, then release the orecs with the new version.
+  size_t Idx = 0;
+  for (const WriteEntry &W : D.Writes) {
+    unsigned S = D.InstallSlots[Idx++];
+    slotVersion(W.Obj, S).write(Wv);
+    slotValue(W.Obj, S).write(W.Value);
+    Values[W.Obj].write(W.Value);
+  }
+  for (const WriteEntry &L : D.Locked)
+    Orecs[L.Obj].write(makeVersion(Wv));
+  D.Locked.clear();
+  return slotCommit(Tid);
+}
+
+void MvTm::txAbort(ThreadId Tid) {
+  assert(txActive(Tid) && "abort outside a transaction");
+  Desc &D = Descs[Tid];
+  if (D.ReadOnly) {
+    ReaderTs[Tid].write(kNoVersion);
+    ActiveReaders.fetchAdd(uint64_t(-1));
+  }
+  resetDesc(D);
+  slotAbort(Tid, AbortCause::AC_User);
+}
+
+void MvTm::releaseLocked(Desc &D) {
+  for (auto It = D.Locked.rbegin(), End = D.Locked.rend(); It != End; ++It)
+    Orecs[It->Obj].write(It->Value);
+  D.Locked.clear();
+}

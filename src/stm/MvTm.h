@@ -1,0 +1,168 @@
+//===-- stm/MvTm.h - Multi-version TM with abort-free reads -----*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A multi-version TM in the LSA/SI-STM tradition: every t-object keeps a
+/// small bounded ring of (version, value) pairs next to its current value
+/// cell. Update transactions run exactly TL2 (invisible reads validated
+/// against a global version clock, commit-time locking, lazy redo log);
+/// their commit additionally installs the new value as a fresh ring
+/// version. Read-only transactions — declared via txBeginReadOnly — take a
+/// snapshot timestamp at begin and serve every t-read from the newest ring
+/// version <= that timestamp: they acquire no orecs, write no shared
+/// memory after the one-word snapshot announcement, and **never abort**.
+///
+/// Role in the reproduction: the paper's companion line of work ("On
+/// Partial Wait-Freedom in Transactional Memory", PAPERS.md) shows
+/// read-only transactions can be made wait-free if one is willing to pay
+/// space; this TM prices that trade. The cost is K values of space per
+/// object plus one published word per reader: with *bounded* histories,
+/// invisible readers and abort-free reads are jointly impossible, so the
+/// reader publishes its snapshot timestamp (one word, written once) and
+/// updaters consult the published minimum before evicting the oldest
+/// version. An update that would evict a version still pinned by an
+/// active snapshot aborts with AC_HistoryFull — the reader never aborts,
+/// by design, and a transaction running solo can never hit that cause.
+///
+/// Orec layout matches TL2: bit 0 = locked; unlocked carries version<<1,
+/// locked carries (owner+1)<<1|1. Ring slots are written only while the
+/// object's orec is locked (version cell first, then value cell), so a
+/// reader that observes an unlocked orec can scan the ring with a
+/// version-sandwich per slot and skip any slot being overwritten.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_STM_MVTM_H
+#define PTM_STM_MVTM_H
+
+#include "stm/TmBase.h"
+#include "stm/TxSets.h"
+
+namespace ptm {
+
+class MvTm final : public TmBase {
+public:
+  /// Ring depth: versions retained per object (including the current one).
+  static constexpr unsigned kHistoryDepth = 4;
+
+  /// \p SharedClock, when non-null, replaces the instance's own version
+  /// clock: several MvTm instances constructed over the same BaseObject
+  /// stamp their commits from one totally-ordered clock, so a single
+  /// timestamp names a consistent cut across all of them (the sharded
+  /// store's global-snapshot reads build on exactly this). The caller
+  /// keeps the clock alive for the TM's lifetime.
+  MvTm(unsigned ObjectCount, unsigned ThreadCount,
+       BaseObject *SharedClock = nullptr);
+
+  TmKind kind() const override { return TmKind::TK_Mv; }
+
+  void txBegin(ThreadId Tid) override;
+  void txBeginReadOnly(ThreadId Tid) override;
+  bool hasAbortFreeReadOnly() const override { return true; }
+  bool txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) override;
+  bool txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) override;
+  bool txCommit(ThreadId Tid) override;
+  void txAbort(ThreadId Tid) override;
+
+  /// Seeds the ring with the value as the sole (oldest) version, stamped
+  /// with the current clock so it is the newest for all later snapshots.
+  void init(ObjectId Obj, uint64_t Value) override;
+
+  /// \name Externally-timed snapshots
+  /// For callers that pin ONE snapshot timestamp across several MvTm
+  /// instances sharing a clock (see the constructor). Protocol, per
+  /// instance: snapshotEnter once, then snapshotPublish(Ts) — re-publish
+  /// freely while (re)choosing Ts — and only after the caller has
+  /// verified the shared clock did not move past Ts, run the reads via
+  /// txBeginReadOnlyAt(Ts) + txCommit (which retires the published
+  /// timestamp again). Entering before publishing is what lets an update
+  /// commit that reads ActiveReaders == 0 skip the ReaderTs scan: a
+  /// reader it missed will publish only after its own enter, and the
+  /// caller's clock verification then forces that reader onto Ts >= Wv.
+  /// @{
+
+  /// Announces a forthcoming published snapshot (counts into
+  /// ActiveReaders). Must precede the first snapshotPublish.
+  void snapshotEnter(ThreadId Tid);
+
+  /// Publishes \p Ts as this thread's pinned snapshot timestamp; from
+  /// here on, no update commit evicts the newest version <= Ts of any
+  /// object (it aborts AC_HistoryFull instead).
+  void snapshotPublish(ThreadId Tid, uint64_t Ts);
+
+  /// Retires this thread's published pin without beginning the
+  /// transaction (the candidate timestamp failed verification and will
+  /// be re-picked). A pinner MUST release before any unbounded wait: a
+  /// stale pin blocks ring eviction, and the update commit spinning on
+  /// AC_HistoryFull behind it may be the very event being waited out —
+  /// holding the pin across the wait deadlocks both sides. Stays
+  /// counted in ActiveReaders (the enter/commit bracket is unchanged).
+  void snapshotRelease(ThreadId Tid);
+
+  /// Begins a read-only transaction at the already-published \p Ts,
+  /// skipping txBeginReadOnly's enter-publish-verify (the caller did it).
+  void txBeginReadOnlyAt(ThreadId Tid, uint64_t Ts);
+  /// @}
+
+private:
+  /// Sentinel version marking an unused ring slot; also the "no active
+  /// snapshot" value of a ReaderTs cell (a real timestamp never reaches
+  /// 2^64-1).
+  static constexpr uint64_t kNoVersion = ~uint64_t{0};
+
+  struct alignas(PTM_CACHELINE_SIZE) Desc {
+    uint64_t Rv = 0;         ///< Read timestamp (update mode).
+    uint64_t SnapshotTs = 0; ///< Snapshot timestamp (read-only mode).
+    bool ReadOnly = false;
+    ReadSet<uint64_t> Reads; ///< Update mode: version seen at first read.
+    WriteSet Writes;         ///< Update mode: redo log.
+    std::vector<WriteEntry> Locked;     ///< (Obj, pre-lock orec word).
+    std::vector<unsigned> InstallSlots; ///< Ring slot per write entry.
+  };
+
+  static bool isLocked(uint64_t OrecWord) { return OrecWord & 1; }
+  static uint64_t versionOf(uint64_t OrecWord) { return OrecWord >> 1; }
+  static uint64_t makeVersion(uint64_t Version) { return Version << 1; }
+  static uint64_t makeLocked(ThreadId Tid) {
+    return (static_cast<uint64_t>(Tid + 1) << 1) | 1;
+  }
+
+  BaseObject &slotVersion(ObjectId Obj, unsigned S) {
+    return SlotVersions[static_cast<size_t>(Obj) * kHistoryDepth + S];
+  }
+  BaseObject &slotValue(ObjectId Obj, unsigned S) {
+    return SlotValues[static_cast<size_t>(Obj) * kHistoryDepth + S];
+  }
+
+  /// Smallest published snapshot timestamp among active read-only
+  /// transactions (kNoVersion when none are active).
+  uint64_t minActiveReaderTs();
+
+  void releaseLocked(Desc &D);
+  void resetDesc(Desc &D);
+
+  BaseObject OwnClock; ///< Backing clock when none is shared in.
+  /// Global version clock (breaks weak DAP, like TL2) — either OwnClock
+  /// or the constructor's SharedClock.
+  BaseObject &Clock;
+  /// Count of read-only transactions between begin and complete. Lets an
+  /// update commit with a full ring skip the O(threads) ReaderTs scan in
+  /// the common no-snapshot case: one read of this word. Incremented
+  /// *before* the reader's publish-verify loop, so a writer that reads 0
+  /// after its clock bump knows any unseen reader will end up with
+  /// Ts >= Wv (the same missed-reader argument as the ReaderTs scan).
+  BaseObject ActiveReaders;
+  std::vector<BaseObject> Orecs;
+  std::vector<BaseObject> SlotVersions; ///< ObjectCount x kHistoryDepth.
+  std::vector<BaseObject> SlotValues;   ///< ObjectCount x kHistoryDepth.
+  std::vector<BaseObject> ReaderTs;     ///< Per-thread published snapshot.
+  std::vector<Desc> Descs;
+};
+
+} // namespace ptm
+
+#endif // PTM_STM_MVTM_H

@@ -27,6 +27,8 @@ const char *ptm::tmKindName(TmKind Kind) {
     return "tlrw";
   case TmKind::TK_Tml:
     return "tml";
+  case TmKind::TK_Mv:
+    return "mv";
   }
   return "unknown";
 }
@@ -43,7 +45,8 @@ const std::vector<TmKind> &ptm::allTmKinds() {
       TmKind::TK_GlobalLock,      TmKind::TK_Tl2,
       TmKind::TK_Norec,           TmKind::TK_OrecIncremental,
       TmKind::TK_OrecEager,       TmKind::TK_OrecTs,
-      TmKind::TK_Tlrw,            TmKind::TK_Tml};
+      TmKind::TK_Tlrw,            TmKind::TK_Tml,
+      TmKind::TK_Mv};
   return Kinds;
 }
 
@@ -61,6 +64,8 @@ const char *ptm::abortCauseName(AbortCause Cause) {
     return "commit-validation";
   case AbortCause::AC_User:
     return "user";
+  case AbortCause::AC_HistoryFull:
+    return "history-full";
   case AbortCause::AC_CauseCount_:
     break; // Sentinel, never a live value.
   }

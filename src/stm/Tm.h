@@ -15,8 +15,9 @@
 ///
 /// The implementations cover the paper's property space (see DESIGN.md):
 /// GlobalLock, TL2, NOrec, OrecIncremental (the Theorem 3 subject),
-/// OrecEager, OrecTs (clock + timestamp extension) and TLRW, plus TML as
-/// the non-progressive contrast point. All but TML are progressive; all
+/// OrecEager, OrecTs (clock + timestamp extension), TLRW and Mv
+/// (multi-version, abort-free read-only snapshots), plus TML as the
+/// non-progressive contrast point. All but TML are progressive; all
 /// are strongly progressive on single-object workloads; all are opaque.
 ///
 //===----------------------------------------------------------------------===//
@@ -44,6 +45,7 @@ enum class TmKind {
   TK_OrecTs,          ///< Orecs + global clock with timestamp extension.
   TK_Tlrw,            ///< TLRW-style encounter-time read-write locking.
   TK_Tml,             ///< TML: global seqlock, irrevocable writer.
+  TK_Mv,              ///< Multi-version: abort-free read-only snapshots.
 };
 
 /// Short stable name (used in tables, test names and logs).
@@ -70,11 +72,13 @@ enum class AbortCause {
   AC_LockHeld,         ///< A needed lock/orec was held by a concurrent txn.
   AC_CommitValidation, ///< Commit-time validation of the read set failed.
   AC_User,             ///< The application aborted voluntarily.
+  AC_HistoryFull,      ///< An update could not evict an old version still
+                       ///< pinned by an active read-only snapshot (mv).
   AC_CauseCount_,      ///< Sentinel, not a cause: append new causes above.
 };
 
 /// Number of distinct AbortCause values (for stats arrays).
-inline constexpr unsigned kNumAbortCauses = 5;
+inline constexpr unsigned kNumAbortCauses = 6;
 static_assert(kNumAbortCauses ==
                   static_cast<unsigned>(AbortCause::AC_CauseCount_),
               "kNumAbortCauses must track the AbortCause enumerator count — "
@@ -136,6 +140,22 @@ public:
   /// of this thread must be complete (committed or aborted).
   virtual void txBegin(ThreadId Tid) = 0;
 
+  /// Starts a fresh transaction that promises to perform no t-writes.
+  /// TMs with a dedicated snapshot path (see hasAbortFreeReadOnly) use the
+  /// hint to run the transaction abort-free; everyone else treats it as a
+  /// plain txBegin. A txWrite inside a read-only transaction is a contract
+  /// violation: TMs on the snapshot path fail it (abort with AC_User)
+  /// rather than lose the write silently.
+  virtual void txBeginReadOnly(ThreadId Tid) { txBegin(Tid); }
+
+  /// True iff transactions started with txBeginReadOnly never abort and
+  /// never write shared memory — i.e. a read-only snapshot neither fails
+  /// nor obstructs concurrent updates. The service layer uses this to
+  /// elide latches on its snapshot read path. GlobalLock's read path
+  /// blocks writers (and vice versa), so it does not qualify even though
+  /// it too "never aborts".
+  virtual bool hasAbortFreeReadOnly() const { return false; }
+
   /// t-read of \p Obj; on success stores the value in \p Value.
   /// \returns false iff the transaction aborted (the paper's A_k), after
   /// which the slot is inactive and lastAbortCause() tells why.
@@ -172,6 +192,12 @@ public:
   /// this concurrently with running transactions is a data race. Debug
   /// builds assert quiescence.
   virtual TmStats stats() const = 0;
+
+  /// One thread's share of the counters — lets harnesses attribute
+  /// commits and aborts to a role (the read-only benchmark separates
+  /// reader aborts from writer aborts this way). Same quiescence
+  /// contract as stats().
+  virtual TmStats threadStats(ThreadId Tid) const = 0;
 
   /// Zeroes all counters (call only while quiescent).
   virtual void resetStats() = 0;

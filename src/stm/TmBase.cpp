@@ -31,6 +31,17 @@ TmStats TmBase::stats() const {
   return Total;
 }
 
+TmStats TmBase::threadStats(ThreadId Tid) const {
+  assert(Tid < MaxThreads && "thread id out of range");
+  const Slot &S = Slots[Tid];
+  assert(!S.Active && "threadStats() requires quiescence on that slot");
+  TmStats Stats;
+  Stats.Commits = S.Commits;
+  for (unsigned I = 0; I < kNumAbortCauses; ++I)
+    Stats.Aborts[I] = S.Aborts[I];
+  return Stats;
+}
+
 void TmBase::resetStats() {
   for (Slot &S : Slots) {
     S.Commits = 0;

@@ -47,12 +47,16 @@ public:
     return Values[Obj].peek();
   }
 
-  void init(ObjectId Obj, uint64_t Value) final {
+  /// Not final: TMs with per-object metadata derived from the value (the
+  /// multi-version ring) override this to seed it, calling back here for
+  /// the value cell itself.
+  void init(ObjectId Obj, uint64_t Value) override {
     assert(Obj < NumObjects && "object id out of range");
     Values[Obj].poke(Value);
   }
 
   TmStats stats() const final;
+  TmStats threadStats(ThreadId Tid) const final;
   void resetStats() final;
 
 protected:

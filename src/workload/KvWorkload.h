@@ -90,6 +90,59 @@ RunResult runKvExecutorLoad(kv::KvStore &Store,
                             const KvExecutorConfig &Config,
                             KvExecutorMetrics *Metrics = nullptr);
 
+/// Parameters of the read-only-vs-writer-rate scenario: a fixed pool of
+/// snapshot readers races a variable number of deadline-paced update
+/// threads. The writer count IS the swept "writer rate" axis — each
+/// writer issues single-key puts at a fixed wall-clock rate until the
+/// last reader finishes its quota.
+struct KvReadOnlyConfig {
+  uint64_t SnapshotsPerReader = 2000;
+  unsigned Readers = 2;      ///< Reader threads (ThreadIds [0, Readers)).
+  unsigned Writers = 0;      ///< Update threads (ThreadIds after readers).
+  unsigned SnapshotKeys = 8; ///< Keys per snapshotGet.
+  uint64_t KeySpace = 1024;  ///< Prefilled before the run, so every
+                             ///< snapshot hits resident keys.
+  /// Single-key puts per second, per writer, enforced with a sleeping
+  /// deadline pacer. Pacing by wall clock is what makes the swept axis
+  /// honest: an unthrottled writer's realized rate is set by the TM
+  /// itself (latched snapshot readers starve their writers; mv readers
+  /// never block theirs, so mv would face many times the traffic), and a
+  /// spinning pacer would additionally have writers stealing reader CPU
+  /// on core-constrained hosts. Sleeping writers issue the same load
+  /// against every TM, so reader-side curves are comparable.
+  ///
+  /// Writers issue only single-key puts on purpose. Multi-key batches
+  /// take the involved shards' unique latches, and under back-to-back
+  /// scan snapshots the latched TMs' shared side is essentially always
+  /// held — the first batch would park that writer for the rest of the
+  /// run (classic reader-preference writer starvation), silently
+  /// reducing every single-version row to an unloaded baseline. The
+  /// batch-vs-snapshot interplay has its own benchmark family (kv_batch)
+  /// and tests.
+  unsigned WriterOpsPerSec = 1000;
+  double Theta = 0.8;
+  uint64_t Seed = 42;
+};
+
+/// Role-separated counters of one read-only run.
+struct KvReadOnlyMetrics {
+  uint64_t Snapshots = 0;      ///< snapshotGets completed by readers.
+  uint64_t ReaderAborts = 0;   ///< TM aborts on reader thread slots, all
+                               ///< shards: identically 0 on an
+                               ///< abort-free-read-only TM (mv).
+  uint64_t WriterCommits = 0;  ///< TM commits on writer thread slots.
+  double SnapshotsPerSec = 0;  ///< Reader-side throughput.
+};
+
+/// Runs the scenario. Readers issue SnapshotsPerReader snapshotGets of
+/// SnapshotKeys Zipf-drawn keys each (key sets pre-drawn so draw cost
+/// never dilutes the read path); writers issue deadline-paced
+/// single-key puts until the last reader finishes. RunResult
+/// Commits/Aborts aggregate all roles; the per-role split is in
+/// \p Metrics.
+RunResult runKvReadOnly(kv::KvStore &Store, const KvReadOnlyConfig &Config,
+                        KvReadOnlyMetrics *Metrics = nullptr);
+
 } // namespace ptm
 
 #endif // PTM_WORKLOAD_KVWORKLOAD_H

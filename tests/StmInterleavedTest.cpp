@@ -32,7 +32,8 @@ namespace {
 /// The lazy-update TMs, against which mid-transaction interleavings can
 /// be expressed without blocking.
 const TmKind kLazyTms[] = {TmKind::TK_Tl2, TmKind::TK_Norec,
-                           TmKind::TK_OrecIncremental, TmKind::TK_OrecTs};
+                           TmKind::TK_OrecIncremental, TmKind::TK_OrecTs,
+                           TmKind::TK_Mv};
 
 class LazyTmTest : public ::testing::TestWithParam<TmKind> {
 protected:
@@ -509,4 +510,120 @@ TEST(OrecEagerInterleaved, FracturedReadRejected) {
   uint64_t B;
   EXPECT_FALSE(M->txRead(0, 1, B))
       << "incremental validation must catch the stale snapshot";
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-version snapshot interleavings: a read-only transaction keeps
+// serving its begin-time snapshot across concurrent commits — where the
+// single-version TMs above must abort (FracturedReadIsRejected), mv
+// returns the OLD values and commits.
+//===----------------------------------------------------------------------===//
+
+TEST(MvInterleaved, ReadOnlySnapshotIgnoresLaterCommit) {
+  auto M = createTm(TmKind::TK_Mv, 4, 2);
+  M->init(0, 5);
+
+  M->txBeginReadOnly(0);
+  uint64_t V;
+  ASSERT_TRUE(M->txRead(0, 0, V));
+  EXPECT_EQ(V, 5u);
+
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 0, 6));
+  ASSERT_TRUE(M->txCommit(1));
+
+  // The snapshot predates the commit: the reader re-reads the old value
+  // — the exact schedule that forces an abort on every 1-version TM.
+  ASSERT_TRUE(M->txRead(0, 0, V));
+  EXPECT_EQ(V, 5u) << "snapshot read must surface the pre-commit version";
+  EXPECT_TRUE(M->txCommit(0));
+
+  // A snapshot taken after the commit sees the new value.
+  M->txBeginReadOnly(1);
+  ASSERT_TRUE(M->txRead(1, 0, V));
+  EXPECT_EQ(V, 6u);
+  EXPECT_TRUE(M->txCommit(1));
+  EXPECT_EQ(M->stats().totalAborts(), 0u);
+}
+
+TEST(MvInterleaved, FracturedReadScheduleYieldsConsistentOldSnapshot) {
+  // The FracturedReadIsRejected schedule, replayed read-only: T0 reads
+  // A=0; T1 commits A=1,B=1; T0 then reads B. Where the single-version
+  // TMs must abort T0 (B=1 next to the stale A=0 is torn), mv serves
+  // B=0 from the history — the full old snapshot, abort-free.
+  auto M = createTm(TmKind::TK_Mv, 4, 2);
+  M->txBeginReadOnly(0);
+  uint64_t A;
+  ASSERT_TRUE(M->txRead(0, 0, A));
+  EXPECT_EQ(A, 0u);
+
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 0, 1));
+  ASSERT_TRUE(M->txWrite(1, 1, 1));
+  ASSERT_TRUE(M->txCommit(1));
+
+  uint64_t B = 1234;
+  ASSERT_TRUE(M->txRead(0, 1, B)) << "a read-only snapshot never aborts";
+  EXPECT_EQ(B, 0u) << "B must come from the same (old) snapshot as A";
+  EXPECT_TRUE(M->txCommit(0));
+  EXPECT_EQ(M->sample(0), 1u);
+  EXPECT_EQ(M->sample(1), 1u);
+}
+
+TEST(MvInterleaved, HistoryTruncationAbortsTheUpdateNeverTheReader) {
+  // The bounded-history pressure valve: an active snapshot pins the ring.
+  // With kHistoryDepth versions retained, an update that would evict a
+  // version the snapshot can still reach must abort (AC_HistoryFull) —
+  // the penalty lands on the UPDATE, never the read-only transaction.
+  auto M = createTm(TmKind::TK_Mv, 4, 2);
+
+  M->txBeginReadOnly(0); // Snapshot at version 0: pins the initial value.
+  uint64_t V;
+  ASSERT_TRUE(M->txRead(0, 0, V));
+  EXPECT_EQ(V, 0u);
+
+  // Three commits fill the remaining ring slots (versions 1, 2, 3).
+  for (uint64_t I = 1; I <= 3; ++I) {
+    M->txBegin(1);
+    ASSERT_TRUE(M->txWrite(1, 0, 100 + I));
+    ASSERT_TRUE(M->txCommit(1)) << "commit " << I << " fits the ring";
+  }
+
+  // The fourth would evict version 0 while the snapshot still needs it.
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 0, 999));
+  EXPECT_FALSE(M->txCommit(1)) << "eviction of a pinned version must fail";
+  EXPECT_EQ(M->lastAbortCause(1), AbortCause::AC_HistoryFull);
+
+  // The reader is untouched: still serving version 0, and it commits.
+  ASSERT_TRUE(M->txRead(0, 0, V));
+  EXPECT_EQ(V, 0u);
+  EXPECT_TRUE(M->txCommit(0));
+
+  // With the snapshot gone the same update sails through.
+  M->txBegin(1);
+  ASSERT_TRUE(M->txWrite(1, 0, 999));
+  EXPECT_TRUE(M->txCommit(1)) << "no reader left to pin the history";
+  EXPECT_EQ(M->sample(0), 999u);
+}
+
+TEST(MvInterleaved, WriteInsideReadOnlyModeAborts) {
+  // The read-only declaration is a contract: a body that writes anyway
+  // must fail the transaction (AC_User), not lose the write silently.
+  auto M = createTm(TmKind::TK_Mv, 4, 2);
+  M->txBeginReadOnly(0);
+  EXPECT_FALSE(M->txWrite(0, 0, 1));
+  EXPECT_EQ(M->lastAbortCause(0), AbortCause::AC_User);
+  EXPECT_EQ(M->sample(0), 0u);
+}
+
+TEST(MvInterleaved, OnlyMvAdvertisesAbortFreeReadOnly) {
+  // The capability flag drives the KV layer's latch-free snapshot path;
+  // glock in particular must NOT advertise it (its "reads" block
+  // writers, which is exactly what the flag promises never happens).
+  for (TmKind Kind : allTmKinds()) {
+    auto M = createTm(Kind, 2, 2);
+    EXPECT_EQ(M->hasAbortFreeReadOnly(), Kind == TmKind::TK_Mv)
+        << tmKindName(Kind);
+  }
 }

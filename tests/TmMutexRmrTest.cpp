@@ -53,7 +53,11 @@ TEST(TmMutexRmr, UncontendedPassagesAreConstant) {
          {MemoryModelKind::MM_CcWriteThrough, MemoryModelKind::MM_CcWriteBack,
           MemoryModelKind::MM_Dsm}) {
       double PerPassage = uncontendedRmrsPerPassage(Inner, Model, 50);
-      EXPECT_LE(PerPassage, 16.0)
+      // The multi-version TM pays a larger — but still constant — price
+      // per commit: the K-deep ring scan to pick an eviction slot, one
+      // ActiveReaders check, and the two-cell version install.
+      double Bound = Inner == TmKind::TK_Mv ? 24.0 : 16.0;
+      EXPECT_LE(PerPassage, Bound)
           << tmKindName(Inner) << " under " << memoryModelName(Model);
     }
   }
