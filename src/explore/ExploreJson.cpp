@@ -1,0 +1,51 @@
+//===-- explore/ExploreJson.cpp - Explorer summary emission ---------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "explore/ExploreJson.h"
+
+#include "bench/Json.h"
+#include "support/RawOStream.h"
+
+using namespace ptm;
+
+void ptm::writeExploreSummary(
+    RawOStream &OS, const std::vector<ExploreSummaryEntry> &Entries) {
+  bench::JsonWriter W(OS);
+  W.beginObject();
+  W.key("schema").value("ptm-explore-v1");
+  W.key("results").beginArray();
+  for (const ExploreSummaryEntry &E : Entries) {
+    W.newline();
+    const ExploreStats &S = E.Stats;
+    W.beginObject();
+    W.key("scenario").value(E.Scenario);
+    W.key("tm").value(tmKindName(E.Kind));
+    W.key("preemption_bound").value(E.PreemptionBound);
+    W.key("sleep_sets").value(E.SleepSets);
+    W.key("executed").value(S.Executed);
+    W.key("sleep_blocked").value(S.SleepBlocked);
+    W.key("pruned_sleep").value(S.PrunedSleep);
+    W.key("pruned_bound").value(S.PrunedBound);
+    W.key("noop_skips").value(S.NoopSkips);
+    W.key("unique_states").value(S.UniqueStates);
+    W.key("max_depth").value(S.MaxDepth);
+    W.key("replay_divergences").value(S.ReplayDivergences);
+    W.key("complete").value(S.Complete);
+    W.key("hit_schedule_cap").value(S.HitScheduleCap);
+    W.key("hit_time_budget").value(S.HitTimeBudget);
+    W.key("opacity_violations").value(S.OpacityViolations);
+    W.key("serializability_violations").value(S.SerializabilityViolations);
+    W.key("property_violations").value(S.PropertyViolations);
+    W.key("checker_resource_limits").value(S.CheckerResourceLimits);
+    W.key("witness_matches").value(S.WitnessMatches);
+    W.endObject();
+  }
+  W.newline();
+  W.endArray();
+  W.endObject();
+  W.newline();
+}

@@ -1,0 +1,48 @@
+//===-- explore/ExploreJson.h - Explorer summary emission ------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `ptm-explore-v1` summary emission: one JSON document per exploration
+/// batch, one result row per (scenario, TM kind) pair, carrying the
+/// coverage counters (schedules executed/pruned, unique states) and the
+/// verdict counters (opacity/serializability/property violations). The
+/// counters are *correctness* metrics — tools/check_explore_json.py
+/// schema-checks the file and fails CI on any violation or incomplete
+/// enumeration, mirroring how BENCH_*.json flows through
+/// tools/check_bench_json.py (which stays perf-only).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_EXPLORE_EXPLOREJSON_H
+#define PTM_EXPLORE_EXPLOREJSON_H
+
+#include "explore/ScheduleExplorer.h"
+#include "stm/Tm.h"
+
+#include <string>
+#include <vector>
+
+namespace ptm {
+
+class RawOStream;
+
+/// One row of a `ptm-explore-v1` summary.
+struct ExploreSummaryEntry {
+  std::string Scenario;
+  TmKind Kind = TmKind::TK_GlobalLock;
+  unsigned PreemptionBound = 0;
+  bool SleepSets = true;
+  ExploreStats Stats;
+};
+
+/// Writes the complete summary document to \p OS.
+void writeExploreSummary(RawOStream &OS,
+                         const std::vector<ExploreSummaryEntry> &Entries);
+
+} // namespace ptm
+
+#endif // PTM_EXPLORE_EXPLOREJSON_H

@@ -1,0 +1,180 @@
+//===-- explore/ExploringInterleaver.cpp - Replayable scheduler -----------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "explore/ExploringInterleaver.h"
+
+#include <cassert>
+
+using namespace ptm;
+
+bool ptm::eventsDependent(const SleepEntry &S, uint64_t Obj, AccessKind Kind) {
+  if (S.IsRetire)
+    return false;
+  if (S.Obj == TokenInterleaver::kAnonymousObject ||
+      Obj == TokenInterleaver::kAnonymousObject)
+    return true;
+  if (S.Obj != Obj)
+    return false;
+  return isNontrivial(S.Kind) || isNontrivial(Kind);
+}
+
+ExploringInterleaver::ExploringInterleaver(unsigned ThreadCount, Config C)
+    : TokenInterleaver(ThreadCount), Cfg(std::move(C)) {
+  assert(ThreadCount <= 32 && "EnabledMask is 32 bits wide");
+  assert(Cfg.SpinLimit > 0 && "a zero spin limit would forbid all progress");
+  // The root run (no replay) activates its sleep set — always empty for
+  // the root — immediately; branch runs install theirs at the branch
+  // point (see Config::InitialSleep).
+  if (Cfg.Replay.empty()) {
+    Sleep = Cfg.InitialSleep;
+    SleepInstalled = true;
+  }
+  unsigned First = decide(numThreads());
+  assert(First < numThreads() && "no schedulable thread at construction");
+  seedToken(First);
+}
+
+uint32_t ExploringInterleaver::enabledMask() const {
+  uint32_t Mask = 0;
+  for (unsigned T = 0; T < numThreads(); ++T)
+    if (isActive(T))
+      Mask |= uint32_t{1} << T;
+  return Mask;
+}
+
+bool ExploringInterleaver::isAsleep(unsigned Tid) const {
+  for (const SleepEntry &S : Sleep)
+    if (S.Tid == Tid)
+      return true;
+  return false;
+}
+
+unsigned ExploringInterleaver::nextRunnableFrom(unsigned From) const {
+  for (unsigned Offset = 0; Offset < numThreads(); ++Offset) {
+    unsigned Candidate = (From + Offset) % numThreads();
+    if (isActive(Candidate) && !isAsleep(Candidate))
+      return Candidate;
+  }
+  return numThreads();
+}
+
+unsigned ExploringInterleaver::decide(unsigned Current) {
+  uint32_t Enabled = enabledMask();
+  if (Enabled == 0)
+    return numThreads();
+
+  size_t Idx = Trace.size();
+  bool HaveCurrent = Current < numThreads() && isActive(Current);
+  // A spin window opens when the current thread has held the token for
+  // SpinLimit consecutive grants while another thread exists to run —
+  // even a sleeping one: a spinner may be waiting on a lock whose holder
+  // is asleep, and only waking the holder can make progress.
+  bool SpinWindow = HaveCurrent && Burst >= Cfg.SpinLimit &&
+                    (Enabled & ~(uint32_t{1} << Current)) != 0;
+
+  unsigned Choice = numThreads();
+  if (Idx < Cfg.Replay.size()) {
+    unsigned R = Cfg.Replay[Idx];
+    if (R < numThreads() && isActive(R))
+      Choice = R;
+    else
+      Diverged = true; // Fall through to the default policy.
+  }
+  if (Choice >= numThreads()) {
+    if (HaveCurrent && !SpinWindow) {
+      Choice = Current;
+    } else {
+      unsigned From = HaveCurrent ? (Current + 1) % numThreads() : 0;
+      Choice = nextRunnableFrom(From);
+      if (Choice >= numThreads() || (SpinWindow && Choice == Current)) {
+        // Only sleepers remain (besides a spinning current thread). The
+        // rest of this run is redundant, but threads must still
+        // terminate: schedule a sleeper and remember where coverage
+        // ended. Scanning from Current+1 finds another active thread
+        // before wrapping back to Current, which SpinWindow guarantees
+        // exists.
+        Choice = nextActiveFrom(From);
+        if (SleepBlockedIdx == SIZE_MAX)
+          SleepBlockedIdx = Idx;
+      }
+    }
+  }
+  assert(Choice < numThreads() && isActive(Choice));
+
+  bool IsSwitch = HaveCurrent && Choice != Current;
+  bool Forced = IsSwitch && SpinWindow;
+  bool Preempt = IsSwitch && !SpinWindow;
+  if (Forced)
+    AnySpinForced = true;
+  if (Preempt)
+    ++Preemptions;
+  Burst = (HaveCurrent && Choice == Current) ? Burst + 1 : 1;
+
+  ExploreStep Step;
+  Step.Chosen = Choice;
+  Step.EnabledMask = Enabled;
+  Step.PreemptionsAfter = Preemptions;
+  Step.WasPreemption = Preempt;
+  Step.SpinForced = Forced;
+  Step.Sleep = Sleep;
+  Trace.push_back(std::move(Step));
+  return Choice;
+}
+
+void ExploringInterleaver::noteEvent(StepAction Action, uint64_t Obj,
+                                     AccessKind Kind, ThreadId Tid) {
+  assert(!Trace.empty() && "event without a recorded grant");
+  ExploreStep &Step = Trace.back();
+  assert(Step.Chosen == Tid && Step.Action == StepAction::SA_Pending &&
+         "event does not match the granted step");
+  Step.Action = Action;
+  Step.Obj = Obj;
+  Step.Kind = Kind;
+
+  // Branch runs activate their sleep set at the branch point — just
+  // before the deviating event (the last replayed grant) executes, so it
+  // is filtered by that event and everything after it, but not by the
+  // re-executed prefix.
+  if (!SleepInstalled && Trace.size() >= Cfg.Replay.size()) {
+    Sleep = Cfg.InitialSleep;
+    SleepInstalled = true;
+  }
+
+  // Wake filter: a scheduled thread leaves the sleep set (only possible
+  // on the sleep-blocked fallback path), and so does every sleeper whose
+  // pending transition depends on the executing event.
+  for (size_t I = 0; I < Sleep.size();) {
+    const SleepEntry &S = Sleep[I];
+    bool Wake = S.Tid == Tid;
+    if (!Wake && Action == StepAction::SA_Access)
+      Wake = eventsDependent(S, Obj, Kind);
+    if (Wake) {
+      Sleep[I] = Sleep.back();
+      Sleep.pop_back();
+    } else {
+      ++I;
+    }
+  }
+}
+
+unsigned ExploringInterleaver::pickNext(unsigned Current) {
+  return decide(Current);
+}
+
+void ExploringInterleaver::onStepBegin(ThreadId Tid, uint64_t ObjId,
+                                       AccessKind Kind) {
+  // Translate the process-wide raw id into an instance-relative one so
+  // traces and sleep entries from different runs talk about the same
+  // objects (see Config::IdBase).
+  if (ObjId != kAnonymousObject && ObjId >= Cfg.IdBase)
+    ObjId -= Cfg.IdBase;
+  noteEvent(StepAction::SA_Access, ObjId, Kind, Tid);
+}
+
+void ExploringInterleaver::onRetire(ThreadId Tid) {
+  noteEvent(StepAction::SA_Retire, 0, AccessKind::AK_Read, Tid);
+}

@@ -1,0 +1,157 @@
+//===-- explore/ExploringInterleaver.h - Replayable scheduler --*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scheduling half of the systematic explorer: a TokenInterleaver
+/// whose decisions are (a) recorded in a decision log precise enough to
+/// branch from, and (b) optionally forced from a replay prefix, so the
+/// ScheduleExplorer can re-execute any prefix of a previous run and
+/// deviate at exactly one point (CHESS-style stateless model checking).
+///
+/// Policy, per grant:
+///  1. If the grant index is inside the replay prefix, the prefix wins.
+///  2. Otherwise stay on the current thread (runs it to completion —
+///     the canonical, zero-preemption extension), unless it retired or
+///     has hogged the token for SpinLimit consecutive grants while
+///     another thread could run (a TM-level spin, e.g. glock's lock
+///     acquisition — without the forced switch the non-preemptive
+///     extension livelocks). Forced fairness switches are free and
+///     deterministic, so replay reproduces them exactly.
+///  3. Never hand the token to a sleeping thread (sleep-set pruning)
+///     unless only sleepers remain; then the run is marked sleep-blocked
+///     — it still finishes (threads must terminate) but the explorer
+///     knows everything from that index on is redundant.
+///
+/// Preemption accounting: a grant is a *preemption* iff it moves the
+/// token away from a thread that is still active — except forced
+/// fairness switches, which are free. Switches after a retire are free.
+/// Both the runtime counter here and the explorer's branch-eligibility
+/// check use this same rule, so a replayed schedule always costs what
+/// the explorer predicted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_EXPLORE_EXPLORINGINTERLEAVER_H
+#define PTM_EXPLORE_EXPLORINGINTERLEAVER_H
+
+#include "runtime/Interleaver.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ptm {
+
+/// A sleep-set entry: thread Tid was put to sleep, and the transition it
+/// was about to take was the recorded event. It wakes when a dependent
+/// event executes.
+struct SleepEntry {
+  unsigned Tid = 0;
+  bool IsRetire = false;
+  uint64_t Obj = 0;
+  AccessKind Kind = AccessKind::AK_Read;
+};
+
+/// What one token grant turned out to be.
+enum class StepAction : uint8_t {
+  SA_Pending, ///< Granted, event not yet announced (transient).
+  SA_Access,  ///< A base-object access; Obj/Kind are valid.
+  SA_Retire,  ///< The thread left the rotation (no shared-memory effect).
+};
+
+/// One entry of the decision log.
+struct ExploreStep {
+  unsigned Chosen = 0;
+  StepAction Action = StepAction::SA_Pending;
+  uint64_t Obj = 0;
+  AccessKind Kind = AccessKind::AK_Read;
+  uint32_t EnabledMask = 0;       ///< Active threads at the grant (incl. Chosen).
+  unsigned PreemptionsAfter = 0;  ///< Cumulative preemptions incl. this grant.
+  bool WasPreemption = false;     ///< This grant consumed preemption budget.
+  bool SpinForced = false;        ///< Free fairness switch out of a spin.
+  std::vector<SleepEntry> Sleep;  ///< Sleep set in force at this grant.
+};
+
+/// DPOR dependence: does executing (\p Obj, \p Kind) conflict with the
+/// sleeping transition \p S? Retire transitions conflict with nothing;
+/// anonymous steps (TokenInterleaver::kAnonymousObject) conflict with
+/// everything; otherwise two accesses conflict iff they touch the same
+/// object and at least one is nontrivial.
+bool eventsDependent(const SleepEntry &S, uint64_t Obj, AccessKind Kind);
+
+class ExploringInterleaver final : public TokenInterleaver {
+public:
+  struct Config {
+    /// Forced grant sequence: grant i goes to Replay[i] (the explorer's
+    /// re-executed prefix plus the one deviation). Indices past the end
+    /// fall to the default policy.
+    std::vector<unsigned> Replay;
+    /// Sleep set to install just before the event at index
+    /// Replay.size()-1 executes — i.e. at the branch point, where the
+    /// explorer's deviation happens. (Installing earlier would let
+    /// prefix events spuriously wake entries that the branch node's
+    /// state already accounts for.)
+    std::vector<SleepEntry> InitialSleep;
+    /// Consecutive-grant limit before a forced fairness switch.
+    unsigned SpinLimit = 128;
+    /// BaseObject::idWatermark() taken just before the TM under test was
+    /// built. Raw object ids are allocated process-wide, so they differ
+    /// between re-executions; subtracting the watermark yields ids that
+    /// are stable across runs — without this, sleep entries recorded in
+    /// one run could never match (wake on) the dependent events of the
+    /// next, and the sleep sets would over-prune.
+    uint64_t IdBase = 0;
+  };
+
+  ExploringInterleaver(unsigned ThreadCount, Config C);
+
+  /// The decision log. Valid once every scheduled thread has retired.
+  const std::vector<ExploreStep> &trace() const { return Trace; }
+
+  unsigned preemptions() const { return Preemptions; }
+  bool replayDiverged() const { return Diverged; }
+  bool anySpinForced() const { return AnySpinForced; }
+
+  /// First grant index at which every enabled thread was asleep (the run
+  /// is redundant from there on), or SIZE_MAX if that never happened.
+  size_t sleepBlockedAt() const { return SleepBlockedIdx; }
+  bool sleepBlocked() const { return SleepBlockedIdx != SIZE_MAX; }
+
+protected:
+  unsigned pickNext(unsigned Current) override;
+  void onStepBegin(ThreadId Tid, uint64_t ObjId, AccessKind Kind) override;
+  void onRetire(ThreadId Tid) override;
+
+private:
+  /// Chooses (and logs) the next grant. \p Current is the previous token
+  /// holder, or numThreads() for the initial grant.
+  unsigned decide(unsigned Current);
+  /// Fills the pending log entry for the executing event and runs the
+  /// sleep-set wake filter.
+  void noteEvent(StepAction Action, uint64_t Obj, AccessKind Kind,
+                 ThreadId Tid);
+
+  uint32_t enabledMask() const;
+  bool isAsleep(unsigned Tid) const;
+  /// Next active thread at or after \p From that is not asleep;
+  /// numThreads() if every active thread sleeps.
+  unsigned nextRunnableFrom(unsigned From) const;
+
+  Config Cfg;
+  std::vector<ExploreStep> Trace;
+  std::vector<SleepEntry> Sleep; ///< Live sleep set (empty until installed).
+  bool SleepInstalled = false;
+  unsigned Preemptions = 0;
+  unsigned Burst = 0; ///< Consecutive grants to the same thread.
+  bool Diverged = false;
+  bool AnySpinForced = false;
+  size_t SleepBlockedIdx = SIZE_MAX;
+};
+
+} // namespace ptm
+
+#endif // PTM_EXPLORE_EXPLORINGINTERLEAVER_H

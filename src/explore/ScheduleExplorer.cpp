@@ -1,0 +1,434 @@
+//===-- explore/ScheduleExplorer.cpp - Systematic DFS explorer ------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "explore/ScheduleExplorer.h"
+
+#include "explore/StateHash.h"
+#include "history/RecordingTm.h"
+#include "runtime/BaseObject.h"
+#include "runtime/Instrumentation.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <chrono>
+
+using namespace ptm;
+
+std::string ptm::formatTrace(const std::vector<ExploreStep> &Trace) {
+  std::string Out;
+  for (const ExploreStep &S : Trace) {
+    if (!Out.empty())
+      Out += ' ';
+    Out += std::to_string(S.Chosen);
+    Out += ':';
+    if (S.Action == StepAction::SA_Retire) {
+      Out += "ret";
+    } else {
+      switch (S.Kind) {
+      case AccessKind::AK_Read:
+        Out += 'r';
+        break;
+      case AccessKind::AK_Write:
+        Out += 'w';
+        break;
+      case AccessKind::AK_Cas:
+        Out += 'c';
+        break;
+      case AccessKind::AK_FetchAdd:
+        Out += 'f';
+        break;
+      case AccessKind::AK_Exchange:
+        Out += 'x';
+        break;
+      }
+      Out += S.Obj == TokenInterleaver::kAnonymousObject
+                 ? std::string("?")
+                 : std::to_string(S.Obj);
+    }
+    if (S.WasPreemption)
+      Out += '!';
+    if (S.SpinForced)
+      Out += '*';
+  }
+  return Out;
+}
+
+ScheduleExplorer::ScheduleExplorer(Scenario S, TmKind K, ExploreOptions O)
+    : Scn(std::move(S)), Kind(K), Opts(O) {
+  unsigned N = static_cast<unsigned>(Scn.Threads.size());
+  assert(N >= 1 && N <= 32 && "explorable scenarios have 1..32 threads");
+  Workers.reserve(N);
+  for (unsigned T = 0; T < N; ++T)
+    Workers.emplace_back([this, T] { workerBody(T); });
+}
+
+ScheduleExplorer::~ScheduleExplorer() {
+  {
+    std::lock_guard<std::mutex> Lock(PoolMutex);
+    Quit = true;
+  }
+  StartCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ScheduleExplorer::workerBody(unsigned Tid) {
+  uint64_t SeenGen = 0;
+  while (true) {
+    RecordingTm *M = nullptr;
+    ExploringInterleaver *Sched = nullptr;
+    std::vector<std::vector<TxnResult>> *Outcomes = nullptr;
+    {
+      std::unique_lock<std::mutex> Lock(PoolMutex);
+      StartCv.wait(Lock, [&] { return Quit || Generation != SeenGen; });
+      if (Quit)
+        return;
+      SeenGen = Generation;
+      M = RunTm;
+      Sched = RunSched;
+      Outcomes = RunOutcomes;
+    }
+    {
+      Instrumentation Instr(Tid, nullptr, Sched);
+      ScopedInstrumentation Scope(Instr);
+      runThreadScript(*M, Scn.Threads[Tid], Tid, (*Outcomes)[Tid]);
+    }
+    Sched->retire(Tid);
+    {
+      std::lock_guard<std::mutex> Lock(PoolMutex);
+      if (--Running == 0)
+        DoneCv.notify_all();
+    }
+  }
+}
+
+void ScheduleExplorer::executeOne(const std::vector<unsigned> &Replay,
+                                  std::vector<SleepEntry> InitialSleep,
+                                  RunResult &R) {
+  unsigned N = static_cast<unsigned>(Scn.Threads.size());
+  // Snapshot the id watermark first: every base object this TM instance
+  // allocates gets a raw id >= the watermark, in an allocation order
+  // that is a pure function of (Kind, NumObjects) — so watermark-
+  // relative ids are stable across re-executions.
+  uint64_t IdBase = BaseObject::idWatermark();
+  std::unique_ptr<Tm> Inner = createTm(Kind, Scn.NumObjects, N);
+  assert(Inner && "unknown TmKind or empty scenario");
+  for (const auto &[Obj, Value] : Scn.Init)
+    Inner->init(Obj, Value);
+  RecordingTm Rec(std::move(Inner));
+
+  ExploringInterleaver::Config Cfg;
+  Cfg.Replay = Replay;
+  Cfg.InitialSleep = std::move(InitialSleep);
+  Cfg.SpinLimit = Opts.SpinLimit;
+  Cfg.IdBase = IdBase;
+  ExploringInterleaver Sched(N, std::move(Cfg));
+
+  std::vector<std::vector<TxnResult>> Outcomes(N);
+  {
+    std::lock_guard<std::mutex> Lock(PoolMutex);
+    RunTm = &Rec;
+    RunSched = &Sched;
+    RunOutcomes = &Outcomes;
+    Running = N;
+    ++Generation;
+  }
+  StartCv.notify_all();
+  {
+    std::unique_lock<std::mutex> Lock(PoolMutex);
+    DoneCv.wait(Lock, [&] { return Running == 0; });
+  }
+
+  // Quiescent: every worker has retired and parked on the next
+  // generation, so collection needs no further synchronization.
+  R = RunResult();
+  R.Kind = Kind;
+  R.Hist = Rec.takeHistory();
+  R.Outcomes = std::move(Outcomes);
+  R.StateHash = hashTmState(Rec, R.FinalValues);
+  R.Preemptions = Sched.preemptions();
+  R.SpinForced = Sched.anySpinForced();
+  R.SleepBlocked = Sched.sleepBlocked();
+  CurrentTrace = Sched.trace();
+  CurrentDiverged = Sched.replayDiverged();
+  CurrentUsableLen = std::min(CurrentTrace.size(), Sched.sleepBlockedAt());
+  R.Trace = &CurrentTrace;
+}
+
+/// Checks the TM's DESIGN.md property row on one executed schedule;
+/// returns a description of the first violation, or empty.
+static std::string propertyRowViolation(TmKind Kind, const RunResult &R) {
+  for (const std::vector<TxnResult> &Thread : R.Outcomes)
+    for (const TxnResult &O : Thread) {
+      if (O.Committed)
+        continue;
+      if (Kind == TmKind::TK_Mv && O.ReadOnlyHint)
+        return std::string("mv read-only transaction aborted (") +
+               abortCauseName(O.Cause) + ")";
+      if (Kind == TmKind::TK_GlobalLock && O.Cause != AbortCause::AC_User)
+        return std::string("glock transaction aborted (") +
+               abortCauseName(O.Cause) + ")";
+    }
+
+  if (isProgressive(Kind)) {
+    // Progressiveness (necessary condition observable from the history):
+    // a transaction may abort only because of a concurrent conflicting
+    // transaction, so every involuntarily aborted transaction's real-time
+    // interval must overlap some other transaction's interval.
+    std::vector<size_t> NextTxn(R.Outcomes.size(), 0);
+    for (size_t I = 0; I < R.Hist.Txns.size(); ++I) {
+      const TxnRecord &A = R.Hist.Txns[I];
+      size_t ThreadIdx = NextTxn[A.Tid]++;
+      if (A.Outcome != TxnOutcome::TX_Aborted)
+        continue;
+      AbortCause Cause = A.Tid < R.Outcomes.size() &&
+                                 ThreadIdx < R.Outcomes[A.Tid].size()
+                             ? R.Outcomes[A.Tid][ThreadIdx].Cause
+                             : AbortCause::AC_None;
+      if (Cause == AbortCause::AC_User)
+        continue;
+      bool Overlaps = false;
+      for (size_t J = 0; J < R.Hist.Txns.size() && !Overlaps; ++J) {
+        if (J == I)
+          continue;
+        const TxnRecord &B = R.Hist.Txns[J];
+        Overlaps = !(A.precedes(B) || B.precedes(A));
+      }
+      if (!Overlaps)
+        return std::string("progressive TM aborted (") +
+               abortCauseName(Cause) + ") with no overlapping transaction";
+    }
+  }
+  return {};
+}
+
+void ScheduleExplorer::checkRun(RunResult &R, ExploreStats &Stats,
+                                std::unordered_set<uint64_t> &SeenStates,
+                                const WitnessFn &Witness) {
+  R.Opacity = checkOpacity(R.Hist, Opts.Checker);
+
+  // Final-state serializability: append a synthetic committed transaction
+  // that reads every object's final value strictly after everything else;
+  // if the final state is not the product of some legal serialization,
+  // the checker rejects the extended history.
+  History Extended = R.Hist;
+  uint64_t MaxTicket = 0, MaxId = 0;
+  for (const TxnRecord &T : Extended.Txns) {
+    MaxTicket = std::max(MaxTicket, T.LastTicket);
+    MaxId = std::max(MaxId, T.TxnId);
+  }
+  TxnRecord Final;
+  Final.TxnId = MaxId + 1;
+  Final.Tid = 0;
+  Final.Outcome = TxnOutcome::TX_Committed;
+  Final.FirstTicket = MaxTicket + 1;
+  Final.LastTicket = MaxTicket + 2;
+  Final.Ops.reserve(Scn.NumObjects);
+  for (ObjectId Obj = 0; Obj < Scn.NumObjects; ++Obj)
+    Final.Ops.push_back({TOpKind::TO_Read, Obj, R.FinalValues[Obj]});
+  Extended.Txns.push_back(std::move(Final));
+  R.FinalStateSerializability =
+      checkStrictSerializability(Extended, Opts.Checker);
+
+  R.PropertyViolation = propertyRowViolation(Kind, R);
+
+  auto NoteFirst = [&](const char *What) {
+    if (Stats.FirstViolation.empty())
+      Stats.FirstViolation =
+          std::string(What) + ": " + formatTrace(CurrentTrace);
+  };
+  if (R.Opacity == CheckResult::CR_Violation) {
+    ++Stats.OpacityViolations;
+    NoteFirst("opacity");
+  } else if (R.Opacity == CheckResult::CR_ResourceLimit) {
+    ++Stats.CheckerResourceLimits;
+  }
+  if (R.FinalStateSerializability == CheckResult::CR_Violation) {
+    ++Stats.SerializabilityViolations;
+    NoteFirst("final-state serializability");
+  } else if (R.FinalStateSerializability == CheckResult::CR_ResourceLimit) {
+    ++Stats.CheckerResourceLimits;
+  }
+  if (!R.PropertyViolation.empty()) {
+    ++Stats.PropertyViolations;
+    NoteFirst(R.PropertyViolation.c_str());
+  }
+
+  if (R.SleepBlocked)
+    ++Stats.SleepBlocked;
+  Stats.MaxDepth = std::max(Stats.MaxDepth, uint64_t{CurrentTrace.size()});
+  if (SeenStates.insert(R.StateHash).second)
+    ++Stats.UniqueStates;
+  if (Witness && Witness(R))
+    ++Stats.WitnessMatches;
+}
+
+bool ScheduleExplorer::nextActionIsRetire(size_t Index, unsigned Tid) const {
+  for (size_t J = Index + 1; J < CurrentTrace.size(); ++J)
+    if (CurrentTrace[J].Chosen == Tid)
+      return CurrentTrace[J].Action == StepAction::SA_Retire;
+  return false;
+}
+
+ScheduleExplorer::Node ScheduleExplorer::makeNode(size_t Index,
+                                                  ExploreStats &Stats) const {
+  const ExploreStep &S = CurrentTrace[Index];
+  Node Nd;
+  Nd.Chosen = S.Chosen;
+  Nd.Action = S.Action;
+  Nd.Obj = S.Obj;
+  Nd.Kind = S.Kind;
+  Nd.EnabledMask = S.EnabledMask;
+  Nd.SpinForced = S.SpinForced;
+  Nd.PreemptionsAfter = S.PreemptionsAfter;
+  if (Opts.SleepSets)
+    Nd.Sleep = S.Sleep;
+
+  if (S.Action == StepAction::SA_Retire) {
+    // A retire is a no-op transition, independent of everything: fixing
+    // its position explores one representative of every class of
+    // schedules that differ only in where the retire lands.
+    Stats.NoopSkips += std::popcount(S.EnabledMask) - 1;
+    return Nd;
+  }
+
+  unsigned N = static_cast<unsigned>(Scn.Threads.size());
+  unsigned Prev = Index > 0 ? CurrentTrace[Index - 1].Chosen : N;
+  bool PrevEnabled = Prev < N && ((S.EnabledMask >> Prev) & 1) != 0;
+  unsigned Before =
+      Index > 0 ? CurrentTrace[Index - 1].PreemptionsAfter : 0;
+
+  for (unsigned U = 0; U < N; ++U) {
+    if (U == S.Chosen || ((S.EnabledMask >> U) & 1) == 0)
+      continue;
+    if (S.SpinForced && U == Prev) {
+      // "Keep spinning" cannot change any object and would extend the
+      // spin without bound; the forced escape already covers progress.
+      ++Stats.NoopSkips;
+      continue;
+    }
+    if (Opts.SleepSets) {
+      bool Asleep = false;
+      for (const SleepEntry &E : Nd.Sleep)
+        if (E.Tid == U) {
+          Asleep = true;
+          break;
+        }
+      if (Asleep) {
+        ++Stats.PrunedSleep;
+        continue;
+      }
+    }
+    // Cost of scheduling U here instead: one preemption iff it switches
+    // away from a still-enabled previous thread outside a spin window —
+    // the same rule ExploringInterleaver::decide applies when counting.
+    unsigned Cost = (PrevEnabled && U != Prev && !S.SpinForced) ? 1 : 0;
+    if (Before + Cost > Opts.PreemptionBound) {
+      ++Stats.PrunedBound;
+      continue;
+    }
+    if (nextActionIsRetire(Index, U)) {
+      ++Stats.NoopSkips;
+      continue;
+    }
+    Nd.Pending.push_back(U);
+  }
+  return Nd;
+}
+
+ExploreStats ScheduleExplorer::explore(const RunCallback &PerRun,
+                                       const WitnessFn &Witness) {
+  ExploreStats Stats;
+  std::unordered_set<uint64_t> SeenStates;
+  auto StartTime = std::chrono::steady_clock::now();
+  auto ElapsedMs = [&StartTime] {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - StartTime)
+            .count());
+  };
+
+  RunResult R;
+  Path.clear();
+  std::vector<unsigned> Replay;
+  std::vector<SleepEntry> InitSleep;
+  ptrdiff_t BranchIdx = -1; // Node being replaced this iteration.
+
+  while (true) {
+    executeOne(Replay, std::move(InitSleep), R);
+    InitSleep = {};
+    ++Stats.Executed;
+    if (CurrentDiverged)
+      ++Stats.ReplayDivergences;
+    checkRun(R, Stats, SeenStates, Witness);
+    if (PerRun)
+      PerRun(R);
+
+    // Rebuild the DFS path along this run: the branch node keeps its
+    // sleep/tried/pending bookkeeping but re-reads its (new) choice; all
+    // deeper nodes are fresh. Nodes past a sleep-blocked index are
+    // redundant and never created.
+    size_t Start;
+    if (BranchIdx < 0) {
+      Path.clear();
+      Start = 0;
+    } else {
+      Path.resize(static_cast<size_t>(BranchIdx) + 1);
+      Node &Nd = Path[static_cast<size_t>(BranchIdx)];
+      const ExploreStep &S = CurrentTrace[static_cast<size_t>(BranchIdx)];
+      Nd.Chosen = S.Chosen;
+      Nd.Action = S.Action;
+      Nd.Obj = S.Obj;
+      Nd.Kind = S.Kind;
+      Nd.SpinForced = S.SpinForced;
+      Nd.PreemptionsAfter = S.PreemptionsAfter;
+      Start = static_cast<size_t>(BranchIdx) + 1;
+    }
+    for (size_t J = Start; J < CurrentUsableLen; ++J)
+      Path.push_back(makeNode(J, Stats));
+
+    if (Stats.Executed >= Opts.MaxSchedules) {
+      Stats.HitScheduleCap = true;
+      break;
+    }
+    if (Opts.MaxMillis != 0 && ElapsedMs() > Opts.MaxMillis) {
+      Stats.HitTimeBudget = true;
+      break;
+    }
+
+    // Deepest node with an untried alternative; none left = exhausted.
+    ptrdiff_t I = static_cast<ptrdiff_t>(Path.size()) - 1;
+    while (I >= 0 && Path[static_cast<size_t>(I)].Pending.empty())
+      --I;
+    if (I < 0) {
+      Stats.Complete = true;
+      break;
+    }
+    BranchIdx = I;
+    Node &Nd = Path[static_cast<size_t>(I)];
+    Nd.Tried.push_back(
+        {Nd.Chosen, Nd.Action == StepAction::SA_Retire, Nd.Obj, Nd.Kind});
+    unsigned Alt = Nd.Pending.back();
+    Nd.Pending.pop_back();
+
+    Replay.clear();
+    Replay.reserve(static_cast<size_t>(I) + 1);
+    for (ptrdiff_t K = 0; K < I; ++K)
+      Replay.push_back(Path[static_cast<size_t>(K)].Chosen);
+    Replay.push_back(Alt);
+
+    InitSleep.clear();
+    if (Opts.SleepSets) {
+      // Sleep-set DFS: the branch run starts with the node's sleep set
+      // plus every already-explored sibling asleep.
+      InitSleep = Nd.Sleep;
+      InitSleep.insert(InitSleep.end(), Nd.Tried.begin(), Nd.Tried.end());
+    }
+  }
+  return Stats;
+}

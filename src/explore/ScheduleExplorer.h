@@ -1,0 +1,223 @@
+//===-- explore/ScheduleExplorer.h - Systematic DFS explorer ---*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stateless (re-execution based) model checking of a scripted TM
+/// workload: a DFS over the tree of token-grant decisions enumerates
+/// every schedule of the scenario's base-object accesses up to a
+/// preemption bound, runs the *real* TM code on each one through an
+/// ExploringInterleaver, records the history with RecordingTm, and
+/// checks per schedule:
+///
+///  * opacity of the full recorded history (Checker),
+///  * strict serializability of the *final state* — a synthetic
+///    committed transaction that reads every t-object's final value is
+///    appended to the history, so a non-serializable final state makes
+///    the checker reject,
+///  * the TM's DESIGN.md property row (mv read-only transactions never
+///    abort; glock never aborts; progressive TMs abort only with an
+///    overlapping transaction present).
+///
+/// Pruning (all reported in ExploreStats, all optional or no-op-only):
+///  * sleep sets on independent accesses (Godefroid) — SleepSets option;
+///  * the preemption bound — branches whose one extra switch would
+///    exceed the bound are not taken (the default extension adds none);
+///  * no-op skips — retire transitions commute with everything, so their
+///    position is never branched on, and at a forced spin-escape node
+///    the "keep spinning" alternative is not offered (it cannot change
+///    any object and would unboundedly extend the spin).
+///
+/// Equivalent executions are deduped by the post-quiescence TVar-state
+/// hash (StateHash) for the unique-states report; dedup never suppresses
+/// checking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_EXPLORE_SCHEDULEEXPLORER_H
+#define PTM_EXPLORE_SCHEDULEEXPLORER_H
+
+#include "explore/ExploringInterleaver.h"
+#include "explore/Script.h"
+#include "history/Checker.h"
+#include "history/History.h"
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+namespace ptm {
+
+class RecordingTm;
+
+/// PreemptionBound value meaning "no bound at all".
+inline constexpr unsigned kUnboundedPreemptions = ~0u;
+
+/// Exploration tunables.
+///
+/// Two configurations carry a completeness guarantee:
+///  * SleepSets = false with a finite PreemptionBound enumerates every
+///    schedule whose preemption count is within the bound;
+///  * SleepSets = true with kUnboundedPreemptions enumerates at least
+///    one representative of every Mazurkiewicz trace (behaviors are
+///    trace invariants, so none is missed).
+/// Combining sleep sets with a finite bound is a heuristic: a pruned
+/// branch's representative can cost more preemptions than the bound
+/// allows, so behaviors may in principle be missed (the classic partial-
+/// order-reduction x bounding interaction; see DESIGN.md). The tests
+/// cross-check the two sound modes against the combined one.
+struct ExploreOptions {
+  /// Maximum preemptive context switches per schedule (CHESS-style
+  /// bound). Switches after a retire and forced spin escapes are free.
+  unsigned PreemptionBound = 2;
+  /// Sleep-set (DPOR-style) pruning of independent-access commutations.
+  bool SleepSets = true;
+  /// Consecutive-grant limit before a forced (free) fairness switch.
+  unsigned SpinLimit = 128;
+  /// Hard cap on executed schedules; exceeding it clears Complete.
+  uint64_t MaxSchedules = 200000;
+  /// Wall-clock budget in milliseconds; 0 = unlimited.
+  uint64_t MaxMillis = 0;
+  /// Budgets for the per-schedule opacity/serializability checks.
+  CheckerOptions Checker;
+};
+
+/// Everything observed about one executed schedule.
+struct RunResult {
+  TmKind Kind = TmKind::TK_GlobalLock;
+  /// Complete recorded history (committed and aborted transactions).
+  History Hist;
+  /// Per thread, per scripted transaction: how it ended.
+  std::vector<std::vector<TxnResult>> Outcomes;
+  /// Final committed value of every t-object, in object order.
+  std::vector<uint64_t> FinalValues;
+  uint64_t StateHash = 0;
+  unsigned Preemptions = 0;
+  bool SpinForced = false;
+  bool SleepBlocked = false;
+  CheckResult Opacity = CheckResult::CR_Ok;
+  CheckResult FinalStateSerializability = CheckResult::CR_Ok;
+  /// Empty when the TM's DESIGN.md property row held on this schedule;
+  /// otherwise a description of the violated property.
+  std::string PropertyViolation;
+  /// The decision log of this schedule. Valid only during the per-run
+  /// callback (the explorer reuses the storage).
+  const std::vector<ExploreStep> *Trace = nullptr;
+};
+
+/// Aggregate exploration report.
+struct ExploreStats {
+  uint64_t Executed = 0;     ///< Schedules actually run and checked.
+  uint64_t SleepBlocked = 0; ///< Runs that ended in a fully-asleep state.
+  uint64_t PrunedSleep = 0;  ///< Branches skipped by sleep sets.
+  uint64_t PrunedBound = 0;  ///< Branches skipped by the preemption bound.
+  uint64_t NoopSkips = 0;    ///< Branches not taken at retire/spin nodes.
+  uint64_t UniqueStates = 0; ///< Distinct final-state hashes seen.
+  uint64_t MaxDepth = 0;     ///< Longest decision log (grants).
+  uint64_t ReplayDivergences = 0; ///< Replays that left the forced prefix.
+  bool Complete = false;          ///< The DFS exhausted the bounded tree.
+  bool HitScheduleCap = false;
+  bool HitTimeBudget = false;
+
+  uint64_t OpacityViolations = 0;
+  uint64_t SerializabilityViolations = 0;
+  uint64_t PropertyViolations = 0;
+  uint64_t CheckerResourceLimits = 0;
+  uint64_t WitnessMatches = 0; ///< Runs accepted by the witness predicate.
+
+  /// Human-readable decision log of the first violating schedule.
+  std::string FirstViolation;
+
+  uint64_t totalViolations() const {
+    return OpacityViolations + SerializabilityViolations + PropertyViolations;
+  }
+};
+
+/// Renders a decision log as a compact schedule string, e.g.
+/// "0:r2 0:w2 1:r2! 1:ret 0:ret" (! marks preemptive switches).
+std::string formatTrace(const std::vector<ExploreStep> &Trace);
+
+/// Systematic explorer for one (scenario, TM kind) pair. Owns a
+/// persistent worker pool (one thread per scripted thread) that
+/// re-executes the scenario once per explored schedule.
+class ScheduleExplorer {
+public:
+  /// Called once per executed schedule, after all checks ran.
+  using RunCallback = std::function<void(const RunResult &)>;
+  /// Predicate counted in ExploreStats::WitnessMatches — used to assert
+  /// that a known-interesting schedule is actually reached.
+  using WitnessFn = std::function<bool(const RunResult &)>;
+
+  ScheduleExplorer(Scenario S, TmKind Kind, ExploreOptions Opts = {});
+  ~ScheduleExplorer();
+
+  ScheduleExplorer(const ScheduleExplorer &) = delete;
+  ScheduleExplorer &operator=(const ScheduleExplorer &) = delete;
+
+  /// Runs the bounded DFS to exhaustion (or budget) and returns the
+  /// report. Call at most once per explorer instance.
+  ExploreStats explore(const RunCallback &PerRun = nullptr,
+                       const WitnessFn &Witness = nullptr);
+
+private:
+  /// One node of the current DFS path.
+  struct Node {
+    unsigned Chosen = 0;
+    StepAction Action = StepAction::SA_Pending;
+    uint64_t Obj = 0;
+    AccessKind Kind = AccessKind::AK_Read;
+    uint32_t EnabledMask = 0;
+    bool SpinForced = false;
+    unsigned PreemptionsAfter = 0;
+    std::vector<SleepEntry> Sleep; ///< Sleep set at this node.
+    std::vector<SleepEntry> Tried; ///< Fully explored choices (as events).
+    std::vector<unsigned> Pending; ///< Eligible, not yet explored choices.
+  };
+
+  /// Executes one schedule (replay prefix + default extension) on the
+  /// worker pool; fills Result and CurrentTrace.
+  void executeOne(const std::vector<unsigned> &Replay,
+                  std::vector<SleepEntry> InitialSleep, RunResult &Result);
+  /// Runs all per-schedule checks and updates Stats.
+  void checkRun(RunResult &R, ExploreStats &Stats,
+                std::unordered_set<uint64_t> &SeenStates,
+                const WitnessFn &Witness);
+  /// Builds the DFS node for CurrentTrace[Index].
+  Node makeNode(size_t Index, ExploreStats &Stats) const;
+  /// True if thread \p Tid's first grant after \p Index is its retire.
+  bool nextActionIsRetire(size_t Index, unsigned Tid) const;
+
+  void workerBody(unsigned Tid);
+
+  Scenario Scn;
+  TmKind Kind;
+  ExploreOptions Opts;
+
+  std::vector<Node> Path;
+  std::vector<ExploreStep> CurrentTrace;
+  bool CurrentDiverged = false;
+  size_t CurrentUsableLen = 0; ///< Trace length up to any sleep-block.
+
+  // Worker pool: one persistent thread per scripted thread; each
+  // generation is one schedule execution.
+  std::vector<std::thread> Workers;
+  std::mutex PoolMutex;
+  std::condition_variable StartCv, DoneCv;
+  uint64_t Generation = 0;
+  unsigned Running = 0;
+  bool Quit = false;
+  RecordingTm *RunTm = nullptr;
+  ExploringInterleaver *RunSched = nullptr;
+  std::vector<std::vector<TxnResult>> *RunOutcomes = nullptr;
+};
+
+} // namespace ptm
+
+#endif // PTM_EXPLORE_SCHEDULEEXPLORER_H

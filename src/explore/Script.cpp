@@ -1,0 +1,53 @@
+//===-- explore/Script.cpp - Scripted transaction scenarios ---------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "explore/Script.h"
+
+using namespace ptm;
+
+void ptm::runThreadScript(Tm &M, const ThreadScript &S, ThreadId Tid,
+                          std::vector<TxnResult> &Results) {
+  Results.reserve(Results.size() + S.Txns.size());
+  for (const TxScript &Tx : S.Txns) {
+    TxnResult R;
+    R.ReadOnlyHint = Tx.ReadOnly;
+    if (Tx.ReadOnly)
+      M.txBeginReadOnly(Tid);
+    else
+      M.txBegin(Tid);
+
+    bool Alive = true;
+    for (const ScriptOp &Op : Tx.Ops) {
+      switch (Op.K) {
+      case ScriptOp::SO_Read: {
+        uint64_t V = 0;
+        Alive = M.txRead(Tid, Op.Obj, V);
+        break;
+      }
+      case ScriptOp::SO_Write:
+        Alive = M.txWrite(Tid, Op.Obj, Op.Value);
+        break;
+      case ScriptOp::SO_Increment: {
+        uint64_t V = 0;
+        Alive = M.txRead(Tid, Op.Obj, V) &&
+                M.txWrite(Tid, Op.Obj, V + Op.Value);
+        break;
+      }
+      case ScriptOp::SO_Abort:
+        M.txAbort(Tid);
+        Alive = false;
+        break;
+      }
+      if (!Alive)
+        break;
+    }
+    if (Alive)
+      R.Committed = M.txCommit(Tid);
+    R.Cause = R.Committed ? AbortCause::AC_None : M.lastAbortCause(Tid);
+    Results.push_back(R);
+  }
+}

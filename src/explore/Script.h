@@ -1,0 +1,94 @@
+//===-- explore/Script.h - Scripted transaction scenarios ------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic transaction scripts for systematic schedule exploration.
+/// A Scenario fixes a tiny workload — 2–3 threads, each running a short
+/// list of single-shot transactions over a handful of t-objects — so that
+/// the ScheduleExplorer can enumerate *every* interleaving of the
+/// workload's base-object accesses and check the TM's guarantees on each
+/// one, rather than sampling schedules the way the random property tests
+/// do.
+///
+/// Scripts are single-shot on purpose: an aborted transaction is not
+/// retried. Retry loops would make the set of base-object accesses
+/// depend on the schedule in unbounded ways; single-shot transactions
+/// keep every run finite while still exercising the full abort paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_EXPLORE_SCRIPT_H
+#define PTM_EXPLORE_SCRIPT_H
+
+#include "stm/Tm.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ptm {
+
+/// One scripted t-operation.
+struct ScriptOp {
+  enum Kind : uint8_t {
+    SO_Read,      ///< txRead(Obj).
+    SO_Write,     ///< txWrite(Obj, Value).
+    SO_Increment, ///< txRead(Obj) then txWrite(Obj, read + Value).
+    SO_Abort,     ///< Voluntary txAbort; ends the transaction.
+  };
+
+  Kind K = SO_Read;
+  ObjectId Obj = 0;
+  uint64_t Value = 0;
+};
+
+inline ScriptOp opRead(ObjectId Obj) { return {ScriptOp::SO_Read, Obj, 0}; }
+inline ScriptOp opWrite(ObjectId Obj, uint64_t Value) {
+  return {ScriptOp::SO_Write, Obj, Value};
+}
+inline ScriptOp opIncrement(ObjectId Obj, uint64_t Delta = 1) {
+  return {ScriptOp::SO_Increment, Obj, Delta};
+}
+inline ScriptOp opAbort() { return {ScriptOp::SO_Abort, 0, 0}; }
+
+/// One transaction of a thread script.
+struct TxScript {
+  bool ReadOnly = false; ///< Start with txBeginReadOnly (mv snapshot path).
+  std::vector<ScriptOp> Ops;
+};
+
+/// The whole program of one simulated thread: its transactions, run in
+/// order, each exactly once.
+struct ThreadScript {
+  std::vector<TxScript> Txns;
+};
+
+/// A complete explorable workload.
+struct Scenario {
+  std::string Name;
+  unsigned NumObjects = 2;
+  /// Initial values installed via Tm::init before the threads start.
+  std::vector<std::pair<ObjectId, uint64_t>> Init;
+  std::vector<ThreadScript> Threads;
+};
+
+/// How one scripted transaction ended in one run.
+struct TxnResult {
+  bool Committed = false;
+  bool ReadOnlyHint = false; ///< The script used txBeginReadOnly.
+  AbortCause Cause = AbortCause::AC_None;
+};
+
+/// Runs one thread's script to completion against \p M (single-shot: an
+/// abort ends the transaction, no retry). Appends one TxnResult per
+/// scripted transaction to \p Results.
+void runThreadScript(Tm &M, const ThreadScript &S, ThreadId Tid,
+                     std::vector<TxnResult> &Results);
+
+} // namespace ptm
+
+#endif // PTM_EXPLORE_SCRIPT_H

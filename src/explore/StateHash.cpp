@@ -1,0 +1,26 @@
+//===-- explore/StateHash.cpp - Observable TVar-state hashing -------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "explore/StateHash.h"
+
+#include "stm/Tm.h"
+
+using namespace ptm;
+
+uint64_t ptm::hashTmState(const Tm &M, std::vector<uint64_t> &Values) {
+  Fnv1a H;
+  unsigned N = M.numObjects();
+  H.mix(N);
+  Values.clear();
+  Values.reserve(N);
+  for (ObjectId Obj = 0; Obj < N; ++Obj) {
+    uint64_t V = M.sample(Obj);
+    Values.push_back(V);
+    H.mix(V);
+  }
+  return H.value();
+}

@@ -1,0 +1,56 @@
+//===-- explore/StateHash.h - Observable TVar-state hashing ----*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FNV-1a hashing of the observable transactional heap, used by the
+/// explorer to dedup executions that reach the same final state. The
+/// hash covers exactly what a post-quiescence observer can see — the
+/// committed value of every t-object, in object order — so two schedules
+/// hash equal iff they are indistinguishable to later transactions.
+///
+/// Caveats (also in DESIGN.md): the hash is taken only at quiescence
+/// (mid-run states of eager TMs may transiently hold uncommitted values,
+/// which a final hash never sees because aborts roll back before the
+/// threads retire); and a 64-bit hash can collide, so unique-state
+/// counts are a lower bound used for reporting — dedup never suppresses
+/// checking, every executed schedule is verified individually.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_EXPLORE_STATEHASH_H
+#define PTM_EXPLORE_STATEHASH_H
+
+#include <cstdint>
+#include <vector>
+
+namespace ptm {
+
+class Tm;
+
+/// Incremental FNV-1a over 64-bit words.
+class Fnv1a {
+public:
+  void mix(uint64_t Word) {
+    for (unsigned Byte = 0; Byte < 8; ++Byte) {
+      Hash ^= (Word >> (8 * Byte)) & 0xff;
+      Hash *= 1099511628211ull;
+    }
+  }
+
+  uint64_t value() const { return Hash; }
+
+private:
+  uint64_t Hash = 14695981039346656037ull;
+};
+
+/// Samples every t-object of \p M (which must be quiescent) into
+/// \p Values and returns the FNV-1a hash of the sequence.
+uint64_t hashTmState(const Tm &M, std::vector<uint64_t> &Values);
+
+} // namespace ptm
+
+#endif // PTM_EXPLORE_STATEHASH_H

@@ -16,3 +16,7 @@ static std::atomic<uint64_t> NextObjectId{1};
 BaseObject::BaseObject(uint64_t Init, ThreadId HomeTid)
     : Word(Init), Id(NextObjectId.fetch_add(1, std::memory_order_relaxed)),
       Home(HomeTid) {}
+
+uint64_t BaseObject::idWatermark() {
+  return NextObjectId.load(std::memory_order_relaxed);
+}

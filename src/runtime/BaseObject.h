@@ -31,6 +31,26 @@
 
 namespace ptm {
 
+/// RAII bracket around one base-object access: constructed by
+/// BaseObject::note() after the scheduler (if any) grants the thread's
+/// turn; the destructor releases the turn once the primitive has been
+/// applied. Holding the turn across the access keeps the schedule's grant
+/// order and the real memory-event order identical, which systematic
+/// replay (src/explore) depends on.
+class AccessEvent {
+public:
+  explicit AccessEvent(Instrumentation *Owner) : Instr(Owner) {}
+  AccessEvent(const AccessEvent &) = delete;
+  AccessEvent &operator=(const AccessEvent &) = delete;
+  ~AccessEvent() {
+    if (Instr)
+      Instr->accessDone();
+  }
+
+private:
+  Instrumentation *Instr;
+};
+
 /// One instrumented atomic word. Padded to a cache line so that arrays of
 /// base objects do not false-share — important both for the throughput
 /// benchmarks and for making the simulated RMR model match the real layout.
@@ -43,22 +63,30 @@ public:
   BaseObject(const BaseObject &) = delete;
   BaseObject &operator=(const BaseObject &) = delete;
 
+  /// The id the next constructed object will receive. Ids are allocated
+  /// from a process-wide monotonic counter, so two equal TM instances
+  /// built at different times carry different raw ids; re-execution
+  /// machinery (src/explore) snapshots this watermark before building an
+  /// instance to translate raw ids into instance-relative ones that are
+  /// stable across runs.
+  static uint64_t idWatermark();
+
   /// Trivial primitive: atomic load.
   uint64_t read() const {
-    note(AccessKind::AK_Read);
+    AccessEvent Event = note(AccessKind::AK_Read);
     return Word.load(std::memory_order_seq_cst);
   }
 
   /// Nontrivial unconditional primitive: atomic store.
   void write(uint64_t Value) {
-    note(AccessKind::AK_Write);
+    AccessEvent Event = note(AccessKind::AK_Write);
     Word.store(Value, std::memory_order_seq_cst);
   }
 
   /// Nontrivial conditional primitive: single-shot CAS. On failure
   /// \p Expected is updated with the observed value.
   bool compareAndSwap(uint64_t &Expected, uint64_t Desired) {
-    note(AccessKind::AK_Cas);
+    AccessEvent Event = note(AccessKind::AK_Cas);
     return Word.compare_exchange_strong(Expected, Desired,
                                         std::memory_order_seq_cst);
   }
@@ -66,7 +94,7 @@ public:
   /// Nontrivial unconditional primitive: fetch-and-add. Returns the prior
   /// value.
   uint64_t fetchAdd(uint64_t Delta) {
-    note(AccessKind::AK_FetchAdd);
+    AccessEvent Event = note(AccessKind::AK_FetchAdd);
     return Word.fetch_add(Delta, std::memory_order_seq_cst);
   }
 
@@ -74,7 +102,7 @@ public:
   /// the prior value. Note: not a conditional primitive, hence outside the
   /// hypotheses of the paper's Theorem 9 — MCS-style locks exploit this.
   uint64_t exchange(uint64_t Value) {
-    note(AccessKind::AK_Exchange);
+    AccessEvent Event = note(AccessKind::AK_Exchange);
     return Word.exchange(Value, std::memory_order_seq_cst);
   }
 
@@ -94,9 +122,11 @@ public:
   void setHome(ThreadId NewHome) { Home = NewHome; }
 
 private:
-  void note(AccessKind Kind) const {
-    if (Instrumentation *Instr = Instrumentation::current())
+  AccessEvent note(AccessKind Kind) const {
+    Instrumentation *Instr = Instrumentation::current();
+    if (Instr)
       Instr->record(Id, Kind, Home);
+    return AccessEvent(Instr);
   }
 
   std::atomic<uint64_t> Word;

@@ -42,9 +42,10 @@ OpStats Instrumentation::endOp() {
 
 void Instrumentation::record(uint64_t ObjId, AccessKind Kind, ThreadId Home) {
   // Serialize shared-memory events under the experiment's schedule before
-  // anything is charged, so the simulator observes the same order.
+  // anything is charged, so the simulator observes the same order. The
+  // turn is held until accessDone() so the grant order IS the event order.
   if (Sched)
-    Sched->step(Tid);
+    Sched->stepBegin(Tid, ObjId, Kind);
   ++TotalSteps;
   bool Nontrivial = isNontrivial(Kind);
   if (Nontrivial)
@@ -64,6 +65,11 @@ void Instrumentation::record(uint64_t ObjId, AccessKind Kind, ThreadId Home) {
   if (IsRmr)
     ++OpRmrs;
   OpObjects.push_back(ObjId);
+}
+
+void Instrumentation::accessDone() {
+  if (Sched)
+    Sched->stepDone(Tid);
 }
 
 void Instrumentation::resetTotals() {

@@ -62,9 +62,17 @@ public:
   /// Ends the interval and returns its counters.
   OpStats endOp();
 
-  /// Called by BaseObject on every access. Updates both the running totals
-  /// and, if an interval is open, the per-op counters.
+  /// Called by BaseObject before every access. Blocks until the attached
+  /// scheduler (if any) grants this thread's turn, then updates both the
+  /// running totals and, if an interval is open, the per-op counters.
+  /// Must be paired with accessDone() after the primitive is applied.
   void record(uint64_t ObjId, AccessKind Kind, ThreadId Home);
+
+  /// Called by BaseObject after the primitive completes; releases the
+  /// scheduler turn taken by record(). The token is held across the
+  /// access so a controlled schedule is also the real memory-event order
+  /// (exact replayability — see Interleaver.h).
+  void accessDone();
 
   /// Running totals since construction or resetTotals().
   uint64_t totalSteps() const { return TotalSteps; }

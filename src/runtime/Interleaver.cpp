@@ -36,10 +36,23 @@ void TokenInterleaver::waitForToken(ThreadId Tid) {
   }
 }
 
-void TokenInterleaver::step(ThreadId Tid) {
+void TokenInterleaver::stepBegin(ThreadId Tid, uint64_t ObjId,
+                                 AccessKind Kind) {
   assert(Tid < NumThreads && "thread id out of range");
   waitForToken(Tid);
+  onStepBegin(Tid, ObjId, Kind);
+}
+
+void TokenInterleaver::stepDone(ThreadId Tid) {
+  assert(Tid < NumThreads && "thread id out of range");
+  assert(Token.load(std::memory_order_relaxed) == Tid &&
+         "stepDone without holding the token");
   advanceFrom(Tid);
+}
+
+void TokenInterleaver::step(ThreadId Tid) {
+  stepBegin(Tid, kAnonymousObject, AccessKind::AK_Read);
+  stepDone(Tid);
 }
 
 void TokenInterleaver::retire(ThreadId Tid) {
@@ -47,6 +60,7 @@ void TokenInterleaver::retire(ThreadId Tid) {
   // Take our turn once more so the token is provably here, mark ourselves
   // inactive, then pass it on.
   waitForToken(Tid);
+  onRetire(Tid);
   Active[Tid].store(false, std::memory_order_release);
   advanceFrom(Tid);
 }
@@ -75,8 +89,8 @@ unsigned RoundRobinInterleaver::pickNext(unsigned Current) {
 unsigned RandomInterleaver::pickNext(unsigned Current) {
   (void)Current;
   // Draw a random start and take the next active thread from there; the
-  // walk may stay on the same thread (bursty schedules are legal and
-  // worth exploring).
+  // walk may stay on the same thread (bursts are legal and worth
+  // exploring).
   unsigned Start = static_cast<unsigned>(Rng.nextBounded(numThreads()));
   return nextActiveFrom(Start);
 }

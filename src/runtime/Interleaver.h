@@ -19,6 +19,18 @@
 ///    the schedule-exploration property tests use it as a lightweight
 ///    model checker (every explored interleaving must yield an opaque
 ///    history).
+///  * ExploringInterleaver (src/explore) — a replayable decision log plus
+///    bounded-preemption accounting, driven by the systematic
+///    ScheduleExplorer.
+///
+/// The token protocol brackets each event: stepBegin() blocks until it is
+/// the thread's turn *and announces the event* (object id + primitive),
+/// the thread then applies the primitive while still holding the token,
+/// and stepDone() hands the token onward. Holding the token across the
+/// access makes the token-grant order and the memory-event order the same
+/// order — which is what makes a recorded decision log exactly replayable.
+/// (The legacy step() entry point, used by tests that schedule plain code
+/// rather than base-object accesses, is stepBegin+stepDone back to back.)
 ///
 /// Threads whose turn it is not spin; a thread that stops accessing
 /// shared memory (finished its passages) must retire() so the token skips
@@ -29,6 +41,7 @@
 #ifndef PTM_RUNTIME_INTERLEAVER_H
 #define PTM_RUNTIME_INTERLEAVER_H
 
+#include "runtime/AccessKind.h"
 #include "runtime/Ids.h"
 #include "support/Random.h"
 
@@ -38,18 +51,35 @@
 namespace ptm {
 
 /// Base token scheduler over a fixed set of threads: exactly one thread
-/// may pass through step() at a time, and the successor is chosen by the
-/// subclass policy. pickNext() runs while holding the token, so policies
-/// may keep unsynchronized state.
+/// may hold the token at a time, every shared-memory event happens while
+/// its thread holds the token, and the successor is chosen by the
+/// subclass policy. pickNext() and the on*() observation hooks run while
+/// holding the token, so policies may keep unsynchronized state.
 class TokenInterleaver {
 public:
+  /// Object id announced by anonymous (non-BaseObject) steps; treated as
+  /// conflicting with everything by policies that reason about events.
+  static constexpr uint64_t kAnonymousObject = ~uint64_t{0};
+
   virtual ~TokenInterleaver() = default;
 
   TokenInterleaver(const TokenInterleaver &) = delete;
   TokenInterleaver &operator=(const TokenInterleaver &) = delete;
 
-  /// Blocks until it is \p Tid's turn, then passes the token onward.
-  /// Called (via Instrumentation) before every base-object access.
+  /// Blocks until it is \p Tid's turn to perform one shared-memory event,
+  /// announcing the event's object and primitive to the policy. The
+  /// caller must apply the primitive and then call stepDone(). Called
+  /// (via Instrumentation) before every base-object access.
+  void stepBegin(ThreadId Tid, uint64_t ObjId, AccessKind Kind);
+
+  /// Completes the event begun by stepBegin() and passes the token onward.
+  void stepDone(ThreadId Tid);
+
+  /// Legacy point-step with no event metadata: equivalent to
+  /// stepBegin(Tid, kAnonymousObject, AK_Read) immediately followed by
+  /// stepDone(Tid). The token is handed off before the caller's next
+  /// instruction, so adjacent callers' code may overlap in wall-clock —
+  /// fine for liveness/fairness tests, not for exact replay.
   void step(ThreadId Tid);
 
   /// Removes \p Tid from the rotation (waits for its turn first, so the
@@ -63,8 +93,21 @@ protected:
   explicit TokenInterleaver(unsigned ThreadCount);
 
   /// Returns the thread to receive the token after \p Current. Must
-  /// return an active thread if any exists; called token-held.
+  /// return an active thread if any exists (NumThreads if none); called
+  /// token-held.
   virtual unsigned pickNext(unsigned Current) = 0;
+
+  /// Called token-held when the granted thread announces its event,
+  /// before the primitive is applied. Default: ignore.
+  virtual void onStepBegin(ThreadId Tid, uint64_t ObjId, AccessKind Kind) {
+    (void)Tid;
+    (void)ObjId;
+    (void)Kind;
+  }
+
+  /// Called token-held when a thread retires, before it is removed from
+  /// the rotation. Default: ignore.
+  virtual void onRetire(ThreadId Tid) { (void)Tid; }
 
   bool isActive(unsigned Tid) const {
     return Active[Tid].load(std::memory_order_acquire);
@@ -73,6 +116,13 @@ protected:
   /// Next active thread at or after \p From (wrapping); NumThreads if
   /// none.
   unsigned nextActiveFrom(unsigned From) const;
+
+  /// Hands the initial token to \p Tid. Call only from a subclass
+  /// constructor, before any scheduled thread starts stepping (the base
+  /// constructor seeds thread 0).
+  void seedToken(unsigned Tid) {
+    Token.store(Tid, std::memory_order_release);
+  }
 
 private:
   void waitForToken(ThreadId Tid);

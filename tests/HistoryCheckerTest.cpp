@@ -233,3 +233,87 @@ TEST(Checker, LostUpdateIsNotSerializable) {
   EXPECT_EQ(checkStrictSerializability(B.take()),
             CheckResult::CR_Violation);
 }
+
+TEST(Checker, DirtyReadOfAbortedWriteIsNotSerializable) {
+  // T1 writes 7 and aborts; T2 commits having read that 7. No committed
+  // transaction ever produced the value, so T2's read is unjustifiable.
+  HistoryBuilder B;
+  size_t T1 = B.begin(0);
+  B.write(T1, 0, 7);
+  size_t T2 = B.begin(1);
+  B.read(T2, 0, 7);
+  B.abort(T1);
+  B.commit(T2);
+  EXPECT_EQ(checkStrictSerializability(B.take()),
+            CheckResult::CR_Violation);
+}
+
+TEST(Checker, AbortedReaderOfAbortedWriteViolatesOpacityOnly) {
+  // The same dirty read, but the reader also aborts: the committed
+  // subhistory is empty (serializable), yet opacity still rejects — an
+  // aborted transaction must observe a committed-consistent snapshot,
+  // and the value 7 never existed in one.
+  HistoryBuilder B;
+  size_t T1 = B.begin(0);
+  B.write(T1, 0, 7);
+  size_t T2 = B.begin(1);
+  B.read(T2, 0, 7);
+  B.abort(T1);
+  B.abort(T2);
+  History H = B.take();
+  EXPECT_EQ(checkStrictSerializability(H), CheckResult::CR_Ok);
+  EXPECT_EQ(checkOpacity(H), CheckResult::CR_Violation);
+}
+
+TEST(Checker, WriteSkewWithMutualReadsIsRejected) {
+  // Both transactions read both objects at their initial values, then
+  // each writes one of them. Either serialization order makes the later
+  // transaction's read of the other's object illegal: the write-skew
+  // anomaly in its non-serializable form (contrast
+  // WriteSkewIsSerializableHere, where the read sets do not overlap the
+  // other's write).
+  HistoryBuilder B;
+  size_t T1 = B.begin(0);
+  size_t T2 = B.begin(1);
+  B.read(T1, 0, 0).read(T1, 1, 0);
+  B.read(T2, 0, 0).read(T2, 1, 0);
+  B.write(T1, 0, 1);
+  B.write(T2, 1, 1);
+  B.commit(T1).commit(T2);
+  EXPECT_EQ(checkStrictSerializability(B.take()),
+            CheckResult::CR_Violation);
+}
+
+TEST(Checker, ThreeTxnAntidependencyCycleIsRejected) {
+  // r(x)->w(y), r(y)->w(z), r(z)->w(x), all overlapping and all reading
+  // the initial 0: every linear order places some transaction after the
+  // writer of the object it read as 0. A three-party generalization of
+  // AntidependencyCycleDetected.
+  HistoryBuilder B;
+  size_t T1 = B.begin(0);
+  size_t T2 = B.begin(1);
+  size_t T3 = B.begin(2);
+  B.read(T1, 0, 0).write(T1, 1, 1);
+  B.read(T2, 1, 0).write(T2, 2, 1);
+  B.read(T3, 2, 0).write(T3, 0, 1);
+  B.commit(T1).commit(T2).commit(T3);
+  EXPECT_EQ(checkStrictSerializability(B.take()),
+            CheckResult::CR_Violation);
+}
+
+TEST(Checker, FracturedReadAcrossTwoWritersIsRejected) {
+  // Each writer updates both objects atomically; the committed reader
+  // observes object 0 from the second writer but object 1 from the
+  // first — a cut across two commits that no serial order explains.
+  HistoryBuilder B;
+  size_t R = B.begin(0);
+  size_t W1 = B.begin(1);
+  B.write(W1, 0, 1).write(W1, 1, 1).commit(W1);
+  B.read(R, 1, 1);
+  size_t W2 = B.begin(1);
+  B.write(W2, 0, 2).write(W2, 1, 2).commit(W2);
+  B.read(R, 0, 2);
+  B.commit(R);
+  EXPECT_EQ(checkStrictSerializability(B.take()),
+            CheckResult::CR_Violation);
+}

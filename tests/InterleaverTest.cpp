@@ -129,6 +129,71 @@ TEST(RandomInterleaver, RetiredThreadsAreNeverPicked) {
   SUCCEED();
 }
 
+TEST(Interleaver, RetireWhileHoldingLastTokenWithAllOthersRetired) {
+  // Regression for the retire-vs-step edge: the last surviving thread
+  // retires while holding the only live token, after every other thread
+  // already left the rotation. advanceFrom must not wedge or assert
+  // looking for a successor that does not exist.
+  RoundRobinInterleaver Sched(4);
+  std::vector<std::thread> Workers;
+  for (unsigned T = 1; T < 4; ++T)
+    Workers.emplace_back([&, T] { Sched.retire(T); });
+  Workers.emplace_back([&] {
+    for (int I = 0; I < 50; ++I)
+      Sched.step(0);
+    Sched.retire(0); // Holds the last token; no one is left to pass to.
+  });
+  for (std::thread &W : Workers)
+    W.join();
+  SUCCEED();
+}
+
+TEST(Interleaver, ImmediateRetirementOfEveryThread) {
+  // All threads retire without ever stepping — the token must chain
+  // through the retirements without blocking.
+  RoundRobinInterleaver Sched(8);
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < 8; ++T)
+    Workers.emplace_back([&, T] { Sched.retire(T); });
+  for (std::thread &W : Workers)
+    W.join();
+  SUCCEED();
+}
+
+TEST(Interleaver, TokenHeldAcrossStepBeginStepDone) {
+  // The split protocol must hold the token across the whole access:
+  // between stepBegin and stepDone no other thread may be inside its own
+  // window, making the grant order exactly the memory-event order.
+  RoundRobinInterleaver Sched(3);
+  std::atomic<int> Inside{0};
+  std::atomic<bool> Overlap{false};
+  std::vector<ThreadId> Order;
+  Order.reserve(3 * 200);
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < 3; ++T) {
+    Workers.emplace_back([&, T] {
+      for (int I = 0; I < 200; ++I) {
+        Sched.stepBegin(T, /*ObjId=*/T, AccessKind::AK_Read);
+        if (Inside.fetch_add(1) != 0)
+          Overlap.store(true);
+        Order.push_back(T); // Unsynchronized on purpose: token-guarded.
+        Inside.fetch_sub(1);
+        Sched.stepDone(T);
+      }
+      Sched.retire(T);
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_FALSE(Overlap.load()) << "two threads inside the token window";
+  ASSERT_EQ(Order.size(), 3u * 200u);
+  // With the token held across the recording, round-robin order is
+  // EXACT — no skew allowance needed (contrast StrictAlternationOfSteps,
+  // which records after the hand-off).
+  for (size_t I = 0; I < Order.size(); ++I)
+    ASSERT_EQ(Order[I], I % 3) << "at step " << I;
+}
+
 TEST(Interleaver, DrivesInstrumentedBaseObjectAccesses) {
   // End-to-end: two instrumented threads hammer one object through the
   // scheduler; total steps are exact and no deadlock occurs even though

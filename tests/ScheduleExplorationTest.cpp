@@ -12,9 +12,14 @@
 /// seed = one reproducible interleaving, so a failure pins an exact
 /// schedule.
 ///
-/// This is the strongest correctness artillery in the suite: the
-/// TL2-class bugs that survive wall-clock stress testing (they need a
-/// precise four-event window) fall to dense schedule exploration.
+/// The random strategy complements the *systematic* explorer
+/// (src/explore, tests/ExploreTest.cpp): where a scenario is small
+/// enough to enumerate exhaustively, the systematic explorer supersedes
+/// sampling — it proves coverage instead of estimating it. This suite
+/// keeps the sampling pressure on scenarios beyond exhaustive reach
+/// (larger read sets, more threads, mutex construction on top of TM):
+/// the TL2-class bugs that survive wall-clock stress testing (they need
+/// a precise four-event window) still fall to dense schedule sampling.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Schema and sanity gate for the ptm-explore-v1 exploration summary.
+
+Validates one JSON document produced by ``model_check --json`` (the
+systematic schedule explorer's summary; see src/explore/ExploreJson.h):
+
+  * the document parses and carries ``schema == "ptm-explore-v1"`` with a
+    non-empty ``results`` array;
+  * every row names a scenario and TM kind, enumerated at least one
+    schedule, and its counters are internally consistent
+    (``unique_states <= executed``, non-negative integers throughout);
+  * every enumeration ran to completion: ``complete`` is true and neither
+    the schedule cap nor the time budget was hit — a truncated exploration
+    proves nothing, so it fails the gate instead of shrinking coverage
+    silently;
+  * replay determinism held (``replay_divergences == 0``) and the checker
+    never bailed on a resource limit;
+  * no schedule violated opacity, final-state serializability, or the
+    TM's property row (all three violation counters are zero);
+  * with ``--expect-tm`` / ``--expect-scenario``, the named TM kinds and
+    scenarios must each have at least one row — CI pins the full kind
+    list so a kind silently dropped from the sweep fails the PR.
+
+Exit status 0 when everything holds, 1 with one line per violation.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+COUNTER_FIELDS = (
+    "executed", "sleep_blocked", "pruned_sleep", "pruned_bound",
+    "noop_skips", "unique_states", "max_depth", "replay_divergences",
+    "opacity_violations", "serializability_violations",
+    "property_violations", "checker_resource_limits", "witness_matches",
+)
+BOOL_FIELDS = ("sleep_sets", "complete", "hit_schedule_cap",
+               "hit_time_budget")
+VIOLATION_FIELDS = ("opacity_violations", "serializability_violations",
+                    "property_violations")
+
+
+class Gate:
+    """Collects violations with their document context."""
+
+    def __init__(self):
+        self.violations = []
+
+    def fail(self, doc, message):
+        self.violations.append(f"{doc}: {message}")
+
+    def ok(self):
+        return not self.violations
+
+
+def is_count(value):
+    return isinstance(value, int) and not isinstance(value, bool) \
+        and value >= 0
+
+
+def check_row(gate, doc, index, row):
+    where = f"results[{index}]"
+    if not isinstance(row, dict):
+        gate.fail(doc, f"{where}: not an object")
+        return
+    for key in ("scenario", "tm"):
+        if not isinstance(row.get(key), str) or not row[key]:
+            gate.fail(doc, f"{where}: missing {key}")
+    if not is_count(row.get("preemption_bound")):
+        gate.fail(doc, f"{where}: preemption_bound must be a non-negative "
+                       f"integer")
+    for key in BOOL_FIELDS:
+        if not isinstance(row.get(key), bool):
+            gate.fail(doc, f"{where}: {key} missing or not a boolean")
+    for key in COUNTER_FIELDS:
+        if not is_count(row.get(key)):
+            gate.fail(doc, f"{where}: {key} must be a non-negative integer "
+                           f"({row.get(key)!r})")
+
+    # Anything below needs the counters to be sane.
+    if not all(is_count(row.get(k)) for k in COUNTER_FIELDS):
+        return
+    if row["executed"] < 1:
+        gate.fail(doc, f"{where}: explored no schedules at all")
+    if row["unique_states"] < 1 or row["unique_states"] > row["executed"]:
+        gate.fail(doc, f"{where}: unique_states {row['unique_states']} "
+                       f"outside [1, executed={row['executed']}]")
+    if row.get("complete") is not True:
+        gate.fail(doc, f"{where}: exploration did not complete")
+    for key in ("hit_schedule_cap", "hit_time_budget"):
+        if row.get(key) is True:
+            gate.fail(doc, f"{where}: {key} — exploration was truncated")
+    if row["replay_divergences"] != 0:
+        gate.fail(doc, f"{where}: {row['replay_divergences']} replay "
+                       f"divergence(s) — schedules were not deterministic")
+    if row["checker_resource_limits"] != 0:
+        gate.fail(doc, f"{where}: checker hit a resource limit "
+                       f"{row['checker_resource_limits']} time(s)")
+    for key in VIOLATION_FIELDS:
+        if row[key] != 0:
+            gate.fail(doc, f"{where}: {row[key]} {key.replace('_', ' ')} "
+                           f"on {row['scenario']}/{row['tm']}")
+
+
+def check_document(gate, path):
+    """Validates one ptm-explore-v1 document; returns (tms, scenarios)."""
+    doc = os.path.basename(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as err:
+        gate.fail(doc, f"cannot read: {err}")
+        return set(), set()
+    except json.JSONDecodeError as err:
+        gate.fail(doc, f"invalid JSON: {err}")
+        return set(), set()
+
+    if not isinstance(data, dict):
+        gate.fail(doc, "top level is not an object")
+        return set(), set()
+    if data.get("schema") != "ptm-explore-v1":
+        gate.fail(doc, f"schema is {data.get('schema')!r}, "
+                       f"expected 'ptm-explore-v1'")
+    results = data.get("results")
+    if not isinstance(results, list) or not results:
+        gate.fail(doc, "results missing or empty")
+        results = []
+    for index, row in enumerate(results):
+        check_row(gate, doc, index, row)
+
+    tms = {row["tm"] for row in results
+           if isinstance(row, dict) and isinstance(row.get("tm"), str)}
+    scenarios = {row["scenario"] for row in results
+                 if isinstance(row, dict)
+                 and isinstance(row.get("scenario"), str)}
+    return tms, scenarios
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("summary", help="JSON from model_check --json")
+    parser.add_argument("--expect-tm", action="append", default=[],
+                        help="TM kind that must have a row (repeatable)")
+    parser.add_argument("--expect-scenario", action="append", default=[],
+                        help="scenario that must have a row (repeatable)")
+    args = parser.parse_args()
+
+    gate = Gate()
+    tms, scenarios = check_document(gate, args.summary)
+    doc = os.path.basename(args.summary)
+    for tm in args.expect_tm:
+        if tm not in tms:
+            gate.fail(doc, f"expected TM kind '{tm}' has no rows")
+    for scenario in args.expect_scenario:
+        if scenario not in scenarios:
+            gate.fail(doc, f"expected scenario '{scenario}' has no rows")
+
+    if not gate.ok():
+        for violation in gate.violations:
+            print(f"check_explore_json: {violation}", file=sys.stderr)
+        print(f"check_explore_json: FAILED with {len(gate.violations)} "
+              f"violation(s)", file=sys.stderr)
+        return 1
+    print(f"check_explore_json: OK ({len(tms)} TM kinds, "
+          f"{len(scenarios)} scenarios)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
