@@ -47,8 +47,9 @@ void benchKvBatch(bench::BenchContext &Ctx) {
     for (unsigned Batch : Batches) {
       // One run feeds three metrics, so measure them together per rep:
       // collect samples of each and report three rows sharing params.
-      bench::SampleStats Throughput, Latency, AbortRatio;
-      std::vector<double> ThroughputSamples, LatencySamples, AbortSamples;
+      bench::SampleStats Throughput, Latency, P99, P999, AbortRatio;
+      std::vector<double> ThroughputSamples, LatencySamples, P99Samples,
+          P999Samples, AbortSamples;
       auto RunOnce = [&] {
         kv::KvConfig Cfg;
         Cfg.ShardCount = 4;
@@ -76,6 +77,8 @@ void benchKvBatch(bench::BenchContext &Ctx) {
             R.Seconds > 0 ? static_cast<double>(Metrics.Completed) / R.Seconds
                           : 0.0);
         LatencySamples.push_back(Metrics.MeanLatencyUs);
+        P99Samples.push_back(Metrics.P99Us);
+        P999Samples.push_back(Metrics.P999Us);
         AbortSamples.push_back(Ratio);
         return ThroughputSamples.back();
       };
@@ -89,6 +92,8 @@ void benchKvBatch(bench::BenchContext &Ctx) {
         return bench::SampleStats::compute(std::move(Measured));
       };
       Latency = Tail(LatencySamples);
+      P99 = Tail(P99Samples);
+      P999 = Tail(P999Samples);
       AbortRatio = Tail(AbortSamples);
 
       // std::string parameters sidestep a GCC 12 -Wrestrict false
@@ -109,6 +114,8 @@ void benchKvBatch(bench::BenchContext &Ctx) {
       };
       Report("completed_throughput", "op/s", Throughput);
       Report("mean_latency", "us", Latency);
+      Report("p99_latency", "us", P99);
+      Report("p999_latency", "us", P999);
       Report("abort_ratio", "%", AbortRatio);
     }
   }

@@ -113,6 +113,8 @@ void benchKvReadonly(bench::BenchContext &Ctx) {
       // honest form), writer commits as total-over-total-time.
       uint64_t ReaderAborts = 0;
       uint64_t WriterCommits = 0;
+      uint64_t AllCommits = 0;
+      uint64_t AllAborts = 0;
       double WriterSeconds = 0.0;
       Throughput.Stats = Ctx.measure([&] {
         auto Store = MakeStore();
@@ -120,6 +122,8 @@ void benchKvReadonly(bench::BenchContext &Ctx) {
         RunResult R = runKvReadOnly(*Store, RoCfg, &Metrics);
         ReaderAborts += Metrics.ReaderAborts;
         WriterCommits += Metrics.WriterCommits;
+        AllCommits += R.Commits;
+        AllAborts += R.Aborts;
         WriterSeconds += R.Seconds;
         return Metrics.SnapshotsPerSec;
       });
@@ -143,6 +147,22 @@ void benchKvReadonly(bench::BenchContext &Ctx) {
       WriterTp.Stats = bench::SampleStats::once(
           WriterSeconds > 0.0 ? WriterCommits / WriterSeconds : 0.0);
       Ctx.report(WriterTp);
+
+      // All-role abort ratio over the measured runs — the live
+      // telemetry column (reader- and writer-side retries together; the
+      // reader-only split is ro_aborts above).
+      bench::ResultRow Ratio;
+      Ratio.Tm = tmKindName(Kind);
+      Ratio.Threads = Readers + Writers;
+      Ratio.Params = Params;
+      Ratio.Metric = "abort_ratio";
+      Ratio.Unit = "%";
+      uint64_t Tried = AllCommits + AllAborts;
+      Ratio.Stats = bench::SampleStats::once(
+          Tried == 0 ? 0.0
+                     : 100.0 * static_cast<double>(AllAborts) /
+                           static_cast<double>(Tried));
+      Ctx.report(Ratio);
     }
   }
 }

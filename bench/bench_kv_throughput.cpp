@@ -23,8 +23,11 @@
 ///  * tml keeps aborting readers on any co-located commit, so the hot
 ///    shard punishes it hardest.
 ///
-/// Metric: committed shard transactions per second (single-key ops are
-/// one transaction; multi-key ops contribute one per involved shard).
+/// Metrics per cell: committed shard transactions per second (single-key
+/// ops are one transaction; multi-key ops contribute one per involved
+/// shard), client-observed p99/p999 op latency (1-in-8 sampled into
+/// obs::LatencyHistograms — see KvMixMetrics), and the live abort ratio
+/// of the shard TMs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -59,16 +62,12 @@ void benchKvThroughput(bench::BenchContext &Ctx) {
     for (TmKind Kind : allTmKinds()) {
       for (unsigned Shards : ShardCounts) {
         for (unsigned N : Counts) {
-          bench::ResultRow Row;
-          Row.Tm = tmKindName(Kind);
-          Row.Threads = N;
-          Row.Params = {bench::param("shards", uint64_t{Shards}),
-                        bench::param("scenario", Sc.Label),
-                        bench::param("keyspace", KeySpace),
-                        bench::param("ops_per_thread", Ops)};
-          Row.Metric = "throughput";
-          Row.Unit = "txn/s";
-          Row.Stats = Ctx.measure([&] {
+          // One run feeds four metrics (throughput + the telemetry
+          // columns), so collect companions per rep and slice them to
+          // the measured repetitions afterwards (warmups at the front).
+          std::vector<double> ThroughputSamples, P99Samples, P999Samples,
+              AbortSamples;
+          auto RunOnce = [&] {
             kv::KvConfig Cfg;
             Cfg.ShardCount = Shards;
             Cfg.BucketsPerShard = 64;
@@ -83,9 +82,44 @@ void benchKvThroughput(bench::BenchContext &Ctx) {
             Mix.KeySpace = KeySpace;
             Mix.HotShardFrac = Sc.HotShardFrac;
             Mix.Seed = 42;
-            return runKvMix(*Store, N, Mix).throughputPerSec();
-          });
-          Ctx.report(Row);
+            KvMixMetrics Metrics;
+            RunResult R = runKvMix(*Store, N, Mix, &Metrics);
+            uint64_t Tried = R.Commits + R.Aborts;
+            ThroughputSamples.push_back(R.throughputPerSec());
+            P99Samples.push_back(Metrics.P99Us);
+            P999Samples.push_back(Metrics.P999Us);
+            AbortSamples.push_back(
+                Tried == 0 ? 0.0
+                           : 100.0 * static_cast<double>(R.Aborts) /
+                                 static_cast<double>(Tried));
+            return ThroughputSamples.back();
+          };
+          bench::SampleStats Throughput = Ctx.measure(RunOnce);
+          auto Tail = [&](const std::vector<double> &All) {
+            std::vector<double> Measured(
+                All.end() - static_cast<long>(Throughput.reps()), All.end());
+            return bench::SampleStats::compute(std::move(Measured));
+          };
+
+          auto Report = [&](const std::string &Metric,
+                            const std::string &Unit,
+                            const bench::SampleStats &Stats) {
+            bench::ResultRow Row;
+            Row.Tm = tmKindName(Kind);
+            Row.Threads = N;
+            Row.Params = {bench::param("shards", uint64_t{Shards}),
+                          bench::param("scenario", Sc.Label),
+                          bench::param("keyspace", KeySpace),
+                          bench::param("ops_per_thread", Ops)};
+            Row.Metric = Metric;
+            Row.Unit = Unit;
+            Row.Stats = Stats;
+            Ctx.report(Row);
+          };
+          Report("throughput", "txn/s", Throughput);
+          Report("p99_latency", "us", Tail(P99Samples));
+          Report("p999_latency", "us", Tail(P999Samples));
+          Report("abort_ratio", "%", Tail(AbortSamples));
         }
       }
     }

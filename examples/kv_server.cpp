@@ -12,32 +12,115 @@
 ///     multiPut observed through snapshotGet (never torn);
 ///  2. asynchronously: client threads pump requests through the
 ///     RequestExecutor's per-shard queues while a worker pool commits
-///     them in batches.
+///     them in batches, with a live stats reporter polling the store's
+///     statsSnapshot() while the load runs (the always-on telemetry
+///     path — no quiescence needed).
 ///
-///   $ ./kv_server [tm-name]      (default: tl2)
+///   $ ./kv_server [tm-name] [options]      (default TM: tl2)
+///
+/// Options:
+///   --stats-json        emit a `ptm-kvstats-v1` JSON stats document
+///   --trace FILE        record worker transaction events and write a
+///                       `ptm-trace-v1` Chrome trace_event JSON (loads
+///                       in Perfetto / chrome://tracing)
+///   --trace-bin FILE    also/instead dump the compact binary trace
 ///
 //===----------------------------------------------------------------------===//
 
+#include "bench/Json.h"
 #include "kv/Kv.h"
+#include "obs/Obs.h"
 #include "support/Format.h"
 #include "support/RawOStream.h"
 #include "workload/KvWorkload.h"
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <thread>
 
 using namespace ptm;
+
+namespace {
+
+/// Emits the `ptm-kvstats-v1` introspection document: live store
+/// counters plus the executor's final telemetry snapshot.
+void writeStatsJson(RawOStream &OS, TmKind Kind, const TmStats &Stats,
+                    const KvExecutorMetrics &Metrics) {
+  bench::JsonWriter W(OS);
+  W.beginObject();
+  W.key("schema").value("ptm-kvstats-v1");
+  W.key("tm").value(tmKindName(Kind));
+  W.newline();
+  W.key("store").beginObject();
+  W.key("commits").value(Stats.Commits);
+  W.key("aborts").beginObject();
+  for (unsigned C = 1; C < kNumAbortCauses; ++C)
+    W.key(abortCauseName(static_cast<AbortCause>(C)))
+        .value(Stats.Aborts[C]);
+  W.endObject();
+  W.key("abort_ratio").value(Stats.abortRatio());
+  W.endObject();
+  W.newline();
+  W.key("executor").beginObject();
+  W.key("completed").value(Metrics.Executor.counter("kv.executor.completed"));
+  W.key("batches").value(Metrics.Executor.counter("kv.executor.batches"));
+  W.key("mean_batch").value(Metrics.MeanBatch);
+  W.key("latency_us").beginObject();
+  W.key("mean").value(Metrics.MeanLatencyUs);
+  W.key("p99").value(Metrics.P99Us);
+  W.key("p999").value(Metrics.P999Us);
+  W.endObject();
+  if (const obs::HistogramSnapshot *H =
+          Metrics.Executor.histogram("kv.executor.batch_size")) {
+    W.key("batch_size").beginObject();
+    W.key("mean").value(H->mean());
+    W.key("max").value(H->MaxValue);
+    W.endObject();
+  }
+  W.endObject();
+  W.endObject();
+  W.newline();
+}
+
+/// Opens \p Path and streams \p Write into it; false on I/O failure.
+template <typename WriteFn> bool writeFile(const char *Path, WriteFn Write) {
+  std::FILE *F = std::fopen(Path, "wb");
+  if (F == nullptr)
+    return false;
+  {
+    FileOStream OS(F);
+    Write(OS);
+    OS.flush();
+  }
+  return std::fclose(F) == 0;
+}
+
+} // namespace
 
 int main(int Argc, char **Argv) {
   RawOStream &OS = outs();
 
   TmKind Kind = TmKind::TK_Tl2;
-  if (Argc > 1) {
-    auto Parsed = tmKindFromName(Argv[1]);
-    if (!Parsed) {
-      OS << "unknown TM '" << Argv[1] << "'\n";
-      return 1;
+  bool StatsJson = false;
+  const char *TracePath = nullptr;
+  const char *TraceBinPath = nullptr;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--stats-json") == 0) {
+      StatsJson = true;
+    } else if (std::strcmp(Argv[I], "--trace") == 0 && I + 1 < Argc) {
+      TracePath = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--trace-bin") == 0 && I + 1 < Argc) {
+      TraceBinPath = Argv[++I];
+    } else {
+      auto Parsed = tmKindFromName(Argv[I]);
+      if (!Parsed) {
+        OS << "unknown TM or option '" << Argv[I] << "'\n";
+        return 1;
+      }
+      Kind = *Parsed;
     }
-    Kind = *Parsed;
   }
 
   // 1. A store: 8 shards, each its own TM instance over a TxMap region.
@@ -71,7 +154,8 @@ int main(int Argc, char **Argv) {
   OS << "\n\n";
 
   // 4. The asynchronous front end: 2 clients pipeline requests into the
-  //    per-shard queues, 2 workers batch-commit them.
+  //    per-shard queues, 2 workers batch-commit them. Tracing, when
+  //    requested, arms the workers' rings through the executor option.
   KvExecutorConfig Load;
   Load.Clients = 2;
   Load.Workers = 2;
@@ -80,8 +164,39 @@ int main(int Argc, char **Argv) {
   Load.GetFrac = 0.8;
   Load.KeySpace = 4096;
   Load.Seed = 7;
+  obs::Tracer Tracer(Load.Workers);
+  if (TracePath || TraceBinPath)
+    Load.Trace = &Tracer;
+
+  // Live reporter: polls the store's statsSnapshot() while the load
+  // runs — the counters are single-writer atomics, so this needs no
+  // quiescence and steals no locks from the workers.
+  std::atomic<bool> ReporterStop{false};
+  std::thread Reporter([&] {
+    for (unsigned Tick = 0;; ++Tick) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      if (ReporterStop.load(std::memory_order_acquire))
+        return;
+      TmStats Live = Store->statsSnapshot();
+      errs() << "[live " << (Tick + 1) << "00ms] commits=" << Live.Commits
+             << " aborts=" << Live.totalAborts() << " abort_ratio="
+             << formatDouble(100.0 * Live.abortRatio(), 2) << "%\n";
+      errs().flush();
+    }
+  });
+
   KvExecutorMetrics Metrics;
   RunResult R = runKvExecutorLoad(*Store, Load, &Metrics);
+  ReporterStop.store(true, std::memory_order_release);
+  Reporter.join();
+
+  // A fast load can finish inside the first poll interval; emit one final
+  // snapshot line so the live path is always observable.
+  TmStats Final = Store->statsSnapshot();
+  errs() << "[live final] commits=" << Final.Commits
+         << " aborts=" << Final.totalAborts() << " abort_ratio="
+         << formatDouble(100.0 * Final.abortRatio(), 2) << "%\n";
+  errs().flush();
 
   OS << "executor load: " << Metrics.Completed << " requests in "
      << formatDouble(R.Seconds, 3) << " s ("
@@ -91,14 +206,48 @@ int main(int Argc, char **Argv) {
                      0)
      << " op/s)\n";
   OS << "  mean batch " << formatDouble(Metrics.MeanBatch)
-     << " requests/txn, mean latency "
-     << formatDouble(Metrics.MeanLatencyUs, 1) << " us\n";
+     << " requests/txn, latency mean "
+     << formatDouble(Metrics.MeanLatencyUs, 1) << " us, p99 "
+     << formatDouble(Metrics.P99Us, 1) << " us, p999 "
+     << formatDouble(Metrics.P999Us, 1) << " us\n";
   OS << "  shard commits:";
   for (unsigned S = 0; S < Store->shardCount(); ++S)
     OS << " " << Store->shardTm(S).stats().Commits;
   TmStats Total = Store->aggregateStats();
   OS << "\n  total commits=" << Total.Commits
      << " aborts=" << Total.totalAborts() << "\n";
+
+  if (StatsJson) {
+    OS << "\n";
+    writeStatsJson(OS, Kind, Total, Metrics);
+  }
+
+  if (TracePath || TraceBinPath) {
+    obs::TraceDump Dump = obs::dumpTrace(Tracer);
+    if (TracePath) {
+      if (!writeFile(TracePath, [&](RawOStream &FileOS) {
+            obs::writeChromeTraceJson(FileOS, Dump);
+          })) {
+        errs() << "kv_server: cannot write " << TracePath << "\n";
+        return 2;
+      }
+      OS << "wrote " << Dump.eventCount() << " trace events to "
+         << TracePath << "\n";
+    }
+    if (TraceBinPath) {
+      std::vector<uint8_t> Bin = obs::serializeTraceBinary(Dump);
+      std::FILE *F = std::fopen(TraceBinPath, "wb");
+      if (F == nullptr ||
+          std::fwrite(Bin.data(), 1, Bin.size(), F) != Bin.size() ||
+          std::fclose(F) != 0) {
+        errs() << "kv_server: cannot write " << TraceBinPath << "\n";
+        return 2;
+      }
+      OS << "wrote " << Bin.size() << " trace bytes to " << TraceBinPath
+         << "\n";
+    }
+  }
+
   OS.flush();
   return 0;
 }

@@ -53,6 +53,7 @@ public:
   uint64_t sample(ObjectId Obj) const override { return M->sample(Obj); }
   void init(ObjectId Obj, uint64_t Value) override { M->init(Obj, Value); }
   TmStats stats() const override { return M->stats(); }
+  TmStats statsSnapshot() const override { return M->statsSnapshot(); }
   TmStats threadStats(ThreadId Tid) const override {
     return M->threadStats(Tid);
   }

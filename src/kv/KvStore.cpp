@@ -574,12 +574,15 @@ KvStore::sampleShard(unsigned ShardIdx) const {
 
 TmStats KvStore::aggregateStats() const {
   TmStats Total;
-  for (const Shard &S : Shards) {
-    TmStats Part = S.M->stats();
-    Total.Commits += Part.Commits;
-    for (unsigned C = 0; C < kNumAbortCauses; ++C)
-      Total.Aborts[C] += Part.Aborts[C];
-  }
+  for (const Shard &S : Shards)
+    Total += S.M->stats();
+  return Total;
+}
+
+TmStats KvStore::statsSnapshot() const {
+  TmStats Total;
+  for (const Shard &S : Shards)
+    Total += S.M->statsSnapshot();
   return Total;
 }
 

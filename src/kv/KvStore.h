@@ -184,6 +184,11 @@ public:
   /// Commit/abort counters summed over all shard TMs. Quiescent only.
   TmStats aggregateStats() const;
 
+  /// Live view of the same sum, safe while transactions run on any shard
+  /// (sums each shard TM's statsSnapshot(); same epoch-snapshot semantics
+  /// as Tm::statsSnapshot()). This is what service reporters poll.
+  TmStats statsSnapshot() const;
+
   /// Zeroes every shard TM's counters. Quiescent only.
   void resetStats();
 

@@ -7,28 +7,43 @@
 
 #include "kv/RequestExecutor.h"
 
+#include "obs/Trace.h"
+#include "runtime/Instrumentation.h"
 #include "stm/Atomically.h"
 #include "support/Spin.h"
 
 #include <bit>
 #include <cassert>
 #include <mutex>
+#include <optional>
+#include <string>
 
 using namespace ptm;
 using namespace ptm::kv;
 
 bool RequestExecutor::validOptions(const KvStore &Store, const Options &Opts) {
   return Opts.Workers != 0 && Opts.Workers <= Store.maxThreads() &&
-         std::has_single_bit(Opts.QueueCapacity) && Opts.MaxBatch != 0;
+         std::has_single_bit(Opts.QueueCapacity) && Opts.MaxBatch != 0 &&
+         (Opts.Trace == nullptr || Opts.Trace->threads() >= Opts.Workers);
 }
 
 RequestExecutor::RequestExecutor(KvStore &TheStore, const Options &TheOpts)
-    : Store(TheStore), Opts(TheOpts), PerWorker(TheOpts.Workers) {
+    : Store(TheStore), Opts(TheOpts) {
   assert(validOptions(TheStore, TheOpts) && "see validOptions");
   Queues.reserve(Store.shardCount());
   for (unsigned I = 0; I < Store.shardCount(); ++I)
     Queues.push_back(
         std::make_unique<MpmcQueue<KvRequest *>>(Opts.QueueCapacity));
+  // Register every metric before the pool exists: hot paths then only
+  // touch the captured pointers, never the registry mutex.
+  Completed = &Registry.counter("kv.executor.completed", Opts.Workers);
+  Batches = &Registry.counter("kv.executor.batches", Opts.Workers);
+  LatencyNs = &Registry.histogram("kv.executor.latency_ns");
+  BatchSize = &Registry.histogram("kv.executor.batch_size");
+  QueueDepth.reserve(Store.shardCount());
+  for (unsigned I = 0; I < Store.shardCount(); ++I)
+    QueueDepth.push_back(&Registry.gauge("kv.executor.queue_depth." +
+                                         std::to_string(I)));
   Pool.reserve(Opts.Workers);
   for (unsigned W = 0; W < Opts.Workers; ++W)
     Pool.emplace_back([this, W] { workerLoop(W); });
@@ -38,12 +53,14 @@ RequestExecutor::~RequestExecutor() { drainAndStop(); }
 
 void RequestExecutor::submit(KvRequest &R) {
   MpmcQueue<KvRequest *> &Q = *Queues[Store.shardOf(R.Key)];
+  R.SubmitNs = obs::monotonicNowNs();
   uint32_t Spin = 0;
   while (!Q.tryPush(&R))
     spinPause(Spin);
 }
 
 bool RequestExecutor::trySubmit(KvRequest &R) {
+  R.SubmitNs = obs::monotonicNowNs();
   return Queues[Store.shardOf(R.Key)]->tryPush(&R);
 }
 
@@ -63,11 +80,18 @@ void RequestExecutor::drainAndStop() {
 
 ExecutorStats RequestExecutor::stats() const {
   ExecutorStats Total;
-  for (const WorkerStats &W : PerWorker) {
-    Total.Completed += W.Completed.load(std::memory_order_relaxed);
-    Total.Batches += W.Batches.load(std::memory_order_relaxed);
-  }
+  Total.Completed = Completed->value();
+  Total.Batches = Batches->value();
   return Total;
+}
+
+obs::MetricsSnapshot RequestExecutor::telemetry() const {
+  // Queue depths are point-in-time by nature: sample them into their
+  // gauges here rather than maintaining them per-push/pop (which would
+  // put an atomic RMW on every submit).
+  for (unsigned I = 0; I < QueueDepth.size(); ++I)
+    QueueDepth[I]->set(static_cast<int64_t>(Queues[I]->approxSize()));
+  return Registry.snapshot();
 }
 
 unsigned RequestExecutor::runBatch(unsigned Worker, unsigned Shard,
@@ -144,15 +168,18 @@ unsigned RequestExecutor::runBatch(unsigned Worker, unsigned Shard,
 
   // The batch transaction committed (contention aborts are retried inside
   // atomically, and nothing in the body user-aborts): publish results.
+  // One clock read covers the whole batch's latency samples.
+  uint64_t NowNs = obs::monotonicNowNs();
   for (size_t I = 0; I < Batch.size(); ++I) {
     KvRequest &Q = *Batch[I];
     Q.Result = Out[I].Result;
     Q.Hit = Out[I].Hit;
+    LatencyNs->record(NowNs >= Q.SubmitNs ? NowNs - Q.SubmitNs : 0);
     Q.Done.store(true, std::memory_order_release);
   }
-  WorkerStats &WS = PerWorker[Worker];
-  WS.Completed.fetch_add(Batch.size(), std::memory_order_relaxed);
-  WS.Batches.fetch_add(1, std::memory_order_relaxed);
+  BatchSize->record(Batch.size());
+  Completed->cell(Worker).inc(Batch.size());
+  Batches->cell(Worker).inc();
   return static_cast<unsigned>(Batch.size());
 }
 
@@ -172,6 +199,16 @@ bool RequestExecutor::sweepOnce(unsigned Worker,
 }
 
 void RequestExecutor::workerLoop(unsigned Worker) {
+  // When tracing is armed, install this worker's measurement context so
+  // the TMs' traceEvent calls find their ring; disarmed executors never
+  // install one and the TM hot path stays at bare cost.
+  std::optional<Instrumentation> Instr;
+  std::optional<ScopedInstrumentation> Scope;
+  if (Opts.Trace) {
+    Instr.emplace(static_cast<ThreadId>(Worker), nullptr, nullptr,
+                  &Opts.Trace->ring(Worker));
+    Scope.emplace(*Instr);
+  }
   std::vector<KvRequest *> Batch; // Reused across sweeps.
   Batch.reserve(Opts.MaxBatch);
   uint32_t IdleSpin = 0;

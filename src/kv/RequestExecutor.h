@@ -33,12 +33,18 @@
 #define PTM_KV_REQUESTEXECUTOR_H
 
 #include "kv/KvStore.h"
+#include "obs/Metrics.h"
 #include "runtime/MpmcQueue.h"
 
 #include <atomic>
 #include <thread>
 
 namespace ptm {
+
+namespace obs {
+class Tracer;
+} // namespace obs
+
 namespace kv {
 
 /// The operations a request can carry (the single-key KvStore surface;
@@ -62,6 +68,9 @@ struct KvRequest {
 
   uint64_t Result = 0; ///< get: value read; cas: witnessed value.
   bool Hit = false;    ///< See KvOpKind.
+  uint64_t SubmitNs = 0; ///< Stamped by submit(); feeds the end-to-end
+                         ///< latency histogram (queue wait + batch wait +
+                         ///< execution + publish).
   std::atomic<bool> Done{false};
 
   bool done() const { return Done.load(std::memory_order_acquire); }
@@ -89,6 +98,11 @@ public:
     unsigned Workers = 2;          ///< Pool size; <= store MaxThreads.
     unsigned QueueCapacity = 1024; ///< Per-shard queue; power of two.
     unsigned MaxBatch = 16;        ///< Requests per shard transaction.
+    obs::Tracer *Trace = nullptr;  ///< Arms per-worker transaction event
+                                   ///< tracing: worker w appends to
+                                   ///< Trace->ring(w). Needs threads() >=
+                                   ///< Workers. Null = disarmed (the
+                                   ///< default; no per-op cost).
   };
 
   /// True iff \p Opts can drive \p Store: nonzero workers within the
@@ -122,6 +136,14 @@ public:
 
   ExecutorStats stats() const;
 
+  /// Live epoch-snapshot of the executor's metrics (see obs/Metrics.h),
+  /// safe concurrently with running workers and submitting clients:
+  ///  * counters `kv.executor.completed`, `kv.executor.batches`;
+  ///  * histograms `kv.executor.latency_ns` (submit-to-publish, ns) and
+  ///    `kv.executor.batch_size` (requests per shard transaction);
+  ///  * gauges `kv.executor.queue_depth.<shard>`, sampled at call time.
+  obs::MetricsSnapshot telemetry() const;
+
   unsigned workers() const { return Opts.Workers; }
 
 private:
@@ -139,15 +161,20 @@ private:
   /// ran.
   bool sweepOnce(unsigned Worker, std::vector<KvRequest *> &Batch);
 
-  struct alignas(64) WorkerStats {
-    std::atomic<uint64_t> Completed{0};
-    std::atomic<uint64_t> Batches{0};
-  };
-
   KvStore &Store;
   Options Opts;
   std::vector<std::unique_ptr<MpmcQueue<KvRequest *>>> Queues;
-  std::vector<WorkerStats> PerWorker;
+
+  /// All executor counters live in the registry (telemetry() snapshots
+  /// it); the members below are the registration-time pointers the hot
+  /// path uses, per-worker sharded where the writer is a worker.
+  obs::MetricsRegistry Registry;
+  obs::ShardedCounter *Completed;
+  obs::ShardedCounter *Batches;
+  obs::LatencyHistogram *LatencyNs;
+  obs::LatencyHistogram *BatchSize;
+  std::vector<obs::Gauge *> QueueDepth; ///< One per shard; sampled lazily.
+
   std::vector<std::thread> Pool;
   std::atomic<bool> Stopping{false};
 };

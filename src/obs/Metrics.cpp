@@ -1,0 +1,208 @@
+//===-- obs/Metrics.cpp - Lock-free always-on metrics ---------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+
+using namespace ptm;
+using namespace ptm::obs;
+
+uint64_t ptm::obs::monotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+//===----------------------------------------------------------------------===//
+// LatencyHistogram
+//===----------------------------------------------------------------------===//
+
+unsigned LatencyHistogram::bucketIndex(uint64_t Value) {
+  if (Value < kExactLimit)
+    return static_cast<unsigned>(Value);
+  // Value >= 2^kSubBits: its octave is Msb = bit_width-1 >= kSubBits; the
+  // top kSubBits-1 bits below the leading one select one of kSubCount/2
+  // sub-buckets inside the octave.
+  unsigned Msb = 63 - static_cast<unsigned>(std::countl_zero(Value));
+  unsigned Octave = Msb - (kSubBits - 1); // >= 1
+  uint64_t Sub = (Value >> (Msb - (kSubBits - 1))) - (kSubCount / 2);
+  return kSubCount + (Octave - 1) * (kSubCount / 2) +
+         static_cast<unsigned>(Sub);
+}
+
+uint64_t LatencyHistogram::bucketUpperBound(unsigned Index) {
+  if (Index < kExactLimit)
+    return Index;
+  unsigned Rest = Index - kSubCount;
+  unsigned Octave = Rest / (kSubCount / 2) + 1;
+  unsigned Sub = Rest % (kSubCount / 2);
+  unsigned Shift = Octave; // == Msb - (kSubBits - 1)
+  uint64_t Lower = (uint64_t{kSubCount / 2} + Sub) << Shift;
+  uint64_t Width = uint64_t{1} << Shift;
+  return Lower + Width - 1;
+}
+
+LatencyHistogram::LatencyHistogram()
+    : Buckets(new std::atomic<uint64_t>[kBucketCount]) {
+  for (unsigned I = 0; I < kBucketCount; ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+}
+
+void LatencyHistogram::record(uint64_t Value) {
+  Buckets[bucketIndex(Value)].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Value, std::memory_order_relaxed);
+  uint64_t Cur = Max.load(std::memory_order_relaxed);
+  while (Cur < Value &&
+         !Max.compare_exchange_weak(Cur, Value, std::memory_order_relaxed))
+    ;
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  HistogramSnapshot S;
+  S.Buckets.resize(kBucketCount);
+  S.Count = 0;
+  for (unsigned I = 0; I < kBucketCount; ++I) {
+    S.Buckets[I] = Buckets[I].load(std::memory_order_relaxed);
+    S.Count += S.Buckets[I];
+  }
+  // Count is recomputed from the buckets (not read from the Count cell) so
+  // the snapshot is internally consistent even mid-record: percentile()
+  // ranks always sum to exactly the bucket mass. Sum/Max may trail by the
+  // in-flight record; at quiescence everything is exact.
+  S.Sum = Sum.load(std::memory_order_relaxed);
+  S.MaxValue = Max.load(std::memory_order_relaxed);
+  return S;
+}
+
+void LatencyHistogram::reset() {
+  for (unsigned I = 0; I < kBucketCount; ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+  Count.store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+  Max.store(0, std::memory_order_relaxed);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot &Other) {
+  if (Other.Buckets.empty())
+    return;
+  if (Buckets.empty())
+    Buckets.resize(Other.Buckets.size(), 0);
+  assert(Buckets.size() == Other.Buckets.size() &&
+         "merging histograms of different geometry");
+  for (size_t I = 0; I < Buckets.size(); ++I)
+    Buckets[I] += Other.Buckets[I];
+  Count += Other.Count;
+  Sum += Other.Sum;
+  MaxValue = std::max(MaxValue, Other.MaxValue);
+}
+
+uint64_t HistogramSnapshot::percentile(double Pct) const {
+  if (Count == 0 || Buckets.empty())
+    return 0;
+  assert(Pct > 0.0 && Pct <= 100.0 && "percentile out of (0, 100]");
+  uint64_t Rank = static_cast<uint64_t>(
+      std::ceil(Pct / 100.0 * static_cast<double>(Count)));
+  if (Rank == 0)
+    Rank = 1;
+  if (Rank > Count)
+    Rank = Count;
+  uint64_t Cum = 0;
+  for (size_t I = 0; I < Buckets.size(); ++I) {
+    Cum += Buckets[I];
+    if (Cum >= Rank)
+      return LatencyHistogram::bucketUpperBound(static_cast<unsigned>(I));
+  }
+  return MaxValue; // Unreachable: the buckets sum to Count.
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsSnapshot
+//===----------------------------------------------------------------------===//
+
+uint64_t MetricsSnapshot::counter(std::string_view Name) const {
+  for (const SnapshotEntry &E : Counters)
+    if (E.Name == Name)
+      return static_cast<uint64_t>(E.Value);
+  return 0;
+}
+
+int64_t MetricsSnapshot::gauge(std::string_view Name) const {
+  for (const SnapshotEntry &E : Gauges)
+    if (E.Name == Name)
+      return E.Value;
+  return 0;
+}
+
+const HistogramSnapshot *
+MetricsSnapshot::histogram(std::string_view Name) const {
+  for (const SnapshotHistogram &H : Histograms)
+    if (H.Name == Name)
+      return &H.Hist;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// MetricsRegistry
+//===----------------------------------------------------------------------===//
+
+ShardedCounter &MetricsRegistry::counter(std::string_view Name,
+                                         unsigned Shards) {
+  std::lock_guard<std::mutex> Lock(RegMutex);
+  for (Named<ShardedCounter> &N : Counters)
+    if (N.Name == Name) {
+      assert(N.Value->shards() == Shards &&
+             "re-registered counter with a different shard count");
+      return *N.Value;
+    }
+  Counters.push_back({std::string(Name), std::make_unique<ShardedCounter>(Shards)});
+  return *Counters.back().Value;
+}
+
+Gauge &MetricsRegistry::gauge(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(RegMutex);
+  for (Named<Gauge> &N : Gauges)
+    if (N.Name == Name)
+      return *N.Value;
+  Gauges.push_back({std::string(Name), std::make_unique<Gauge>()});
+  return *Gauges.back().Value;
+}
+
+LatencyHistogram &MetricsRegistry::histogram(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(RegMutex);
+  for (Named<LatencyHistogram> &N : Histograms)
+    if (N.Name == Name)
+      return *N.Value;
+  Histograms.push_back(
+      {std::string(Name), std::make_unique<LatencyHistogram>()});
+  return *Histograms.back().Value;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot S;
+  // The registration mutex pins the *set* of metrics for the walk; the
+  // metric cells themselves are read lock-free while writers proceed.
+  std::lock_guard<std::mutex> Lock(RegMutex);
+  S.Epoch = Epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+  for (const Named<ShardedCounter> &N : Counters)
+    S.Counters.push_back({N.Name, static_cast<int64_t>(N.Value->value())});
+  for (const Named<Gauge> &N : Gauges)
+    S.Gauges.push_back({N.Name, N.Value->read()});
+  for (const Named<LatencyHistogram> &N : Histograms)
+    S.Histograms.push_back({N.Name, N.Value->snapshot()});
+  auto ByName = [](const auto &A, const auto &B) { return A.Name < B.Name; };
+  std::sort(S.Counters.begin(), S.Counters.end(), ByName);
+  std::sort(S.Gauges.begin(), S.Gauges.end(), ByName);
+  std::sort(S.Histograms.begin(), S.Histograms.end(), ByName);
+  return S;
+}

@@ -1,0 +1,254 @@
+//===-- obs/Metrics.h - Lock-free always-on metrics -------------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The always-on telemetry substrate: counters, gauges and log-bucketed
+/// latency histograms that are safe to *read* while any number of threads
+/// keep *writing*, without stopping either side. Everything here is
+/// lock-free on the write path; the only mutex in the file guards metric
+/// registration (a setup-time operation).
+///
+/// Overhead contract (see DESIGN.md "Observability"):
+///
+///  * OwnedCounter::inc is a relaxed load + relaxed store on a cell no
+///    other thread writes — no RMW, no fence, no cache-line ping-pong
+///    when cells are padded (ShardedCounter pads them);
+///  * Gauge and LatencyHistogram use relaxed atomic RMW — reserved for
+///    service-layer paths (queue sampling, per-request latency), never
+///    the TM hot path;
+///  * readers pay at most one relaxed load per cell.
+///
+/// Consistency model (the "epoch snapshot"): a snapshot reads every cell
+/// exactly once with relaxed loads while writers proceed. Each *cell* is
+/// therefore exact-as-of-some-instant inside the snapshot window, each
+/// *metric* is monotone across snapshots (counters never run backwards),
+/// and cross-metric skew is bounded by the duration of the aggregation
+/// itself. At quiescence (no writer mid-update) a snapshot is exact —
+/// that is the convergence law Tm::statsSnapshot() inherits and
+/// StmConcurrentTest checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_OBS_METRICS_H
+#define PTM_OBS_METRICS_H
+
+#include "support/Compiler.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ptm {
+namespace obs {
+
+/// Steady-clock nanoseconds — the timestamp base every latency metric
+/// and trace event shares (monotonic, never wall-clock).
+uint64_t monotonicNowNs();
+
+/// Single-writer counter cell: exactly one thread increments (its own
+/// slot/shard); any thread may read concurrently. The increment is a
+/// relaxed load + store — not an atomic RMW — which is race-free because
+/// no other thread ever writes the cell, and costs the same as a plain
+/// `++` on x86. reset() is quiescent-only (the owner must not be
+/// mid-increment).
+class OwnedCounter {
+public:
+  void inc(uint64_t N = 1) {
+    V.store(V.load(std::memory_order_relaxed) + N, std::memory_order_relaxed);
+  }
+  uint64_t read() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// A counter sharded over per-thread cache-line-padded cells: thread t
+/// increments cell(t) contention-free; value() sums all cells (the epoch
+/// snapshot read). The shard count is fixed at construction.
+class ShardedCounter {
+public:
+  explicit ShardedCounter(unsigned Shards) : Cells(Shards) {}
+
+  OwnedCounter &cell(unsigned Shard) { return Cells[Shard].C; }
+  const OwnedCounter &cell(unsigned Shard) const { return Cells[Shard].C; }
+  unsigned shards() const { return static_cast<unsigned>(Cells.size()); }
+
+  uint64_t value() const {
+    uint64_t Sum = 0;
+    for (const Padded &P : Cells)
+      Sum += P.C.read();
+    return Sum;
+  }
+
+  /// Quiescent-only (no cell owner mid-increment).
+  void reset() {
+    for (Padded &P : Cells)
+      P.C.reset();
+  }
+
+private:
+  struct alignas(PTM_CACHELINE_SIZE) Padded {
+    OwnedCounter C;
+  };
+  std::vector<Padded> Cells;
+};
+
+/// A point-in-time signed value (queue depth, in-flight requests). Writes
+/// are relaxed atomic RMW — gauges live on sampling paths, not the TM hot
+/// path.
+class Gauge {
+public:
+  void set(int64_t Value) { V.store(Value, std::memory_order_relaxed); }
+  void add(int64_t Delta) { V.fetch_add(Delta, std::memory_order_relaxed); }
+  void sub(int64_t Delta) { V.fetch_sub(Delta, std::memory_order_relaxed); }
+  int64_t read() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// A consistent, plain-data copy of one histogram: bucket counts plus the
+/// exact running sum/max, queryable for percentiles and mergeable with
+/// other snapshots (the per-thread-recorder pattern: each thread owns a
+/// LatencyHistogram, snapshots are merged after the fact).
+struct HistogramSnapshot {
+  std::vector<uint64_t> Buckets; ///< kBucketCount counts (empty = zero).
+  uint64_t Count = 0;            ///< Total recorded values.
+  uint64_t Sum = 0;              ///< Exact sum (mean() is not quantized).
+  uint64_t MaxValue = 0;         ///< Largest recorded value, exact.
+
+  /// Adds \p Other into this snapshot (bucket-wise; Count/Sum add, Max
+  /// takes the maximum).
+  void merge(const HistogramSnapshot &Other);
+
+  /// The \p Pct-th percentile (0 < Pct <= 100) as the upper edge of the
+  /// bucket holding the value of rank ceil(Pct/100 * Count) — i.e. the
+  /// smallest recordable value V such that at least that rank of samples
+  /// are <= V. Exact for values < kExactLimit; quantized upward by at
+  /// most 2/kSubCount (~6%) above it (each octave splits into
+  /// kSubCount/2 sub-buckets). Returns 0 on an empty snapshot.
+  uint64_t percentile(double Pct) const;
+
+  /// Exact arithmetic mean (Sum/Count); 0 when empty.
+  double mean() const {
+    return Count == 0 ? 0.0
+                      : static_cast<double>(Sum) / static_cast<double>(Count);
+  }
+};
+
+/// Fixed-size log-bucketed (HDR-style) histogram of non-negative 64-bit
+/// values — latencies in nanoseconds by convention. Values below
+/// kExactLimit get one bucket each (exact); above, each power of two is
+/// split into kSubCount/2 sub-buckets, so the relative quantization
+/// error is bounded by 2/kSubCount everywhere. record() is wait-free (one
+/// relaxed fetch_add per bucket plus sum/max upkeep) and safe from any
+/// number of threads; snapshot() is safe concurrently with recorders and
+/// yields the epoch-snapshot consistency documented above.
+class LatencyHistogram {
+public:
+  static constexpr unsigned kSubBits = 5;            ///< log2(kSubCount).
+  static constexpr unsigned kSubCount = 1u << kSubBits; ///< 32 sub-buckets.
+  static constexpr uint64_t kExactLimit = kSubCount; ///< Exact below this.
+  /// Buckets: kSubCount exact cells + kSubCount/2 per remaining octave.
+  static constexpr unsigned kBucketCount =
+      kSubCount + (64 - kSubBits) * (kSubCount / 2);
+
+  /// Bucket index of \p Value (total order preserved).
+  static unsigned bucketIndex(uint64_t Value);
+  /// Largest value mapping to bucket \p Index (percentile representative).
+  static uint64_t bucketUpperBound(unsigned Index);
+
+  LatencyHistogram();
+
+  /// Records one value. Wait-free; callable from any thread.
+  void record(uint64_t Value);
+
+  /// Consistent plain-data copy (see HistogramSnapshot).
+  HistogramSnapshot snapshot() const;
+
+  /// Total values recorded so far (relaxed).
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+
+  /// Zeroes everything; quiescent-only (no recorder mid-record).
+  void reset();
+
+private:
+  std::unique_ptr<std::atomic<uint64_t>[]> Buckets; // kBucketCount cells.
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Max{0};
+};
+
+/// One named metric value inside a MetricsSnapshot.
+struct SnapshotEntry {
+  std::string Name;
+  int64_t Value = 0;
+};
+
+/// One named histogram inside a MetricsSnapshot.
+struct SnapshotHistogram {
+  std::string Name;
+  HistogramSnapshot Hist;
+};
+
+/// The epoch-stamped result of MetricsRegistry::snapshot().
+struct MetricsSnapshot {
+  uint64_t Epoch = 0; ///< Strictly increasing per registry.
+  std::vector<SnapshotEntry> Counters;
+  std::vector<SnapshotEntry> Gauges;
+  std::vector<SnapshotHistogram> Histograms;
+
+  /// Value of counter \p Name, or 0 when absent.
+  uint64_t counter(std::string_view Name) const;
+  /// Value of gauge \p Name, or 0 when absent.
+  int64_t gauge(std::string_view Name) const;
+  /// Histogram \p Name, or null when absent.
+  const HistogramSnapshot *histogram(std::string_view Name) const;
+};
+
+/// A named collection of metrics with stable addresses: registration
+/// returns a reference that stays valid for the registry's lifetime, so
+/// hot paths capture the pointer once and never look names up again.
+/// Registration takes a mutex (setup-time); the returned objects are the
+/// lock-free primitives above, and snapshot() reads them without stopping
+/// any writer. Re-registering a name returns the existing object (the
+/// sharded counter's shard count must then match; asserted).
+class MetricsRegistry {
+public:
+  /// Create-or-get a counter sharded \p Shards ways.
+  ShardedCounter &counter(std::string_view Name, unsigned Shards);
+  /// Create-or-get a gauge.
+  Gauge &gauge(std::string_view Name);
+  /// Create-or-get a histogram.
+  LatencyHistogram &histogram(std::string_view Name);
+
+  /// Epoch-snapshot of every registered metric (consistency model in the
+  /// file comment). Entries are sorted by name for stable output.
+  MetricsSnapshot snapshot() const;
+
+private:
+  template <typename T> struct Named {
+    std::string Name;
+    std::unique_ptr<T> Value;
+  };
+
+  mutable std::mutex RegMutex; ///< Guards the vectors, not the metrics.
+  mutable std::atomic<uint64_t> Epoch{0};
+  std::vector<Named<ShardedCounter>> Counters;
+  std::vector<Named<Gauge>> Gauges;
+  std::vector<Named<LatencyHistogram>> Histograms;
+};
+
+} // namespace obs
+} // namespace ptm
+
+#endif // PTM_OBS_METRICS_H

@@ -1,0 +1,22 @@
+//===-- obs/Obs.h - Observability umbrella header ---------------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience umbrella for the observability subsystem: the lock-free
+/// metrics registry (obs/Metrics.h) and the per-thread transaction event
+/// tracer (obs/Trace.h). See DESIGN.md "Observability" for the overhead
+/// contract and the epoch-snapshot consistency model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_OBS_OBS_H
+#define PTM_OBS_OBS_H
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
+#endif // PTM_OBS_OBS_H

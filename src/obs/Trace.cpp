@@ -1,0 +1,322 @@
+//===-- obs/Trace.cpp - Per-thread transaction event tracing --------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "bench/Json.h"
+#include "obs/Metrics.h"
+#include "stm/Tm.h"
+#include "support/RawOStream.h"
+
+#include <bit>
+#include <cstring>
+
+using namespace ptm;
+using namespace ptm::obs;
+
+const char *ptm::obs::traceEventName(TraceEventKind Kind) {
+  switch (Kind) {
+  case TraceEventKind::TE_TxBegin:
+    return "txn";
+  case TraceEventKind::TE_TxBeginRo:
+    return "txn-ro";
+  case TraceEventKind::TE_Read:
+    return "read";
+  case TraceEventKind::TE_Write:
+    return "write";
+  case TraceEventKind::TE_TryCommit:
+    return "tryCommit";
+  case TraceEventKind::TE_Commit:
+    return "commit";
+  case TraceEventKind::TE_Abort:
+    return "abort";
+  case TraceEventKind::TE_Extend:
+    return "extend";
+  case TraceEventKind::TE_SnapshotPin:
+    return "snapshot-pin";
+  case TraceEventKind::TE_KindCount_:
+    break;
+  }
+  return "unknown";
+}
+
+//===----------------------------------------------------------------------===//
+// TraceRing / Tracer
+//===----------------------------------------------------------------------===//
+
+TraceRing::TraceRing(size_t Capacity)
+    : Events(new TraceEvent[std::bit_ceil(Capacity < 2 ? size_t{2}
+                                                       : Capacity)]),
+      Cap(std::bit_ceil(Capacity < 2 ? size_t{2} : Capacity)) {}
+
+void TraceRing::append(TraceEventKind Kind, uint64_t Arg) {
+  TraceEvent &E = Events[Head & (Cap - 1)];
+  E.TimeNs = monotonicNowNs();
+  E.Arg = Arg;
+  E.Kind = Kind;
+  ++Head;
+}
+
+Tracer::Tracer(unsigned MaxThreads, size_t CapacityPerThread) {
+  Rings.reserve(MaxThreads);
+  for (unsigned I = 0; I < MaxThreads; ++I)
+    Rings.push_back(std::make_unique<TraceRing>(CapacityPerThread));
+}
+
+uint64_t TraceDump::eventCount() const {
+  uint64_t N = 0;
+  for (const ThreadTrace &T : Threads)
+    N += T.Events.size();
+  return N;
+}
+
+TraceDump ptm::obs::dumpTrace(const Tracer &T) {
+  TraceDump Dump;
+  for (unsigned Tid = 0; Tid < T.threads(); ++Tid) {
+    const TraceRing &R = T.ring(Tid);
+    if (R.size() == 0 && R.dropped() == 0)
+      continue;
+    TraceDump::ThreadTrace TT;
+    TT.Tid = Tid;
+    TT.Dropped = R.dropped();
+    TT.Events.reserve(R.size());
+    for (size_t I = 0; I < R.size(); ++I)
+      TT.Events.push_back(R.at(I));
+    Dump.Threads.push_back(std::move(TT));
+  }
+  return Dump;
+}
+
+//===----------------------------------------------------------------------===//
+// Chrome trace_event export (ptm-trace-v1)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Microsecond timestamp (Chrome's unit) normalized to the trace start.
+double toTs(uint64_t TimeNs, uint64_t BaseNs) {
+  return static_cast<double>(TimeNs - BaseNs) / 1000.0;
+}
+
+/// Emits the fixed fields every event carries.
+void eventHead(bench::JsonWriter &W, const char *Name, const char *Phase,
+               double Ts, ThreadId Tid) {
+  W.newline();
+  W.beginObject();
+  W.key("name").value(Name);
+  W.key("cat").value("tm");
+  W.key("ph").value(Phase);
+  W.key("ts").value(Ts);
+  W.key("pid").value(0u);
+  W.key("tid").value(static_cast<uint64_t>(Tid));
+}
+
+} // namespace
+
+void ptm::obs::writeChromeTraceJson(RawOStream &OS, const TraceDump &Dump) {
+  bench::JsonWriter W(OS);
+  W.beginObject();
+  W.key("otherData").beginObject();
+  W.key("schema").value("ptm-trace-v1");
+  W.key("time_unit").value("us");
+  uint64_t Dropped = 0;
+  for (const TraceDump::ThreadTrace &T : Dump.Threads)
+    Dropped += T.Dropped;
+  W.key("dropped_events").value(Dropped);
+  W.endObject();
+  W.key("displayTimeUnit").value("ms");
+  W.key("traceEvents").beginArray();
+
+  uint64_t BaseNs = UINT64_MAX;
+  for (const TraceDump::ThreadTrace &T : Dump.Threads)
+    if (!T.Events.empty())
+      BaseNs = std::min(BaseNs, T.Events.front().TimeNs);
+  if (BaseNs == UINT64_MAX)
+    BaseNs = 0;
+
+  for (const TraceDump::ThreadTrace &T : Dump.Threads) {
+    // Per-thread span state: a ring that overwrote its oldest events may
+    // hold an end without its begin; ends without an open span are
+    // skipped and spans still open after the last event are closed at it,
+    // so the exported B/E pairs always balance (the JSON gate checks).
+    const char *TxnOpen = nullptr;
+    bool CommitOpen = false;
+    double LastTs = 0.0;
+    for (const TraceEvent &E : T.Events) {
+      double Ts = toTs(E.TimeNs, BaseNs);
+      LastTs = Ts;
+      switch (E.Kind) {
+      case TraceEventKind::TE_TxBegin:
+      case TraceEventKind::TE_TxBeginRo: {
+        if (CommitOpen) { // Dropped outcome event; close defensively.
+          eventHead(W, "tryCommit", "E", Ts, T.Tid);
+          W.endObject();
+          CommitOpen = false;
+        }
+        if (TxnOpen) {
+          eventHead(W, TxnOpen, "E", Ts, T.Tid);
+          W.endObject();
+        }
+        TxnOpen = traceEventName(E.Kind);
+        eventHead(W, TxnOpen, "B", Ts, T.Tid);
+        W.endObject();
+        break;
+      }
+      case TraceEventKind::TE_Read:
+      case TraceEventKind::TE_Write: {
+        eventHead(W, traceEventName(E.Kind), "i", Ts, T.Tid);
+        W.key("s").value("t");
+        W.key("args").beginObject();
+        W.key("obj").value(E.Arg);
+        W.endObject();
+        W.endObject();
+        break;
+      }
+      case TraceEventKind::TE_TryCommit: {
+        eventHead(W, "tryCommit", "B", Ts, T.Tid);
+        W.endObject();
+        CommitOpen = true;
+        break;
+      }
+      case TraceEventKind::TE_Commit:
+      case TraceEventKind::TE_Abort: {
+        if (CommitOpen) {
+          eventHead(W, "tryCommit", "E", Ts, T.Tid);
+          W.endObject();
+          CommitOpen = false;
+        }
+        if (TxnOpen) {
+          eventHead(W, TxnOpen, "E", Ts, T.Tid);
+          W.key("args").beginObject();
+          if (E.Kind == TraceEventKind::TE_Commit) {
+            W.key("outcome").value("commit");
+          } else {
+            W.key("outcome").value("abort");
+            W.key("cause").value(abortCauseName(
+                E.Arg < kNumAbortCauses ? static_cast<AbortCause>(E.Arg)
+                                        : AbortCause::AC_None));
+          }
+          W.endObject();
+          W.endObject();
+          TxnOpen = nullptr;
+        }
+        break;
+      }
+      case TraceEventKind::TE_Extend:
+      case TraceEventKind::TE_SnapshotPin: {
+        eventHead(W, traceEventName(E.Kind), "i", Ts, T.Tid);
+        W.key("s").value("t");
+        W.key("args").beginObject();
+        W.key("ts_value").value(E.Arg);
+        W.endObject();
+        W.endObject();
+        break;
+      }
+      case TraceEventKind::TE_KindCount_:
+        break;
+      }
+    }
+    if (CommitOpen) {
+      eventHead(W, "tryCommit", "E", LastTs, T.Tid);
+      W.endObject();
+    }
+    if (TxnOpen) {
+      eventHead(W, TxnOpen, "E", LastTs, T.Tid);
+      W.endObject();
+    }
+  }
+  W.endArray();
+  W.endObject();
+  W.newline();
+}
+
+//===----------------------------------------------------------------------===//
+// Binary dump
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'T', 'M', 'T', 'R', 'C', '1', '\0'};
+
+template <typename T> void putLe(std::vector<uint8_t> &Out, T Value) {
+  for (unsigned I = 0; I < sizeof(T); ++I)
+    Out.push_back(static_cast<uint8_t>(Value >> (8 * I)));
+}
+
+template <typename T>
+bool getLe(const uint8_t *Data, size_t Size, size_t &Pos, T &Value) {
+  if (Pos + sizeof(T) > Size)
+    return false;
+  Value = 0;
+  for (unsigned I = 0; I < sizeof(T); ++I)
+    Value |= static_cast<T>(Data[Pos + I]) << (8 * I);
+  Pos += sizeof(T);
+  return true;
+}
+
+} // namespace
+
+std::vector<uint8_t> ptm::obs::serializeTraceBinary(const TraceDump &Dump) {
+  std::vector<uint8_t> Out;
+  Out.reserve(16 + Dump.Threads.size() * 20 + Dump.eventCount() * 17);
+  for (char C : kMagic)
+    Out.push_back(static_cast<uint8_t>(C));
+  putLe<uint32_t>(Out, 1); // Format version.
+  putLe<uint32_t>(Out, static_cast<uint32_t>(Dump.Threads.size()));
+  for (const TraceDump::ThreadTrace &T : Dump.Threads) {
+    putLe<uint32_t>(Out, T.Tid);
+    putLe<uint64_t>(Out, T.Dropped);
+    putLe<uint64_t>(Out, T.Events.size());
+    for (const TraceEvent &E : T.Events) {
+      putLe<uint64_t>(Out, E.TimeNs);
+      putLe<uint64_t>(Out, E.Arg);
+      putLe<uint8_t>(Out, static_cast<uint8_t>(E.Kind));
+    }
+  }
+  return Out;
+}
+
+bool ptm::obs::deserializeTraceBinary(const uint8_t *Data, size_t Size,
+                                      TraceDump &Out) {
+  size_t Pos = 0;
+  if (Size < sizeof(kMagic) ||
+      std::memcmp(Data, kMagic, sizeof(kMagic)) != 0)
+    return false;
+  Pos = sizeof(kMagic);
+  uint32_t Version = 0, ThreadCount = 0;
+  if (!getLe(Data, Size, Pos, Version) || Version != 1 ||
+      !getLe(Data, Size, Pos, ThreadCount))
+    return false;
+  Out.Threads.clear();
+  for (uint32_t T = 0; T < ThreadCount; ++T) {
+    TraceDump::ThreadTrace TT;
+    uint32_t Tid = 0;
+    uint64_t EventCount = 0;
+    if (!getLe(Data, Size, Pos, Tid) ||
+        !getLe(Data, Size, Pos, TT.Dropped) ||
+        !getLe(Data, Size, Pos, EventCount))
+      return false;
+    TT.Tid = Tid;
+    // 17 bytes per serialized event bounds EventCount against the buffer
+    // before the reserve, so a corrupt count cannot OOM.
+    if (EventCount > (Size - Pos) / 17)
+      return false;
+    TT.Events.reserve(EventCount);
+    for (uint64_t E = 0; E < EventCount; ++E) {
+      TraceEvent Ev;
+      uint8_t Kind = 0;
+      if (!getLe(Data, Size, Pos, Ev.TimeNs) ||
+          !getLe(Data, Size, Pos, Ev.Arg) || !getLe(Data, Size, Pos, Kind) ||
+          Kind >= kNumTraceEventKinds)
+        return false;
+      Ev.Kind = static_cast<TraceEventKind>(Kind);
+      TT.Events.push_back(Ev);
+    }
+    Out.Threads.push_back(std::move(TT));
+  }
+  return Pos == Size;
+}

@@ -1,0 +1,171 @@
+//===-- obs/Trace.h - Per-thread transaction event tracing ------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transaction event tracer: per-thread fixed-capacity ring buffers
+/// of timestamped TM lifecycle events, armed through the existing
+/// Instrumentation seam (runtime/Instrumentation.h) — exactly the hook
+/// PR 7's ExploringInterleaver uses, so the TMs themselves need no
+/// tracer-specific plumbing beyond the one-line TmBase::traceEvent calls.
+///
+/// Arming: a thread installs an Instrumentation whose trace() points at
+/// its ring (Tracer::ring(Tid)); from then on every traced TM call
+/// appends one event. Disarmed (no Instrumentation, or a null ring) the
+/// cost is one thread-local load and a branch — that is the "always-on
+/// telemetry, near-zero when disarmed" contract the kv_throughput
+/// overhead gate enforces.
+///
+/// Reading: rings are single-writer; exporters read them only after the
+/// writing threads have quiesced (joined or drained). A full ring
+/// overwrites its oldest events and counts them in dropped() — the
+/// Chrome exporter re-balances begin/end pairs across such gaps.
+///
+/// Exports (both operate on a quiesced TraceDump):
+///  * writeChromeTraceJson — the `ptm-trace-v1` schema: a Chrome
+///    trace_event JSON document that loads directly in Perfetto /
+///    chrome://tracing and is gated by tools/check_trace_json.py;
+///  * serializeBinary / deserializeBinary — a compact length-prefixed
+///    dump for archival, round-trippable back into a TraceDump.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_OBS_TRACE_H
+#define PTM_OBS_TRACE_H
+
+#include "runtime/Ids.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ptm {
+
+class RawOStream;
+
+namespace obs {
+
+/// The traced TM lifecycle events. Appending here requires extending
+/// traceEventName(), the Chrome exporter's dispatch, and the pinned
+/// name list in tools/check_trace_json.py.
+enum class TraceEventKind : uint8_t {
+  TE_TxBegin,     ///< txBegin                 (arg: 0).
+  TE_TxBeginRo,   ///< txBeginReadOnly         (arg: 0).
+  TE_Read,        ///< txRead                  (arg: object id).
+  TE_Write,       ///< txWrite                 (arg: object id).
+  TE_TryCommit,   ///< txCommit entered        (arg: 0).
+  TE_Commit,      ///< txCommit succeeded      (arg: 0).
+  TE_Abort,       ///< transaction aborted     (arg: AbortCause).
+  TE_Extend,      ///< snapshot extension, orec-ts (arg: new snapshot ts).
+  TE_SnapshotPin, ///< read-only snapshot pinned, mv (arg: pinned ts).
+  TE_KindCount_,  ///< Sentinel, not an event.
+};
+
+/// Number of distinct TraceEventKind values.
+inline constexpr unsigned kNumTraceEventKinds = 9;
+static_assert(kNumTraceEventKinds ==
+                  static_cast<unsigned>(TraceEventKind::TE_KindCount_),
+              "kNumTraceEventKinds must track the enumerator count");
+
+/// Short stable name (the Chrome event name; pinned by the JSON gate).
+const char *traceEventName(TraceEventKind Kind);
+
+/// One traced event. TimeNs is steady-clock nanoseconds — monotonic per
+/// thread by construction, which the JSON gate checks per exported tid.
+struct TraceEvent {
+  uint64_t TimeNs = 0;
+  uint64_t Arg = 0;
+  TraceEventKind Kind = TraceEventKind::TE_TxBegin;
+};
+
+/// Single-writer fixed-capacity event ring. The owning thread appends;
+/// once it quiesces, any thread may read. Capacity is rounded up to a
+/// power of two. When full, append overwrites the oldest event (dropped()
+/// counts the overwritten ones) — tracing never blocks or allocates.
+class TraceRing {
+public:
+  explicit TraceRing(size_t Capacity);
+
+  /// Appends one event stamped with the current steady-clock time.
+  void append(TraceEventKind Kind, uint64_t Arg);
+
+  /// Events currently held (<= capacity).
+  size_t size() const { return Head < Cap ? Head : Cap; }
+  /// Events overwritten after the ring filled.
+  uint64_t dropped() const { return Head < Cap ? 0 : Head - Cap; }
+  size_t capacity() const { return Cap; }
+
+  /// The \p I-th held event, oldest first (\p I < size()). Quiesced-only.
+  const TraceEvent &at(size_t I) const {
+    size_t Base = Head < Cap ? 0 : Head;
+    return Events[(Base + I) & (Cap - 1)];
+  }
+
+  /// Forgets everything (owner-quiesced only).
+  void clear() { Head = 0; }
+
+private:
+  std::unique_ptr<TraceEvent[]> Events;
+  size_t Cap;      ///< Power of two.
+  uint64_t Head = 0; ///< Total appends; next write slot = Head & (Cap-1).
+};
+
+/// The per-run collector: one ring per ThreadId. Threads arm themselves
+/// by pointing their Instrumentation at ring(Tid); the owner dumps or
+/// exports after everyone quiesced.
+class Tracer {
+public:
+  explicit Tracer(unsigned MaxThreads, size_t CapacityPerThread = 1 << 14);
+
+  unsigned threads() const { return static_cast<unsigned>(Rings.size()); }
+  TraceRing &ring(ThreadId Tid) { return *Rings[Tid]; }
+  const TraceRing &ring(ThreadId Tid) const { return *Rings[Tid]; }
+
+private:
+  std::vector<std::unique_ptr<TraceRing>> Rings;
+};
+
+/// A quiesced, plain-data copy of a trace — the unit both exporters
+/// consume and the binary round-trip reproduces.
+struct TraceDump {
+  struct ThreadTrace {
+    ThreadId Tid = 0;
+    uint64_t Dropped = 0;
+    std::vector<TraceEvent> Events; ///< Oldest first.
+  };
+  std::vector<ThreadTrace> Threads; ///< One entry per traced thread,
+                                    ///< ascending Tid; empty threads are
+                                    ///< omitted.
+
+  /// Total events across all threads.
+  uint64_t eventCount() const;
+};
+
+/// Snapshots \p T into a TraceDump. All writing threads must have
+/// quiesced (the single-writer ring contract).
+TraceDump dumpTrace(const Tracer &T);
+
+/// Writes \p Dump as a `ptm-trace-v1` Chrome trace_event JSON document
+/// (loads in Perfetto / chrome://tracing; schema checked by
+/// tools/check_trace_json.py). Transactions and commit phases become
+/// balanced B/E duration pairs; reads/writes/extensions/pins become
+/// instant events. Timestamps are normalized to start at 0 and emitted
+/// in microseconds with nanosecond precision.
+void writeChromeTraceJson(RawOStream &OS, const TraceDump &Dump);
+
+/// Compact binary form of \p Dump ("PTMTRC1\0" header; little-endian
+/// fixed-width fields).
+std::vector<uint8_t> serializeTraceBinary(const TraceDump &Dump);
+
+/// Inverse of serializeTraceBinary. Returns false (leaving \p Out
+/// unspecified) on a malformed buffer.
+bool deserializeTraceBinary(const uint8_t *Data, size_t Size,
+                            TraceDump &Out);
+
+} // namespace obs
+} // namespace ptm
+
+#endif // PTM_OBS_TRACE_H

@@ -15,10 +15,6 @@
 
 using namespace ptm;
 
-static thread_local Instrumentation *CurrentInstr = nullptr;
-
-Instrumentation *Instrumentation::current() { return CurrentInstr; }
-
 void Instrumentation::beginOp() {
   OpActive = true;
   OpSteps = 0;
@@ -79,8 +75,10 @@ void Instrumentation::resetTotals() {
 }
 
 ScopedInstrumentation::ScopedInstrumentation(Instrumentation &Instr)
-    : Previous(CurrentInstr) {
-  CurrentInstr = &Instr;
+    : Previous(detail::CurrentInstr) {
+  detail::CurrentInstr = &Instr;
 }
 
-ScopedInstrumentation::~ScopedInstrumentation() { CurrentInstr = Previous; }
+ScopedInstrumentation::~ScopedInstrumentation() {
+  detail::CurrentInstr = Previous;
+}

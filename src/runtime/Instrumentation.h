@@ -33,6 +33,20 @@ namespace ptm {
 class RmrSimulator;
 class TokenInterleaver;
 
+namespace obs {
+class TraceRing;
+} // namespace obs
+
+class Instrumentation;
+
+namespace detail {
+/// The per-thread installed context. A namespace-scope inline
+/// thread_local so Instrumentation::current() inlines into the hot
+/// paths that poll it (BaseObject accesses, TmBase::traceEvent) — an
+/// out-of-line call here is measurable on the cheapest TMs.
+inline thread_local Instrumentation *CurrentInstr = nullptr;
+} // namespace detail
+
 /// Aggregate counters for one bracketed interval (usually one t-operation).
 struct OpStats {
   uint64_t Steps = 0;           ///< Primitive applications.
@@ -46,14 +60,16 @@ struct OpStats {
 class Instrumentation {
 public:
   /// Creates a context for process \p OwnerTid, optionally charging RMRs
-  /// to \p RmrSim and serializing accesses through \p Scheduler (both
-  /// shared across the experiment's threads).
+  /// to \p RmrSim, serializing accesses through \p Scheduler (both shared
+  /// across the experiment's threads), and appending transaction lifecycle
+  /// events to \p TraceSink (this thread's obs::TraceRing).
   explicit Instrumentation(ThreadId OwnerTid, RmrSimulator *RmrSim = nullptr,
-                           TokenInterleaver *Scheduler = nullptr)
-      : Tid(OwnerTid), Rmr(RmrSim), Sched(Scheduler) {}
+                           TokenInterleaver *Scheduler = nullptr,
+                           obs::TraceRing *TraceSink = nullptr)
+      : Tid(OwnerTid), Rmr(RmrSim), Sched(Scheduler), Trace(TraceSink) {}
 
   /// Returns the context installed on the calling thread, or null.
-  static Instrumentation *current();
+  static Instrumentation *current() { return detail::CurrentInstr; }
 
   /// Begins a bracketed interval; per-op counters reset. Intervals may span
   /// several TM calls (e.g. "last t-read plus tryCommit" in E2).
@@ -88,6 +104,11 @@ public:
   RmrSimulator *rmrSimulator() const { return Rmr; }
   /// The attached schedule controller, or null for free-running threads.
   TokenInterleaver *scheduler() const { return Sched; }
+  /// This thread's transaction event ring, or null when tracing is
+  /// disarmed (see obs/Trace.h).
+  obs::TraceRing *trace() const { return Trace; }
+  /// (Re)arms or disarms event tracing for this context.
+  void setTrace(obs::TraceRing *TraceSink) { Trace = TraceSink; }
 
 private:
   friend class ScopedInstrumentation;
@@ -95,6 +116,7 @@ private:
   ThreadId Tid;
   RmrSimulator *Rmr;
   TokenInterleaver *Sched;
+  obs::TraceRing *Trace;
 
   uint64_t TotalSteps = 0;
   uint64_t TotalNontrivial = 0;

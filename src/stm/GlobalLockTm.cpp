@@ -31,6 +31,7 @@ void GlobalLockTm::txBegin(ThreadId Tid) {
 }
 
 bool GlobalLockTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
+  traceEvent(obs::TraceEventKind::TE_Read, Obj);
   assert(txActive(Tid) && "t-read outside a transaction");
   assert(Obj < numObjects() && "object id out of range");
   (void)Tid;
@@ -39,6 +40,7 @@ bool GlobalLockTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
 }
 
 bool GlobalLockTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
+  traceEvent(obs::TraceEventKind::TE_Write, Obj);
   assert(txActive(Tid) && "t-write outside a transaction");
   assert(Obj < numObjects() && "object id out of range");
   Descs[Tid].UndoLog.push_back({Obj, Values[Obj].read()});
@@ -47,6 +49,7 @@ bool GlobalLockTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
 }
 
 bool GlobalLockTm::txCommit(ThreadId Tid) {
+  traceEvent(obs::TraceEventKind::TE_TryCommit);
   assert(txActive(Tid) && "tryCommit outside a transaction");
   releaseLock();
   return slotCommit(Tid);

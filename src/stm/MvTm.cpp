@@ -55,7 +55,7 @@ void MvTm::txBegin(ThreadId Tid) {
 }
 
 void MvTm::txBeginReadOnly(ThreadId Tid) {
-  slotBegin(Tid);
+  slotBegin(Tid, /*ReadOnly=*/true);
   Desc &D = Descs[Tid];
   resetDesc(D);
   D.ReadOnly = true;
@@ -71,6 +71,7 @@ void MvTm::txBeginReadOnly(ThreadId Tid) {
     ReaderTs[Tid].write(C);
   } while (Clock.read() != C);
   D.SnapshotTs = C;
+  traceEvent(obs::TraceEventKind::TE_SnapshotPin, C);
 }
 
 void MvTm::snapshotEnter(ThreadId Tid) {
@@ -87,14 +88,16 @@ void MvTm::snapshotRelease(ThreadId Tid) { ReaderTs[Tid].write(kNoVersion); }
 void MvTm::txBeginReadOnlyAt(ThreadId Tid, uint64_t Ts) {
   assert(ReaderTs[Tid].peek() == Ts &&
          "begin-at requires the timestamp to be published on this thread");
-  slotBegin(Tid);
+  slotBegin(Tid, /*ReadOnly=*/true);
   Desc &D = Descs[Tid];
   resetDesc(D);
   D.ReadOnly = true;
   D.SnapshotTs = Ts;
+  traceEvent(obs::TraceEventKind::TE_SnapshotPin, Ts);
 }
 
 bool MvTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
+  traceEvent(obs::TraceEventKind::TE_Read, Obj);
   assert(txActive(Tid) && "t-read outside a transaction");
   assert(Obj < numObjects() && "object id out of range");
   Desc &D = Descs[Tid];
@@ -171,6 +174,7 @@ bool MvTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
 }
 
 bool MvTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
+  traceEvent(obs::TraceEventKind::TE_Write, Obj);
   assert(txActive(Tid) && "t-write outside a transaction");
   assert(Obj < numObjects() && "object id out of range");
   Desc &D = Descs[Tid];
@@ -197,6 +201,7 @@ uint64_t MvTm::minActiveReaderTs() {
 }
 
 bool MvTm::txCommit(ThreadId Tid) {
+  traceEvent(obs::TraceEventKind::TE_TryCommit);
   assert(txActive(Tid) && "tryCommit outside a transaction");
   Desc &D = Descs[Tid];
 

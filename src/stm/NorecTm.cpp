@@ -52,6 +52,7 @@ uint64_t NorecTm::validate(Desc &D) {
 }
 
 bool NorecTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
+  traceEvent(obs::TraceEventKind::TE_Read, Obj);
   assert(txActive(Tid) && "t-read outside a transaction");
   assert(Obj < numObjects() && "object id out of range");
   Desc &D = Descs[Tid];
@@ -82,6 +83,7 @@ bool NorecTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
 }
 
 bool NorecTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
+  traceEvent(obs::TraceEventKind::TE_Write, Obj);
   assert(txActive(Tid) && "t-write outside a transaction");
   assert(Obj < numObjects() && "object id out of range");
   Descs[Tid].Writes.insertOrUpdate(Obj, Value);
@@ -89,6 +91,7 @@ bool NorecTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
 }
 
 bool NorecTm::txCommit(ThreadId Tid) {
+  traceEvent(obs::TraceEventKind::TE_TryCommit);
   assert(txActive(Tid) && "tryCommit outside a transaction");
   Desc &D = Descs[Tid];
 

@@ -38,6 +38,7 @@ bool OrecEagerTm::validateReadSet(const Desc &D, ThreadId Tid) const {
 }
 
 bool OrecEagerTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
+  traceEvent(obs::TraceEventKind::TE_Read, Obj);
   assert(txActive(Tid) && "t-read outside a transaction");
   assert(Obj < numObjects() && "object id out of range");
   Desc &D = Descs[Tid];
@@ -72,6 +73,7 @@ bool OrecEagerTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
 }
 
 bool OrecEagerTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
+  traceEvent(obs::TraceEventKind::TE_Write, Obj);
   assert(txActive(Tid) && "t-write outside a transaction");
   assert(Obj < numObjects() && "object id out of range");
   Desc &D = Descs[Tid];
@@ -102,6 +104,7 @@ bool OrecEagerTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
 }
 
 bool OrecEagerTm::txCommit(ThreadId Tid) {
+  traceEvent(obs::TraceEventKind::TE_TryCommit);
   assert(txActive(Tid) && "tryCommit outside a transaction");
   Desc &D = Descs[Tid];
 

@@ -31,6 +31,7 @@ bool OrecIncrementalTm::validateReadSet(const Desc &D) const {
 }
 
 bool OrecIncrementalTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
+  traceEvent(obs::TraceEventKind::TE_Read, Obj);
   assert(txActive(Tid) && "t-read outside a transaction");
   assert(Obj < numObjects() && "object id out of range");
   Desc &D = Descs[Tid];
@@ -65,6 +66,7 @@ bool OrecIncrementalTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
 }
 
 bool OrecIncrementalTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
+  traceEvent(obs::TraceEventKind::TE_Write, Obj);
   assert(txActive(Tid) && "t-write outside a transaction");
   assert(Obj < numObjects() && "object id out of range");
   // Lazy update keeps reads of other transactions invisible to us and our
@@ -74,6 +76,7 @@ bool OrecIncrementalTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
 }
 
 bool OrecIncrementalTm::txCommit(ThreadId Tid) {
+  traceEvent(obs::TraceEventKind::TE_TryCommit);
   assert(txActive(Tid) && "tryCommit outside a transaction");
   Desc &D = Descs[Tid];
 

@@ -36,10 +36,12 @@ bool OrecTsTm::extendSnapshot(Desc &D) {
     if (Orecs[E.Obj].read() != makeVersion(E.Payload))
       return false;
   D.Rv = Now;
+  traceEvent(obs::TraceEventKind::TE_Extend, Now);
   return true;
 }
 
 bool OrecTsTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
+  traceEvent(obs::TraceEventKind::TE_Read, Obj);
   assert(txActive(Tid) && "t-read outside a transaction");
   assert(Obj < numObjects() && "object id out of range");
   Desc &D = Descs[Tid];
@@ -84,6 +86,7 @@ bool OrecTsTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
 }
 
 bool OrecTsTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
+  traceEvent(obs::TraceEventKind::TE_Write, Obj);
   assert(txActive(Tid) && "t-write outside a transaction");
   assert(Obj < numObjects() && "object id out of range");
   Descs[Tid].Writes.insertOrUpdate(Obj, Value);
@@ -91,6 +94,7 @@ bool OrecTsTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
 }
 
 bool OrecTsTm::txCommit(ThreadId Tid) {
+  traceEvent(obs::TraceEventKind::TE_TryCommit);
   assert(txActive(Tid) && "tryCommit outside a transaction");
   Desc &D = Descs[Tid];
 

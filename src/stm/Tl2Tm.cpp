@@ -27,6 +27,7 @@ void Tl2Tm::txBegin(ThreadId Tid) {
 }
 
 bool Tl2Tm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
+  traceEvent(obs::TraceEventKind::TE_Read, Obj);
   assert(txActive(Tid) && "t-read outside a transaction");
   assert(Obj < numObjects() && "object id out of range");
   Desc &D = Descs[Tid];
@@ -57,6 +58,7 @@ bool Tl2Tm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
 }
 
 bool Tl2Tm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
+  traceEvent(obs::TraceEventKind::TE_Write, Obj);
   assert(txActive(Tid) && "t-write outside a transaction");
   assert(Obj < numObjects() && "object id out of range");
   Descs[Tid].Writes.insertOrUpdate(Obj, Value);
@@ -64,6 +66,7 @@ bool Tl2Tm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
 }
 
 bool Tl2Tm::txCommit(ThreadId Tid) {
+  traceEvent(obs::TraceEventKind::TE_TryCommit);
   assert(txActive(Tid) && "tryCommit outside a transaction");
   Desc &D = Descs[Tid];
 

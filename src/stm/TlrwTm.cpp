@@ -68,6 +68,7 @@ bool TlrwTm::acquireWrite(ThreadId Tid, ObjectId Obj, bool Upgrade) {
 }
 
 bool TlrwTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
+  traceEvent(obs::TraceEventKind::TE_Read, Obj);
   assert(txActive(Tid) && "t-read outside a transaction");
   assert(Obj < numObjects() && "object id out of range");
   Desc &D = Descs[Tid];
@@ -92,6 +93,7 @@ bool TlrwTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
 }
 
 bool TlrwTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
+  traceEvent(obs::TraceEventKind::TE_Write, Obj);
   assert(txActive(Tid) && "t-write outside a transaction");
   assert(Obj < numObjects() && "object id out of range");
   Desc &D = Descs[Tid];
@@ -114,6 +116,7 @@ bool TlrwTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
 }
 
 bool TlrwTm::txCommit(ThreadId Tid) {
+  traceEvent(obs::TraceEventKind::TE_TryCommit);
   assert(txActive(Tid) && "tryCommit outside a transaction");
   // Two-phase locking: everything read or written is still locked, so the
   // transaction is trivially serializable at this point. Just release.

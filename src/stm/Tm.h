@@ -109,7 +109,18 @@ struct TmStats {
                       : static_cast<double>(totalAborts()) /
                             static_cast<double>(Total);
   }
+
+  /// Accumulates \p Other into this (the aggregation every multi-instance
+  /// holder — sharded stores, per-role harnesses — needs).
+  TmStats &operator+=(const TmStats &Other) {
+    Commits += Other.Commits;
+    for (unsigned I = 0; I < kNumAbortCauses; ++I)
+      Aborts[I] += Other.Aborts[I];
+    return *this;
+  }
 };
+
+inline TmStats operator+(TmStats A, const TmStats &B) { return A += B; }
 
 /// Abstract transactional memory over a fixed array of 64-bit t-objects.
 ///
@@ -186,12 +197,19 @@ public:
   /// Non-transactional initialization, valid only while quiescent.
   virtual void init(ObjectId Obj, uint64_t Value) = 0;
 
-  /// Aggregated commit/abort counters. Like resetStats(), valid only in
-  /// quiescent configurations (no thread has a live transaction): the
-  /// per-thread counters are read without synchronization, so calling
-  /// this concurrently with running transactions is a data race. Debug
-  /// builds assert quiescence.
+  /// Aggregated commit/abort counters, exact. Like resetStats(), valid
+  /// only in quiescent configurations (no thread has a live transaction);
+  /// debug builds assert quiescence. For a live view while transactions
+  /// run, use statsSnapshot().
   virtual TmStats stats() const = 0;
+
+  /// Live view of the same counters, safe to call concurrently with
+  /// running transactions: each per-thread cell is read atomically
+  /// (relaxed), so the result is a consistent-per-cell epoch snapshot —
+  /// monotone across calls and converging to stats() at quiescence —
+  /// rather than an exact global cut. This is the always-on telemetry
+  /// path (see DESIGN.md "Observability").
+  virtual TmStats statsSnapshot() const { return stats(); }
 
   /// One thread's share of the counters — lets harnesses attribute
   /// commits and aborts to a role (the read-only benchmark separates

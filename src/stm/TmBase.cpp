@@ -19,14 +19,29 @@ TmBase::TmBase(unsigned ObjectCount, unsigned ThreadCount)
 TmStats TmBase::stats() const {
   TmStats Total;
   for (const Slot &S : Slots) {
-    // Quiescence contract (see Tm::stats()): the per-slot counters are
-    // plain fields, so reading them while any thread runs a transaction
-    // is a data race, not just a stale answer.
+    // Quiescence contract (see Tm::stats()): with every owner quiesced the
+    // relaxed sums are exact, which is what distinguishes this from the
+    // live statsSnapshot() below.
     assert(!S.Active && "stats() requires quiescence: a transaction is "
-                        "still live on some thread slot");
-    Total.Commits += S.Commits;
+                        "still live on some thread slot (use "
+                        "statsSnapshot() for a live view)");
+    Total.Commits += S.Commits.read();
     for (unsigned I = 0; I < kNumAbortCauses; ++I)
-      Total.Aborts[I] += S.Aborts[I];
+      Total.Aborts[I] += S.Aborts[I].read();
+  }
+  return Total;
+}
+
+TmStats TmBase::statsSnapshot() const {
+  // Live path: each cell is a single-writer atomic, so relaxed reads are
+  // race-free while transactions run. Epoch-snapshot consistency (see
+  // obs/Metrics.h): per-cell exact, monotone across calls, equal to
+  // stats() at quiescence.
+  TmStats Total;
+  for (const Slot &S : Slots) {
+    Total.Commits += S.Commits.read();
+    for (unsigned I = 0; I < kNumAbortCauses; ++I)
+      Total.Aborts[I] += S.Aborts[I].read();
   }
   return Total;
 }
@@ -36,16 +51,16 @@ TmStats TmBase::threadStats(ThreadId Tid) const {
   const Slot &S = Slots[Tid];
   assert(!S.Active && "threadStats() requires quiescence on that slot");
   TmStats Stats;
-  Stats.Commits = S.Commits;
+  Stats.Commits = S.Commits.read();
   for (unsigned I = 0; I < kNumAbortCauses; ++I)
-    Stats.Aborts[I] = S.Aborts[I];
+    Stats.Aborts[I] = S.Aborts[I].read();
   return Stats;
 }
 
 void TmBase::resetStats() {
   for (Slot &S : Slots) {
-    S.Commits = 0;
+    S.Commits.reset();
     for (unsigned I = 0; I < kNumAbortCauses; ++I)
-      S.Aborts[I] = 0;
+      S.Aborts[I].reset();
   }
 }

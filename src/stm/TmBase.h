@@ -15,7 +15,10 @@
 #ifndef PTM_STM_TMBASE_H
 #define PTM_STM_TMBASE_H
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "runtime/BaseObject.h"
+#include "runtime/Instrumentation.h"
 #include "stm/Tm.h"
 #include "support/Compiler.h"
 
@@ -57,25 +60,43 @@ public:
 
   TmStats stats() const final;
   TmStats threadStats(ThreadId Tid) const final;
+  TmStats statsSnapshot() const final;
   void resetStats() final;
 
 protected:
   TmBase(unsigned ObjectCount, unsigned ThreadCount);
 
   /// Per-thread lifecycle and counters, padded against false sharing.
+  /// The counters are single-writer cells (obs::OwnedCounter): only the
+  /// owning thread increments, so statsSnapshot() may sum them live while
+  /// transactions run. Active/Cause stay plain — they are owner-read
+  /// (txActive / lastAbortCause) and never consulted by the live path.
   struct alignas(PTM_CACHELINE_SIZE) Slot {
     bool Active = false;
     AbortCause Cause = AbortCause::AC_None;
-    uint64_t Commits = 0;
-    uint64_t Aborts[kNumAbortCauses] = {};
+    obs::OwnedCounter Commits;
+    obs::OwnedCounter Aborts[kNumAbortCauses];
   };
 
-  /// Marks the slot live; asserts well-formedness (no nesting).
-  void slotBegin(ThreadId Tid) {
+  /// Appends \p Kind to the calling thread's trace ring when tracing is
+  /// armed (an installed Instrumentation whose trace() is non-null); one
+  /// thread-local load plus a branch when disarmed. The single routing
+  /// point the TMs call from their txRead/txWrite/txCommit heads.
+  static void traceEvent(obs::TraceEventKind Kind, uint64_t Arg = 0) {
+    if (Instrumentation *I = Instrumentation::current())
+      if (obs::TraceRing *R = I->trace())
+        R->append(Kind, Arg);
+  }
+
+  /// Marks the slot live; asserts well-formedness (no nesting). \p ReadOnly
+  /// tags the begin event for TMs on a dedicated snapshot path.
+  void slotBegin(ThreadId Tid, bool ReadOnly = false) {
     assert(Tid < MaxThreads && "thread id out of range");
     assert(!Slots[Tid].Active && "previous transaction still active");
     Slots[Tid].Active = true;
     Slots[Tid].Cause = AbortCause::AC_None;
+    traceEvent(ReadOnly ? obs::TraceEventKind::TE_TxBeginRo
+                        : obs::TraceEventKind::TE_TxBegin);
   }
 
   /// Records a commit; returns true for tail-calling from txCommit.
@@ -83,7 +104,8 @@ protected:
     assert(Slots[Tid].Active && "commit without active transaction");
     Slots[Tid].Active = false;
     Slots[Tid].Cause = AbortCause::AC_None;
-    ++Slots[Tid].Commits;
+    Slots[Tid].Commits.inc();
+    traceEvent(obs::TraceEventKind::TE_Commit);
     return true;
   }
 
@@ -93,7 +115,8 @@ protected:
     assert(Cause != AbortCause::AC_None && "abort needs a cause");
     Slots[Tid].Active = false;
     Slots[Tid].Cause = Cause;
-    ++Slots[Tid].Aborts[static_cast<unsigned>(Cause)];
+    Slots[Tid].Aborts[static_cast<unsigned>(Cause)].inc();
+    traceEvent(obs::TraceEventKind::TE_Abort, static_cast<uint64_t>(Cause));
     return false;
   }
 

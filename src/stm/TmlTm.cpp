@@ -33,6 +33,7 @@ void TmlTm::txBegin(ThreadId Tid) {
 }
 
 bool TmlTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
+  traceEvent(obs::TraceEventKind::TE_Read, Obj);
   assert(txActive(Tid) && "t-read outside a transaction");
   assert(Obj < numObjects() && "object id out of range");
   Desc &D = Descs[Tid];
@@ -49,6 +50,7 @@ bool TmlTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
 }
 
 bool TmlTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
+  traceEvent(obs::TraceEventKind::TE_Write, Obj);
   assert(txActive(Tid) && "t-write outside a transaction");
   assert(Obj < numObjects() && "object id out of range");
   Desc &D = Descs[Tid];
@@ -68,6 +70,7 @@ bool TmlTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
 }
 
 bool TmlTm::txCommit(ThreadId Tid) {
+  traceEvent(obs::TraceEventKind::TE_TryCommit);
   assert(txActive(Tid) && "tryCommit outside a transaction");
   Desc &D = Descs[Tid];
   // A writer publishes by bumping the clock to even; it can never fail

@@ -8,6 +8,7 @@
 #include "workload/KvWorkload.h"
 
 #include "kv/Kv.h"
+#include "obs/Metrics.h"
 #include "support/Random.h"
 #include "support/Zipf.h"
 #include "workload/Driver.h"
@@ -50,7 +51,7 @@ uint64_t drawKey(Xoshiro256 &Rng, const ZipfDistribution &Zipf,
 } // namespace
 
 RunResult ptm::runKvMix(kv::KvStore &Store, unsigned Threads,
-                        const KvMixConfig &Config) {
+                        const KvMixConfig &Config, KvMixMetrics *Metrics) {
   assert(Threads > 0 && Threads <= Store.maxThreads() &&
          "client threads run shard transactions under their own ThreadId");
   Store.resetStats();
@@ -58,12 +59,28 @@ RunResult ptm::runKvMix(kv::KvStore &Store, unsigned Threads,
   const double SingleTotal =
       Config.GetFrac + Config.PutFrac + Config.CasFrac;
 
+  // Per-thread latency recorders, merged after the join. Only allocated
+  // when the caller wants latency: a null Metrics runs the exact
+  // pre-telemetry loop (no clock reads at all).
+  std::vector<std::unique_ptr<obs::LatencyHistogram>> Recorders;
+  if (Metrics) {
+    Recorders.resize(Threads);
+    for (auto &R : Recorders)
+      R = std::make_unique<obs::LatencyHistogram>();
+  }
+
   double Seconds = runParallel(Threads, [&](ThreadId Tid) {
     Xoshiro256 Rng(threadSeed(Config.Seed, Tid));
     ZipfDistribution Zipf(Config.KeySpace, Config.Theta);
     uint64_t MultiCounter = 0;
+    obs::LatencyHistogram *Hist = Metrics ? Recorders[Tid].get() : nullptr;
 
     for (uint64_t Op = 0; Op < Config.OpsPerThread; ++Op) {
+      // 1-in-8 sampling bounds the clock-read overhead at ~1% of the
+      // ~450ns op cost; the sample is unbiased w.r.t. op type because
+      // the (deterministic) op draw happens after the decision.
+      const bool Sampled = Hist && (Op & 7) == 0;
+      const uint64_t StartNs = Sampled ? obs::monotonicNowNs() : 0;
       if (Config.MultiFrac > 0.0 && Rng.nextBool(Config.MultiFrac)) {
         // Multi-key operation, cycling the three composition shapes.
         std::vector<uint64_t> Keys;
@@ -93,6 +110,8 @@ RunResult ptm::runKvMix(kv::KvStore &Store, unsigned Threads,
               });
           break;
         }
+        if (Sampled)
+          Hist->record(obs::monotonicNowNs() - StartNs);
         continue;
       }
 
@@ -111,8 +130,21 @@ RunResult ptm::runKvMix(kv::KvStore &Store, unsigned Threads,
       } else {
         Store.erase(Tid, Key);
       }
+      if (Sampled)
+        Hist->record(obs::monotonicNowNs() - StartNs);
     }
   });
+
+  if (Metrics) {
+    obs::HistogramSnapshot Merged;
+    for (const auto &Rec : Recorders)
+      Merged.merge(Rec->snapshot());
+    *Metrics = KvMixMetrics();
+    Metrics->LatencySamples = Merged.Count;
+    Metrics->MeanUs = Merged.mean() / 1000.0;
+    Metrics->P99Us = static_cast<double>(Merged.percentile(99.0)) / 1000.0;
+    Metrics->P999Us = static_cast<double>(Merged.percentile(99.9)) / 1000.0;
+  }
 
   RunResult R;
   TmStats S = Store.aggregateStats();
@@ -134,31 +166,30 @@ RunResult ptm::runKvExecutorLoad(kv::KvStore &Store,
   ExecOpts.Workers = Config.Workers;
   ExecOpts.QueueCapacity = Config.QueueCapacity;
   ExecOpts.MaxBatch = Config.MaxBatch;
+  ExecOpts.Trace = Config.Trace;
   kv::RequestExecutor Exec(Store, ExecOpts);
 
-  // Per-client latency sums, filled inside the parallel phase and reduced
-  // after the join.
-  std::vector<double> LatencySeconds(Config.Clients, 0.0);
-  std::vector<uint64_t> LatencySamples(Config.Clients, 0);
+  // Per-client latency histograms, merged after the join. Submit-to-done
+  // times use the SubmitNs stamp the executor already writes on submit.
+  std::vector<std::unique_ptr<obs::LatencyHistogram>> Recorders(
+      Config.Clients);
+  for (auto &R : Recorders)
+    R = std::make_unique<obs::LatencyHistogram>();
 
   double Seconds = runParallel(Config.Clients, [&](ThreadId Client) {
-    using Clock = std::chrono::steady_clock;
     Xoshiro256 Rng(threadSeed(Config.Seed, Client));
     ZipfDistribution Zipf(Config.KeySpace, Config.Theta);
+    obs::LatencyHistogram &Hist = *Recorders[Client];
 
     // A ring of Pipeline in-flight requests: submit until the ring is
     // full, then retire the oldest before reusing its slot.
     std::vector<kv::KvRequest> Ring(Config.Pipeline);
-    std::vector<Clock::time_point> SubmittedAt(Config.Pipeline);
-    double LocalLatency = 0.0;
-    uint64_t LocalSamples = 0;
 
     auto Retire = [&](unsigned Slot) {
       kv::RequestExecutor::wait(Ring[Slot]);
-      LocalLatency += std::chrono::duration<double>(Clock::now() -
-                                                    SubmittedAt[Slot])
-                          .count();
-      ++LocalSamples;
+      uint64_t Now = obs::monotonicNowNs();
+      uint64_t Submitted = Ring[Slot].SubmitNs;
+      Hist.record(Now >= Submitted ? Now - Submitted : 0);
     };
 
     for (uint64_t Op = 0; Op < Config.OpsPerClient; ++Op) {
@@ -174,7 +205,6 @@ RunResult ptm::runKvExecutorLoad(kv::KvStore &Store,
         R.Op = kv::KvOpKind::Put;
         R.Value = (uint64_t{Client} << 32) | Op;
       }
-      SubmittedAt[Slot] = Clock::now();
       Exec.submit(R);
     }
     // Drain this client's tail of in-flight requests.
@@ -183,24 +213,21 @@ RunResult ptm::runKvExecutorLoad(kv::KvStore &Store,
     for (uint64_t I = 0; I < Inflight; ++I)
       Retire(static_cast<unsigned>((Config.OpsPerClient - Inflight + I) %
                                    Config.Pipeline));
-
-    LatencySeconds[Client] = LocalLatency;
-    LatencySamples[Client] = LocalSamples;
   });
   Exec.drainAndStop();
 
   kv::ExecutorStats ES = Exec.stats();
   if (Metrics) {
-    double TotalLatency = 0.0;
-    uint64_t TotalSamples = 0;
-    for (unsigned C = 0; C < Config.Clients; ++C) {
-      TotalLatency += LatencySeconds[C];
-      TotalSamples += LatencySamples[C];
-    }
+    obs::HistogramSnapshot Merged;
+    for (const auto &Rec : Recorders)
+      Merged.merge(Rec->snapshot());
     Metrics->Completed = ES.Completed;
-    Metrics->MeanLatencyUs =
-        TotalSamples == 0 ? 0.0 : (TotalLatency / TotalSamples) * 1e6;
+    Metrics->MeanLatencyUs = Merged.mean() / 1000.0;
+    Metrics->P99Us = static_cast<double>(Merged.percentile(99.0)) / 1000.0;
+    Metrics->P999Us =
+        static_cast<double>(Merged.percentile(99.9)) / 1000.0;
     Metrics->MeanBatch = ES.meanBatch();
+    Metrics->Executor = Exec.telemetry();
   }
 
   RunResult R;

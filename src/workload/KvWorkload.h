@@ -27,12 +27,16 @@
 #ifndef PTM_WORKLOAD_KVWORKLOAD_H
 #define PTM_WORKLOAD_KVWORKLOAD_H
 
+#include "obs/Metrics.h"
 #include "workload/Workload.h"
 
 namespace ptm {
 namespace kv {
 class KvStore;
 } // namespace kv
+namespace obs {
+class Tracer;
+} // namespace obs
 
 /// Parameters of the direct (synchronous) KV mix.
 struct KvMixConfig {
@@ -52,13 +56,27 @@ struct KvMixConfig {
   uint64_t Seed = 42;
 };
 
+/// Client-observed latency of the direct mix, from 1-in-8 sampled ops
+/// (sampling keeps the measurement's own clock reads ~1% of op cost —
+/// the always-on overhead budget; see DESIGN.md "Observability").
+/// Percentiles come from merged per-thread obs::LatencyHistograms, so
+/// they carry that histogram's <=1/16 relative quantization above 31ns.
+struct KvMixMetrics {
+  uint64_t LatencySamples = 0; ///< Sampled operations.
+  double MeanUs = 0;           ///< Mean sampled op latency.
+  double P99Us = 0;            ///< 99th percentile.
+  double P999Us = 0;           ///< 99.9th percentile.
+};
+
 /// Runs the mix with \p Threads client threads issuing operations
 /// directly (thread t uses ThreadId t, so Threads must not exceed the
 /// store's MaxThreads). Resets the store's stats, then reports:
 /// Commits/Aborts = the summed shard TM counters, ValueChecksum = final
-/// entry count across all shards.
+/// entry count across all shards. Sampled client-side latency lands in
+/// \p Metrics when non-null (null skips sampling entirely).
 RunResult runKvMix(kv::KvStore &Store, unsigned Threads,
-                   const KvMixConfig &Config);
+                   const KvMixConfig &Config,
+                   KvMixMetrics *Metrics = nullptr);
 
 /// Parameters of the asynchronous executor load.
 struct KvExecutorConfig {
@@ -73,13 +91,22 @@ struct KvExecutorConfig {
   double Theta = 0.8;
   double HotShardFrac = 0.0;
   uint64_t Seed = 42;
+  obs::Tracer *Trace = nullptr; ///< Arms executor-worker event tracing
+                                ///< (see RequestExecutor::Options::Trace).
 };
 
-/// Extra service-level metrics of one executor run.
+/// Extra service-level metrics of one executor run. Latency figures are
+/// client-observed submit-to-done times from merged per-client
+/// obs::LatencyHistograms (every request is recorded — the pipelined
+/// path amortizes the clock reads).
 struct KvExecutorMetrics {
   uint64_t Completed = 0;    ///< Requests completed.
   double MeanLatencyUs = 0;  ///< Mean submit-to-done latency.
+  double P99Us = 0;          ///< 99th-percentile latency.
+  double P999Us = 0;         ///< 99.9th-percentile latency.
   double MeanBatch = 0;      ///< Mean realized batch size.
+  obs::MetricsSnapshot Executor; ///< Final RequestExecutor::telemetry()
+                                 ///< (server-side histograms/counters).
 };
 
 /// Pumps Clients * OpsPerClient requests through a RequestExecutor over

@@ -1,0 +1,474 @@
+//===-- tests/ObsTest.cpp - Observability substrate tests -----------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// The src/obs contracts: histogram bucket geometry and golden
+/// percentiles, snapshot merging, concurrent recording (the TSan target
+/// for the lock-free claims), the metrics registry, trace-ring overwrite
+/// semantics, both trace exporters (Chrome JSON shape, binary
+/// round-trip incl. malformed-input rejection), the pinned name tables
+/// (trace events, abort causes), and the live statsSnapshot() path of
+/// every TM kind — monotone under load, exactly stats() at quiescence.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Obs.h"
+#include "stm/Stm.h"
+#include "support/RawOStream.h"
+#include "workload/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ptm;
+using namespace ptm::obs;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// LatencyHistogram geometry
+//===----------------------------------------------------------------------===//
+
+TEST(HistogramTest, ExactRegionBucketsAreIdentity) {
+  for (uint64_t V = 0; V < LatencyHistogram::kExactLimit; ++V) {
+    EXPECT_EQ(LatencyHistogram::bucketIndex(V), V);
+    EXPECT_EQ(LatencyHistogram::bucketUpperBound(static_cast<unsigned>(V)),
+              V);
+  }
+}
+
+TEST(HistogramTest, BucketBoundariesAtOctaveEdges) {
+  // First octave [32, 64): 16 sub-buckets of width 2.
+  EXPECT_EQ(LatencyHistogram::bucketIndex(32), 32u);
+  EXPECT_EQ(LatencyHistogram::bucketIndex(33), 32u);
+  EXPECT_EQ(LatencyHistogram::bucketIndex(34), 33u);
+  EXPECT_EQ(LatencyHistogram::bucketIndex(63), 47u);
+  // Second octave [64, 128): width 4.
+  EXPECT_EQ(LatencyHistogram::bucketIndex(64), 48u);
+  EXPECT_EQ(LatencyHistogram::bucketIndex(67), 48u);
+  EXPECT_EQ(LatencyHistogram::bucketIndex(68), 49u);
+  // The top of the value range still fits the bucket array.
+  EXPECT_LT(LatencyHistogram::bucketIndex(~uint64_t{0}),
+            LatencyHistogram::kBucketCount);
+}
+
+TEST(HistogramTest, BucketsPreserveOrderAndBoundError) {
+  unsigned Last = 0;
+  for (uint64_t V = 0; V < 100000; V = V < 64 ? V + 1 : V + V / 7) {
+    unsigned Index = LatencyHistogram::bucketIndex(V);
+    EXPECT_GE(Index, Last) << "bucket order broken at " << V;
+    Last = Index;
+    uint64_t Upper = LatencyHistogram::bucketUpperBound(Index);
+    EXPECT_GE(Upper, V);
+    // Relative quantization <= 2/kSubCount: each octave splits into
+    // kSubCount/2 sub-buckets.
+    EXPECT_LE((Upper - V) * (LatencyHistogram::kSubCount / 2), V)
+        << "quantization bound broken at " << V;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Golden percentiles
+//===----------------------------------------------------------------------===//
+
+TEST(HistogramTest, GoldenPercentilesExactRegion) {
+  LatencyHistogram H;
+  for (uint64_t V = 1; V <= 31; ++V)
+    H.record(V);
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 31u);
+  EXPECT_EQ(S.MaxValue, 31u);
+  EXPECT_EQ(S.percentile(50.0), 16u); // rank ceil(15.5) = 16.
+  EXPECT_EQ(S.percentile(100.0), 31u);
+  EXPECT_DOUBLE_EQ(S.mean(), 16.0);
+}
+
+TEST(HistogramTest, GoldenPercentilesQuantizedRegion) {
+  LatencyHistogram H;
+  for (uint64_t V = 1; V <= 100; ++V)
+    H.record(V);
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 100u);
+  // Rank 50 = value 50, which shares bucket {50, 51} -> upper edge 51.
+  EXPECT_EQ(S.percentile(50.0), 51u);
+  // Rank 99 = value 99, bucket {96..99} -> its own upper edge.
+  EXPECT_EQ(S.percentile(99.0), 99u);
+  // Rank 100 = value 100, bucket {100..103}.
+  EXPECT_EQ(S.percentile(99.9), 103u);
+  EXPECT_EQ(S.MaxValue, 100u);
+  EXPECT_DOUBLE_EQ(S.mean(), 50.5);
+}
+
+TEST(HistogramTest, PercentileOnEmptySnapshotIsZero) {
+  LatencyHistogram H;
+  EXPECT_EQ(H.snapshot().percentile(99.0), 0u);
+}
+
+TEST(HistogramTest, MergeAddsBucketsAndTakesMax) {
+  LatencyHistogram A, B;
+  for (uint64_t V = 1; V <= 50; ++V)
+    A.record(V);
+  for (uint64_t V = 51; V <= 100; ++V)
+    B.record(V);
+  HistogramSnapshot S = A.snapshot();
+  S.merge(B.snapshot());
+  HistogramSnapshot Whole = [] {
+    LatencyHistogram H;
+    for (uint64_t V = 1; V <= 100; ++V)
+      H.record(V);
+    return H.snapshot();
+  }();
+  EXPECT_EQ(S.Count, Whole.Count);
+  EXPECT_EQ(S.Sum, Whole.Sum);
+  EXPECT_EQ(S.MaxValue, Whole.MaxValue);
+  EXPECT_EQ(S.Buckets, Whole.Buckets);
+  // Merging into a default-constructed (empty-bucket) snapshot adopts
+  // the other's geometry.
+  HistogramSnapshot Empty;
+  Empty.merge(Whole);
+  EXPECT_EQ(Empty.Buckets, Whole.Buckets);
+  EXPECT_EQ(Empty.percentile(99.0), Whole.percentile(99.0));
+}
+
+// The TSan target for the wait-free record() claim: hammer one histogram
+// from several threads while the main thread keeps snapshotting, then
+// check the quiesced totals are exact.
+TEST(HistogramTest, ConcurrentRecordersAndSnapshotsAreExactAtQuiescence) {
+  LatencyHistogram H;
+  constexpr unsigned kThreads = 4;
+  constexpr uint64_t kPerThread = 20000;
+  std::atomic<bool> Done{false};
+  std::vector<std::thread> Recorders;
+  for (unsigned T = 0; T < kThreads; ++T)
+    Recorders.emplace_back([&H, T] {
+      for (uint64_t I = 0; I < kPerThread; ++I)
+        H.record(T * 1000 + (I % 97));
+    });
+  uint64_t LastCount = 0;
+  while (!Done.load(std::memory_order_relaxed)) {
+    HistogramSnapshot S = H.snapshot();
+    EXPECT_GE(S.Count, LastCount) << "snapshot count ran backwards";
+    LastCount = S.Count;
+    if (S.Count == kThreads * kPerThread)
+      Done.store(true, std::memory_order_relaxed);
+  }
+  for (std::thread &T : Recorders)
+    T.join();
+  HistogramSnapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, kThreads * kPerThread);
+  uint64_t ExpectSum = 0, ExpectMax = 0;
+  for (unsigned T = 0; T < kThreads; ++T)
+    for (uint64_t I = 0; I < kPerThread; ++I) {
+      ExpectSum += T * 1000 + (I % 97);
+      ExpectMax = std::max(ExpectMax, T * 1000 + (I % 97));
+    }
+  EXPECT_EQ(S.Sum, ExpectSum);
+  EXPECT_EQ(S.MaxValue, ExpectMax);
+}
+
+//===----------------------------------------------------------------------===//
+// Counters, gauges, registry
+//===----------------------------------------------------------------------===//
+
+TEST(MetricsTest, ShardedCounterSumsOwnedCells) {
+  ShardedCounter C(4);
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < 4; ++T)
+    Threads.emplace_back([&C, T] {
+      for (uint64_t I = 0; I < kPerThread; ++I)
+        C.cell(T).inc();
+    });
+  // Concurrent reads must be monotone (each cell is single-writer).
+  uint64_t Last = 0;
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = C.value();
+    EXPECT_GE(V, Last);
+    Last = V;
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(C.value(), 4 * kPerThread);
+  C.reset();
+  EXPECT_EQ(C.value(), 0u);
+}
+
+TEST(MetricsTest, RegistryIsCreateOrGetWithSortedSnapshots) {
+  MetricsRegistry R;
+  ShardedCounter &C1 = R.counter("b.count", 2);
+  ShardedCounter &C2 = R.counter("b.count", 2);
+  EXPECT_EQ(&C1, &C2);
+  R.counter("a.count", 1).cell(0).inc(7);
+  R.gauge("z.depth").set(-3);
+  R.histogram("m.lat").record(42);
+  C1.cell(1).inc(5);
+
+  MetricsSnapshot S1 = R.snapshot();
+  MetricsSnapshot S2 = R.snapshot();
+  EXPECT_LT(S1.Epoch, S2.Epoch);
+  ASSERT_EQ(S1.Counters.size(), 2u);
+  EXPECT_EQ(S1.Counters[0].Name, "a.count"); // Sorted by name.
+  EXPECT_EQ(S1.counter("a.count"), 7u);
+  EXPECT_EQ(S1.counter("b.count"), 5u);
+  EXPECT_EQ(S1.counter("no.such"), 0u);
+  EXPECT_EQ(S1.gauge("z.depth"), -3);
+  ASSERT_NE(S1.histogram("m.lat"), nullptr);
+  EXPECT_EQ(S1.histogram("m.lat")->Count, 1u);
+  EXPECT_EQ(S1.histogram("no.such"), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace ring and exporters
+//===----------------------------------------------------------------------===//
+
+TEST(TraceTest, RingOverwritesOldestAndCountsDropped) {
+  TraceRing Ring(6); // Rounds up to 8.
+  EXPECT_EQ(Ring.capacity(), 8u);
+  for (uint64_t I = 0; I < 11; ++I)
+    Ring.append(TraceEventKind::TE_Read, I);
+  EXPECT_EQ(Ring.size(), 8u);
+  EXPECT_EQ(Ring.dropped(), 3u);
+  // Oldest-first: args 3..10 survive.
+  for (size_t I = 0; I < Ring.size(); ++I)
+    EXPECT_EQ(Ring.at(I).Arg, I + 3);
+  // Per-thread timestamps are monotone by construction.
+  for (size_t I = 1; I < Ring.size(); ++I)
+    EXPECT_GE(Ring.at(I).TimeNs, Ring.at(I - 1).TimeNs);
+  Ring.clear();
+  EXPECT_EQ(Ring.size(), 0u);
+  EXPECT_EQ(Ring.dropped(), 0u);
+}
+
+TEST(TraceTest, EventNamesArePinnedAndDistinct) {
+  std::set<std::string> Names;
+  for (unsigned K = 0; K < kNumTraceEventKinds; ++K) {
+    const char *Name = traceEventName(static_cast<TraceEventKind>(K));
+    ASSERT_NE(Name, nullptr);
+    EXPECT_NE(*Name, '\0');
+    EXPECT_TRUE(Names.insert(Name).second)
+        << "duplicate trace event name '" << Name << "'";
+  }
+  // The vocabulary tools/check_trace_json.py pins.
+  EXPECT_TRUE(Names.count("txn"));
+  EXPECT_TRUE(Names.count("txn-ro"));
+  EXPECT_TRUE(Names.count("tryCommit"));
+  EXPECT_TRUE(Names.count("read"));
+  EXPECT_TRUE(Names.count("write"));
+  EXPECT_TRUE(Names.count("extend"));
+  EXPECT_TRUE(Names.count("snapshot-pin"));
+}
+
+/// A small two-thread dump with every structural case: a committed
+/// transaction, an aborted one, and a read-only transaction with a pin.
+TraceDump makeSampleDump() {
+  Tracer T(2, 16);
+  TraceRing &R0 = T.ring(0);
+  R0.append(TraceEventKind::TE_TxBegin, 0);
+  R0.append(TraceEventKind::TE_Read, 11);
+  R0.append(TraceEventKind::TE_Write, 12);
+  R0.append(TraceEventKind::TE_TryCommit, 0);
+  R0.append(TraceEventKind::TE_Commit, 0);
+  R0.append(TraceEventKind::TE_TxBegin, 0);
+  R0.append(TraceEventKind::TE_Read, 13);
+  R0.append(TraceEventKind::TE_TryCommit, 0);
+  R0.append(TraceEventKind::TE_Abort,
+            static_cast<uint64_t>(AbortCause::AC_CommitValidation));
+  TraceRing &R1 = T.ring(1);
+  R1.append(TraceEventKind::TE_TxBeginRo, 0);
+  R1.append(TraceEventKind::TE_SnapshotPin, 41);
+  R1.append(TraceEventKind::TE_Read, 14);
+  R1.append(TraceEventKind::TE_Extend, 55);
+  R1.append(TraceEventKind::TE_Commit, 0);
+  return dumpTrace(T);
+}
+
+TEST(TraceTest, ChromeExportIsBalancedAndTagged) {
+  TraceDump Dump = makeSampleDump();
+  EXPECT_EQ(Dump.eventCount(), 14u);
+  std::string Json;
+  StringOStream OS(Json);
+  writeChromeTraceJson(OS, Dump);
+
+  auto CountSub = [&Json](const std::string &Needle) {
+    size_t N = 0;
+    for (size_t At = Json.find(Needle); At != std::string::npos;
+         At = Json.find(Needle, At + Needle.size()))
+      ++N;
+    return N;
+  };
+  EXPECT_NE(Json.find("\"schema\":\"ptm-trace-v1\""), std::string::npos);
+  EXPECT_NE(Json.find("\"time_unit\":\"us\""), std::string::npos);
+  // Balanced B/E pairs: 3 transactions + 2 tryCommit phases.
+  EXPECT_EQ(CountSub("\"ph\":\"B\""), 5u);
+  EXPECT_EQ(CountSub("\"ph\":\"E\""), 5u);
+  EXPECT_EQ(CountSub("\"ph\":\"i\""), 6u); // 3 reads, 1 write, pin, extend.
+  EXPECT_EQ(CountSub("\"outcome\":\"commit\""), 2u);
+  EXPECT_EQ(CountSub("\"outcome\":\"abort\""), 1u);
+  EXPECT_NE(Json.find("\"cause\":\"commit-validation\""), std::string::npos);
+  EXPECT_NE(Json.find("\"name\":\"txn-ro\""), std::string::npos);
+}
+
+TEST(TraceTest, ChromeExportClosesDanglingOpensFromOverwrite) {
+  // A ring that lost its begin events must still export balanced pairs
+  // (the gate's stack-discipline check would fail otherwise).
+  Tracer T(1, 4);
+  TraceRing &R = T.ring(0);
+  for (int Txn = 0; Txn < 3; ++Txn) {
+    R.append(TraceEventKind::TE_TxBegin, 0);
+    R.append(TraceEventKind::TE_Read, 1);
+    R.append(TraceEventKind::TE_TryCommit, 0);
+    R.append(TraceEventKind::TE_Commit, 0);
+  }
+  R.append(TraceEventKind::TE_TxBegin, 0); // Dangling: no outcome yet.
+  R.append(TraceEventKind::TE_Read, 2);
+  TraceDump Dump = dumpTrace(T);
+  EXPECT_GT(Dump.Threads.at(0).Dropped, 0u);
+  std::string Json;
+  StringOStream OS(Json);
+  writeChromeTraceJson(OS, Dump);
+  size_t Begins = 0, Ends = 0;
+  for (size_t At = Json.find("\"ph\":\"B\""); At != std::string::npos;
+       At = Json.find("\"ph\":\"B\"", At + 1))
+    ++Begins;
+  for (size_t At = Json.find("\"ph\":\"E\""); At != std::string::npos;
+       At = Json.find("\"ph\":\"E\"", At + 1))
+    ++Ends;
+  EXPECT_EQ(Begins, Ends);
+}
+
+TEST(TraceTest, BinaryRoundTripReproducesTheDump) {
+  TraceDump Dump = makeSampleDump();
+  std::vector<uint8_t> Bin = serializeTraceBinary(Dump);
+  TraceDump Back;
+  ASSERT_TRUE(deserializeTraceBinary(Bin.data(), Bin.size(), Back));
+  ASSERT_EQ(Back.Threads.size(), Dump.Threads.size());
+  for (size_t T = 0; T < Dump.Threads.size(); ++T) {
+    EXPECT_EQ(Back.Threads[T].Tid, Dump.Threads[T].Tid);
+    EXPECT_EQ(Back.Threads[T].Dropped, Dump.Threads[T].Dropped);
+    ASSERT_EQ(Back.Threads[T].Events.size(), Dump.Threads[T].Events.size());
+    for (size_t I = 0; I < Dump.Threads[T].Events.size(); ++I) {
+      EXPECT_EQ(Back.Threads[T].Events[I].TimeNs,
+                Dump.Threads[T].Events[I].TimeNs);
+      EXPECT_EQ(Back.Threads[T].Events[I].Arg,
+                Dump.Threads[T].Events[I].Arg);
+      EXPECT_EQ(Back.Threads[T].Events[I].Kind,
+                Dump.Threads[T].Events[I].Kind);
+    }
+  }
+}
+
+TEST(TraceTest, BinaryDeserializeRejectsMalformedInput) {
+  TraceDump Dump = makeSampleDump();
+  std::vector<uint8_t> Bin = serializeTraceBinary(Dump);
+  TraceDump Out;
+  // Truncations at every prefix length must fail cleanly, not crash.
+  for (size_t Size = 0; Size < Bin.size(); Size += 7)
+    EXPECT_FALSE(deserializeTraceBinary(Bin.data(), Size, Out))
+        << "accepted a truncation to " << Size << " bytes";
+  // Corrupt magic.
+  std::vector<uint8_t> Bad = Bin;
+  Bad[0] ^= 0xff;
+  EXPECT_FALSE(deserializeTraceBinary(Bad.data(), Bad.size(), Out));
+  // An event-kind byte beyond the enum.
+  Bad = Bin;
+  Bad.back() = 0xee; // Last byte of the last event is its Kind.
+  EXPECT_FALSE(deserializeTraceBinary(Bad.data(), Bad.size(), Out));
+  // Trailing garbage.
+  Bad = Bin;
+  Bad.push_back(0);
+  EXPECT_FALSE(deserializeTraceBinary(Bad.data(), Bad.size(), Out));
+  // The pristine buffer still parses (the mutations above copied).
+  EXPECT_TRUE(deserializeTraceBinary(Bin.data(), Bin.size(), Out));
+}
+
+//===----------------------------------------------------------------------===//
+// Pinned abort-cause names
+//===----------------------------------------------------------------------===//
+
+TEST(AbortCauseTest, NamesAreExhaustiveAndDistinct) {
+  std::set<std::string> Names;
+  for (unsigned C = 0; C < kNumAbortCauses; ++C) {
+    const char *Name = abortCauseName(static_cast<AbortCause>(C));
+    ASSERT_NE(Name, nullptr) << "cause " << C;
+    EXPECT_NE(*Name, '\0') << "cause " << C;
+    EXPECT_TRUE(Names.insert(Name).second)
+        << "duplicate abort cause name '" << Name << "'";
+  }
+}
+
+TEST(AbortCauseTest, TmStatsAggregationMatchesHandSummation) {
+  TmStats A, B;
+  A.Commits = 10;
+  A.Aborts[static_cast<unsigned>(AbortCause::AC_ReadValidation)] = 3;
+  B.Commits = 5;
+  B.Aborts[static_cast<unsigned>(AbortCause::AC_ReadValidation)] = 2;
+  B.Aborts[static_cast<unsigned>(AbortCause::AC_LockHeld)] = 4;
+  TmStats Sum = A + B;
+  EXPECT_EQ(Sum.Commits, 15u);
+  EXPECT_EQ(Sum.totalAborts(), 9u);
+  EXPECT_DOUBLE_EQ(Sum.abortRatio(), 9.0 / 24.0);
+  A += B;
+  EXPECT_EQ(A.Commits, Sum.Commits);
+  EXPECT_EQ(A.totalAborts(), Sum.totalAborts());
+}
+
+//===----------------------------------------------------------------------===//
+// Live statsSnapshot() on every TM kind
+//===----------------------------------------------------------------------===//
+
+class ObsStatsTest : public ::testing::TestWithParam<TmKind> {};
+
+std::string paramName(const ::testing::TestParamInfo<TmKind> &Info) {
+  std::string Name = tmKindName(Info.param);
+  for (char &C : Name)
+    if (C == '-')
+      C = '_';
+  return Name;
+}
+
+// statsSnapshot() may be called while transactions run (no quiescence
+// assert), must be monotone in commits, and must equal the exact
+// quiescent stats() once the workload joins.
+TEST_P(ObsStatsTest, SnapshotIsLiveMonotoneAndConvergesToStats) {
+  constexpr unsigned kThreads = 4;
+  auto M = createTm(GetParam(), /*NumObjects=*/8, kThreads);
+  std::atomic<bool> Done{false};
+  uint64_t LastCommits = 0;
+  uint64_t Polls = 0;
+  std::thread Poller([&] {
+    while (!Done.load(std::memory_order_acquire)) {
+      TmStats Live = M->statsSnapshot();
+      EXPECT_GE(Live.Commits, LastCommits) << "live commits ran backwards";
+      LastCommits = Live.Commits;
+      ++Polls;
+      std::this_thread::yield();
+    }
+  });
+  RunResult R = runHotspot(*M, kThreads, 3000);
+  Done.store(true, std::memory_order_release);
+  Poller.join();
+  EXPECT_GT(Polls, 0u);
+
+  TmStats Live = M->statsSnapshot();
+  TmStats Exact = M->stats();
+  EXPECT_EQ(Live.Commits, Exact.Commits);
+  EXPECT_EQ(Live.totalAborts(), Exact.totalAborts());
+  for (unsigned C = 0; C < kNumAbortCauses; ++C)
+    EXPECT_EQ(Live.Aborts[C], Exact.Aborts[C]) << abortCauseName(
+        static_cast<AbortCause>(C));
+  EXPECT_EQ(Exact.Commits, R.Commits);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTms, ObsStatsTest,
+                         ::testing::ValuesIn(allTmKinds()), paramName);
+
+} // namespace

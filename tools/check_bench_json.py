@@ -19,7 +19,10 @@ Validates one consolidated JSON document produced by ``run_all --json``
   * with ``--dir``, each family's per-family file exists, validates by the
     same rules, and contains exactly that family's rows;
   * with ``--expect-family``, the named families must be registered — CI
-    pins the known family list so a vanished benchmark fails the PR.
+    pins the known family list so a vanished benchmark fails the PR;
+  * with ``--expect-metric FAMILY:METRIC``, at least one result row of
+    that family must report that metric — CI pins the telemetry columns
+    (p99_latency, abort_ratio, ...) so a dropped metric row fails too.
 
 Exit status 0 when everything holds, 1 with one line per violation.
 """
@@ -109,8 +112,13 @@ def check_row(gate, doc, index, row, families_by_benchmark):
         gate.fail(doc, f"{where}: negative stddev ({row['stddev']})")
 
 
-def check_document(gate, path, expect_single_family=None):
-    """Validates one ptm-bench-v1 document; returns its family set."""
+def check_document(gate, path, expect_single_family=None,
+                   metric_pairs=None):
+    """Validates one ptm-bench-v1 document; returns its family set.
+
+    When ``metric_pairs`` is a set, every result row's
+    ``(family, metric)`` pair is added to it.
+    """
     doc = os.path.basename(path)
     try:
         with open(path, "r", encoding="utf-8") as handle:
@@ -156,6 +164,10 @@ def check_document(gate, path, expect_single_family=None):
         results = []
     for index, row in enumerate(results):
         check_row(gate, doc, index, row, families_by_benchmark)
+        if metric_pairs is not None and isinstance(row, dict) \
+                and isinstance(row.get("family"), str) \
+                and isinstance(row.get("metric"), str):
+            metric_pairs.add((row["family"], row["metric"]))
 
     families = set(families_by_benchmark.values())
     covered = {row.get("family") for row in results
@@ -180,15 +192,32 @@ def main():
                              "files (run_all --json-dir)")
     parser.add_argument("--expect-family", action="append", default=[],
                         help="family that must be registered (repeatable)")
+    parser.add_argument("--expect-metric", action="append", default=[],
+                        metavar="FAMILY:METRIC",
+                        help="metric that some row of FAMILY must report "
+                             "(repeatable)")
     args = parser.parse_args()
 
     gate = Gate()
-    families = check_document(gate, args.consolidated)
+    metric_pairs = set()
+    families = check_document(gate, args.consolidated,
+                              metric_pairs=metric_pairs)
 
     for family in args.expect_family:
         if family not in families:
             gate.fail(os.path.basename(args.consolidated),
                       f"expected family '{family}' is not registered")
+
+    for expectation in args.expect_metric:
+        family, sep, metric = expectation.partition(":")
+        if not sep or not family or not metric:
+            gate.fail(os.path.basename(args.consolidated),
+                      f"malformed --expect-metric {expectation!r} "
+                      f"(use FAMILY:METRIC)")
+        elif (family, metric) not in metric_pairs:
+            gate.fail(os.path.basename(args.consolidated),
+                      f"expected metric '{metric}' has no result row in "
+                      f"family '{family}'")
 
     if args.family_dir:
         for family in sorted(families):

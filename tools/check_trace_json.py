@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""Schema and well-formedness gate for the ptm-trace-v1 trace export.
+
+Validates one Chrome ``trace_event`` JSON document produced by the
+``obs::writeChromeTraceJson`` exporter (``kv_server --trace``, or any
+program dumping an ``obs::Tracer``):
+
+  * the document parses, carries ``otherData.schema == "ptm-trace-v1"``
+    with ``time_unit == "us"`` and a non-negative integer
+    ``dropped_events``, and has a non-empty ``traceEvents`` array;
+  * every event has the fixed shape ``name/cat/ph/ts/pid/tid`` with
+    ``cat == "tm"``, ``ph`` one of B/E/i, a finite non-negative ``ts``
+    and integer ``pid``/``tid``; instant events additionally carry
+    ``s == "t"`` (thread scope);
+  * event names come from the pinned vocabulary — ``txn``, ``txn-ro``,
+    ``tryCommit`` as B/E duration pairs and ``read``, ``write``,
+    ``extend``, ``snapshot-pin`` as instants — so a renamed or novel
+    event kind fails the gate instead of silently shifting the schema;
+  * per tid, timestamps are non-decreasing in array order (the exporter
+    emits each thread's ring oldest-first);
+  * per tid, B/E pairs balance with stack discipline and matching names
+    — the exporter must re-balance across ring-overwrite gaps, and this
+    is the check that proves it did — and every stack is empty at the
+    end of the document;
+  * every ``txn``/``txn-ro`` close carries ``args.outcome`` of
+    ``commit`` or ``abort``, and aborts name their cause;
+  * with ``--require-event``, the named event must occur at least once
+    (CI uses this to assert the trace is not an empty shell).
+
+Exit status 0 when everything holds, 1 with one line per violation.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+DURATION_NAMES = {"txn", "txn-ro", "tryCommit"}
+INSTANT_NAMES = {"read", "write", "extend", "snapshot-pin"}
+OUTCOMES = {"commit", "abort"}
+
+
+class Gate:
+    """Collects violations with their document context."""
+
+    def __init__(self, doc):
+        self.doc = doc
+        self.violations = []
+
+    def fail(self, message):
+        self.violations.append(f"{self.doc}: {message}")
+
+    def ok(self):
+        return not self.violations
+
+
+def is_finite_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool) \
+        and math.isfinite(value)
+
+
+def check_header(gate, data):
+    other = data.get("otherData")
+    if not isinstance(other, dict):
+        gate.fail("otherData missing or not an object")
+        return
+    if other.get("schema") != "ptm-trace-v1":
+        gate.fail(f"schema is {other.get('schema')!r}, "
+                  f"expected 'ptm-trace-v1'")
+    if other.get("time_unit") != "us":
+        gate.fail(f"time_unit is {other.get('time_unit')!r}, expected 'us'")
+    dropped = other.get("dropped_events")
+    if not isinstance(dropped, int) or isinstance(dropped, bool) \
+            or dropped < 0:
+        gate.fail(f"dropped_events must be a non-negative integer "
+                  f"({dropped!r})")
+
+
+def check_event_shape(gate, where, event):
+    """Structural checks on one event; returns False when too broken to
+    feed the per-thread ordering/balance analysis."""
+    if not isinstance(event, dict):
+        gate.fail(f"{where}: not an object")
+        return False
+    name = event.get("name")
+    phase = event.get("ph")
+    if phase not in ("B", "E", "i"):
+        gate.fail(f"{where}: unknown phase {phase!r}")
+        return False
+    allowed = DURATION_NAMES if phase in ("B", "E") else INSTANT_NAMES
+    if name not in allowed:
+        gate.fail(f"{where}: name {name!r} is not a pinned "
+                  f"{'duration' if phase in ('B', 'E') else 'instant'} "
+                  f"event name")
+    if event.get("cat") != "tm":
+        gate.fail(f"{where}: cat is {event.get('cat')!r}, expected 'tm'")
+    if not is_finite_number(event.get("ts")) or event["ts"] < 0:
+        gate.fail(f"{where}: ts must be a finite non-negative number "
+                  f"({event.get('ts')!r})")
+        return False
+    for key in ("pid", "tid"):
+        if not isinstance(event.get(key), int) \
+                or isinstance(event.get(key), bool):
+            gate.fail(f"{where}: {key} must be an integer "
+                      f"({event.get(key)!r})")
+            return False
+    if phase == "i" and event.get("s") != "t":
+        gate.fail(f"{where}: instant event must carry s == 't' "
+                  f"({event.get('s')!r})")
+    if phase == "E" and name in ("txn", "txn-ro"):
+        args = event.get("args")
+        outcome = args.get("outcome") if isinstance(args, dict) else None
+        if outcome not in OUTCOMES:
+            gate.fail(f"{where}: transaction close must carry "
+                      f"args.outcome of commit/abort ({outcome!r})")
+        elif outcome == "abort" and not (isinstance(args.get("cause"), str)
+                                         and args["cause"]):
+            gate.fail(f"{where}: abort close must name its cause "
+                      f"({args.get('cause')!r})")
+    return True
+
+
+def check_events(gate, events, require):
+    seen = set()
+    last_ts = {}    # tid -> last timestamp
+    stacks = {}     # tid -> open duration-event name stack
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not check_event_shape(gate, where, event):
+            continue
+        name, phase, ts, tid = (event["name"], event["ph"], event["ts"],
+                                event["tid"])
+        seen.add(name)
+        if tid in last_ts and ts < last_ts[tid]:
+            gate.fail(f"{where}: ts {ts} regresses below {last_ts[tid]} "
+                      f"on tid {tid}")
+        last_ts[tid] = ts
+        stack = stacks.setdefault(tid, [])
+        if phase == "B":
+            stack.append(name)
+        elif phase == "E":
+            if not stack:
+                gate.fail(f"{where}: E '{name}' on tid {tid} with no "
+                          f"open B")
+            elif stack[-1] != name:
+                gate.fail(f"{where}: E '{name}' on tid {tid} closes "
+                          f"open '{stack[-1]}'")
+            else:
+                stack.pop()
+    for tid in sorted(stacks):
+        for name in stacks[tid]:
+            gate.fail(f"tid {tid}: B '{name}' never closed")
+    for name in require:
+        if name not in seen:
+            gate.fail(f"required event '{name}' never occurs")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="ptm-trace-v1 JSON to validate")
+    parser.add_argument("--require-event", action="append", default=[],
+                        metavar="NAME",
+                        help="event name that must occur at least once "
+                             "(repeatable)")
+    args = parser.parse_args()
+
+    gate = Gate(os.path.basename(args.trace))
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as err:
+        gate.fail(f"cannot read: {err}")
+    except json.JSONDecodeError as err:
+        gate.fail(f"invalid JSON: {err}")
+    else:
+        if not isinstance(data, dict):
+            gate.fail("top level is not an object")
+        else:
+            check_header(gate, data)
+            events = data.get("traceEvents")
+            if not isinstance(events, list) or not events:
+                gate.fail("traceEvents missing or empty")
+            else:
+                check_events(gate, events, args.require_event)
+
+    if not gate.ok():
+        for violation in gate.violations:
+            print(f"check_trace_json: {violation}", file=sys.stderr)
+        print(f"check_trace_json: FAILED with {len(gate.violations)} "
+              f"violation(s)", file=sys.stderr)
+        return 1
+    print("check_trace_json: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
