@@ -53,59 +53,84 @@ void benchDsMix(bench::BenchContext &Ctx) {
 
   struct Shape {
     std::string Label;
-    std::function<RunResult(TmKind, unsigned)> Run;
+    std::function<RunResult(TmKind, unsigned, const TmConfig &)> Run;
   };
   const std::vector<Shape> Shapes = {
       {"set_mix",
-       [&](TmKind Kind, unsigned Threads) {
+       [&](TmKind Kind, unsigned Threads, const TmConfig &TmCfg) {
          uint64_t Capacity = KeySpace + Threads;
-         auto M = createTm(Kind, ds::TxSet::objectsNeeded(Capacity), Threads);
+         auto M = createTm(Kind, ds::TxSet::objectsNeeded(Capacity), Threads,
+                           TmCfg);
          ds::TxSet Set(*M, 0, Capacity);
          return runDsSetMix(Set, Threads, Ops, /*InsertProb=*/0.2,
                             /*RemoveProb=*/0.2, KeySpace, /*Theta=*/0.8, 42);
        }},
       {"map_read",
-       [&](TmKind Kind, unsigned Threads) {
+       [&](TmKind Kind, unsigned Threads, const TmConfig &TmCfg) {
          uint64_t Capacity = KeySpace + Threads;
          auto M = createTm(Kind, ds::TxMap::objectsNeeded(Buckets, Capacity),
-                           Threads);
+                           Threads, TmCfg);
          ds::TxMap Map(*M, 0, Buckets, Capacity);
          return runDsMapMix(Map, Threads, Ops, /*GetProb=*/0.9, KeySpace,
                             /*Theta=*/0.8, 42);
        }},
       {"map_write",
-       [&](TmKind Kind, unsigned Threads) {
+       [&](TmKind Kind, unsigned Threads, const TmConfig &TmCfg) {
          uint64_t Capacity = KeySpace + Threads;
          auto M = createTm(Kind, ds::TxMap::objectsNeeded(Buckets, Capacity),
-                           Threads);
+                           Threads, TmCfg);
          ds::TxMap Map(*M, 0, Buckets, Capacity);
          return runDsMapMix(Map, Threads, Ops, /*GetProb=*/0.5, KeySpace,
                             /*Theta=*/0.9, 42);
        }},
       {"counter",
-       [&](TmKind Kind, unsigned Threads) {
+       [&](TmKind Kind, unsigned Threads, const TmConfig &TmCfg) {
          auto M = createTm(Kind, ds::TxCounter::objectsNeeded(Threads),
-                           Threads);
+                           Threads, TmCfg);
          ds::TxCounter Counter(*M, 0, Threads);
          return runDsCounterLoad(Counter, Threads, Ops, /*ReadProb=*/0.1, 42);
        }},
   };
 
-  for (const Shape &S : Shapes) {
-    for (TmKind Kind : allTmKinds()) {
-      for (unsigned N : Counts) {
-        bench::ResultRow Row;
-        Row.Tm = tmKindName(Kind);
-        Row.Threads = N;
-        Row.Params = {bench::param("workload", S.Label),
-                      bench::param("ops_per_thread", Ops)};
-        Row.Metric = "throughput";
-        Row.Unit = "txn/s";
-        Row.Stats = Ctx.measure(
-            [&] { return S.Run(Kind, N).throughputPerSec(); });
-        Ctx.report(Row);
-      }
-    }
+  // One measured row; the TM's clock and contention-manager configuration
+  // ride along as params so the (clock, cm) dimension is on every row.
+  auto RunCell = [&](const Shape &S, TmKind Kind, unsigned N,
+                     const TmConfig &TmCfg) {
+    bench::ResultRow Row;
+    Row.Tm = tmKindName(Kind);
+    Row.Threads = N;
+    Row.Params = {bench::param("workload", S.Label),
+                  bench::param("ops_per_thread", Ops),
+                  bench::param("clock", clockKindName(TmCfg.Clock)),
+                  bench::param("cm", cmKindName(TmCfg.Cm))};
+    Row.Metric = "throughput";
+    Row.Unit = "txn/s";
+    Row.Stats =
+        Ctx.measure([&] { return S.Run(Kind, N, TmCfg).throughputPerSec(); });
+    Ctx.report(Row);
+  };
+
+  for (const Shape &S : Shapes)
+    for (TmKind Kind : allTmKinds())
+      for (unsigned N : Counts)
+        RunCell(S, Kind, N, TmConfig());
+
+  // The (clock, cm) sweep on the contended Zipf set at the widest thread
+  // count: non-default clocks under the default CM and non-default CMs
+  // under the default clock, on the two clock-based TMs — tl2 (fixed
+  // snapshot, aborts on clock staleness) and orec-ts (extends instead),
+  // whose different abort rates give the wait policy different leverage.
+  const unsigned MaxN = *std::max_element(Counts.begin(), Counts.end());
+  std::vector<TmConfig> Combos;
+  for (ClockKind Clock : allClockKinds())
+    if (Clock != ClockKind::CK_Gv1)
+      Combos.push_back({Clock, CmKind::CM_Backoff});
+  for (CmKind Cm : allCmKinds())
+    if (Cm != CmKind::CM_Backoff)
+      Combos.push_back({ClockKind::CK_Gv1, Cm});
+  for (const TmConfig &TmCfg : Combos) {
+    RunCell(Shapes.front(), TmKind::TK_Tl2, MaxN, TmCfg);
+    RunCell(Shapes.front(), TmKind::TK_OrecTs, MaxN, TmCfg);
   }
 
   // The queue pipeline needs both ends, so the sweep count is split into
@@ -128,7 +153,9 @@ void benchDsMix(bench::BenchContext &Ctx) {
       Row.Params = {bench::param("workload", "queue"),
                     bench::param("ops_per_thread", Ops),
                     bench::param("producers", uint64_t{Producers}),
-                    bench::param("consumers", uint64_t{Consumers})};
+                    bench::param("consumers", uint64_t{Consumers}),
+                    bench::param("clock", clockKindName(ClockKind::CK_Gv1)),
+                    bench::param("cm", cmKindName(CmKind::CM_Backoff))};
       Row.Metric = "throughput";
       Row.Unit = "txn/s";
       Row.Stats = Ctx.measure([&, P = Producers, C = Consumers] {

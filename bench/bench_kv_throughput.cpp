@@ -36,6 +36,7 @@
 #include "stm/Tm.h"
 #include "workload/KvWorkload.h"
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -58,71 +59,98 @@ void benchKvThroughput(bench::BenchContext &Ctx) {
   const std::vector<Scenario> Scenarios = {{"uniform", 0.0},
                                            {"hot_shard", 0.75}};
 
-  for (const Scenario &Sc : Scenarios) {
-    for (TmKind Kind : allTmKinds()) {
-      for (unsigned Shards : ShardCounts) {
-        for (unsigned N : Counts) {
-          // One run feeds four metrics (throughput + the telemetry
-          // columns), so collect companions per rep and slice them to
-          // the measured repetitions afterwards (warmups at the front).
-          std::vector<double> ThroughputSamples, P99Samples, P999Samples,
-              AbortSamples;
-          auto RunOnce = [&] {
-            kv::KvConfig Cfg;
-            Cfg.ShardCount = Shards;
-            Cfg.BucketsPerShard = 64;
-            // Room for the whole key space landing in one shard (the
-            // hot-shard scenario concentrates inserts).
-            Cfg.CapacityPerShard = KeySpace + N;
-            Cfg.Kind = Kind;
-            Cfg.MaxThreads = N;
-            auto Store = kv::KvStore::create(Cfg);
-            KvMixConfig Mix;
-            Mix.OpsPerThread = Ops;
-            Mix.KeySpace = KeySpace;
-            Mix.HotShardFrac = Sc.HotShardFrac;
-            Mix.Seed = 42;
-            KvMixMetrics Metrics;
-            RunResult R = runKvMix(*Store, N, Mix, &Metrics);
-            uint64_t Tried = R.Commits + R.Aborts;
-            ThroughputSamples.push_back(R.throughputPerSec());
-            P99Samples.push_back(Metrics.P99Us);
-            P999Samples.push_back(Metrics.P999Us);
-            AbortSamples.push_back(
-                Tried == 0 ? 0.0
-                           : 100.0 * static_cast<double>(R.Aborts) /
-                                 static_cast<double>(Tried));
-            return ThroughputSamples.back();
-          };
-          bench::SampleStats Throughput = Ctx.measure(RunOnce);
-          auto Tail = [&](const std::vector<double> &All) {
-            std::vector<double> Measured(
-                All.end() - static_cast<long>(Throughput.reps()), All.end());
-            return bench::SampleStats::compute(std::move(Measured));
-          };
+  // One measured cell: runs the mix and reports all four metrics, with
+  // the TM's clock and contention-manager configuration as row params so
+  // the (clock, cm) dimension is present on every row of the family.
+  auto RunCell = [&](const Scenario &Sc, TmKind Kind, unsigned Shards,
+                     unsigned N, const TmConfig &TmCfg) {
+    // One run feeds four metrics (throughput + the telemetry
+    // columns), so collect companions per rep and slice them to
+    // the measured repetitions afterwards (warmups at the front).
+    std::vector<double> ThroughputSamples, P99Samples, P999Samples,
+        AbortSamples;
+    auto RunOnce = [&] {
+      kv::KvConfig Cfg;
+      Cfg.ShardCount = Shards;
+      Cfg.BucketsPerShard = 64;
+      // Room for the whole key space landing in one shard (the
+      // hot-shard scenario concentrates inserts).
+      Cfg.CapacityPerShard = KeySpace + N;
+      Cfg.Kind = Kind;
+      Cfg.MaxThreads = N;
+      Cfg.Tm = TmCfg;
+      auto Store = kv::KvStore::create(Cfg);
+      KvMixConfig Mix;
+      Mix.OpsPerThread = Ops;
+      Mix.KeySpace = KeySpace;
+      Mix.HotShardFrac = Sc.HotShardFrac;
+      Mix.Seed = 42;
+      KvMixMetrics Metrics;
+      RunResult R = runKvMix(*Store, N, Mix, &Metrics);
+      uint64_t Tried = R.Commits + R.Aborts;
+      ThroughputSamples.push_back(R.throughputPerSec());
+      P99Samples.push_back(Metrics.P99Us);
+      P999Samples.push_back(Metrics.P999Us);
+      AbortSamples.push_back(
+          Tried == 0 ? 0.0
+                     : 100.0 * static_cast<double>(R.Aborts) /
+                           static_cast<double>(Tried));
+      return ThroughputSamples.back();
+    };
+    bench::SampleStats Throughput = Ctx.measure(RunOnce);
+    auto Tail = [&](const std::vector<double> &All) {
+      std::vector<double> Measured(
+          All.end() - static_cast<long>(Throughput.reps()), All.end());
+      return bench::SampleStats::compute(std::move(Measured));
+    };
 
-          auto Report = [&](const std::string &Metric,
-                            const std::string &Unit,
-                            const bench::SampleStats &Stats) {
-            bench::ResultRow Row;
-            Row.Tm = tmKindName(Kind);
-            Row.Threads = N;
-            Row.Params = {bench::param("shards", uint64_t{Shards}),
-                          bench::param("scenario", Sc.Label),
-                          bench::param("keyspace", KeySpace),
-                          bench::param("ops_per_thread", Ops)};
-            Row.Metric = Metric;
-            Row.Unit = Unit;
-            Row.Stats = Stats;
-            Ctx.report(Row);
-          };
-          Report("throughput", "txn/s", Throughput);
-          Report("p99_latency", "us", Tail(P99Samples));
-          Report("p999_latency", "us", Tail(P999Samples));
-          Report("abort_ratio", "%", Tail(AbortSamples));
-        }
-      }
-    }
+    auto Report = [&](const std::string &Metric, const std::string &Unit,
+                      const bench::SampleStats &Stats) {
+      bench::ResultRow Row;
+      Row.Tm = tmKindName(Kind);
+      Row.Threads = N;
+      Row.Params = {bench::param("shards", uint64_t{Shards}),
+                    bench::param("scenario", Sc.Label),
+                    bench::param("keyspace", KeySpace),
+                    bench::param("ops_per_thread", Ops),
+                    bench::param("clock", clockKindName(TmCfg.Clock)),
+                    bench::param("cm", cmKindName(TmCfg.Cm))};
+      Row.Metric = Metric;
+      Row.Unit = Unit;
+      Row.Stats = Stats;
+      Ctx.report(Row);
+    };
+    Report("throughput", "txn/s", Throughput);
+    Report("p99_latency", "us", Tail(P99Samples));
+    Report("p999_latency", "us", Tail(P999Samples));
+    Report("abort_ratio", "%", Tail(AbortSamples));
+  };
+
+  for (const Scenario &Sc : Scenarios)
+    for (TmKind Kind : allTmKinds())
+      for (unsigned Shards : ShardCounts)
+        for (unsigned N : Counts)
+          RunCell(Sc, Kind, Shards, N, TmConfig());
+
+  // The (clock, cm) sweep: every non-default clock under the default CM
+  // and every non-default CM under the default clock, on the hot-shard
+  // scenario at the widest thread count — the contended cell where the
+  // commit-stamp protocol and the between-attempt wait policy actually
+  // shape throughput. TL2 is the subject (the canonical clock-based TM);
+  // mv rides the same sweep to cover the shared-snapshot-clock path.
+  const Scenario &Hot = Scenarios.back();
+  const unsigned MaxN = *std::max_element(Counts.begin(), Counts.end());
+  const unsigned SweepShards = ShardCounts.front();
+  std::vector<TmConfig> Combos;
+  for (ClockKind Clock : allClockKinds())
+    if (Clock != ClockKind::CK_Gv1)
+      Combos.push_back({Clock, CmKind::CM_Backoff});
+  for (CmKind Cm : allCmKinds())
+    if (Cm != CmKind::CM_Backoff)
+      Combos.push_back({ClockKind::CK_Gv1, Cm});
+  for (const TmConfig &TmCfg : Combos) {
+    RunCell(Hot, TmKind::TK_Tl2, SweepShards, MaxN, TmCfg);
+    RunCell(Hot, TmKind::TK_Mv, SweepShards, MaxN, TmCfg);
   }
 }
 

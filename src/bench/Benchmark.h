@@ -76,6 +76,8 @@ struct RunConfig {
   unsigned Reps = 5;    ///< Measured repetitions per wall-clock metric.
   unsigned Warmup = 1;  ///< Discarded warmup repetitions before measuring.
   bool Smoke = false;   ///< Shrink problem sizes for a fast sanity pass.
+  bool Pin = false;     ///< --pin: round-robin workers over CPUs (no-op on
+                        ///< platforms without an affinity API).
   std::vector<unsigned> ThreadOverride; ///< --threads list; empty = use
                                         ///< each benchmark's defaults.
 };

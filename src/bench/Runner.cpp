@@ -8,6 +8,7 @@
 #include "bench/Runner.h"
 
 #include "bench/Json.h"
+#include "support/Affinity.h"
 #include "support/Format.h"
 #include "support/RawOStream.h"
 #include "support/Table.h"
@@ -166,6 +167,8 @@ bool parseCliOptions(int Argc, const char *const *Argv, CliOptions &Opts,
       WarmupSet = true;
     } else if (Arg == "--smoke") {
       Opts.Config.Smoke = true;
+    } else if (Arg == "--pin") {
+      Opts.Config.Pin = true;
     } else if (Arg == "--json") {
       if (!NeedValue(I, "--json", Opts.JsonPath))
         return false;
@@ -201,6 +204,8 @@ void printUsage(RawOStream &OS, const char *Binary) {
      << "  --reps <n>        measured repetitions (default 5; 2 in smoke)\n"
      << "  --warmup <n>      warmup repetitions (default 1; 0 in smoke)\n"
      << "  --smoke           reduced problem sizes for a fast pass\n"
+     << "  --pin             pin workers round-robin over CPUs (no-op on\n"
+     << "                    platforms without thread affinity)\n"
      << "  --json <path>     write all results to one JSON file\n"
      << "  --json-dir <dir>  write one BENCH_<family>.json per family\n"
      << "  --list            list registered benchmarks and exit\n"
@@ -248,6 +253,11 @@ void writeResultsJson(RawOStream &OS, const std::vector<ResultRow> &Rows,
   W.key("config").beginObject();
   W.key("reps").value(Config.Reps);
   W.key("warmup").value(Config.Warmup);
+  // Both the request and the outcome: `pin` echoes --pin, `pin_applied`
+  // says whether this platform could actually honor it, so trajectory
+  // comparisons never conflate "unpinned by choice" with "unpinnable".
+  W.key("pin").value(Config.Pin);
+  W.key("pin_applied").value(Config.Pin && affinitySupported());
   W.key("threads").beginArray();
   for (unsigned N : Config.ThreadOverride)
     W.value(N);
@@ -306,6 +316,10 @@ int benchMain(int Argc, const char *const *Argv) {
     errs() << "error: no benchmarks match filter '" << Opts.Filter << "'\n";
     return 1;
   }
+
+  // The pinning switch is process-global (see support/Affinity.h): the
+  // worker-spawn sites consult it so benchmarks need no plumbing.
+  setThreadPinningEnabled(Opts.Config.Pin);
 
   std::vector<ResultRow> Rows = Registry::run(Selected, Opts.Config);
   printResultsTable(outs(), Rows, Selected);

@@ -116,7 +116,7 @@ void ScheduleExplorer::executeOne(const std::vector<unsigned> &Replay,
   // that is a pure function of (Kind, NumObjects) — so watermark-
   // relative ids are stable across re-executions.
   uint64_t IdBase = BaseObject::idWatermark();
-  std::unique_ptr<Tm> Inner = createTm(Kind, Scn.NumObjects, N);
+  std::unique_ptr<Tm> Inner = createTm(Kind, Scn.NumObjects, N, Scn.Tm);
   assert(Inner && "unknown TmKind or empty scenario");
   for (const auto &[Obj, Value] : Scn.Init)
     Inner->init(Obj, Value);
@@ -227,6 +227,7 @@ void ScheduleExplorer::checkRun(RunResult &R, ExploreStats &Stats,
   Final.Tid = 0;
   Final.Outcome = TxnOutcome::TX_Committed;
   Final.FirstTicket = MaxTicket + 1;
+  Final.BeginTicket = MaxTicket + 1;
   Final.LastTicket = MaxTicket + 2;
   Final.Ops.reserve(Scn.NumObjects);
   for (ObjectId Obj = 0; Obj < Scn.NumObjects; ++Obj)

@@ -74,6 +74,11 @@ struct Scenario {
   /// Initial values installed via Tm::init before the threads start.
   std::vector<std::pair<ObjectId, uint64_t>> Init;
   std::vector<ThreadScript> Threads;
+  /// Clock/CM configuration of the explored TM. The clock choice changes
+  /// the instrumented step stream (and so the schedule tree); the CM by
+  /// the placement contract (stm/ContentionManager.h) must not — the
+  /// ExploreTest CM-independence suite pins exactly that.
+  TmConfig Tm;
 };
 
 /// How one scripted transaction ended in one run.

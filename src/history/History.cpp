@@ -16,6 +16,9 @@ size_t HistoryBuilder::begin(ThreadId Tid) {
   T.TxnId = Txns.size() + 1;
   T.Tid = Tid;
   T.FirstTicket = nextTicket();
+  // Fixtures have no token-wait skew: the tight begin bound coincides
+  // with the invocation stamp.
+  T.BeginTicket = T.FirstTicket;
   Txns.push_back(std::move(T));
   Open.push_back(true);
   return Txns.size() - 1;

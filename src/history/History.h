@@ -55,6 +55,15 @@ struct TxnRecord {
   ThreadId Tid = 0;
   uint64_t FirstTicket = 0; ///< Global time of the first invocation.
   uint64_t LastTicket = 0;  ///< Global time of the last response.
+  /// Global time of the begin operation's RESPONSE — a strict upper
+  /// bound on when the transaction acquired its snapshot. FirstTicket is
+  /// stamped at begin *invocation*, which under a token interleaver can
+  /// be unboundedly earlier than the first scheduled step; interval
+  /// checks (overlap, ≺_RT) want that wide, permissive stamp, but
+  /// predicates asking "did this transaction begin before that commit?"
+  /// (the explorer's witness signatures) must use this tight one or host
+  /// load turns scheduling stalls into false overlaps.
+  uint64_t BeginTicket = 0;
   TxnOutcome Outcome = TxnOutcome::TX_Aborted;
   std::vector<TOp> Ops;
 

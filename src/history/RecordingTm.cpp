@@ -21,9 +21,18 @@ void RecordingTm::txBegin(ThreadId Tid) {
   R.Current = TxnRecord();
   R.Current.TxnId = NextTxnId.fetch_add(1, std::memory_order_relaxed);
   R.Current.Tid = Tid;
+  // Two begin stamps with different consumers: FirstTicket at
+  // invocation keeps intervals wide, which the overlap-based checks
+  // (progressiveness, ≺_RT) need to stay permissive; BeginTicket after
+  // the inner begin returns bounds snapshot acquisition tightly, which
+  // the explorer's "began before that commit?" witness predicates need
+  // — under a token interleaver the invocation stamp can be drawn
+  // unboundedly before the first scheduled step, turning host-load
+  // stalls into false overlaps if a predicate leans on it.
   R.Current.FirstTicket = nextTicket();
   R.Building = true;
   M->txBegin(Tid);
+  R.Current.BeginTicket = nextTicket();
 }
 
 void RecordingTm::txBeginReadOnly(ThreadId Tid) {
@@ -32,9 +41,11 @@ void RecordingTm::txBeginReadOnly(ThreadId Tid) {
   R.Current = TxnRecord();
   R.Current.TxnId = NextTxnId.fetch_add(1, std::memory_order_relaxed);
   R.Current.Tid = Tid;
+  // Same two-stamp scheme as txBegin; see the comment there.
   R.Current.FirstTicket = nextTicket();
   R.Building = true;
   M->txBeginReadOnly(Tid);
+  R.Current.BeginTicket = nextTicket();
 }
 
 bool RecordingTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {

@@ -50,6 +50,19 @@ public:
   AbortCause lastAbortCause(ThreadId Tid) const override {
     return M->lastAbortCause(Tid);
   }
+  ObjectId lastConflictObject(ThreadId Tid) const override {
+    return M->lastConflictObject(Tid);
+  }
+  unsigned lastAbortWork(ThreadId Tid) const override {
+    return M->lastAbortWork(Tid);
+  }
+  TmConfig config() const override { return M->config(); }
+  ContentionManager *contentionManager() override {
+    return M->contentionManager();
+  }
+  const VersionClock *versionClock() const override {
+    return M->versionClock();
+  }
   uint64_t sample(ObjectId Obj) const override { return M->sample(Obj); }
   void init(ObjectId Obj, uint64_t Value) override { M->init(Obj, Value); }
   TmStats stats() const override { return M->stats(); }

@@ -76,13 +76,13 @@ std::unique_ptr<KvStore> KvStore::create(const KvConfig &Config) {
   // snapshotGet read all shards at one pinned instant with no latches
   // and no re-reads (see the global-snapshot path there).
   if (Config.Kind == TmKind::TK_Mv)
-    Store->MvClock = std::make_unique<BaseObject>(0);
+    Store->MvClock = createVersionClock(Config.Tm.Clock, Config.MaxThreads);
   for (unsigned I = 0; I < Config.ShardCount; ++I) {
     Shard S;
     S.M = Store->MvClock
               ? std::make_unique<MvTm>(PerShard, Config.MaxThreads,
-                                       Store->MvClock.get())
-              : createTm(Config.Kind, PerShard, Config.MaxThreads);
+                                       Config.Tm, Store->MvClock.get())
+              : createTm(Config.Kind, PerShard, Config.MaxThreads, Config.Tm);
     if (!S.M)
       return nullptr; // Unknown TmKind.
     S.Map = std::make_unique<ds::TxMap>(*S.M, 0, Config.BucketsPerShard,

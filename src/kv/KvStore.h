@@ -69,6 +69,7 @@
 #include "ds/TxMap.h"
 #include "runtime/BaseObject.h"
 #include "stm/Tm.h"
+#include "stm/VersionClock.h"
 
 #include <atomic>
 #include <functional>
@@ -89,6 +90,9 @@ struct KvConfig {
   uint64_t CapacityPerShard = 1024; ///< Max keys per shard; nonzero.
   TmKind Kind = TmKind::TK_Tl2;     ///< TM algorithm run by every shard.
   unsigned MaxThreads = 4;          ///< Descriptor slots per shard TM.
+  TmConfig Tm;                      ///< Clock + CM of every shard TM (the
+                                    ///< mv shared snapshot clock is built
+                                    ///< from Tm.Clock too).
 };
 
 class KvStore {
@@ -273,9 +277,11 @@ private:
   unsigned ShardMask = 0;
   /// For TK_Mv stores: the version clock shared by every shard's MvTm,
   /// so one timestamp names a consistent cut across all shards (the
-  /// global-snapshot read path). Null for every other TmKind. Declared
-  /// before Shards so it outlives the TMs that reference it.
-  std::unique_ptr<BaseObject> MvClock;
+  /// global-snapshot read path). Built from Config_.Tm.Clock, so the
+  /// store's clock dimension covers the cross-shard path too. Null for
+  /// every other TmKind. Declared before Shards so it outlives the TMs
+  /// that reference it.
+  std::unique_ptr<VersionClock> MvClock;
   std::vector<Shard> Shards;
 };
 

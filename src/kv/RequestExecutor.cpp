@@ -10,6 +10,7 @@
 #include "obs/Trace.h"
 #include "runtime/Instrumentation.h"
 #include "stm/Atomically.h"
+#include "support/Affinity.h"
 #include "support/Spin.h"
 
 #include <bit>
@@ -91,7 +92,27 @@ obs::MetricsSnapshot RequestExecutor::telemetry() const {
   // put an atomic RMW on every submit).
   for (unsigned I = 0; I < QueueDepth.size(); ++I)
     QueueDepth[I]->set(static_cast<int64_t>(Queues[I]->approxSize()));
-  return Registry.snapshot();
+  obs::MetricsSnapshot Snap = Registry.snapshot();
+  // Every shard TM runs the same TmConfig (KvStore::create hands each one
+  // Config.Tm), so their contention managers share one policy: merge the
+  // per-shard telemetry and surface it as a single cm.<policy>.* series
+  // next to the executor's own counters.
+  CmTelemetry Merged;
+  const ContentionManager *Policy = nullptr;
+  for (const KvStore::Shard &S : Store.Shards) {
+    ContentionManager *Cm = S.M->contentionManager();
+    if (!Cm)
+      continue;
+    Policy = Cm;
+    CmTelemetry T = Cm->telemetry();
+    for (unsigned I = 0; I < kNumAbortCauses; ++I)
+      Merged.Consults[I] += T.Consults[I];
+    Merged.LockBusyNotes += T.LockBusyNotes;
+    Merged.WaitNs.merge(T.WaitNs);
+  }
+  if (Policy)
+    appendCmTelemetry(Merged, Policy->name(), Snap);
+  return Snap;
 }
 
 unsigned RequestExecutor::runBatch(unsigned Worker, unsigned Shard,
@@ -199,6 +220,8 @@ bool RequestExecutor::sweepOnce(unsigned Worker,
 }
 
 void RequestExecutor::workerLoop(unsigned Worker) {
+  // No-op unless the bench harness enabled --pin (see Affinity.h).
+  maybePinThread(Worker);
   // When tracing is armed, install this worker's measurement context so
   // the TMs' traceEvent calls find their ring; disarmed executors never
   // install one and the TM hot path stays at bare cost.

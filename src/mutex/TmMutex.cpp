@@ -7,6 +7,7 @@
 
 #include "mutex/TmMutex.h"
 
+#include "stm/Atomically.h"
 #include "support/Spin.h"
 
 #include <cassert>
@@ -38,17 +39,19 @@ TmMutex::TmMutex(std::unique_ptr<Tm> Inner, unsigned ThreadCount)
 }
 
 uint64_t TmMutex::fetchAndStoreX(ThreadId Tid, uint64_t Tag) {
-  Backoff BO;
-  for (;;) {
-    M->txBegin(Tid);
-    uint64_t Prev;
-    if (M->txRead(Tid, /*Obj=*/0, Prev) && M->txWrite(Tid, /*Obj=*/0, Tag) &&
-        M->txCommit(Tid))
-      return Prev;
-    // Aborted: by (strong) progressiveness some concurrent contender
-    // committed or holds the conflict; back off and retry.
-    BO.spin();
-  }
+  // By (strong) progressiveness an abort means some concurrent contender
+  // committed or holds the conflict, so retrying must eventually succeed.
+  // The wait between attempts comes from the inner TM's ContentionManager
+  // via the shared atomically() seam — the same policy every other
+  // transactional call-site consults — not a private Backoff copy.
+  uint64_t Prev = 0;
+  bool Committed = atomically(*M, Tid, [&](TxRef &Tx) {
+    if (Tx.read(/*Obj=*/0, Prev))
+      Tx.write(/*Obj=*/0, Tag);
+  });
+  assert(Committed && "unbounded atomically only returns on commit");
+  (void)Committed;
+  return Prev;
 }
 
 void TmMutex::enter(ThreadId Tid) {

@@ -30,6 +30,10 @@ using ObjectId = uint32_t;
 /// empty successor/owner fields.
 inline constexpr ThreadId kNoThread = ~0u;
 
+/// Sentinel "no object": used where an ObjectId is optional, e.g. the
+/// conflict object reported with an abort when no single object caused it.
+inline constexpr ObjectId kNoObject = ~0u;
+
 /// Hard cap on concurrent processes an experiment may use. The RMR
 /// simulator keeps one cache-state byte per (object, thread) pair up to
 /// this bound.

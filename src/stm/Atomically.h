@@ -26,11 +26,13 @@
 #ifndef PTM_STM_ATOMICALLY_H
 #define PTM_STM_ATOMICALLY_H
 
+#include "stm/ContentionManager.h"
 #include "stm/Tm.h"
 #include "support/Spin.h"
 
 #include <cassert>
 #include <cstdint>
+#include <type_traits>
 
 namespace ptm {
 
@@ -96,31 +98,83 @@ private:
   bool UserAborted = false;
 };
 
-/// Runs \p Body inside a transaction on thread \p Tid, retrying on
-/// contention aborts with exponential backoff. Returns true iff a commit
-/// succeeded. \p MaxAttempts of 0 means "retry until committed or
-/// voluntarily aborted".
-///
-/// \p BackoffPolicy must provide spin(); the default is the capped
-/// exponential Backoff. The policy backs off *between* attempts only — in
-/// particular, never after the final failed attempt, where spinning would
+/// Tag policy (the default): consult the TM's own ContentionManager
+/// between attempts — the policy selected by TmConfig.Cm and owned by the
+/// TM instance — falling back to plain capped-exponential Backoff on TMs
+/// without one (wrappers, fakes). Passing an explicit policy object with
+/// spin() instead (the pre-CM template path) still works and bypasses the
+/// CM entirely; that shim is what keeps counting-fake policy tests and
+/// special-purpose callers compiling unchanged.
+struct TmCm {};
+
+namespace detail {
+
+/// Between-attempts wait + commit notification, shared by atomically and
+/// atomicallyReadOnly. The CM is consulted *between* attempts only — in
+/// particular never after the final failed attempt, where spinning would
 /// only delay the caller's failure handling.
-template <typename BodyFn, typename BackoffPolicy = Backoff>
+template <typename BackoffPolicy>
+class RetryPolicy {
+public:
+  RetryPolicy(Tm &Memory, BackoffPolicy Policy) : M(Memory), BO(Policy) {}
+
+  void onAborted(ThreadId Tid) {
+    if constexpr (std::is_same_v<BackoffPolicy, TmCm>) {
+      if (ContentionManager *Cm = M.contentionManager()) {
+        Cm->onAbort(Tid, M.lastAbortCause(Tid), M.lastAbortWork(Tid),
+                    M.lastConflictObject(Tid));
+        return;
+      }
+      Fallback.spin();
+    } else {
+      (void)Tid;
+      BO.spin();
+    }
+  }
+
+  void onCommitted(ThreadId Tid) {
+    if constexpr (std::is_same_v<BackoffPolicy, TmCm>) {
+      if (ContentionManager *Cm = M.contentionManager())
+        Cm->onCommit(Tid);
+    } else {
+      (void)Tid;
+    }
+  }
+
+private:
+  Tm &M;
+  BackoffPolicy BO;
+  Backoff Fallback;
+};
+
+} // namespace detail
+
+/// Runs \p Body inside a transaction on thread \p Tid, retrying on
+/// contention aborts. Returns true iff a commit succeeded. \p MaxAttempts
+/// of 0 means "retry until committed or voluntarily aborted".
+///
+/// The default BackoffPolicy (the TmCm tag) routes between-attempt waits
+/// through the TM's ContentionManager; an explicit policy object with
+/// spin() overrides it per call (see TmCm).
+template <typename BodyFn, typename BackoffPolicy = TmCm>
 bool atomically(Tm &M, ThreadId Tid, BodyFn &&Body, unsigned MaxAttempts = 0,
                 BackoffPolicy BO = BackoffPolicy()) {
+  detail::RetryPolicy<BackoffPolicy> Retry(M, BO);
   for (unsigned Attempt = 1;; ++Attempt) {
     M.txBegin(Tid);
     TxRef Tx(M, Tid);
     Body(Tx);
     if (Tx.userAborted())
       return false;
-    if (!Tx.failed() && M.txCommit(Tid))
+    if (!Tx.failed() && M.txCommit(Tid)) {
+      Retry.onCommitted(Tid);
       return true;
+    }
     // Aborted by contention: give up if the attempt budget is spent,
     // otherwise back off and retry.
     if (MaxAttempts != 0 && Attempt >= MaxAttempts)
       return false;
-    BO.spin();
+    Retry.onAborted(Tid);
   }
 }
 
@@ -129,22 +183,26 @@ bool atomically(Tm &M, ThreadId Tid, BodyFn &&Body, unsigned MaxAttempts = 0,
 /// with an abort-free snapshot path (Tm::hasAbortFreeReadOnly) serve it
 /// from a consistent snapshot that can neither abort nor block writers.
 /// On every other TM this is exactly atomically() — same retry loop, same
-/// backoff — so callers can use it unconditionally for read-only bodies.
-template <typename BodyFn, typename BackoffPolicy = Backoff>
+/// contention handling — so callers can use it unconditionally for
+/// read-only bodies.
+template <typename BodyFn, typename BackoffPolicy = TmCm>
 bool atomicallyReadOnly(Tm &M, ThreadId Tid, BodyFn &&Body,
                         unsigned MaxAttempts = 0,
                         BackoffPolicy BO = BackoffPolicy()) {
+  detail::RetryPolicy<BackoffPolicy> Retry(M, BO);
   for (unsigned Attempt = 1;; ++Attempt) {
     M.txBeginReadOnly(Tid);
     TxRef Tx(M, Tid);
     Body(Tx);
     if (Tx.userAborted())
       return false;
-    if (!Tx.failed() && M.txCommit(Tid))
+    if (!Tx.failed() && M.txCommit(Tid)) {
+      Retry.onCommitted(Tid);
       return true;
+    }
     if (MaxAttempts != 0 && Attempt >= MaxAttempts)
       return false;
-    BO.spin();
+    Retry.onAborted(Tid);
   }
 }
 

@@ -1,0 +1,231 @@
+//===-- stm/ContentionManager.cpp - Pluggable contention managers ---------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/ContentionManager.h"
+
+#include "support/Spin.h"
+
+#include <algorithm>
+#include <atomic>
+
+using namespace ptm;
+
+namespace {
+
+/// Busy-waits \p Spins relaxes; yields instead when \p Spins hits the
+/// policy's cap (saturated backoff means heavy contention, and on an
+/// oversubscribed host the contender we wait for may need a core — the
+/// same rationale as support/Spin.h's Backoff).
+void spinFor(uint32_t Spins, uint32_t Cap) {
+  for (uint32_t I = 0; I < Spins; ++I)
+    cpuRelax();
+  if (Spins >= Cap)
+    std::this_thread::yield();
+}
+
+/// backoff: per-thread capped exponential backoff — the semantics (and
+/// constants) of the Backoff the retry loops used before the CM seam.
+class BackoffCm final : public ContentionManager {
+public:
+  explicit BackoffCm(unsigned MaxThreads)
+      : ContentionManager(MaxThreads), State(MaxThreads) {}
+
+  CmKind kind() const override { return CmKind::CM_Backoff; }
+
+protected:
+  void wait(ThreadId Tid, AbortCause, unsigned, ObjectId) override {
+    uint32_t &Cur = State[Tid].Current;
+    spinFor(Cur, kMax);
+    if (Cur < kMax)
+      Cur *= 2;
+  }
+
+  void settle(ThreadId Tid) override { State[Tid].Current = kInitial; }
+
+private:
+  static constexpr uint32_t kInitial = 4;
+  static constexpr uint32_t kMax = 1024;
+
+  struct alignas(PTM_CACHELINE_SIZE) PerThread {
+    uint32_t Current = kInitial;
+  };
+  std::vector<PerThread> State;
+};
+
+/// polite: patience grows linearly with consecutive failures (64 spins
+/// per strike, capped), then yields. Gentler ramp than exponential
+/// backoff: short conflict bursts retry sooner, sustained contention
+/// converges to the same yield-at-cap behaviour.
+class PoliteCm final : public ContentionManager {
+public:
+  explicit PoliteCm(unsigned MaxThreads)
+      : ContentionManager(MaxThreads), State(MaxThreads) {}
+
+  CmKind kind() const override { return CmKind::CM_Polite; }
+
+protected:
+  void wait(ThreadId Tid, AbortCause, unsigned, ObjectId) override {
+    uint32_t &Strikes = State[Tid].Strikes;
+    if (Strikes < kMaxStrikes)
+      ++Strikes;
+    spinFor(Strikes * kSpinsPerStrike, kMaxStrikes * kSpinsPerStrike);
+  }
+
+  void settle(ThreadId Tid) override { State[Tid].Strikes = 0; }
+
+private:
+  static constexpr uint32_t kSpinsPerStrike = 64;
+  static constexpr uint32_t kMaxStrikes = 64;
+
+  struct alignas(PTM_CACHELINE_SIZE) PerThread {
+    uint32_t Strikes = 0;
+  };
+  std::vector<PerThread> State;
+};
+
+/// karma: exponential backoff divided by accumulated priority. Karma is
+/// the work (TxSets entries) the thread's aborted attempts have already
+/// invested: a transaction that has repeatedly built a large footprint
+/// and lost waits less each time, so long transactions are not starved
+/// by streams of short ones. Commit settles the debt.
+class KarmaCm final : public ContentionManager {
+public:
+  explicit KarmaCm(unsigned MaxThreads)
+      : ContentionManager(MaxThreads), State(MaxThreads) {}
+
+  CmKind kind() const override { return CmKind::CM_Karma; }
+
+protected:
+  void wait(ThreadId Tid, AbortCause, unsigned Work, ObjectId) override {
+    PerThread &S = State[Tid];
+    S.Karma += Work;
+    uint32_t Priority =
+        1 + std::min<uint64_t>(S.Karma, 63); // Divisor in [1, 64].
+    spinFor(S.Current / Priority, kMax / Priority);
+    if (S.Current < kMax)
+      S.Current *= 2;
+  }
+
+  void settle(ThreadId Tid) override {
+    State[Tid].Karma = 0;
+    State[Tid].Current = kInitial;
+  }
+
+private:
+  static constexpr uint32_t kInitial = 4;
+  static constexpr uint32_t kMax = 1024;
+
+  struct alignas(PTM_CACHELINE_SIZE) PerThread {
+    uint64_t Karma = 0;
+    uint32_t Current = kInitial;
+  };
+  std::vector<PerThread> State;
+};
+
+/// hotspot: per-object conflict heat scales the backoff. Every failed
+/// lock acquisition and every abort naming a conflict object heats that
+/// object (saturating); a wait triggered by a hot object spins longer —
+/// up to 32x the base window — and consumes one unit of heat, so an
+/// object cools once threads stop colliding on it. The heat table is
+/// plain relaxed atomics: approximate by design, racy updates only shade
+/// wait lengths, never correctness.
+class HotSpotCm final : public ContentionManager {
+public:
+  HotSpotCm(unsigned MaxThreads, unsigned NumObjects)
+      : ContentionManager(MaxThreads), State(MaxThreads), Heat(NumObjects) {}
+
+  CmKind kind() const override { return CmKind::CM_HotSpot; }
+
+  /// Test/introspection hook: current heat of \p Obj.
+  uint32_t heatOf(ObjectId Obj) const {
+    return Heat[Obj].load(std::memory_order_relaxed);
+  }
+
+protected:
+  void wait(ThreadId Tid, AbortCause, unsigned, ObjectId Conflict) override {
+    PerThread &S = State[Tid];
+    uint32_t Scale = 1;
+    if (Conflict != kNoObject && Conflict < Heat.size()) {
+      uint32_t H = bumpHeat(Conflict, kAbortHeat);
+      Scale = 1 + std::min(H / 8u, 31u); // In [1, 32].
+      // Waiting consumes heat: cooling-by-use, no global decay pass.
+      Heat[Conflict].fetch_sub(std::min(H, 1u), std::memory_order_relaxed);
+    }
+    uint32_t Cap = std::min<uint64_t>(uint64_t{kMax} * Scale, kAbsoluteCap);
+    uint32_t Spins =
+        std::min<uint64_t>(uint64_t{S.Current} * Scale, kAbsoluteCap);
+    spinFor(Spins, Cap);
+    if (S.Current < kMax)
+      S.Current *= 2;
+  }
+
+  void settle(ThreadId Tid) override { State[Tid].Current = kInitial; }
+
+  void noteBusy(ThreadId, ObjectId Obj) override {
+    if (Obj < Heat.size())
+      bumpHeat(Obj, kBusyHeat);
+  }
+
+private:
+  static constexpr uint32_t kInitial = 4;
+  static constexpr uint32_t kMax = 1024;
+  static constexpr uint32_t kAbsoluteCap = 1u << 16;
+  static constexpr uint32_t kBusyHeat = 4;
+  static constexpr uint32_t kAbortHeat = 8;
+  static constexpr uint32_t kHeatCeiling = 256;
+
+  /// Saturating heat bump; returns the post-bump value.
+  uint32_t bumpHeat(ObjectId Obj, uint32_t By) {
+    uint32_t H = Heat[Obj].fetch_add(By, std::memory_order_relaxed) + By;
+    if (H > kHeatCeiling) {
+      Heat[Obj].store(kHeatCeiling, std::memory_order_relaxed);
+      H = kHeatCeiling;
+    }
+    return H;
+  }
+
+  struct alignas(PTM_CACHELINE_SIZE) PerThread {
+    uint32_t Current = kInitial;
+  };
+  std::vector<PerThread> State;
+  std::vector<std::atomic<uint32_t>> Heat;
+};
+
+} // namespace
+
+std::unique_ptr<ContentionManager>
+ptm::createContentionManager(CmKind Kind, unsigned MaxThreads,
+                             unsigned NumObjects) {
+  if (MaxThreads == 0)
+    return nullptr;
+  switch (Kind) {
+  case CmKind::CM_Backoff:
+    return std::make_unique<BackoffCm>(MaxThreads);
+  case CmKind::CM_Polite:
+    return std::make_unique<PoliteCm>(MaxThreads);
+  case CmKind::CM_Karma:
+    return std::make_unique<KarmaCm>(MaxThreads);
+  case CmKind::CM_HotSpot:
+    return std::make_unique<HotSpotCm>(MaxThreads, NumObjects);
+  }
+  return nullptr;
+}
+
+void ptm::appendCmTelemetry(const CmTelemetry &T, const char *Policy,
+                            obs::MetricsSnapshot &Snap) {
+  const std::string Prefix = std::string("cm.") + Policy + ".";
+  for (unsigned I = 0; I < kNumAbortCauses; ++I) {
+    if (T.Consults[I] == 0)
+      continue;
+    Snap.Counters.push_back(
+        {Prefix + "consults." + abortCauseName(static_cast<AbortCause>(I)),
+         static_cast<int64_t>(T.Consults[I])});
+  }
+  Snap.Counters.push_back(
+      {Prefix + "lock_busy_notes", static_cast<int64_t>(T.LockBusyNotes)});
+  Snap.Histograms.push_back({Prefix + "wait_ns", T.WaitNs});
+}

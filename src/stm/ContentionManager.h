@@ -1,0 +1,174 @@
+//===-- stm/ContentionManager.h - Pluggable contention managers -*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-TM contention manager: what a thread does *between* attempts
+/// after its transaction aborted. Promoted from the per-call BackoffPolicy
+/// template parameter of atomically() (which remains as a shim) into a
+/// pluggable object owned by the TM instance and selected via TmConfig,
+/// so the policy is visible to the factory, to telemetry and to the
+/// benchmark sweep.
+///
+/// Placement contract — the property the ExploreTest CM-independence
+/// suite pins: a CM is consulted ONLY outside transactional code, in the
+/// retry combinator's between-attempts slot (onAbort) or after a commit
+/// (onCommit). Inside a transaction the TMs at most *notify* it of a
+/// failed lock acquisition (noteLockBusy), which is pure bookkeeping on
+/// plain (uninstrumented) atomics. CM state never touches a BaseObject,
+/// so the TM's instrumented instruction stream — and with it the
+/// schedule explorer's token-grant tree and every step-count experiment —
+/// is bit-identical across CM choices. CMs shape *when* a retry happens
+/// in wall-clock time, never *what* the transaction does.
+///
+/// Policies:
+///
+///  * backoff — capped exponential backoff per thread (the previous
+///              default, same spin constants), reset on commit.
+///  * polite  — linearly growing patience per consecutive failure, capped,
+///              then yields; the classic "Polite" from the RSTM CM suite.
+///  * karma   — priority accumulates with work done (TxSets entries of
+///              the aborted attempts): the more a transaction has already
+///              invested, the shorter it waits, so big transactions are
+///              not starved by small fast ones. Karma resets on commit.
+///  * hotspot — per-object conflict-heat counters (fed by noteLockBusy
+///              and the abort's conflict object) scale the backoff: the
+///              hotter the object that killed you, the longer you wait
+///              before piling back onto it. Heat cools as waits consume
+///              it.
+///
+/// Telemetry: every consultation is counted per abort cause (per-thread
+/// single-writer cells, readable live) and the wait's wall-clock duration
+/// is recorded into an obs::LatencyHistogram — the "backoff time" series
+/// surfaced next to the TM's abort counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_STM_CONTENTIONMANAGER_H
+#define PTM_STM_CONTENTIONMANAGER_H
+
+#include "obs/Metrics.h"
+#include "runtime/Ids.h"
+#include "stm/Tm.h"
+#include "support/Compiler.h"
+
+#include <memory>
+#include <vector>
+
+namespace ptm {
+
+/// Live counters of one ContentionManager (epoch-snapshot consistency,
+/// like TmStats): how often each policy was consulted, split by the abort
+/// cause that triggered the consultation, plus the wait-time histogram.
+struct CmTelemetry {
+  uint64_t Consults[kNumAbortCauses] = {}; ///< onAbort calls by cause.
+  uint64_t LockBusyNotes = 0;              ///< noteLockBusy calls.
+  obs::HistogramSnapshot WaitNs;           ///< Wall-clock wait per consult.
+
+  uint64_t totalConsults() const {
+    uint64_t Sum = 0;
+    for (uint64_t C : Consults)
+      Sum += C;
+    return Sum;
+  }
+};
+
+/// Abstract contention manager. See the file comment for the placement
+/// contract; all mutable state is plain std::atomic (never BaseObject).
+class ContentionManager {
+public:
+  virtual ~ContentionManager() = default;
+
+  /// The policy implementing this instance.
+  virtual CmKind kind() const = 0;
+
+  /// Short stable name (same as cmKindName(kind())).
+  const char *name() const { return cmKindName(kind()); }
+
+  /// Consulted by the retry combinator after an aborted attempt, between
+  /// attempts only (never after the final failed attempt). Performs the
+  /// policy's wait. \p Work is the aborted attempt's TxSets footprint
+  /// (read-set + write-set entries); \p Conflict the object that caused
+  /// the abort, or kNoObject when no single object did.
+  void onAbort(ThreadId Tid, AbortCause Cause, unsigned Work,
+               ObjectId Conflict) {
+    uint64_t T0 = obs::monotonicNowNs();
+    wait(Tid, Cause, Work, Conflict);
+    WaitHist.record(obs::monotonicNowNs() - T0);
+    if (Cause != AbortCause::AC_None)
+      Threads[Tid].Consults[static_cast<unsigned>(Cause)].inc();
+  }
+
+  /// Consulted after a committed attempt: resets the thread's penalty
+  /// state (backoff window, patience, karma).
+  void onCommit(ThreadId Tid) { settle(Tid); }
+
+  /// Bookkeeping-only notification from an eager TM whose encounter-time
+  /// lock acquisition failed on \p Obj. MUST NOT wait (the TM aborts and
+  /// the waiting happens in onAbort) and must not access instrumented
+  /// state — see the placement contract.
+  void noteLockBusy(ThreadId Tid, ObjectId Obj) {
+    Threads[Tid].LockBusy.inc();
+    noteBusy(Tid, Obj);
+  }
+
+  /// Live telemetry snapshot (safe concurrently with running threads).
+  CmTelemetry telemetry() const {
+    CmTelemetry T;
+    for (const ThreadCells &C : Threads) {
+      for (unsigned I = 0; I < kNumAbortCauses; ++I)
+        T.Consults[I] += C.Consults[I].read();
+      T.LockBusyNotes += C.LockBusy.read();
+    }
+    T.WaitNs = WaitHist.snapshot();
+    return T;
+  }
+
+  unsigned maxThreads() const { return static_cast<unsigned>(Threads.size()); }
+
+protected:
+  explicit ContentionManager(unsigned MaxThreads) : Threads(MaxThreads) {}
+
+  /// Policy hook: perform the wait for thread \p Tid.
+  virtual void wait(ThreadId Tid, AbortCause Cause, unsigned Work,
+                    ObjectId Conflict) = 0;
+
+  /// Policy hook: a commit happened on \p Tid; reset penalty state.
+  virtual void settle(ThreadId Tid) = 0;
+
+  /// Policy hook behind noteLockBusy (default: nothing beyond counting).
+  virtual void noteBusy(ThreadId, ObjectId) {}
+
+private:
+  struct alignas(PTM_CACHELINE_SIZE) ThreadCells {
+    obs::OwnedCounter Consults[kNumAbortCauses];
+    obs::OwnedCounter LockBusy;
+  };
+
+  std::vector<ThreadCells> Threads;
+  obs::LatencyHistogram WaitHist;
+};
+
+/// Creates a contention manager of the given kind for up to \p MaxThreads
+/// threads over \p NumObjects t-objects (the hot-spot policy sizes its
+/// heat table from the object count). Returns null if \p Kind is unknown
+/// or \p MaxThreads is zero.
+std::unique_ptr<ContentionManager>
+createContentionManager(CmKind Kind, unsigned MaxThreads, unsigned NumObjects);
+
+/// Appends \p T to \p Snap under the obs metric naming scheme, keyed by
+/// the policy name: counters `cm.<policy>.consults.<cause>` (the
+/// aborts-by-cause × policy series; zero-count causes are skipped) and
+/// `cm.<policy>.lock_busy_notes`, plus histogram `cm.<policy>.wait_ns`
+/// (the backoff-time series). Callers that aggregate several TMs of the
+/// same policy (the sharded KV store) merge their CmTelemetry first and
+/// append once.
+void appendCmTelemetry(const CmTelemetry &T, const char *Policy,
+                       obs::MetricsSnapshot &Snap);
+
+} // namespace ptm
+
+#endif // PTM_STM_CONTENTIONMANAGER_H

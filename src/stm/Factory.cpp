@@ -20,27 +20,33 @@ using namespace ptm;
 
 std::unique_ptr<Tm> ptm::createTm(TmKind Kind, unsigned NumObjects,
                                   unsigned MaxThreads) {
+  return createTm(Kind, NumObjects, MaxThreads, TmConfig());
+}
+
+std::unique_ptr<Tm> ptm::createTm(TmKind Kind, unsigned NumObjects,
+                                  unsigned MaxThreads,
+                                  const TmConfig &Config) {
   if (NumObjects == 0 || MaxThreads == 0)
     return nullptr;
   switch (Kind) {
   case TmKind::TK_GlobalLock:
-    return std::make_unique<GlobalLockTm>(NumObjects, MaxThreads);
+    return std::make_unique<GlobalLockTm>(NumObjects, MaxThreads, Config);
   case TmKind::TK_Tl2:
-    return std::make_unique<Tl2Tm>(NumObjects, MaxThreads);
+    return std::make_unique<Tl2Tm>(NumObjects, MaxThreads, Config);
   case TmKind::TK_Norec:
-    return std::make_unique<NorecTm>(NumObjects, MaxThreads);
+    return std::make_unique<NorecTm>(NumObjects, MaxThreads, Config);
   case TmKind::TK_OrecIncremental:
-    return std::make_unique<OrecIncrementalTm>(NumObjects, MaxThreads);
+    return std::make_unique<OrecIncrementalTm>(NumObjects, MaxThreads, Config);
   case TmKind::TK_OrecEager:
-    return std::make_unique<OrecEagerTm>(NumObjects, MaxThreads);
+    return std::make_unique<OrecEagerTm>(NumObjects, MaxThreads, Config);
   case TmKind::TK_OrecTs:
-    return std::make_unique<OrecTsTm>(NumObjects, MaxThreads);
+    return std::make_unique<OrecTsTm>(NumObjects, MaxThreads, Config);
   case TmKind::TK_Tlrw:
-    return std::make_unique<TlrwTm>(NumObjects, MaxThreads);
+    return std::make_unique<TlrwTm>(NumObjects, MaxThreads, Config);
   case TmKind::TK_Tml:
-    return std::make_unique<TmlTm>(NumObjects, MaxThreads);
+    return std::make_unique<TmlTm>(NumObjects, MaxThreads, Config);
   case TmKind::TK_Mv:
-    return std::make_unique<MvTm>(NumObjects, MaxThreads);
+    return std::make_unique<MvTm>(NumObjects, MaxThreads, Config);
   }
   return nullptr;
 }

@@ -11,8 +11,9 @@
 
 using namespace ptm;
 
-GlobalLockTm::GlobalLockTm(unsigned ObjectCount, unsigned ThreadCount)
-    : TmBase(ObjectCount, ThreadCount), Lock(0), Descs(ThreadCount) {}
+GlobalLockTm::GlobalLockTm(unsigned ObjectCount, unsigned ThreadCount,
+                           const TmConfig &Config)
+    : TmBase(ObjectCount, ThreadCount, Config), Lock(0), Descs(ThreadCount) {}
 
 void GlobalLockTm::txBegin(ThreadId Tid) {
   slotBegin(Tid);

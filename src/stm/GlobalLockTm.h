@@ -27,7 +27,8 @@ namespace ptm {
 
 class GlobalLockTm final : public TmBase {
 public:
-  GlobalLockTm(unsigned ObjectCount, unsigned ThreadCount);
+  GlobalLockTm(unsigned ObjectCount, unsigned ThreadCount,
+               const TmConfig &Config = TmConfig());
 
   TmKind kind() const override { return TmKind::TK_GlobalLock; }
 

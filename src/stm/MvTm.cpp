@@ -10,10 +10,12 @@
 
 using namespace ptm;
 
-MvTm::MvTm(unsigned ObjectCount, unsigned ThreadCount,
-           BaseObject *SharedClock)
-    : TmBase(ObjectCount, ThreadCount), OwnClock(0),
-      Clock(SharedClock ? *SharedClock : OwnClock), ActiveReaders(0),
+MvTm::MvTm(unsigned ObjectCount, unsigned ThreadCount, const TmConfig &Config,
+           VersionClock *SharedClock)
+    : TmBase(ObjectCount, ThreadCount, Config),
+      OwnClock(SharedClock ? nullptr
+                           : createVersionClock(Config.Clock, ThreadCount)),
+      Clock(SharedClock ? *SharedClock : *OwnClock), ActiveReaders(0),
       Orecs(ObjectCount),
       SlotVersions(static_cast<size_t>(ObjectCount) * kHistoryDepth),
       SlotValues(static_cast<size_t>(ObjectCount) * kHistoryDepth),
@@ -161,13 +163,13 @@ bool MvTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
     return true;
   uint64_t Pre = Orecs[Obj].read();
   if (isLocked(Pre))
-    return slotAbort(Tid, AbortCause::AC_LockHeld);
+    return slotAbort(Tid, AbortCause::AC_LockHeld, Obj, workOf(D));
   if (versionOf(Pre) > D.Rv)
-    return slotAbort(Tid, AbortCause::AC_ReadValidation);
+    return slotAbort(Tid, AbortCause::AC_ReadValidation, Obj, workOf(D));
   Value = Values[Obj].read();
   uint64_t Post = Orecs[Obj].read();
   if (Post != Pre)
-    return slotAbort(Tid, AbortCause::AC_ReadValidation);
+    return slotAbort(Tid, AbortCause::AC_ReadValidation, Obj, workOf(D));
   if (!D.Reads.contains(Obj))
     D.Reads.insert(Obj, versionOf(Pre));
   return true;
@@ -241,7 +243,7 @@ bool MvTm::txCommit(ThreadId Tid) {
     }
     if (!Free && ActiveReaders.read() != 0 &&
         minActiveReaderTs() < SecondVer)
-      return slotAbort(Tid, AbortCause::AC_HistoryFull);
+      return slotAbort(Tid, AbortCause::AC_HistoryFull, W.Obj, workOf(D));
   }
 
   // TL2 commit: acquire write locks with single-shot CASes.
@@ -249,19 +251,21 @@ bool MvTm::txCommit(ThreadId Tid) {
     uint64_t Cur = Orecs[W.Obj].read();
     if (isLocked(Cur)) {
       releaseLocked(D);
-      return slotAbort(Tid, AbortCause::AC_LockHeld);
+      return slotAbort(Tid, AbortCause::AC_LockHeld, W.Obj, workOf(D));
     }
     if (!Orecs[W.Obj].compareAndSwap(Cur, makeLocked(Tid))) {
       releaseLocked(D);
-      return slotAbort(Tid, AbortCause::AC_LockHeld);
+      return slotAbort(Tid, AbortCause::AC_LockHeld, W.Obj, workOf(D));
     }
     D.Locked.push_back({W.Obj, Cur});
   }
 
-  uint64_t Wv = Clock.fetchAdd(1) + 1;
+  uint64_t Wv = Clock.commitStamp(Tid);
 
-  // Validate the read set unless no one committed since Rv.
-  if (Wv != D.Rv + 1) {
+  // Validate the read set unless no one committed since Rv. As in TL2,
+  // the Rv + 1 shortcut needs unique stamps, so non-exact clocks
+  // (gv5/sharded) always validate.
+  if (!Clock.exactStamps() || Wv != D.Rv + 1) {
     for (const auto &E : D.Reads) {
       ObjectId Obj = E.Obj;
       uint64_t Cur = Orecs[Obj].read();
@@ -282,7 +286,7 @@ bool MvTm::txCommit(ThreadId Tid) {
           continue;
       }
       releaseLocked(D);
-      return slotAbort(Tid, AbortCause::AC_CommitValidation);
+      return slotAbort(Tid, AbortCause::AC_CommitValidation, Obj, workOf(D));
     }
   }
 
@@ -325,7 +329,7 @@ bool MvTm::txCommit(ThreadId Tid) {
       }
       if (MinTs < SecondVer) {
         releaseLocked(D);
-        return slotAbort(Tid, AbortCause::AC_HistoryFull);
+        return slotAbort(Tid, AbortCause::AC_HistoryFull, W.Obj, workOf(D));
       }
       Chosen = OldestSlot;
     }

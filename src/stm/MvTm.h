@@ -41,6 +41,7 @@
 
 #include "stm/TmBase.h"
 #include "stm/TxSets.h"
+#include "stm/VersionClock.h"
 
 namespace ptm {
 
@@ -50,15 +51,18 @@ public:
   static constexpr unsigned kHistoryDepth = 4;
 
   /// \p SharedClock, when non-null, replaces the instance's own version
-  /// clock: several MvTm instances constructed over the same BaseObject
-  /// stamp their commits from one totally-ordered clock, so a single
-  /// timestamp names a consistent cut across all of them (the sharded
-  /// store's global-snapshot reads build on exactly this). The caller
-  /// keeps the clock alive for the TM's lifetime.
+  /// clock: several MvTm instances constructed over the same VersionClock
+  /// stamp their commits from one shared clock, so a single timestamp
+  /// names a consistent cut across all of them (the sharded store's
+  /// global-snapshot reads build on exactly this). The caller keeps the
+  /// clock alive for the TM's lifetime; when sharing, the shared clock's
+  /// kind wins over TmConfig.Clock.
   MvTm(unsigned ObjectCount, unsigned ThreadCount,
-       BaseObject *SharedClock = nullptr);
+       const TmConfig &Config = TmConfig(),
+       VersionClock *SharedClock = nullptr);
 
   TmKind kind() const override { return TmKind::TK_Mv; }
+  const VersionClock *versionClock() const override { return &Clock; }
 
   void txBegin(ThreadId Tid) override;
   void txBeginReadOnly(ThreadId Tid) override;
@@ -145,10 +149,17 @@ private:
   void releaseLocked(Desc &D);
   void resetDesc(Desc &D);
 
-  BaseObject OwnClock; ///< Backing clock when none is shared in.
-  /// Global version clock (breaks weak DAP, like TL2) — either OwnClock
+  /// The attempt's TxSets footprint (the CM's "work done" currency).
+  static unsigned workOf(const Desc &D) {
+    return static_cast<unsigned>(D.Reads.size() + D.Writes.size());
+  }
+
+  /// Backing clock when none is shared in (kind from TmConfig.Clock);
+  /// null when the constructor received a SharedClock.
+  std::unique_ptr<VersionClock> OwnClock;
+  /// Global version clock (breaks weak DAP, like TL2) — either *OwnClock
   /// or the constructor's SharedClock.
-  BaseObject &Clock;
+  VersionClock &Clock;
   /// Count of read-only transactions between begin and complete. Lets an
   /// update commit with a full ring skip the O(threads) ReaderTs scan in
   /// the common no-snapshot case: one read of this word. Incremented

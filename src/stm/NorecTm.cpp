@@ -11,8 +11,9 @@
 
 using namespace ptm;
 
-NorecTm::NorecTm(unsigned ObjectCount, unsigned ThreadCount)
-    : TmBase(ObjectCount, ThreadCount), Seq(0), Descs(ThreadCount) {}
+NorecTm::NorecTm(unsigned ObjectCount, unsigned ThreadCount,
+                 const TmConfig &Config)
+    : TmBase(ObjectCount, ThreadCount, Config), Seq(0), Descs(ThreadCount) {}
 
 void NorecTm::resetDesc(Desc &D) {
   D.Reads.clear();
@@ -73,7 +74,10 @@ bool NorecTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
   while (Seq.read() != D.Snapshot) {
     uint64_t Fresh = validate(D);
     if (Fresh == kValidateFailed)
-      return slotAbort(Tid, AbortCause::AC_ReadValidation);
+      // Value-based validation failed somewhere in the read set; the
+      // conflict is snapshot-wide, not attributable to one object.
+      return slotAbort(Tid, AbortCause::AC_ReadValidation, kNoObject,
+                       workOf(D));
     D.Snapshot = Fresh;
     Value = Values[Obj].read();
   }
@@ -107,7 +111,8 @@ bool NorecTm::txCommit(ThreadId Tid) {
   while (!Seq.compareAndSwap(Expected, D.Snapshot + 1)) {
     uint64_t Fresh = validate(D);
     if (Fresh == kValidateFailed)
-      return slotAbort(Tid, AbortCause::AC_CommitValidation);
+      return slotAbort(Tid, AbortCause::AC_CommitValidation, kNoObject,
+                       workOf(D));
     D.Snapshot = Fresh;
     Expected = D.Snapshot;
   }

@@ -29,7 +29,8 @@ namespace ptm {
 
 class NorecTm final : public TmBase {
 public:
-  NorecTm(unsigned ObjectCount, unsigned ThreadCount);
+  NorecTm(unsigned ObjectCount, unsigned ThreadCount,
+          const TmConfig &Config = TmConfig());
 
   TmKind kind() const override { return TmKind::TK_Norec; }
 
@@ -59,6 +60,11 @@ private:
   uint64_t validate(Desc &D);
 
   void resetDesc(Desc &D);
+
+  /// The attempt's TxSets footprint (the CM's "work done" currency).
+  static unsigned workOf(const Desc &D) {
+    return static_cast<unsigned>(D.Reads.size() + D.Writes.size());
+  }
 
   BaseObject Seq; ///< Global sequence lock (even = free); breaks weak DAP.
   std::vector<Desc> Descs;

@@ -9,8 +9,10 @@
 
 using namespace ptm;
 
-OrecEagerTm::OrecEagerTm(unsigned ObjectCount, unsigned ThreadCount)
-    : TmBase(ObjectCount, ThreadCount), Orecs(ObjectCount), Descs(ThreadCount) {}
+OrecEagerTm::OrecEagerTm(unsigned ObjectCount, unsigned ThreadCount,
+                         const TmConfig &Config)
+    : TmBase(ObjectCount, ThreadCount, Config), Orecs(ObjectCount),
+      Descs(ThreadCount) {}
 
 void OrecEagerTm::txBegin(ThreadId Tid) {
   slotBegin(Tid);
@@ -53,18 +55,19 @@ bool OrecEagerTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
   // Theorem 3 cost structure as the lazy variant.
   uint64_t Pre = Orecs[Obj].read();
   if (isLocked(Pre)) {
+    noteLockBusy(Tid, Obj);
     rollbackAndRelease(D);
-    return slotAbort(Tid, AbortCause::AC_LockHeld);
+    return slotAbort(Tid, AbortCause::AC_LockHeld, Obj, workOf(D));
   }
   Value = Values[Obj].read();
   uint64_t Post = Orecs[Obj].read();
   if (Post != Pre) {
     rollbackAndRelease(D);
-    return slotAbort(Tid, AbortCause::AC_ReadValidation);
+    return slotAbort(Tid, AbortCause::AC_ReadValidation, Obj, workOf(D));
   }
   if (!validateReadSet(D, Tid)) {
     rollbackAndRelease(D);
-    return slotAbort(Tid, AbortCause::AC_ReadValidation);
+    return slotAbort(Tid, AbortCause::AC_ReadValidation, Obj, workOf(D));
   }
 
   if (!D.Reads.contains(Obj))
@@ -82,12 +85,14 @@ bool OrecEagerTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
   if (!D.Owned.contains(Obj)) {
     uint64_t Cur = Orecs[Obj].read();
     if (isLocked(Cur)) {
+      noteLockBusy(Tid, Obj);
       rollbackAndRelease(D);
-      return slotAbort(Tid, AbortCause::AC_LockHeld);
+      return slotAbort(Tid, AbortCause::AC_LockHeld, Obj, workOf(D));
     }
     if (!Orecs[Obj].compareAndSwap(Cur, makeLocked(Tid))) {
+      noteLockBusy(Tid, Obj);
       rollbackAndRelease(D);
-      return slotAbort(Tid, AbortCause::AC_LockHeld);
+      return slotAbort(Tid, AbortCause::AC_LockHeld, Obj, workOf(D));
     }
     // If we read this object earlier, the acquisition must not have
     // raced with a concurrent commit to it.
@@ -95,7 +100,7 @@ bool OrecEagerTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
     if (Read && Read->Payload != versionOf(Cur)) {
       D.Owned.insert(Obj, {Cur, Values[Obj].read()});
       rollbackAndRelease(D);
-      return slotAbort(Tid, AbortCause::AC_ReadValidation);
+      return slotAbort(Tid, AbortCause::AC_ReadValidation, Obj, workOf(D));
     }
     D.Owned.insert(Obj, {Cur, Values[Obj].read()});
   }
@@ -117,7 +122,8 @@ bool OrecEagerTm::txCommit(ThreadId Tid) {
   }
   if (!validateReadSet(D, Tid)) {
     rollbackAndRelease(D);
-    return slotAbort(Tid, AbortCause::AC_CommitValidation);
+    return slotAbort(Tid, AbortCause::AC_CommitValidation, kNoObject,
+                     workOf(D));
   }
   for (const auto &E : D.Owned)
     Orecs[E.Obj].write(makeVersion(versionOf(E.Payload.PreLockWord) + 1));

@@ -35,7 +35,8 @@ namespace ptm {
 
 class OrecEagerTm final : public TmBase {
 public:
-  OrecEagerTm(unsigned ObjectCount, unsigned ThreadCount);
+  OrecEagerTm(unsigned ObjectCount, unsigned ThreadCount,
+              const TmConfig &Config = TmConfig());
 
   TmKind kind() const override { return TmKind::TK_OrecEager; }
 
@@ -74,6 +75,11 @@ private:
 
   /// Undoes in-place writes and releases all locks (abort path).
   void rollbackAndRelease(Desc &D);
+
+  /// The attempt's footprint (the CM's "work done" currency).
+  static unsigned workOf(const Desc &D) {
+    return static_cast<unsigned>(D.Reads.size() + D.Owned.size());
+  }
 
   std::vector<BaseObject> Orecs;
   std::vector<Desc> Descs;

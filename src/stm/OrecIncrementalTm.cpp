@@ -9,8 +9,11 @@
 
 using namespace ptm;
 
-OrecIncrementalTm::OrecIncrementalTm(unsigned ObjectCount, unsigned ThreadCount)
-    : TmBase(ObjectCount, ThreadCount), Orecs(ObjectCount), Descs(ThreadCount) {}
+OrecIncrementalTm::OrecIncrementalTm(unsigned ObjectCount,
+                                     unsigned ThreadCount,
+                                     const TmConfig &Config)
+    : TmBase(ObjectCount, ThreadCount, Config), Orecs(ObjectCount),
+      Descs(ThreadCount) {}
 
 void OrecIncrementalTm::resetDesc(Desc &D) {
   D.Reads.clear();
@@ -43,11 +46,11 @@ bool OrecIncrementalTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
   // accesses are trivial primitives: reads stay invisible.
   uint64_t Pre = Orecs[Obj].read();
   if (isLocked(Pre))
-    return slotAbort(Tid, AbortCause::AC_LockHeld);
+    return slotAbort(Tid, AbortCause::AC_LockHeld, Obj, workOf(D));
   Value = Values[Obj].read();
   uint64_t Post = Orecs[Obj].read();
   if (Post != Pre)
-    return slotAbort(Tid, AbortCause::AC_ReadValidation);
+    return slotAbort(Tid, AbortCause::AC_ReadValidation, Obj, workOf(D));
 
   // Incremental validation: with no global clock to order commits, opacity
   // requires establishing that the whole read set was still intact at a
@@ -56,7 +59,7 @@ bool OrecIncrementalTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
   // at the moment the value was read. Cost: i-1 extra reads for the i-th
   // t-read — the Theorem 3(1) lower bound, met exactly.
   if (!validateReadSet(D))
-    return slotAbort(Tid, AbortCause::AC_ReadValidation);
+    return slotAbort(Tid, AbortCause::AC_ReadValidation, Obj, workOf(D));
 
   // Record the first read of each object (a repeated read is covered by
   // the validation above; the dedup probe itself is O(1) local work).
@@ -91,11 +94,11 @@ bool OrecIncrementalTm::txCommit(ThreadId Tid) {
     uint64_t Cur = Orecs[W.Obj].read();
     if (isLocked(Cur)) {
       releaseLocked(D);
-      return slotAbort(Tid, AbortCause::AC_LockHeld);
+      return slotAbort(Tid, AbortCause::AC_LockHeld, W.Obj, workOf(D));
     }
     if (!Orecs[W.Obj].compareAndSwap(Cur, makeLocked(Tid))) {
       releaseLocked(D);
-      return slotAbort(Tid, AbortCause::AC_LockHeld);
+      return slotAbort(Tid, AbortCause::AC_LockHeld, W.Obj, workOf(D));
     }
     D.Locked.push_back({W.Obj, Cur});
   }
@@ -117,7 +120,8 @@ bool OrecIncrementalTm::txCommit(ThreadId Tid) {
     }
     if (!OkSelfLocked) {
       releaseLocked(D);
-      return slotAbort(Tid, AbortCause::AC_CommitValidation);
+      return slotAbort(Tid, AbortCause::AC_CommitValidation, E.Obj,
+                       workOf(D));
     }
   }
 

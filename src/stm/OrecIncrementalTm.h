@@ -31,7 +31,8 @@ namespace ptm {
 
 class OrecIncrementalTm final : public TmBase {
 public:
-  OrecIncrementalTm(unsigned ObjectCount, unsigned ThreadCount);
+  OrecIncrementalTm(unsigned ObjectCount, unsigned ThreadCount,
+                    const TmConfig &Config = TmConfig());
 
   TmKind kind() const override { return TmKind::TK_OrecIncremental; }
 
@@ -66,6 +67,11 @@ private:
 
   void releaseLocked(Desc &D);
   void resetDesc(Desc &D);
+
+  /// The attempt's TxSets footprint (the CM's "work done" currency).
+  static unsigned workOf(const Desc &D) {
+    return static_cast<unsigned>(D.Reads.size() + D.Writes.size());
+  }
 
   std::vector<BaseObject> Orecs;
   std::vector<Desc> Descs;

@@ -9,8 +9,10 @@
 
 using namespace ptm;
 
-OrecTsTm::OrecTsTm(unsigned ObjectCount, unsigned ThreadCount)
-    : TmBase(ObjectCount, ThreadCount), Clock(0), Orecs(ObjectCount),
+OrecTsTm::OrecTsTm(unsigned ObjectCount, unsigned ThreadCount,
+                   const TmConfig &Config)
+    : TmBase(ObjectCount, ThreadCount, Config),
+      Clock(createVersionClock(Config.Clock, ThreadCount)), Orecs(ObjectCount),
       Descs(ThreadCount) {}
 
 void OrecTsTm::resetDesc(Desc &D) {
@@ -23,7 +25,7 @@ void OrecTsTm::txBegin(ThreadId Tid) {
   slotBegin(Tid);
   Desc &D = Descs[Tid];
   resetDesc(D);
-  D.Rv = Clock.read();
+  D.Rv = Clock->read();
 }
 
 bool OrecTsTm::extendSnapshot(Desc &D) {
@@ -31,7 +33,7 @@ bool OrecTsTm::extendSnapshot(Desc &D) {
   // touched our read set will have released its locks with a changed
   // version by the time the scan below reaches it — so if the scan sees
   // every entry unchanged and unlocked, the snapshot holds through Now.
-  uint64_t Now = Clock.read();
+  uint64_t Now = Clock->read();
   for (const auto &E : D.Reads)
     if (Orecs[E.Obj].read() != makeVersion(E.Payload))
       return false;
@@ -54,18 +56,18 @@ bool OrecTsTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
     // Consistent (orec, value, orec) sample, as in TL2.
     uint64_t Pre = Orecs[Obj].read();
     if (isLocked(Pre))
-      return slotAbort(Tid, AbortCause::AC_LockHeld);
+      return slotAbort(Tid, AbortCause::AC_LockHeld, Obj, workOf(D));
     Value = Values[Obj].read();
     uint64_t Post = Orecs[Obj].read();
     if (Post != Pre)
-      return slotAbort(Tid, AbortCause::AC_ReadValidation);
+      return slotAbort(Tid, AbortCause::AC_ReadValidation, Obj, workOf(D));
 
     // Repeated read: consistent iff the object still carries the version
     // recorded at first read (any change means our snapshot's value no
     // longer exists — these TMs keep no old versions).
     if (const auto *E = D.Reads.find(Obj)) {
       if (versionOf(Pre) != E->Payload)
-        return slotAbort(Tid, AbortCause::AC_ReadValidation);
+        return slotAbort(Tid, AbortCause::AC_ReadValidation, Obj, workOf(D));
       return true;
     }
 
@@ -81,7 +83,7 @@ bool OrecTsTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
     // aborting preserves progressiveness; each loop iteration requires
     // yet another concurrent commit, so solo runs never loop.
     if (!extendSnapshot(D))
-      return slotAbort(Tid, AbortCause::AC_ReadValidation);
+      return slotAbort(Tid, AbortCause::AC_ReadValidation, Obj, workOf(D));
   }
 }
 
@@ -108,21 +110,23 @@ bool OrecTsTm::txCommit(ThreadId Tid) {
     uint64_t Cur = Orecs[W.Obj].read();
     if (isLocked(Cur)) {
       releaseLocked(D);
-      return slotAbort(Tid, AbortCause::AC_LockHeld);
+      return slotAbort(Tid, AbortCause::AC_LockHeld, W.Obj, workOf(D));
     }
     if (!Orecs[W.Obj].compareAndSwap(Cur, makeLocked(Tid))) {
       releaseLocked(D);
-      return slotAbort(Tid, AbortCause::AC_LockHeld);
+      return slotAbort(Tid, AbortCause::AC_LockHeld, W.Obj, workOf(D));
     }
     D.Locked.push_back({W.Obj, Cur});
   }
 
-  uint64_t Wv = Clock.fetchAdd(1) + 1;
+  uint64_t Wv = Clock->commitStamp(Tid);
 
   // Validate the read set unless no one committed since Rv (the TL2
   // Wv == Rv + 1 shortcut, equally sound here: version bumps only come
-  // from commits, and every commit takes a fresh clock value).
-  if (Wv != D.Rv + 1) {
+  // from commits, and every commit takes a fresh clock value). The
+  // shortcut needs unique stamps, so non-exact clocks (gv5/sharded)
+  // always validate — see Tl2Tm::txCommit for the counterexample.
+  if (!Clock->exactStamps() || Wv != D.Rv + 1) {
     for (const auto &E : D.Reads) {
       uint64_t Cur = Orecs[E.Obj].read();
       if (Cur == makeVersion(E.Payload))
@@ -140,7 +144,8 @@ bool OrecTsTm::txCommit(ThreadId Tid) {
       }
       if (!OkSelfLocked) {
         releaseLocked(D);
-        return slotAbort(Tid, AbortCause::AC_CommitValidation);
+        return slotAbort(Tid, AbortCause::AC_CommitValidation, E.Obj,
+                         workOf(D));
       }
     }
   }

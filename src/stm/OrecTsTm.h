@@ -34,14 +34,17 @@
 
 #include "stm/TmBase.h"
 #include "stm/TxSets.h"
+#include "stm/VersionClock.h"
 
 namespace ptm {
 
 class OrecTsTm final : public TmBase {
 public:
-  OrecTsTm(unsigned ObjectCount, unsigned ThreadCount);
+  OrecTsTm(unsigned ObjectCount, unsigned ThreadCount,
+           const TmConfig &Config = TmConfig());
 
   TmKind kind() const override { return TmKind::TK_OrecTs; }
+  const VersionClock *versionClock() const override { return Clock.get(); }
 
   void txBegin(ThreadId Tid) override;
   bool txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) override;
@@ -73,7 +76,14 @@ private:
   void releaseLocked(Desc &D);
   void resetDesc(Desc &D);
 
-  BaseObject Clock; ///< Global version clock (breaks weak DAP).
+  /// The attempt's TxSets footprint (the CM's "work done" currency).
+  static unsigned workOf(const Desc &D) {
+    return static_cast<unsigned>(D.Reads.size() + D.Writes.size());
+  }
+
+  /// Global version clock (breaks weak DAP); pluggable via
+  /// TmConfig.Clock — see stm/VersionClock.h for the trade-offs.
+  std::unique_ptr<VersionClock> Clock;
   std::vector<BaseObject> Orecs;
   std::vector<Desc> Descs;
 };

@@ -9,8 +9,10 @@
 
 using namespace ptm;
 
-Tl2Tm::Tl2Tm(unsigned ObjectCount, unsigned ThreadCount)
-    : TmBase(ObjectCount, ThreadCount), Clock(0), Orecs(ObjectCount),
+Tl2Tm::Tl2Tm(unsigned ObjectCount, unsigned ThreadCount,
+             const TmConfig &Config)
+    : TmBase(ObjectCount, ThreadCount, Config),
+      Clock(createVersionClock(Config.Clock, ThreadCount)), Orecs(ObjectCount),
       Descs(ThreadCount) {}
 
 void Tl2Tm::resetDesc(Desc &D) {
@@ -23,7 +25,7 @@ void Tl2Tm::txBegin(ThreadId Tid) {
   slotBegin(Tid);
   Desc &D = Descs[Tid];
   resetDesc(D);
-  D.Rv = Clock.read();
+  D.Rv = Clock->read();
 }
 
 bool Tl2Tm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
@@ -41,13 +43,13 @@ bool Tl2Tm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
   // version <= Rv is a value that existed at time Rv.
   uint64_t Pre = Orecs[Obj].read();
   if (isLocked(Pre))
-    return slotAbort(Tid, AbortCause::AC_LockHeld);
+    return slotAbort(Tid, AbortCause::AC_LockHeld, Obj, workOf(D));
   if (versionOf(Pre) > D.Rv)
-    return slotAbort(Tid, AbortCause::AC_ReadValidation);
+    return slotAbort(Tid, AbortCause::AC_ReadValidation, Obj, workOf(D));
   Value = Values[Obj].read();
   uint64_t Post = Orecs[Obj].read();
   if (Post != Pre)
-    return slotAbort(Tid, AbortCause::AC_ReadValidation);
+    return slotAbort(Tid, AbortCause::AC_ReadValidation, Obj, workOf(D));
 
   // Dedup: a repeated read was just revalidated against Rv above, so the
   // read set (and with it commit-time validation) stays bounded by the
@@ -80,23 +82,26 @@ bool Tl2Tm::txCommit(ThreadId Tid) {
     uint64_t Cur = Orecs[W.Obj].read();
     if (isLocked(Cur)) {
       releaseLocked(D);
-      return slotAbort(Tid, AbortCause::AC_LockHeld);
+      return slotAbort(Tid, AbortCause::AC_LockHeld, W.Obj, workOf(D));
     }
     if (!Orecs[W.Obj].compareAndSwap(Cur, makeLocked(Tid))) {
       releaseLocked(D);
-      return slotAbort(Tid, AbortCause::AC_LockHeld);
+      return slotAbort(Tid, AbortCause::AC_LockHeld, W.Obj, workOf(D));
     }
     D.Locked.push_back({W.Obj, Cur});
   }
 
-  uint64_t Wv = Clock.fetchAdd(1) + 1;
+  uint64_t Wv = Clock->commitStamp(Tid);
 
   // Validate the read set unless no one committed since Rv (the TL2
   // Wv == Rv + 1 shortcut). An entry is valid iff its orec still carries
   // the version recorded at first read — equivalent to the classic
   // "version <= Rv" check (any post-read change commits with wv > Rv)
-  // and the same discipline the other orec TMs use.
-  if (Wv != D.Rv + 1) {
+  // and the same discipline the other orec TMs use. The shortcut is
+  // sound only when commit stamps are unique: with duplicate stamps
+  // (gv5/sharded) two committers can both draw Rv + 1 and would skip
+  // validating a mutual anti-dependency, so those clocks always validate.
+  if (!Clock->exactStamps() || Wv != D.Rv + 1) {
     for (const auto &E : D.Reads) {
       ObjectId Obj = E.Obj;
       uint64_t Cur = Orecs[Obj].read();
@@ -122,7 +127,7 @@ bool Tl2Tm::txCommit(ThreadId Tid) {
       }
       // Changed or locked by anyone else: a conflict either way.
       releaseLocked(D);
-      return slotAbort(Tid, AbortCause::AC_CommitValidation);
+      return slotAbort(Tid, AbortCause::AC_CommitValidation, Obj, workOf(D));
     }
   }
 

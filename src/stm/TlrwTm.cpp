@@ -11,8 +11,10 @@
 
 using namespace ptm;
 
-TlrwTm::TlrwTm(unsigned ObjectCount, unsigned ThreadCount)
-    : TmBase(ObjectCount, ThreadCount), Locks(ObjectCount), Descs(ThreadCount) {}
+TlrwTm::TlrwTm(unsigned ObjectCount, unsigned ThreadCount,
+               const TmConfig &Config)
+    : TmBase(ObjectCount, ThreadCount, Config), Locks(ObjectCount),
+      Descs(ThreadCount) {}
 
 void TlrwTm::erase(std::vector<ObjectId> &Set, ObjectId Obj) {
   for (size_t I = 0, E = Set.size(); I != E; ++I) {
@@ -83,9 +85,10 @@ bool TlrwTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
   // O(1) steps, no validation ever — the cost is visibility, which is how
   // this TM escapes the Theorem 3 quadratic bound.
   if (!acquireRead(Tid, Obj)) {
+    noteLockBusy(Tid, Obj);
     rollback(D);
     releaseAll(D);
-    return slotAbort(Tid, AbortCause::AC_LockHeld);
+    return slotAbort(Tid, AbortCause::AC_LockHeld, Obj, workOf(D));
   }
   D.ReadLocks.push_back(Obj);
   Value = Values[Obj].read();
@@ -101,9 +104,10 @@ bool TlrwTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
   if (!contains(D.WriteLocks, Obj)) {
     bool Upgrade = contains(D.ReadLocks, Obj);
     if (!acquireWrite(Tid, Obj, Upgrade)) {
+      noteLockBusy(Tid, Obj);
       rollback(D);
       releaseAll(D);
-      return slotAbort(Tid, AbortCause::AC_LockHeld);
+      return slotAbort(Tid, AbortCause::AC_LockHeld, Obj, workOf(D));
     }
     if (Upgrade)
       erase(D.ReadLocks, Obj);

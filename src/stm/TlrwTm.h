@@ -32,7 +32,8 @@ namespace ptm {
 
 class TlrwTm final : public TmBase {
 public:
-  TlrwTm(unsigned ObjectCount, unsigned ThreadCount);
+  TlrwTm(unsigned ObjectCount, unsigned ThreadCount,
+         const TmConfig &Config = TmConfig());
 
   TmKind kind() const override { return TmKind::TK_Tlrw; }
 
@@ -78,6 +79,12 @@ private:
 
   void rollback(Desc &D);
   void releaseAll(Desc &D);
+
+  /// The attempt's footprint (the CM's "work done" currency).
+  static unsigned workOf(const Desc &D) {
+    return static_cast<unsigned>(D.ReadLocks.size() + D.WriteLocks.size() +
+                                 D.UndoLog.size());
+  }
 
   std::vector<BaseObject> Locks;
   std::vector<Desc> Descs;

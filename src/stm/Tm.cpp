@@ -52,6 +52,59 @@ const std::vector<TmKind> &ptm::allTmKinds() {
 
 bool ptm::isProgressive(TmKind Kind) { return Kind != TmKind::TK_Tml; }
 
+const char *ptm::clockKindName(ClockKind Kind) {
+  switch (Kind) {
+  case ClockKind::CK_Gv1:
+    return "gv1";
+  case ClockKind::CK_Gv5:
+    return "gv5";
+  case ClockKind::CK_Sharded:
+    return "sharded";
+  }
+  return "unknown";
+}
+
+std::optional<ClockKind> ptm::clockKindFromName(std::string_view Name) {
+  for (ClockKind Kind : allClockKinds())
+    if (Name == clockKindName(Kind))
+      return Kind;
+  return std::nullopt;
+}
+
+const std::vector<ClockKind> &ptm::allClockKinds() {
+  static const std::vector<ClockKind> Kinds = {
+      ClockKind::CK_Gv1, ClockKind::CK_Gv5, ClockKind::CK_Sharded};
+  return Kinds;
+}
+
+const char *ptm::cmKindName(CmKind Kind) {
+  switch (Kind) {
+  case CmKind::CM_Backoff:
+    return "backoff";
+  case CmKind::CM_Polite:
+    return "polite";
+  case CmKind::CM_Karma:
+    return "karma";
+  case CmKind::CM_HotSpot:
+    return "hotspot";
+  }
+  return "unknown";
+}
+
+std::optional<CmKind> ptm::cmKindFromName(std::string_view Name) {
+  for (CmKind Kind : allCmKinds())
+    if (Name == cmKindName(Kind))
+      return Kind;
+  return std::nullopt;
+}
+
+const std::vector<CmKind> &ptm::allCmKinds() {
+  static const std::vector<CmKind> Kinds = {CmKind::CM_Backoff,
+                                            CmKind::CM_Polite, CmKind::CM_Karma,
+                                            CmKind::CM_HotSpot};
+  return Kinds;
+}
+
 const char *ptm::abortCauseName(AbortCause Cause) {
   switch (Cause) {
   case AbortCause::AC_None:

@@ -89,6 +89,52 @@ static_assert(kNumAbortCauses ==
 /// Short stable name for an abort cause.
 const char *abortCauseName(AbortCause Cause);
 
+/// The available global version-clock algorithms (see stm/VersionClock.h).
+enum class ClockKind {
+  CK_Gv1,     ///< Single fetch-add cell (classic TL2 GV1; the default).
+  CK_Gv5,     ///< Pass-on-failure: one lossy CAS, duplicate stamps allowed.
+  CK_Sharded, ///< Per-thread cells, max-scan reads, RMW-free stamping.
+};
+
+/// Short stable name (used in configs, bench JSON and logs).
+const char *clockKindName(ClockKind Kind);
+
+/// Inverse of clockKindName. Returns std::nullopt for unknown names.
+std::optional<ClockKind> clockKindFromName(std::string_view Name);
+
+/// All implemented clock kinds, in a fixed presentation order.
+const std::vector<ClockKind> &allClockKinds();
+
+/// The available contention-management policies (stm/ContentionManager.h).
+enum class CmKind {
+  CM_Backoff, ///< Capped exponential backoff (the default).
+  CM_Polite,  ///< Linearly growing patience, capped, then yields.
+  CM_Karma,   ///< Wait shrinks with accumulated work (TxSets entries).
+  CM_HotSpot, ///< Per-object conflict heat scales the wait.
+};
+
+/// Short stable name (used in configs, bench JSON and logs).
+const char *cmKindName(CmKind Kind);
+
+/// Inverse of cmKindName. Returns std::nullopt for unknown names.
+std::optional<CmKind> cmKindFromName(std::string_view Name);
+
+/// All implemented CM kinds, in a fixed presentation order.
+const std::vector<CmKind> &allCmKinds();
+
+/// Cross-cutting configuration of one TM instance: which version clock
+/// the clock-based algorithms stamp commits from, and which contention
+/// manager the retry combinator consults between attempts. The defaults
+/// reproduce the pre-config behaviour bit-for-bit (GV1's access sequence
+/// is the old inline clock's; backoff keeps the old spin constants).
+struct TmConfig {
+  ClockKind Clock = ClockKind::CK_Gv1;
+  CmKind Cm = CmKind::CM_Backoff;
+};
+
+class ContentionManager;
+class VersionClock;
+
 /// Commit/abort counters aggregated across all threads of a TM instance.
 struct TmStats {
   uint64_t Commits = 0;                  ///< Successful tryCommits (C_k).
@@ -190,6 +236,35 @@ public:
   /// transaction committed).
   virtual AbortCause lastAbortCause(ThreadId Tid) const = 0;
 
+  /// The object whose conflict caused the last abort on this thread, or
+  /// kNoObject when no single object did (user abort, value-based
+  /// validation, a clock-wide conflict). Feeds contention managers that
+  /// track per-object conflict state.
+  virtual ObjectId lastConflictObject(ThreadId Tid) const {
+    (void)Tid;
+    return kNoObject;
+  }
+
+  /// The aborted attempt's TxSets footprint (read-set + write-set entries
+  /// at abort time) — the "work done" a karma-style contention manager
+  /// accumulates. 0 when unknown or after a commit.
+  virtual unsigned lastAbortWork(ThreadId Tid) const {
+    (void)Tid;
+    return 0;
+  }
+
+  /// This instance's cross-cutting configuration (clock + CM choice).
+  virtual TmConfig config() const { return TmConfig(); }
+
+  /// The contention manager owned by this instance, or null on wrappers
+  /// and fakes that have none (the retry combinator then falls back to
+  /// plain capped-exponential backoff).
+  virtual ContentionManager *contentionManager() { return nullptr; }
+
+  /// The version clock this instance stamps commits from, or null for
+  /// algorithms without one (glock, norec, orec-incr, orec-eager, tlrw).
+  virtual const VersionClock *versionClock() const { return nullptr; }
+
   /// Non-transactional readback, valid only in quiescent configurations
   /// (setup/teardown/verification). Never counted as steps.
   virtual uint64_t sample(ObjectId Obj) const = 0;
@@ -222,10 +297,17 @@ public:
 };
 
 /// Creates a TM of the given kind over \p NumObjects t-objects usable by up
-/// to \p MaxThreads concurrent threads. Returns null if \p Kind is not a
-/// known TmKind or if either count is zero.
+/// to \p MaxThreads concurrent threads, with the default TmConfig (GV1
+/// clock, backoff CM). Returns null if \p Kind is not a known TmKind or if
+/// either count is zero.
 std::unique_ptr<Tm> createTm(TmKind Kind, unsigned NumObjects,
                              unsigned MaxThreads);
+
+/// Like the two-argument overload, but with an explicit clock/CM
+/// configuration. Algorithms without a version clock ignore Config.Clock;
+/// every TM owns a contention manager of Config.Cm.
+std::unique_ptr<Tm> createTm(TmKind Kind, unsigned NumObjects,
+                             unsigned MaxThreads, const TmConfig &Config);
 
 } // namespace ptm
 

@@ -9,9 +9,11 @@
 
 using namespace ptm;
 
-TmBase::TmBase(unsigned ObjectCount, unsigned ThreadCount)
+TmBase::TmBase(unsigned ObjectCount, unsigned ThreadCount,
+               const TmConfig &Config)
     : Values(ObjectCount), Slots(ThreadCount), NumObjects(ObjectCount),
-      MaxThreads(ThreadCount) {
+      MaxThreads(ThreadCount), Cfg(Config),
+      Cm(createContentionManager(Config.Cm, ThreadCount, ObjectCount)) {
   assert(ObjectCount > 0 && "TM needs at least one t-object");
   assert(ThreadCount > 0 && "TM needs at least one thread slot");
 }

@@ -19,10 +19,13 @@
 #include "obs/Trace.h"
 #include "runtime/BaseObject.h"
 #include "runtime/Instrumentation.h"
+#include "stm/ContentionManager.h"
 #include "stm/Tm.h"
 #include "support/Compiler.h"
 
 #include <cassert>
+#include <memory>
+#include <utility>
 #include <vector>
 
 namespace ptm {
@@ -45,6 +48,27 @@ public:
     return Slots[Tid].Cause;
   }
 
+  ObjectId lastConflictObject(ThreadId Tid) const final {
+    assert(Tid < MaxThreads && "thread id out of range");
+    return Slots[Tid].Conflict;
+  }
+
+  unsigned lastAbortWork(ThreadId Tid) const final {
+    assert(Tid < MaxThreads && "thread id out of range");
+    return Slots[Tid].Work;
+  }
+
+  TmConfig config() const final { return Cfg; }
+
+  ContentionManager *contentionManager() final { return Cm.get(); }
+
+  /// Replaces the instance's contention manager (test seam: counting
+  /// fakes, policy swaps). Quiescent-only. Null detaches the CM, making
+  /// the retry combinator fall back to plain backoff.
+  void setContentionManager(std::unique_ptr<ContentionManager> NewCm) {
+    Cm = std::move(NewCm);
+  }
+
   uint64_t sample(ObjectId Obj) const final {
     assert(Obj < NumObjects && "object id out of range");
     return Values[Obj].peek();
@@ -64,16 +88,20 @@ public:
   void resetStats() final;
 
 protected:
-  TmBase(unsigned ObjectCount, unsigned ThreadCount);
+  TmBase(unsigned ObjectCount, unsigned ThreadCount,
+         const TmConfig &Config = TmConfig());
 
   /// Per-thread lifecycle and counters, padded against false sharing.
   /// The counters are single-writer cells (obs::OwnedCounter): only the
   /// owning thread increments, so statsSnapshot() may sum them live while
-  /// transactions run. Active/Cause stay plain — they are owner-read
-  /// (txActive / lastAbortCause) and never consulted by the live path.
+  /// transactions run. Active/Cause/Conflict/Work stay plain — they are
+  /// owner-read (txActive / lastAbortCause / the CM feed) and never
+  /// consulted by the live path.
   struct alignas(PTM_CACHELINE_SIZE) Slot {
     bool Active = false;
     AbortCause Cause = AbortCause::AC_None;
+    ObjectId Conflict = kNoObject; ///< Object behind the last abort.
+    unsigned Work = 0;             ///< TxSets entries at the last abort.
     obs::OwnedCounter Commits;
     obs::OwnedCounter Aborts[kNumAbortCauses];
   };
@@ -104,20 +132,37 @@ protected:
     assert(Slots[Tid].Active && "commit without active transaction");
     Slots[Tid].Active = false;
     Slots[Tid].Cause = AbortCause::AC_None;
+    Slots[Tid].Conflict = kNoObject;
+    Slots[Tid].Work = 0;
     Slots[Tid].Commits.inc();
     traceEvent(obs::TraceEventKind::TE_Commit);
     return true;
   }
 
   /// Records an abort with \p Cause; returns false for tail-calling.
-  bool slotAbort(ThreadId Tid, AbortCause Cause) {
+  /// \p Conflict is the object whose conflict killed the attempt (or
+  /// kNoObject) and \p Work the attempt's TxSets footprint — both flow to
+  /// the contention manager via Tm::lastConflictObject/lastAbortWork.
+  bool slotAbort(ThreadId Tid, AbortCause Cause, ObjectId Conflict = kNoObject,
+                 unsigned Work = 0) {
     assert(Slots[Tid].Active && "abort without active transaction");
     assert(Cause != AbortCause::AC_None && "abort needs a cause");
     Slots[Tid].Active = false;
     Slots[Tid].Cause = Cause;
+    Slots[Tid].Conflict = Conflict;
+    Slots[Tid].Work = Work;
     Slots[Tid].Aborts[static_cast<unsigned>(Cause)].inc();
     traceEvent(obs::TraceEventKind::TE_Abort, static_cast<uint64_t>(Cause));
     return false;
+  }
+
+  /// Notifies the contention manager of a failed encounter-time lock
+  /// acquisition — bookkeeping only (the CM never waits here; see the
+  /// placement contract in stm/ContentionManager.h). Eager TMs call this
+  /// right before the resulting slotAbort.
+  void noteLockBusy(ThreadId Tid, ObjectId Obj) {
+    if (Cm)
+      Cm->noteLockBusy(Tid, Obj);
   }
 
   /// The t-object value cells. Subclass metadata lives in parallel arrays.
@@ -128,6 +173,8 @@ protected:
 private:
   unsigned NumObjects;
   unsigned MaxThreads;
+  TmConfig Cfg;
+  std::unique_ptr<ContentionManager> Cm;
 };
 
 } // namespace ptm

@@ -11,13 +11,16 @@
 
 using namespace ptm;
 
-TmlTm::TmlTm(unsigned ObjectCount, unsigned ThreadCount)
-    : TmBase(ObjectCount, ThreadCount), Seq(0), Descs(ThreadCount) {}
+TmlTm::TmlTm(unsigned ObjectCount, unsigned ThreadCount,
+             const TmConfig &Config)
+    : TmBase(ObjectCount, ThreadCount, Config),
+      Clock(createVersionClock(Config.Clock, ThreadCount)),
+      Descs(ThreadCount) {}
 
 uint64_t TmlTm::waitEven() {
   uint32_t Spins = 0;
   for (;;) {
-    uint64_t Time = Seq.read();
+    uint64_t Time = Clock->seqRead();
     if ((Time & 1) == 0)
       return Time;
     spinPause(Spins);
@@ -44,8 +47,10 @@ bool TmlTm::txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) {
   // conflict — this is exactly where TML fails progressiveness.
   if (D.Writer)
     return true;
-  if (Seq.read() != D.Snapshot)
-    return slotAbort(Tid, AbortCause::AC_ReadValidation);
+  // The conflict is clock-wide, not on any one object (this is exactly
+  // where TML fails progressiveness), so no conflict object is reported.
+  if (Clock->seqRead() != D.Snapshot)
+    return slotAbort(Tid, AbortCause::AC_ReadValidation, kNoObject, workOf(D));
   return true;
 }
 
@@ -59,9 +64,8 @@ bool TmlTm::txWrite(ThreadId Tid, ObjectId Obj, uint64_t Value) {
     // Become the writer: take the sequence lock at our snapshot. Failure
     // means someone else committed or is writing — abort (single-shot CAS
     // keeps us non-blocking).
-    uint64_t Expected = D.Snapshot;
-    if (!Seq.compareAndSwap(Expected, D.Snapshot + 1))
-      return slotAbort(Tid, AbortCause::AC_LockHeld);
+    if (!Clock->seqTryAcquire(D.Snapshot))
+      return slotAbort(Tid, AbortCause::AC_LockHeld, kNoObject, workOf(D));
     D.Writer = true;
   }
   D.UndoLog.push_back({Obj, Values[Obj].read()});
@@ -77,7 +81,7 @@ bool TmlTm::txCommit(ThreadId Tid) {
   // (it ran irrevocably under the lock). A reader validated every read
   // in-line, so it simply commits.
   if (D.Writer) {
-    Seq.write(D.Snapshot + 2);
+    Clock->seqRelease(D.Snapshot + 2);
     D.Writer = false;
     D.UndoLog.clear();
   }
@@ -91,7 +95,7 @@ void TmlTm::txAbort(ThreadId Tid) {
     for (auto It = D.UndoLog.rbegin(), End = D.UndoLog.rend(); It != End;
          ++It)
       Values[It->Obj].write(It->Value);
-    Seq.write(D.Snapshot + 2);
+    Clock->seqRelease(D.Snapshot + 2);
     D.Writer = false;
     D.UndoLog.clear();
   }

@@ -29,14 +29,17 @@
 
 #include "stm/TmBase.h"
 #include "stm/TxSets.h"
+#include "stm/VersionClock.h"
 
 namespace ptm {
 
 class TmlTm final : public TmBase {
 public:
-  TmlTm(unsigned ObjectCount, unsigned ThreadCount);
+  TmlTm(unsigned ObjectCount, unsigned ThreadCount,
+        const TmConfig &Config = TmConfig());
 
   TmKind kind() const override { return TmKind::TK_Tml; }
+  const VersionClock *versionClock() const override { return Clock.get(); }
 
   void txBegin(ThreadId Tid) override;
   bool txRead(ThreadId Tid, ObjectId Obj, uint64_t &Value) override;
@@ -55,7 +58,18 @@ private:
   /// it only for its own finite transaction).
   uint64_t waitEven();
 
-  BaseObject Seq; ///< Global sequence lock; odd = a writer is running.
+  /// The attempt's footprint (the CM's "work done" currency): only the
+  /// undo log is tracked, so readers report 0.
+  static unsigned workOf(const Desc &D) {
+    return static_cast<unsigned>(D.UndoLog.size());
+  }
+
+  /// Global sequence lock, routed through the clock's seqlock face
+  /// (seqRead / seqTryAcquire / seqRelease); odd = a writer is running.
+  /// A seqlock is one word by definition, so every ClockKind behaves
+  /// identically here — the TM participates in the clock dimension for
+  /// uniformity, not for a behavioral difference.
+  std::unique_ptr<VersionClock> Clock;
   std::vector<Desc> Descs;
 };
 

@@ -1,0 +1,141 @@
+//===-- stm/VersionClock.cpp - Pluggable global version clocks ------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "stm/VersionClock.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace ptm;
+
+namespace {
+
+/// GV1: the classic single-cell fetch-add clock. Bitwise-compatible with
+/// the clocks the TMs inlined before this layer existed: one AK_Read per
+/// snapshot, one AK_FetchAdd per update commit.
+class Gv1Clock final : public VersionClock {
+public:
+  ClockKind kind() const override { return ClockKind::CK_Gv1; }
+  uint64_t read() override { return Cell.read(); }
+  uint64_t commitStamp(ThreadId) override { return Cell.fetchAdd(1) + 1; }
+  bool exactStamps() const override { return true; }
+  uint64_t peek() const override { return Cell.peek(); }
+
+  uint64_t seqRead() override { return Cell.read(); }
+  bool seqTryAcquire(uint64_t Expected) override {
+    return Cell.compareAndSwap(Expected, Expected + 1);
+  }
+  void seqRelease(uint64_t Value) override { Cell.write(Value); }
+
+private:
+  BaseObject Cell{0};
+};
+
+/// GV5-style pass-on-failure clock: commitStamp computes read+1 and
+/// installs it with a single CAS whose failure is ignored. Correctness of
+/// ignoring the failure: the CAS fails only because the cell moved past
+/// the expected value, and by monotonicity the observed value is then
+/// >= w, so guarantee (b) (read() >= w afterwards) holds either way.
+/// Guarantee (a) holds because the read happens after the caller's lock
+/// acquisitions: any snapshot taken before those locks read a cell value
+/// <= w - 1. Stamps are NOT unique — two commits over disjoint objects
+/// can both draw w — hence exactStamps() is false and adopters must
+/// validate every commit (no Rv+1 shortcut).
+class Gv5Clock final : public VersionClock {
+public:
+  ClockKind kind() const override { return ClockKind::CK_Gv5; }
+  uint64_t read() override { return Cell.read(); }
+  uint64_t commitStamp(ThreadId) override {
+    uint64_t Cur = Cell.read();
+    uint64_t W = Cur + 1;
+    Cell.compareAndSwap(Cur, W); // Lost race => cell already >= W.
+    return W;
+  }
+  bool exactStamps() const override { return false; }
+  uint64_t peek() const override { return Cell.peek(); }
+
+  uint64_t seqRead() override { return Cell.read(); }
+  bool seqTryAcquire(uint64_t Expected) override {
+    return Cell.compareAndSwap(Expected, Expected + 1);
+  }
+  void seqRelease(uint64_t Value) override { Cell.write(Value); }
+
+private:
+  BaseObject Cell{0};
+};
+
+/// TLC-style sharded clock: one cache-line-padded cell per thread (every
+/// BaseObject is already line-aligned). read() is a max-scan; commitStamp
+/// writes max+1 into the caller's OWN cell. Single-writer cells are the
+/// monotonicity argument: a thread's stamp w = max+1 covers its own
+/// cell's current value (it scanned it, and nobody else writes it), so
+/// each cell only ever grows, and the max over monotone cells is
+/// monotone. Guarantee (a): any earlier read() saw cell values whose max
+/// was <= the committer's scanned max = w - 1. The price is O(threads)
+/// instrumented reads per snapshot and per stamp, and duplicate stamps
+/// (two threads can scan the same max concurrently).
+class ShardedClock final : public VersionClock {
+public:
+  explicit ShardedClock(unsigned MaxThreads) : Cells(MaxThreads) {}
+
+  ClockKind kind() const override { return ClockKind::CK_Sharded; }
+
+  uint64_t read() override {
+    uint64_t Max = 0;
+    for (BaseObject &C : Cells) {
+      uint64_t V = C.read();
+      if (V > Max)
+        Max = V;
+    }
+    return Max;
+  }
+
+  uint64_t commitStamp(ThreadId Tid) override {
+    assert(Tid < Cells.size() && "thread id out of clock range");
+    uint64_t W = read() + 1;
+    Cells[Tid].write(W);
+    return W;
+  }
+
+  bool exactStamps() const override { return false; }
+
+  uint64_t peek() const override {
+    uint64_t Max = 0;
+    for (const BaseObject &C : Cells) {
+      uint64_t V = C.peek();
+      if (V > Max)
+        Max = V;
+    }
+    return Max;
+  }
+
+  uint64_t seqRead() override { return Cells[0].read(); }
+  bool seqTryAcquire(uint64_t Expected) override {
+    return Cells[0].compareAndSwap(Expected, Expected + 1);
+  }
+  void seqRelease(uint64_t Value) override { Cells[0].write(Value); }
+
+private:
+  std::vector<BaseObject> Cells;
+};
+
+} // namespace
+
+std::unique_ptr<VersionClock> ptm::createVersionClock(ClockKind Kind,
+                                                      unsigned MaxThreads) {
+  if (MaxThreads == 0)
+    return nullptr;
+  switch (Kind) {
+  case ClockKind::CK_Gv1:
+    return std::make_unique<Gv1Clock>();
+  case ClockKind::CK_Gv5:
+    return std::make_unique<Gv5Clock>();
+  case ClockKind::CK_Sharded:
+    return std::make_unique<ShardedClock>(MaxThreads);
+  }
+  return nullptr;
+}

@@ -1,0 +1,117 @@
+//===-- stm/VersionClock.h - Pluggable global version clocks ----*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The global version clock behind every clock-based TM (tl2, orec-ts, mv,
+/// tml), extracted into a swappable interface so the fetch-add hot spot —
+/// the one base object *every* commit of *every* thread RMWs — becomes an
+/// algorithm choice instead of a baked-in policy. "On the Cost of
+/// Concurrency in TM" (PAPERS.md) prices exactly this object: the clock is
+/// why these TMs escape the Theorem 3 quadratic bound, and also why they
+/// are not weak DAP.
+///
+/// Contract shared by all implementations (all cells are BaseObjects, so
+/// clock traffic stays inside the instrumented step/RMR model):
+///
+///  * read() is monotone: it never returns less than any value previously
+///    returned by read() or commitStamp() on any thread.
+///  * commitStamp(Tid) is called with the transaction's write locks HELD
+///    and returns the commit timestamp w. It guarantees
+///      (a) w > any value read() returned before the caller acquired its
+///          locks (so a reader whose snapshot predates the locks can
+///          detect the update: condition (*) of the TL2 safety argument);
+///      (b) read() >= w from the moment commitStamp returns (so later
+///          snapshots admit the published versions).
+///  * exactStamps() says whether stamps are unique across commits. Only
+///    then is the TL2 "Wv == Rv + 1 skips read validation" shortcut
+///    sound: with duplicate stamps two committers can both draw Rv + 1
+///    and miss a mutual anti-dependency. Non-exact clocks must validate
+///    every commit.
+///
+/// Implementations:
+///
+///  * gv1     — the classic TL2 GV1: one cell, commitStamp is fetchAdd+1.
+///              Exact stamps, 1 RMW per update commit; every commit of
+///              every thread contends on the same line.
+///  * gv5     — pass-on-failure: commitStamp reads the cell and installs
+///              read+1 with ONE CAS whose failure is ignored (by
+///              monotonicity the observed value is already >= w). Zero
+///              RMW retry loops, but stamps can duplicate, so adopters
+///              lose the Rv+1 validation shortcut and readers see more
+///              spurious version-ahead aborts.
+///  * sharded — TLC-style per-thread cells: read() is a max-scan over all
+///              cells, commitStamp writes max+1 into the caller's own
+///              cell (single-writer, hence per-cell monotone). No RMW at
+///              all and no shared write target, at the price of O(threads)
+///              reads per snapshot/stamp and non-exact stamps.
+///
+/// The seqlock face (seq*) serves TML, whose "clock" doubles as a global
+/// sequence lock: odd = writer present. It always operates on cell 0, so
+/// under the sharded clock TML degenerates to the single-cell behaviour —
+/// a seqlock is one word by definition; the clock abstraction just owns
+/// the storage uniformly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_STM_VERSIONCLOCK_H
+#define PTM_STM_VERSIONCLOCK_H
+
+#include "runtime/BaseObject.h"
+#include "stm/Tm.h"
+
+#include <memory>
+
+namespace ptm {
+
+/// Abstract global version clock. See the file comment for the contract.
+class VersionClock {
+public:
+  virtual ~VersionClock() = default;
+
+  /// The algorithm implementing this clock.
+  virtual ClockKind kind() const = 0;
+
+  /// Short stable name (same as clockKindName(kind())).
+  const char *name() const { return clockKindName(kind()); }
+
+  /// Current global time (monotone; counted base-object steps).
+  virtual uint64_t read() = 0;
+
+  /// Draws the commit timestamp for thread \p Tid. Call only with the
+  /// transaction's write locks held; see the file comment for the
+  /// guarantees (a) and (b).
+  virtual uint64_t commitStamp(ThreadId Tid) = 0;
+
+  /// True iff no two commits can draw the same stamp — the soundness
+  /// condition of the TL2 Wv == Rv + 1 validation-skip shortcut.
+  virtual bool exactStamps() const = 0;
+
+  /// Uninstrumented quiescent readback (setup/teardown only).
+  virtual uint64_t peek() const = 0;
+
+  /// \name Seqlock face (always cell 0)
+  /// TML's global sequence lock routed through the clock's storage: odd
+  /// value = writer present. Only meaningful for a TM that uses the clock
+  /// exclusively through these three operations.
+  /// @{
+  virtual uint64_t seqRead() = 0;
+  /// Single-shot CAS \p Expected -> \p Expected + 1 (lock acquisition).
+  virtual bool seqTryAcquire(uint64_t Expected) = 0;
+  /// Store \p Value (lock release / clock publish by the lock holder).
+  virtual void seqRelease(uint64_t Value) = 0;
+  /// @}
+};
+
+/// Creates a version clock of the given kind for up to \p MaxThreads
+/// concurrent threads (the sharded clock sizes its cell array from this).
+/// Returns null if \p Kind is unknown or \p MaxThreads is zero.
+std::unique_ptr<VersionClock> createVersionClock(ClockKind Kind,
+                                                 unsigned MaxThreads);
+
+} // namespace ptm
+
+#endif // PTM_STM_VERSIONCLOCK_H

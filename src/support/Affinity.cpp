@@ -1,0 +1,66 @@
+//===-- support/Affinity.cpp - Thread-to-CPU pinning ----------------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Affinity.h"
+
+#include <atomic>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+using namespace ptm;
+
+bool ptm::affinitySupported() {
+#if defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+unsigned ptm::affinityCpuCount() {
+#if defined(__linux__)
+  long N = sysconf(_SC_NPROCESSORS_ONLN);
+  return N > 0 ? static_cast<unsigned>(N) : 0;
+#else
+  return 0;
+#endif
+}
+
+namespace {
+std::atomic<bool> PinningEnabled{false};
+} // namespace
+
+void ptm::setThreadPinningEnabled(bool Enabled) {
+  PinningEnabled.store(Enabled, std::memory_order_relaxed);
+}
+
+bool ptm::threadPinningEnabled() {
+  return PinningEnabled.load(std::memory_order_relaxed);
+}
+
+bool ptm::maybePinThread(unsigned Index) {
+  return threadPinningEnabled() && pinThreadToCpu(Index);
+}
+
+bool ptm::pinThreadToCpu(unsigned Index) {
+#if defined(__linux__)
+  unsigned Count = affinityCpuCount();
+  if (Count == 0)
+    return false;
+  cpu_set_t Set;
+  CPU_ZERO(&Set);
+  CPU_SET(Index % Count, &Set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(Set), &Set) == 0;
+#else
+  (void)Index;
+  return false;
+#endif
+}

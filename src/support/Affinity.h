@@ -1,0 +1,49 @@
+//===-- support/Affinity.h - Thread-to-CPU pinning --------------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Best-effort thread pinning for the benchmark harness (`--pin`):
+/// round-robin workers over the online CPUs so thread counts above the
+/// core count degrade predictably and runs become repeatable across
+/// scheduler moods. Pinning is a measurement-hygiene knob, not a
+/// correctness one — on platforms without an affinity API every call is a
+/// no-op returning false, and the harness records whether pinning was
+/// actually applied in the run's JSON config block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_SUPPORT_AFFINITY_H
+#define PTM_SUPPORT_AFFINITY_H
+
+namespace ptm {
+
+/// True iff this platform supports thread pinning (Linux pthread
+/// affinity). When false, pinThreadToCpu always fails.
+bool affinitySupported();
+
+/// Number of CPUs usable for pinning (0 when unsupported).
+unsigned affinityCpuCount();
+
+/// Pins the CALLING thread to CPU `Index % affinityCpuCount()` (the
+/// round-robin the bench driver wants is thus just "pass the worker
+/// index"). Returns true iff the affinity change was applied.
+bool pinThreadToCpu(unsigned Index);
+
+/// Process-global opt-in flag behind `--pin`: worker-spawning plumbing
+/// (workload Driver.h, the kv RequestExecutor pool) consults it so the
+/// flag needs no per-call-site threading. Off by default — pinning is
+/// opt-in measurement hygiene, and tests never want it.
+void setThreadPinningEnabled(bool Enabled);
+bool threadPinningEnabled();
+
+/// pinThreadToCpu(Index) iff pinning is globally enabled; returns true
+/// iff an affinity change was actually applied.
+bool maybePinThread(unsigned Index);
+
+} // namespace ptm
+
+#endif // PTM_SUPPORT_AFFINITY_H

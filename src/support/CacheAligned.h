@@ -1,0 +1,56 @@
+//===-- support/CacheAligned.h - Cache-line isolation helper ----*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CacheAligned<T>: a T padded out to its own cache line(s), for hot
+/// shared words that must not false-share — global clocks, per-thread
+/// penalty state, seqlocks. The static_asserts make "this object owns its
+/// line" a compile-time property instead of a convention: a T that grows
+/// past its padding, or a containing array that strides two hot objects
+/// through one line, fails the build rather than the benchmark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_SUPPORT_CACHEALIGNED_H
+#define PTM_SUPPORT_CACHEALIGNED_H
+
+#include "support/Compiler.h"
+
+#include <cstddef>
+#include <utility>
+
+namespace ptm {
+
+template <typename T> struct alignas(PTM_CACHELINE_SIZE) CacheAligned {
+  T Value;
+
+  CacheAligned() = default;
+  template <typename... Args>
+  explicit CacheAligned(Args &&...A) : Value(std::forward<Args>(A)...) {}
+
+  T &operator*() { return Value; }
+  const T &operator*() const { return Value; }
+  T *operator->() { return &Value; }
+  const T *operator->() const { return &Value; }
+};
+
+// The isolation guarantees. alignas on the template rounds sizeof up to a
+// multiple of the alignment, so adjacent elements of a
+// std::vector<CacheAligned<T>> or a C array never share a line.
+template <typename T>
+inline constexpr bool cache_aligned_isolated_v =
+    alignof(CacheAligned<T>) >= PTM_CACHELINE_SIZE &&
+    sizeof(CacheAligned<T>) % PTM_CACHELINE_SIZE == 0;
+
+static_assert(cache_aligned_isolated_v<char>,
+              "CacheAligned must pad a small T to a full line");
+static_assert(cache_aligned_isolated_v<long[9]>,
+              "CacheAligned must round a multi-line T up to whole lines");
+
+} // namespace ptm
+
+#endif // PTM_SUPPORT_CACHEALIGNED_H

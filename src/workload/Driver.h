@@ -20,6 +20,7 @@
 
 #include "workload/Workload.h"
 
+#include "support/Affinity.h"
 #include "support/Random.h"
 
 #include <chrono>
@@ -35,7 +36,11 @@ template <typename Fn> double runParallel(unsigned Threads, Fn &&Body) {
   std::vector<std::thread> Workers;
   Workers.reserve(Threads);
   for (unsigned T = 0; T < Threads; ++T)
-    Workers.emplace_back([&Body, T] { Body(static_cast<ThreadId>(T)); });
+    Workers.emplace_back([&Body, T] {
+      // No-op unless the bench harness enabled --pin (see Affinity.h).
+      maybePinThread(T);
+      Body(static_cast<ThreadId>(T));
+    });
   for (std::thread &W : Workers)
     W.join();
   auto End = std::chrono::steady_clock::now();

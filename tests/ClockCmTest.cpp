@@ -1,0 +1,366 @@
+//===-- tests/ClockCmTest.cpp - Version clocks and contention managers ----===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The clock/CM configuration axis introduced by stm/VersionClock.h and
+/// stm/ContentionManager.h: each clock algorithm's contract (monotone
+/// reads, commit-stamp guarantees, exactness, the seqlock face), the CM
+/// policies' consultation telemetry and its obs surface, the TmConfig
+/// plumb-through of the factory, and — via a counting fake installed
+/// through the setContentionManager seam — the placement contract itself:
+/// the CM is consulted between attempts only, so glock (which never
+/// aborts) never consults it at all while its commits still settle it.
+///
+/// Carries the `clocks` ctest label: CI runs this suite under TSan as a
+/// dedicated slice, because commit-stamp protocols and CM bookkeeping are
+/// exactly where a relaxed-ordering bug would hide.
+///
+//===----------------------------------------------------------------------===//
+
+#include "stm/Atomically.h"
+#include "stm/ContentionManager.h"
+#include "stm/Tm.h"
+#include "stm/TmBase.h"
+#include "stm/VersionClock.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace ptm;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Version clocks
+//===----------------------------------------------------------------------===//
+
+TEST(VersionClockFactory, RejectsUnknownKindAndZeroThreads) {
+  EXPECT_EQ(createVersionClock(static_cast<ClockKind>(999), 2), nullptr);
+  for (ClockKind Kind : allClockKinds())
+    EXPECT_EQ(createVersionClock(Kind, 0), nullptr) << clockKindName(Kind);
+}
+
+TEST(VersionClockFactory, CreatesEveryKindWithMatchingName) {
+  for (ClockKind Kind : allClockKinds()) {
+    auto C = createVersionClock(Kind, 4);
+    ASSERT_NE(C, nullptr) << clockKindName(Kind);
+    EXPECT_EQ(C->kind(), Kind);
+    EXPECT_STREQ(C->name(), clockKindName(Kind));
+  }
+}
+
+TEST(VersionClock, Gv1StampsAreExactAndStrictlyIncreasing) {
+  auto C = createVersionClock(ClockKind::CK_Gv1, 2);
+  EXPECT_TRUE(C->exactStamps());
+  uint64_t R0 = C->read();
+  uint64_t W1 = C->commitStamp(0);
+  EXPECT_GT(W1, R0);       // Guarantee (a): a stamp exceeds prior reads.
+  EXPECT_GE(C->read(), W1); // Guarantee (b): reads catch up immediately.
+  uint64_t W2 = C->commitStamp(1);
+  EXPECT_GT(W2, W1); // Exact stamps: no two commits share a value.
+}
+
+TEST(VersionClock, Gv5AdvertisesInexactStamps) {
+  auto C = createVersionClock(ClockKind::CK_Gv5, 2);
+  // The whole point of pass-on-failure: adopters must not rely on stamp
+  // uniqueness (TL2's Rv+1 validation-skip shortcut is unsound here).
+  EXPECT_FALSE(C->exactStamps());
+  uint64_t R0 = C->read();
+  uint64_t W1 = C->commitStamp(0);
+  EXPECT_GT(W1, R0);
+  EXPECT_GE(C->read(), W1);
+}
+
+TEST(VersionClock, ShardedStampsScanAllCells) {
+  auto C = createVersionClock(ClockKind::CK_Sharded, 4);
+  EXPECT_FALSE(C->exactStamps());
+  // Sequential stamps from *different* threads land in different cells;
+  // max-scan + 1 still makes each one exceed everything before it.
+  uint64_t W0 = C->commitStamp(0);
+  EXPECT_GE(C->read(), W0);
+  uint64_t W3 = C->commitStamp(3);
+  EXPECT_GT(W3, W0);
+  uint64_t W1 = C->commitStamp(1);
+  EXPECT_GT(W1, W3);
+  EXPECT_GE(C->read(), W1);
+}
+
+TEST(VersionClock, ReadIsMonotoneAcrossAllKinds) {
+  for (ClockKind Kind : allClockKinds()) {
+    auto C = createVersionClock(Kind, 4);
+    uint64_t Last = C->read();
+    for (unsigned I = 0; I < 32; ++I) {
+      uint64_t W = C->commitStamp(I % 4);
+      EXPECT_GT(W, Last) << clockKindName(Kind);
+      uint64_t R = C->read();
+      EXPECT_GE(R, W) << clockKindName(Kind);
+      EXPECT_GE(R, Last) << clockKindName(Kind);
+      Last = R;
+    }
+    EXPECT_GE(C->peek(), Last) << clockKindName(Kind);
+  }
+}
+
+TEST(VersionClock, SeqlockFaceWorksOnEveryKind) {
+  for (ClockKind Kind : allClockKinds()) {
+    auto C = createVersionClock(Kind, 4);
+    uint64_t S0 = C->seqRead();
+    EXPECT_EQ(S0 % 2, 0u) << clockKindName(Kind); // No writer present.
+    ASSERT_TRUE(C->seqTryAcquire(S0)) << clockKindName(Kind);
+    EXPECT_EQ(C->seqRead(), S0 + 1) << clockKindName(Kind); // Odd = locked.
+    EXPECT_FALSE(C->seqTryAcquire(S0)) << clockKindName(Kind); // Stale CAS.
+    C->seqRelease(S0 + 2);
+    EXPECT_EQ(C->seqRead(), S0 + 2) << clockKindName(Kind);
+    // A second acquire/release round from the new value still works.
+    ASSERT_TRUE(C->seqTryAcquire(S0 + 2)) << clockKindName(Kind);
+    C->seqRelease(S0 + 4);
+    EXPECT_EQ(C->seqRead(), S0 + 4) << clockKindName(Kind);
+  }
+}
+
+TEST(VersionClock, StampsStayMonotoneUnderConcurrentCommitters) {
+  // Two threads stamping concurrently: every stamp a thread draws must
+  // exceed the last stamp *it* drew (per-thread monotonicity holds for
+  // all three algorithms even when stamps duplicate across threads), and
+  // the final read must dominate every stamp drawn.
+  for (ClockKind Kind : allClockKinds()) {
+    auto C = createVersionClock(Kind, 2);
+    std::atomic<uint64_t> MaxStamp{0};
+    std::vector<std::thread> Workers;
+    for (unsigned T = 0; T < 2; ++T)
+      Workers.emplace_back([&, T] {
+        uint64_t Prev = 0;
+        for (unsigned I = 0; I < 500; ++I) {
+          uint64_t W = C->commitStamp(static_cast<ThreadId>(T));
+          EXPECT_GT(W, Prev);
+          Prev = W;
+          uint64_t Seen = MaxStamp.load(std::memory_order_relaxed);
+          while (Seen < W && !MaxStamp.compare_exchange_weak(
+                                 Seen, W, std::memory_order_relaxed))
+            ;
+        }
+      });
+    for (std::thread &W : Workers)
+      W.join();
+    EXPECT_GE(C->read(), MaxStamp.load()) << clockKindName(Kind);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Contention managers
+//===----------------------------------------------------------------------===//
+
+TEST(ContentionManagerFactory, RejectsUnknownKindAndZeroThreads) {
+  EXPECT_EQ(createContentionManager(static_cast<CmKind>(999), 2, 4), nullptr);
+  for (CmKind Kind : allCmKinds())
+    EXPECT_EQ(createContentionManager(Kind, 0, 4), nullptr)
+        << cmKindName(Kind);
+}
+
+TEST(ContentionManagerFactory, CreatesEveryKindWithMatchingName) {
+  for (CmKind Kind : allCmKinds()) {
+    auto Cm = createContentionManager(Kind, 3, 8);
+    ASSERT_NE(Cm, nullptr) << cmKindName(Kind);
+    EXPECT_EQ(Cm->kind(), Kind);
+    EXPECT_STREQ(Cm->name(), cmKindName(Kind));
+    EXPECT_EQ(Cm->maxThreads(), 3u);
+  }
+}
+
+TEST(ContentionManager, EveryPolicySurvivesAnAbortCommitCycle) {
+  // Behavioral smoke on every policy: escalating consecutive failures,
+  // a commit to settle, then more failures — each onAbort must return
+  // (the waits are capped) and count into telemetry.
+  for (CmKind Kind : allCmKinds()) {
+    auto Cm = createContentionManager(Kind, 2, 8);
+    ASSERT_NE(Cm, nullptr);
+    for (unsigned I = 0; I < 4; ++I)
+      Cm->onAbort(0, AbortCause::AC_LockHeld, /*Work=*/I, /*Conflict=*/3);
+    Cm->onCommit(0);
+    Cm->noteLockBusy(0, 3);
+    Cm->onAbort(0, AbortCause::AC_ReadValidation, 10, kNoObject);
+    Cm->onCommit(0);
+    CmTelemetry T = Cm->telemetry();
+    EXPECT_EQ(T.totalConsults(), 5u) << cmKindName(Kind);
+    EXPECT_EQ(T.LockBusyNotes, 1u) << cmKindName(Kind);
+    EXPECT_EQ(T.WaitNs.Count, 5u) << cmKindName(Kind);
+  }
+}
+
+TEST(ContentionManager, TelemetrySplitsConsultsByCause) {
+  auto Cm = createContentionManager(CmKind::CM_Backoff, 2, 4);
+  Cm->onAbort(0, AbortCause::AC_LockHeld, 3, 1);
+  Cm->onAbort(1, AbortCause::AC_LockHeld, 1, 1);
+  Cm->onAbort(0, AbortCause::AC_ReadValidation, 2, kNoObject);
+  Cm->noteLockBusy(1, 1);
+  CmTelemetry T = Cm->telemetry();
+  EXPECT_EQ(T.Consults[static_cast<unsigned>(AbortCause::AC_LockHeld)], 2u);
+  EXPECT_EQ(T.Consults[static_cast<unsigned>(AbortCause::AC_ReadValidation)],
+            1u);
+  EXPECT_EQ(T.totalConsults(), 3u);
+  EXPECT_EQ(T.LockBusyNotes, 1u);
+  EXPECT_EQ(T.WaitNs.Count, 3u);
+}
+
+TEST(ContentionManager, AppendTelemetryUsesTheObsNamingScheme) {
+  auto Cm = createContentionManager(CmKind::CM_Karma, 2, 4);
+  Cm->onAbort(0, AbortCause::AC_LockHeld, 3, 1);
+  Cm->onAbort(0, AbortCause::AC_LockHeld, 3, 1);
+  Cm->onAbort(1, AbortCause::AC_User, 0, kNoObject);
+  Cm->noteLockBusy(0, 2);
+  obs::MetricsSnapshot Snap;
+  appendCmTelemetry(Cm->telemetry(), Cm->name(), Snap);
+  EXPECT_EQ(Snap.counter("cm.karma.consults.lock-held"), 2u);
+  EXPECT_EQ(Snap.counter("cm.karma.consults.user"), 1u);
+  EXPECT_EQ(Snap.counter("cm.karma.lock_busy_notes"), 1u);
+  const obs::HistogramSnapshot *Wait = Snap.histogram("cm.karma.wait_ns");
+  ASSERT_NE(Wait, nullptr);
+  EXPECT_EQ(Wait->Count, 3u);
+  // Zero-count causes are skipped: two consult series + the busy-notes
+  // counter and nothing else.
+  EXPECT_EQ(Snap.Counters.size(), 3u);
+  EXPECT_EQ(Snap.counter("cm.karma.consults.read-validation"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// TmConfig plumb-through and the CM placement contract
+//===----------------------------------------------------------------------===//
+
+/// Counting fake: records consultations without waiting. kind() reports
+/// backoff so name-keyed telemetry stays well-formed.
+class CountingCm final : public ContentionManager {
+public:
+  explicit CountingCm(unsigned MaxThreads) : ContentionManager(MaxThreads) {}
+  CmKind kind() const override { return CmKind::CM_Backoff; }
+
+  std::atomic<uint64_t> Waits{0};
+  std::atomic<uint64_t> Settles{0};
+
+private:
+  void wait(ThreadId, AbortCause, unsigned, ObjectId) override { ++Waits; }
+  void settle(ThreadId) override { ++Settles; }
+};
+
+TEST(TmConfigPlumbing, FactoryHandsEveryTmItsConfiguredClockAndCm) {
+  const TmConfig Cfg{ClockKind::CK_Gv5, CmKind::CM_Karma};
+  for (TmKind Kind : allTmKinds()) {
+    auto M = createTm(Kind, 4, 2, Cfg);
+    ASSERT_NE(M, nullptr) << tmKindName(Kind);
+    EXPECT_EQ(M->config().Clock, ClockKind::CK_Gv5) << tmKindName(Kind);
+    EXPECT_EQ(M->config().Cm, CmKind::CM_Karma) << tmKindName(Kind);
+    ASSERT_NE(M->contentionManager(), nullptr) << tmKindName(Kind);
+    EXPECT_EQ(M->contentionManager()->kind(), CmKind::CM_Karma)
+        << tmKindName(Kind);
+    // Clock-based TMs expose the configured clock; the rest have none.
+    if (const VersionClock *C = M->versionClock()) {
+      EXPECT_EQ(C->kind(), ClockKind::CK_Gv5) << tmKindName(Kind);
+    }
+  }
+  // The clock-based quartet really does expose a clock.
+  for (TmKind Kind : {TmKind::TK_Tl2, TmKind::TK_OrecTs, TmKind::TK_Tml,
+                      TmKind::TK_Mv}) {
+    auto M = createTm(Kind, 4, 2, Cfg);
+    EXPECT_NE(M->versionClock(), nullptr) << tmKindName(Kind);
+  }
+}
+
+TEST(TmConfigPlumbing, EveryClockCommitsCorrectValuesOnEveryClockTm) {
+  // Functional sweep of the clock axis: a small write/read workload must
+  // produce the same committed state under every clock on every
+  // clock-based TM (gv5/sharded lose the exact-stamp shortcut, never
+  // correctness).
+  for (TmKind Kind : {TmKind::TK_Tl2, TmKind::TK_OrecTs, TmKind::TK_Tml,
+                      TmKind::TK_Mv}) {
+    for (ClockKind Clock : allClockKinds()) {
+      auto M = createTm(Kind, 4, 2, TmConfig{Clock, CmKind::CM_Backoff});
+      ASSERT_NE(M, nullptr);
+      for (uint64_t I = 0; I < 8; ++I) {
+        bool Committed = atomically(*M, 0, [&](TxRef &Tx) {
+          uint64_t V = 0;
+          if (Tx.read(I % 4, V))
+            Tx.write(I % 4, V + I + 1);
+        });
+        ASSERT_TRUE(Committed)
+            << tmKindName(Kind) << "/" << clockKindName(Clock);
+      }
+      // Each object accumulated its two increments.
+      EXPECT_EQ(M->sample(0), (0 + 1) + (4 + 1ull))
+          << tmKindName(Kind) << "/" << clockKindName(Clock);
+      EXPECT_EQ(M->sample(3), (3 + 1) + (7 + 1ull))
+          << tmKindName(Kind) << "/" << clockKindName(Clock);
+    }
+  }
+}
+
+TEST(CmPlacement, GlockNeverConsultsItsCmButCommitsSettleIt) {
+  // The satellite claim behind unifying the backoff call-sites onto the
+  // CM seam: glock cannot abort, so even a contended run never consults
+  // the CM's wait path — while every commit still flows through
+  // onCommit. A policy that (wrongly) waited inside transactions would
+  // show up here as Waits != 0.
+  auto M = createTm(TmKind::TK_GlobalLock, 1, 2);
+  auto *Base = dynamic_cast<TmBase *>(M.get());
+  ASSERT_NE(Base, nullptr);
+  auto Counting = std::make_unique<CountingCm>(2);
+  CountingCm *Cm = Counting.get();
+  Base->setContentionManager(std::move(Counting));
+
+  constexpr uint64_t PerThread = 200;
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < 2; ++T)
+    Workers.emplace_back([&M, T] {
+      for (uint64_t I = 0; I < PerThread; ++I)
+        atomically(*M, static_cast<ThreadId>(T), [](TxRef &Tx) {
+          uint64_t V = 0;
+          if (Tx.read(0, V))
+            Tx.write(0, V + 1);
+        });
+    });
+  for (std::thread &W : Workers)
+    W.join();
+
+  EXPECT_EQ(M->sample(0), 2 * PerThread);
+  EXPECT_EQ(Cm->Waits.load(), 0u);
+  EXPECT_EQ(Cm->Settles.load(), 2 * PerThread);
+  EXPECT_EQ(Cm->telemetry().totalConsults(), 0u);
+}
+
+TEST(CmPlacement, Tl2ConsultsTheCmBetweenAttemptsOnConflict) {
+  // Positive control for the seam: force exactly one TL2 conflict (a
+  // competing commit lands between the victim's begin and its read) and
+  // watch the retry combinator route the abort through the installed CM.
+  auto M = createTm(TmKind::TK_Tl2, 2, 2);
+  auto *Base = dynamic_cast<TmBase *>(M.get());
+  ASSERT_NE(Base, nullptr);
+  auto Counting = std::make_unique<CountingCm>(2);
+  CountingCm *Cm = Counting.get();
+  Base->setContentionManager(std::move(Counting));
+
+  bool Conflicted = false;
+  bool Committed = atomically(*M, 0, [&](TxRef &Tx) {
+    if (!Conflicted) {
+      // First attempt only: thread 1 commits an update the snapshot
+      // cannot admit, so the read below must abort the attempt.
+      Conflicted = true;
+      M->txBegin(1);
+      ASSERT_TRUE(M->txWrite(1, 0, 99));
+      ASSERT_TRUE(M->txCommit(1));
+    }
+    uint64_t V = 0;
+    Tx.read(0, V);
+  });
+  EXPECT_TRUE(Committed);
+  EXPECT_GE(Cm->Waits.load(), 1u);
+  EXPECT_GE(Cm->telemetry().totalConsults(), 1u);
+  EXPECT_GE(Cm->Settles.load(), 1u); // The eventual commit settled it.
+}
+
+} // namespace

@@ -261,7 +261,11 @@ bool staleReadExtendedAndCommitted(const RunResult &R) {
   for (const TOp &Op : Reader->Ops)
     ReadNewValue |=
         Op.Kind == TOpKind::TO_Read && Op.Obj == 1 && Op.Value == 42;
-  return ReadNewValue && Reader->FirstTicket < Writer->LastTicket;
+  // BeginTicket, not FirstTicket: the invocation stamp can precede the
+  // reader's first scheduled step by an arbitrary host-load stall, which
+  // would let a reader that logically ran entirely after the writer
+  // masquerade as an extension (and flip the TL2 impossibility check).
+  return ReadNewValue && Reader->BeginTicket < Writer->LastTicket;
 }
 } // namespace
 
@@ -550,4 +554,87 @@ TEST(ExploreUnits, SummaryJsonShape) {
   EXPECT_NE(Out.find("\"tm\":\"tl2\""), std::string::npos) << Out;
   EXPECT_NE(Out.find("\"executed\":10"), std::string::npos) << Out;
   EXPECT_NE(Out.find("\"complete\":true"), std::string::npos) << Out;
+}
+
+//===----------------------------------------------------------------------===//
+// The TmConfig axis: CM-independence of the schedule tree, and the
+// clock-implementation differential sweep.
+//===----------------------------------------------------------------------===//
+
+TEST(ExploreCmIndependence, ScheduleTreeIsIdenticalUnderEveryCm) {
+  // The placement contract of stm/ContentionManager.h, pinned by
+  // exploration: CMs act only between attempts and on plain atomics,
+  // never on BaseObjects, so the instrumented step stream — and with it
+  // the entire schedule tree — is bit-identical across policies. Any CM
+  // that leaked an instrumented access (or changed TM control flow)
+  // would shift Executed/pruning counts or the per-schedule state-hash
+  // sequence here.
+  struct Case {
+    Scenario (*Make)();
+    TmKind Kind;
+  };
+  // tl2: lazy locking (commit-time aborts); orec-eager: encounter-time
+  // locking, the path that feeds noteLockBusy.
+  const Case Cases[] = {{staleReadScenario, TmKind::TK_Tl2},
+                        {incrementScenario, TmKind::TK_OrecEager}};
+  for (const Case &C : Cases) {
+    std::vector<uint64_t> BaselineHashes;
+    std::set<std::string> BaselineSigs;
+    ExploreStats Baseline;
+    bool HaveBaseline = false;
+    for (CmKind Cm : allCmKinds()) {
+      Scenario Scn = C.Make();
+      Scn.Tm.Cm = Cm;
+      ExploreOptions Opts;
+      Opts.PreemptionBound = 2;
+      std::vector<uint64_t> Hashes;
+      std::set<std::string> Sigs;
+      ScheduleExplorer Ex(std::move(Scn), C.Kind, Opts);
+      ExploreStats Stats = Ex.explore([&](const RunResult &R) {
+        expectScheduleCorrect(R);
+        Hashes.push_back(R.StateHash);
+        Sigs.insert(runSignature(R));
+      });
+      expectCleanStats(Stats);
+      if (!HaveBaseline) {
+        HaveBaseline = true;
+        Baseline = Stats;
+        BaselineHashes = std::move(Hashes);
+        BaselineSigs = std::move(Sigs);
+        continue;
+      }
+      EXPECT_EQ(Stats.Executed, Baseline.Executed) << cmKindName(Cm);
+      EXPECT_EQ(Stats.UniqueStates, Baseline.UniqueStates) << cmKindName(Cm);
+      EXPECT_EQ(Stats.MaxDepth, Baseline.MaxDepth) << cmKindName(Cm);
+      EXPECT_EQ(Stats.PrunedSleep, Baseline.PrunedSleep) << cmKindName(Cm);
+      EXPECT_EQ(Stats.PrunedBound, Baseline.PrunedBound) << cmKindName(Cm);
+      EXPECT_EQ(Hashes, BaselineHashes)
+          << "CM " << cmKindName(Cm) << " shifted the schedule tree";
+      EXPECT_EQ(Sigs, BaselineSigs) << cmKindName(Cm);
+    }
+  }
+}
+
+TEST(ExploreClockSweep, EveryClockStaysCorrectOnEveryClockTm) {
+  // The TmKind x clock differential sweep: non-default clocks trade the
+  // exact-stamp shortcut (gv5) or the single hot cell (sharded) for
+  // throughput, never correctness — every explored schedule of every
+  // pair must stay opaque, final-state serializable, and inside its
+  // DESIGN.md property row. The clock cells are BaseObjects, so each
+  // clock genuinely reshapes the schedule tree being checked.
+  for (TmKind Kind : {TmKind::TK_Tl2, TmKind::TK_OrecTs, TmKind::TK_Tml,
+                      TmKind::TK_Mv}) {
+    for (ClockKind Clock : allClockKinds()) {
+      Scenario Scn = staleReadScenario();
+      Scn.Tm.Clock = Clock;
+      ExploreOptions Opts;
+      Opts.PreemptionBound = 2;
+      ScheduleExplorer Ex(std::move(Scn), Kind, Opts);
+      ExploreStats Stats = Ex.explore(
+          [&](const RunResult &R) { expectScheduleCorrect(R); });
+      expectCleanStats(Stats);
+      EXPECT_GT(Stats.Executed, 1u)
+          << tmKindName(Kind) << "/" << clockKindName(Clock);
+    }
+  }
 }

@@ -22,7 +22,13 @@ Validates one consolidated JSON document produced by ``run_all --json``
     pins the known family list so a vanished benchmark fails the PR;
   * with ``--expect-metric FAMILY:METRIC``, at least one result row of
     that family must report that metric — CI pins the telemetry columns
-    (p99_latency, abort_ratio, ...) so a dropped metric row fails too.
+    (p99_latency, abort_ratio, ...) so a dropped metric row fails too;
+  * with ``--expect-dimension FAMILY:KEY[,KEY...]``, every result row of
+    that family must carry each KEY in its ``params`` object and the
+    family must sweep at least two distinct values per KEY — CI pins the
+    (clock, cm) configuration dimension so a row that silently stops
+    labeling its TM configuration, or a sweep that collapses to a single
+    value, fails the gate.
 
 Exit status 0 when everything holds, 1 with one line per violation.
 """
@@ -113,11 +119,13 @@ def check_row(gate, doc, index, row, families_by_benchmark):
 
 
 def check_document(gate, path, expect_single_family=None,
-                   metric_pairs=None):
+                   metric_pairs=None, family_rows=None):
     """Validates one ptm-bench-v1 document; returns its family set.
 
     When ``metric_pairs`` is a set, every result row's
-    ``(family, metric)`` pair is added to it.
+    ``(family, metric)`` pair is added to it. When ``family_rows`` is a
+    dict, every result row is appended to ``family_rows[family]`` for
+    the dimension checks.
     """
     doc = os.path.basename(path)
     try:
@@ -168,6 +176,9 @@ def check_document(gate, path, expect_single_family=None,
                 and isinstance(row.get("family"), str) \
                 and isinstance(row.get("metric"), str):
             metric_pairs.add((row["family"], row["metric"]))
+        if family_rows is not None and isinstance(row, dict) \
+                and isinstance(row.get("family"), str):
+            family_rows.setdefault(row["family"], []).append((index, row))
 
     families = set(families_by_benchmark.values())
     covered = {row.get("family") for row in results
@@ -196,12 +207,19 @@ def main():
                         metavar="FAMILY:METRIC",
                         help="metric that some row of FAMILY must report "
                              "(repeatable)")
+    parser.add_argument("--expect-dimension", action="append", default=[],
+                        metavar="FAMILY:KEY[,KEY...]",
+                        help="param keys every row of FAMILY must carry, "
+                             "with >= 2 distinct values per key across the "
+                             "family (repeatable)")
     args = parser.parse_args()
 
     gate = Gate()
     metric_pairs = set()
+    family_rows = {}
     families = check_document(gate, args.consolidated,
-                              metric_pairs=metric_pairs)
+                              metric_pairs=metric_pairs,
+                              family_rows=family_rows)
 
     for family in args.expect_family:
         if family not in families:
@@ -218,6 +236,35 @@ def main():
             gate.fail(os.path.basename(args.consolidated),
                       f"expected metric '{metric}' has no result row in "
                       f"family '{family}'")
+
+    doc = os.path.basename(args.consolidated)
+    for expectation in args.expect_dimension:
+        family, sep, keys = expectation.partition(":")
+        keys = [key for key in keys.split(",") if key]
+        if not sep or not family or not keys:
+            gate.fail(doc, f"malformed --expect-dimension {expectation!r} "
+                           f"(use FAMILY:KEY[,KEY...])")
+            continue
+        rows = family_rows.get(family, [])
+        if not rows:
+            gate.fail(doc, f"expected dimension family '{family}' has no "
+                           f"result rows")
+            continue
+        for key in keys:
+            values = set()
+            for index, row in rows:
+                params = row.get("params")
+                value = params.get(key) if isinstance(params, dict) else None
+                if not isinstance(value, (str, int, float)) \
+                        or isinstance(value, bool):
+                    gate.fail(doc, f"results[{index}]: family '{family}' "
+                                   f"row lacks param '{key}'")
+                else:
+                    values.add(value)
+            if len(values) < 2:
+                gate.fail(doc, f"family '{family}' sweeps only "
+                               f"{sorted(map(str, values))!r} for param "
+                               f"'{key}' (expected >= 2 distinct values)")
 
     if args.family_dir:
         for family in sorted(families):
