@@ -1,0 +1,189 @@
+//===-- bench/bench_kv_net.cpp - Networked KV service benchmark -----------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// **kv_net — clients x shards x TmKind sweep over the loopback server.**
+///
+/// The full service stack on one machine: KvClient connections speak the
+/// wire protocol to the epoll KvServer, whose RequestExecutor batches
+/// single-key operations into per-shard transactions. Against the
+/// in-process kv_throughput family this prices the transport: framing,
+/// two socket hops, the poll loop, and the in-order response FIFO now
+/// sit between the client and the TM, so the absolute numbers drop while
+/// the *shapes* should survive — more shards still means fewer conflicts
+/// per TM instance, and the TM kinds keep their relative order wherever
+/// execution (not the wire) is the bottleneck.
+///
+/// Two scenarios per cell:
+///
+///  * `sync`      — one request in flight per connection: every op pays
+///                  the full round trip, so p99/p999 expose the server's
+///                  queueing + batching latency floor;
+///  * `pipelined` — a 32-deep window per connection: throughput becomes
+///                  the interesting number, and the latency tail shows
+///                  what admission control does under standing load.
+///
+/// Metrics per cell: client-observed completed ops/s, and p99/p999 op
+/// latency (send-to-response, measured against the in-order response
+/// FIFO, recorded into a shared wait-free obs::LatencyHistogram).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench/Bench.h"
+#include "kv/Kv.h"
+#include "net/Net.h"
+#include "obs/Metrics.h"
+#include "stm/Tm.h"
+
+#include <chrono>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ptm;
+
+namespace {
+
+uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void benchKvNet(bench::BenchContext &Ctx) {
+  const uint64_t Ops = Ctx.pick<uint64_t>(2000, 200);
+  const uint64_t KeySpace = Ctx.pick<uint64_t>(1024, 256);
+  const std::vector<unsigned> ShardCounts =
+      Ctx.pick<std::vector<unsigned>>({1, 2, 4, 8}, {1, 4});
+  const std::vector<unsigned> ClientCounts =
+      Ctx.pick<std::vector<unsigned>>({1, 2, 4}, {2});
+  constexpr unsigned kWorkers = 2;
+  constexpr unsigned kWindow = 32; // Pipeline depth of the second scenario.
+
+  struct Scenario {
+    std::string Label;
+    unsigned Window;
+  };
+  const std::vector<Scenario> Scenarios = {{"sync", 1},
+                                           {"pipelined", kWindow}};
+
+  auto RunCell = [&](const Scenario &Sc, TmKind Kind, unsigned Shards,
+                     unsigned Clients) {
+    std::vector<double> P99Samples, P999Samples;
+    auto RunOnce = [&] {
+      kv::KvConfig Cfg;
+      Cfg.ShardCount = Shards;
+      Cfg.BucketsPerShard = 64;
+      Cfg.CapacityPerShard = KeySpace + Clients;
+      Cfg.Kind = Kind;
+      Cfg.MaxThreads = kWorkers + 1;
+      auto Store = kv::KvStore::create(Cfg);
+      net::KvServer::Options SrvOpts;
+      SrvOpts.Workers = kWorkers;
+      auto Server = net::KvServer::start(*Store, SrvOpts);
+
+      obs::LatencyHistogram LatencyNs; // Shared; record() is wait-free.
+      std::vector<std::thread> Threads;
+      Threads.reserve(Clients);
+      uint64_t StartNs = nowNs();
+      for (unsigned T = 0; T < Clients; ++T) {
+        Threads.emplace_back([&, T] {
+          auto C = net::KvClient::connect(Server->port());
+          if (!C)
+            return;
+          uint64_t Rng = 0x9E3779B97F4A7C15ull * (T + 1);
+          auto Next = [&Rng] {
+            Rng ^= Rng << 13;
+            Rng ^= Rng >> 7;
+            Rng ^= Rng << 17;
+            return Rng;
+          };
+          // Window-driven pipeline: send until the window fills, then
+          // pair each in-order response with its send timestamp.
+          std::deque<uint64_t> SentAtNs;
+          uint64_t Sent = 0, Done = 0;
+          while (Done < Ops && C->connected()) {
+            while (Sent < Ops && SentAtNs.size() < Sc.Window) {
+              net::NetRequest Req;
+              uint64_t Key = Next() % KeySpace;
+              if (Next() % 2 == 0) {
+                Req.Op = kv::KvOp::Put;
+                Req.Key = Key;
+                Req.Value = Sent;
+              } else {
+                Req.Op = kv::KvOp::Get;
+                Req.Key = Key;
+              }
+              if (!C->send(Req))
+                return;
+              SentAtNs.push_back(nowNs());
+              ++Sent;
+            }
+            net::NetResponse Resp;
+            if (!C->receive(Resp))
+              return;
+            LatencyNs.record(nowNs() - SentAtNs.front());
+            SentAtNs.pop_front();
+            ++Done;
+          }
+        });
+      }
+      for (std::thread &T : Threads)
+        T.join();
+      double Seconds =
+          static_cast<double>(nowNs() - StartNs) / 1e9;
+      obs::HistogramSnapshot Snap = LatencyNs.snapshot();
+      P99Samples.push_back(static_cast<double>(Snap.percentile(99.0)) /
+                           1000.0);
+      P999Samples.push_back(static_cast<double>(Snap.percentile(99.9)) /
+                            1000.0);
+      return Seconds > 0
+                 ? static_cast<double>(Snap.Count) / Seconds
+                 : 0.0;
+    };
+    bench::SampleStats Throughput = Ctx.measure(RunOnce);
+    auto Tail = [&](const std::vector<double> &All) {
+      std::vector<double> Measured(
+          All.end() - static_cast<long>(Throughput.reps()), All.end());
+      return bench::SampleStats::compute(std::move(Measured));
+    };
+    auto Report = [&](const std::string &Metric, const std::string &Unit,
+                      const bench::SampleStats &Stats) {
+      bench::ResultRow Row;
+      Row.Tm = tmKindName(Kind);
+      Row.Threads = Clients;
+      Row.Params = {bench::param("shards", uint64_t{Shards}),
+                    bench::param("scenario", Sc.Label),
+                    bench::param("window", uint64_t{Sc.Window}),
+                    bench::param("keyspace", KeySpace),
+                    bench::param("ops_per_client", Ops)};
+      Row.Metric = Metric;
+      Row.Unit = Unit;
+      Row.Stats = Stats;
+      Ctx.report(Row);
+    };
+    Report("throughput", "op/s", Throughput);
+    Report("p99_latency", "us", Tail(P99Samples));
+    Report("p999_latency", "us", Tail(P999Samples));
+  };
+
+  for (const Scenario &Sc : Scenarios)
+    for (TmKind Kind : allTmKinds())
+      for (unsigned Shards : ShardCounts)
+        for (unsigned Clients : ClientCounts)
+          RunCell(Sc, Kind, Shards, Clients);
+}
+
+} // namespace
+
+PTM_BENCHMARK("kv_net", "kv_net",
+              "The networked service stack end to end: wire framing, the "
+              "epoll poll loop, and executor batching between client and "
+              "TM — pricing the transport against the in-process "
+              "kv_throughput family",
+              benchKvNet);

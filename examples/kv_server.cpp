@@ -18,17 +18,43 @@
 ///
 ///   $ ./kv_server [tm-name] [options]      (default TM: tl2)
 ///
-/// Options:
+/// Demo options:
 ///   --stats-json        emit a `ptm-kvstats-v1` JSON stats document
 ///   --trace FILE        record worker transaction events and write a
 ///                       `ptm-trace-v1` Chrome trace_event JSON (loads
 ///                       in Perfetto / chrome://tracing)
 ///   --trace-bin FILE    also/instead dump the compact binary trace
 ///
+/// Service modes (the networked front end, net/Net.h):
+///   --serve             run the epoll server until SIGINT/SIGTERM;
+///                       prints `listening on port N` once ready.
+///     --port N            port to bind (default 0 = kernel-assigned)
+///     --wal-dir DIR       recover + replay DIR, then log every update
+///     --shards N          shard count (default 8, power of two)
+///     --workers N         executor pool size (default 2)
+///   --load              drive a running server with client threads
+///     --port N            server port (required)
+///     --clients N         client connections (default 4)
+///     --ops N             operations per client (default 20000)
+///     --keyspace N        key range (default 1024)
+///     --pairs             correlated-pairs mode: every write is a
+///                         multiPut{key->v, key+keyspace/2->v}, so the
+///                         pair invariant doubles as a crash-recovery
+///                         oracle for --check
+///     --seed N            RNG seed (default 1)
+///   --check             verify the correlated-pairs invariant over
+///                       snapshotGet and exit 1 on any torn pair
+///     --port N, --keyspace N as above
+///
+/// The crash-recovery smoke (tools/kv_crash_smoke.py) composes the three
+/// modes: serve-with-WAL, load --pairs, SIGKILL mid-load, re-serve (the
+/// recovery replay), check.
+///
 //===----------------------------------------------------------------------===//
 
 #include "bench/Json.h"
 #include "kv/Kv.h"
+#include "net/Net.h"
 #include "obs/Obs.h"
 #include "support/Format.h"
 #include "support/RawOStream.h"
@@ -36,13 +62,203 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <random>
 #include <thread>
 
 using namespace ptm;
 
 namespace {
+
+volatile std::sig_atomic_t GStopRequested = 0;
+
+void onStopSignal(int) { GStopRequested = 1; }
+
+/// Shared knobs of the service modes, filled by main()'s flag loop.
+struct ServiceArgs {
+  uint16_t Port = 0;
+  const char *WalDir = nullptr;
+  unsigned Shards = 8;
+  unsigned Workers = 2;
+  unsigned Clients = 4;
+  uint64_t Ops = 20000;
+  uint64_t KeySpace = 1024;
+  bool Pairs = false;
+  uint64_t Seed = 1;
+};
+
+/// --serve: store (+ optional WAL recovery/replay) + epoll server, until
+/// a stop signal. The `listening on port N` line is the readiness
+/// handshake scripts wait for.
+int runServe(RawOStream &OS, TmKind Kind, const ServiceArgs &Args) {
+  kv::KvConfig Cfg;
+  Cfg.ShardCount = Args.Shards;
+  Cfg.BucketsPerShard = 64;
+  Cfg.CapacityPerShard = 4096;
+  Cfg.Kind = Kind;
+  Cfg.MaxThreads = Args.Workers + 1; // +1: the poll thread's sync ops.
+  auto Store = kv::KvStore::create(Cfg);
+  if (!Store) {
+    errs() << "kv_server: invalid store configuration\n";
+    return 2;
+  }
+
+  std::unique_ptr<kv::Wal> Wal;
+  if (Args.WalDir) {
+    kv::WalRecovery Recovered = kv::Wal::recover(Args.WalDir, Args.Shards);
+    if (!Recovered.Ok) {
+      errs() << "kv_server: unreadable WAL directory " << Args.WalDir
+             << "\n";
+      return 2;
+    }
+    if (Store->replayWal(Recovered.Records) != kv::KvStatus::Ok) {
+      errs() << "kv_server: WAL replay exceeded store capacity\n";
+      return 2;
+    }
+    Wal = kv::Wal::open(Args.WalDir, Args.Shards, Recovered);
+    if (!Wal) {
+      errs() << "kv_server: cannot open WAL files in " << Args.WalDir
+             << "\n";
+      return 2;
+    }
+    Store->attachWal(Wal.get());
+    OS << "recovered " << Recovered.Records.size() << " records ("
+       << Store->sampleSize() << " keys, " << Recovered.TornBytes
+       << " torn bytes dropped), next lsn " << Wal->nextLsn() << "\n";
+  }
+
+  net::KvServer::Options SrvOpts;
+  SrvOpts.Port = Args.Port;
+  SrvOpts.Workers = Args.Workers;
+  auto Server = net::KvServer::start(*Store, SrvOpts);
+  if (!Server) {
+    errs() << "kv_server: cannot start server (port in use?)\n";
+    return 2;
+  }
+  OS << "listening on port " << Server->port() << "\n";
+  OS.flush();
+
+  std::signal(SIGINT, onStopSignal);
+  std::signal(SIGTERM, onStopSignal);
+  while (!GStopRequested)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  Server->stop();
+  obs::MetricsSnapshot Net = Server->telemetry();
+  Store->attachWal(nullptr);
+  OS << "shutting down: " << Net.counter("net.accepted") << " connections, "
+     << Net.counter("net.requests") << " requests";
+  if (Wal) {
+    obs::MetricsSnapshot WalStats = Wal->telemetry();
+    OS << ", " << WalStats.counter("wal.appends") << " wal appends ("
+       << WalStats.counter("wal.bytes") << " bytes, "
+       << WalStats.counter("wal.io_errors") << " io errors)";
+  }
+  OS << "\n";
+  return 0;
+}
+
+/// --load: client threads hammering a running server. In --pairs mode
+/// every write is an atomic correlated pair (the --check oracle); the
+/// default mode is a mixed single-key get/put/cas pipeline.
+int runLoad(RawOStream &OS, const ServiceArgs &Args) {
+  std::atomic<uint64_t> OkOps{0}, IoErrors{0};
+  std::vector<std::thread> Threads;
+  Threads.reserve(Args.Clients);
+  for (unsigned C = 0; C < Args.Clients; ++C) {
+    Threads.emplace_back([&, C] {
+      auto Client = net::KvClient::connect(Args.Port);
+      if (!Client) {
+        IoErrors.fetch_add(Args.Ops, std::memory_order_relaxed);
+        return;
+      }
+      std::mt19937_64 Rng(Args.Seed * 0x9E3779B97F4A7C15ull + C);
+      uint64_t Half = Args.KeySpace / 2;
+      for (uint64_t I = 0; I < Args.Ops && Client->connected(); ++I) {
+        bool Ok;
+        if (Args.Pairs) {
+          uint64_t Key = Rng() % (Half ? Half : 1);
+          uint64_t Value = Rng();
+          Ok = Client->multiPut({{Key, Value}, {Key + Half, Value}}) ==
+               kv::KvStatus::Ok;
+        } else {
+          uint64_t Key = Rng() % Args.KeySpace;
+          switch (Rng() % 4) {
+          case 0:
+            Ok = Client->put(Key, Rng()).Status == kv::KvStatus::Ok;
+            break;
+          case 1: {
+            kv::KvStatus S =
+                Client->compareAndSwap(Key, Rng() % 8, Rng()).Status;
+            Ok = S != kv::KvStatus::IoError;
+            break;
+          }
+          default:
+            Ok = Client->get(Key).Status != kv::KvStatus::IoError;
+            break;
+          }
+        }
+        if (Ok)
+          OkOps.fetch_add(1, std::memory_order_relaxed);
+        else
+          IoErrors.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  OS << "load: " << OkOps.load() << " ops ok, " << IoErrors.load()
+     << " failed\n";
+  // A severed connection (the crash smoke kills the server mid-load) is
+  // an expected outcome for a load generator, not a failure of it.
+  return 0;
+}
+
+/// --check: the recovery oracle. In correlated-pairs mode every multiPut
+/// wrote key and key+keyspace/2 with one value in one atomic batch, and
+/// the WAL logs such a batch as ONE record — so after any crash +
+/// recovery the two halves must still agree, key by key. A torn pair
+/// means recovery split a batch: exit 1.
+int runCheck(RawOStream &OS, const ServiceArgs &Args) {
+  auto Client = net::KvClient::connect(Args.Port);
+  if (!Client) {
+    errs() << "kv_server: cannot connect to port " << Args.Port << "\n";
+    return 2;
+  }
+  uint64_t Half = Args.KeySpace / 2;
+  uint64_t Populated = 0;
+  constexpr uint64_t kChunk = 128;
+  for (uint64_t Base = 0; Base < Half; Base += kChunk) {
+    uint64_t N = std::min(kChunk, Half - Base);
+    std::vector<uint64_t> Keys;
+    Keys.reserve(2 * N);
+    for (uint64_t K = Base; K < Base + N; ++K) {
+      Keys.push_back(K);
+      Keys.push_back(K + Half);
+    }
+    std::vector<kv::KvResponse> Got;
+    if (Client->snapshotGet(Keys, Got) != kv::KvStatus::Ok) {
+      errs() << "kv_server: snapshotGet failed\n";
+      return 2;
+    }
+    for (uint64_t I = 0; I < N; ++I) {
+      const kv::KvResponse &Lo = Got[2 * I], &Hi = Got[2 * I + 1];
+      if (Lo.Status != Hi.Status || (Lo.ok() && Lo.Value != Hi.Value)) {
+        errs() << "kv_server: TORN PAIR key " << (Base + I) << ": ("
+               << kv::kvStatusName(Lo.Status) << "," << Lo.Value << ") vs ("
+               << kv::kvStatusName(Hi.Status) << "," << Hi.Value << ")\n";
+        return 1;
+      }
+      if (Lo.ok())
+        ++Populated;
+    }
+  }
+  OS << "check ok: " << Half << " pairs, " << Populated << " populated\n";
+  return 0;
+}
 
 /// Emits the `ptm-kvstats-v1` introspection document: live store
 /// counters plus the executor's final telemetry snapshot.
@@ -106,6 +322,8 @@ int main(int Argc, char **Argv) {
   bool StatsJson = false;
   const char *TracePath = nullptr;
   const char *TraceBinPath = nullptr;
+  enum class Mode { Demo, Serve, Load, Check } M = Mode::Demo;
+  ServiceArgs Args;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--stats-json") == 0) {
       StatsJson = true;
@@ -113,6 +331,33 @@ int main(int Argc, char **Argv) {
       TracePath = Argv[++I];
     } else if (std::strcmp(Argv[I], "--trace-bin") == 0 && I + 1 < Argc) {
       TraceBinPath = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--serve") == 0) {
+      M = Mode::Serve;
+    } else if (std::strcmp(Argv[I], "--load") == 0) {
+      M = Mode::Load;
+    } else if (std::strcmp(Argv[I], "--check") == 0) {
+      M = Mode::Check;
+    } else if (std::strcmp(Argv[I], "--port") == 0 && I + 1 < Argc) {
+      Args.Port = static_cast<uint16_t>(std::strtoul(Argv[++I], nullptr, 10));
+    } else if (std::strcmp(Argv[I], "--wal-dir") == 0 && I + 1 < Argc) {
+      Args.WalDir = Argv[++I];
+    } else if (std::strcmp(Argv[I], "--shards") == 0 && I + 1 < Argc) {
+      Args.Shards =
+          static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    } else if (std::strcmp(Argv[I], "--workers") == 0 && I + 1 < Argc) {
+      Args.Workers =
+          static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    } else if (std::strcmp(Argv[I], "--clients") == 0 && I + 1 < Argc) {
+      Args.Clients =
+          static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    } else if (std::strcmp(Argv[I], "--ops") == 0 && I + 1 < Argc) {
+      Args.Ops = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (std::strcmp(Argv[I], "--keyspace") == 0 && I + 1 < Argc) {
+      Args.KeySpace = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (std::strcmp(Argv[I], "--pairs") == 0) {
+      Args.Pairs = true;
+    } else if (std::strcmp(Argv[I], "--seed") == 0 && I + 1 < Argc) {
+      Args.Seed = std::strtoull(Argv[++I], nullptr, 10);
     } else {
       auto Parsed = tmKindFromName(Argv[I]);
       if (!Parsed) {
@@ -122,6 +367,13 @@ int main(int Argc, char **Argv) {
       Kind = *Parsed;
     }
   }
+
+  if (M == Mode::Serve)
+    return runServe(OS, Kind, Args);
+  if (M == Mode::Load)
+    return runLoad(OS, Args);
+  if (M == Mode::Check)
+    return runCheck(OS, Args);
 
   // 1. A store: 8 shards, each its own TM instance over a TxMap region.
   kv::KvConfig Cfg;
@@ -135,22 +387,24 @@ int main(int Argc, char **Argv) {
      << " shards, capacity " << Cfg.CapacityPerShard << " keys/shard\n\n";
 
   // 2. Synchronous single-key operations (each is one shard transaction).
+  //    Every operation answers in the unified KvResponse vocabulary.
   Store->put(0, /*Key=*/1001, /*Value=*/7);
-  uint64_t Value = 0;
-  Store->get(0, 1001, Value);
-  OS << "put/get: key 1001 -> " << Value << "\n";
-  bool Swapped = Store->compareAndSwap(0, 1001, /*Expected=*/7,
-                                       /*Desired=*/8);
-  OS << "cas(7 -> 8): swapped=" << Swapped << "\n";
+  kv::KvResponse Got = Store->get(0, 1001);
+  OS << "put/get: key 1001 -> " << Got.Value << " ("
+     << kv::kvStatusName(Got.Status) << ")\n";
+  kv::KvResponse Cas = Store->compareAndSwap(0, 1001, /*Expected=*/7,
+                                             /*Desired=*/8);
+  OS << "cas(7 -> 8): swapped=" << Cas.ok() << "\n";
 
   // 3. An atomic cross-shard batch: keys 1..4 land on different shards,
   //    yet snapshotGet always sees all four writes or none of them.
   Store->multiPut(0, {{1, 100}, {2, 200}, {3, 300}, {4, 400}});
-  std::vector<std::optional<uint64_t>> Snapshot;
+  std::vector<kv::KvResponse> Snapshot;
   Store->snapshotGet(0, {1, 2, 3, 4}, Snapshot);
   OS << "multiPut + snapshotGet:";
   for (size_t I = 0; I < Snapshot.size(); ++I)
-    OS << " key" << (I + 1) << "=" << Snapshot[I].value_or(0);
+    OS << " key" << (I + 1) << "="
+       << (Snapshot[I].ok() ? Snapshot[I].Value : 0);
   OS << "\n\n";
 
   // 4. The asynchronous front end: 2 clients pipeline requests into the

@@ -1,0 +1,49 @@
+//===-- kv/KvApi.cpp - Unified KV request/response vocabulary -------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "kv/KvApi.h"
+
+using namespace ptm;
+using namespace ptm::kv;
+
+const char *ptm::kv::kvStatusName(KvStatus Status) {
+  switch (Status) {
+  case KvStatus::Ok:
+    return "ok";
+  case KvStatus::NotFound:
+    return "not_found";
+  case KvStatus::CapacityExhausted:
+    return "capacity_exhausted";
+  case KvStatus::CasMismatch:
+    return "cas_mismatch";
+  case KvStatus::BadRequest:
+    return "bad_request";
+  case KvStatus::IoError:
+    return "io_error";
+  }
+  return "unknown";
+}
+
+const char *ptm::kv::kvOpName(KvOp Op) {
+  switch (Op) {
+  case KvOp::Get:
+    return "get";
+  case KvOp::Put:
+    return "put";
+  case KvOp::Erase:
+    return "erase";
+  case KvOp::Cas:
+    return "cas";
+  case KvOp::MultiPut:
+    return "multi_put";
+  case KvOp::SnapshotGet:
+    return "snapshot_get";
+  case KvOp::Ping:
+    return "ping";
+  }
+  return "unknown";
+}

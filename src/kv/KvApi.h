@@ -1,0 +1,88 @@
+//===-- kv/KvApi.h - Unified KV request/response vocabulary -----*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The protocol-first request vocabulary of the KV service: one status
+/// enum, one operation enum and one response shape shared by every layer
+/// that speaks KV — the in-process KvStore surface, the asynchronous
+/// RequestExecutor, the wire codec (net/Protocol.h) and the write-ahead
+/// log (kv/Wal.h). Before this header each layer had its own ad-hoc
+/// representation (`bool Hit` + an overloaded `uint64_t Result` on the
+/// executor, `bool`/`std::optional` returns scattered across KvStore),
+/// which made "capacity exhausted", "key absent" and "cas mismatch"
+/// indistinguishable at a distance; now they are distinct KvStatus
+/// values end to end, so a wire response, a WAL decision and an
+/// in-process return all carry the same meaning.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_KV_KVAPI_H
+#define PTM_KV_KVAPI_H
+
+#include <cstdint>
+
+namespace ptm {
+namespace kv {
+
+/// Outcome vocabulary of every KV operation, across all layers. The
+/// numeric values are wire-stable (net/Protocol.h serializes the raw
+/// byte): append new statuses at the end, never renumber.
+enum class KvStatus : uint8_t {
+  Ok = 0,            ///< Operation applied / key found.
+  NotFound,          ///< Key absent (get/erase/cas on a missing key).
+  CapacityExhausted, ///< A shard lacked room; nothing was written.
+  CasMismatch,       ///< Key present but not with the expected value.
+  BadRequest,        ///< Protocol-level rejection (malformed/unknown op).
+  IoError,           ///< Durability failure: the WAL append did not
+                     ///< complete, so the write may not survive a crash.
+};
+
+/// Number of statuses (bounds-checks wire decoding).
+inline constexpr unsigned kNumKvStatuses = 6;
+
+/// Stable lower-case name ("ok", "not_found", ...) for logs and JSON.
+const char *kvStatusName(KvStatus Status);
+
+/// The operations a KV request can carry. Get/Put/Erase/Cas are
+/// single-key (one-shard transactions, batchable by the executor);
+/// MultiPut/SnapshotGet span shards and execute synchronously; Ping is
+/// the protocol-level liveness probe. Wire-stable like KvStatus.
+enum class KvOp : uint8_t {
+  Get = 0, ///< Value = value read; NotFound when absent.
+  Put,     ///< Ok, or CapacityExhausted (store unchanged).
+  Erase,   ///< Ok (Value = prior value), or NotFound.
+  Cas,     ///< Ok (swapped), CasMismatch (Value = witness), or NotFound.
+  MultiPut,    ///< Atomic cross-shard batch; Ok or CapacityExhausted.
+  SnapshotGet, ///< Cross-shard consistent read; per-key status + value.
+  Ping,        ///< Liveness probe; always Ok, no body.
+};
+
+/// Number of operations (bounds-checks wire decoding).
+inline constexpr unsigned kNumKvOps = 7;
+
+/// Stable lower-case name ("get", "multi_put", ...) for logs and JSON.
+const char *kvOpName(KvOp Op);
+
+/// The one response shape: a status plus the operation's value slot
+/// (get: value read; erase: prior value; cas: witness on mismatch).
+/// Value is meaningful only when the documentation of the producing
+/// operation says so; it is zero otherwise.
+struct KvResponse {
+  KvStatus Status = KvStatus::Ok;
+  uint64_t Value = 0;
+
+  bool ok() const { return Status == KvStatus::Ok; }
+
+  friend bool operator==(const KvResponse &A, const KvResponse &B) {
+    return A.Status == B.Status && A.Value == B.Value;
+  }
+};
+
+} // namespace kv
+} // namespace ptm
+
+#endif // PTM_KV_KVAPI_H

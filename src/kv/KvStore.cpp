@@ -34,6 +34,24 @@ uint64_t mixShardKey(uint64_t Key) {
   return Key ^ (Key >> 31);
 }
 
+/// Single-key update latch: the shared side normally (the TM serializes
+/// same-key commits), the unique side while a WAL is attached so the
+/// (commit, log-append, fsync) triple is atomic per shard — the
+/// durability x latch matrix in the header comment.
+class UpdateLatch {
+public:
+  UpdateLatch(std::shared_mutex &M, bool Exclusive) {
+    if (Exclusive)
+      Unique = std::unique_lock<std::shared_mutex>(M);
+    else
+      Shared = std::shared_lock<std::shared_mutex>(M);
+  }
+
+private:
+  std::shared_lock<std::shared_mutex> Shared;
+  std::unique_lock<std::shared_mutex> Unique;
+};
+
 } // namespace
 
 bool KvStore::isValidShardCount(unsigned ShardCount) {
@@ -102,21 +120,22 @@ unsigned KvStore::shardOf(uint64_t Key) const {
 // Single-key operations
 //===----------------------------------------------------------------------===//
 
-bool KvStore::get(ThreadId Tid, uint64_t Key, uint64_t &Value) {
+KvResponse KvStore::get(ThreadId Tid, uint64_t Key) {
   Shard &S = shardFor(Key);
-  bool Hit = false;
+  KvResponse R;
   atomically(*S.M, Tid, [&](TxRef &Tx) {
     uint64_t V = 0;
-    Hit = S.Map->get(Tx, Key, V);
-    if (Hit)
-      Value = V;
+    if (S.Map->get(Tx, Key, V))
+      R = {KvStatus::Ok, V};
+    else
+      R = {KvStatus::NotFound, 0};
   });
-  return Hit;
+  return R;
 }
 
-bool KvStore::put(ThreadId Tid, uint64_t Key, uint64_t Value) {
+KvResponse KvStore::put(ThreadId Tid, uint64_t Key, uint64_t Value) {
   Shard &S = shardFor(Key);
-  std::shared_lock<std::shared_mutex> Latch(*S.Latch);
+  UpdateLatch Latch(*S.Latch, Wal_ != nullptr);
   bool Oom = false;
   atomically(*S.M, Tid, [&](TxRef &Tx) {
     Oom = false;
@@ -128,43 +147,63 @@ bool KvStore::put(ThreadId Tid, uint64_t Key, uint64_t Value) {
       Tx.userAbort();
     }
   });
-  return !Oom;
+  if (Oom)
+    return {KvStatus::CapacityExhausted, 0};
+  if (Wal_)
+    return {Wal_->appendBatch(shardOf(Key), {{Key, true, Value}}), 0};
+  return {KvStatus::Ok, 0};
 }
 
-bool KvStore::erase(ThreadId Tid, uint64_t Key) {
+KvResponse KvStore::erase(ThreadId Tid, uint64_t Key) {
   Shard &S = shardFor(Key);
-  std::shared_lock<std::shared_mutex> Latch(*S.Latch);
+  UpdateLatch Latch(*S.Latch, Wal_ != nullptr);
   bool Hit = false;
-  atomically(*S.M, Tid,
-             [&](TxRef &Tx) { Hit = S.Map->erase(Tx, Key); });
-  return Hit;
+  uint64_t Prior = 0;
+  atomically(*S.M, Tid, [&](TxRef &Tx) {
+    Hit = false;
+    Prior = 0;
+    uint64_t V = 0;
+    if (S.Map->get(Tx, Key, V)) {
+      Prior = V;
+      Hit = S.Map->erase(Tx, Key);
+    }
+  });
+  if (!Hit)
+    return {KvStatus::NotFound, 0};
+  if (Wal_)
+    return {Wal_->appendBatch(shardOf(Key), {{Key, false, 0}}), Prior};
+  return {KvStatus::Ok, Prior};
 }
 
-bool KvStore::compareAndSwap(ThreadId Tid, uint64_t Key, uint64_t Expected,
-                             uint64_t Desired,
-                             std::optional<uint64_t> *Witness) {
+KvResponse KvStore::compareAndSwap(ThreadId Tid, uint64_t Key,
+                                   uint64_t Expected, uint64_t Desired) {
   Shard &S = shardFor(Key);
-  std::shared_lock<std::shared_mutex> Latch(*S.Latch);
+  UpdateLatch Latch(*S.Latch, Wal_ != nullptr);
   bool Swapped = false;
-  std::optional<uint64_t> Seen;
+  bool Present = false;
+  uint64_t Seen = 0;
   atomically(*S.M, Tid, [&](TxRef &Tx) {
     Swapped = false;
-    Seen.reset();
-    uint64_t V = 0;
-    if (S.Map->get(Tx, Key, V))
-      Seen = V;
+    Seen = 0;
+    Present = S.Map->get(Tx, Key, Seen);
     if (Tx.failed())
       return;
-    if (Seen == Expected) {
+    if (Present && Seen == Expected) {
       // Present with the expected value: the overwrite cannot allocate,
       // so it cannot fail for capacity.
       S.Map->put(Tx, Key, Desired);
       Swapped = !Tx.failed();
     }
   });
-  if (Witness)
-    *Witness = Seen;
-  return Swapped;
+  if (Swapped) {
+    if (Wal_)
+      return {Wal_->appendBatch(shardOf(Key), {{Key, true, Desired}}),
+              Expected};
+    return {KvStatus::Ok, Expected};
+  }
+  if (!Present)
+    return {KvStatus::NotFound, 0};
+  return {KvStatus::CasMismatch, Seen};
 }
 
 //===----------------------------------------------------------------------===//
@@ -290,10 +329,10 @@ void KvStore::rollbackShard(ThreadId Tid, unsigned ShardIdx,
   });
 }
 
-bool KvStore::multiPut(
+KvStatus KvStore::multiPut(
     ThreadId Tid, const std::vector<std::pair<uint64_t, uint64_t>> &Pairs) {
   if (Pairs.empty())
-    return true;
+    return KvStatus::Ok;
 
   std::vector<uint64_t> Keys;
   Keys.reserve(Pairs.size());
@@ -322,7 +361,7 @@ bool KvStore::multiPut(
   // included, which a commit-then-roll-back scheme could not guarantee.
   for (size_t S = 0; S < Involved.size(); ++S)
     if (!shardHasRoom(Tid, Involved[S], ShardWrites[S]))
-      return false;
+      return KvStatus::CapacityExhausted;
 
   // The odd-epoch window spans every per-shard commit, so a latch-free
   // snapshot reader can detect any overlap with this batch.
@@ -337,19 +376,33 @@ bool KvStore::multiPut(
       for (auto It = Applied.rbegin(); It != Applied.rend(); ++It)
         rollbackShard(Tid, It->first, It->second);
       markBatchEnd(Involved);
-      return false;
+      return KvStatus::CapacityExhausted;
     }
     Applied.emplace_back(Involved[S], std::move(Undo));
   }
+  // Durability: ONE record for the whole cross-shard batch, in the
+  // lowest involved shard's file, appended and fsynced while every
+  // involved latch is still held. A torn record therefore implies no
+  // later operation saw any of the batch's shards, so recovery dropping
+  // it keeps the never-torn property (see Wal.h).
+  KvStatus Logged = KvStatus::Ok;
+  if (Wal_) {
+    std::vector<WalWrite> Writes;
+    Writes.reserve(Pairs.size());
+    for (const auto &[Key, Value] : Pairs)
+      Writes.push_back({Key, true, Value});
+    Logged = Wal_->appendBatch(Involved.front(), Writes);
+  }
   markBatchEnd(Involved);
-  return true;
+  return Logged;
 }
 
-bool KvStore::snapshotGet(ThreadId Tid, const std::vector<uint64_t> &Keys,
-                          std::vector<std::optional<uint64_t>> &Out) {
-  Out.assign(Keys.size(), std::nullopt);
+KvStatus KvStore::snapshotGet(ThreadId Tid,
+                              const std::vector<uint64_t> &Keys,
+                              std::vector<KvResponse> &Out) {
+  Out.assign(Keys.size(), KvResponse{KvStatus::NotFound, 0});
   if (Keys.empty())
-    return true;
+    return KvStatus::Ok;
   const std::vector<unsigned> Involved = involvedShards(Keys);
 
   // One shard transaction per involved shard; read-only throughout, so
@@ -362,9 +415,9 @@ bool KvStore::snapshotGet(ThreadId Tid, const std::vector<uint64_t> &Keys,
           continue;
         uint64_t V = 0;
         if (S.Map->get(Tx, Keys[I], V))
-          Out[I] = V;
+          Out[I] = {KvStatus::Ok, V};
         else
-          Out[I] = std::nullopt;
+          Out[I] = {KvStatus::NotFound, 0};
         if (Tx.failed())
           return;
       }
@@ -376,7 +429,7 @@ bool KvStore::snapshotGet(ThreadId Tid, const std::vector<uint64_t> &Keys,
   // unlatched single-key get).
   if (Involved.size() == 1) {
     readShard(Involved[0]);
-    return true;
+    return KvStatus::Ok;
   }
 
   if (hasSharedSnapshotClock()) {
@@ -457,14 +510,14 @@ bool KvStore::snapshotGet(ThreadId Tid, const std::vector<uint64_t> &Keys,
           continue;
         uint64_t V = 0;
         if (S.Map->get(Tx, Keys[I], V))
-          Out[I] = V;
+          Out[I] = {KvStatus::Ok, V};
         else
-          Out[I] = std::nullopt;
+          Out[I] = {KvStatus::NotFound, 0};
       }
       assert(!Tx.failed() && "read-only snapshot transactions cannot fail");
       S.M->txCommit(Tid);
     }
-    return true;
+    return KvStatus::Ok;
   }
 
   // Fallback: shared latches on the involved shards, canonical order.
@@ -478,15 +531,15 @@ bool KvStore::snapshotGet(ThreadId Tid, const std::vector<uint64_t> &Keys,
     Latches.emplace_back(*Shards[ShardIdx].Latch);
   for (unsigned ShardIdx : Involved)
     readShard(ShardIdx);
-  return true;
+  return KvStatus::Ok;
 }
 
-bool KvStore::readModifyWrite(
+KvStatus KvStore::readModifyWrite(
     ThreadId Tid, const std::vector<uint64_t> &Keys,
     const std::function<void(std::vector<std::optional<uint64_t>> &)>
         &Update) {
   if (Keys.empty())
-    return true;
+    return KvStatus::Ok;
   const std::vector<unsigned> Involved = involvedShards(Keys);
 
   // Unique latches for the whole read-modify-write, deliberately *not*
@@ -537,7 +590,7 @@ bool KvStore::readModifyWrite(
 
   for (size_t S = 0; S < Involved.size(); ++S)
     if (!shardHasRoom(Tid, Involved[S], ShardWrites[S]))
-      return false;
+      return KvStatus::CapacityExhausted;
 
   markBatchBegin(Involved);
   std::vector<std::pair<unsigned, std::vector<UndoEntry>>> Applied;
@@ -548,12 +601,67 @@ bool KvStore::readModifyWrite(
       for (auto It = Applied.rbegin(); It != Applied.rend(); ++It)
         rollbackShard(Tid, It->first, It->second);
       markBatchEnd(Involved);
-      return false;
+      return KvStatus::CapacityExhausted;
     }
     Applied.emplace_back(Involved[S], std::move(Undo));
   }
+  // Same group-commit shape as multiPut: one record for the whole batch
+  // (erases logged as HasValue=false), lowest involved shard's file,
+  // fsynced before the latches drop.
+  KvStatus Logged = KvStatus::Ok;
+  if (Wal_) {
+    std::vector<WalWrite> Writes;
+    Writes.reserve(Keys.size());
+    for (size_t I = 0; I < Keys.size(); ++I) {
+      if (Values[I])
+        Writes.push_back({Keys[I], true, *Values[I]});
+      else
+        Writes.push_back({Keys[I], false, 0});
+    }
+    Logged = Wal_->appendBatch(Involved.front(), Writes);
+  }
   markBatchEnd(Involved);
-  return true;
+  return Logged;
+}
+
+//===----------------------------------------------------------------------===//
+// Durability
+//===----------------------------------------------------------------------===//
+
+KvStatus KvStore::replayWal(const std::vector<WalRecord> &Records) {
+  assert(Wal_ == nullptr && "replay before attaching the reopened Wal");
+  // Sequential, single-threaded (recovery runs before the store is
+  // shared), so plain per-shard transactions suffice: each record
+  // replays its writes in order, routed by the same shard hash that
+  // placed them originally. Records are LSN-sorted, which agrees with
+  // per-shard commit order (Wal.h), so the final state matches the
+  // acknowledged pre-crash state.
+  const ThreadId Tid = 0;
+  for (const WalRecord &Rec : Records) {
+    bool Oom = false;
+    for (const WalWrite &W : Rec.Writes) {
+      Shard &S = shardFor(W.Key);
+      atomically(*S.M, Tid, [&](TxRef &Tx) {
+        Oom = false;
+        if (W.HasValue) {
+          bool LocalOom = false;
+          S.Map->put(Tx, W.Key, W.Value, nullptr, &LocalOom);
+          if (LocalOom) {
+            Oom = true;
+            Tx.userAbort();
+          }
+        } else {
+          S.Map->erase(Tx, W.Key);
+        }
+      });
+      // The replayed sequence is a state history that existed in memory
+      // before the crash, so it fits any geometry at least as large as
+      // the writer's; exhaustion means the store was recreated smaller.
+      if (Oom)
+        return KvStatus::CapacityExhausted;
+    }
+  }
+  return KvStatus::Ok;
 }
 
 //===----------------------------------------------------------------------===//

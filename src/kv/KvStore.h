@@ -24,7 +24,9 @@
 /// protocol (full compatibility matrix in DESIGN.md):
 ///
 ///   * single-key get            — no latch; one opaque shard transaction.
-///   * single-key put/erase/cas  — shared latch on the one shard.
+///   * single-key put/erase/cas  — shared latch on the one shard; the
+///                                 *unique* side instead while a WAL is
+///                                 attached (see below).
 ///   * multiPut / readModifyWrite— unique latches on the involved shards,
 ///                                 ascending order, held across all the
 ///                                 per-shard commits; the write phase
@@ -61,12 +63,27 @@
 /// snapshotGet, which is the documented trade for not serializing every
 /// read through a global clock.
 ///
+/// Durability x latch matrix: attaching a Wal (attachWal) escalates
+/// synchronous single-key updates from the shared to the unique side of
+/// their shard latch. Without a WAL the shared side suffices because the
+/// TM serializes same-key commits; with one, the (commit, log-append,
+/// fsync) triple must be atomic per shard or replay order could diverge
+/// from commit order. The RequestExecutor's batches keep the shared side
+/// even then: static shard affinity already makes each worker the sole
+/// batch writer of its shards, so its append order is its commit order,
+/// and the unique side taken by multi-key operations (and now by
+/// synchronous single-key updates) still excludes it. Unlatched gets and
+/// the snapshotGet paths are untouched — reads are never logged. The
+/// full matrix lives in DESIGN.md "Networked service".
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PTM_KV_KVSTORE_H
 #define PTM_KV_KVSTORE_H
 
 #include "ds/TxMap.h"
+#include "kv/KvApi.h"
+#include "kv/Wal.h"
 #include "runtime/BaseObject.h"
 #include "stm/Tm.h"
 #include "stm/VersionClock.h"
@@ -121,60 +138,133 @@ public:
   unsigned shardOf(uint64_t Key) const;
 
   //===--- single-key operations (one-shard transactions) ----------------===//
+  //
+  // The canonical surface speaks KvApi.h's unified vocabulary: every
+  // operation returns a KvResponse whose status distinguishes what the
+  // old bool/optional surface conflated (absent key vs capacity vs cas
+  // mismatch), and whose Value slot carries the operation's datum. The
+  // wire codec (net/Protocol.h) and the WAL speak the same types.
 
-  /// Looks up \p Key. True iff present (then \p Value holds the mapping).
-  bool get(ThreadId Tid, uint64_t Key, uint64_t &Value);
+  /// Looks up \p Key. Ok (Value = mapping) or NotFound.
+  KvResponse get(ThreadId Tid, uint64_t Key);
 
-  /// Inserts or updates \p Key -> \p Value. False iff the owning shard's
-  /// capacity is exhausted (the store is unchanged in that case).
-  bool put(ThreadId Tid, uint64_t Key, uint64_t Value);
+  /// Inserts or updates \p Key -> \p Value. Ok, or CapacityExhausted
+  /// when the owning shard is full (the store is unchanged), or IoError
+  /// when an attached WAL could not make the applied write durable.
+  KvResponse put(ThreadId Tid, uint64_t Key, uint64_t Value);
 
-  /// Removes \p Key. True iff it was present.
-  bool erase(ThreadId Tid, uint64_t Key);
+  /// Removes \p Key. Ok (Value = the removed mapping) or NotFound, or
+  /// IoError (applied but possibly not durable).
+  KvResponse erase(ThreadId Tid, uint64_t Key);
 
   /// Atomically: if \p Key is present with value \p Expected, replace it
-  /// with \p Desired. Returns true iff the swap happened; on false,
-  /// \p Witness (when non-null) holds the value that was actually present
-  /// (or nothing when the key was absent).
-  bool compareAndSwap(ThreadId Tid, uint64_t Key, uint64_t Expected,
-                      uint64_t Desired,
-                      std::optional<uint64_t> *Witness = nullptr);
+  /// with \p Desired. Ok iff the swap happened; CasMismatch (Value = the
+  /// witnessed mapping) when present with another value; NotFound when
+  /// absent; IoError (swapped but possibly not durable).
+  KvResponse compareAndSwap(ThreadId Tid, uint64_t Key, uint64_t Expected,
+                            uint64_t Desired);
 
   //===--- multi-key operations (canonical-order shard composition) ------===//
 
   /// Applies every (key, value) pair atomically: all of the batch or
   /// none of it, for every observer (latched or not). Duplicate keys
-  /// apply in batch order (the last pair wins). False iff some shard
-  /// lacks capacity for the batch's fresh keys — capacity is prechecked
-  /// under the latches before anything commits, so a failed multiPut
-  /// writes nothing at all.
-  bool multiPut(ThreadId Tid,
-                const std::vector<std::pair<uint64_t, uint64_t>> &Pairs);
+  /// apply in batch order (the last pair wins). CapacityExhausted iff
+  /// some shard lacks capacity for the batch's fresh keys — capacity is
+  /// prechecked under the latches before anything commits, so a failed
+  /// multiPut writes nothing at all. IoError: applied but possibly not
+  /// durable.
+  KvStatus multiPut(ThreadId Tid,
+                    const std::vector<std::pair<uint64_t, uint64_t>> &Pairs);
 
-  /// Reads all \p Keys as one cross-shard snapshot: \p Out[i] is the
-  /// value of Keys[i], or nullopt when absent. The snapshot is per-shard
+  /// Reads all \p Keys as one cross-shard snapshot: \p Out[i] is Ok with
+  /// the value of Keys[i], or NotFound. The snapshot is per-shard
   /// consistent and atomic with respect to multiPut / readModifyWrite
   /// (it can never observe part of a batch); concurrent snapshotGets run
   /// in parallel, so a snapshot spanning shards may interleave with
   /// single-key updates on *different* shards (see the file comment). On
   /// a TM with an abort-free read-only path this takes no latches at
   /// all; otherwise it holds the involved shards' latches in shared
-  /// mode. Always succeeds (returns for symmetry/future).
-  bool snapshotGet(ThreadId Tid, const std::vector<uint64_t> &Keys,
-                   std::vector<std::optional<uint64_t>> &Out);
+  /// mode. Always Ok (returns for symmetry/future).
+  KvStatus snapshotGet(ThreadId Tid, const std::vector<uint64_t> &Keys,
+                       std::vector<KvResponse> &Out);
 
   /// Atomic cross-key read-modify-write: reads all \p Keys, hands the
   /// values to \p Update (nullopt = absent), and applies the mutated
   /// vector back (nullopt = erase). No concurrent update can slide
-  /// between the read and the write. False iff a shard lacks capacity
-  /// for the update's fresh keys (prechecked like multiPut, so nothing
-  /// is written; the check is conservative — erases in the same update
-  /// do not fund its inserts, since in-transaction application order
-  /// could need the peak anyway).
-  bool readModifyWrite(
+  /// between the read and the write. CapacityExhausted iff a shard lacks
+  /// capacity for the update's fresh keys (prechecked like multiPut, so
+  /// nothing is written; the check is conservative — erases in the same
+  /// update do not fund its inserts, since in-transaction application
+  /// order could need the peak anyway). IoError: applied but possibly
+  /// not durable.
+  KvStatus readModifyWrite(
       ThreadId Tid, const std::vector<uint64_t> &Keys,
       const std::function<void(std::vector<std::optional<uint64_t>> &)>
           &Update);
+
+  //===--- deprecated pre-KvStatus shims (one PR of grace) ----------------===//
+  //
+  // The bool/out-param surface PR 10 replaced. Thin forwards onto the
+  // canonical methods above, kept one PR so out-of-tree callers migrate
+  // incrementally; the signatures that would collide with the canonical
+  // ones (put, erase, multiPut, readModifyWrite) are already gone.
+
+  /// \deprecated Use get(Tid, Key), which distinguishes statuses.
+  [[deprecated("use get(Tid, Key) returning KvResponse")]] bool
+  get(ThreadId Tid, uint64_t Key, uint64_t &Value) {
+    KvResponse R = get(Tid, Key);
+    if (R.ok())
+      Value = R.Value;
+    return R.ok();
+  }
+
+  /// \deprecated Use the witness-in-response compareAndSwap overload.
+  [[deprecated("use compareAndSwap(Tid, Key, Expected, Desired)")]] bool
+  compareAndSwap(ThreadId Tid, uint64_t Key, uint64_t Expected,
+                 uint64_t Desired, std::optional<uint64_t> *Witness) {
+    KvResponse R = compareAndSwap(Tid, Key, Expected, Desired);
+    if (Witness) {
+      if (R.Status == KvStatus::CasMismatch)
+        *Witness = R.Value;
+      else if (R.Status == KvStatus::NotFound)
+        Witness->reset();
+      else
+        *Witness = Expected; // Swapped: the witnessed value matched.
+    }
+    return R.ok();
+  }
+
+  /// \deprecated Use the KvResponse-vector snapshotGet.
+  [[deprecated("use snapshotGet with std::vector<KvResponse>")]] bool
+  snapshotGet(ThreadId Tid, const std::vector<uint64_t> &Keys,
+              std::vector<std::optional<uint64_t>> &Out) {
+    std::vector<KvResponse> Responses;
+    snapshotGet(Tid, Keys, Responses);
+    Out.assign(Keys.size(), std::nullopt);
+    for (size_t I = 0; I < Responses.size(); ++I)
+      if (Responses[I].ok())
+        Out[I] = Responses[I].Value;
+    return true;
+  }
+
+  //===--- durability (kv/Wal.h) ------------------------------------------===//
+
+  /// Attaches \p W as the store's write-ahead log (nullptr detaches):
+  /// every subsequent acknowledged update is appended and group-committed
+  /// before its call returns, and synchronous single-key updates escalate
+  /// to the unique latch side (see the file comment). Quiescent only.
+  /// Non-owning: \p W must outlive the attachment.
+  void attachWal(Wal *W) { Wal_ = W; }
+
+  Wal *wal() const { return Wal_; }
+
+  /// Applies recovered WAL records (already LSN-sorted, from
+  /// Wal::recover) to this store, single-threaded under ThreadId 0. Call
+  /// on a freshly created store before attaching the reopened Wal — the
+  /// records replay without being re-logged. Ok, or CapacityExhausted if
+  /// the records do not fit this store's geometry (smaller than the one
+  /// that wrote them).
+  KvStatus replayWal(const std::vector<WalRecord> &Records);
 
   //===--- quiescent introspection (setup/teardown/verification) ---------===//
 
@@ -275,6 +365,8 @@ private:
 
   KvConfig Config_;
   unsigned ShardMask = 0;
+  /// Attached write-ahead log; null = no durability (see attachWal).
+  Wal *Wal_ = nullptr;
   /// For TK_Mv stores: the version clock shared by every shard's MvTm,
   /// so one timestamp names a consistent cut across all shards (the
   /// global-snapshot read path). Built from Config_.Tm.Clock, so the

@@ -131,61 +131,103 @@ unsigned RequestExecutor::runBatch(unsigned Worker, unsigned Shard,
   KvStore::Shard &S = Store.Shards[Shard];
   bool HasUpdate = false;
   for (const KvRequest *Q : Batch)
-    if (Q->Op != KvOpKind::Get)
+    if (Q->Op == KvOp::Put || Q->Op == KvOp::Erase || Q->Op == KvOp::Cas)
       HasUpdate = true;
 
   // Updates take the shard latch on its shared side, exactly like the
-  // synchronous single-key path, so batches respect the multi-key
-  // operations' canonical-order exclusion.
+  // WAL-less synchronous single-key path, so batches respect the
+  // multi-key operations' canonical-order exclusion. With a WAL attached
+  // the shared side still suffices HERE (unlike the synchronous path,
+  // which escalates): static shard affinity makes this worker the only
+  // batch writer of this shard, so its append order is its commit order
+  // by construction — see the durability x latch matrix in KvStore.h.
   std::shared_lock<std::shared_mutex> Latch;
   if (HasUpdate)
     Latch = std::shared_lock<std::shared_mutex>(*S.Latch);
 
-  struct Outcome {
-    uint64_t Result = 0;
-    bool Hit = false;
-  };
-  std::vector<Outcome> Out(Batch.size());
+  std::vector<KvResponse> Out(Batch.size());
   atomically(*S.M, static_cast<ThreadId>(Worker), [&](TxRef &Tx) {
     for (size_t I = 0; I < Batch.size(); ++I) {
       KvRequest &Q = *Batch[I];
-      Outcome &O = Out[I];
-      O = Outcome();
+      KvResponse &O = Out[I];
+      O = KvResponse();
       switch (Q.Op) {
-      case KvOpKind::Get: {
+      case KvOp::Get: {
         uint64_t V = 0;
-        O.Hit = S.Map->get(Tx, Q.Key, V);
-        O.Result = V;
+        O = S.Map->get(Tx, Q.Key, V) ? KvResponse{KvStatus::Ok, V}
+                                     : KvResponse{KvStatus::NotFound, 0};
         break;
       }
-      case KvOpKind::Put: {
+      case KvOp::Put: {
         bool Oom = false;
         S.Map->put(Tx, Q.Key, Q.Value, nullptr, &Oom);
         // A full shard fails the one operation, not the batch: the map is
         // untouched by the failed put, so the rest can still commit.
-        O.Hit = !Oom && !Tx.failed();
+        O.Status = Oom ? KvStatus::CapacityExhausted : KvStatus::Ok;
         break;
       }
-      case KvOpKind::Erase:
-        O.Hit = S.Map->erase(Tx, Q.Key);
+      case KvOp::Erase: {
+        uint64_t V = 0;
+        if (S.Map->get(Tx, Q.Key, V) && S.Map->erase(Tx, Q.Key))
+          O = {KvStatus::Ok, V}; // Ok carries the erased value.
+        else
+          O = {KvStatus::NotFound, 0};
         break;
-      case KvOpKind::Cas: {
+      }
+      case KvOp::Cas: {
         uint64_t V = 0;
         bool Present = S.Map->get(Tx, Q.Key, V);
         if (Tx.failed())
           return;
-        O.Result = Present ? V : 0;
-        if (Present && V == Q.Expected) {
+        if (!Present) {
+          O = {KvStatus::NotFound, 0};
+        } else if (V == Q.Expected) {
           S.Map->put(Tx, Q.Key, Q.Value);
-          O.Hit = !Tx.failed();
+          O = {KvStatus::Ok, Q.Expected};
+        } else {
+          O = {KvStatus::CasMismatch, V};
         }
         break;
       }
+      default:
+        // Multi-key/control ops never ride the per-shard queues; a
+        // request that claims otherwise is malformed, not fatal.
+        O = {KvStatus::BadRequest, 0};
+        break;
       }
       if (Tx.failed())
         return;
     }
   });
+
+  // Group commit: ONE WAL record (and one fsync) for every mutation the
+  // batch committed, appended under the still-held shared latch so the
+  // file's append order stays this worker's commit order. Requests whose
+  // mutation may not have reached the disk are failed with IoError —
+  // acknowledging them would break the recovery oracle.
+  if (HasUpdate && Store.wal() != nullptr) {
+    std::vector<WalWrite> Writes;
+    Writes.reserve(Batch.size());
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      const KvRequest &Q = *Batch[I];
+      if (Out[I].Status != KvStatus::Ok)
+        continue; // Failed or read-only: nothing durable to record.
+      if (Q.Op == KvOp::Put)
+        Writes.push_back({Q.Key, true, Q.Value});
+      else if (Q.Op == KvOp::Erase)
+        Writes.push_back({Q.Key, false, 0});
+      else if (Q.Op == KvOp::Cas)
+        Writes.push_back({Q.Key, true, Q.Value});
+    }
+    if (!Writes.empty()) {
+      KvStatus Logged = Store.wal()->appendBatch(Shard, Writes);
+      if (Logged != KvStatus::Ok)
+        for (size_t I = 0; I < Batch.size(); ++I)
+          if (Out[I].Status == KvStatus::Ok &&
+              Batch[I]->Op != KvOp::Get)
+            Out[I].Status = Logged;
+    }
+  }
 
   // The batch transaction committed (contention aborts are retried inside
   // atomically, and nothing in the body user-aborts): publish results.
@@ -193,14 +235,15 @@ unsigned RequestExecutor::runBatch(unsigned Worker, unsigned Shard,
   uint64_t NowNs = obs::monotonicNowNs();
   for (size_t I = 0; I < Batch.size(); ++I) {
     KvRequest &Q = *Batch[I];
-    Q.Result = Out[I].Result;
-    Q.Hit = Out[I].Hit;
+    Q.Out = Out[I];
     LatencyNs->record(NowNs >= Q.SubmitNs ? NowNs - Q.SubmitNs : 0);
     Q.Done.store(true, std::memory_order_release);
   }
   BatchSize->record(Batch.size());
   Completed->cell(Worker).inc(Batch.size());
   Batches->cell(Worker).inc();
+  if (Opts.OnBatchComplete)
+    Opts.OnBatchComplete();
   return static_cast<unsigned>(Batch.size());
 }
 

@@ -32,11 +32,14 @@
 #ifndef PTM_KV_REQUESTEXECUTOR_H
 #define PTM_KV_REQUESTEXECUTOR_H
 
+#include "kv/KvApi.h"
 #include "kv/KvStore.h"
 #include "obs/Metrics.h"
 #include "runtime/MpmcQueue.h"
 
 #include <atomic>
+#include <cassert>
+#include <functional>
 #include <thread>
 
 namespace ptm {
@@ -47,27 +50,26 @@ class Tracer;
 
 namespace kv {
 
-/// The operations a request can carry (the single-key KvStore surface;
-/// multi-key operations stay synchronous because they span shards).
-enum class KvOpKind : uint8_t {
-  Get,   ///< Result = value, Hit = present.
-  Put,   ///< Hit = stored (false only on shard capacity exhaustion).
-  Erase, ///< Hit = was present.
-  Cas,   ///< Hit = swapped; Result = witnessed value (0 when absent).
-};
-
-/// One in-flight client operation. The client owns the storage and must
-/// keep it alive until done(); the executor publishes results and sets
-/// Done with release ordering, so a client that observed done() reads
-/// consistent result fields.
+/// One in-flight client operation, carrying the same KvOp / KvResponse
+/// vocabulary as the synchronous KvStore surface and the wire protocol
+/// (net/Protocol.h) — in-process executor, server, and WAL all speak it.
+/// Only the single-key ops (Get, Put, Erase, Cas) route through the
+/// executor; multi-key operations stay synchronous because they span
+/// shards, and anything else completes as KvStatus::BadRequest.
+///
+/// The client owns the storage and must keep it alive until done(); the
+/// executor publishes Out and sets Done with release ordering, so a
+/// client that observed done() reads a consistent response.
 struct KvRequest {
-  KvOpKind Op = KvOpKind::Get;
+  KvOp Op = KvOp::Get;
   uint64_t Key = 0;
   uint64_t Value = 0;    ///< put: value to store; cas: desired value.
   uint64_t Expected = 0; ///< cas: expected current value.
 
-  uint64_t Result = 0; ///< get: value read; cas: witnessed value.
-  bool Hit = false;    ///< See KvOpKind.
+  /// The published response; field meanings match the synchronous
+  /// KvStore methods (get: Ok carries the value, erase: Ok carries the
+  /// prior value, cas: Ok carries Expected / CasMismatch the witness).
+  KvResponse Out;
   uint64_t SubmitNs = 0; ///< Stamped by submit(); feeds the end-to-end
                          ///< latency histogram (queue wait + batch wait +
                          ///< execution + publish).
@@ -76,11 +78,17 @@ struct KvRequest {
   bool done() const { return Done.load(std::memory_order_acquire); }
 
   /// Re-arm a completed request for resubmission (client-side only).
-  void reset() { Done.store(false, std::memory_order_relaxed); }
+  /// Clears the result fields too, so a stale response can never leak
+  /// through a resubmission that completes a different way.
+  void reset() {
+    Out = KvResponse();
+    SubmitNs = 0;
+    Done.store(false, std::memory_order_relaxed);
+  }
 };
 
-/// Aggregate executor counters (racy-but-monotonic while running; exact
-/// once the executor is stopped).
+/// Aggregate executor counters (racy-but-monotonic while running; use
+/// exactStats() for the post-stop exact read).
 struct ExecutorStats {
   uint64_t Completed = 0; ///< Requests executed and published.
   uint64_t Batches = 0;   ///< Shard transactions that carried them.
@@ -103,6 +111,11 @@ public:
                                    ///< Trace->ring(w). Needs threads() >=
                                    ///< Workers. Null = disarmed (the
                                    ///< default; no per-op cost).
+    /// Invoked once after each batch publishes its Done flags, from the
+    /// worker thread, possibly concurrently from several workers. The
+    /// KvServer hooks its completion eventfd here so the poll loop can
+    /// sleep instead of spinning on Done; null = no callback.
+    std::function<void()> OnBatchComplete;
   };
 
   /// True iff \p Opts can drive \p Store: nonzero workers within the
@@ -135,6 +148,15 @@ public:
   void drainAndStop();
 
   ExecutorStats stats() const;
+
+  /// Exact totals: every submitted request is counted exactly once.
+  /// Only meaningful after drainAndStop() — asserted, not just
+  /// documented, because a racy read silently passing as exact is the
+  /// kind of test bug that survives for years.
+  ExecutorStats exactStats() const {
+    assert(Pool.empty() && "exactStats before drainAndStop");
+    return stats();
+  }
 
   /// Live epoch-snapshot of the executor's metrics (see obs/Metrics.h),
   /// safe concurrently with running workers and submitting clients:

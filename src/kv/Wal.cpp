@@ -1,0 +1,309 @@
+//===-- kv/Wal.cpp - Per-shard write-ahead log with group commit ----------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+//
+// On-disk format (all integers little-endian):
+//
+//   file   := header record*
+//   header := magic[8]="PTMWAL1\0" u32 version=1 u32 shard-index
+//   record := u32 payload-length  u32 crc32(payload)  payload
+//   payload:= u64 lsn  u32 count  count * (u64 key  u8 has-value u64 value)
+//
+// A record is valid iff its length field fits in the remaining file, the
+// CRC matches, and the payload parses exactly. The first invalid record
+// ends the file's valid prefix (the torn tail); everything before it was
+// fdatasync'ed before its operation was acknowledged, so the prefix is
+// exactly the acknowledged history of the file's shard (plus possibly a
+// final unacknowledged-but-complete record, which is harmless to keep:
+// its operation committed in memory before the crash).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kv/Wal.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace ptm;
+using namespace ptm::kv;
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'T', 'M', 'W', 'A', 'L', '1', '\0'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderBytes = sizeof(kMagic) + 2 * sizeof(uint32_t);
+constexpr size_t kRecordFrameBytes = 2 * sizeof(uint32_t);
+/// Per-write payload bytes: key + has-value flag + value.
+constexpr size_t kWriteBytes = 8 + 1 + 8;
+
+uint32_t crc32(const uint8_t *Data, size_t Size) {
+  // Standard reflected CRC-32 (IEEE 802.3, polynomial 0xEDB88320); the
+  // table is built once.
+  static const auto Table = [] {
+    std::array<uint32_t, 256> T{};
+    for (uint32_t I = 0; I < 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K < 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+    return T;
+  }();
+  uint32_t Crc = 0xFFFFFFFFu;
+  for (size_t I = 0; I < Size; ++I)
+    Crc = Table[(Crc ^ Data[I]) & 0xFF] ^ (Crc >> 8);
+  return Crc ^ 0xFFFFFFFFu;
+}
+
+template <typename T> void putLe(std::vector<uint8_t> &Out, T Value) {
+  for (unsigned I = 0; I < sizeof(T); ++I)
+    Out.push_back(static_cast<uint8_t>(Value >> (8 * I)));
+}
+
+template <typename T>
+bool getLe(const uint8_t *Data, size_t Size, size_t &Pos, T &Value) {
+  if (Pos + sizeof(T) > Size)
+    return false;
+  Value = 0;
+  for (unsigned I = 0; I < sizeof(T); ++I)
+    Value |= static_cast<T>(Data[Pos + I]) << (8 * I);
+  Pos += sizeof(T);
+  return true;
+}
+
+std::vector<uint8_t> encodeHeader(unsigned ShardIdx) {
+  std::vector<uint8_t> Out;
+  Out.reserve(kHeaderBytes);
+  for (char C : kMagic)
+    Out.push_back(static_cast<uint8_t>(C));
+  putLe<uint32_t>(Out, kVersion);
+  putLe<uint32_t>(Out, static_cast<uint32_t>(ShardIdx));
+  return Out;
+}
+
+/// Parses one record at \p Pos. Returns true and advances \p Pos past it
+/// on success; false (leaving \p Pos at the record start) when the bytes
+/// from \p Pos on are not a complete, CRC-valid record.
+bool parseRecord(const std::vector<uint8_t> &File, size_t &Pos,
+                 WalRecord &Out) {
+  size_t P = Pos;
+  uint32_t Len = 0, Crc = 0;
+  if (!getLe(File.data(), File.size(), P, Len) ||
+      !getLe(File.data(), File.size(), P, Crc))
+    return false;
+  if (Len > File.size() - P)
+    return false;
+  if (crc32(File.data() + P, Len) != Crc)
+    return false;
+  size_t End = P + Len;
+  uint64_t Lsn = 0;
+  uint32_t Count = 0;
+  if (!getLe(File.data(), End, P, Lsn) || !getLe(File.data(), End, P, Count))
+    return false;
+  if (Count > (End - P) / kWriteBytes)
+    return false;
+  Out.Lsn = Lsn;
+  Out.Writes.clear();
+  Out.Writes.reserve(Count);
+  for (uint32_t I = 0; I < Count; ++I) {
+    WalWrite W;
+    uint8_t HasValue = 0;
+    if (!getLe(File.data(), End, P, W.Key) ||
+        !getLe(File.data(), End, P, HasValue) ||
+        !getLe(File.data(), End, P, W.Value))
+      return false;
+    if (HasValue > 1)
+      return false;
+    W.HasValue = HasValue != 0;
+    Out.Writes.push_back(W);
+  }
+  if (P != End)
+    return false; // Trailing junk inside a CRC-valid frame: corrupt.
+  Pos = End;
+  return true;
+}
+
+bool readWholeFile(const std::string &Path, std::vector<uint8_t> &Out,
+                   bool &Exists) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (F == nullptr) {
+    Exists = false;
+    return errno == ENOENT;
+  }
+  Exists = true;
+  Out.clear();
+  uint8_t Buf[1 << 16];
+  size_t N = 0;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.insert(Out.end(), Buf, Buf + N);
+  bool Ok = std::ferror(F) == 0;
+  std::fclose(F);
+  return Ok;
+}
+
+} // namespace
+
+std::string Wal::shardFilePath(const std::string &Dir, unsigned ShardIdx) {
+  return Dir + "/shard-" + std::to_string(ShardIdx) + ".wal";
+}
+
+WalRecovery Wal::recover(const std::string &Dir, unsigned ShardCount) {
+  WalRecovery R;
+  R.ValidBytes.assign(ShardCount, 0);
+  for (unsigned S = 0; S < ShardCount; ++S) {
+    std::vector<uint8_t> File;
+    bool Exists = false;
+    if (!readWholeFile(shardFilePath(Dir, S), File, Exists))
+      return R; // Unreadable (not merely absent): fail, do not clobber.
+    if (!Exists || File.empty())
+      continue; // Fresh shard.
+    const std::vector<uint8_t> Header = encodeHeader(S);
+    if (File.size() < kHeaderBytes) {
+      // A crash during file creation can tear the header itself; that is
+      // a torn tail of length zero history. Anything else is a foreign
+      // file we must not truncate.
+      if (std::memcmp(File.data(), Header.data(), File.size()) != 0)
+        return R;
+      R.TornBytes += File.size();
+      continue;
+    }
+    if (std::memcmp(File.data(), Header.data(), kHeaderBytes) != 0)
+      return R; // Wrong magic/version/shard: refuse the directory.
+    size_t Pos = kHeaderBytes;
+    WalRecord Rec;
+    while (Pos < File.size() && parseRecord(File, Pos, Rec)) {
+      Rec.ShardIdx = S;
+      R.MaxLsn = std::max(R.MaxLsn, Rec.Lsn);
+      R.Records.push_back(std::move(Rec));
+      Rec = WalRecord();
+    }
+    R.ValidBytes[S] = Pos;
+    R.TornBytes += File.size() - Pos;
+  }
+  std::sort(R.Records.begin(), R.Records.end(),
+            [](const WalRecord &A, const WalRecord &B) {
+              return A.Lsn < B.Lsn;
+            });
+  R.Ok = true;
+  return R;
+}
+
+std::unique_ptr<Wal> Wal::open(const std::string &Dir, unsigned ShardCount,
+                               const WalRecovery &Recovered,
+                               const Options &Opts) {
+  if (!Recovered.Ok || Recovered.ValidBytes.size() != ShardCount)
+    return nullptr;
+  std::unique_ptr<Wal> W(new Wal());
+  W->Opts = Opts;
+  W->NextLsn.store(Recovered.MaxLsn + 1, std::memory_order_relaxed);
+  W->Appends = &W->Registry.counter("wal.appends", ShardCount);
+  W->Bytes = &W->Registry.counter("wal.bytes", ShardCount);
+  W->IoErrors = &W->Registry.counter("wal.io_errors", ShardCount);
+  W->AppendNs = &W->Registry.histogram("wal.append_ns");
+  W->Files.reserve(ShardCount);
+  for (unsigned S = 0; S < ShardCount; ++S) {
+    auto SF = std::make_unique<ShardFile>();
+    const std::string Path = shardFilePath(Dir, S);
+    // "a" would ignore seeks; "r+" preserves contents. Create on demand.
+    SF->F = std::fopen(Path.c_str(), "r+b");
+    if (SF->F == nullptr)
+      SF->F = std::fopen(Path.c_str(), "w+b");
+    if (SF->F == nullptr)
+      return nullptr;
+    SF->Fd = fileno(SF->F);
+    // Drop the torn tail for good, then position at the new end.
+    uint64_t Keep = std::max<uint64_t>(Recovered.ValidBytes[S], 0);
+    if (Keep < kHeaderBytes) {
+      if (ftruncate(SF->Fd, 0) != 0)
+        return nullptr;
+      std::vector<uint8_t> Header = encodeHeader(S);
+      if (std::fwrite(Header.data(), 1, Header.size(), SF->F) !=
+          Header.size())
+        return nullptr;
+      Keep = kHeaderBytes;
+    } else if (ftruncate(SF->Fd, static_cast<off_t>(Keep)) != 0) {
+      return nullptr;
+    }
+    if (std::fflush(SF->F) != 0 ||
+        std::fseek(SF->F, static_cast<long>(Keep), SEEK_SET) != 0)
+      return nullptr;
+    if (Opts.Sync && fdatasync(SF->Fd) != 0)
+      return nullptr;
+    W->Files.push_back(std::move(SF));
+  }
+  // Make the directory entries themselves durable (freshly created files
+  // otherwise vanish with the crash even though their bytes were synced).
+  if (Opts.Sync) {
+    int DirFd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (DirFd < 0)
+      return nullptr;
+    bool DirOk = fsync(DirFd) == 0;
+    ::close(DirFd);
+    if (!DirOk)
+      return nullptr;
+  }
+  return W;
+}
+
+Wal::~Wal() {
+  for (auto &SF : Files)
+    if (SF->F != nullptr)
+      std::fclose(SF->F);
+}
+
+KvStatus Wal::appendBatch(unsigned ShardIdx,
+                          const std::vector<WalWrite> &Writes) {
+  assert(ShardIdx < Files.size() && "shard index out of range");
+  if (Writes.empty())
+    return KvStatus::Ok;
+  // The LSN must be drawn inside the caller's latched region (it is:
+  // every appendBatch call site holds the ordering latch — see the
+  // header comment), so the cross-file sort order agrees with per-shard
+  // commit order.
+  const uint64_t Lsn = NextLsn.fetch_add(1, std::memory_order_relaxed);
+  const auto Begin = std::chrono::steady_clock::now();
+  std::vector<uint8_t> Payload;
+  Payload.reserve(8 + 4 + Writes.size() * kWriteBytes);
+  putLe<uint64_t>(Payload, Lsn);
+  putLe<uint32_t>(Payload, static_cast<uint32_t>(Writes.size()));
+  for (const WalWrite &W : Writes) {
+    putLe<uint64_t>(Payload, W.Key);
+    putLe<uint8_t>(Payload, W.HasValue ? 1 : 0);
+    putLe<uint64_t>(Payload, W.Value);
+  }
+  std::vector<uint8_t> Frame;
+  Frame.reserve(kRecordFrameBytes + Payload.size());
+  putLe<uint32_t>(Frame, static_cast<uint32_t>(Payload.size()));
+  putLe<uint32_t>(Frame, crc32(Payload.data(), Payload.size()));
+  Frame.insert(Frame.end(), Payload.begin(), Payload.end());
+
+  ShardFile &SF = *Files[ShardIdx];
+  std::lock_guard<std::mutex> Lock(SF.Mu);
+  if (std::fwrite(Frame.data(), 1, Frame.size(), SF.F) != Frame.size() ||
+      std::fflush(SF.F) != 0) {
+    IoErrors->cell(ShardIdx).inc();
+    return KvStatus::IoError;
+  }
+  if (Opts.Sync && fdatasync(SF.Fd) != 0) {
+    IoErrors->cell(ShardIdx).inc();
+    return KvStatus::IoError;
+  }
+  Appends->cell(ShardIdx).inc();
+  Bytes->cell(ShardIdx).inc(Frame.size());
+  AppendNs->record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Begin)
+          .count()));
+  return KvStatus::Ok;
+}

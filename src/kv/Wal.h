@@ -1,0 +1,181 @@
+//===-- kv/Wal.h - Per-shard write-ahead log with group commit --*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Durability for the sharded KV store: one append-only log file per
+/// shard (`shard-<i>.wal`), each record one committed *shard batch* —
+/// the group-commit unit. A record carries every mutation the batch
+/// applied (put = key+value, erase = key) plus a store-wide logical
+/// sequence number (LSN), and is CRC-framed so recovery can tell a
+/// durable record from a torn tail.
+///
+/// Why this is correct (the ordering argument, shared with KvStore's
+/// latch matrix in DESIGN.md "Networked service"):
+///
+///  * Every append to shard i's file happens while shard i's latch
+///    serializes writers of that shard — the RequestExecutor is the only
+///    batch writer of its shards (static affinity) and holds the shared
+///    side, synchronous single-key updates escalate to the unique side
+///    whenever a WAL is attached, and multi-key operations already hold
+///    the unique side of every involved shard (their one record goes to
+///    the *lowest* involved shard's file, so the latch covers it).
+///    Append order per file therefore equals commit order per shard.
+///  * The LSN is stamped inside that same latched region, so sorting
+///    records by LSN across files reconstructs a serialization that
+///    agrees with per-shard commit order — the only order that matters,
+///    since any two writes to one key share a shard.
+///  * The fsync (group commit: ONE per shard batch, however many
+///    requests the batch carried) also completes inside the latched
+///    region, before the operation is acknowledged. A torn record
+///    therefore implies the crash hit mid-append — before the ack, and
+///    before any later operation could touch the involved shards (they
+///    were still latched) — so dropping the torn tail can never drop a
+///    write that anything afterwards depended on, and a cross-shard
+///    batch (a single record) is recovered all-or-nothing. The KvTest
+///    never-torn cross-shard differential is exactly the oracle WalTest
+///    replays against recovery.
+///
+/// Replay validates each file independently (magic/version header, then
+/// records until the first length/CRC failure — the torn tail), merges
+/// the surviving records by LSN, and hands them to the caller;
+/// KvStore::replayWal applies them. open() then truncates each file to
+/// its valid prefix and continues appending after the highest LSN seen.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_KV_WAL_H
+#define PTM_KV_WAL_H
+
+#include "kv/KvApi.h"
+#include "obs/Metrics.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ptm {
+namespace kv {
+
+/// One mutation inside a WAL record: a put (HasValue) or an erase.
+struct WalWrite {
+  uint64_t Key = 0;
+  bool HasValue = false; ///< false = erase.
+  uint64_t Value = 0;
+
+  friend bool operator==(const WalWrite &A, const WalWrite &B) {
+    return A.Key == B.Key && A.HasValue == B.HasValue && A.Value == B.Value;
+  }
+};
+
+/// One recovered record: a committed shard batch in LSN order.
+struct WalRecord {
+  uint64_t Lsn = 0;
+  unsigned ShardIdx = 0; ///< File it was recovered from (diagnostics;
+                         ///< replay routes each key by hash, not by this).
+  std::vector<WalWrite> Writes;
+};
+
+/// Outcome of scanning a WAL directory.
+struct WalRecovery {
+  bool Ok = false;              ///< False on unreadable files/headers.
+  std::vector<WalRecord> Records; ///< Valid records, sorted by LSN.
+  uint64_t MaxLsn = 0;          ///< Highest LSN seen (0 when empty).
+  uint64_t TornBytes = 0;       ///< Bytes discarded across all torn tails.
+  std::vector<uint64_t> ValidBytes; ///< Per-file valid prefix length.
+};
+
+class Wal {
+public:
+  struct Options {
+    /// fdatasync each record before the append returns (the durability
+    /// contract). Off only for tests/benchmarks that measure the append
+    /// path without paying the disk.
+    bool Sync = true;
+  };
+
+  /// Scans `Dir/shard-<i>.wal` for i in [0, ShardCount). Missing files
+  /// count as empty (a fresh directory recovers to an empty store);
+  /// present files must carry a valid header. Records after a torn or
+  /// corrupt record in a file are discarded (append-only discipline
+  /// means only genuine tail damage loses acknowledged data — see the
+  /// file comment).
+  static WalRecovery recover(const std::string &Dir, unsigned ShardCount);
+
+  /// Opens the per-shard files for appending, creating missing ones and
+  /// truncating each existing one to the valid prefix \p Recovered
+  /// reports (dropping torn tails for good). Null on I/O failure.
+  /// \p Recovered must come from recover() on the same directory.
+  static std::unique_ptr<Wal> open(const std::string &Dir,
+                                   unsigned ShardCount,
+                                   const WalRecovery &Recovered,
+                                   const Options &Opts);
+  static std::unique_ptr<Wal> open(const std::string &Dir,
+                                   unsigned ShardCount,
+                                   const WalRecovery &Recovered) {
+    return open(Dir, ShardCount, Recovered, Options());
+  }
+
+  ~Wal();
+
+  Wal(const Wal &) = delete;
+  Wal &operator=(const Wal &) = delete;
+
+  /// Appends one committed shard batch to shard \p ShardIdx's file and
+  /// (per Options.Sync) fdatasyncs it — the group commit. Must be called
+  /// under the shard-latch discipline in the file comment; the per-file
+  /// mutex below only keeps bytes from interleaving, it does NOT make
+  /// call order meaningful on its own. Empty batches are not appended.
+  /// Returns the status the caller should surface: Ok, or IoError when
+  /// the record may not have reached the disk.
+  KvStatus appendBatch(unsigned ShardIdx, const std::vector<WalWrite> &Writes);
+
+  /// Live durability telemetry (same contract as the executor's):
+  /// `wal.appends` / `wal.bytes` count records and frame bytes written,
+  /// `wal.io_errors` the appends that returned IoError, and
+  /// `wal.append_ns` histograms the whole append — encode, write, and
+  /// the group-commit fdatasync, so its tail IS the durability tail.
+  /// Safe to call while appends run (single-writer cells per shard).
+  obs::MetricsSnapshot telemetry() const { return Registry.snapshot(); }
+
+  /// Next LSN to be stamped (tests; monotone while appends run).
+  uint64_t nextLsn() const { return NextLsn.load(std::memory_order_relaxed); }
+
+  unsigned shardCount() const { return static_cast<unsigned>(Files.size()); }
+
+  /// The file backing shard \p ShardIdx (tests torture these directly).
+  static std::string shardFilePath(const std::string &Dir, unsigned ShardIdx);
+
+private:
+  Wal() = default;
+
+  struct ShardFile {
+    std::FILE *F = nullptr;
+    int Fd = -1; ///< For fdatasync; owned by F.
+    std::mutex Mu; ///< Byte-interleaving guard only (see appendBatch).
+  };
+
+  Options Opts;
+  std::atomic<uint64_t> NextLsn{1};
+  std::vector<std::unique_ptr<ShardFile>> Files;
+
+  /// Telemetry cells (see telemetry()). Each shard writes its own
+  /// counter cell under its file mutex, so the cells stay single-writer.
+  obs::MetricsRegistry Registry;
+  obs::ShardedCounter *Appends = nullptr;
+  obs::ShardedCounter *Bytes = nullptr;
+  obs::ShardedCounter *IoErrors = nullptr;
+  obs::LatencyHistogram *AppendNs = nullptr;
+};
+
+} // namespace kv
+} // namespace ptm
+
+#endif // PTM_KV_WAL_H

@@ -1,0 +1,181 @@
+//===-- net/KvClient.cpp - Blocking + pipelined KV wire client ------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/KvClient.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace ptm;
+using namespace ptm::net;
+using kv::KvOp;
+using kv::KvResponse;
+using kv::KvStatus;
+
+std::unique_ptr<KvClient> KvClient::connect(uint16_t Port) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0)
+    return nullptr;
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    ::close(Fd);
+    return nullptr;
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return std::unique_ptr<KvClient>(new KvClient(Fd));
+}
+
+KvClient::~KvClient() { kill(); }
+
+void KvClient::kill() {
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = -1;
+}
+
+bool KvClient::send(NetRequest &Req) {
+  if (Fd < 0)
+    return false;
+  Req.Id = NextId++;
+  std::vector<uint8_t> Frame;
+  encodeRequest(Req, Frame);
+  size_t Sent = 0;
+  while (Sent < Frame.size()) {
+    ssize_t N = ::send(Fd, Frame.data() + Sent, Frame.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (N > 0) {
+      Sent += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    kill();
+    return false;
+  }
+  PendingIds.push_back(Req.Id);
+  return true;
+}
+
+bool KvClient::receive(NetResponse &Resp) {
+  if (Fd < 0 || PendingHead >= PendingIds.size())
+    return false;
+  for (;;) {
+    size_t Consumed = 0;
+    DecodeStatus S = decodeResponse(In.data() + InPos, In.size() - InPos,
+                                    Consumed, Resp);
+    if (S == DecodeStatus::Ok) {
+      InPos += Consumed;
+      if (InPos == In.size()) {
+        In.clear();
+        InPos = 0;
+      }
+      // The server answers in request order; an id mismatch means the
+      // stream desynchronized and nothing further can be trusted.
+      if (Resp.Id != PendingIds[PendingHead]) {
+        kill();
+        return false;
+      }
+      if (++PendingHead == PendingIds.size()) {
+        PendingIds.clear();
+        PendingHead = 0;
+      }
+      return true;
+    }
+    if (S == DecodeStatus::Malformed) {
+      kill();
+      return false;
+    }
+    uint8_t Chunk[16384];
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N > 0) {
+      In.insert(In.end(), Chunk, Chunk + N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    kill(); // Peer closed or hard error mid-response.
+    return false;
+  }
+}
+
+NetResponse KvClient::roundTrip(NetRequest &Req) {
+  NetResponse Resp;
+  if (!send(Req) || !receive(Resp)) {
+    Resp = NetResponse();
+    Resp.Result = {KvStatus::IoError, 0};
+  }
+  return Resp;
+}
+
+KvResponse KvClient::get(uint64_t Key) {
+  NetRequest Req;
+  Req.Op = KvOp::Get;
+  Req.Key = Key;
+  return roundTrip(Req).Result;
+}
+
+KvResponse KvClient::put(uint64_t Key, uint64_t Value) {
+  NetRequest Req;
+  Req.Op = KvOp::Put;
+  Req.Key = Key;
+  Req.Value = Value;
+  return roundTrip(Req).Result;
+}
+
+KvResponse KvClient::erase(uint64_t Key) {
+  NetRequest Req;
+  Req.Op = KvOp::Erase;
+  Req.Key = Key;
+  return roundTrip(Req).Result;
+}
+
+KvResponse KvClient::compareAndSwap(uint64_t Key, uint64_t Expected,
+                                    uint64_t Desired) {
+  NetRequest Req;
+  Req.Op = KvOp::Cas;
+  Req.Key = Key;
+  Req.Expected = Expected;
+  Req.Value = Desired;
+  return roundTrip(Req).Result;
+}
+
+KvStatus
+KvClient::multiPut(const std::vector<std::pair<uint64_t, uint64_t>> &Pairs) {
+  NetRequest Req;
+  Req.Op = KvOp::MultiPut;
+  Req.Pairs = Pairs;
+  return roundTrip(Req).Result.Status;
+}
+
+KvStatus KvClient::snapshotGet(const std::vector<uint64_t> &Keys,
+                               std::vector<KvResponse> &Out) {
+  NetRequest Req;
+  Req.Op = KvOp::SnapshotGet;
+  Req.Keys = Keys;
+  NetResponse Resp = roundTrip(Req);
+  Out = std::move(Resp.Values);
+  if (Resp.Result.Status == KvStatus::Ok && Out.size() != Keys.size()) {
+    kill(); // A well-formed server answers one slot per key.
+    return KvStatus::IoError;
+  }
+  return Resp.Result.Status;
+}
+
+KvStatus KvClient::ping() {
+  NetRequest Req;
+  Req.Op = KvOp::Ping;
+  return roundTrip(Req).Result.Status;
+}

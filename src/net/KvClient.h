@@ -1,0 +1,98 @@
+//===-- net/KvClient.h - Blocking + pipelined KV wire client ----*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client half of the wire protocol: one blocking loopback socket
+/// speaking net/Protocol.h frames. Two usage styles share the socket:
+///
+///  * Synchronous helpers (get/put/erase/compareAndSwap/multiPut/
+///    snapshotGet/ping) — one request, wait for its response, return the
+///    same KvResponse / KvStatus shapes the in-process KvStore surface
+///    does. A correct program cannot tell a remote store from a local
+///    one by its result vocabulary.
+///  * Pipelined send() / receive() — enqueue many requests before
+///    reading any response. The server answers in request order per
+///    connection, so receive() returns responses in send() order; this
+///    is what the latency benchmark and the load generator drive.
+///
+/// Not thread-safe: one KvClient per client thread (connections are
+/// cheap; the server multiplexes them on one poll loop). Any socket
+/// error collapses the connection — every subsequent call reports
+/// KvStatus::IoError, mirroring how the WAL surfaces append failures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_NET_KVCLIENT_H
+#define PTM_NET_KVCLIENT_H
+
+#include "kv/KvApi.h"
+#include "net/Protocol.h"
+
+#include <memory>
+#include <vector>
+
+namespace ptm {
+namespace net {
+
+class KvClient {
+public:
+  /// Connects to 127.0.0.1:\p Port. Null on connection failure.
+  static std::unique_ptr<KvClient> connect(uint16_t Port);
+
+  ~KvClient();
+
+  KvClient(const KvClient &) = delete;
+  KvClient &operator=(const KvClient &) = delete;
+
+  /// False once any send/receive failed; the connection is then dead and
+  /// every operation returns KvStatus::IoError.
+  bool connected() const { return Fd >= 0; }
+
+  //===--- synchronous surface (mirrors kv::KvStore) ---------------------===//
+
+  kv::KvResponse get(uint64_t Key);
+  kv::KvResponse put(uint64_t Key, uint64_t Value);
+  kv::KvResponse erase(uint64_t Key);
+  kv::KvResponse compareAndSwap(uint64_t Key, uint64_t Expected,
+                                uint64_t Desired);
+  kv::KvStatus
+  multiPut(const std::vector<std::pair<uint64_t, uint64_t>> &Pairs);
+  kv::KvStatus snapshotGet(const std::vector<uint64_t> &Keys,
+                           std::vector<kv::KvResponse> &Out);
+  kv::KvStatus ping();
+
+  //===--- pipelined surface ----------------------------------------------===//
+
+  /// Sends \p Req (the client stamps a fresh correlation id into it and
+  /// returns that id). False on socket failure.
+  bool send(NetRequest &Req);
+
+  /// Blocks for the next response in send() order. False on socket
+  /// failure or malformed/out-of-order response (both kill the
+  /// connection — a desynchronized stream cannot be trusted).
+  bool receive(NetResponse &Resp);
+
+private:
+  explicit KvClient(int SocketFd) : Fd(SocketFd) {}
+
+  /// send + receive + id check; IoError response on any failure.
+  NetResponse roundTrip(NetRequest &Req);
+
+  void kill();
+
+  int Fd = -1;
+  uint64_t NextId = 1; ///< Stamped into requests; echoes must match FIFO.
+  std::vector<uint64_t> PendingIds; ///< FIFO of ids awaiting responses.
+  size_t PendingHead = 0;
+  std::vector<uint8_t> In; ///< Buffered unparsed response bytes.
+  size_t InPos = 0;
+};
+
+} // namespace net
+} // namespace ptm
+
+#endif // PTM_NET_KVCLIENT_H

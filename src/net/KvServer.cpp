@@ -1,0 +1,503 @@
+//===-- net/KvServer.cpp - Epoll-based networked KV service ---------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/KvServer.h"
+
+#include <arpa/inet.h>
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#include <unordered_map>
+
+using namespace ptm;
+using namespace ptm::net;
+using kv::KvOp;
+using kv::KvRequest;
+using kv::KvResponse;
+using kv::KvStatus;
+
+namespace {
+
+/// Compacts \p Buf by dropping its consumed prefix once the dead space
+/// dominates — amortized O(1) per byte, keeps the buffer from creeping.
+void compact(std::vector<uint8_t> &Buf, size_t &Pos) {
+  if (Pos == Buf.size()) {
+    Buf.clear();
+    Pos = 0;
+  } else if (Pos >= 4096 && Pos >= Buf.size() / 2) {
+    Buf.erase(Buf.begin(), Buf.begin() + static_cast<ptrdiff_t>(Pos));
+    Pos = 0;
+  }
+}
+
+} // namespace
+
+/// One pipelined single-key operation in flight on a connection. The
+/// KvRequest needs a stable address until the executor publishes Done,
+/// so pending ops are heap-allocated and owned by the in-flight FIFO.
+struct PendingOpImpl {
+  uint64_t Id = 0;        ///< Echoed correlation id.
+  bool Submitted = false; ///< False only for the stalled parse tail.
+  KvRequest Req;
+};
+
+struct KvServer::Connection {
+  int Fd = -1;
+
+  /// Unparsed input; [InPos, In.size()) is live.
+  std::vector<uint8_t> In;
+  size_t InPos = 0;
+
+  /// Encoded-but-unsent output; [OutPos, Out.size()) is live.
+  std::vector<uint8_t> Out;
+  size_t OutPos = 0;
+
+  /// Submission-order FIFO of pipelined single-key ops. Responses are
+  /// flushed strictly from the front, so out-of-order completions (two
+  /// ops on different shards) are held back; at most the LAST entry can
+  /// be unsubmitted (the stalled parse tail).
+  std::deque<std::unique_ptr<PendingOpImpl>> InFlight;
+
+  bool ReadPaused = false; ///< EPOLLIN interest dropped (admission).
+  bool WantWrite = false;  ///< EPOLLOUT interest armed (short write).
+
+  bool hasStalledTail() const {
+    return !InFlight.empty() && !InFlight.back()->Submitted;
+  }
+};
+
+struct KvServer::ConnectionMap {
+  std::unordered_map<int, std::unique_ptr<Connection>> Map;
+};
+
+bool KvServer::validOptions(const kv::KvStore &Store, const Options &Opts) {
+  kv::RequestExecutor::Options ExecOpts;
+  ExecOpts.Workers = Opts.Workers;
+  ExecOpts.QueueCapacity = Opts.QueueCapacity;
+  ExecOpts.MaxBatch = Opts.MaxBatch;
+  // The poll thread runs sync multi-key ops under its own ThreadId
+  // (== Workers), so the store needs one slot beyond the pool's.
+  return kv::RequestExecutor::validOptions(Store, ExecOpts) &&
+         Store.maxThreads() >= Opts.Workers + 1 && Opts.MaxPipeline > 0;
+}
+
+KvServer::KvServer(kv::KvStore &S, const Options &O)
+    : Store(S), Opts(O), Conns(std::make_unique<ConnectionMap>()) {}
+
+std::unique_ptr<KvServer> KvServer::start(kv::KvStore &Store,
+                                          const Options &Opts) {
+  if (!validOptions(Store, Opts))
+    return nullptr;
+  std::unique_ptr<KvServer> Srv(new KvServer(Store, Opts));
+  if (!Srv->init())
+    return nullptr;
+  Srv->Poller = std::thread([S = Srv.get()] { S->pollLoop(); });
+  return Srv;
+}
+
+bool KvServer::init() {
+  Accepted = &Registry.counter("net.accepted", 1);
+  Requests = &Registry.counter("net.requests", 1);
+  Responses = &Registry.counter("net.responses", 1);
+  Malformed = &Registry.counter("net.malformed", 1);
+  ListenFd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (ListenFd < 0)
+    return false;
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Opts.Port);
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
+    return false;
+  if (::listen(ListenFd, 128) != 0)
+    return false;
+  sockaddr_in Bound{};
+  socklen_t BoundLen = sizeof(Bound);
+  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Bound),
+                    &BoundLen) != 0)
+    return false;
+  Port_ = ntohs(Bound.sin_port);
+
+  CompleteFd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  StopFd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  EpollFd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (CompleteFd < 0 || StopFd < 0 || EpollFd < 0)
+    return false;
+
+  epoll_event Ev{};
+  Ev.events = EPOLLIN;
+  Ev.data.fd = ListenFd;
+  if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, ListenFd, &Ev) != 0)
+    return false;
+  Ev.data.fd = CompleteFd;
+  if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, CompleteFd, &Ev) != 0)
+    return false;
+  Ev.data.fd = StopFd;
+  if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, StopFd, &Ev) != 0)
+    return false;
+
+  kv::RequestExecutor::Options ExecOpts;
+  ExecOpts.Workers = Opts.Workers;
+  ExecOpts.QueueCapacity = Opts.QueueCapacity;
+  ExecOpts.MaxBatch = Opts.MaxBatch;
+  ExecOpts.OnBatchComplete = [Fd = CompleteFd] {
+    uint64_t Kick = 1;
+    // The eventfd is a wakeup edge, not a counter; a full (impossible at
+    // this rate) or interrupted write just coalesces with the next one.
+    [[maybe_unused]] ssize_t N = ::write(Fd, &Kick, sizeof(Kick));
+  };
+  Exec = std::make_unique<kv::RequestExecutor>(Store, ExecOpts);
+  return true;
+}
+
+KvServer::~KvServer() { stop(); }
+
+void KvServer::stop() {
+  if (Stopped)
+    return;
+  Stopped = true;
+  if (Poller.joinable()) {
+    uint64_t One = 1;
+    [[maybe_unused]] ssize_t N = ::write(StopFd, &One, sizeof(One));
+    Poller.join();
+  }
+  if (Exec)
+    Exec->drainAndStop();
+  for (int Fd : {ListenFd, EpollFd, CompleteFd, StopFd})
+    if (Fd >= 0)
+      ::close(Fd);
+  ListenFd = EpollFd = CompleteFd = StopFd = -1;
+}
+
+void KvServer::pollLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event Events[kMaxEvents];
+  bool Running = true;
+  while (Running) {
+    int N = ::epoll_wait(EpollFd, Events, kMaxEvents, -1);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    for (int I = 0; I < N; ++I) {
+      int Fd = Events[I].data.fd;
+      if (Fd == StopFd) {
+        Running = false;
+        continue;
+      }
+      if (Fd == ListenFd) {
+        acceptAll();
+        continue;
+      }
+      if (Fd == CompleteFd) {
+        uint64_t Drain = 0;
+        [[maybe_unused]] ssize_t R = ::read(CompleteFd, &Drain, sizeof(Drain));
+        // A batch completed somewhere: flush newly-done responses, retry
+        // stalled submissions, and lift admission pauses. Connection
+        // count is test/bench scale, so the sweep is cheap; a production
+        // server would track which connections each batch touched.
+        std::vector<int> Fds;
+        Fds.reserve(Conns->Map.size());
+        for (auto &[CFd, C] : Conns->Map)
+          Fds.push_back(CFd);
+        for (int CFd : Fds) {
+          auto It = Conns->Map.find(CFd);
+          if (It == Conns->Map.end())
+            continue; // Closed by an earlier flush's write error.
+          Connection &C = *It->second;
+          flushCompleted(C);
+          if (Conns->Map.find(CFd) == Conns->Map.end())
+            continue;
+          retrySubmit(C);
+          if (Conns->Map.find(CFd) == Conns->Map.end())
+            continue; // retrySubmit's parse resume closed C.
+          maybeResumeRead(C);
+        }
+        continue;
+      }
+      auto It = Conns->Map.find(Fd);
+      if (It == Conns->Map.end())
+        continue; // Closed earlier in this event batch.
+      Connection &C = *It->second;
+      if (Events[I].events & (EPOLLHUP | EPOLLERR)) {
+        closeConnection(Fd);
+        continue;
+      }
+      if (Events[I].events & EPOLLOUT) {
+        flushWrites(C);
+        if (Conns->Map.find(Fd) == Conns->Map.end())
+          continue;
+      }
+      if (Events[I].events & EPOLLIN)
+        onReadable(C);
+    }
+  }
+  // Shutdown: wait out every submitted op (its KvRequest lives in the
+  // connection), then tear the connections down.
+  std::vector<int> Fds;
+  Fds.reserve(Conns->Map.size());
+  for (auto &[Fd, C] : Conns->Map)
+    Fds.push_back(Fd);
+  for (int Fd : Fds)
+    closeConnection(Fd);
+}
+
+void KvServer::acceptAll() {
+  for (;;) {
+    int Fd = ::accept4(ListenFd, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (Fd < 0)
+      return; // EAGAIN or transient error; epoll will re-report.
+    int One = 1;
+    ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+    auto C = std::make_unique<Connection>();
+    C->Fd = Fd;
+    epoll_event Ev{};
+    Ev.events = EPOLLIN;
+    Ev.data.fd = Fd;
+    if (::epoll_ctl(EpollFd, EPOLL_CTL_ADD, Fd, &Ev) != 0) {
+      ::close(Fd);
+      continue;
+    }
+    Conns->Map.emplace(Fd, std::move(C));
+    Accepted->cell(0).inc();
+  }
+}
+
+void KvServer::onReadable(Connection &C) {
+  int Fd = C.Fd;
+  for (;;) {
+    uint8_t Chunk[16384];
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N > 0) {
+      C.In.insert(C.In.end(), Chunk, Chunk + N);
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      break;
+    if (N < 0 && errno == EINTR)
+      continue;
+    closeConnection(Fd); // Peer closed (0) or hard error.
+    return;
+  }
+  parseInput(C);
+}
+
+void KvServer::parseInput(Connection &C) {
+  int Fd = C.Fd;
+  // A stalled tail means this connection already owes the executor a
+  // submission; program order forbids parsing past it.
+  while (!C.hasStalledTail()) {
+    if (C.InFlight.size() >= Opts.MaxPipeline) {
+      pauseRead(C);
+      break;
+    }
+    NetRequest Req;
+    size_t Consumed = 0;
+    DecodeStatus S = decodeRequest(C.In.data() + C.InPos,
+                                   C.In.size() - C.InPos, Consumed, Req);
+    if (S == DecodeStatus::NeedMore)
+      break;
+    if (S == DecodeStatus::Malformed) {
+      // No resynchronization in a length-prefixed stream: drop the
+      // connection (the documented protocol contract).
+      Malformed->cell(0).inc();
+      closeConnection(Fd);
+      return;
+    }
+    C.InPos += Consumed;
+    Requests->cell(0).inc();
+    switch (Req.Op) {
+    case KvOp::Get:
+    case KvOp::Put:
+    case KvOp::Erase:
+    case KvOp::Cas:
+      dispatchAsync(C, Req);
+      if (Conns->Map.find(Fd) == Conns->Map.end())
+        return;
+      break;
+    default:
+      dispatchSync(C, Req);
+      if (Conns->Map.find(Fd) == Conns->Map.end())
+        return;
+      break;
+    }
+  }
+  compact(C.In, C.InPos);
+}
+
+void KvServer::dispatchAsync(Connection &C, const NetRequest &Req) {
+  auto Op = std::make_unique<PendingOpImpl>();
+  Op->Id = Req.Id;
+  Op->Req.Op = Req.Op;
+  Op->Req.Key = Req.Key;
+  Op->Req.Value = Req.Value;
+  Op->Req.Expected = Req.Expected;
+  Op->Submitted = Exec->trySubmit(Op->Req);
+  bool Stalled = !Op->Submitted;
+  C.InFlight.push_back(std::move(Op));
+  if (Stalled) {
+    // Shard queue full: the op becomes the stalled parse tail and this
+    // connection's EPOLLIN goes quiet — backpressure propagates from the
+    // bounded shard queue to the client's socket buffer.
+    pauseRead(C);
+  }
+}
+
+void KvServer::dispatchSync(Connection &C, const NetRequest &Req) {
+  int Fd = C.Fd;
+  // Multi-key ops run on the poll thread under its reserved ThreadId.
+  // Draining first gives per-connection program order: this op observes
+  // every earlier op of the same connection.
+  drainInFlight(C);
+  if (Conns->Map.find(Fd) == Conns->Map.end())
+    return; // A response flush hit a write error and closed C.
+  const ThreadId Tid = Opts.Workers;
+  NetResponse Resp;
+  Resp.Id = Req.Id;
+  switch (Req.Op) {
+  case KvOp::MultiPut:
+    Resp.Result = {Store.multiPut(Tid, Req.Pairs), 0};
+    break;
+  case KvOp::SnapshotGet:
+    Resp.Result = {Store.snapshotGet(Tid, Req.Keys, Resp.Values), 0};
+    break;
+  case KvOp::Ping:
+    Resp.Result = {KvStatus::Ok, 0};
+    break;
+  default:
+    Resp.Result = {KvStatus::BadRequest, 0};
+    break;
+  }
+  encodeResponse(Resp, C.Out);
+  Responses->cell(0).inc();
+  flushWrites(C);
+}
+
+void KvServer::drainInFlight(Connection &C) {
+  int Fd = C.Fd;
+  while (!C.InFlight.empty()) {
+    PendingOpImpl &Front = *C.InFlight.front();
+    if (!Front.Submitted)
+      Exec->submit(Front.Req); // Blocking: we are already waiting.
+    Front.Submitted = true;
+    kv::RequestExecutor::wait(Front.Req);
+    flushCompleted(C);
+    if (Conns->Map.find(Fd) == Conns->Map.end())
+      return; // flushCompleted's write flush closed C.
+  }
+}
+
+void KvServer::retrySubmit(Connection &C) {
+  if (!C.hasStalledTail())
+    return;
+  PendingOpImpl &Tail = *C.InFlight.back();
+  if (Exec->trySubmit(Tail.Req)) {
+    Tail.Submitted = true;
+    // The tail unblocked: buffered frames behind it may now parse.
+    parseInput(C);
+  }
+}
+
+void KvServer::flushCompleted(Connection &C) {
+  bool Any = false;
+  while (!C.InFlight.empty() && C.InFlight.front()->Submitted &&
+         C.InFlight.front()->Req.done()) {
+    PendingOpImpl &Op = *C.InFlight.front();
+    NetResponse Resp;
+    Resp.Id = Op.Id;
+    Resp.Result = Op.Req.Out;
+    encodeResponse(Resp, C.Out);
+    Responses->cell(0).inc();
+    C.InFlight.pop_front();
+    Any = true;
+  }
+  if (Any)
+    flushWrites(C);
+}
+
+void KvServer::flushWrites(Connection &C) {
+  int Fd = C.Fd;
+  while (C.OutPos < C.Out.size()) {
+    ssize_t N = ::send(Fd, C.Out.data() + C.OutPos, C.Out.size() - C.OutPos,
+                       MSG_NOSIGNAL);
+    if (N > 0) {
+      C.OutPos += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!C.WantWrite) {
+        C.WantWrite = true;
+        updateInterest(C);
+      }
+      return;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    closeConnection(Fd);
+    return;
+  }
+  C.Out.clear();
+  C.OutPos = 0;
+  if (C.WantWrite) {
+    C.WantWrite = false;
+    updateInterest(C);
+  }
+}
+
+void KvServer::pauseRead(Connection &C) {
+  if (C.ReadPaused)
+    return;
+  C.ReadPaused = true;
+  updateInterest(C);
+}
+
+void KvServer::maybeResumeRead(Connection &C) {
+  if (!C.ReadPaused || C.hasStalledTail() ||
+      C.InFlight.size() >= Opts.MaxPipeline)
+    return;
+  C.ReadPaused = false;
+  updateInterest(C);
+  // Bytes buffered while paused may already hold complete frames that
+  // epoll will never re-announce; parse them now.
+  parseInput(C);
+}
+
+void KvServer::updateInterest(Connection &C) {
+  epoll_event Ev{};
+  Ev.events = (C.ReadPaused ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+              (C.WantWrite ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+  Ev.data.fd = C.Fd;
+  ::epoll_ctl(EpollFd, EPOLL_CTL_MOD, C.Fd, &Ev);
+}
+
+void KvServer::closeConnection(int Fd) {
+  auto It = Conns->Map.find(Fd);
+  if (It == Conns->Map.end())
+    return;
+  std::unique_ptr<Connection> C = std::move(It->second);
+  Conns->Map.erase(It);
+  // Submitted ops reference KvRequest storage inside this connection;
+  // wait them out before freeing it. The unsubmitted stalled tail (if
+  // any) was never handed to the executor and can simply drop.
+  for (auto &Op : C->InFlight)
+    if (Op->Submitted)
+      kv::RequestExecutor::wait(Op->Req);
+  ::epoll_ctl(EpollFd, EPOLL_CTL_DEL, Fd, nullptr);
+  ::close(Fd);
+}

@@ -1,0 +1,148 @@
+//===-- net/KvServer.h - Epoll-based networked KV service -------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The networked front end of the KV service: one epoll poll thread
+/// owns all connection I/O and frame parsing (net/Protocol.h), and the
+/// existing RequestExecutor pool executes the single-key operations it
+/// feeds — the server adds a transport, not a second execution engine.
+///
+/// Request routing:
+///
+///  * Get/Put/Erase/Cas become KvRequests on the per-shard MPMC queues,
+///    exactly like in-process submissions. The executor's
+///    OnBatchComplete hook writes an eventfd, so the poll thread sleeps
+///    in epoll_wait until results are ready instead of spinning on Done.
+///  * MultiPut/SnapshotGet/Ping run synchronously on the poll thread
+///    under ThreadId Workers (the store needs MaxThreads >= Workers+1).
+///    Before one runs, the connection's in-flight single-key tail is
+///    drained, so every operation on a connection observes all earlier
+///    operations of that connection (per-connection program order).
+///
+/// Pipelining and ordering: clients may pipeline requests; responses are
+/// sent strictly in request order per connection (an in-flight FIFO per
+/// connection holds completed-out-of-order results back).
+///
+/// Admission control maps connection backpressure onto the executor's
+/// bounded queues instead of buffering without limit: a connection with
+/// MaxPipeline requests in flight — or whose next request targets a full
+/// shard queue — has its EPOLLIN interest dropped until completions make
+/// room, so a flooding client stalls in its own socket buffer while
+/// other connections keep their latency. Submission order per connection
+/// is preserved across stalls: a stalled request is always the parse
+/// tail, and it is resubmitted before parsing resumes.
+///
+/// Durability composes transparently: attach a Wal to the KvStore before
+/// start() and every acknowledged mutation is group-committed by the
+/// executor/store paths the in-process surface already uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_NET_KVSERVER_H
+#define PTM_NET_KVSERVER_H
+
+#include "kv/Kv.h"
+#include "net/Protocol.h"
+#include "obs/Metrics.h"
+
+#include <memory>
+#include <thread>
+
+namespace ptm {
+namespace net {
+
+class KvServer {
+public:
+  struct Options {
+    uint16_t Port = 0;             ///< 0 = kernel-assigned; see port().
+    unsigned Workers = 2;          ///< Executor pool; store MaxThreads
+                                   ///< must be >= Workers + 1 (the poll
+                                   ///< thread runs sync ops as its own
+                                   ///< ThreadId).
+    unsigned QueueCapacity = 1024; ///< Per-shard queue; power of two.
+    unsigned MaxBatch = 16;        ///< Requests per shard transaction.
+    unsigned MaxPipeline = 128;    ///< Per-connection in-flight cap.
+  };
+
+  /// True iff \p Opts can serve \p Store: executor-valid options with
+  /// the extra poll-thread ThreadId available and a nonzero pipeline.
+  static bool validOptions(const kv::KvStore &Store, const Options &Opts);
+
+  /// Binds a loopback listener, spawns the executor pool and the poll
+  /// thread. Null on socket errors or invalid options. The store (and
+  /// any attached Wal) must outlive the server.
+  static std::unique_ptr<KvServer> start(kv::KvStore &Store,
+                                         const Options &Opts);
+
+  /// Stops accepting, completes in-flight requests, joins everything.
+  ~KvServer();
+
+  KvServer(const KvServer &) = delete;
+  KvServer &operator=(const KvServer &) = delete;
+
+  /// The bound port (the kernel's choice when Options.Port was 0).
+  uint16_t port() const { return Port_; }
+
+  /// Idempotent shutdown; the destructor calls it.
+  void stop();
+
+  /// Live transport telemetry: `net.accepted` connections taken from the
+  /// listener, `net.requests` frames parsed, `net.responses` frames
+  /// written, `net.malformed` framing violations (each one also closed a
+  /// connection). All cells are written only by the poll thread; any
+  /// thread may snapshot. The execution-side view (batches, queue
+  /// depths, latencies) stays on the executor's and Wal's telemetry().
+  obs::MetricsSnapshot telemetry() const { return Registry.snapshot(); }
+
+private:
+  struct Connection;
+
+  KvServer(kv::KvStore &Store, const Options &Opts);
+
+  bool init();
+  void pollLoop();
+  void acceptAll();
+  void onReadable(Connection &C);
+  void parseInput(Connection &C);
+  void dispatchAsync(Connection &C, const NetRequest &Req);
+  void dispatchSync(Connection &C, const NetRequest &Req);
+  void drainInFlight(Connection &C);
+  void retrySubmit(Connection &C);
+  void flushCompleted(Connection &C);
+  void flushWrites(Connection &C);
+  void pauseRead(Connection &C);
+  void maybeResumeRead(Connection &C);
+  void updateInterest(Connection &C);
+  void closeConnection(int Fd);
+
+  kv::KvStore &Store;
+  Options Opts;
+  std::unique_ptr<kv::RequestExecutor> Exec;
+  uint16_t Port_ = 0;
+  int ListenFd = -1;
+  int EpollFd = -1;
+  int CompleteFd = -1; ///< Executor batches kick this eventfd.
+  int StopFd = -1;     ///< stop() kicks this eventfd.
+  std::thread Poller;
+  bool Stopped = false;
+
+  /// Poll-thread-only counters (see telemetry()).
+  obs::MetricsRegistry Registry;
+  obs::ShardedCounter *Accepted = nullptr;
+  obs::ShardedCounter *Requests = nullptr;
+  obs::ShardedCounter *Responses = nullptr;
+  obs::ShardedCounter *Malformed = nullptr;
+
+  /// Owned connections, keyed by fd (only the poll thread touches them).
+  struct ConnectionMap;
+  std::unique_ptr<ConnectionMap> Conns;
+};
+
+} // namespace net
+} // namespace ptm
+
+#endif // PTM_NET_KVSERVER_H

@@ -1,0 +1,22 @@
+//===-- net/Net.h - Networked KV service umbrella header --------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Umbrella header for the networked KV service: the versioned wire
+/// protocol, the epoll server, and the client. Everything speaks the
+/// kv/KvApi.h vocabulary — see DESIGN.md "Networked service".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_NET_NET_H
+#define PTM_NET_NET_H
+
+#include "net/KvClient.h"  // IWYU pragma: export
+#include "net/KvServer.h"  // IWYU pragma: export
+#include "net/Protocol.h"  // IWYU pragma: export
+
+#endif // PTM_NET_NET_H

@@ -1,0 +1,229 @@
+//===-- net/Protocol.cpp - Versioned binary KV wire protocol --------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Protocol.h"
+
+#include <cassert>
+
+using namespace ptm;
+using namespace ptm::net;
+using kv::KvOp;
+using kv::KvResponse;
+using kv::KvStatus;
+
+namespace {
+
+template <typename T> void putLe(std::vector<uint8_t> &Out, T Value) {
+  for (unsigned I = 0; I < sizeof(T); ++I)
+    Out.push_back(static_cast<uint8_t>(Value >> (8 * I)));
+}
+
+template <typename T>
+bool getLe(const uint8_t *Data, size_t Size, size_t &Pos, T &Value) {
+  if (Pos + sizeof(T) > Size)
+    return false;
+  Value = 0;
+  for (unsigned I = 0; I < sizeof(T); ++I)
+    Value |= static_cast<T>(Data[Pos + I]) << (8 * I);
+  Pos += sizeof(T);
+  return true;
+}
+
+/// Patches the placeholder length prefix at \p LenAt once the body is
+/// fully appended; asserts the body fits the frame bound (the encoder's
+/// callers build requests from bounded client input, so an oversized
+/// frame is a programming error, not a runtime condition).
+void patchLength(std::vector<uint8_t> &Out, size_t LenAt) {
+  size_t BodyLen = Out.size() - LenAt - 4;
+  assert(BodyLen <= kMaxFrameBytes && "frame exceeds kMaxFrameBytes");
+  for (unsigned I = 0; I < 4; ++I)
+    Out[LenAt + I] = static_cast<uint8_t>(BodyLen >> (8 * I));
+}
+
+/// Reads and validates the shared (length, version) prelude. Returns
+/// NeedMore/Malformed verdicts; on Ok leaves \p Pos after the version
+/// byte and \p End at the frame body's end.
+DecodeStatus openFrame(const uint8_t *Data, size_t Size, size_t &Pos,
+                       size_t &End) {
+  uint32_t Len = 0;
+  if (!getLe(Data, Size, Pos, Len))
+    return DecodeStatus::NeedMore;
+  if (Len > kMaxFrameBytes)
+    return DecodeStatus::Malformed;
+  if (Len > Size - Pos)
+    return DecodeStatus::NeedMore;
+  End = Pos + Len;
+  uint8_t Version = 0;
+  if (!getLe(Data, End, Pos, Version))
+    return DecodeStatus::Malformed; // Body too short for the prelude.
+  if (Version != kProtocolVersion)
+    return DecodeStatus::Malformed;
+  return DecodeStatus::Ok;
+}
+
+} // namespace
+
+void ptm::net::encodeRequest(const NetRequest &Req,
+                             std::vector<uint8_t> &Out) {
+  size_t LenAt = Out.size();
+  putLe<uint32_t>(Out, 0); // Patched below.
+  putLe<uint8_t>(Out, kProtocolVersion);
+  putLe<uint8_t>(Out, static_cast<uint8_t>(Req.Op));
+  putLe<uint64_t>(Out, Req.Id);
+  switch (Req.Op) {
+  case KvOp::Get:
+  case KvOp::Erase:
+    putLe<uint64_t>(Out, Req.Key);
+    break;
+  case KvOp::Put:
+    putLe<uint64_t>(Out, Req.Key);
+    putLe<uint64_t>(Out, Req.Value);
+    break;
+  case KvOp::Cas:
+    putLe<uint64_t>(Out, Req.Key);
+    putLe<uint64_t>(Out, Req.Expected);
+    putLe<uint64_t>(Out, Req.Value);
+    break;
+  case KvOp::MultiPut:
+    putLe<uint32_t>(Out, static_cast<uint32_t>(Req.Pairs.size()));
+    for (const auto &[Key, Value] : Req.Pairs) {
+      putLe<uint64_t>(Out, Key);
+      putLe<uint64_t>(Out, Value);
+    }
+    break;
+  case KvOp::SnapshotGet:
+    putLe<uint32_t>(Out, static_cast<uint32_t>(Req.Keys.size()));
+    for (uint64_t Key : Req.Keys)
+      putLe<uint64_t>(Out, Key);
+    break;
+  case KvOp::Ping:
+    break;
+  }
+  patchLength(Out, LenAt);
+}
+
+void ptm::net::encodeResponse(const NetResponse &Resp,
+                              std::vector<uint8_t> &Out) {
+  size_t LenAt = Out.size();
+  putLe<uint32_t>(Out, 0); // Patched below.
+  putLe<uint8_t>(Out, kProtocolVersion);
+  putLe<uint8_t>(Out, static_cast<uint8_t>(Resp.Result.Status));
+  putLe<uint64_t>(Out, Resp.Id);
+  putLe<uint64_t>(Out, Resp.Result.Value);
+  putLe<uint32_t>(Out, static_cast<uint32_t>(Resp.Values.size()));
+  for (const KvResponse &R : Resp.Values) {
+    putLe<uint8_t>(Out, static_cast<uint8_t>(R.Status));
+    putLe<uint64_t>(Out, R.Value);
+  }
+  patchLength(Out, LenAt);
+}
+
+DecodeStatus ptm::net::decodeRequest(const uint8_t *Data, size_t Size,
+                                     size_t &Consumed, NetRequest &Out) {
+  size_t Pos = 0, End = 0;
+  DecodeStatus Prelude = openFrame(Data, Size, Pos, End);
+  if (Prelude != DecodeStatus::Ok)
+    return Prelude;
+  uint8_t OpByte = 0;
+  uint64_t Id = 0;
+  if (!getLe(Data, End, Pos, OpByte) || !getLe(Data, End, Pos, Id))
+    return DecodeStatus::Malformed;
+  if (OpByte >= kv::kNumKvOps)
+    return DecodeStatus::Malformed;
+  Out = NetRequest();
+  Out.Op = static_cast<KvOp>(OpByte);
+  Out.Id = Id;
+  switch (Out.Op) {
+  case KvOp::Get:
+  case KvOp::Erase:
+    if (!getLe(Data, End, Pos, Out.Key))
+      return DecodeStatus::Malformed;
+    break;
+  case KvOp::Put:
+    if (!getLe(Data, End, Pos, Out.Key) ||
+        !getLe(Data, End, Pos, Out.Value))
+      return DecodeStatus::Malformed;
+    break;
+  case KvOp::Cas:
+    if (!getLe(Data, End, Pos, Out.Key) ||
+        !getLe(Data, End, Pos, Out.Expected) ||
+        !getLe(Data, End, Pos, Out.Value))
+      return DecodeStatus::Malformed;
+    break;
+  case KvOp::MultiPut: {
+    uint32_t Count = 0;
+    if (!getLe(Data, End, Pos, Count))
+      return DecodeStatus::Malformed;
+    if (Count > (End - Pos) / 16)
+      return DecodeStatus::Malformed; // Count cannot fit the body.
+    Out.Pairs.reserve(Count);
+    for (uint32_t I = 0; I < Count; ++I) {
+      uint64_t Key = 0, Value = 0;
+      if (!getLe(Data, End, Pos, Key) || !getLe(Data, End, Pos, Value))
+        return DecodeStatus::Malformed;
+      Out.Pairs.emplace_back(Key, Value);
+    }
+    break;
+  }
+  case KvOp::SnapshotGet: {
+    uint32_t Count = 0;
+    if (!getLe(Data, End, Pos, Count))
+      return DecodeStatus::Malformed;
+    if (Count > (End - Pos) / 8)
+      return DecodeStatus::Malformed;
+    Out.Keys.reserve(Count);
+    for (uint32_t I = 0; I < Count; ++I) {
+      uint64_t Key = 0;
+      if (!getLe(Data, End, Pos, Key))
+        return DecodeStatus::Malformed;
+      Out.Keys.push_back(Key);
+    }
+    break;
+  }
+  case KvOp::Ping:
+    break;
+  }
+  if (Pos != End)
+    return DecodeStatus::Malformed; // Trailing junk inside the frame.
+  Consumed = End;
+  return DecodeStatus::Ok;
+}
+
+DecodeStatus ptm::net::decodeResponse(const uint8_t *Data, size_t Size,
+                                      size_t &Consumed, NetResponse &Out) {
+  size_t Pos = 0, End = 0;
+  DecodeStatus Prelude = openFrame(Data, Size, Pos, End);
+  if (Prelude != DecodeStatus::Ok)
+    return Prelude;
+  uint8_t StatusByte = 0;
+  uint64_t Id = 0, Value = 0;
+  uint32_t Count = 0;
+  if (!getLe(Data, End, Pos, StatusByte) || !getLe(Data, End, Pos, Id) ||
+      !getLe(Data, End, Pos, Value) || !getLe(Data, End, Pos, Count))
+    return DecodeStatus::Malformed;
+  if (StatusByte >= kv::kNumKvStatuses)
+    return DecodeStatus::Malformed;
+  if (Count > (End - Pos) / 9)
+    return DecodeStatus::Malformed;
+  Out = NetResponse();
+  Out.Id = Id;
+  Out.Result = {static_cast<KvStatus>(StatusByte), Value};
+  Out.Values.reserve(Count);
+  for (uint32_t I = 0; I < Count; ++I) {
+    uint8_t S = 0;
+    uint64_t V = 0;
+    if (!getLe(Data, End, Pos, S) || !getLe(Data, End, Pos, V))
+      return DecodeStatus::Malformed;
+    if (S >= kv::kNumKvStatuses)
+      return DecodeStatus::Malformed;
+    Out.Values.push_back({static_cast<KvStatus>(S), V});
+  }
+  if (Pos != End)
+    return DecodeStatus::Malformed;
+  Consumed = End;
+  return DecodeStatus::Ok;
+}

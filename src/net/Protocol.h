@@ -1,0 +1,113 @@
+//===-- net/Protocol.h - Versioned binary KV wire protocol ------*- C++ -*-===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire codec for the networked KV service: length-prefixed binary
+/// frames carrying the SAME KvOp / KvStatus / KvResponse vocabulary the
+/// in-process surface uses (kv/KvApi.h), so a status produced deep in a
+/// shard transaction travels to a remote client without translation.
+///
+/// Frame layout (all integers little-endian):
+///
+///   frame    := u32 body-length  body          (length excludes itself)
+///   request  := u8 version  u8 op  u64 id  op-payload
+///   response := u8 version  u8 status  u64 id  u64 value
+///               u32 count  count * (u8 status  u64 value)
+///
+/// Op payloads: Get/Erase = u64 key; Put = u64 key  u64 value;
+/// Cas = u64 key  u64 expected  u64 desired;
+/// MultiPut = u32 count  count * (u64 key  u64 value);
+/// SnapshotGet = u32 count  count * u64 key; Ping = empty.
+///
+/// Responses to single-key ops carry their KvResponse in (status, value)
+/// with count = 0; SnapshotGet answers with the overall status plus one
+/// (status, value) pair per requested key, in request order.
+///
+/// Decoding is incremental and defensive, mirroring the trace codec
+/// (obs/Trace.cpp deserializeTraceBinary): a prefix of a frame decodes
+/// to NeedMore (keep the bytes, read on), while a frame that can never
+/// become valid — unknown version/op/status, length over kMaxFrameBytes,
+/// counts that do not fit the declared length, trailing junk inside the
+/// frame — decodes to Malformed and the connection should be dropped
+/// (there is no way to resynchronize a corrupt length-prefixed stream).
+///
+/// Compatibility contract: the u8 op and status bytes are the enum raw
+/// values from kv/KvApi.h, which are append-only; the version byte bumps
+/// on any layout change. A decoder must reject versions it does not
+/// speak rather than guess.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PTM_NET_PROTOCOL_H
+#define PTM_NET_PROTOCOL_H
+
+#include "kv/KvApi.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ptm {
+namespace net {
+
+/// Wire protocol version; bumps on any frame-layout change.
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Upper bound on one frame's body. Bounds per-connection buffering and
+/// makes a corrupt length field fail fast instead of allocating 4 GiB.
+/// Large enough for a 64Ki-key snapshotGet response.
+inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
+
+/// One decoded request. Key/Value/Expected serve the single-key ops,
+/// Pairs serves MultiPut, Keys serves SnapshotGet; unused fields are
+/// neither encoded nor decoded.
+struct NetRequest {
+  kv::KvOp Op = kv::KvOp::Ping;
+  uint64_t Id = 0; ///< Client-chosen correlation id, echoed verbatim.
+  uint64_t Key = 0;
+  uint64_t Value = 0;    ///< put: value; cas: desired.
+  uint64_t Expected = 0; ///< cas only.
+  std::vector<std::pair<uint64_t, uint64_t>> Pairs; ///< MultiPut.
+  std::vector<uint64_t> Keys;                       ///< SnapshotGet.
+};
+
+/// One decoded response: the overall result plus, for SnapshotGet, the
+/// per-key responses in request order.
+struct NetResponse {
+  uint64_t Id = 0;
+  kv::KvResponse Result;
+  std::vector<kv::KvResponse> Values; ///< SnapshotGet only.
+};
+
+/// Decode outcome for one frame attempt.
+enum class DecodeStatus : uint8_t {
+  Ok,       ///< One frame consumed; the out-param is valid.
+  NeedMore, ///< The bytes are a valid proper prefix; read more.
+  Malformed ///< The stream can never parse; drop the connection.
+};
+
+/// Appends one encoded frame for \p Req to \p Out.
+void encodeRequest(const NetRequest &Req, std::vector<uint8_t> &Out);
+
+/// Appends one encoded frame for \p Resp to \p Out.
+void encodeResponse(const NetResponse &Resp, std::vector<uint8_t> &Out);
+
+/// Tries to decode one request frame from [Data, Data+Size). On Ok sets
+/// \p Consumed to the frame's total byte length (prefix + body) and
+/// fills \p Out; otherwise leaves \p Consumed untouched.
+DecodeStatus decodeRequest(const uint8_t *Data, size_t Size,
+                           size_t &Consumed, NetRequest &Out);
+
+/// Response-side counterpart of decodeRequest.
+DecodeStatus decodeResponse(const uint8_t *Data, size_t Size,
+                            size_t &Consumed, NetResponse &Out);
+
+} // namespace net
+} // namespace ptm
+
+#endif // PTM_NET_PROTOCOL_H

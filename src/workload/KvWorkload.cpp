@@ -98,7 +98,7 @@ RunResult ptm::runKvMix(kv::KvStore &Store, unsigned Threads,
           break;
         }
         case 1: {
-          std::vector<std::optional<uint64_t>> Values;
+          std::vector<kv::KvResponse> Values;
           Store.snapshotGet(Tid, Keys, Values);
           break;
         }
@@ -119,14 +119,14 @@ RunResult ptm::runKvMix(kv::KvStore &Store, unsigned Threads,
       double Pick = Rng.nextDouble() *
                     (SingleTotal < 1.0 ? 1.0 : SingleTotal);
       if (Pick < Config.GetFrac) {
-        uint64_t Value = 0;
-        Store.get(Tid, Key, Value);
+        Store.get(Tid, Key);
       } else if (Pick < Config.GetFrac + Config.PutFrac) {
         Store.put(Tid, Key, (uint64_t{Tid} << 32) | Op);
       } else if (Pick < SingleTotal) {
-        uint64_t Current = 0;
-        if (Store.get(Tid, Key, Current))
-          Store.compareAndSwap(Tid, Key, Current, Current + 1);
+        kv::KvResponse Current = Store.get(Tid, Key);
+        if (Current.ok())
+          Store.compareAndSwap(Tid, Key, Current.Value,
+                               Current.Value + 1);
       } else {
         Store.erase(Tid, Key);
       }
@@ -200,9 +200,9 @@ RunResult ptm::runKvExecutorLoad(kv::KvStore &Store,
       R.reset();
       R.Key = drawKey(Rng, Zipf, HotPool, Config.HotShardFrac);
       if (Rng.nextBool(Config.GetFrac)) {
-        R.Op = kv::KvOpKind::Get;
+        R.Op = kv::KvOp::Get;
       } else {
-        R.Op = kv::KvOpKind::Put;
+        R.Op = kv::KvOp::Put;
         R.Value = (uint64_t{Client} << 32) | Op;
       }
       Exec.submit(R);
@@ -216,7 +216,7 @@ RunResult ptm::runKvExecutorLoad(kv::KvStore &Store,
   });
   Exec.drainAndStop();
 
-  kv::ExecutorStats ES = Exec.stats();
+  kv::ExecutorStats ES = Exec.exactStats();
   if (Metrics) {
     obs::HistogramSnapshot Merged;
     for (const auto &Rec : Recorders)
@@ -281,7 +281,7 @@ RunResult ptm::runKvReadOnly(kv::KvStore &Store,
     ZipfDistribution Zipf(Config.KeySpace, Config.Theta);
 
     if (Tid < Config.Readers) {
-      std::vector<std::optional<uint64_t>> Values;
+      std::vector<kv::KvResponse> Values;
       for (uint64_t Snap = 0; Snap < Config.SnapshotsPerReader; ++Snap)
         Store.snapshotGet(Tid, KeySets[Tid][Snap % kKeySetsPerReader],
                           Values);

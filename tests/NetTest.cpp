@@ -1,0 +1,537 @@
+//===-- tests/NetTest.cpp - Wire protocol and server tests ----------------===//
+//
+// Part of the PTM project, under the Apache License v2.0.
+// SPDX-License-Identifier: Apache-2.0
+//
+//===----------------------------------------------------------------------===//
+///
+/// The src/net contracts: codec round trips for every op, incremental
+/// decoding (every proper prefix is NeedMore, never Malformed or a
+/// bogus Ok), defensive rejection of malformed frames (mirroring the
+/// binary-trace fuzz suite), and the epoll server end to end — status
+/// vocabulary over the wire, pipelined in-order responses, admission
+/// control under tiny pipeline/queue limits, concurrent clients, a
+/// protocol-violating peer getting dropped, and durability composing
+/// through the server (WAL attached, per-connection acked writes
+/// recover).
+///
+//===----------------------------------------------------------------------===//
+
+#include "kv/Kv.h"
+#include "net/Net.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <cstdlib>
+#include <cstring>
+#include <netinet/in.h>
+#include <string>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace ptm;
+using namespace ptm::kv;
+using namespace ptm::net;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Codec round trips
+//===----------------------------------------------------------------------===//
+
+NetRequest sampleRequest(KvOp Op) {
+  NetRequest Req;
+  Req.Op = Op;
+  Req.Id = 0x1122334455667788ull;
+  Req.Key = 0xAABB;
+  Req.Value = 0xCCDD;
+  Req.Expected = 0xEEFF;
+  if (Op == KvOp::MultiPut)
+    Req.Pairs = {{1, 10}, {2, 20}, {3, 30}};
+  if (Op == KvOp::SnapshotGet)
+    Req.Keys = {5, 6, 7, 8};
+  return Req;
+}
+
+TEST(ProtocolTest, RequestRoundTripEveryOp) {
+  for (unsigned O = 0; O < kNumKvOps; ++O) {
+    KvOp Op = static_cast<KvOp>(O);
+    NetRequest In = sampleRequest(Op);
+    std::vector<uint8_t> Wire;
+    encodeRequest(In, Wire);
+    NetRequest Out;
+    size_t Consumed = 0;
+    ASSERT_EQ(decodeRequest(Wire.data(), Wire.size(), Consumed, Out),
+              DecodeStatus::Ok)
+        << kvOpName(Op);
+    EXPECT_EQ(Consumed, Wire.size());
+    EXPECT_EQ(Out.Op, In.Op);
+    EXPECT_EQ(Out.Id, In.Id);
+    switch (Op) {
+    case KvOp::Get:
+    case KvOp::Erase:
+      EXPECT_EQ(Out.Key, In.Key);
+      break;
+    case KvOp::Put:
+      EXPECT_EQ(Out.Key, In.Key);
+      EXPECT_EQ(Out.Value, In.Value);
+      break;
+    case KvOp::Cas:
+      EXPECT_EQ(Out.Key, In.Key);
+      EXPECT_EQ(Out.Value, In.Value);
+      EXPECT_EQ(Out.Expected, In.Expected);
+      break;
+    case KvOp::MultiPut:
+      EXPECT_EQ(Out.Pairs, In.Pairs);
+      break;
+    case KvOp::SnapshotGet:
+      EXPECT_EQ(Out.Keys, In.Keys);
+      break;
+    case KvOp::Ping:
+      break;
+    }
+  }
+}
+
+TEST(ProtocolTest, ResponseRoundTripWithValues) {
+  NetResponse In;
+  In.Id = 42;
+  In.Result = {KvStatus::CasMismatch, 0xDEADBEEF};
+  In.Values = {{KvStatus::Ok, 1}, {KvStatus::NotFound, 0}, {KvStatus::Ok, 3}};
+  std::vector<uint8_t> Wire;
+  encodeResponse(In, Wire);
+  NetResponse Out;
+  size_t Consumed = 0;
+  ASSERT_EQ(decodeResponse(Wire.data(), Wire.size(), Consumed, Out),
+            DecodeStatus::Ok);
+  EXPECT_EQ(Consumed, Wire.size());
+  EXPECT_EQ(Out.Id, In.Id);
+  EXPECT_EQ(Out.Result, In.Result);
+  EXPECT_EQ(Out.Values, In.Values);
+}
+
+TEST(ProtocolTest, BackToBackFramesConsumeExactlyOne) {
+  std::vector<uint8_t> Wire;
+  NetRequest A = sampleRequest(KvOp::Put), B = sampleRequest(KvOp::Get);
+  B.Id = 99;
+  encodeRequest(A, Wire);
+  size_t FirstLen = Wire.size();
+  encodeRequest(B, Wire);
+  NetRequest Out;
+  size_t Consumed = 0;
+  ASSERT_EQ(decodeRequest(Wire.data(), Wire.size(), Consumed, Out),
+            DecodeStatus::Ok);
+  EXPECT_EQ(Consumed, FirstLen);
+  EXPECT_EQ(Out.Op, KvOp::Put);
+  size_t Consumed2 = 0;
+  ASSERT_EQ(decodeRequest(Wire.data() + Consumed, Wire.size() - Consumed,
+                          Consumed2, Out),
+            DecodeStatus::Ok);
+  EXPECT_EQ(Out.Id, 99u);
+}
+
+TEST(ProtocolTest, EveryProperPrefixIsNeedMore) {
+  for (KvOp Op : {KvOp::Put, KvOp::MultiPut, KvOp::SnapshotGet}) {
+    NetRequest In = sampleRequest(Op);
+    std::vector<uint8_t> Wire;
+    encodeRequest(In, Wire);
+    NetRequest Out;
+    for (size_t Size = 0; Size < Wire.size(); ++Size) {
+      size_t Consumed = 0;
+      EXPECT_EQ(decodeRequest(Wire.data(), Size, Consumed, Out),
+                DecodeStatus::NeedMore)
+          << kvOpName(Op) << " prefix " << Size;
+    }
+  }
+}
+
+TEST(ProtocolTest, MalformedFramesAreRejected) {
+  NetRequest Out;
+  size_t Consumed = 0;
+
+  // Length field over the frame bound: can never become valid.
+  std::vector<uint8_t> Huge = {0xff, 0xff, 0xff, 0xff};
+  EXPECT_EQ(decodeRequest(Huge.data(), Huge.size(), Consumed, Out),
+            DecodeStatus::Malformed);
+
+  std::vector<uint8_t> Wire;
+  encodeRequest(sampleRequest(KvOp::Cas), Wire);
+
+  // Wrong protocol version (byte 4).
+  std::vector<uint8_t> Bad = Wire;
+  Bad[4] = 2;
+  EXPECT_EQ(decodeRequest(Bad.data(), Bad.size(), Consumed, Out),
+            DecodeStatus::Malformed);
+
+  // Unknown op byte (byte 5).
+  Bad = Wire;
+  Bad[5] = kNumKvOps;
+  EXPECT_EQ(decodeRequest(Bad.data(), Bad.size(), Consumed, Out),
+            DecodeStatus::Malformed);
+
+  // Truncated body with a length claiming more: grow the length field
+  // past the real body; the decode sees a full frame whose payload
+  // cannot satisfy the op — Malformed, not a hang.
+  Bad = Wire;
+  Bad[0] += 1;
+  Bad.push_back(0); // Supply the extra byte: now trailing junk.
+  EXPECT_EQ(decodeRequest(Bad.data(), Bad.size(), Consumed, Out),
+            DecodeStatus::Malformed);
+
+  // MultiPut count that cannot fit its frame.
+  std::vector<uint8_t> Multi;
+  encodeRequest(sampleRequest(KvOp::MultiPut), Multi);
+  Bad = Multi;
+  Bad[14] = 0xff; // Count field low byte (4 len + 1 ver + 1 op + 8 id).
+  EXPECT_EQ(decodeRequest(Bad.data(), Bad.size(), Consumed, Out),
+            DecodeStatus::Malformed);
+
+  // Response with an unknown status byte.
+  NetResponse RespIn;
+  RespIn.Result = {KvStatus::Ok, 7};
+  std::vector<uint8_t> RespWire;
+  encodeResponse(RespIn, RespWire);
+  RespWire[5] = kNumKvStatuses;
+  NetResponse RespOut;
+  EXPECT_EQ(decodeResponse(RespWire.data(), RespWire.size(), Consumed,
+                           RespOut),
+            DecodeStatus::Malformed);
+}
+
+TEST(ProtocolTest, SingleByteMutationsNeverCrash) {
+  // The fuzz sweep: flipping any single byte must yield Ok, NeedMore, or
+  // Malformed — never a crash or overread (ASan enforces the latter).
+  for (KvOp Op : {KvOp::Get, KvOp::Cas, KvOp::MultiPut, KvOp::SnapshotGet,
+                  KvOp::Ping}) {
+    std::vector<uint8_t> Wire;
+    encodeRequest(sampleRequest(Op), Wire);
+    for (size_t I = 0; I < Wire.size(); ++I) {
+      for (uint8_t Flip : {uint8_t{0x01}, uint8_t{0x80}, uint8_t{0xff}}) {
+        std::vector<uint8_t> Bad = Wire;
+        Bad[I] ^= Flip;
+        NetRequest Out;
+        size_t Consumed = 0;
+        DecodeStatus S = decodeRequest(Bad.data(), Bad.size(), Consumed, Out);
+        if (S == DecodeStatus::Ok) {
+          EXPECT_LE(Consumed, Bad.size());
+        }
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Server end to end
+//===----------------------------------------------------------------------===//
+
+/// A store + running server + connected client, torn down in order.
+struct ServerFixture {
+  std::unique_ptr<KvStore> Store;
+  std::unique_ptr<KvServer> Server;
+
+  explicit ServerFixture(KvServer::Options Opts = {},
+                         uint64_t CapacityPerShard = 1024) {
+    KvConfig Cfg;
+    Cfg.ShardCount = 4;
+    Cfg.BucketsPerShard = 16;
+    Cfg.CapacityPerShard = CapacityPerShard;
+    Cfg.MaxThreads = Opts.Workers + 1;
+    Store = KvStore::create(Cfg);
+    EXPECT_NE(Store, nullptr);
+    Server = KvServer::start(*Store, Opts);
+    EXPECT_NE(Server, nullptr);
+  }
+
+  std::unique_ptr<KvClient> client() const {
+    return KvClient::connect(Server->port());
+  }
+};
+
+TEST(KvServerTest, RejectsInvalidOptions) {
+  KvConfig Cfg;
+  Cfg.ShardCount = 4;
+  Cfg.MaxThreads = 2; // Needs Workers + 1 = 3.
+  auto Store = KvStore::create(Cfg);
+  ASSERT_NE(Store, nullptr);
+  KvServer::Options Opts;
+  Opts.Workers = 2;
+  EXPECT_FALSE(KvServer::validOptions(*Store, Opts));
+  EXPECT_EQ(KvServer::start(*Store, Opts), nullptr);
+  Opts.Workers = 1; // Fits: 1 worker + 1 poll ThreadId.
+  EXPECT_TRUE(KvServer::validOptions(*Store, Opts));
+  Opts.MaxPipeline = 0;
+  EXPECT_FALSE(KvServer::validOptions(*Store, Opts));
+}
+
+TEST(KvServerTest, StatusVocabularyTravelsTheWire) {
+  ServerFixture F;
+  auto C = F.client();
+  ASSERT_NE(C, nullptr);
+
+  EXPECT_EQ(C->ping(), KvStatus::Ok);
+  EXPECT_EQ(C->get(7), (KvResponse{KvStatus::NotFound, 0}));
+  EXPECT_EQ(C->put(7, 70), (KvResponse{KvStatus::Ok, 0}));
+  EXPECT_EQ(C->get(7), (KvResponse{KvStatus::Ok, 70}));
+  // Cas: mismatch carries the witness, success carries Expected.
+  EXPECT_EQ(C->compareAndSwap(7, 1, 2),
+            (KvResponse{KvStatus::CasMismatch, 70}));
+  EXPECT_EQ(C->compareAndSwap(7, 70, 71), (KvResponse{KvStatus::Ok, 70}));
+  EXPECT_EQ(C->compareAndSwap(999, 1, 2),
+            (KvResponse{KvStatus::NotFound, 0}));
+  // Erase carries the prior value.
+  EXPECT_EQ(C->erase(7), (KvResponse{KvStatus::Ok, 71}));
+  EXPECT_EQ(C->erase(7), (KvResponse{KvStatus::NotFound, 0}));
+
+  // Multi-key: batch in, snapshot out, per-key statuses in key order.
+  EXPECT_EQ(C->multiPut({{1, 100}, {2, 200}, {3, 300}}), KvStatus::Ok);
+  std::vector<KvResponse> Snap;
+  EXPECT_EQ(C->snapshotGet({1, 2, 99, 3}, Snap), KvStatus::Ok);
+  ASSERT_EQ(Snap.size(), 4u);
+  EXPECT_EQ(Snap[0], (KvResponse{KvStatus::Ok, 100}));
+  EXPECT_EQ(Snap[1], (KvResponse{KvStatus::Ok, 200}));
+  EXPECT_EQ(Snap[2], (KvResponse{KvStatus::NotFound, 0}));
+  EXPECT_EQ(Snap[3], (KvResponse{KvStatus::Ok, 300}));
+
+  // Every request above is answered, so by the time the last response
+  // arrived the poll thread had counted all of them.
+  obs::MetricsSnapshot Telemetry = F.Server->telemetry();
+  EXPECT_EQ(Telemetry.counter("net.accepted"), 1u);
+  EXPECT_EQ(Telemetry.counter("net.requests"), 11u);
+  EXPECT_EQ(Telemetry.counter("net.responses"), 11u);
+  EXPECT_EQ(Telemetry.counter("net.malformed"), 0u);
+}
+
+TEST(KvServerTest, CapacityExhaustedTravelsTheWire) {
+  ServerFixture F({}, /*CapacityPerShard=*/4);
+  auto C = F.client();
+  ASSERT_NE(C, nullptr);
+  unsigned Failures = 0;
+  for (uint64_t K = 0; K < 64; ++K) {
+    KvStatus S = C->put(K, K).Status;
+    ASSERT_TRUE(S == KvStatus::Ok || S == KvStatus::CapacityExhausted);
+    Failures += (S == KvStatus::CapacityExhausted);
+  }
+  EXPECT_GT(Failures, 0u); // 4 shards x 4 capacity < 64 keys.
+  // A multiPut over capacity fails whole, and the wire says why.
+  std::vector<std::pair<uint64_t, uint64_t>> Pairs;
+  for (uint64_t K = 100; K < 164; ++K)
+    Pairs.emplace_back(K, K);
+  EXPECT_EQ(C->multiPut(Pairs), KvStatus::CapacityExhausted);
+}
+
+TEST(KvServerTest, PipelinedResponsesArriveInOrder) {
+  ServerFixture F;
+  auto C = F.client();
+  ASSERT_NE(C, nullptr);
+  // Pipeline writes and reads to the SAME key: in-order execution means
+  // each get observes the put just before it.
+  constexpr uint64_t kN = 256;
+  std::vector<uint64_t> Ids;
+  for (uint64_t I = 0; I < kN; ++I) {
+    NetRequest Put;
+    Put.Op = KvOp::Put;
+    Put.Key = 5;
+    Put.Value = I;
+    ASSERT_TRUE(C->send(Put));
+    NetRequest Get;
+    Get.Op = KvOp::Get;
+    Get.Key = 5;
+    ASSERT_TRUE(C->send(Get));
+    Ids.push_back(Put.Id);
+    Ids.push_back(Get.Id);
+  }
+  for (uint64_t I = 0; I < kN; ++I) {
+    NetResponse PutResp, GetResp;
+    ASSERT_TRUE(C->receive(PutResp));
+    ASSERT_TRUE(C->receive(GetResp));
+    EXPECT_EQ(PutResp.Id, Ids[2 * I]);
+    EXPECT_EQ(GetResp.Id, Ids[2 * I + 1]);
+    EXPECT_EQ(PutResp.Result.Status, KvStatus::Ok);
+    EXPECT_EQ(GetResp.Result, (KvResponse{KvStatus::Ok, I}));
+  }
+}
+
+TEST(KvServerTest, SyncOpsObserveEarlierPipelinedWrites) {
+  // A snapshotGet pipelined behind single-key puts must observe them
+  // (the server drains the connection's in-flight tail first).
+  ServerFixture F;
+  auto C = F.client();
+  ASSERT_NE(C, nullptr);
+  NetRequest Put;
+  Put.Op = KvOp::Put;
+  for (uint64_t K = 0; K < 8; ++K) {
+    Put.Key = K;
+    Put.Value = K * 7;
+    ASSERT_TRUE(C->send(Put));
+  }
+  NetRequest Snap;
+  Snap.Op = KvOp::SnapshotGet;
+  Snap.Keys = {0, 1, 2, 3, 4, 5, 6, 7};
+  ASSERT_TRUE(C->send(Snap));
+  for (uint64_t K = 0; K < 8; ++K) {
+    NetResponse R;
+    ASSERT_TRUE(C->receive(R));
+    EXPECT_EQ(R.Result.Status, KvStatus::Ok);
+  }
+  NetResponse SnapResp;
+  ASSERT_TRUE(C->receive(SnapResp));
+  ASSERT_EQ(SnapResp.Values.size(), 8u);
+  for (uint64_t K = 0; K < 8; ++K)
+    EXPECT_EQ(SnapResp.Values[K], (KvResponse{KvStatus::Ok, K * 7}));
+}
+
+TEST(KvServerTest, AdmissionControlUnderTinyLimits) {
+  // A pipeline far deeper than MaxPipeline over a tiny queue: the server
+  // pauses reads and stalls submissions, but every request completes in
+  // order — backpressure, not breakage.
+  KvServer::Options Opts;
+  Opts.Workers = 1;
+  Opts.QueueCapacity = 2;
+  Opts.MaxBatch = 1;
+  Opts.MaxPipeline = 2;
+  ServerFixture F(Opts);
+  auto C = F.client();
+  ASSERT_NE(C, nullptr);
+  // Send everything before reading anything: with MaxPipeline=2 the
+  // server stops reading almost immediately, so most of these frames sit
+  // in socket buffers (the kN frames total ~15 KB — well under the
+  // kernel's buffering, so the one-sided send cannot deadlock) until
+  // completions lift the pause, a few frames at a time.
+  constexpr uint64_t kN = 512;
+  for (uint64_t I = 0; I < kN; ++I) {
+    NetRequest Put;
+    Put.Op = KvOp::Put;
+    Put.Key = I % 3; // Few keys: every request contends.
+    Put.Value = I;
+    ASSERT_TRUE(C->send(Put));
+  }
+  for (uint64_t I = 0; I < kN; ++I) {
+    NetResponse R;
+    ASSERT_TRUE(C->receive(R));
+    EXPECT_EQ(R.Result.Status, KvStatus::Ok);
+  }
+  EXPECT_EQ(C->get(0).Status, KvStatus::Ok);
+}
+
+TEST(KvServerTest, ConcurrentClientsStayIsolated) {
+  ServerFixture F;
+  constexpr unsigned kClients = 4;
+  constexpr uint64_t kOps = 200;
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < kClients; ++T) {
+    Threads.emplace_back([&, T] {
+      auto C = F.client();
+      ASSERT_NE(C, nullptr);
+      // Disjoint key ranges: each client's final reads are deterministic.
+      uint64_t Base = 1000 * T;
+      for (uint64_t I = 0; I < kOps; ++I)
+        ASSERT_TRUE(C->put(Base + (I % 16), I).ok());
+      for (uint64_t K = 0; K < 16; ++K) {
+        KvResponse R = C->get(Base + K);
+        EXPECT_EQ(R.Status, KvStatus::Ok);
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+TEST(KvServerTest, MalformedFrameDropsTheConnection) {
+  ServerFixture F;
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(F.Server->port());
+  ASSERT_EQ(::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                      sizeof(Addr)),
+            0);
+  // A frame with a length beyond kMaxFrameBytes: unrecoverable.
+  uint8_t Junk[] = {0xff, 0xff, 0xff, 0xff, 1, 2, 3};
+  ASSERT_EQ(::send(Fd, Junk, sizeof(Junk), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(Junk)));
+  uint8_t Buf[16];
+  EXPECT_EQ(::recv(Fd, Buf, sizeof(Buf), 0), 0); // Orderly close.
+  ::close(Fd);
+  // The server survives and keeps serving other connections.
+  auto C = F.client();
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->ping(), KvStatus::Ok);
+  EXPECT_EQ(F.Server->telemetry().counter("net.malformed"), 1u);
+}
+
+TEST(KvServerTest, ServerShutdownFailsClientsCleanly) {
+  auto F = std::make_unique<ServerFixture>();
+  auto C = F->client();
+  ASSERT_NE(C, nullptr);
+  ASSERT_TRUE(C->put(1, 1).ok());
+  F->Server->stop();
+  // The dead connection surfaces as IoError, never a hang or a crash.
+  EXPECT_EQ(C->get(1).Status, KvStatus::IoError);
+  EXPECT_FALSE(C->connected());
+}
+
+TEST(KvServerTest, DurabilityComposesThroughTheServer) {
+  // End to end: wire writes -> executor batches -> WAL group commits ->
+  // crash (destroy store without detaching cleanly) -> recover ->
+  // everything the server acknowledged is back.
+  class TempDir {
+  public:
+    TempDir() {
+      char T[] = "/tmp/ptm-net-wal-XXXXXX";
+      Path_ = ::mkdtemp(T);
+    }
+    ~TempDir() {
+      for (unsigned S = 0; S < 8; ++S)
+        std::remove(Wal::shardFilePath(Path_, S).c_str());
+      ::rmdir(Path_.c_str());
+    }
+    std::string Path_;
+  };
+  TempDir Dir;
+  {
+    KvConfig Cfg;
+    Cfg.ShardCount = 4;
+    Cfg.BucketsPerShard = 16;
+    Cfg.CapacityPerShard = 1024;
+    Cfg.MaxThreads = 3;
+    auto Store = KvStore::create(Cfg);
+    ASSERT_NE(Store, nullptr);
+    auto W = Wal::open(Dir.Path_, 4, Wal::recover(Dir.Path_, 4));
+    ASSERT_NE(W, nullptr);
+    Store->attachWal(W.get());
+    auto Server = KvServer::start(*Store, {});
+    ASSERT_NE(Server, nullptr);
+    auto C = KvClient::connect(Server->port());
+    ASSERT_NE(C, nullptr);
+    for (uint64_t K = 0; K < 32; ++K)
+      ASSERT_TRUE(C->put(K, K * 3).ok());
+    ASSERT_EQ(C->multiPut({{100, 1}, {101, 1}}), KvStatus::Ok);
+    ASSERT_TRUE(C->erase(5).ok());
+  }
+  WalRecovery R = Wal::recover(Dir.Path_, 4);
+  ASSERT_TRUE(R.Ok);
+  KvConfig Cfg;
+  Cfg.ShardCount = 4;
+  Cfg.BucketsPerShard = 16;
+  Cfg.CapacityPerShard = 1024;
+  Cfg.MaxThreads = 2;
+  auto Fresh = KvStore::create(Cfg);
+  ASSERT_NE(Fresh, nullptr);
+  ASSERT_EQ(Fresh->replayWal(R.Records), KvStatus::Ok);
+  for (uint64_t K = 0; K < 32; ++K) {
+    KvResponse Got = Fresh->get(0, K);
+    if (K == 5)
+      EXPECT_EQ(Got.Status, KvStatus::NotFound);
+    else
+      EXPECT_EQ(Got, (KvResponse{KvStatus::Ok, K * 3}));
+  }
+  EXPECT_EQ(Fresh->get(0, 100), (KvResponse{KvStatus::Ok, 1}));
+  EXPECT_EQ(Fresh->get(0, 101), (KvResponse{KvStatus::Ok, 1}));
+}
+
+} // namespace

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Kill-mid-load crash-recovery smoke for the networked KV service.
+
+Drives the ``kv_server`` example binary through the full durability
+story end to end:
+
+  1. start ``kv_server --serve --wal-dir <tmp> --port 0`` and parse the
+     ephemeral port from its "listening on port N" banner;
+  2. run ``kv_server --load --pairs`` against it — every write is a
+     correlated ``multiPut`` of ``{k, v}`` and ``{k + keyspace/2, v}``,
+     which the store logs as ONE cross-shard WAL record;
+  3. SIGKILL the server mid-load (no shutdown path runs: whatever is on
+     disk is exactly what group commit made durable);
+  4. restart the server over the same WAL directory, letting recovery
+     scan the valid prefix of each shard file and drop any torn tail;
+  5. run ``kv_server --check``: every correlated pair must agree — a
+     half-applied pair means a multiPut record tore across the crash,
+     i.e. recovery violated its all-or-nothing contract.
+
+Usage: ``kv_crash_smoke.py /path/to/kv_server``. Exit 0 on success, 1
+with a diagnostic on any failure. Registered in CMake as the
+``net.crash_recovery_smoke`` ctest (label ``net``).
+"""
+
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+LISTEN_RE = re.compile(r"listening on port (\d+)")
+
+
+def fail(msg):
+    print(f"kv_crash_smoke: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def start_server(binary, wal_dir, log_path):
+    """Launch --serve and block until the listening banner appears."""
+    log = open(log_path, "w")
+    proc = subprocess.Popen(
+        [binary, "--serve", "--wal-dir", wal_dir, "--port", "0"],
+        stdout=log,
+        stderr=subprocess.STDOUT,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        with open(log_path) as f:
+            m = LISTEN_RE.search(f.read())
+        if m:
+            return proc, int(m.group(1))
+        if proc.poll() is not None:
+            with open(log_path) as f:
+                fail(f"server exited during startup:\n{f.read()}")
+        time.sleep(0.05)
+    proc.kill()
+    fail("server never printed its listening banner")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} /path/to/kv_server")
+    binary = sys.argv[1]
+    if not os.access(binary, os.X_OK):
+        fail(f"not executable: {binary}")
+
+    workdir = tempfile.mkdtemp(prefix="ptm-crash-smoke-")
+    wal_dir = os.path.join(workdir, "wal")
+    os.mkdir(wal_dir)
+    server = None
+    try:
+        server, port = start_server(
+            binary, wal_dir, os.path.join(workdir, "serve1.log")
+        )
+        print(f"kv_crash_smoke: server up on port {port}")
+
+        load = subprocess.Popen(
+            [
+                binary,
+                "--load",
+                "--pairs",
+                "--port",
+                str(port),
+                "--clients",
+                "4",
+                "--ops",
+                "200000",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        # Let the load make real progress, then pull the plug with no
+        # shutdown path: group commit's fsync-before-ack is the only
+        # thing standing between acked writes and the crash.
+        time.sleep(0.7)
+        server.send_signal(signal.SIGKILL)
+        server.wait()
+        server = None
+        load_out, _ = load.communicate(timeout=120)
+        print(f"kv_crash_smoke: {load_out.strip()}")
+
+        server, port = start_server(
+            binary, wal_dir, os.path.join(workdir, "serve2.log")
+        )
+        with open(os.path.join(workdir, "serve2.log")) as f:
+            banner = f.readline().strip()
+        print(f"kv_crash_smoke: {banner}")
+        if "recovered" not in banner:
+            fail(f"restart did not report recovery: {banner}")
+
+        check = subprocess.run(
+            [binary, "--check", "--port", str(port)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            timeout=120,
+        )
+        print(f"kv_crash_smoke: {check.stdout.strip()}")
+        if check.returncode != 0:
+            fail("post-recovery check found torn pairs")
+
+        server.send_signal(signal.SIGTERM)
+        if server.wait(timeout=30) != 0:
+            fail("server did not shut down cleanly after SIGTERM")
+        server = None
+        print("kv_crash_smoke: PASS")
+    finally:
+        if server is not None:
+            server.kill()
+            server.wait()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()
